@@ -1,0 +1,128 @@
+//! The IP-ID probe: what a MIDAR-style prober sees when it sends probe
+//! packets to an interface address.
+
+use std::net::Ipv4Addr;
+
+use cfs_topology::{IpIdBehavior, Topology};
+
+/// Issues IP-ID probes against the (hidden) ground truth. The prober only
+/// exposes what a real measurement would: the 16-bit IP-ID of the
+/// response at a given time, or nothing.
+pub struct IpIdProber<'t> {
+    topo: &'t Topology,
+    seed: u64,
+}
+
+impl<'t> IpIdProber<'t> {
+    /// Creates a prober over a topology.
+    pub fn new(topo: &'t Topology) -> Self {
+        Self { topo, seed: topo.config.seed ^ 0x1b1d }
+    }
+
+    /// Probes `ip` at time `at_ms`, returning the response IP-ID.
+    ///
+    /// Routers with a shared counter return `base + rate·t` (mod 2^16) —
+    /// the same counter for every interface, which is the whole basis of
+    /// the monotonic bounds test. Random/constant/unresponsive routers
+    /// model the platforms MIDAR cannot resolve.
+    pub fn probe(&self, ip: Ipv4Addr, at_ms: u64) -> Option<u16> {
+        let iface = self.topo.iface_by_ip(ip)?;
+        let router_id = self.topo.ifaces[iface].router;
+        let router = &self.topo.routers[router_id];
+        match router.ipid {
+            IpIdBehavior::SharedCounter { rate_per_ms } => {
+                let base = hash64(self.seed ^ u64::from(router_id.raw())) & 0xFFFF;
+                Some(((base + u64::from(rate_per_ms) * at_ms) & 0xFFFF) as u16)
+            }
+            IpIdBehavior::Random => {
+                Some((hash64(self.seed ^ u64::from(u32::from(ip)) ^ at_ms) & 0xFFFF) as u16)
+            }
+            IpIdBehavior::Constant => Some(0),
+            IpIdBehavior::Unresponsive => None,
+        }
+    }
+}
+
+fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::generate(TopologyConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn shared_counter_is_shared_across_interfaces() {
+        let t = topo();
+        let prober = IpIdProber::new(&t);
+        let router = t
+            .routers
+            .values()
+            .find(|r| {
+                matches!(r.ipid, IpIdBehavior::SharedCounter { .. }) && r.ifaces.len() >= 2
+            })
+            .expect("a counter router with 2+ ifaces");
+        let a = t.ifaces[router.ifaces[0]].ip;
+        let b = t.ifaces[router.ifaces[1]].ip;
+        assert_eq!(prober.probe(a, 123), prober.probe(b, 123));
+    }
+
+    #[test]
+    fn shared_counter_increases_with_time() {
+        let t = topo();
+        let prober = IpIdProber::new(&t);
+        let router = t
+            .routers
+            .values()
+            .find(|r| matches!(r.ipid, IpIdBehavior::SharedCounter { .. }))
+            .unwrap();
+        let ip = t.ifaces[router.ifaces[0]].ip;
+        let v0 = prober.probe(ip, 0).unwrap();
+        let v1 = prober.probe(ip, 100).unwrap();
+        let IpIdBehavior::SharedCounter { rate_per_ms } = router.ipid else { unreachable!() };
+        let expect = (u32::from(v0) + u32::from(rate_per_ms) * 100) & 0xFFFF;
+        assert_eq!(u32::from(v1), expect);
+    }
+
+    #[test]
+    fn unresponsive_routers_stay_silent() {
+        let t = topo();
+        let prober = IpIdProber::new(&t);
+        let silent =
+            t.routers.values().find(|r| r.ipid == IpIdBehavior::Unresponsive).cloned();
+        if let Some(router) = silent {
+            let ip = t.ifaces[router.ifaces[0]].ip;
+            assert_eq!(prober.probe(ip, 0), None);
+        }
+    }
+
+    #[test]
+    fn unknown_ip_is_none() {
+        let t = topo();
+        let prober = IpIdProber::new(&t);
+        assert_eq!(prober.probe("198.18.99.99".parse().unwrap(), 0), None);
+    }
+
+    #[test]
+    fn different_routers_have_different_bases_usually() {
+        let t = topo();
+        let prober = IpIdProber::new(&t);
+        let counters: Vec<_> = t
+            .routers
+            .values()
+            .filter(|r| matches!(r.ipid, IpIdBehavior::SharedCounter { .. }))
+            .take(20)
+            .map(|r| prober.probe(t.ifaces[r.ifaces[0]].ip, 0).unwrap())
+            .collect();
+        let distinct: std::collections::BTreeSet<_> = counters.iter().collect();
+        assert!(distinct.len() * 10 >= counters.len() * 8);
+    }
+}

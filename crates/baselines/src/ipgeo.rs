@@ -1,0 +1,207 @@
+//! A commercial IP-geolocation database model.
+//!
+//! Databases of this kind assign locations per *prefix*, usually from
+//! registration data — so every address of a block inherits the
+//! registrant's headquarters city. That is accurate for single-site
+//! networks and systematically wrong for distributed infrastructure:
+//! "in some cases, e.g. Google, all IP addresses of prefixes used for
+//! interconnection will map to California" (§7).
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+
+use cfs_net::PrefixTrie;
+use cfs_topology::{RouterLocation, Topology};
+use cfs_types::{CityId, MetroId};
+
+/// Per-prefix city database with realistic error characteristics.
+pub struct IpGeoDb {
+    trie: PrefixTrie<CityId>,
+    metro_of: BTreeMap<CityId, MetroId>,
+}
+
+/// Fraction of prefixes mapped to a random city in the right country
+/// (registration data pointing at a branch office).
+const WRONG_CITY_SAME_COUNTRY: f64 = 0.10;
+
+/// Fraction of prefixes mapped to an entirely wrong country.
+const WRONG_COUNTRY: f64 = 0.05;
+
+impl IpGeoDb {
+    /// Derives the database from a topology: every announced prefix maps
+    /// to the origin network's headquarters city (its first router's
+    /// location), with the standard error mix on top.
+    pub fn derive(topo: &Topology) -> Self {
+        let mut rng = ChaCha20Rng::seed_from_u64(topo.config.seed ^ 0x960_10c);
+        let mut trie = PrefixTrie::new();
+        let all_cities: Vec<CityId> = topo.world.cities().ids().collect();
+
+        for node in topo.ases.values() {
+            // Headquarters: the first router's city.
+            let hq = node
+                .routers
+                .first()
+                .map(|r| match topo.routers[*r].location {
+                    RouterLocation::Facility(f) => topo.facilities[f].city,
+                    RouterLocation::PopCity(c) => c,
+                })
+                .unwrap_or(all_cities[0]);
+            let hq_country = topo.world.city(hq).country.clone();
+
+            for prefix in &node.prefixes {
+                let x: f64 = rng.random();
+                let city = if x < WRONG_COUNTRY {
+                    all_cities[rng.random_range(0..all_cities.len())]
+                } else if x < WRONG_COUNTRY + WRONG_CITY_SAME_COUNTRY {
+                    let same_country: Vec<CityId> = all_cities
+                        .iter()
+                        .copied()
+                        .filter(|c| topo.world.city(*c).country == hq_country)
+                        .collect();
+                    same_country[rng.random_range(0..same_country.len())]
+                } else {
+                    hq
+                };
+                trie.insert(*prefix, city);
+            }
+        }
+
+        let metro_of =
+            topo.world.cities().iter().map(|(id, c)| (id, c.metro)).collect();
+        Self { trie, metro_of }
+    }
+
+    /// The database's city answer for an address.
+    pub fn city(&self, ip: Ipv4Addr) -> Option<CityId> {
+        self.trie.longest_match(ip).map(|(_, c)| *c)
+    }
+
+    /// The database's metro answer.
+    pub fn metro(&self, ip: Ipv4Addr) -> Option<MetroId> {
+        self.city(ip).and_then(|c| self.metro_of.get(&c).copied())
+    }
+
+    /// Number of prefixes covered.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_topology::TopologyConfig;
+    use cfs_types::Asn;
+
+    fn topo() -> Topology {
+        Topology::generate(TopologyConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn covers_all_announced_prefixes() {
+        let t = topo();
+        let db = IpGeoDb::derive(&t);
+        assert_eq!(db.len(), t.announcements.len());
+        for a in &t.announcements {
+            assert!(db.city(a.prefix.nth(1).unwrap()).is_some());
+        }
+        assert!(db.city("203.0.113.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn cdn_interconnection_space_collapses_to_headquarters() {
+        let t = topo();
+        let db = IpGeoDb::derive(&t);
+        let google = &t.ases[&Asn(15169)];
+        // Whatever cities its routers really span, the database answers
+        // at most a couple of distinct cities for all of its space.
+        let mut answered: std::collections::BTreeSet<CityId> = Default::default();
+        for p in &google.prefixes {
+            if let Some(c) = db.city(p.nth(100).unwrap()) {
+                answered.insert(c);
+            }
+        }
+        assert!(answered.len() <= 2);
+
+        // …whereas its actual footprint spans many metros.
+        let mut true_metros: std::collections::BTreeSet<_> = Default::default();
+        for f in &google.facilities {
+            true_metros.insert(t.facilities[*f].metro);
+        }
+        assert!(true_metros.len() > answered.len());
+    }
+
+    #[test]
+    fn mostly_right_for_single_site_networks() {
+        let t = topo();
+        let db = IpGeoDb::derive(&t);
+        let mut checked = 0usize;
+        let mut right = 0usize;
+        for node in t.ases.values() {
+            // Truly single-site networks: one facility, no PoPs, and the
+            // HQ (first router) sits at that facility.
+            if node.facilities.len() != 1 {
+                continue;
+            }
+            let Some(first) = node.routers.first() else { continue };
+            if t.router_facility(*first) != Some(node.facilities[0]) {
+                continue;
+            }
+            let truth_city = t.facilities[node.facilities[0]].city;
+            let answer = db.city(node.prefixes[0].nth(50).unwrap());
+            checked += 1;
+            right += usize::from(answer == Some(truth_city));
+        }
+        assert!(checked > 5);
+        assert!(right * 10 >= checked * 7, "{right}/{checked}");
+    }
+
+    #[test]
+    fn interface_city_error_rate_is_substantial_for_big_networks() {
+        // The headline weakness: interfaces of multi-metro networks get
+        // the HQ city no matter where the router is.
+        let t = topo();
+        let db = IpGeoDb::derive(&t);
+        let mut checked = 0usize;
+        let mut wrong = 0usize;
+        for node in t.ases.values() {
+            if node.facilities.len() < 5 {
+                continue;
+            }
+            for rid in &node.routers {
+                let truth_metro = match t.routers[*rid].location {
+                    RouterLocation::Facility(f) => t.facilities[f].metro,
+                    RouterLocation::PopCity(c) => t.world.metro_of(c),
+                };
+                for ifid in &t.routers[*rid].ifaces {
+                    let ip = t.ifaces[*ifid].ip;
+                    if let Some(m) = db.metro(ip) {
+                        checked += 1;
+                        wrong += usize::from(m != truth_metro);
+                    }
+                }
+            }
+        }
+        assert!(checked > 100);
+        assert!(wrong * 2 > checked, "ip-geo suspiciously good: {wrong}/{checked} wrong");
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let t = topo();
+        let a = IpGeoDb::derive(&t);
+        let b = IpGeoDb::derive(&t);
+        for node in t.ases.values() {
+            let ip = node.prefixes[0].nth(9).unwrap();
+            assert_eq!(a.city(ip), b.city(ip));
+        }
+    }
+}

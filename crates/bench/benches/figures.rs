@@ -1,0 +1,30 @@
+//! One benchmark per paper artifact: times the computation that
+//! regenerates each table/figure (at tiny scale, so `cargo bench`
+//! finishes in minutes; the artifact contents come from
+//! `cfs-experiments` at `--scale paper`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cfs_experiments::{experiments, Lab, Output, Scale};
+
+fn bench_experiment(c: &mut Criterion, lab: &Lab, id: &str) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let mut out = Output::new(&format!("{id}-bench"), "tiny").quiet();
+            black_box(experiments::run_by_id(id, lab, &mut out).expect("experiment"))
+        })
+    });
+    group.finish();
+}
+
+fn all_figures(c: &mut Criterion) {
+    let lab = Lab::provision(Scale::Tiny, Some(42)).expect("lab");
+    for id in experiments::ALL_IDS {
+        bench_experiment(c, &lab, id);
+    }
+}
+
+criterion_group!(benches, all_figures);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Microbenchmarks of the substrate hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+use std::net::Ipv4Addr;
+
+use cfs_alias::IpIdProber;
+use cfs_bench::BenchWorld;
+use cfs_bgp::compute_routes;
+use cfs_geo::{haversine_km, GeoPoint};
+use cfs_net::{Announcement, IpAsnDb, Ipv4Prefix, PrefixTrie};
+use cfs_traceroute::{deploy_vantage_points, Engine, VpConfig};
+
+fn bench_trie(c: &mut Criterion) {
+    let mut rng = ChaCha20Rng::seed_from_u64(1);
+    let mut trie: PrefixTrie<u32> = PrefixTrie::new();
+    for i in 0..50_000u32 {
+        let addr = Ipv4Addr::from(rng.random::<u32>());
+        let len = rng.random_range(8..=24);
+        trie.insert(Ipv4Prefix::new(addr, len).unwrap(), i);
+    }
+    let probes: Vec<Ipv4Addr> =
+        (0..1024).map(|_| Ipv4Addr::from(rng.random::<u32>())).collect();
+    c.bench_function("trie/longest_match_50k_prefixes", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(trie.longest_match(probes[i]))
+        })
+    });
+}
+
+fn bench_ipasn(c: &mut Criterion) {
+    let world = BenchWorld::standard();
+    let db = IpAsnDb::from_announcements(
+        world.topo.announcements.iter().copied().collect::<Vec<Announcement>>(),
+    );
+    let ips: Vec<Ipv4Addr> = world.topo.ifaces.values().map(|i| i.ip).collect();
+    c.bench_function("ipasn/origin_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ips.len();
+            black_box(db.origin(ips[i]))
+        })
+    });
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let a = GeoPoint::new(51.5074, -0.1278);
+    let b2 = GeoPoint::new(40.7128, -74.0060);
+    c.bench_function("geo/haversine", |b| b.iter(|| black_box(haversine_km(a, b2))));
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let world = BenchWorld::standard();
+    let dests: Vec<_> = world.topo.ases.keys().copied().take(16).collect();
+    c.bench_function("bgp/compute_routes_one_destination", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % dests.len();
+            black_box(compute_routes(&world.topo, dests[i]))
+        })
+    });
+}
+
+fn bench_traceroute(c: &mut Criterion) {
+    let world = BenchWorld::standard();
+    let vps = deploy_vantage_points(&world.topo, &VpConfig::tiny()).unwrap();
+    let engine = Engine::new(&world.topo);
+    let targets: Vec<Ipv4Addr> = world
+        .topo
+        .ases
+        .keys()
+        .take(32)
+        .map(|a| world.topo.target_ip(*a).unwrap())
+        .collect();
+    let vp_ids: Vec<_> = vps.ids().collect();
+    c.bench_function("traceroute/single_probe", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            let vp = &vps.vps[vp_ids[i % vp_ids.len()]];
+            black_box(engine.trace(vp, targets[i % targets.len()], (i as u64) * 13))
+        })
+    });
+}
+
+fn bench_alias_probe(c: &mut Criterion) {
+    let world = BenchWorld::standard();
+    let prober = IpIdProber::new(&world.topo);
+    let ips: Vec<Ipv4Addr> = world.topo.ifaces.values().map(|i| i.ip).collect();
+    c.bench_function("alias/ipid_probe", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            black_box(prober.probe(ips[i % ips.len()], (i as u64) * 7))
+        })
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(10);
+    group.bench_function("generate_default_scale", |b| {
+        b.iter(|| {
+            black_box(
+                cfs_topology::Topology::generate(cfs_topology::TopologyConfig::default())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trie,
+    bench_ipasn,
+    bench_geo,
+    bench_routing,
+    bench_traceroute,
+    bench_alias_probe,
+    bench_generation,
+);
+criterion_main!(benches);

@@ -1,0 +1,430 @@
+//! Valley-free route computation (Gao–Rexford export rules).
+//!
+//! For a destination AS `d`, every other AS selects at most one best route
+//! whose AS path climbs customer→provider links, crosses at most one peer
+//! link, then descends provider→customer links. Preference at each AS is
+//! customer routes > peer routes > provider routes, then shortest AS path,
+//! then lowest next-hop ASN (determinism).
+//!
+//! The computation is the classic three-stage BFS over the adjacency list
+//! — O(V + E) per destination — with explicit next-hop recording so paths
+//! can be reconstructed without re-running anything.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cfs_topology::Topology;
+use cfs_types::{Asn, Rel};
+
+/// How a route was learned, in decreasing preference order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteType {
+    /// Learned from a customer (or the destination itself).
+    Customer,
+    /// Learned from a settlement-free peer.
+    Peer,
+    /// Learned from a transit provider.
+    Provider,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Route {
+    kind: RouteType,
+    len: u32,
+    next_hop: Asn,
+}
+
+/// All best routes toward a single destination AS.
+#[derive(Clone, Debug)]
+pub struct RouteMap {
+    dest: Asn,
+    routes: BTreeMap<Asn, Route>,
+}
+
+impl RouteMap {
+    /// The destination AS.
+    pub fn dest(&self) -> Asn {
+        self.dest
+    }
+
+    /// Whether `from` has any route to the destination.
+    pub fn reaches(&self, from: Asn) -> bool {
+        from == self.dest || self.routes.contains_key(&from)
+    }
+
+    /// The next hop `from` forwards to, if it has a route.
+    pub fn next_hop(&self, from: Asn) -> Option<Asn> {
+        if from == self.dest {
+            return None;
+        }
+        self.routes.get(&from).map(|r| r.next_hop)
+    }
+
+    /// The route type at `from` ([`RouteType::Customer`] for the
+    /// destination itself, by convention).
+    pub fn route_type(&self, from: Asn) -> Option<RouteType> {
+        if from == self.dest {
+            return Some(RouteType::Customer);
+        }
+        self.routes.get(&from).map(|r| r.kind)
+    }
+
+    /// The full AS path from `from` to the destination, inclusive of both
+    /// ends. `None` when unreachable.
+    pub fn path(&self, from: Asn) -> Option<Vec<Asn>> {
+        if from == self.dest {
+            return Some(vec![from]);
+        }
+        let mut path = vec![from];
+        let mut cur = from;
+        // Bounded walk: AS paths cannot exceed the AS count.
+        for _ in 0..=self.routes.len() {
+            match self.next_hop(cur) {
+                Some(next) => {
+                    path.push(next);
+                    if next == self.dest {
+                        return Some(path);
+                    }
+                    cur = next;
+                }
+                None => return None,
+            }
+        }
+        None // cycle guard; cannot happen with consistent route maps
+    }
+
+    /// Number of ASes holding a route.
+    pub fn coverage(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+/// Neighbor sets of one AS, split by relationship orientation.
+#[derive(Default)]
+struct Nbrs {
+    customers: Vec<Asn>,
+    providers: Vec<Asn>,
+    peers: Vec<Asn>,
+}
+
+fn adjacency_lists(topo: &Topology) -> BTreeMap<Asn, Nbrs> {
+    let mut map: BTreeMap<Asn, Nbrs> = BTreeMap::new();
+    for asn in topo.ases.keys() {
+        map.insert(*asn, Nbrs::default());
+    }
+    for adj in &topo.adjacencies {
+        match adj.rel {
+            Rel::CustomerToProvider => {
+                map.get_mut(&adj.a).expect("as exists").providers.push(adj.b);
+                map.get_mut(&adj.b).expect("as exists").customers.push(adj.a);
+            }
+            Rel::PeerToPeer => {
+                map.get_mut(&adj.a).expect("as exists").peers.push(adj.b);
+                map.get_mut(&adj.b).expect("as exists").peers.push(adj.a);
+            }
+        }
+    }
+    // Deterministic neighbor order.
+    for n in map.values_mut() {
+        n.customers.sort_unstable();
+        n.providers.sort_unstable();
+        n.peers.sort_unstable();
+    }
+    map
+}
+
+/// Computes best valley-free routes from every AS toward `dest`.
+pub fn compute_routes(topo: &Topology, dest: Asn) -> RouteMap {
+    let nbrs = adjacency_lists(topo);
+    let mut routes: BTreeMap<Asn, Route> = BTreeMap::new();
+
+    // Stage 1 — customer routes: BFS climbing provider links from dest.
+    // An AS x obtains a customer route when some customer of x (or dest)
+    // already has one; shorter paths first, lowest next-hop tie-break
+    // (guaranteed by sorted neighbor lists + FIFO order).
+    let mut queue: VecDeque<Asn> = VecDeque::new();
+    queue.push_back(dest);
+    while let Some(x) = queue.pop_front() {
+        let x_len = if x == dest { 0 } else { routes[&x].len };
+        if let Some(n) = nbrs.get(&x) {
+            for p in n.providers.clone() {
+                if p != dest && !routes.contains_key(&p) {
+                    routes.insert(
+                        p,
+                        Route { kind: RouteType::Customer, len: x_len + 1, next_hop: x },
+                    );
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+
+    // Stage 2 — peer routes: one peer edge on top of a customer route.
+    // Only customer routes are exported to peers.
+    let customer_holders: Vec<(Asn, u32)> = routes
+        .iter()
+        .map(|(asn, r)| (*asn, r.len))
+        .chain(std::iter::once((dest, 0)))
+        .collect();
+    let mut peer_candidates: BTreeMap<Asn, Route> = BTreeMap::new();
+    for (y, y_len) in customer_holders {
+        if let Some(n) = nbrs.get(&y) {
+            for x in &n.peers {
+                if *x == dest || routes.contains_key(x) {
+                    continue; // customer route wins at x
+                }
+                let cand = Route { kind: RouteType::Peer, len: y_len + 1, next_hop: y };
+                let better = match peer_candidates.get(x) {
+                    None => true,
+                    Some(old) => (cand.len, cand.next_hop) < (old.len, old.next_hop),
+                };
+                if better {
+                    peer_candidates.insert(*x, cand);
+                }
+            }
+        }
+    }
+    routes.extend(peer_candidates);
+
+    // Stage 3 — provider routes: BFS descending customer links from every
+    // AS that already holds a route. Ordered exploration by path length
+    // keeps provider routes shortest; FIFO with sorted neighbors keeps
+    // ties deterministic.
+    let mut frontier: Vec<(u32, Asn)> =
+        routes.iter().map(|(asn, r)| (r.len, *asn)).chain(std::iter::once((0, dest))).collect();
+    frontier.sort_unstable();
+    let mut queue: VecDeque<Asn> = frontier.into_iter().map(|(_, a)| a).collect();
+    while let Some(y) = queue.pop_front() {
+        let y_len = if y == dest { 0 } else { routes[&y].len };
+        if let Some(n) = nbrs.get(&y) {
+            for x in n.customers.clone() {
+                if x == dest || routes.contains_key(&x) {
+                    continue;
+                }
+                routes.insert(
+                    x,
+                    Route { kind: RouteType::Provider, len: y_len + 1, next_hop: y },
+                );
+                queue.push_back(x);
+            }
+        }
+    }
+
+    RouteMap { dest, routes }
+}
+
+/// A thread-safe per-destination route cache. Experiments issue millions
+/// of traceroutes toward a few hundred destinations; routes are computed
+/// once per destination.
+pub struct RouteCache {
+    cache: Mutex<BTreeMap<Asn, Arc<RouteMap>>>,
+}
+
+impl RouteCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self { cache: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Routes toward `dest`, computing them on first use.
+    pub fn routes(&self, topo: &Topology, dest: Asn) -> Arc<RouteMap> {
+        if let Some(hit) = self.cache.lock().get(&dest) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(compute_routes(topo, dest));
+        let mut guard = self.cache.lock();
+        Arc::clone(guard.entry(dest).or_insert(computed))
+    }
+
+    /// Number of destinations cached.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.lock().is_empty()
+    }
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::generate(TopologyConfig::tiny()).unwrap()
+    }
+
+    /// Checks the valley-free property of a path given the topology.
+    fn assert_valley_free(topo: &Topology, path: &[Asn]) {
+        #[derive(PartialEq, PartialOrd)]
+        enum Phase {
+            Up,
+            Peer,
+            Down,
+        }
+        // Walking from source toward dest: up (c2p), one peer, down (p2c).
+        let mut phase = Phase::Up;
+        for w in path.windows(2) {
+            let adj = topo.adjacency(w[0], w[1]).expect("adjacent ASes");
+            let step = match adj.rel {
+                Rel::CustomerToProvider if adj.a == w[0] => Phase::Up,
+                Rel::CustomerToProvider => Phase::Down,
+                Rel::PeerToPeer => Phase::Peer,
+            };
+            match step {
+                Phase::Up => assert!(phase == Phase::Up, "uphill after peak"),
+                Phase::Peer => {
+                    assert!(phase == Phase::Up, "second peak");
+                    phase = Phase::Peer;
+                }
+                Phase::Down => phase = Phase::Down,
+            }
+        }
+    }
+
+    #[test]
+    fn everyone_reaches_a_tier1() {
+        let t = topo();
+        let tier1 = t
+            .ases
+            .values()
+            .find(|n| n.class == cfs_types::AsClass::Tier1)
+            .map(|n| n.asn)
+            .unwrap();
+        let rm = compute_routes(&t, tier1);
+        for asn in t.ases.keys() {
+            assert!(rm.reaches(*asn), "{asn} cannot reach {tier1}");
+        }
+    }
+
+    #[test]
+    fn stubs_are_reachable_via_providers() {
+        let t = topo();
+        let stub = t
+            .ases
+            .values()
+            .find(|n| n.class == cfs_types::AsClass::Enterprise)
+            .map(|n| n.asn)
+            .unwrap();
+        let rm = compute_routes(&t, stub);
+        // At minimum the stub's providers and the tier1 mesh reach it.
+        let reached = t.ases.keys().filter(|a| rm.reaches(**a)).count();
+        assert!(reached > t.ases.len() / 2, "only {reached} reach the stub");
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        let t = topo();
+        for dest_node in t.ases.values().take(12) {
+            let rm = compute_routes(&t, dest_node.asn);
+            for from in t.ases.keys() {
+                if let Some(path) = rm.path(*from) {
+                    assert_eq!(*path.last().unwrap(), dest_node.asn);
+                    assert_eq!(path[0], *from);
+                    assert_valley_free(&t, &path);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_have_no_loops() {
+        let t = topo();
+        let dest = *t.ases.keys().next().unwrap();
+        let rm = compute_routes(&t, dest);
+        for from in t.ases.keys() {
+            if let Some(path) = rm.path(*from) {
+                let mut sorted = path.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), path.len(), "loop in {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn customer_routes_preferred_over_peer_and_provider() {
+        let t = topo();
+        // For a destination with customers, its direct providers should
+        // hold Customer routes.
+        for dest_node in t.ases.values() {
+            let rm = compute_routes(&t, dest_node.asn);
+            for adj in t.adjacencies_of(dest_node.asn) {
+                if adj.rel == Rel::CustomerToProvider && adj.a == dest_node.asn {
+                    assert_eq!(
+                        rm.route_type(adj.b),
+                        Some(RouteType::Customer),
+                        "{}'s provider {} should use the customer route",
+                        dest_node.asn,
+                        adj.b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t = topo();
+        let dest = *t.ases.keys().last().unwrap();
+        let a = compute_routes(&t, dest);
+        let b = compute_routes(&t, dest);
+        for from in t.ases.keys() {
+            assert_eq!(a.path(*from), b.path(*from));
+        }
+    }
+
+    #[test]
+    fn route_cache_computes_once_and_hits() {
+        let t = topo();
+        let dest = *t.ases.keys().next().unwrap();
+        let cache = RouteCache::new();
+        assert!(cache.is_empty());
+        let first = cache.routes(&t, dest);
+        let second = cache.routes(&t, dest);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn dest_itself_has_trivial_path() {
+        let t = topo();
+        let dest = *t.ases.keys().next().unwrap();
+        let rm = compute_routes(&t, dest);
+        assert_eq!(rm.path(dest), Some(vec![dest]));
+        assert_eq!(rm.next_hop(dest), None);
+        assert!(rm.reaches(dest));
+    }
+
+    proptest::proptest! {
+        /// Any reachable path is simple, valley-free, and ends at dest.
+        #[test]
+        fn prop_paths_well_formed(seed in 0u64..6, dest_idx in 0usize..40) {
+            let t = Topology::generate(TopologyConfig::tiny().with_seed(seed)).unwrap();
+            let asns: Vec<Asn> = t.ases.keys().copied().collect();
+            let dest = asns[dest_idx % asns.len()];
+            let rm = compute_routes(&t, dest);
+            for from in &asns {
+                if let Some(path) = rm.path(*from) {
+                    proptest::prop_assert_eq!(path[0], *from);
+                    proptest::prop_assert_eq!(*path.last().unwrap(), dest);
+                    let mut s = path.clone();
+                    s.sort_unstable();
+                    s.dedup();
+                    proptest::prop_assert_eq!(s.len(), path.len());
+                    assert_valley_free(&t, &path);
+                }
+            }
+        }
+    }
+}

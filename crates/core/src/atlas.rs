@@ -1,0 +1,270 @@
+//! Incremental interconnection-map construction.
+//!
+//! The paper's conclusion: "by utilizing results for individual
+//! interconnections and others inferred in the process, it is possible to
+//! incrementally construct a more detailed map of interconnections."
+//! [`InterconnectionAtlas`] is that construction: merge the reports of
+//! successive campaigns (different targets, vantage points, days) into a
+//! cumulative facility map, tracking confirmations and disagreements per
+//! interface.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use cfs_types::{Asn, IxpId};
+
+use crate::report::{CfsReport, InferredInterface, InferredLink};
+use crate::state::SearchOutcome;
+
+/// One interface's cumulative record.
+#[derive(Clone, Debug)]
+pub struct AtlasEntry {
+    /// The current best verdict.
+    pub verdict: InferredInterface,
+    /// Campaigns that re-derived the same facility.
+    pub confirmations: usize,
+    /// Campaigns that derived a *different* facility (data drift or
+    /// incomplete-data convergence, Figure 8's "changed inference").
+    pub disagreements: usize,
+    /// Campaign index of the current verdict.
+    pub last_campaign: usize,
+}
+
+/// Key identifying an interconnection across campaigns.
+type LinkKey = (Ipv4Addr, Option<Ipv4Addr>, Option<IxpId>);
+
+/// A cumulative map of interfaces and interconnections.
+#[derive(Clone, Debug, Default)]
+pub struct InterconnectionAtlas {
+    interfaces: BTreeMap<Ipv4Addr, AtlasEntry>,
+    links: BTreeMap<LinkKey, InferredLink>,
+    campaigns: usize,
+}
+
+impl InterconnectionAtlas {
+    /// An empty atlas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges one campaign's report. Verdict precedence per interface:
+    /// a constraint-resolved facility beats a proximity-derived one,
+    /// which beats no facility; among equals the *tighter* candidate set
+    /// wins, then the newer campaign.
+    pub fn merge(&mut self, report: &CfsReport) {
+        self.campaigns += 1;
+        let campaign = self.campaigns;
+
+        for (ip, incoming) in &report.interfaces {
+            match self.interfaces.get_mut(ip) {
+                None => {
+                    self.interfaces.insert(
+                        *ip,
+                        AtlasEntry {
+                            verdict: incoming.clone(),
+                            confirmations: 0,
+                            disagreements: 0,
+                            last_campaign: campaign,
+                        },
+                    );
+                }
+                Some(entry) => {
+                    match (entry.verdict.facility, incoming.facility) {
+                        (Some(old), Some(new)) if old == new => entry.confirmations += 1,
+                        (Some(_), Some(_)) => entry.disagreements += 1,
+                        _ => {}
+                    }
+                    if replaces(&entry.verdict, incoming) {
+                        entry.verdict = incoming.clone();
+                        entry.last_campaign = campaign;
+                    } else {
+                        // Keep the standing verdict but accumulate what
+                        // the newer campaign *observed* (roles, IXPs).
+                        entry
+                            .verdict
+                            .public_ixps
+                            .extend(incoming.public_ixps.iter().copied());
+                        entry.verdict.seen_private |= incoming.seen_private;
+                    }
+                }
+            }
+        }
+
+        for link in &report.links {
+            let key = (link.near_ip, link.far_ip, link.ixp);
+            self.links.entry(key).or_insert_with(|| link.clone());
+        }
+    }
+
+    /// Number of merged campaigns.
+    pub fn campaigns(&self) -> usize {
+        self.campaigns
+    }
+
+    /// Interfaces known to the atlas.
+    pub fn interface_count(&self) -> usize {
+        self.interfaces.len()
+    }
+
+    /// Interfaces with a facility verdict.
+    pub fn resolved_count(&self) -> usize {
+        self.interfaces.values().filter(|e| e.verdict.facility.is_some()).count()
+    }
+
+    /// Distinct interconnections accumulated.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Entry for one interface.
+    pub fn interface(&self, ip: Ipv4Addr) -> Option<&AtlasEntry> {
+        self.interfaces.get(&ip)
+    }
+
+    /// Iterates all entries.
+    pub fn interfaces(&self) -> impl Iterator<Item = (&Ipv4Addr, &AtlasEntry)> {
+        self.interfaces.iter()
+    }
+
+    /// Iterates all accumulated links.
+    pub fn links(&self) -> impl Iterator<Item = &InferredLink> {
+        self.links.values()
+    }
+
+    /// Interfaces whose verdict has been contradicted at least once —
+    /// candidates for re-measurement.
+    pub fn contested(&self) -> Vec<Ipv4Addr> {
+        self.interfaces
+            .iter()
+            .filter(|(_, e)| e.disagreements > 0)
+            .map(|(ip, _)| *ip)
+            .collect()
+    }
+
+    /// All interfaces attributed to one AS.
+    pub fn interfaces_of(&self, asn: Asn) -> Vec<Ipv4Addr> {
+        self.interfaces
+            .iter()
+            .filter(|(_, e)| e.verdict.owner == Some(asn))
+            .map(|(ip, _)| *ip)
+            .collect()
+    }
+}
+
+/// Whether `incoming` should replace `standing` as the verdict.
+fn replaces(standing: &InferredInterface, incoming: &InferredInterface) -> bool {
+    // Rank: resolved-by-constraints > resolved-by-proximity > constrained
+    // > nothing; ties broken by tighter candidate sets.
+    fn rank(i: &InferredInterface) -> (u8, std::cmp::Reverse<usize>) {
+        let class = match (i.facility.is_some(), i.via_proximity, i.outcome) {
+            (true, false, _) => 3,
+            (true, true, _) => 2,
+            (false, _, SearchOutcome::UnresolvedLocal | SearchOutcome::UnresolvedRemote) => 1,
+            _ => 0,
+        };
+        let tightness = if i.candidates.is_empty() { usize::MAX } else { i.candidates.len() };
+        (class, std::cmp::Reverse(tightness))
+    }
+    rank(incoming) > rank(standing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn iface(ip: &str, facility: Option<u32>, via_proximity: bool, cands: usize) -> InferredInterface {
+        let candidates: BTreeSet<cfs_types::FacilityId> = match facility {
+            Some(f) => [cfs_types::FacilityId::new(f)].into_iter().collect(),
+            None => (0..cands as u32).map(cfs_types::FacilityId::new).collect(),
+        };
+        InferredInterface {
+            ip: ip.parse().unwrap(),
+            owner: Some(Asn(65_000)),
+            facility: facility.map(cfs_types::FacilityId::new),
+            candidates,
+            metro: None,
+            outcome: if facility.is_some() {
+                SearchOutcome::Resolved
+            } else {
+                SearchOutcome::UnresolvedLocal
+            },
+            remote: false,
+            public_ixps: BTreeSet::new(),
+            seen_private: false,
+            resolved_at: facility.map(|_| 1),
+            via_proximity,
+        }
+    }
+
+    fn report(ifaces: Vec<InferredInterface>) -> CfsReport {
+        CfsReport {
+            interfaces: ifaces.into_iter().map(|i| (i.ip, i)).collect(),
+            links: Vec::new(),
+            iterations: Vec::new(),
+            router_stats: Default::default(),
+            traces_issued: 0,
+        }
+    }
+
+    #[test]
+    fn coverage_grows_monotonically() {
+        let mut atlas = InterconnectionAtlas::new();
+        atlas.merge(&report(vec![iface("10.0.0.1", Some(3), false, 1)]));
+        assert_eq!(atlas.interface_count(), 1);
+        atlas.merge(&report(vec![iface("10.0.0.2", Some(4), false, 1)]));
+        assert_eq!(atlas.interface_count(), 2);
+        assert_eq!(atlas.resolved_count(), 2);
+        assert_eq!(atlas.campaigns(), 2);
+    }
+
+    #[test]
+    fn resolution_upgrades_but_never_downgrades() {
+        let mut atlas = InterconnectionAtlas::new();
+        // Campaign 1: unresolved with 4 candidates.
+        atlas.merge(&report(vec![iface("10.0.0.1", None, false, 4)]));
+        assert_eq!(atlas.resolved_count(), 0);
+        // Campaign 2: resolves it.
+        atlas.merge(&report(vec![iface("10.0.0.1", Some(7), false, 1)]));
+        assert_eq!(atlas.resolved_count(), 1);
+        // Campaign 3: a weaker (unresolved) sighting does not erase it.
+        atlas.merge(&report(vec![iface("10.0.0.1", None, false, 5)]));
+        assert_eq!(atlas.resolved_count(), 1);
+        let entry = atlas.interface("10.0.0.1".parse().unwrap()).unwrap();
+        assert_eq!(entry.verdict.facility, Some(cfs_types::FacilityId::new(7)));
+        assert_eq!(entry.last_campaign, 2);
+    }
+
+    #[test]
+    fn constraint_verdicts_beat_proximity_verdicts() {
+        let mut atlas = InterconnectionAtlas::new();
+        atlas.merge(&report(vec![iface("10.0.0.1", Some(9), true, 1)]));
+        atlas.merge(&report(vec![iface("10.0.0.1", Some(2), false, 1)]));
+        let entry = atlas.interface("10.0.0.1".parse().unwrap()).unwrap();
+        assert_eq!(entry.verdict.facility, Some(cfs_types::FacilityId::new(2)));
+        // And the reverse direction does not downgrade.
+        atlas.merge(&report(vec![iface("10.0.0.1", Some(9), true, 1)]));
+        let entry = atlas.interface("10.0.0.1".parse().unwrap()).unwrap();
+        assert_eq!(entry.verdict.facility, Some(cfs_types::FacilityId::new(2)));
+    }
+
+    #[test]
+    fn disagreements_are_tracked_and_listed() {
+        let mut atlas = InterconnectionAtlas::new();
+        atlas.merge(&report(vec![iface("10.0.0.1", Some(1), false, 1)]));
+        atlas.merge(&report(vec![iface("10.0.0.1", Some(1), false, 1)]));
+        atlas.merge(&report(vec![iface("10.0.0.1", Some(2), false, 1)]));
+        let entry = atlas.interface("10.0.0.1".parse().unwrap()).unwrap();
+        assert_eq!(entry.confirmations, 1);
+        assert_eq!(entry.disagreements, 1);
+        assert_eq!(atlas.contested(), vec!["10.0.0.1".parse::<Ipv4Addr>().unwrap()]);
+    }
+
+    #[test]
+    fn owner_index_works() {
+        let mut atlas = InterconnectionAtlas::new();
+        atlas.merge(&report(vec![iface("10.0.0.1", Some(1), false, 1)]));
+        assert_eq!(atlas.interfaces_of(Asn(65_000)).len(), 1);
+        assert!(atlas.interfaces_of(Asn(65_001)).is_empty());
+    }
+}

@@ -1,0 +1,846 @@
+//! The iterative Constrained Facility Search engine (§4.2–§4.4).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use cfs_alias::{correct_ip_to_asn, resolve_aliases, AliasResolution, IpIdProber, MidarConfig};
+use cfs_kb::KnowledgeBase;
+use cfs_net::IpAsnDb;
+use cfs_traceroute::{Engine, Platform, Trace, VpSet};
+use cfs_types::{Asn, FacilityId, IxpId, LinkClass, PeeringKind, VantagePointId};
+
+use crate::observe::{extract_observations, Observation, Resolver};
+use crate::proximity::ProximityModel;
+use crate::remote::RemoteTester;
+use crate::report::{CfsReport, InferredInterface, InferredLink, RouterRoleStats};
+use crate::state::{IfaceState, SearchOutcome};
+
+/// Tuning knobs of the search loop.
+#[derive(Clone, Debug)]
+pub struct CfsConfig {
+    /// Iteration cap (the paper stops at 100).
+    pub max_iterations: usize,
+    /// Unresolved interfaces to chase per iteration (measurement budget).
+    pub followup_interfaces: usize,
+    /// Follow-up targets per chased interface, smallest overlap first.
+    pub targets_per_interface: usize,
+    /// Vantage points probing each follow-up target.
+    pub vps_per_target: usize,
+    /// Stop after this many iterations without progress.
+    pub stale_iterations: usize,
+    /// Re-run alias resolution whenever this many iterations have added
+    /// new interfaces.
+    pub realias_every: usize,
+    /// Alias-resolution tuning.
+    pub alias: MidarConfig,
+    /// Run the reverse search of §4.3.
+    pub reverse_search: bool,
+    /// Apply the switch-proximity heuristic of §4.4 at the end.
+    pub proximity: bool,
+    /// Apply Step 3 (alias sets share a facility). Disabled only by the
+    /// ablation experiment.
+    pub alias_constraints: bool,
+}
+
+impl Default for CfsConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            followup_interfaces: 120,
+            targets_per_interface: 3,
+            vps_per_target: 6,
+            stale_iterations: 6,
+            realias_every: 3,
+            alias: MidarConfig::default(),
+            reverse_search: true,
+            proximity: true,
+            alias_constraints: true,
+        }
+    }
+}
+
+/// Convergence record of one iteration (drives Figure 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Interfaces resolved so far.
+    pub resolved: usize,
+    /// Interfaces tracked so far.
+    pub tracked: usize,
+    /// Follow-up traceroutes issued during this iteration.
+    pub traces_issued: usize,
+}
+
+/// The Constrained Facility Search engine.
+///
+/// Construction wires the measurement substrate (traceroute engine and
+/// vantage points), the public data (knowledge base, IP-to-ASN service),
+/// and the configuration; `ingest` feeds bootstrap campaigns; `run`
+/// iterates to convergence and produces the [`CfsReport`].
+pub struct Cfs<'a> {
+    engine: &'a Engine<'a>,
+    kb: &'a KnowledgeBase,
+    vps: &'a VpSet,
+    ipasn: &'a IpAsnDb,
+    cfg: CfsConfig,
+    platforms: Option<BTreeSet<Platform>>,
+
+    traces: Vec<Trace>,
+    processed: usize,
+    hop_ips: BTreeSet<Ipv4Addr>,
+    aliases: AliasResolution,
+    corrected: BTreeMap<Ipv4Addr, Asn>,
+    observations: Vec<Observation>,
+    /// Observations from BGP-capable looking glasses (§3.2 augmentation);
+    /// survive the observation rebuilds that follow re-aliasing.
+    session_observations: Vec<Observation>,
+    obs_keys: BTreeSet<(Ipv4Addr, Option<IxpId>, Option<Ipv4Addr>)>,
+    states: BTreeMap<Ipv4Addr, IfaceState>,
+    remote_cache: BTreeMap<Ipv4Addr, Option<bool>>,
+    vp_crossed: BTreeMap<Asn, Vec<VantagePointId>>,
+    chase_attempts: BTreeMap<Ipv4Addr, usize>,
+    as_fac_cache: BTreeMap<Asn, Rc<BTreeSet<FacilityId>>>,
+    ixp_fac_cache: BTreeMap<IxpId, Rc<BTreeSet<FacilityId>>>,
+    clock_ms: u64,
+    iterations: Vec<IterationStats>,
+    traces_issued: usize,
+    new_ips_since_alias: usize,
+}
+
+impl<'a> Cfs<'a> {
+    /// Creates a search over the given substrate and public data.
+    pub fn new(
+        engine: &'a Engine<'a>,
+        vps: &'a VpSet,
+        kb: &'a KnowledgeBase,
+        ipasn: &'a IpAsnDb,
+        cfg: CfsConfig,
+    ) -> Self {
+        Self {
+            engine,
+            kb,
+            vps,
+            ipasn,
+            cfg,
+            platforms: None,
+            traces: Vec::new(),
+            processed: 0,
+            hop_ips: BTreeSet::new(),
+            aliases: AliasResolution::default(),
+            corrected: BTreeMap::new(),
+            observations: Vec::new(),
+            session_observations: Vec::new(),
+            obs_keys: BTreeSet::new(),
+            states: BTreeMap::new(),
+            remote_cache: BTreeMap::new(),
+            vp_crossed: BTreeMap::new(),
+            chase_attempts: BTreeMap::new(),
+            as_fac_cache: BTreeMap::new(),
+            ixp_fac_cache: BTreeMap::new(),
+            clock_ms: 0,
+            iterations: Vec::new(),
+            traces_issued: 0,
+            new_ips_since_alias: 0,
+        }
+    }
+
+    /// Restricts follow-up measurements to the given platforms (the
+    /// Figure 7 single-platform runs).
+    pub fn restrict_platforms(mut self, platforms: &[Platform]) -> Self {
+        self.platforms = Some(platforms.iter().copied().collect());
+        self
+    }
+
+    /// Feeds bootstrap traces (targeted campaigns and archived sweeps).
+    pub fn ingest(&mut self, traces: Vec<Trace>) {
+        for t in &traces {
+            for hop in &t.hops {
+                if let Some(ip) = hop.ip {
+                    if self.hop_ips.insert(ip) {
+                        self.new_ips_since_alias += 1;
+                    }
+                }
+            }
+        }
+        self.traces.extend(traces);
+    }
+
+    /// Feeds BGP session listings from BGP-capable looking glasses
+    /// (§3.2): each session pins both end addresses and the neighbor ASN
+    /// of an interconnection without a traceroute having to cross it.
+    /// `owner` is the AS operating the queried looking glass.
+    pub fn ingest_bgp_sessions(&mut self, owner: Asn, sessions: &[cfs_bgp::BgpSession]) {
+        for s in sessions {
+            for ip in [s.local_ip, s.neighbor_ip] {
+                if self.hop_ips.insert(ip) {
+                    self.new_ips_since_alias += 1;
+                }
+            }
+            // Classification mirrors Step 1: confirmed IXP space ⇒ public.
+            let class = match self.kb.ixp_of_ip(s.neighbor_ip) {
+                Some(ixp) => LinkClass::Public { ixp },
+                None => LinkClass::Private,
+            };
+            let obs = Observation {
+                near_asn: owner,
+                near_ip: s.local_ip,
+                class,
+                far_asn: Some(s.neighbor_asn),
+                far_ip: Some(s.neighbor_ip),
+            };
+            let key = (obs.near_ip, obs.class.ixp(), obs.far_ip);
+            if self.obs_keys.insert(key) {
+                self.session_observations.push(obs);
+            }
+        }
+    }
+
+    /// Runs the search to convergence (or the iteration cap) and returns
+    /// the report.
+    pub fn run(&mut self) -> CfsReport {
+        self.refresh_aliases();
+        self.process_new_traces();
+
+        let mut stale = 0usize;
+        let mut last_resolved = 0usize;
+        for iteration in 1..=self.cfg.max_iterations {
+            self.apply_constraints(iteration);
+            if self.cfg.alias_constraints {
+                self.apply_alias_constraints(iteration);
+            }
+            let resolved = self.resolved_count();
+            let mut issued = 0usize;
+
+            let all_done = self
+                .states
+                .values()
+                .all(|s| s.outcome() != SearchOutcome::UnresolvedLocal);
+            if !all_done && iteration < self.cfg.max_iterations {
+                issued = self.followups(iteration);
+                self.clock_ms += 120_000; // measurements spread over time
+                if self.new_ips_since_alias > 0
+                    && iteration % self.cfg.realias_every == 0
+                {
+                    self.refresh_aliases();
+                }
+                self.process_new_traces();
+            }
+
+            self.iterations.push(IterationStats {
+                iteration,
+                resolved,
+                tracked: self.states.len(),
+                traces_issued: issued,
+            });
+
+            if resolved == last_resolved && issued == 0 {
+                stale += 1;
+                if stale >= self.cfg.stale_iterations {
+                    break;
+                }
+            } else {
+                stale = 0;
+            }
+            last_resolved = resolved;
+            if all_done {
+                break;
+            }
+        }
+
+        self.build_report()
+    }
+
+    // ------------------------------------------------------------------
+    // Data preparation
+    // ------------------------------------------------------------------
+
+    fn refresh_aliases(&mut self) {
+        let prober = IpIdProber::new(self.engine.topology());
+        let ips: Vec<Ipv4Addr> = self.hop_ips.iter().copied().collect();
+        self.aliases = resolve_aliases(&prober, &ips, &self.cfg.alias);
+        let (corrected, _stats) = correct_ip_to_asn(self.ipasn, &self.aliases, &ips);
+        self.corrected = corrected;
+        self.new_ips_since_alias = 0;
+        // Mappings may have shifted: rebuild the observation list from
+        // every trace under the new view. Session observations come from
+        // authoritative LG output and survive as-is.
+        self.observations.clear();
+        self.obs_keys.clear();
+        for obs in &self.session_observations {
+            self.obs_keys.insert((obs.near_ip, obs.class.ixp(), obs.far_ip));
+        }
+        self.processed = 0;
+    }
+
+    fn process_new_traces(&mut self) {
+        let resolver = Resolver::new(self.kb, &self.corrected);
+        let mut new_obs = Vec::new();
+        for t in &self.traces[self.processed..] {
+            for obs in extract_observations(t, &resolver) {
+                let key = (obs.near_ip, obs.class.ixp(), obs.far_ip);
+                if self.obs_keys.insert(key) {
+                    new_obs.push(obs);
+                }
+            }
+            // Maintain the exposure index: which vantage points see which
+            // ASes on their paths (used to aim follow-ups).
+            for hop in &t.hops {
+                if let Some(asn) = hop.ip.and_then(|ip| self.corrected.get(&ip)) {
+                    let list = self.vp_crossed.entry(*asn).or_default();
+                    if list.len() < 64 && !list.contains(&t.vp) {
+                        list.push(t.vp);
+                    }
+                }
+            }
+        }
+        self.processed = self.traces.len();
+        self.observations.extend(new_obs);
+    }
+
+    fn as_facilities(&mut self, asn: Asn) -> Rc<BTreeSet<FacilityId>> {
+        if let Some(hit) = self.as_fac_cache.get(&asn) {
+            return Rc::clone(hit);
+        }
+        let set = Rc::new(self.kb.facilities_of_as(asn));
+        self.as_fac_cache.insert(asn, Rc::clone(&set));
+        set
+    }
+
+    fn ixp_facilities(&mut self, ixp: IxpId) -> Rc<BTreeSet<FacilityId>> {
+        if let Some(hit) = self.ixp_fac_cache.get(&ixp) {
+            return Rc::clone(hit);
+        }
+        let set = Rc::new(self.kb.facilities_of_ixp(ixp));
+        self.ixp_fac_cache.insert(ixp, Rc::clone(&set));
+        set
+    }
+
+    // ------------------------------------------------------------------
+    // Steps 2 + 3: constraints
+    // ------------------------------------------------------------------
+
+    fn apply_constraints(&mut self, iteration: usize) {
+        let mut observations = std::mem::take(&mut self.observations);
+        observations.extend(self.session_observations.iter().cloned());
+        for obs in &observations {
+            match obs.class {
+                LinkClass::Public { ixp } => {
+                    self.constrain_public(obs.near_asn, obs.near_ip, ixp, iteration);
+                    if let (Some(far_asn), Some(far_ip)) = (obs.far_asn, obs.far_ip) {
+                        self.constrain_public(far_asn, far_ip, ixp, iteration);
+                    }
+                }
+                LinkClass::Private => {
+                    if let Some(far_asn) = obs.far_asn {
+                        self.constrain_private(obs.near_asn, obs.near_ip, far_asn, iteration);
+                        if let Some(far_ip) = obs.far_ip {
+                            self.constrain_private(far_asn, far_ip, obs.near_asn, iteration);
+                        }
+                    }
+                }
+            }
+        }
+        observations.truncate(observations.len() - self.session_observations.len());
+        self.observations = observations;
+    }
+
+    /// Step 2 for a public peering interface: intersect the owner's
+    /// facilities with the exchange's; an empty overlap triggers the
+    /// remote test (§4.2 case 3).
+    fn constrain_public(&mut self, owner: Asn, ip: Ipv4Addr, ixp: IxpId, iteration: usize) {
+        let f_owner = self.as_facilities(owner);
+        let f_ixp = self.ixp_facilities(ixp);
+        let common: BTreeSet<FacilityId> =
+            f_owner.intersection(&f_ixp).copied().collect();
+
+        let verdict = if common.is_empty() && !f_owner.is_empty() {
+            *self
+                .remote_cache
+                .entry(ip)
+                .or_insert_with(|| RemoteTester::new(self.engine, self.vps).is_remote(ixp, ip))
+        } else {
+            None
+        };
+
+        let state =
+            self.states.entry(ip).or_insert_with(|| IfaceState::new(ip, Some(owner)));
+        state.owner.get_or_insert(owner);
+        state.public_ixps.insert(ixp);
+        if f_owner.is_empty() {
+            state.missing_data = true;
+            return;
+        }
+        if !common.is_empty() {
+            state.constrain(&common, iteration);
+        } else {
+            match verdict {
+                Some(true) => {
+                    // Remote peer: its router is wherever the AS actually
+                    // keeps equipment.
+                    state.remote = true;
+                    state.constrain(&f_owner, iteration);
+                }
+                Some(false) | None => {
+                    // Local RTT but no common facility: our data is
+                    // missing the link (or the ping never landed).
+                    state.missing_data = true;
+                }
+            }
+        }
+    }
+
+    /// Step 2 for a private peering interface: intersect the two peers'
+    /// facility sets (cross-connects join routers in one building).
+    fn constrain_private(&mut self, owner: Asn, ip: Ipv4Addr, peer: Asn, iteration: usize) {
+        let f_owner = self.as_facilities(owner);
+        let f_peer = self.as_facilities(peer);
+        let common: BTreeSet<FacilityId> = f_owner.intersection(&f_peer).copied().collect();
+
+        let state =
+            self.states.entry(ip).or_insert_with(|| IfaceState::new(ip, Some(owner)));
+        state.owner.get_or_insert(owner);
+        state.seen_private = true;
+        if f_owner.is_empty() {
+            state.missing_data = true;
+            return;
+        }
+        if !common.is_empty() {
+            state.constrain(&common, iteration);
+        } else if f_peer.is_empty() {
+            state.missing_data = true;
+        } else {
+            // Tethering or remote private peering: the only safe
+            // constraint is the owner's own footprint.
+            state.constrain(&f_owner, iteration);
+        }
+    }
+
+    /// Step 3: all aliases of a router share its facility, so their
+    /// candidate sets intersect.
+    fn apply_alias_constraints(&mut self, iteration: usize) {
+        for set in self.aliases.sets.clone() {
+            let mut combined: Option<BTreeSet<FacilityId>> = None;
+            for ip in &set {
+                if let Some(state) = self.states.get(ip) {
+                    if let Some(c) = &state.candidates {
+                        combined = Some(match combined {
+                            None => c.clone(),
+                            Some(acc) => acc.intersection(c).copied().collect(),
+                        });
+                    }
+                }
+            }
+            let Some(combined) = combined else { continue };
+            if combined.is_empty() {
+                // Conflicting constraints across aliases — incomplete
+                // data; leave the individual states untouched.
+                continue;
+            }
+            for ip in &set {
+                if let Some(state) = self.states.get_mut(ip) {
+                    state.constrain(&combined, iteration);
+                }
+            }
+        }
+    }
+
+    fn resolved_count(&self) -> usize {
+        self.states.values().filter(|s| s.facility().is_some()).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Step 4: targeted follow-ups (+ §4.3 reverse search)
+    // ------------------------------------------------------------------
+
+    fn allowed_vp(&self, id: VantagePointId) -> bool {
+        match &self.platforms {
+            None => true,
+            Some(set) => set.contains(&self.vps.vps[id].platform),
+        }
+    }
+
+    fn followups(&mut self, _iteration: usize) -> usize {
+        // Chase the interfaces closest to resolution first, but rotate
+        // the measurement budget: an interface that has been chased a few
+        // times without converging yields its slot to fresher ones (the
+        // paper's diminishing returns after iteration 40).
+        const MAX_ATTEMPTS: usize = 3;
+        let mut pending: Vec<(usize, usize, Ipv4Addr)> = self
+            .states
+            .values()
+            .filter(|s| s.outcome() == SearchOutcome::UnresolvedLocal)
+            .filter_map(|s| {
+                let attempts = self.chase_attempts.get(&s.ip).copied().unwrap_or(0);
+                (attempts < MAX_ATTEMPTS)
+                    .then(|| s.candidates.as_ref().map(|c| (attempts, c.len(), s.ip)))
+                    .flatten()
+            })
+            .collect();
+        pending.sort_unstable();
+        pending.truncate(self.cfg.followup_interfaces);
+
+        let mut issued = 0usize;
+        for (_, _, ip) in pending {
+            *self.chase_attempts.entry(ip).or_default() += 1;
+            issued += self.chase_interface(ip);
+        }
+        self.traces_issued += issued;
+        issued
+    }
+
+    /// Issues follow-up traceroutes designed to add constraints for one
+    /// unresolved interface.
+    fn chase_interface(&mut self, ip: Ipv4Addr) -> usize {
+        let (owner, candidates, queried_ixps) = {
+            let Some(state) = self.states.get(&ip) else { return 0 };
+            let Some(owner) = state.owner else { return 0 };
+            let Some(c) = state.candidates.clone() else { return 0 };
+            (owner, c, state.public_ixps.clone())
+        };
+        let f_owner = self.as_facilities(owner);
+
+        // Rank candidate targets. Preferred (the paper's rule): known
+        // ASes whose footprint is a strict subset of the owner's, so the
+        // comparison genuinely narrows. When no subset exists — common
+        // once footprints grow — fall back to the targets with the
+        // smallest footprint whose overlap is a *proper* subset of the
+        // candidates: a crossing with them still shrinks the set.
+        let mut subset_scored: Vec<(usize, usize, Asn)> = Vec::new();
+        let mut overlap_scored: Vec<(usize, usize, Asn)> = Vec::new();
+        let known: Vec<Asn> = self.kb.known_ases().collect();
+        for t in known {
+            if t == owner {
+                continue;
+            }
+            let f_t = self.as_facilities(t);
+            if f_t.is_empty() {
+                continue;
+            }
+            let overlap = f_t.intersection(&candidates).count();
+            if overlap == 0 {
+                continue;
+            }
+            let penalty = usize::from(
+                self.kb.ixps_of_as(t).intersection(&queried_ixps).next().is_some(),
+            );
+            if f_t.len() < f_owner.len() && f_t.is_subset(&f_owner) {
+                subset_scored.push((penalty, overlap, t));
+            } else if overlap < candidates.len() {
+                overlap_scored.push((penalty, f_t.len() + overlap, t));
+            }
+        }
+        subset_scored.sort_unstable();
+        overlap_scored.sort_unstable();
+        let mut scored = subset_scored;
+        if scored.len() < self.cfg.targets_per_interface {
+            let need = self.cfg.targets_per_interface - scored.len();
+            scored.extend(overlap_scored.into_iter().take(need));
+        }
+        scored.truncate(self.cfg.targets_per_interface);
+
+        // Vantage points likely to cross the owner *near the candidate
+        // facilities*: probes and looking glasses inside the owner,
+        // nearest candidate metro first (hot-potato routing exits close
+        // to the source, so a nearby vantage point exposes the nearby
+        // peering); then anything that has previously seen the owner.
+        let candidate_coords: Vec<cfs_geo::GeoPoint> = candidates
+            .iter()
+            .filter_map(|f| self.kb.metro_of_facility(*f))
+            .map(|m| self.engine.topology().world.metro(m).location)
+            .collect();
+        let distance_to_candidates = |vp: &cfs_traceroute::VantagePoint| -> u64 {
+            candidate_coords
+                .iter()
+                .map(|c| vp.coords.distance_km(*c) as u64)
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+        let mut inside: Vec<(u64, VantagePointId)> = self
+            .vps
+            .vps
+            .iter()
+            .filter(|(id, vp)| vp.asn == owner && self.allowed_vp(*id))
+            .map(|(id, vp)| (distance_to_candidates(vp), id))
+            .collect();
+        inside.sort_unstable();
+        let mut vp_pool: Vec<VantagePointId> = inside.into_iter().map(|(_, id)| id).collect();
+        if let Some(seen) = self.vp_crossed.get(&owner) {
+            for id in seen {
+                if self.allowed_vp(*id) && !vp_pool.contains(id) {
+                    vp_pool.push(*id);
+                }
+            }
+        }
+        vp_pool.truncate(self.cfg.vps_per_target);
+
+        let mut issued = 0usize;
+        let topo = self.engine.topology();
+        let mut new_traces = Vec::new();
+        for (_, _, target_as) in &scored {
+            let Ok(target) = topo.target_ip(*target_as) else { continue };
+            for vp_id in &vp_pool {
+                let vp = &self.vps.vps[*vp_id];
+                new_traces.push(self.engine.trace(vp, target, self.clock_ms));
+                issued += 1;
+            }
+        }
+
+        // §4.3 reverse search: when the interface belongs to the far side
+        // of crossings we observed, probe *from* its owner toward the
+        // near-side ASes so the owner becomes the near end.
+        if self.cfg.reverse_search {
+            let reverse_targets: Vec<Asn> = self
+                .observations
+                .iter()
+                .chain(self.session_observations.iter())
+                .filter(|o| o.far_ip == Some(ip))
+                .map(|o| o.near_asn)
+                .collect();
+            if !reverse_targets.is_empty() {
+                let own_vps: Vec<VantagePointId> = self
+                    .vps
+                    .vps
+                    .iter()
+                    .filter(|(id, vp)| vp.asn == owner && self.allowed_vp(*id))
+                    .map(|(id, _)| id)
+                    .take(2)
+                    .collect();
+                for near_asn in reverse_targets.into_iter().take(2) {
+                    let Ok(target) = topo.target_ip(near_asn) else { continue };
+                    for vp_id in &own_vps {
+                        let vp = &self.vps.vps[*vp_id];
+                        new_traces.push(self.engine.trace(vp, target, self.clock_ms));
+                        issued += 1;
+                    }
+                }
+            }
+        }
+
+        self.ingest(new_traces);
+        issued
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting (+ §4.4 proximity fallback)
+    // ------------------------------------------------------------------
+
+    fn build_report(&mut self) -> CfsReport {
+        let all_observations: Vec<Observation> = self
+            .observations
+            .iter()
+            .chain(self.session_observations.iter())
+            .cloned()
+            .collect();
+
+        // Proximity model from resolved public links whose far member
+        // holds several ports at the exchange (the directories reveal
+        // this): which of its fabric addresses a path reveals depends on
+        // switch locality, so these links carry the §4.4 signal.
+        // Single-port members answer with their one address from
+        // everywhere and would drown it out. The paper's evaluation
+        // (50 single-facility sources × 50 two-facility targets at
+        // AMS-IX) selects the same population.
+        let multi_port = |obs: &Observation| -> bool {
+            match (obs.class.ixp(), obs.far_asn) {
+                (Some(ixp), Some(asn)) => self.kb.member_port_count(ixp, asn) >= 2,
+                _ => false,
+            }
+        };
+        let mut proximity = ProximityModel::new();
+        if self.cfg.proximity {
+            for obs in &all_observations {
+                let LinkClass::Public { .. } = obs.class else { continue };
+                let (Some(far_ip), near_ip) = (obs.far_ip, obs.near_ip) else { continue };
+                if !multi_port(obs) {
+                    continue;
+                }
+                let near_f = self.states.get(&near_ip).and_then(|s| s.facility());
+                let far_f = self.states.get(&far_ip).and_then(|s| s.facility());
+                if let (Some(n), Some(f)) = (near_f, far_f) {
+                    proximity.observe(n, f);
+                }
+            }
+            // Apply to unresolved multi-port far ends with a resolved
+            // near end.
+            let mut assignments: Vec<(Ipv4Addr, FacilityId)> = Vec::new();
+            for obs in &all_observations {
+                let LinkClass::Public { .. } = obs.class else { continue };
+                let Some(far_ip) = obs.far_ip else { continue };
+                if !multi_port(obs) {
+                    continue;
+                }
+                let Some(near_f) = self.states.get(&obs.near_ip).and_then(|s| s.facility())
+                else {
+                    continue;
+                };
+                let Some(far_state) = self.states.get(&far_ip) else { continue };
+                if far_state.facility().is_some() {
+                    continue;
+                }
+                let Some(cands) = &far_state.candidates else { continue };
+                if let Some(f) = proximity.infer(near_f, cands) {
+                    assignments.push((far_ip, f));
+                }
+            }
+            for (ip, f) in assignments {
+                if let Some(state) = self.states.get_mut(&ip) {
+                    let single: BTreeSet<FacilityId> = [f].into_iter().collect();
+                    state.candidates = Some(single);
+                    // Marked below via `via_proximity`.
+                    state.resolved_at.get_or_insert(usize::MAX);
+                }
+            }
+        }
+
+        // Interface verdicts.
+        let mut interfaces = BTreeMap::new();
+        for (ip, state) in &self.states {
+            let candidates = state.candidates.clone().unwrap_or_default();
+            let metro = {
+                let metros: BTreeSet<_> = candidates
+                    .iter()
+                    .filter_map(|f| self.kb.metro_of_facility(*f))
+                    .collect();
+                if metros.len() == 1 && !candidates.is_empty() {
+                    metros.into_iter().next()
+                } else {
+                    None
+                }
+            };
+            let via_proximity = state.resolved_at == Some(usize::MAX);
+            interfaces.insert(
+                *ip,
+                InferredInterface {
+                    ip: *ip,
+                    owner: state.owner,
+                    facility: state.facility(),
+                    candidates,
+                    metro,
+                    outcome: state.outcome(),
+                    remote: state.remote,
+                    public_ixps: state.public_ixps.clone(),
+                    seen_private: state.seen_private,
+                    resolved_at: state
+                        .resolved_at
+                        .filter(|r| *r != usize::MAX),
+                    via_proximity,
+                },
+            );
+        }
+
+        // Link verdicts.
+        let mut links = Vec::new();
+        for obs in &all_observations {
+            let near_state = self.states.get(&obs.near_ip);
+            let far_state = obs.far_ip.and_then(|ip| self.states.get(&ip));
+            let near_facility = near_state.and_then(|s| s.facility());
+            let far_facility = far_state.and_then(|s| s.facility());
+            let kind = match obs.class {
+                LinkClass::Public { .. } => {
+                    if near_state.is_some_and(|s| s.remote) {
+                        PeeringKind::PublicRemote
+                    } else {
+                        PeeringKind::PublicLocal
+                    }
+                }
+                LinkClass::Private => {
+                    self.classify_private(obs, near_facility, far_facility)
+                }
+            };
+            links.push(InferredLink {
+                near_asn: obs.near_asn,
+                near_ip: obs.near_ip,
+                far_asn: obs.far_asn,
+                far_ip: obs.far_ip,
+                kind,
+                ixp: obs.class.ixp(),
+                near_facility,
+                far_facility,
+            });
+        }
+
+        // Router-role statistics over alias groups.
+        let router_stats = self.router_stats();
+
+        CfsReport {
+            interfaces,
+            links,
+            iterations: self.iterations.clone(),
+            router_stats,
+            traces_issued: self.traces_issued,
+        }
+    }
+
+    /// Refines a private adjacency into cross-connect / tethering /
+    /// remote private, using resolved facilities first and the knowledge
+    /// base's footprints second.
+    fn classify_private(
+        &self,
+        obs: &Observation,
+        near_facility: Option<FacilityId>,
+        far_facility: Option<FacilityId>,
+    ) -> PeeringKind {
+        if let (Some(n), Some(f)) = (near_facility, far_facility) {
+            if n == f {
+                return PeeringKind::PrivateCrossConnect;
+            }
+        }
+        let Some(peer) = obs.far_asn else { return PeeringKind::PrivateCrossConnect };
+        let f_a = self.kb.facilities_of_as(obs.near_asn);
+        let f_b = self.kb.facilities_of_as(peer);
+        if f_a.intersection(&f_b).next().is_some() {
+            return PeeringKind::PrivateCrossConnect;
+        }
+        // No shared building: a VLAN over a shared exchange, or a
+        // long-haul circuit.
+        let shared_ixp = self
+            .kb
+            .ixps_of_as(obs.near_asn)
+            .intersection(&self.kb.ixps_of_as(peer))
+            .next()
+            .is_some();
+        if shared_ixp {
+            PeeringKind::PrivateTethering
+        } else {
+            PeeringKind::PrivateRemote
+        }
+    }
+
+    fn router_stats(&self) -> RouterRoleStats {
+        // Group observed peering interfaces by alias set. Interfaces that
+        // alias resolution could not place (unresponsive/random IP-IDs)
+        // are not *routers* in the §5 sense — the paper's 39%/11.9% are
+        // fractions of its 2,895 resolved alias sets, so singletons stay
+        // out of the denominator.
+        let mut groups: BTreeMap<usize, Vec<&IfaceState>> = BTreeMap::new();
+        for (ip, state) in &self.states {
+            if let Some(set_idx) = self.aliases.set_of.get(ip) {
+                groups.entry(*set_idx).or_default().push(state);
+            }
+        }
+        let mut stats = RouterRoleStats::default();
+        let all_groups = groups.into_values();
+        for group in all_groups {
+            stats.routers += 1;
+            let mut ixps: BTreeSet<IxpId> = BTreeSet::new();
+            let mut private = false;
+            for s in &group {
+                ixps.extend(s.public_ixps.iter().copied());
+                private |= s.seen_private;
+            }
+            let public = !ixps.is_empty();
+            if public {
+                stats.routers_public += 1;
+                if ixps.len() >= 2 {
+                    stats.multi_ixp += 1;
+                }
+            }
+            if public && private {
+                stats.multi_role += 1;
+            }
+        }
+        stats
+    }
+}

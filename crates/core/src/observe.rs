@@ -1,0 +1,294 @@
+//! Step 1: turning raw traceroute hop lists into peering observations
+//! (§4.2, "Identifying public and private peering interconnections").
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use cfs_kb::KnowledgeBase;
+use cfs_traceroute::Trace;
+use cfs_types::{Asn, IxpId, LinkClass};
+
+/// What a single hop address means once mapped through the corrected
+/// IP-to-ASN view and the confirmed IXP prefix list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopMeaning {
+    /// Interface of a known AS.
+    As(Asn),
+    /// Address from a confirmed IXP peering LAN.
+    IxpFabric(IxpId),
+    /// Responsive but unmapped address.
+    Unknown,
+    /// `*` — no reply.
+    Silent,
+}
+
+/// Maps hop addresses to meanings. The corrected map comes from the alias
+/// majority vote (§4.1); raw LPM would misplace point-to-point addresses.
+pub struct Resolver<'a> {
+    kb: &'a KnowledgeBase,
+    corrected: &'a BTreeMap<Ipv4Addr, Asn>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Creates a resolver over the knowledge base and the corrected
+    /// IP-to-ASN map.
+    pub fn new(kb: &'a KnowledgeBase, corrected: &'a BTreeMap<Ipv4Addr, Asn>) -> Self {
+        Self { kb, corrected }
+    }
+
+    /// The meaning of one hop address. IXP space takes precedence: fabric
+    /// addresses are *assigned by* the exchange, whatever origin BGP
+    /// suggests.
+    pub fn meaning(&self, ip: Option<Ipv4Addr>) -> HopMeaning {
+        let Some(ip) = ip else { return HopMeaning::Silent };
+        if let Some(ixp) = self.kb.ixp_of_ip(ip) {
+            return HopMeaning::IxpFabric(ixp);
+        }
+        match self.corrected.get(&ip) {
+            Some(asn) => HopMeaning::As(*asn),
+            None => HopMeaning::Unknown,
+        }
+    }
+}
+
+/// One observed interconnection crossing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observation {
+    /// Near-side AS (the paper's AS A).
+    pub near_asn: Asn,
+    /// Near-side interface (IP_A) — what Step 2 constrains.
+    pub near_ip: Ipv4Addr,
+    /// Public or private crossing.
+    pub class: LinkClass,
+    /// Far-side AS when identifiable (from the hop after the boundary, or
+    /// the member list behind a fabric address).
+    pub far_asn: Option<Asn>,
+    /// The far-side interface: the IXP fabric address (public) or the
+    /// neighbour's point-to-point interface (private).
+    pub far_ip: Option<Ipv4Addr>,
+}
+
+/// Extracts the peering observations from one trace.
+///
+/// Rules (§4.2 Step 1):
+/// * `(IP_A, IP_e, IP_B)` with `IP_e` in confirmed IXP space ⇒ public
+///   peering between A and the fabric address's owner. The owner is taken
+///   from the IXP's member directory when available, else from the next
+///   hop's AS.
+/// * `(IP_A, IP_B)` with different ASes ⇒ private peering A–B; the far
+///   interface is IP_B itself.
+/// * Crossings involving unresponsive or unmapped middle hops are
+///   discarded.
+pub fn extract_observations(trace: &Trace, resolver: &Resolver<'_>) -> Vec<Observation> {
+    let ips: Vec<Option<Ipv4Addr>> = trace.hops.iter().map(|h| h.ip).collect();
+    let meanings: Vec<HopMeaning> = ips.iter().map(|ip| resolver.meaning(*ip)).collect();
+    let mut out = Vec::new();
+
+    for i in 0..meanings.len() {
+        let HopMeaning::As(a) = meanings[i] else { continue };
+        let near_ip = ips[i].expect("mapped hop has an address");
+
+        match meanings.get(i + 1) {
+            // ---- public: A, fabric, B ----
+            Some(HopMeaning::IxpFabric(ixp)) => {
+                let fabric_ip = ips[i + 1].expect("mapped hop has an address");
+                // Identify the far member: directory first, next hop second.
+                let directory = resolver.kb.member_of_fabric_ip(*ixp, fabric_ip);
+                let next_as = match meanings.get(i + 2) {
+                    Some(HopMeaning::As(b)) if *b != a => Some(*b),
+                    _ => None,
+                };
+                let far_asn = directory.or(next_as);
+                // A fabric hop followed by silence/unknown and no
+                // directory entry is unusable (paper: discard).
+                if far_asn.is_none() {
+                    continue;
+                }
+                out.push(Observation {
+                    near_asn: a,
+                    near_ip,
+                    class: LinkClass::Public { ixp: *ixp },
+                    far_asn,
+                    far_ip: Some(fabric_ip),
+                });
+            }
+            // ---- private: A, B directly ----
+            Some(HopMeaning::As(b)) if *b != a => {
+                let far_ip = ips[i + 1].expect("mapped hop has an address");
+                out.push(Observation {
+                    near_asn: a,
+                    near_ip,
+                    class: LinkClass::Private,
+                    far_asn: Some(*b),
+                    far_ip: Some(far_ip),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
+    use cfs_topology::{Topology, TopologyConfig};
+    use cfs_traceroute::Hop;
+
+    fn hop(ip: &str) -> Hop {
+        Hop { ip: Some(ip.parse().unwrap()), rtt_ms: 1.0 }
+    }
+
+    fn star() -> Hop {
+        Hop { ip: None, rtt_ms: 0.0 }
+    }
+
+    fn trace_of(hops: Vec<Hop>) -> Trace {
+        Trace {
+            vp: cfs_types::VantagePointId::new(0),
+            src_asn: Asn(64_500),
+            target: "198.51.100.1".parse().unwrap(),
+            at_ms: 0,
+            hops,
+            reached: true,
+        }
+    }
+
+    /// Builds a resolver over a real KB plus a hand-made corrected map.
+    fn fixture() -> (Topology, KnowledgeBase) {
+        let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+        let src = PublicSources::derive(&topo, &KbConfig::default());
+        let kb = KnowledgeBase::assemble(&src, &topo.world);
+        (topo, kb)
+    }
+
+    #[test]
+    fn private_adjacency_extracted() {
+        let (_topo, kb) = fixture();
+        let corrected: BTreeMap<Ipv4Addr, Asn> = [
+            ("10.0.0.1".parse().unwrap(), Asn(100)),
+            ("10.1.0.1".parse().unwrap(), Asn(200)),
+        ]
+        .into_iter()
+        .collect();
+        let resolver = Resolver::new(&kb, &corrected);
+        let t = trace_of(vec![hop("10.0.0.1"), hop("10.1.0.1")]);
+        let obs = extract_observations(&t, &resolver);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].near_asn, Asn(100));
+        assert_eq!(obs[0].class, LinkClass::Private);
+        assert_eq!(obs[0].far_asn, Some(Asn(200)));
+        assert_eq!(obs[0].far_ip, Some("10.1.0.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn same_as_hops_produce_nothing() {
+        let (_topo, kb) = fixture();
+        let corrected: BTreeMap<Ipv4Addr, Asn> = [
+            ("10.0.0.1".parse().unwrap(), Asn(100)),
+            ("10.0.0.2".parse().unwrap(), Asn(100)),
+        ]
+        .into_iter()
+        .collect();
+        let resolver = Resolver::new(&kb, &corrected);
+        let t = trace_of(vec![hop("10.0.0.1"), hop("10.0.0.2")]);
+        assert!(extract_observations(&t, &resolver).is_empty());
+    }
+
+    #[test]
+    fn silent_middle_hop_discards_crossing() {
+        let (_topo, kb) = fixture();
+        let corrected: BTreeMap<Ipv4Addr, Asn> = [
+            ("10.0.0.1".parse().unwrap(), Asn(100)),
+            ("10.1.0.1".parse().unwrap(), Asn(200)),
+        ]
+        .into_iter()
+        .collect();
+        let resolver = Resolver::new(&kb, &corrected);
+        let t = trace_of(vec![hop("10.0.0.1"), star(), hop("10.1.0.1")]);
+        assert!(extract_observations(&t, &resolver).is_empty());
+    }
+
+    #[test]
+    fn public_adjacency_uses_member_directory_or_next_hop() {
+        let (topo, kb) = fixture();
+        // Find an active IXP with a member directory entry in the KB.
+        let mut found = None;
+        'outer: for (id, ixp) in topo.ixps.iter() {
+            for m in &ixp.members {
+                if kb.ixp_of_ip(m.fabric_ip) == Some(id) {
+                    found = Some((id, m.fabric_ip, m.asn));
+                    break 'outer;
+                }
+            }
+        }
+        let (ixp, fabric_ip, member_asn) = found.expect("an ixp with confirmed prefix");
+        let near: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let next: Ipv4Addr = "10.1.0.1".parse().unwrap();
+        let corrected: BTreeMap<Ipv4Addr, Asn> =
+            [(near, Asn(100)), (next, member_asn)].into_iter().collect();
+        let resolver = Resolver::new(&kb, &corrected);
+
+        let t = trace_of(vec![
+            Hop { ip: Some(near), rtt_ms: 1.0 },
+            Hop { ip: Some(fabric_ip), rtt_ms: 2.0 },
+            Hop { ip: Some(next), rtt_ms: 3.0 },
+        ]);
+        let obs = extract_observations(&t, &resolver);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].class, LinkClass::Public { ixp });
+        assert_eq!(obs[0].near_asn, Asn(100));
+        assert_eq!(obs[0].far_ip, Some(fabric_ip));
+        assert_eq!(obs[0].far_asn, Some(member_asn));
+    }
+
+    #[test]
+    fn fabric_hop_without_identity_is_discarded() {
+        let (topo, kb) = fixture();
+        // A fabric IP that is confirmed but has no directory entry and no
+        // mapped next hop.
+        let mut pick = None;
+        'outer: for (id, ixp) in topo.ixps.iter() {
+            for m in &ixp.members {
+                if kb.ixp_of_ip(m.fabric_ip) == Some(id)
+                    && kb.member_of_fabric_ip(id, m.fabric_ip).is_none()
+                {
+                    pick = Some(m.fabric_ip);
+                    break 'outer;
+                }
+            }
+        }
+        let Some(fabric_ip) = pick else {
+            return; // every confirmed IXP published a directory — fine
+        };
+        let near: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let corrected: BTreeMap<Ipv4Addr, Asn> = [(near, Asn(100))].into_iter().collect();
+        let resolver = Resolver::new(&kb, &corrected);
+        let t = trace_of(vec![
+            Hop { ip: Some(near), rtt_ms: 1.0 },
+            Hop { ip: Some(fabric_ip), rtt_ms: 2.0 },
+            star(),
+        ]);
+        assert!(extract_observations(&t, &resolver).is_empty());
+    }
+
+    #[test]
+    fn multiple_crossings_in_one_trace() {
+        let (_topo, kb) = fixture();
+        let corrected: BTreeMap<Ipv4Addr, Asn> = [
+            ("10.0.0.1".parse().unwrap(), Asn(100)),
+            ("10.1.0.1".parse().unwrap(), Asn(200)),
+            ("10.2.0.1".parse().unwrap(), Asn(300)),
+        ]
+        .into_iter()
+        .collect();
+        let resolver = Resolver::new(&kb, &corrected);
+        let t = trace_of(vec![hop("10.0.0.1"), hop("10.1.0.1"), hop("10.2.0.1")]);
+        let obs = extract_observations(&t, &resolver);
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].far_asn, Some(Asn(200)));
+        assert_eq!(obs[1].near_asn, Asn(200));
+        assert_eq!(obs[1].far_asn, Some(Asn(300)));
+    }
+}

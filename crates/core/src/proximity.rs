@@ -1,0 +1,165 @@
+//! The switch-proximity heuristic (§4.4).
+//!
+//! The far end of a public peering link replies from its IXP fabric
+//! address, whose facility is often ambiguous (the member connects to the
+//! exchange at several buildings). Without the exchange's switch diagram,
+//! the paper ranks facility proximity *probabilistically*: "for each IXP
+//! facility that appears at the near end of a public peering link, we
+//! count how often it traverses a certain IXP facility at the far end …
+//! and we rank the proximity of IXP facilities using this metric". Far
+//! ends then land in the facility most proximate to their (resolved) near
+//! end. Ties — same backhaul or core switch — abstain, exactly the
+//! failure mode the paper reports for AMS-IX.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cfs_types::FacilityId;
+
+/// Facility co-occurrence statistics for far-end inference.
+#[derive(Clone, Debug, Default)]
+pub struct ProximityModel {
+    counts: BTreeMap<(FacilityId, FacilityId), usize>,
+    far_totals: BTreeMap<FacilityId, usize>,
+}
+
+impl ProximityModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fully resolved public link: near end at `near`, far end
+    /// at `far`.
+    pub fn observe(&mut self, near: FacilityId, far: FacilityId) {
+        *self.counts.entry((near, far)).or_default() += 1;
+        *self.far_totals.entry(far).or_default() += 1;
+    }
+
+    /// Number of recorded pairs.
+    pub fn observations(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Infers the far-end facility for a link whose near end resolved to
+    /// `near` and whose far end is constrained to `candidates`.
+    ///
+    /// Scoring uses *lift* — the share of a far facility's sightings that
+    /// came from this near end — rather than raw counts, so exchanges'
+    /// mega-facilities (popular with everyone, hence proximate to no one
+    /// in particular) don't drown the locality signal. Returns `None`
+    /// when no candidate was ever seen from `near`, or when the leaders
+    /// tie (facilities behind the same backhaul or core switch are
+    /// indistinguishable from traffic, as the paper notes for AMS-IX).
+    pub fn infer(
+        &self,
+        near: FacilityId,
+        candidates: &BTreeSet<FacilityId>,
+    ) -> Option<FacilityId> {
+        // Lift in per-mille to keep ordering integral and exact.
+        let lift = |c: FacilityId| -> (u64, usize) {
+            let n = self.counts.get(&(near, c)).copied().unwrap_or(0);
+            let total = self.far_totals.get(&c).copied().unwrap_or(0);
+            if n == 0 || total == 0 {
+                (0, 0)
+            } else {
+                ((n as u64 * 1000) / total as u64, n)
+            }
+        };
+        let mut scored: Vec<(u64, usize, FacilityId)> =
+            candidates.iter().map(|c| (lift(*c).0, lift(*c).1, *c)).collect();
+        scored.sort_by_key(|(l, n, f)| (std::cmp::Reverse(*l), std::cmp::Reverse(*n), *f));
+        match scored.as_slice() {
+            [] => None,
+            [(lift, _, f)] => (*lift > 0).then_some(*f),
+            [(top_l, top_n, f), (second_l, second_n, _), ..] => {
+                // A material lift lead decides; when lifts tie (e.g. both
+                // candidates only ever seen from this near end), fall back
+                // to a strong raw-count skew. Anything weaker is a
+                // same-backhaul tie and abstains.
+                let lift_lead = *top_l > 0 && *top_l >= second_l + second_l / 2 + 50;
+                let count_skew = *top_n >= 3 && *top_n >= second_n * 3;
+                (lift_lead || count_skew).then_some(*f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(id: u32) -> FacilityId {
+        FacilityId::new(id)
+    }
+
+    fn set(ids: &[u32]) -> BTreeSet<FacilityId> {
+        ids.iter().map(|i| f(*i)).collect()
+    }
+
+    #[test]
+    fn infers_dominant_far_facility() {
+        let mut m = ProximityModel::new();
+        for _ in 0..5 {
+            m.observe(f(1), f(10));
+        }
+        m.observe(f(1), f(11));
+        assert_eq!(m.infer(f(1), &set(&[10, 11])), Some(f(10)));
+        assert_eq!(m.observations(), 6);
+    }
+
+    #[test]
+    fn ties_abstain() {
+        let mut m = ProximityModel::new();
+        m.observe(f(1), f(10));
+        m.observe(f(1), f(11));
+        assert_eq!(m.infer(f(1), &set(&[10, 11])), None);
+    }
+
+    #[test]
+    fn unseen_near_end_abstains() {
+        let m = ProximityModel::new();
+        assert_eq!(m.infer(f(9), &set(&[10, 11])), None);
+        assert_eq!(m.infer(f(9), &set(&[])), None);
+    }
+
+    #[test]
+    fn candidates_outside_the_counts_score_zero() {
+        let mut m = ProximityModel::new();
+        m.observe(f(1), f(10));
+        m.observe(f(1), f(10));
+        // Candidate set excludes the seen facility: nothing scores.
+        assert_eq!(m.infer(f(1), &set(&[11, 12])), None);
+        // Candidate set includes it plus a stranger: seen one wins.
+        assert_eq!(m.infer(f(1), &set(&[10, 12])), Some(f(10)));
+    }
+
+    #[test]
+    fn proximity_is_directional_per_near_end() {
+        let mut m = ProximityModel::new();
+        for _ in 0..2 {
+            m.observe(f(1), f(10));
+            m.observe(f(2), f(11));
+        }
+        assert_eq!(m.infer(f(1), &set(&[10, 11])), Some(f(10)));
+        assert_eq!(m.infer(f(2), &set(&[10, 11])), Some(f(11)));
+    }
+
+    #[test]
+    fn weak_or_noisy_leads_abstain() {
+        let mut m = ProximityModel::new();
+        // A lone sighting against total silence is still a lift lead.
+        m.observe(f(1), f(10));
+        assert_eq!(m.infer(f(1), &set(&[10, 11])), Some(f(10)));
+        // 3-vs-2 with equal lift: a noise-level lead abstains.
+        m.observe(f(1), f(10));
+        m.observe(f(1), f(10));
+        m.observe(f(1), f(11));
+        m.observe(f(1), f(11));
+        assert_eq!(m.infer(f(1), &set(&[10, 11])), None);
+        // 6-vs-2: a real count skew decides despite tied lifts.
+        for _ in 0..3 {
+            m.observe(f(1), f(10));
+        }
+        assert_eq!(m.infer(f(1), &set(&[10, 11])), Some(f(10)));
+    }
+}

@@ -1,0 +1,136 @@
+//! Remote-peering inference (§4.2 Step 2 case 3, after Castro et al.
+//! [14]): when an AS shares no facility with the exchange it peers at,
+//! confirm remoteness by measuring the RTT floor to the fabric address
+//! from vantage points near the exchange — "multiple measurements taken
+//! at different times of the day to avoid temporarily elevated RTT values
+//! due to congestion".
+
+use std::net::Ipv4Addr;
+
+use cfs_geo::fiber_rtt_ms;
+use cfs_traceroute::{Engine, VpSet};
+use cfs_types::{IxpId, VantagePointId};
+
+/// Spacing between repeated measurements: beyond the congestion episode
+/// length, so one bad slot cannot poison every sample.
+const SAMPLE_SPACING_MS: u64 = 3_600_000; // one hour
+
+/// Number of repeated measurements per vantage point.
+const SAMPLES: u64 = 4;
+
+/// Slack added on top of the local propagation bound before declaring a
+/// port remote (accounts for queueing and access-circuit detours).
+const REMOTE_SLACK_MS: f64 = 6.0;
+
+/// RTT-based remote-peering detector.
+pub struct RemoteTester<'a> {
+    engine: &'a Engine<'a>,
+    vps: &'a VpSet,
+}
+
+impl<'a> RemoteTester<'a> {
+    /// Creates a tester over the measurement platforms.
+    pub fn new(engine: &'a Engine<'a>, vps: &'a VpSet) -> Self {
+        Self { engine, vps }
+    }
+
+    /// The nearest vantage points to the exchange's core facility.
+    fn nearest_vps(&self, ixp: IxpId, count: usize) -> Vec<(VantagePointId, f64)> {
+        let topo = self.engine.topology();
+        let core_fac = topo.switches[topo.ixps[ixp].core].facility;
+        let core = topo.facilities[core_fac].location;
+        let mut scored: Vec<(VantagePointId, f64)> = self
+            .vps
+            .vps
+            .iter()
+            .map(|(id, vp)| (id, vp.coords.distance_km(core)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(count);
+        scored
+    }
+
+    /// Tests whether the member behind `fabric_ip` peers remotely at
+    /// `ixp`. Returns `None` when no measurement succeeded (silent
+    /// router, no vantage points).
+    pub fn is_remote(&self, ixp: IxpId, fabric_ip: Ipv4Addr) -> Option<bool> {
+        let mut verdict = None;
+        for (vp_id, dist_km) in self.nearest_vps(ixp, 3) {
+            let vp = &self.vps.vps[vp_id];
+            let min_rtt = (0..SAMPLES)
+                .filter_map(|k| self.engine.ping(vp, fabric_ip, 1 + k * SAMPLE_SPACING_MS))
+                .fold(f64::INFINITY, f64::min);
+            if !min_rtt.is_finite() {
+                continue;
+            }
+            // The local bound: reach the exchange, cross the metro fabric.
+            let local_bound = fiber_rtt_ms(dist_km) + REMOTE_SLACK_MS;
+            verdict = Some(min_rtt > local_bound);
+            break; // nearest responsive vantage point decides
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_topology::{Topology, TopologyConfig};
+    use cfs_traceroute::{deploy_vantage_points, VpConfig};
+
+    fn setup() -> Topology {
+        Topology::generate(TopologyConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn remote_members_flagged_locals_cleared() {
+        let topo = setup();
+        let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
+        let engine = Engine::new(&topo);
+        let tester = RemoteTester::new(&engine, &vps);
+
+        let mut checked_remote = 0usize;
+        let mut correct_remote = 0usize;
+        let mut checked_local = 0usize;
+        let mut correct_local = 0usize;
+
+        for (id, ixp) in topo.ixps.iter() {
+            for m in &ixp.members {
+                let Some(verdict) = tester.is_remote(id, m.fabric_ip) else { continue };
+                // Ground truth: remote membership via reseller, with the
+                // router genuinely far from the exchange.
+                let core = topo.facilities[topo.switches[ixp.core].facility].location;
+                let far = topo.routers[m.router].coords.distance_km(core) > 400.0;
+                if m.remote_via.is_some() && far {
+                    checked_remote += 1;
+                    correct_remote += usize::from(verdict);
+                } else if m.remote_via.is_none() {
+                    checked_local += 1;
+                    correct_local += usize::from(!verdict);
+                }
+            }
+        }
+
+        assert!(checked_local > 0, "no local members tested");
+        assert!(
+            correct_local * 10 >= checked_local * 9,
+            "local false-positive rate too high: {correct_local}/{checked_local}"
+        );
+        if checked_remote > 0 {
+            assert!(
+                correct_remote * 10 >= checked_remote * 8,
+                "remote recall too low: {correct_remote}/{checked_remote}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_address_yields_no_verdict() {
+        let topo = setup();
+        let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
+        let engine = Engine::new(&topo);
+        let tester = RemoteTester::new(&engine, &vps);
+        let ixp = topo.ixps.ids().next().unwrap();
+        assert_eq!(tester.is_remote(ixp, "198.18.0.1".parse().unwrap()), None);
+    }
+}

@@ -1,0 +1,294 @@
+//! The algorithm's output: per-interface facility verdicts, per-link
+//! interconnection types, convergence history, and the router-role
+//! statistics the paper reports in §5.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use cfs_types::{Asn, FacilityId, IxpId, MetroId, PeeringKind};
+
+use crate::engine::IterationStats;
+use crate::state::SearchOutcome;
+
+/// Final verdict for one observed peering interface.
+#[derive(Clone, Debug)]
+pub struct InferredInterface {
+    /// The interface address.
+    pub ip: Ipv4Addr,
+    /// Corrected owner AS, when known.
+    pub owner: Option<Asn>,
+    /// The single inferred facility (when resolved).
+    pub facility: Option<FacilityId>,
+    /// Remaining candidates when not fully resolved.
+    pub candidates: BTreeSet<FacilityId>,
+    /// The metro, when all candidates agree on one (the paper pins ~9% of
+    /// its unresolved interfaces to a single city this way).
+    pub metro: Option<MetroId>,
+    /// Outcome classification.
+    pub outcome: SearchOutcome,
+    /// Remote-peering verdict.
+    pub remote: bool,
+    /// IXPs over which the interface peers publicly.
+    pub public_ixps: BTreeSet<IxpId>,
+    /// Whether the interface was seen in private peerings.
+    pub seen_private: bool,
+    /// Iteration of resolution (1-based).
+    pub resolved_at: Option<usize>,
+    /// Whether the facility came from the switch-proximity fallback
+    /// rather than constraint convergence.
+    pub via_proximity: bool,
+}
+
+/// Final verdict for one interconnection (deduplicated across traces).
+#[derive(Clone, Debug)]
+pub struct InferredLink {
+    /// Near-side AS.
+    pub near_asn: Asn,
+    /// Near-side interface.
+    pub near_ip: Ipv4Addr,
+    /// Far-side AS, when identified.
+    pub far_asn: Option<Asn>,
+    /// Far-side interface (fabric address or point-to-point neighbour).
+    pub far_ip: Option<Ipv4Addr>,
+    /// Inferred engineering method.
+    pub kind: PeeringKind,
+    /// The exchange, for fabric-borne kinds.
+    pub ixp: Option<IxpId>,
+    /// Inferred near-side facility.
+    pub near_facility: Option<FacilityId>,
+    /// Inferred far-side facility.
+    pub far_facility: Option<FacilityId>,
+}
+
+/// Router-level role statistics (§5: 39% of observed routers implement
+/// both public and private peering; 11.9% of public-peering routers span
+/// 2-3 exchanges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterRoleStats {
+    /// Observed routers (alias sets, plus singleton interfaces).
+    pub routers: usize,
+    /// Routers with both public and private peerings.
+    pub multi_role: usize,
+    /// Routers peering publicly at two or more exchanges.
+    pub routers_public: usize,
+    /// Of those, routers spanning ≥ 2 exchanges.
+    pub multi_ixp: usize,
+}
+
+/// Everything the algorithm concluded.
+#[derive(Clone, Debug)]
+pub struct CfsReport {
+    /// Per-interface verdicts.
+    pub interfaces: BTreeMap<Ipv4Addr, InferredInterface>,
+    /// Per-link verdicts.
+    pub links: Vec<InferredLink>,
+    /// Convergence history, one entry per CFS iteration.
+    pub iterations: Vec<IterationStats>,
+    /// Router role statistics.
+    pub router_stats: RouterRoleStats,
+    /// Total traceroutes issued (bootstrap + follow-ups).
+    pub traces_issued: usize,
+}
+
+impl CfsReport {
+    /// Number of interfaces resolved to exactly one facility.
+    pub fn resolved(&self) -> usize {
+        self.interfaces.values().filter(|i| i.facility.is_some()).count()
+    }
+
+    /// Number of peering interfaces tracked.
+    pub fn total(&self) -> usize {
+        self.interfaces.len()
+    }
+
+    /// Fraction resolved.
+    pub fn resolved_fraction(&self) -> f64 {
+        if self.interfaces.is_empty() {
+            return 0.0;
+        }
+        self.resolved() as f64 / self.total() as f64
+    }
+
+    /// Interfaces not resolved to a facility but pinned to a single
+    /// metro.
+    pub fn city_constrained(&self) -> usize {
+        self.interfaces
+            .values()
+            .filter(|i| i.facility.is_none() && i.metro.is_some() && !i.candidates.is_empty())
+            .count()
+    }
+
+    /// Unresolved interfaces whose owner had no facility data at all.
+    pub fn missing_data(&self) -> usize {
+        self.interfaces
+            .values()
+            .filter(|i| i.outcome == SearchOutcome::MissingData)
+            .count()
+    }
+
+    /// Distinct interfaces of one owner AS by peering kind (Figure 10
+    /// rows). An AS's interfaces appear on the *near* side when traces
+    /// leave it and on the *far* side (fabric or point-to-point
+    /// addresses) when traces enter it; both count. An interface seen
+    /// under several kinds lands in its most frequent one.
+    pub fn interfaces_by_kind(&self, owner: Asn) -> BTreeMap<PeeringKind, usize> {
+        let mut votes: BTreeMap<Ipv4Addr, BTreeMap<PeeringKind, usize>> = BTreeMap::new();
+        for link in &self.links {
+            if link.near_asn == owner {
+                *votes.entry(link.near_ip).or_default().entry(link.kind).or_default() += 1;
+            }
+            if link.far_asn == Some(owner) {
+                if let Some(far_ip) = link.far_ip {
+                    // Public kinds are re-read from the far side's own
+                    // remote verdict: the near side being local says
+                    // nothing about the far port.
+                    let kind = if link.kind.is_public() {
+                        match self.interfaces.get(&far_ip).map(|i| i.remote) {
+                            Some(true) => PeeringKind::PublicRemote,
+                            _ => PeeringKind::PublicLocal,
+                        }
+                    } else {
+                        link.kind
+                    };
+                    *votes.entry(far_ip).or_default().entry(kind).or_default() += 1;
+                }
+            }
+        }
+        let mut out: BTreeMap<PeeringKind, usize> = BTreeMap::new();
+        for (_, kinds) in votes {
+            if let Some((kind, _)) =
+                kinds.into_iter().max_by_key(|(k, n)| (*n, std::cmp::Reverse(*k)))
+            {
+                *out.entry(kind).or_default() += 1;
+            }
+        }
+        out
+    }
+
+    /// Like [`CfsReport::interfaces_by_kind`], but returning the
+    /// interface addresses per kind (the experiment harness needs their
+    /// inferred facilities for regional breakdowns).
+    pub fn interfaces_of_owner(&self, owner: Asn) -> BTreeMap<Ipv4Addr, PeeringKind> {
+        let mut votes: BTreeMap<Ipv4Addr, BTreeMap<PeeringKind, usize>> = BTreeMap::new();
+        for link in &self.links {
+            if link.near_asn == owner {
+                *votes.entry(link.near_ip).or_default().entry(link.kind).or_default() += 1;
+            }
+            if link.far_asn == Some(owner) {
+                if let Some(far_ip) = link.far_ip {
+                    let kind = if link.kind.is_public() {
+                        match self.interfaces.get(&far_ip).map(|i| i.remote) {
+                            Some(true) => PeeringKind::PublicRemote,
+                            _ => PeeringKind::PublicLocal,
+                        }
+                    } else {
+                        link.kind
+                    };
+                    *votes.entry(far_ip).or_default().entry(kind).or_default() += 1;
+                }
+            }
+        }
+        votes
+            .into_iter()
+            .filter_map(|(ip, kinds)| {
+                kinds
+                    .into_iter()
+                    .max_by_key(|(k, n)| (*n, std::cmp::Reverse(*k)))
+                    .map(|(kind, _)| (ip, kind))
+            })
+            .collect()
+    }
+
+    /// Cumulative resolved fraction per iteration (Figure 7 series).
+    pub fn resolution_curve(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.iterations.iter().map(|s| s.resolved as f64 / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iface(ip: &str, fac: Option<u32>) -> InferredInterface {
+        InferredInterface {
+            ip: ip.parse().unwrap(),
+            owner: Some(Asn(65_000)),
+            facility: fac.map(FacilityId::new),
+            candidates: fac.map(FacilityId::new).into_iter().collect(),
+            metro: None,
+            outcome: if fac.is_some() {
+                SearchOutcome::Resolved
+            } else {
+                SearchOutcome::MissingData
+            },
+            remote: false,
+            public_ixps: BTreeSet::new(),
+            seen_private: false,
+            resolved_at: fac.map(|_| 1),
+            via_proximity: false,
+        }
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let mut interfaces = BTreeMap::new();
+        for (i, fac) in [(0, Some(1)), (1, Some(2)), (2, None)] {
+            let ip = format!("10.0.0.{i}");
+            interfaces.insert(ip.parse().unwrap(), iface(&ip, fac));
+        }
+        let report = CfsReport {
+            interfaces,
+            links: Vec::new(),
+            iterations: vec![
+                IterationStats { iteration: 1, resolved: 1, tracked: 3, traces_issued: 0 },
+                IterationStats { iteration: 2, resolved: 2, tracked: 3, traces_issued: 5 },
+            ],
+            router_stats: RouterRoleStats::default(),
+            traces_issued: 5,
+        };
+        assert_eq!(report.resolved(), 2);
+        assert_eq!(report.total(), 3);
+        assert!((report.resolved_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(report.missing_data(), 1);
+        let curve = report.resolution_curve();
+        assert_eq!(curve.len(), 2);
+        assert!(curve[1] > curve[0]);
+    }
+
+    #[test]
+    fn interfaces_by_kind_groups_links() {
+        let report = CfsReport {
+            interfaces: BTreeMap::new(),
+            links: vec![
+                InferredLink {
+                    near_asn: Asn(1),
+                    near_ip: "10.0.0.1".parse().unwrap(),
+                    far_asn: Some(Asn(2)),
+                    far_ip: None,
+                    kind: PeeringKind::PublicLocal,
+                    ixp: Some(IxpId::new(0)),
+                    near_facility: None,
+                    far_facility: None,
+                },
+                InferredLink {
+                    near_asn: Asn(1),
+                    near_ip: "10.0.0.2".parse().unwrap(),
+                    far_asn: Some(Asn(3)),
+                    far_ip: None,
+                    kind: PeeringKind::PrivateCrossConnect,
+                    ixp: None,
+                    near_facility: None,
+                    far_facility: None,
+                },
+            ],
+            iterations: Vec::new(),
+            router_stats: RouterRoleStats::default(),
+            traces_issued: 0,
+        };
+        let by_kind = report.interfaces_by_kind(Asn(1));
+        assert_eq!(by_kind[&PeeringKind::PublicLocal], 1);
+        assert_eq!(by_kind[&PeeringKind::PrivateCrossConnect], 1);
+        assert!(report.interfaces_by_kind(Asn(9)).is_empty());
+    }
+}

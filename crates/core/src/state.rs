@@ -1,0 +1,266 @@
+//! Per-interface search state: the candidate facility sets the algorithm
+//! progressively narrows.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use cfs_types::{Asn, FacilityId, IxpId};
+
+/// The paper's Step 2 outcome taxonomy for one interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SearchOutcome {
+    /// Converged to exactly one facility.
+    Resolved,
+    /// Constrained to a set of local candidates (> 1).
+    UnresolvedLocal,
+    /// Inferred to peer remotely: candidates are wherever the owner AS
+    /// has presence, far from the counterparty.
+    UnresolvedRemote,
+    /// No usable facility data for the owner (33% of the paper's
+    /// unresolved interfaces had none).
+    MissingData,
+}
+
+/// Search state of one observed peering interface.
+#[derive(Clone, Debug)]
+pub struct IfaceState {
+    /// The interface address.
+    pub ip: Ipv4Addr,
+    /// Corrected owner AS (post alias majority vote), when known.
+    pub owner: Option<Asn>,
+    /// Current candidate facilities. `None` until the first constraint is
+    /// applied.
+    pub candidates: Option<BTreeSet<FacilityId>>,
+    /// Whether the RTT test flagged this interface as a remote peer.
+    pub remote: bool,
+    /// Whether any constraint could not be computed for lack of data.
+    pub missing_data: bool,
+    /// Number of constraints whose intersection would have been empty
+    /// (kept for diagnostics; the offending constraint is dropped).
+    pub conflicts: usize,
+    /// IXPs over which this interface was seen peering publicly.
+    pub public_ixps: BTreeSet<IxpId>,
+    /// Whether the interface was seen in a private adjacency.
+    pub seen_private: bool,
+    /// Iteration at which the interface resolved (1-based), if it did.
+    pub resolved_at: Option<usize>,
+    /// Whether the candidate set was ever larger than one — §4.4 trains
+    /// its proximity ranking only on far ends that *had* several
+    /// candidate facilities before converging.
+    pub was_ambiguous: bool,
+}
+
+impl IfaceState {
+    /// Fresh state for an interface.
+    pub fn new(ip: Ipv4Addr, owner: Option<Asn>) -> Self {
+        Self {
+            ip,
+            owner,
+            candidates: None,
+            remote: false,
+            missing_data: false,
+            conflicts: 0,
+            public_ixps: BTreeSet::new(),
+            seen_private: false,
+            resolved_at: None,
+            was_ambiguous: false,
+        }
+    }
+
+    /// The single facility, when resolved.
+    pub fn facility(&self) -> Option<FacilityId> {
+        match &self.candidates {
+            Some(set) if set.len() == 1 => set.iter().next().copied(),
+            _ => None,
+        }
+    }
+
+    /// Current outcome classification.
+    pub fn outcome(&self) -> SearchOutcome {
+        match &self.candidates {
+            Some(set) if set.len() == 1 => SearchOutcome::Resolved,
+            Some(set) if !set.is_empty() => {
+                if self.remote {
+                    SearchOutcome::UnresolvedRemote
+                } else {
+                    SearchOutcome::UnresolvedLocal
+                }
+            }
+            _ if self.missing_data => SearchOutcome::MissingData,
+            _ if self.remote => SearchOutcome::UnresolvedRemote,
+            _ => SearchOutcome::MissingData,
+        }
+    }
+
+    /// Applies a constraint: intersects the candidate set with `allowed`,
+    /// recording the iteration on resolution. An empty intersection is a
+    /// conflict (incomplete data, §5/Figure 8): the constraint is dropped
+    /// and counted rather than wiping the state.
+    ///
+    /// Returns `true` when the state changed.
+    pub fn constrain(&mut self, allowed: &BTreeSet<FacilityId>, iteration: usize) -> bool {
+        if allowed.is_empty() {
+            self.missing_data = true;
+            return false;
+        }
+        match &mut self.candidates {
+            None => {
+                self.candidates = Some(allowed.clone());
+                if allowed.len() == 1 {
+                    self.resolved_at.get_or_insert(iteration);
+                } else {
+                    self.was_ambiguous = true;
+                }
+                true
+            }
+            Some(current) => {
+                let intersection: BTreeSet<FacilityId> =
+                    current.intersection(allowed).copied().collect();
+                if intersection.is_empty() {
+                    self.conflicts += 1;
+                    return false;
+                }
+                if intersection.len() == current.len() {
+                    return false;
+                }
+                let resolved_now = intersection.len() == 1;
+                *current = intersection;
+                if resolved_now {
+                    self.resolved_at.get_or_insert(iteration);
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip() -> Ipv4Addr {
+        "192.0.2.1".parse().unwrap()
+    }
+
+    fn set(ids: &[u32]) -> BTreeSet<FacilityId> {
+        ids.iter().map(|i| FacilityId::new(*i)).collect()
+    }
+
+    #[test]
+    fn first_constraint_initializes() {
+        let mut s = IfaceState::new(ip(), Some(Asn(65_001)));
+        assert_eq!(s.outcome(), SearchOutcome::MissingData);
+        assert!(s.constrain(&set(&[1, 2, 3]), 1));
+        assert_eq!(s.outcome(), SearchOutcome::UnresolvedLocal);
+        assert_eq!(s.facility(), None);
+    }
+
+    #[test]
+    fn intersection_narrows_until_resolved() {
+        let mut s = IfaceState::new(ip(), None);
+        s.constrain(&set(&[1, 2, 5]), 1);
+        assert!(s.constrain(&set(&[2, 5, 9]), 2));
+        assert_eq!(s.candidates.as_ref().unwrap().len(), 2);
+        assert!(s.constrain(&set(&[2]), 3));
+        assert_eq!(s.outcome(), SearchOutcome::Resolved);
+        assert_eq!(s.facility(), Some(FacilityId::new(2)));
+        assert_eq!(s.resolved_at, Some(3));
+    }
+
+    #[test]
+    fn single_facility_first_constraint_resolves_at_iteration_one() {
+        let mut s = IfaceState::new(ip(), None);
+        s.constrain(&set(&[7]), 1);
+        assert_eq!(s.outcome(), SearchOutcome::Resolved);
+        assert_eq!(s.resolved_at, Some(1));
+    }
+
+    #[test]
+    fn conflicting_constraint_is_dropped_not_applied() {
+        let mut s = IfaceState::new(ip(), None);
+        s.constrain(&set(&[1, 2]), 1);
+        assert!(!s.constrain(&set(&[8, 9]), 2));
+        assert_eq!(s.conflicts, 1);
+        assert_eq!(s.candidates.as_ref().unwrap().len(), 2, "state preserved");
+    }
+
+    #[test]
+    fn empty_constraint_marks_missing_data() {
+        let mut s = IfaceState::new(ip(), None);
+        assert!(!s.constrain(&BTreeSet::new(), 1));
+        assert!(s.missing_data);
+        assert_eq!(s.outcome(), SearchOutcome::MissingData);
+    }
+
+    #[test]
+    fn remote_flag_shapes_outcome() {
+        let mut s = IfaceState::new(ip(), None);
+        s.remote = true;
+        assert_eq!(s.outcome(), SearchOutcome::UnresolvedRemote);
+        s.constrain(&set(&[1, 2]), 1);
+        assert_eq!(s.outcome(), SearchOutcome::UnresolvedRemote);
+        s.constrain(&set(&[1]), 2);
+        assert_eq!(s.outcome(), SearchOutcome::Resolved);
+    }
+
+    #[test]
+    fn resolved_at_does_not_regress() {
+        let mut s = IfaceState::new(ip(), None);
+        s.constrain(&set(&[4]), 2);
+        s.constrain(&set(&[4]), 9);
+        assert_eq!(s.resolved_at, Some(2));
+    }
+
+    proptest::proptest! {
+        /// Candidate sets never grow.
+        #[test]
+        fn prop_candidates_shrink_monotonically(
+            constraints in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..12, 1..6),
+                1..8
+            )
+        ) {
+            let mut s = IfaceState::new("10.0.0.1".parse().unwrap(), None);
+            let mut last_len: Option<usize> = None;
+            for (i, raw) in constraints.iter().enumerate() {
+                let facs: BTreeSet<FacilityId> =
+                    raw.iter().map(|x| FacilityId::new(*x)).collect();
+                s.constrain(&facs, i + 1);
+                if let Some(set) = &s.candidates {
+                    if let Some(prev) = last_len {
+                        proptest::prop_assert!(set.len() <= prev);
+                    }
+                    proptest::prop_assert!(!set.is_empty());
+                    last_len = Some(set.len());
+                }
+            }
+        }
+
+        /// A resolved facility is a member of every constraint that was
+        /// actually applied (non-conflicting).
+        #[test]
+        fn prop_resolution_consistent_with_applied_constraints(
+            constraints in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..6, 1..4),
+                1..6
+            )
+        ) {
+            let mut s = IfaceState::new("10.0.0.1".parse().unwrap(), None);
+            let mut applied: Vec<BTreeSet<FacilityId>> = Vec::new();
+            for (i, raw) in constraints.iter().enumerate() {
+                let facs: BTreeSet<FacilityId> =
+                    raw.iter().map(|x| FacilityId::new(*x)).collect();
+                let before = s.conflicts;
+                s.constrain(&facs, i + 1);
+                if s.conflicts == before {
+                    applied.push(facs);
+                }
+            }
+            if let Some(f) = s.facility() {
+                for c in &applied {
+                    proptest::prop_assert!(c.contains(&f));
+                }
+            }
+        }
+    }
+}

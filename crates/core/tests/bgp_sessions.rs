@@ -1,0 +1,94 @@
+//! The §3.2 augmentation channel: BGP session listings from
+//! BGP-capable looking glasses feeding the search directly.
+
+use cfs_bgp::LookingGlassBgp;
+use cfs_core::{Cfs, CfsConfig};
+use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
+use cfs_topology::{Topology, TopologyConfig};
+use cfs_traceroute::{
+    deploy_vantage_points, run_campaign, CampaignLimits, Engine, Platform, VpConfig,
+};
+
+struct Fx {
+    topo: Topology,
+}
+
+impl Fx {
+    fn new() -> Self {
+        Self { topo: Topology::generate(TopologyConfig::default()).unwrap() }
+    }
+
+    fn run(&self, with_sessions: bool) -> cfs_core::CfsReport {
+        let topo = &self.topo;
+        let vps = deploy_vantage_points(topo, &VpConfig::tiny()).unwrap();
+        let engine = Engine::new(topo);
+        let sources = PublicSources::derive(topo, &KbConfig::default());
+        let kb = KnowledgeBase::assemble(&sources, &topo.world);
+        let ipasn = topo.build_ipasn_db();
+
+        let targets: Vec<std::net::Ipv4Addr> = topo
+            .ases
+            .values()
+            .filter(|n| n.class == cfs_types::AsClass::Cdn)
+            .map(|n| topo.target_ip(n.asn).unwrap())
+            .collect();
+        let all_vps: Vec<_> = vps.ids().collect();
+        let traces =
+            run_campaign(&engine, &vps, &all_vps, &targets, 0, &CampaignLimits::default());
+
+        let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+        cfs.ingest(traces);
+        if with_sessions {
+            let lg_bgp = LookingGlassBgp::new(topo);
+            for id in vps.of_platform(Platform::LookingGlass) {
+                let vp = &vps.vps[*id];
+                cfs.ingest_bgp_sessions(vp.asn, &lg_bgp.sessions(vp.router));
+            }
+        }
+        cfs.run()
+    }
+}
+
+#[test]
+fn session_listings_expand_coverage() {
+    let fx = Fx::new();
+    let without = fx.run(false);
+    let with = fx.run(true);
+    assert!(
+        with.total() > without.total(),
+        "sessions added no interfaces: {} vs {}",
+        with.total(),
+        without.total()
+    );
+    assert!(
+        with.resolved() >= without.resolved(),
+        "sessions lost resolutions: {} vs {}",
+        with.resolved(),
+        without.resolved()
+    );
+}
+
+#[test]
+fn session_verdicts_are_accurate_too() {
+    let fx = Fx::new();
+    let report = fx.run(true);
+    let topo = &fx.topo;
+    let mut correct = 0usize;
+    let mut wrong = 0usize;
+    for iface in report.interfaces.values() {
+        let Some(inferred) = iface.facility else { continue };
+        let Some(ifid) = topo.iface_by_ip(iface.ip) else { continue };
+        let Some(truth) = topo.router_facility(topo.ifaces[ifid].router) else { continue };
+        if inferred == truth {
+            correct += 1;
+        } else {
+            wrong += 1;
+        }
+    }
+    let checked = correct + wrong;
+    assert!(checked > 100);
+    assert!(
+        correct * 10 >= checked * 8,
+        "accuracy dropped with sessions: {correct}/{checked}"
+    );
+}

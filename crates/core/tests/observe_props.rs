@@ -1,0 +1,116 @@
+//! Property tests for Step-1 observation extraction: arbitrary hop lists
+//! must never panic, and every extracted observation must be anchored in
+//! the trace it came from.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use cfs_core::{extract_observations, Resolver};
+use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
+use cfs_topology::{Topology, TopologyConfig};
+use cfs_traceroute::{Hop, Trace};
+use cfs_types::{Asn, LinkClass};
+use proptest::prelude::*;
+
+fn fixture() -> (Topology, KnowledgeBase) {
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    let src = PublicSources::derive(&topo, &KbConfig::default());
+    let kb = KnowledgeBase::assemble(&src, &topo.world);
+    (topo, kb)
+}
+
+fn trace_of(hops: Vec<Hop>) -> Trace {
+    Trace {
+        vp: cfs_types::VantagePointId::new(0),
+        src_asn: Asn(64_500),
+        target: "198.51.100.1".parse().unwrap(),
+        at_ms: 0,
+        hops,
+        reached: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary hop lists (random addresses, random stars, random
+    /// mappings) extract without panicking, and every observation points
+    /// at addresses that actually appear, adjacent and in order, in the
+    /// trace.
+    #[test]
+    fn observations_are_anchored_in_the_trace(
+        raw_hops in proptest::collection::vec(
+            proptest::option::weighted(0.8, any::<u32>()),
+            0..12
+        ),
+        mappings in proptest::collection::btree_map(any::<u32>(), 1u32..5000, 0..12),
+    ) {
+        let (topo, kb) = fixture();
+        let _ = &topo;
+        let mut corrected: BTreeMap<Ipv4Addr, Asn> =
+            mappings.into_iter().map(|(ip, asn)| (Ipv4Addr::from(ip), Asn(asn))).collect();
+        // Also map half the hop addresses so adjacencies can form.
+        for (i, h) in raw_hops.iter().enumerate() {
+            if let Some(ip) = h {
+                if i % 2 == 0 {
+                    corrected.insert(Ipv4Addr::from(*ip), Asn(100 + (i as u32 % 3)));
+                }
+            }
+        }
+        let hops: Vec<Hop> = raw_hops
+            .iter()
+            .map(|h| Hop { ip: h.map(Ipv4Addr::from), rtt_ms: 1.0 })
+            .collect();
+        let trace = trace_of(hops.clone());
+        let resolver = Resolver::new(&kb, &corrected);
+        let observations = extract_observations(&trace, &resolver);
+
+        let ips: Vec<Option<Ipv4Addr>> = hops.iter().map(|h| h.ip).collect();
+        for obs in &observations {
+            // Some occurrence of near_ip in the trace anchors the
+            // observation (addresses can repeat; any adjacent position
+            // will do).
+            let anchored = ips.iter().enumerate().any(|(i, h)| {
+                *h == Some(obs.near_ip) && ips.get(i + 1).copied().flatten() == obs.far_ip
+            });
+            prop_assert!(anchored, "observation not anchored: {obs:?}");
+            match obs.class {
+                LinkClass::Private => {
+                    // Different (corrected) owners on each side.
+                    prop_assert_ne!(Some(obs.near_asn), obs.far_asn);
+                }
+                LinkClass::Public { ixp } => {
+                    // The middle hop is fabric space of that exchange.
+                    prop_assert_eq!(kb.ixp_of_ip(obs.far_ip.unwrap()), Some(ixp));
+                }
+            }
+        }
+    }
+
+    /// Extraction is a pure function of (trace, resolver): same inputs,
+    /// same observations.
+    #[test]
+    fn extraction_is_deterministic(
+        raw_hops in proptest::collection::vec(
+            proptest::option::weighted(0.9, any::<u32>()),
+            0..10
+        ),
+    ) {
+        let (_topo, kb) = fixture();
+        let corrected: BTreeMap<Ipv4Addr, Asn> = raw_hops
+            .iter()
+            .flatten()
+            .enumerate()
+            .map(|(i, ip)| (Ipv4Addr::from(*ip), Asn(1 + (i as u32 % 4))))
+            .collect();
+        let hops: Vec<Hop> = raw_hops
+            .iter()
+            .map(|h| Hop { ip: h.map(Ipv4Addr::from), rtt_ms: 1.0 })
+            .collect();
+        let trace = trace_of(hops);
+        let resolver = Resolver::new(&kb, &corrected);
+        let a = extract_observations(&trace, &resolver);
+        let b = extract_observations(&trace, &resolver);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,4 @@
+//! Runs the design-choice ablation study. See `cfs-experiments` docs.
+fn main() {
+    cfs_experiments::experiments::main_for("ablation");
+}

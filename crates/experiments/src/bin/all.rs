@@ -1,0 +1,14 @@
+//! Runs every experiment in paper order, sharing one provisioned lab.
+use cfs_experiments::{experiments, Lab, Output};
+
+fn main() {
+    let (scale, seed) = cfs_experiments::parse_args();
+    let lab = Lab::provision(scale, seed).expect("lab provisioning failed");
+    for id in experiments::ALL_IDS {
+        eprintln!("==> {id}");
+        let mut out = Output::new(id, scale.label());
+        let json = experiments::run_by_id(id, &lab, &mut out).expect("experiment failed");
+        let path = out.finish(json).expect("writing results failed");
+        eprintln!("    wrote {}\n", path.display());
+    }
+}

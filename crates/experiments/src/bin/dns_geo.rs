@@ -1,0 +1,4 @@
+//! Regenerates the paper's `dns_geo` artifact. See `cfs-experiments` docs.
+fn main() {
+    cfs_experiments::experiments::main_for("dns_geo");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `fig3` artifact. See `cfs-experiments` docs.
+fn main() {
+    cfs_experiments::experiments::main_for("fig3");
+}

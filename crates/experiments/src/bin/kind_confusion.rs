@@ -1,0 +1,4 @@
+//! Runs the link-type confusion-matrix extension. See `cfs-experiments`.
+fn main() {
+    cfs_experiments::experiments::main_for("kind_confusion");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `proximity` artifact. See `cfs-experiments` docs.
+fn main() {
+    cfs_experiments::experiments::main_for("proximity");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's `text_stats` artifact. See `cfs-experiments` docs.
+fn main() {
+    cfs_experiments::experiments::main_for("text_stats");
+}

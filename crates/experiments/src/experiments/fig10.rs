@@ -1,0 +1,135 @@
+//! Figure 10 — "Number of peering interfaces inferred and distribution by
+//! peering type for a number of networks in our study around the globe
+//! and per region": the ten target networks, total and for Europe / North
+//! America / Asia.
+//!
+//! Paper shape: CDNs establish most of their peerings over public IXP
+//! fabrics; Tier-1 transit providers skew heavily toward private
+//! cross-connects; Europe shows the most interfaces (vantage-point
+//! density), then North America, then Asia.
+
+use std::collections::BTreeMap;
+
+use cfs_core::CfsConfig;
+use cfs_types::{PeeringKind, Region, Result};
+
+use crate::{Lab, Output};
+
+/// Runs the experiment.
+pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
+    let report = lab.run_cfs(None, None, CfsConfig::default());
+
+    let regions = [Region::Europe, Region::NorthAmerica, Region::Asia];
+    let mut json_rows = Vec::new();
+    let mut rows = Vec::new();
+
+    for target in lab.targets() {
+        // Distinct interfaces owned by the target (near or far side of a
+        // crossing), by kind, total and per region of the inferred
+        // facility.
+        let mut total: BTreeMap<PeeringKind, usize> = BTreeMap::new();
+        let mut by_region: BTreeMap<Region, BTreeMap<PeeringKind, usize>> = BTreeMap::new();
+        for (ip, kind) in report.interfaces_of_owner(target) {
+            *total.entry(kind).or_default() += 1;
+            let region = report
+                .interfaces
+                .get(&ip)
+                .and_then(|i| i.facility)
+                .and_then(|f| lab.kb.region_of_facility(f));
+            if let Some(region) = region {
+                *by_region.entry(region).or_default().entry(kind).or_default() += 1;
+            }
+        }
+
+        let class = lab.topo.ases.get(&target).map(|n| n.class.label()).unwrap_or("?");
+        let fmt = |m: &BTreeMap<PeeringKind, usize>| {
+            PeeringKind::ALL
+                .iter()
+                .map(|k| m.get(k).copied().unwrap_or(0).to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        let mut row = vec![
+            target.to_string(),
+            class.to_string(),
+            total.values().sum::<usize>().to_string(),
+            fmt(&total),
+        ];
+        for r in regions {
+            row.push(fmt(by_region.get(&r).unwrap_or(&BTreeMap::new())));
+        }
+        rows.push(row);
+
+        json_rows.push(serde_json::json!({
+            "asn": target.raw(),
+            "class": class,
+            "total": total.iter().map(|(k, n)| (k.label(), n)).collect::<BTreeMap<_, _>>(),
+            "by_region": regions
+                .iter()
+                .map(|r| {
+                    let m = by_region.get(r).cloned().unwrap_or_default();
+                    (r.label(), m.iter().map(|(k, n)| (k.label(), *n)).collect::<BTreeMap<_, _>>())
+                })
+                .collect::<BTreeMap<_, _>>(),
+        }));
+    }
+
+    out.line("counts are public-local/public-remote/private-xconnect/tethering/private-remote");
+    out.line("");
+    out.table(
+        &["target", "class", "interfaces", "total", "europe", "north-america", "asia"],
+        &rows,
+    );
+    out.line("");
+    out.line("paper shape: CDNs mostly public peering; Tier-1s mostly private; Europe > NA > Asia visibility");
+
+    Ok(serde_json::json!({ "targets": json_rows }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use cfs_types::AsClass;
+
+    #[test]
+    fn cdns_skew_public_tier1s_skew_private() {
+        let lab = Lab::provision(Scale::Default, None).unwrap();
+        let mut out = Output::new("fig10-test", "default").quiet();
+        let json = run(&lab, &mut out).unwrap();
+        let rows = json["targets"].as_array().unwrap();
+        assert_eq!(rows.len(), 10, "ten targets expected");
+
+        let mut cdn_public = 0i64;
+        let mut cdn_private = 0i64;
+        let mut t1_public = 0i64;
+        let mut t1_private = 0i64;
+        for row in rows {
+            let total = row["total"].as_object().unwrap();
+            let get = |k: &str| total.get(k).and_then(|v| v.as_i64()).unwrap_or(0);
+            let public = get("public-local") + get("public-remote");
+            let private = get("private-xconnect") + get("private-tethering") + get("private-remote");
+            let asn = cfs_types::Asn(row["asn"].as_u64().unwrap() as u32);
+            match lab.topo.ases[&asn].class {
+                AsClass::Cdn => {
+                    cdn_public += public;
+                    cdn_private += private;
+                }
+                AsClass::Tier1 => {
+                    t1_public += public;
+                    t1_private += private;
+                }
+                _ => {}
+            }
+        }
+        assert!(cdn_public + cdn_private > 0, "no CDN interfaces observed");
+        assert!(t1_public + t1_private > 0, "no Tier-1 interfaces observed");
+        // The qualitative contrast of Figure 10.
+        let cdn_frac = cdn_public as f64 / (cdn_public + cdn_private) as f64;
+        let t1_frac = t1_public as f64 / (t1_public + t1_private) as f64;
+        assert!(
+            cdn_frac > t1_frac,
+            "CDNs should peer publicly more than Tier-1s ({cdn_frac:.2} vs {t1_frac:.2})"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 2 — "Number of interconnection facilities for ASes extracted
+//! from their official website, and the associated fraction of facilities
+//! that appear in PeeringDB."
+//!
+//! Paper findings: 152 ASes checked; PeeringDB missed 1,424 AS-to-facility
+//! links for 61 of them; 4 ASes had no PeeringDB facility record at all.
+
+use cfs_types::Result;
+
+use crate::{Lab, Output};
+
+/// Runs the experiment.
+pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
+    let mut series = Vec::new();
+    for (asn, page) in &lab.sources.noc_pages {
+        let noc_count = page.facilities.len();
+        if noc_count == 0 {
+            continue;
+        }
+        let pdb: std::collections::BTreeSet<_> = lab
+            .sources
+            .pdb_networks
+            .get(asn)
+            .map(|r| r.facilities.iter().copied().collect())
+            .unwrap_or_default();
+        let in_pdb = page.facilities.iter().filter(|f| pdb.contains(f)).count();
+        series.push((asn.raw(), noc_count, in_pdb));
+    }
+    // Figure 2 sorts ASes by facility count, descending.
+    series.sort_by_key(|(asn, total, _)| (std::cmp::Reverse(*total), *asn));
+
+    let ases_checked = series.len();
+    let ases_with_missing = series.iter().filter(|(_, t, p)| p < t).count();
+    let ases_zero_pdb = series.iter().filter(|(_, _, p)| *p == 0).count();
+    let missing_links: usize = series.iter().map(|(_, t, p)| t - p).sum();
+
+    out.kv("ASes with transcribed NOC pages", ases_checked);
+    out.kv("ASes with links missing from PeeringDB", ases_with_missing);
+    out.kv("ASes with zero PeeringDB facility coverage", ases_zero_pdb);
+    out.kv("total missing AS-to-facility links", missing_links);
+    out.line("");
+    out.line("paper: 152 ASes; 61 with missing links; 4 with zero coverage; 1,424 missing links");
+    out.line("");
+
+    let head: Vec<Vec<String>> = series
+        .iter()
+        .take(20)
+        .map(|(asn, total, in_pdb)| {
+            vec![
+                format!("AS{asn}"),
+                total.to_string(),
+                in_pdb.to_string(),
+                format!("{:.2}", *in_pdb as f64 / *total as f64),
+            ]
+        })
+        .collect();
+    out.heading("largest 20 footprints");
+    out.table(&["as", "noc facilities", "in peeringdb", "fraction"], &head);
+
+    Ok(serde_json::json!({
+        "ases_checked": ases_checked,
+        "ases_with_missing_links": ases_with_missing,
+        "ases_zero_pdb": ases_zero_pdb,
+        "missing_links": missing_links,
+        "series": series
+            .iter()
+            .map(|(asn, total, in_pdb)| serde_json::json!({
+                "asn": asn, "noc_facilities": total, "in_peeringdb": in_pdb,
+            }))
+            .collect::<Vec<_>>(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn incompleteness_is_visible() {
+        let lab = Lab::provision(Scale::Default, None).unwrap();
+        let mut out = Output::new("fig2-test", "default").quiet();
+        let json = run(&lab, &mut out).unwrap();
+        assert!(json["ases_checked"].as_u64().unwrap() > 10);
+        // The whole point of Figure 2: PeeringDB misses links for a
+        // substantial minority of transcribed networks.
+        assert!(json["ases_with_missing_links"].as_u64().unwrap() > 0);
+        assert!(json["missing_links"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn series_is_sorted_descending() {
+        let lab = Lab::provision(Scale::Tiny, None).unwrap();
+        let mut out = Output::new("fig2-test", "tiny").quiet();
+        let json = run(&lab, &mut out).unwrap();
+        let series = json["series"].as_array().unwrap();
+        let counts: Vec<u64> =
+            series.iter().map(|r| r["noc_facilities"].as_u64().unwrap()).collect();
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

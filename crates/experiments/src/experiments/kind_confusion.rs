@@ -1,0 +1,157 @@
+//! Extension: confusion matrix of interconnection-*type* classification.
+//!
+//! Figure 9 validates CFS's verdicts per inferred type; this experiment
+//! asks the complementary question — when ground truth says a link is a
+//! cross-connect / tethering VLAN / remote circuit / public peering, what
+//! does CFS call it? Misclassification structure matters: the paper's
+//! Step 2 cannot distinguish tethering from remote private peering
+//! without facility evidence, so those two should confuse *with each
+//! other*, not with cross-connects.
+
+use std::collections::BTreeMap;
+
+use cfs_core::CfsConfig;
+use cfs_types::{PeeringKind, Result};
+
+use crate::{Lab, Output};
+
+/// Runs the experiment.
+pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
+    let report = lab.run_cfs(None, None, CfsConfig::default());
+
+    // Ground truth per inferred link: private links are identified by the
+    // far (or near) point-to-point interface; public links by the fabric
+    // address's membership (local vs remote).
+    let mut matrix: BTreeMap<(PeeringKind, PeeringKind), usize> = BTreeMap::new();
+    let mut scored = 0usize;
+
+    for link in &report.links {
+        let truth = match link.kind.is_public() {
+            true => {
+                // Fabric address → membership → local or remote.
+                let Some(far_ip) = link.far_ip else { continue };
+                let Some(ifid) = lab.topo.iface_by_ip(far_ip) else { continue };
+                let cfs_topology::IfaceKind::IxpFabric(ixp) = lab.topo.ifaces[ifid].kind
+                else {
+                    continue;
+                };
+                let Some(m) = lab.topo.ixps[ixp]
+                    .members
+                    .iter()
+                    .find(|m| m.fabric_ip == far_ip)
+                else {
+                    continue;
+                };
+                if m.remote_via.is_some() {
+                    PeeringKind::PublicRemote
+                } else {
+                    PeeringKind::PublicLocal
+                }
+            }
+            false => {
+                // Point-to-point interface → link record → kind.
+                let Some(far_ip) = link.far_ip else { continue };
+                let Some(ifid) = lab.topo.iface_by_ip(far_ip) else { continue };
+                let cfs_topology::IfaceKind::PrivatePtp(lid) = lab.topo.ifaces[ifid].kind
+                else {
+                    continue;
+                };
+                lab.topo.links[lid].kind
+            }
+        };
+        // Compare like with like: the truth above describes the *far*
+        // port, so public verdicts must come from the far interface's own
+        // remote flag (the near side being local says nothing about the
+        // far port).
+        let inferred = if link.kind.is_public() {
+            let far_remote = link
+                .far_ip
+                .and_then(|ip| report.interfaces.get(&ip))
+                .is_some_and(|i| i.remote);
+            if far_remote { PeeringKind::PublicRemote } else { PeeringKind::PublicLocal }
+        } else {
+            link.kind
+        };
+        *matrix.entry((truth, inferred)).or_default() += 1;
+        scored += 1;
+    }
+
+    // Render.
+    let mut rows = Vec::new();
+    let mut json_cells = Vec::new();
+    let mut diagonal = 0usize;
+    for truth in PeeringKind::ALL {
+        let mut row = vec![truth.label().to_string()];
+        for inferred in PeeringKind::ALL {
+            let n = matrix.get(&(truth, inferred)).copied().unwrap_or(0);
+            if truth == inferred {
+                diagonal += n;
+            }
+            row.push(n.to_string());
+            if n > 0 {
+                json_cells.push(serde_json::json!({
+                    "truth": truth.label(),
+                    "inferred": inferred.label(),
+                    "count": n,
+                }));
+            }
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("truth \\ inferred")
+        .chain(PeeringKind::ALL.iter().map(|k| k.label()))
+        .collect();
+    out.table(&headers, &rows);
+    let accuracy = if scored > 0 { diagonal as f64 / scored as f64 } else { 0.0 };
+    out.line("");
+    out.kv("links scored", scored);
+    out.kv("type accuracy (diagonal)", format!("{:.1}%", accuracy * 100.0));
+    out.line("");
+    out.line("expectation: tethering and private-remote confuse with each other (Step 2 cannot separate them without facility evidence), not with cross-connects");
+
+    Ok(serde_json::json!({
+        "scored": scored,
+        "accuracy": accuracy,
+        "cells": json_cells,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn type_classification_is_strong_on_the_diagonal() {
+        let lab = Lab::provision(Scale::Default, None).unwrap();
+        let mut out = Output::new("kind-confusion-test", "default").quiet();
+        let json = run(&lab, &mut out).unwrap();
+        assert!(json["scored"].as_u64().unwrap() > 100);
+        let acc = json["accuracy"].as_f64().unwrap();
+        assert!(acc > 0.7, "type accuracy {acc}");
+    }
+
+    #[test]
+    fn tethering_confuses_with_remote_not_xconnect() {
+        let lab = Lab::provision(Scale::Default, None).unwrap();
+        let mut out = Output::new("kind-confusion-test", "default").quiet();
+        let json = run(&lab, &mut out).unwrap();
+        let count = |truth: &str, inferred: &str| {
+            json["cells"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .filter(|c| c["truth"] == truth && c["inferred"] == inferred)
+                .filter_map(|c| c["count"].as_u64())
+                .sum::<u64>()
+        };
+        // Public links never get called private or vice versa (Step 1 is
+        // address-based and unambiguous).
+        for public in ["public-local", "public-remote"] {
+            for private in ["private-xconnect", "private-tethering", "private-remote"] {
+                assert_eq!(count(public, private), 0, "{public} inferred {private}");
+                assert_eq!(count(private, public), 0, "{private} inferred {public}");
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! One module per paper artifact. Every module exposes
+//! `run(&Lab, &mut Output) -> Result<serde_json::Value>`.
+
+pub mod ablation;
+pub mod dns_geo;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod kind_confusion;
+pub mod proximity;
+pub mod table1;
+pub mod text_stats;
+
+use crate::{Lab, Output, Scale};
+use cfs_types::Result;
+
+/// Runs one experiment by id.
+pub fn run_by_id(id: &str, lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
+    match id {
+        "table1" => table1::run(lab, out),
+        "fig2" => fig2::run(lab, out),
+        "fig3" => fig3::run(lab, out),
+        "fig7" => fig7::run(lab, out),
+        "fig8" => fig8::run(lab, out),
+        "fig9" => fig9::run(lab, out),
+        "fig10" => fig10::run(lab, out),
+        "text_stats" => text_stats::run(lab, out),
+        "proximity" => proximity::run(lab, out),
+        "dns_geo" => dns_geo::run(lab, out),
+        "ablation" => ablation::run(lab, out),
+        "kind_confusion" => kind_confusion::run(lab, out),
+        other => Err(cfs_types::Error::not_found("experiment", other)),
+    }
+}
+
+/// All experiment ids in paper order, plus the extension studies.
+pub const ALL_IDS: [&str; 12] = [
+    "table1", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10", "text_stats", "proximity",
+    "dns_geo", "ablation", "kind_confusion",
+];
+
+/// Standard binary entry point shared by all experiment binaries.
+pub fn main_for(id: &str) {
+    let (scale, seed) = crate::parse_args();
+    let lab = Lab::provision(scale, seed).expect("lab provisioning failed");
+    let mut out = Output::new(id, scale.label());
+    let json = run_by_id(id, &lab, &mut out).expect("experiment failed");
+    let path = out.finish(json).expect("writing results failed");
+    eprintln!("\nwrote {}", path.display());
+    // Tiny scale is for smoke tests only; remind the user.
+    if scale == Scale::Tiny {
+        eprintln!("note: --scale tiny is a smoke test; use --scale paper for the reproduction");
+    }
+}

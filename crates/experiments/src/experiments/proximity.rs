@@ -1,0 +1,183 @@
+//! §4.4 — evaluation of the switch-proximity heuristic against
+//! AMS-IX-style ground truth.
+//!
+//! The paper's setup: AMS-IX publishes "both the interfaces of the
+//! connected members and the corresponding facilities", so for a member
+//! connected at *two* facilities the heuristic must pick which of the two
+//! known buildings answers a given peering — and gets it right 77% of the
+//! time, failing only across facilities that hang off the same backhaul
+//! switch (where it abstains or the buildings are effectively one
+//! cluster).
+//!
+//! We replay that exactly on the detailed-site exchanges (the ones whose
+//! member directories include port facilities): traceroute campaigns
+//! between members, a proximity ranking trained on half the member ports,
+//! and held-out two-facility members as the test set.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use cfs_core::{extract_observations, ProximityModel, Resolver};
+use cfs_types::{Asn, FacilityId, IxpId, Result};
+
+use crate::{Lab, Output};
+
+/// Runs the experiment.
+pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
+    // Port-facility truth as published by the detailed sites.
+    let mut port_facility: BTreeMap<Ipv4Addr, FacilityId> = BTreeMap::new();
+    let mut ports_of: BTreeMap<(IxpId, Asn), Vec<Ipv4Addr>> = BTreeMap::new();
+    let mut detailed_ixps: Vec<IxpId> = Vec::new();
+    for site in lab.sources.ixp_sites.values().filter(|s| s.detailed) {
+        detailed_ixps.push(site.ixp);
+        for m in &site.members {
+            if let Some(fac) = m.facility {
+                port_facility.insert(m.fabric_ip, fac);
+                ports_of.entry((site.ixp, m.asn)).or_default().push(m.fabric_ip);
+            }
+        }
+    }
+
+    // Campaign across the detailed exchanges' members (the 50×50 idea).
+    let member_targets: Vec<Asn> = detailed_ixps
+        .iter()
+        .flat_map(|id| lab.topo.ixps[*id].members.iter().map(|m| m.asn))
+        .take(100)
+        .collect();
+    let engine = cfs_traceroute::Engine::new(&lab.topo);
+    let mut traces = lab.bootstrap_traces(&engine, None);
+    let ips: Vec<Ipv4Addr> =
+        member_targets.iter().filter_map(|a| lab.topo.target_ip(*a).ok()).collect();
+    let all_vps: Vec<_> = lab.vps.ids().collect();
+    traces.extend(cfs_traceroute::run_campaign(
+        &engine,
+        &lab.vps,
+        &all_vps,
+        &ips,
+        60_000,
+        &cfs_traceroute::CampaignLimits::default(),
+    ));
+
+    // Public-peering observations across the detailed exchanges, with the
+    // raw IP-to-ASN view (alias machinery is irrelevant here: both the
+    // near and far addresses of interest are directory-listed).
+    let corrected: BTreeMap<Ipv4Addr, Asn> = {
+        let mut map = BTreeMap::new();
+        for t in &traces {
+            for hop in &t.hops {
+                if let Some(ip) = hop.ip {
+                    if let Some(asn) = lab.ipasn.origin(ip) {
+                        map.insert(ip, asn);
+                    }
+                }
+            }
+        }
+        map
+    };
+    let resolver = Resolver::new(&lab.kb, &corrected);
+    // (near port facility, far fabric ip) pairs: the near end of a fabric
+    // crossing is the previous member's port; its facility comes from the
+    // directory too (near ends here are members of the same exchange).
+    let mut pairs: Vec<(FacilityId, Ipv4Addr)> = Vec::new();
+    let mut seen: BTreeSet<(FacilityId, Ipv4Addr)> = BTreeSet::new();
+    for t in &traces {
+        for obs in extract_observations(t, &resolver) {
+            let Some(far_ip) = obs.far_ip else { continue };
+            let Some(far_fac) = port_facility.get(&far_ip) else { continue };
+            let _ = far_fac;
+            // Near side: the observing member's port facility — recover
+            // it via the near AS's port at this exchange (single-port
+            // near members only, like the paper's 50 sources).
+            let Some(ixp) = obs.class.ixp() else { continue };
+            let near_ports = ports_of.get(&(ixp, obs.near_asn));
+            let Some(near_ports) = near_ports else { continue };
+            if near_ports.len() != 1 {
+                continue;
+            }
+            let near_fac = port_facility[&near_ports[0]];
+            if seen.insert((near_fac, far_ip)) {
+                pairs.push((near_fac, far_ip));
+            }
+        }
+    }
+
+    // Split far members into train/test by ASN parity (deterministic).
+    let is_test = |asn: Asn| asn.raw() % 2 == 0;
+    let mut model = ProximityModel::new();
+    for (near_fac, far_ip) in &pairs {
+        let far_fac = port_facility[far_ip];
+        let far_asn = lab
+            .kb
+            .member_of_fabric_ip(lab.kb.ixp_of_ip(*far_ip).unwrap(), *far_ip)
+            .unwrap_or(Asn(0));
+        if !is_test(far_asn) {
+            model.observe(*near_fac, far_fac);
+        }
+    }
+
+    // Test: held-out members connected at exactly two facilities.
+    let mut checked = 0usize;
+    let mut exact = 0usize;
+    let mut abstained = 0usize;
+    for (near_fac, far_ip) in &pairs {
+        let Some(ixp) = lab.kb.ixp_of_ip(*far_ip) else { continue };
+        let Some(far_asn) = lab.kb.member_of_fabric_ip(ixp, *far_ip) else { continue };
+        if !is_test(far_asn) {
+            continue;
+        }
+        let member_ports = &ports_of[&(ixp, far_asn)];
+        if member_ports.len() != 2 {
+            continue;
+        }
+        let candidates: BTreeSet<FacilityId> =
+            member_ports.iter().map(|p| port_facility[p]).collect();
+        if candidates.len() != 2 {
+            continue; // both ports in one building — nothing to decide
+        }
+        match model.infer(*near_fac, &candidates) {
+            Some(predicted) => {
+                checked += 1;
+                exact += usize::from(predicted == port_facility[far_ip]);
+            }
+            None => abstained += 1,
+        }
+    }
+
+    let accuracy = if checked > 0 { exact as f64 / checked as f64 } else { 0.0 };
+    out.kv("detailed exchanges", detailed_ixps.len());
+    out.kv("training pairs (near facility → far port)", model.observations());
+    out.kv("two-facility test decisions", checked);
+    out.kv("exact facility", format!("{exact} ({:.1}%)", accuracy * 100.0));
+    out.kv("abstentions (same backhaul/core ties)", abstained);
+    out.line("");
+    out.line("paper: 77% exact facility on the 50x50 AMS-IX campaign; failures/ties sit behind shared backhaul switches");
+
+    Ok(serde_json::json!({
+        "detailed_ixps": detailed_ixps.len(),
+        "training_observations": model.observations(),
+        "checked": checked,
+        "exact": exact,
+        "accuracy": accuracy,
+        "abstained": abstained,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn heuristic_fires_and_is_mostly_right() {
+        let lab = Lab::provision(Scale::Default, None).unwrap();
+        let mut out = Output::new("proximity-test", "default").quiet();
+        let json = run(&lab, &mut out).unwrap();
+        let checked = json["checked"].as_u64().unwrap();
+        // With few decisions the estimate is noise; assert only with
+        // statistical mass (the paper's campaign had 50×50 pairs).
+        if checked >= 15 {
+            let accuracy = json["accuracy"].as_f64().unwrap();
+            assert!(accuracy > 0.55, "proximity accuracy {accuracy}");
+        }
+    }
+}

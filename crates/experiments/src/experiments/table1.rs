@@ -1,0 +1,100 @@
+//! Table 1 — "Characteristics of the four traceroute measurement
+//! platforms we utilized": vantage points, distinct ASNs, countries.
+
+use std::collections::BTreeSet;
+
+use cfs_topology::RouterLocation;
+use cfs_traceroute::Platform;
+use cfs_types::Result;
+
+use crate::{Lab, Output};
+
+/// Runs the experiment.
+pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
+    let country_of = |router: cfs_types::RouterId| -> String {
+        let city = match lab.topo.routers[router].location {
+            RouterLocation::Facility(f) => lab.topo.facilities[f].city,
+            RouterLocation::PopCity(c) => c,
+        };
+        lab.topo.world.city(city).country.clone()
+    };
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut all_asns: BTreeSet<cfs_types::Asn> = BTreeSet::new();
+    let mut all_countries: BTreeSet<String> = BTreeSet::new();
+    let mut total_vps = 0usize;
+
+    for platform in Platform::ALL {
+        let ids = lab.vps.of_platform(platform);
+        let asns: BTreeSet<_> = ids.iter().map(|id| lab.vps.vps[*id].asn).collect();
+        let countries: BTreeSet<String> =
+            ids.iter().map(|id| country_of(lab.vps.vps[*id].router)).collect();
+        total_vps += ids.len();
+        all_asns.extend(asns.iter().copied());
+        all_countries.extend(countries.iter().cloned());
+        rows.push(vec![
+            platform.label().to_string(),
+            ids.len().to_string(),
+            asns.len().to_string(),
+            countries.len().to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "platform": platform.label(),
+            "vantage_points": ids.len(),
+            "asns": asns.len(),
+            "countries": countries.len(),
+        }));
+    }
+    rows.push(vec![
+        "total-unique".into(),
+        total_vps.to_string(),
+        all_asns.len().to_string(),
+        all_countries.len().to_string(),
+    ]);
+
+    out.table(&["platform", "vantage points", "asns", "countries"], &rows);
+    out.line("");
+    out.line("paper: 6385/1877/147/107 VPs; 2410/438/117/71 ASNs; total 8517 VPs, 2638 ASNs, 170 countries");
+
+    Ok(serde_json::json!({
+        "platforms": json_rows,
+        "total": {
+            "vantage_points": total_vps,
+            "asns": all_asns.len(),
+            "countries": all_countries.len(),
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn produces_four_platform_rows() {
+        let lab = Lab::provision(Scale::Tiny, None).unwrap();
+        let mut out = Output::new("table1-test", "tiny").quiet();
+        let json = run(&lab, &mut out).unwrap();
+        assert_eq!(json["platforms"].as_array().unwrap().len(), 4);
+        let total = json["total"]["vantage_points"].as_u64().unwrap();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn atlas_is_the_largest_platform() {
+        let lab = Lab::provision(Scale::Tiny, None).unwrap();
+        let mut out = Output::new("table1-test", "tiny").quiet();
+        let json = run(&lab, &mut out).unwrap();
+        let rows = json["platforms"].as_array().unwrap();
+        let count = |label: &str| {
+            rows.iter()
+                .find(|r| r["platform"] == label)
+                .and_then(|r| r["vantage_points"].as_u64())
+                .unwrap()
+        };
+        assert!(count("ripe-atlas") > count("looking-glass"));
+        assert!(count("looking-glass") > count("ark"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Result rendering: aligned tables to stdout, markdown + JSON to
+//! `results/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cfs_types::Result;
+
+/// Collects one experiment's output and writes it out.
+pub struct Output {
+    id: String,
+    scale: String,
+    md: String,
+    quiet: bool,
+}
+
+impl Output {
+    /// Starts an output document for experiment `id` at a given scale.
+    pub fn new(id: &str, scale: &str) -> Self {
+        let mut out = Self { id: id.to_string(), scale: scale.to_string(), md: String::new(), quiet: false };
+        out.heading(&format!("{id} (scale: {scale})"));
+        out
+    }
+
+    /// Suppresses stdout (used by the `all` runner's inner calls).
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Adds a section heading.
+    pub fn heading(&mut self, text: &str) {
+        self.emit(&format!("\n## {text}\n"));
+    }
+
+    /// Adds a free-form line.
+    pub fn line(&mut self, text: &str) {
+        self.emit(text);
+        self.emit("\n");
+    }
+
+    /// Adds a `key: value` line.
+    pub fn kv(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.line(&format!("- {key}: {value}"));
+    }
+
+    /// Adds an aligned table.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut render_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            self.emit(&line);
+            self.emit("\n");
+        };
+        render_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(&sep);
+        for row in rows {
+            render_row(row);
+        }
+    }
+
+    fn emit(&mut self, text: &str) {
+        if !self.quiet {
+            print!("{text}");
+        }
+        self.md.push_str(text);
+    }
+
+    /// Writes `results/<id>.md` and `results/<id>.json`; returns the
+    /// markdown path.
+    pub fn finish(self, json: serde_json::Value) -> Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let md_path = dir.join(format!("{}.md", self.id));
+        std::fs::write(&md_path, &self.md)?;
+        let wrapped = serde_json::json!({
+            "experiment": self.id,
+            "scale": self.scale,
+            "data": json,
+        });
+        let json_path = dir.join(format!("{}.json", self.id));
+        let rendered = serde_json::to_string_pretty(&wrapped)
+            .map_err(|e| cfs_types::Error::invalid(format!("json render: {e}")))?;
+        std::fs::write(&json_path, rendered)?;
+        Ok(md_path)
+    }
+}
+
+/// The workspace `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/experiments; results sit at the root.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.join("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut out = Output::new("test-output", "tiny").quiet();
+        out.table(
+            &["platform", "vps"],
+            &[
+                vec!["ripe-atlas".into(), "6385".into()],
+                vec!["ark".into(), "107".into()],
+            ],
+        );
+        assert!(out.md.contains("| ripe-atlas | 6385 |"));
+        assert!(out.md.contains("| ark        | 107  |"));
+    }
+
+    #[test]
+    fn finish_writes_files() {
+        let out = Output::new("test-output", "tiny").quiet();
+        let path = out.finish(serde_json::json!({"ok": true})).unwrap();
+        assert!(path.exists());
+        let json_path = path.with_extension("json");
+        assert!(json_path.exists());
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(json_path).unwrap()).unwrap();
+        assert_eq!(parsed["data"]["ok"], serde_json::json!(true));
+        // Clean up the scratch files.
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("json"));
+    }
+}

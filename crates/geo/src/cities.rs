@@ -1,0 +1,296 @@
+//! The embedded world-city table.
+//!
+//! The topology generator draws facility and IXP locations from this table;
+//! hub tiers encode how large an interconnection hub each city is, so that
+//! the generated facility distribution reproduces the heavy-tailed metro
+//! skew of Figure 3 (London/New York-class hubs with 30-45 facilities down
+//! to a long tail of one-facility cities).
+//!
+//! A handful of satellite cities sit within the paper's 5-mile radius of a
+//! larger neighbour (Jersey City/New York, Clichy/Paris, Diegem/Brussels,
+//! Kowloon/Hong Kong) to exercise the metropolitan clustering of §3.1.1.
+
+use cfs_types::Region;
+
+/// One row of the static world-city table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CityRecord {
+    /// Canonical city name (already normalized spelling).
+    pub name: &'static str,
+    /// ISO 3166-1 alpha-2 country code.
+    pub country: &'static str,
+    /// World region bucket used in the paper's reports.
+    pub region: Region,
+    /// Latitude, degrees north.
+    pub lat: f64,
+    /// Longitude, degrees east.
+    pub lon: f64,
+    /// IATA-style airport code, used by router DNS naming conventions and
+    /// by the DRoP-style DNS geolocation baseline.
+    pub iata: &'static str,
+    /// Interconnection-hub tier: 0 = global hub, 1 = major, 2 = regional,
+    /// 3 = small. Drives facility/IXP density in the generator.
+    pub hub_tier: u8,
+}
+
+const fn city(
+    name: &'static str,
+    country: &'static str,
+    region: Region,
+    lat: f64,
+    lon: f64,
+    iata: &'static str,
+    hub_tier: u8,
+) -> CityRecord {
+    CityRecord { name, country, region, lat, lon, iata, hub_tier }
+}
+
+use Region::{Africa, Asia, Europe, NorthAmerica, Oceania, SouthAmerica};
+
+/// The static world-city table (152 cities, 6 regions).
+pub const CITY_TABLE: &[CityRecord] = &[
+    // ---- Europe: global hubs -------------------------------------------
+    city("london", "GB", Europe, 51.5074, -0.1278, "LHR", 0),
+    city("frankfurt", "DE", Europe, 50.1109, 8.6821, "FRA", 0),
+    city("amsterdam", "NL", Europe, 52.3676, 4.9041, "AMS", 0),
+    city("paris", "FR", Europe, 48.8566, 2.3522, "CDG", 0),
+    // ---- Europe: major hubs --------------------------------------------
+    city("moscow", "RU", Europe, 55.7558, 37.6173, "DME", 1),
+    city("stockholm", "SE", Europe, 59.3293, 18.0686, "ARN", 1),
+    city("manchester", "GB", Europe, 53.4808, -2.2426, "MAN", 1),
+    city("berlin", "DE", Europe, 52.5200, 13.4050, "TXL", 1),
+    city("kiev", "UA", Europe, 50.4501, 30.5234, "KBP", 1),
+    city("vienna", "AT", Europe, 48.2082, 16.3738, "VIE", 1),
+    city("zurich", "CH", Europe, 47.3769, 8.5417, "ZRH", 1),
+    city("prague", "CZ", Europe, 50.0755, 14.4378, "PRG", 1),
+    city("hamburg", "DE", Europe, 53.5511, 9.9937, "HAM", 1),
+    city("bucharest", "RO", Europe, 44.4268, 26.1025, "OTP", 1),
+    city("madrid", "ES", Europe, 40.4168, -3.7038, "MAD", 1),
+    city("milan", "IT", Europe, 45.4642, 9.1900, "MXP", 1),
+    city("dusseldorf", "DE", Europe, 51.2277, 6.7735, "DUS", 1),
+    city("sofia", "BG", Europe, 42.6977, 23.3219, "SOF", 1),
+    city("st petersburg", "RU", Europe, 59.9311, 30.3609, "LED", 1),
+    // ---- Europe: regional ----------------------------------------------
+    city("dublin", "IE", Europe, 53.3498, -6.2603, "DUB", 2),
+    city("brussels", "BE", Europe, 50.8503, 4.3517, "BRU", 2),
+    city("munich", "DE", Europe, 48.1351, 11.5820, "MUC", 2),
+    city("stuttgart", "DE", Europe, 48.7758, 9.1829, "STR", 2),
+    city("cologne", "DE", Europe, 50.9375, 6.9603, "CGN", 2),
+    city("rotterdam", "NL", Europe, 51.9244, 4.4777, "RTM", 2),
+    city("the hague", "NL", Europe, 52.0705, 4.3007, "HAG", 3),
+    city("marseille", "FR", Europe, 43.2965, 5.3698, "MRS", 2),
+    city("lyon", "FR", Europe, 45.7640, 4.8357, "LYS", 2),
+    city("geneva", "CH", Europe, 46.2044, 6.1432, "GVA", 2),
+    city("rome", "IT", Europe, 41.9028, 12.4964, "FCO", 2),
+    city("turin", "IT", Europe, 45.0703, 7.6869, "TRN", 3),
+    city("barcelona", "ES", Europe, 41.3851, 2.1734, "BCN", 2),
+    city("valencia", "ES", Europe, 39.4699, -0.3763, "VLC", 3),
+    city("lisbon", "PT", Europe, 38.7223, -9.1393, "LIS", 2),
+    city("porto", "PT", Europe, 41.1579, -8.6291, "OPO", 3),
+    city("oslo", "NO", Europe, 59.9139, 10.7522, "OSL", 2),
+    city("copenhagen", "DK", Europe, 55.6761, 12.5683, "CPH", 2),
+    city("helsinki", "FI", Europe, 60.1699, 24.9384, "HEL", 2),
+    city("warsaw", "PL", Europe, 52.2297, 21.0122, "WAW", 2),
+    city("budapest", "HU", Europe, 47.4979, 19.0402, "BUD", 2),
+    city("athens", "GR", Europe, 37.9838, 23.7275, "ATH", 2),
+    city("istanbul", "TR", Europe, 41.0082, 28.9784, "IST", 2),
+    city("luxembourg", "LU", Europe, 49.6116, 6.1319, "LUX", 2),
+    city("riga", "LV", Europe, 56.9496, 24.1052, "RIX", 3),
+    city("vilnius", "LT", Europe, 54.6872, 25.2797, "VNO", 3),
+    city("tallinn", "EE", Europe, 59.4370, 24.7536, "TLL", 3),
+    city("zagreb", "HR", Europe, 45.8150, 15.9819, "ZAG", 3),
+    city("belgrade", "RS", Europe, 44.7866, 20.4489, "BEG", 3),
+    city("bratislava", "SK", Europe, 48.1486, 17.1077, "BTS", 3),
+    city("ljubljana", "SI", Europe, 46.0569, 14.5058, "LJU", 3),
+    city("gothenburg", "SE", Europe, 57.7089, 11.9746, "GOT", 3),
+    city("malmo", "SE", Europe, 55.6050, 13.0038, "MMX", 3),
+    city("edinburgh", "GB", Europe, 55.9533, -3.1883, "EDI", 3),
+    city("leeds", "GB", Europe, 53.8008, -1.5491, "LBA", 3),
+    city("birmingham", "GB", Europe, 52.4862, -1.8904, "BHX", 3),
+    city("nuremberg", "DE", Europe, 49.4521, 11.0767, "NUE", 3),
+    city("minsk", "BY", Europe, 53.9006, 27.5590, "MSQ", 3),
+    // ---- Europe: satellite cities (exercise 5-mile metro merging) ------
+    city("clichy", "FR", Europe, 48.9044, 2.3064, "CDG", 3),
+    city("diegem", "BE", Europe, 50.9000, 4.4333, "BRU", 3),
+    // ---- North America: global hubs ------------------------------------
+    city("new york", "US", NorthAmerica, 40.7128, -74.0060, "JFK", 0),
+    city("ashburn", "US", NorthAmerica, 39.0438, -77.4874, "IAD", 1),
+    city("san jose", "US", NorthAmerica, 37.3382, -121.8863, "SJC", 1),
+    city("los angeles", "US", NorthAmerica, 34.0522, -118.2437, "LAX", 1),
+    // ---- North America: major ------------------------------------------
+    city("miami", "US", NorthAmerica, 25.7617, -80.1918, "MIA", 1),
+    city("chicago", "US", NorthAmerica, 41.8781, -87.6298, "ORD", 1),
+    city("dallas", "US", NorthAmerica, 32.7767, -96.7970, "DFW", 1),
+    city("seattle", "US", NorthAmerica, 47.6062, -122.3321, "SEA", 1),
+    city("atlanta", "US", NorthAmerica, 33.7490, -84.3880, "ATL", 1),
+    city("montreal", "CA", NorthAmerica, 45.5017, -73.5673, "YUL", 1),
+    // ---- North America: regional ---------------------------------------
+    city("washington", "US", NorthAmerica, 38.9072, -77.0369, "DCA", 2),
+    city("boston", "US", NorthAmerica, 42.3601, -71.0589, "BOS", 2),
+    city("philadelphia", "US", NorthAmerica, 39.9526, -75.1652, "PHL", 2),
+    city("tampa", "US", NorthAmerica, 27.9506, -82.4572, "TPA", 3),
+    city("houston", "US", NorthAmerica, 29.7604, -95.3698, "IAH", 2),
+    city("austin", "US", NorthAmerica, 30.2672, -97.7431, "AUS", 3),
+    city("denver", "US", NorthAmerica, 39.7392, -104.9903, "DEN", 2),
+    city("phoenix", "US", NorthAmerica, 33.4484, -112.0740, "PHX", 2),
+    city("san francisco", "US", NorthAmerica, 37.7749, -122.4194, "SFO", 2),
+    city("palo alto", "US", NorthAmerica, 37.4419, -122.1430, "PAO", 2),
+    city("portland", "US", NorthAmerica, 45.5152, -122.6784, "PDX", 2),
+    city("las vegas", "US", NorthAmerica, 36.1699, -115.1398, "LAS", 2),
+    city("salt lake city", "US", NorthAmerica, 40.7608, -111.8910, "SLC", 3),
+    city("minneapolis", "US", NorthAmerica, 44.9778, -93.2650, "MSP", 2),
+    city("kansas city", "US", NorthAmerica, 39.0997, -94.5786, "MCI", 3),
+    city("st louis", "US", NorthAmerica, 38.6270, -90.1994, "STL", 3),
+    city("detroit", "US", NorthAmerica, 42.3314, -83.0458, "DTW", 3),
+    city("cleveland", "US", NorthAmerica, 41.4993, -81.6944, "CLE", 3),
+    city("columbus", "US", NorthAmerica, 39.9612, -82.9988, "CMH", 3),
+    city("charlotte", "US", NorthAmerica, 35.2271, -80.8431, "CLT", 3),
+    city("nashville", "US", NorthAmerica, 36.1627, -86.7816, "BNA", 3),
+    city("toronto", "CA", NorthAmerica, 43.6532, -79.3832, "YYZ", 2),
+    city("vancouver", "CA", NorthAmerica, 49.2827, -123.1207, "YVR", 2),
+    city("calgary", "CA", NorthAmerica, 51.0447, -114.0719, "YYC", 3),
+    city("mexico city", "MX", NorthAmerica, 19.4326, -99.1332, "MEX", 2),
+    city("monterrey", "MX", NorthAmerica, 25.6866, -100.3161, "MTY", 3),
+    city("queretaro", "MX", NorthAmerica, 20.5888, -100.3899, "QRO", 3),
+    // ---- North America: satellite city ---------------------------------
+    city("jersey city", "US", NorthAmerica, 40.7178, -74.0431, "EWR", 3),
+    // ---- Asia ------------------------------------------------------------
+    city("tokyo", "JP", Asia, 35.6762, 139.6503, "NRT", 0),
+    city("singapore", "SG", Asia, 1.3521, 103.8198, "SIN", 0),
+    city("hong kong", "HK", Asia, 22.2793, 114.1628, "HKG", 1),
+    city("osaka", "JP", Asia, 34.6937, 135.5023, "KIX", 2),
+    city("nagoya", "JP", Asia, 35.1815, 136.9066, "NGO", 3),
+    city("seoul", "KR", Asia, 37.5665, 126.9780, "ICN", 2),
+    city("busan", "KR", Asia, 35.1796, 129.0756, "PUS", 3),
+    city("beijing", "CN", Asia, 39.9042, 116.4074, "PEK", 2),
+    city("shanghai", "CN", Asia, 31.2304, 121.4737, "PVG", 2),
+    city("shenzhen", "CN", Asia, 22.5431, 114.0579, "SZX", 3),
+    city("guangzhou", "CN", Asia, 23.1291, 113.2644, "CAN", 3),
+    city("taipei", "TW", Asia, 25.0330, 121.5654, "TPE", 2),
+    city("kuala lumpur", "MY", Asia, 3.1390, 101.6869, "KUL", 2),
+    city("jakarta", "ID", Asia, -6.2088, 106.8456, "CGK", 2),
+    city("bangkok", "TH", Asia, 13.7563, 100.5018, "BKK", 2),
+    city("manila", "PH", Asia, 14.5995, 120.9842, "MNL", 2),
+    city("hanoi", "VN", Asia, 21.0285, 105.8542, "HAN", 3),
+    city("ho chi minh city", "VN", Asia, 10.8231, 106.6297, "SGN", 3),
+    city("mumbai", "IN", Asia, 19.0760, 72.8777, "BOM", 2),
+    city("delhi", "IN", Asia, 28.7041, 77.1025, "DEL", 2),
+    city("chennai", "IN", Asia, 13.0827, 80.2707, "MAA", 3),
+    city("bangalore", "IN", Asia, 12.9716, 77.5946, "BLR", 3),
+    city("karachi", "PK", Asia, 24.8607, 67.0011, "KHI", 3),
+    city("dubai", "AE", Asia, 25.2048, 55.2708, "DXB", 2),
+    city("tel aviv", "IL", Asia, 32.0853, 34.7818, "TLV", 2),
+    city("riyadh", "SA", Asia, 24.7136, 46.6753, "RUH", 3),
+    // ---- Asia: satellite city -------------------------------------------
+    city("kowloon", "HK", Asia, 22.3167, 114.1815, "HKG", 3),
+    // ---- Oceania ----------------------------------------------------------
+    city("sydney", "AU", Oceania, -33.8688, 151.2093, "SYD", 1),
+    city("melbourne", "AU", Oceania, -37.8136, 144.9631, "MEL", 1),
+    city("auckland", "NZ", Oceania, -36.8509, 174.7645, "AKL", 1),
+    city("brisbane", "AU", Oceania, -27.4705, 153.0260, "BNE", 2),
+    city("perth", "AU", Oceania, -31.9523, 115.8613, "PER", 2),
+    city("adelaide", "AU", Oceania, -34.9285, 138.6007, "ADL", 3),
+    city("wellington", "NZ", Oceania, -41.2866, 174.7756, "WLG", 3),
+    city("christchurch", "NZ", Oceania, -43.5321, 172.6362, "CHC", 3),
+    // ---- South America ----------------------------------------------------
+    city("sao paulo", "BR", SouthAmerica, -23.5505, -46.6333, "GRU", 1),
+    city("rio de janeiro", "BR", SouthAmerica, -22.9068, -43.1729, "GIG", 2),
+    city("porto alegre", "BR", SouthAmerica, -30.0346, -51.2177, "POA", 3),
+    city("fortaleza", "BR", SouthAmerica, -3.7319, -38.5267, "FOR", 3),
+    city("buenos aires", "AR", SouthAmerica, -34.6037, -58.3816, "EZE", 2),
+    city("santiago", "CL", SouthAmerica, -33.4489, -70.6693, "SCL", 2),
+    city("lima", "PE", SouthAmerica, -12.0464, -77.0428, "LIM", 3),
+    city("bogota", "CO", SouthAmerica, 4.7110, -74.0721, "BOG", 2),
+    city("medellin", "CO", SouthAmerica, 6.2476, -75.5658, "MDE", 3),
+    city("caracas", "VE", SouthAmerica, 10.4806, -66.9036, "CCS", 3),
+    city("quito", "EC", SouthAmerica, -0.1807, -78.4678, "UIO", 3),
+    city("montevideo", "UY", SouthAmerica, -34.9011, -56.1645, "MVD", 3),
+    // ---- Africa -----------------------------------------------------------
+    city("johannesburg", "ZA", Africa, -26.2041, 28.0473, "JNB", 2),
+    city("cape town", "ZA", Africa, -33.9249, 18.4241, "CPT", 2),
+    city("durban", "ZA", Africa, -29.8587, 31.0218, "DUR", 3),
+    city("nairobi", "KE", Africa, -1.2921, 36.8219, "NBO", 2),
+    city("lagos", "NG", Africa, 6.5244, 3.3792, "LOS", 2),
+    city("accra", "GH", Africa, 5.6037, -0.1870, "ACC", 3),
+    city("cairo", "EG", Africa, 30.0444, 31.2357, "CAI", 2),
+    city("casablanca", "MA", Africa, 33.5731, -7.5898, "CMN", 3),
+    city("tunis", "TN", Africa, 36.8065, 10.1815, "TUN", 3),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn table_has_reasonable_size() {
+        assert!(CITY_TABLE.len() >= 140, "table has {}", CITY_TABLE.len());
+    }
+
+    #[test]
+    fn all_six_regions_present() {
+        let regions: BTreeSet<Region> = CITY_TABLE.iter().map(|c| c.region).collect();
+        assert_eq!(regions.len(), 6);
+    }
+
+    #[test]
+    fn europe_is_densest_region() {
+        // The paper's facility dataset is Europe-heavy (860/1694); our city
+        // table must support that skew.
+        let count = |r: Region| CITY_TABLE.iter().filter(|c| c.region == r).count();
+        assert!(count(Region::Europe) > count(Region::NorthAmerica));
+        assert!(count(Region::NorthAmerica) > count(Region::Asia));
+        assert!(count(Region::Asia) > count(Region::Africa));
+    }
+
+    #[test]
+    fn names_are_canonical_and_unique_per_country() {
+        let mut seen = BTreeSet::new();
+        for c in CITY_TABLE {
+            assert_eq!(c.name, c.name.to_lowercase(), "{} not lowercase", c.name);
+            assert!(seen.insert((c.name, c.country)), "duplicate {} {}", c.name, c.country);
+            assert_eq!(c.country.len(), 2);
+            assert_eq!(c.country, c.country.to_uppercase());
+            assert_eq!(c.iata.len(), 3);
+        }
+    }
+
+    #[test]
+    fn coordinates_in_range() {
+        for c in CITY_TABLE {
+            assert!((-90.0..=90.0).contains(&c.lat), "{}", c.name);
+            assert!((-180.0..=180.0).contains(&c.lon), "{}", c.name);
+            assert!(c.hub_tier <= 3, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn global_hubs_exist_in_europe_na_asia() {
+        // Figure 3's top metros come from these three regions.
+        for region in [Region::Europe, Region::NorthAmerica, Region::Asia] {
+            assert!(
+                CITY_TABLE.iter().any(|c| c.region == region && c.hub_tier == 0),
+                "no tier-0 hub in {region}"
+            );
+        }
+    }
+
+    #[test]
+    fn satellite_cities_are_close_to_their_hub() {
+        use crate::coord::{haversine_km, GeoPoint};
+        use crate::metro::METRO_RADIUS_KM;
+        let find = |name: &str| {
+            let c = CITY_TABLE.iter().find(|c| c.name == name).unwrap();
+            GeoPoint::new(c.lat, c.lon)
+        };
+        for (sat, hub) in [
+            ("jersey city", "new york"),
+            ("clichy", "paris"),
+            ("diegem", "brussels"),
+            ("kowloon", "hong kong"),
+        ] {
+            let d = haversine_km(find(sat), find(hub));
+            assert!(d <= METRO_RADIUS_KM, "{sat} is {d} km from {hub}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Coordinates, great-circle distance, and the fiber delay model.
+
+/// A point on the Earth's surface (WGS-84 degrees).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north. Range `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, positive east. Range `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude/longitude degrees.
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres.
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        haversine_km(self, other)
+    }
+
+    /// Round-trip fiber propagation delay to `other` in milliseconds,
+    /// using the workspace-wide delay model ([`fiber_rtt_ms`]).
+    pub fn rtt_ms(self, other: GeoPoint) -> f64 {
+        fiber_rtt_ms(self.distance_km(other))
+    }
+}
+
+/// Mean Earth radius (IUGG), kilometres.
+const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Propagation speed of light in fiber, km per millisecond (~2/3 c).
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Ratio of realistic fiber-path length to great-circle distance. Real
+/// fiber routes follow roads, rails and submarine corridors; 1.5 is a
+/// conventional planning figure and keeps the remote-peering RTT test
+/// (§4.2 Step 2, after Castro et al.) honest rather than optimistic.
+pub const FIBER_PATH_STRETCH: f64 = 1.5;
+
+/// Great-circle (haversine) distance between two points in kilometres.
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Round-trip propagation delay over `distance_km` of great-circle
+/// distance, in milliseconds, applying [`FIBER_PATH_STRETCH`].
+///
+/// This is a *floor*: the traceroute simulator adds queueing jitter and
+/// congestion on top, and the remote-peering test compares measured RTT
+/// minima against this bound.
+pub fn fiber_rtt_ms(distance_km: f64) -> f64 {
+    2.0 * distance_km * FIBER_PATH_STRETCH / FIBER_KM_PER_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LONDON: GeoPoint = GeoPoint::new(51.5074, -0.1278);
+    const NEW_YORK: GeoPoint = GeoPoint::new(40.7128, -74.0060);
+    const FRANKFURT: GeoPoint = GeoPoint::new(50.1109, 8.6821);
+    const SYDNEY: GeoPoint = GeoPoint::new(-33.8688, 151.2093);
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert_eq!(haversine_km(LONDON, LONDON), 0.0);
+        assert_eq!(fiber_rtt_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn known_distances_within_one_percent() {
+        // Reference great-circle distances.
+        let lon_nyc = haversine_km(LONDON, NEW_YORK);
+        assert!((lon_nyc - 5570.0).abs() < 56.0, "London-NYC was {lon_nyc}");
+
+        let lon_fra = haversine_km(LONDON, FRANKFURT);
+        assert!((lon_fra - 637.0).abs() < 7.0, "London-Frankfurt was {lon_fra}");
+
+        let lon_syd = haversine_km(LONDON, SYDNEY);
+        assert!((lon_syd - 16994.0).abs() < 170.0, "London-Sydney was {lon_syd}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert!((haversine_km(LONDON, SYDNEY) - haversine_km(SYDNEY, LONDON)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_floor_is_plausible() {
+        // Transatlantic RTT floor should land in the 70-100 ms range that
+        // operators see as the practical minimum for London-NYC.
+        let rtt = LONDON.rtt_ms(NEW_YORK);
+        assert!((70.0..110.0).contains(&rtt), "rtt was {rtt}");
+
+        // Intra-metro RTT is well under a millisecond.
+        let near = GeoPoint::new(51.51, -0.12);
+        assert!(LONDON.rtt_ms(near) < 1.0);
+    }
+
+    #[test]
+    fn rtt_scales_linearly() {
+        assert!((fiber_rtt_ms(2000.0) - 2.0 * fiber_rtt_ms(1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_distance_bounded_by_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = haversine_km(a, b);
+        assert!((d - std::f64::consts::PI * EARTH_RADIUS_KM).abs() < 1.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Metropolitan-area clustering (§3.1.1).
+//!
+//! "If the distance between two cities is less than 5 miles, we map them to
+//! the same metropolitan area." Clustering is transitive (a chain of
+//! nearby cities forms one metro), implemented with a union-find over all
+//! city pairs within the radius. The output is canonicalized so it does
+//! not depend on input order.
+
+use cfs_types::{CityId, MetroId};
+
+use crate::coord::{haversine_km, GeoPoint};
+
+/// The paper's 5-mile metro radius, in kilometres.
+pub const METRO_RADIUS_KM: f64 = 5.0 * 1.609_344;
+
+/// Result of clustering: a metro id per input city, plus the member lists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetroAssignment {
+    /// `metro_of[i]` is the metro of input city `i` (indexed like the
+    /// input slice).
+    pub metro_of: Vec<MetroId>,
+    /// `members[m]` lists the cities of metro `m`, sorted by [`CityId`].
+    pub members: Vec<Vec<CityId>>,
+}
+
+impl MetroAssignment {
+    /// Number of metros produced.
+    pub fn metro_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Clusters cities into metropolitan areas: any two cities within
+/// `radius_km` (transitively) share a metro.
+///
+/// Canonical form: metros are numbered by the smallest [`CityId`] they
+/// contain, in ascending order, so the same set of cities always yields
+/// the same assignment regardless of slice order.
+pub fn cluster_metros(cities: &[(CityId, GeoPoint)], radius_km: f64) -> MetroAssignment {
+    let n = cities.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if haversine_km(cities[i].1, cities[j].1) <= radius_km {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+    }
+
+    // Gather components keyed by their minimum CityId for canonical order.
+    let mut components: Vec<(CityId, Vec<usize>)> = Vec::new();
+    let mut root_slot: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let slot = *root_slot.entry(root).or_insert_with(|| {
+            components.push((cities[i].0, Vec::new()));
+            components.len() - 1
+        });
+        let (min_city, members) = &mut components[slot];
+        if cities[i].0 < *min_city {
+            *min_city = cities[i].0;
+        }
+        members.push(i);
+    }
+    components.sort_by_key(|(min_city, _)| *min_city);
+
+    let mut metro_of = vec![MetroId::new(0); n];
+    let mut members = Vec::with_capacity(components.len());
+    for (m, (_, idxs)) in components.into_iter().enumerate() {
+        let metro = MetroId::new(m as u32);
+        let mut cities_in: Vec<CityId> = idxs
+            .into_iter()
+            .map(|i| {
+                metro_of[i] = metro;
+                cities[i].0
+            })
+            .collect();
+        cities_in.sort();
+        members.push(cities_in);
+    }
+
+    MetroAssignment { metro_of, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon)
+    }
+
+    #[test]
+    fn nearby_cities_merge() {
+        // NYC and Jersey City (~3 km apart).
+        let cities = vec![
+            (CityId(0), p(40.7128, -74.0060)),
+            (CityId(1), p(40.7178, -74.0431)),
+            (CityId(2), p(51.5074, -0.1278)), // London
+        ];
+        let a = cluster_metros(&cities, METRO_RADIUS_KM);
+        assert_eq!(a.metro_count(), 2);
+        assert_eq!(a.metro_of[0], a.metro_of[1]);
+        assert_ne!(a.metro_of[0], a.metro_of[2]);
+        assert_eq!(a.members[0], vec![CityId(0), CityId(1)]);
+    }
+
+    #[test]
+    fn clustering_is_transitive() {
+        // A chain: a-b within radius, b-c within radius, a-c not.
+        // 0.06 deg of latitude ~ 6.7 km.
+        let cities = vec![
+            (CityId(0), p(50.00, 8.0)),
+            (CityId(1), p(50.06, 8.0)),
+            (CityId(2), p(50.12, 8.0)),
+        ];
+        let a = cluster_metros(&cities, METRO_RADIUS_KM);
+        assert_eq!(a.metro_count(), 1, "chain should collapse into one metro");
+    }
+
+    #[test]
+    fn canonical_under_input_order() {
+        let mut cities = vec![
+            (CityId(3), p(40.7128, -74.0060)),
+            (CityId(1), p(40.7178, -74.0431)),
+            (CityId(2), p(51.5074, -0.1278)),
+            (CityId(0), p(35.6762, 139.6503)),
+        ];
+        let forward = cluster_metros(&cities, METRO_RADIUS_KM);
+        cities.reverse();
+        let reversed = cluster_metros(&cities, METRO_RADIUS_KM);
+        // Member lists must be identical regardless of input order.
+        assert_eq!(forward.members, reversed.members);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let a = cluster_metros(&[], METRO_RADIUS_KM);
+        assert_eq!(a.metro_count(), 0);
+
+        let a = cluster_metros(&[(CityId(9), p(0.0, 0.0))], METRO_RADIUS_KM);
+        assert_eq!(a.metro_count(), 1);
+        assert_eq!(a.members[0], vec![CityId(9)]);
+    }
+
+    #[test]
+    fn all_far_apart_means_one_metro_each() {
+        let cities: Vec<(CityId, GeoPoint)> =
+            (0..10).map(|i| (CityId(i), p(f64::from(i) * 2.0, 0.0))).collect();
+        let a = cluster_metros(&cities, METRO_RADIUS_KM);
+        assert_eq!(a.metro_count(), 10);
+    }
+
+    #[test]
+    fn metros_numbered_by_smallest_city_id() {
+        let cities = vec![
+            (CityId(5), p(0.0, 0.0)),
+            (CityId(2), p(30.0, 30.0)),
+            (CityId(9), p(60.0, 60.0)),
+        ];
+        let a = cluster_metros(&cities, METRO_RADIUS_KM);
+        // metro0 must be the one containing CityId(2).
+        assert_eq!(a.members[0], vec![CityId(2)]);
+        assert_eq!(a.members[1], vec![CityId(5)]);
+        assert_eq!(a.members[2], vec![CityId(9)]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_every_city_gets_exactly_one_metro(
+            coords in proptest::collection::vec((-60.0f64..60.0, -170.0f64..170.0), 0..40)
+        ) {
+            let cities: Vec<(CityId, GeoPoint)> = coords
+                .iter()
+                .enumerate()
+                .map(|(i, (lat, lon))| (CityId(i as u32), p(*lat, *lon)))
+                .collect();
+            let a = cluster_metros(&cities, METRO_RADIUS_KM);
+            proptest::prop_assert_eq!(a.metro_of.len(), cities.len());
+            let total: usize = a.members.iter().map(Vec::len).sum();
+            proptest::prop_assert_eq!(total, cities.len());
+            // Each member list is sorted and consistent with metro_of.
+            for (m, members) in a.members.iter().enumerate() {
+                let mut sorted = members.clone();
+                sorted.sort();
+                proptest::prop_assert_eq!(&sorted, members);
+                for c in members {
+                    let idx = cities.iter().position(|(id, _)| id == c).unwrap();
+                    proptest::prop_assert_eq!(a.metro_of[idx], MetroId::new(m as u32));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_order_independent(
+            coords in proptest::collection::vec((-60.0f64..60.0, -170.0f64..170.0), 1..25)
+        ) {
+            let mut cities: Vec<(CityId, GeoPoint)> = coords
+                .iter()
+                .enumerate()
+                .map(|(i, (lat, lon))| (CityId(i as u32), p(*lat, *lon)))
+                .collect();
+            let forward = cluster_metros(&cities, METRO_RADIUS_KM);
+            cities.rotate_left(coords.len() / 2);
+            cities.reverse();
+            let shuffled = cluster_metros(&cities, METRO_RADIUS_KM);
+            proptest::prop_assert_eq!(forward.members, shuffled.members);
+        }
+    }
+}

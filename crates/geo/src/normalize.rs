@@ -1,0 +1,278 @@
+//! City- and country-name normalization (§3.1.1).
+//!
+//! PeeringDB-style databases are compiled manually, so "different naming
+//! schemes are used for the same city or country". The paper removes the
+//! discrepancies by converting to standard ISO/UN names; this module is
+//! that conversion: case/diacritic folding, punctuation stripping, and an
+//! alias table for the variants that actually occur in the wild (and that
+//! our synthetic PeeringDB snapshot injects on purpose).
+
+/// Normalizes a city name to its canonical table form.
+///
+/// Steps: lowercase, fold diacritics to ASCII, strip punctuation, collapse
+/// whitespace, then apply the alias table ("frankfurt am main" →
+/// "frankfurt", "nyc" → "new york", …).
+pub fn normalize_city(raw: &str) -> String {
+    let folded = fold(raw);
+    match CITY_ALIASES.iter().find(|(a, _)| *a == folded) {
+        Some((_, canonical)) => (*canonical).to_string(),
+        None => folded,
+    }
+}
+
+/// Normalizes a country name or code to ISO 3166-1 alpha-2.
+///
+/// Unknown inputs are returned folded and upper-cased so they can still be
+/// compared consistently (the knowledge-base assembler treats them as
+/// distinct unknown countries rather than failing).
+pub fn normalize_country(raw: &str) -> String {
+    let folded = fold(raw);
+    if folded.len() == 2 {
+        return folded.to_uppercase();
+    }
+    match COUNTRY_ALIASES.iter().find(|(a, _)| *a == folded) {
+        Some((_, iso)) => (*iso).to_string(),
+        None => folded.to_uppercase(),
+    }
+}
+
+/// Lowercases, folds common diacritics, strips punctuation, collapses runs
+/// of whitespace into single spaces.
+fn fold(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut last_space = true; // trim leading whitespace
+    for ch in raw.chars() {
+        let mapped: &str = match ch {
+            'ä' | 'à' | 'á' | 'â' | 'ã' | 'å' | 'Ä' | 'À' | 'Á' | 'Â' | 'Ã' | 'Å' => "a",
+            'ö' | 'ò' | 'ó' | 'ô' | 'õ' | 'ø' | 'Ö' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ø' => "o",
+            'ü' | 'ù' | 'ú' | 'û' | 'Ü' | 'Ù' | 'Ú' | 'Û' => "u",
+            'é' | 'è' | 'ê' | 'ë' | 'É' | 'È' | 'Ê' | 'Ë' => "e",
+            'í' | 'ì' | 'î' | 'ï' | 'Í' | 'Ì' | 'Î' | 'Ï' => "i",
+            'ç' | 'Ç' => "c",
+            'ñ' | 'Ñ' => "n",
+            'ß' => "ss",
+            '.' | ',' | '\'' | '’' => "",
+            '-' | '_' | '/' => " ",
+            _ => {
+                if ch.is_whitespace() {
+                    " "
+                } else {
+                    out.extend(ch.to_lowercase());
+                    last_space = false;
+                    continue;
+                }
+            }
+        };
+        if mapped == " " {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push_str(mapped);
+            last_space = mapped.is_empty() && last_space;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// City alias → canonical-name table (inputs already folded).
+const CITY_ALIASES: &[(&str, &str)] = &[
+    ("frankfurt am main", "frankfurt"),
+    ("frankfurt main", "frankfurt"),
+    ("new york city", "new york"),
+    ("nyc", "new york"),
+    ("new york ny", "new york"),
+    ("duesseldorf", "dusseldorf"),
+    ("koln", "cologne"),
+    ("koeln", "cologne"),
+    ("munchen", "munich"),
+    ("muenchen", "munich"),
+    ("wien", "vienna"),
+    ("praha", "prague"),
+    ("warszawa", "warsaw"),
+    ("bruxelles", "brussels"),
+    ("brussel", "brussels"),
+    ("milano", "milan"),
+    ("roma", "rome"),
+    ("torino", "turin"),
+    ("lisboa", "lisbon"),
+    ("moskva", "moscow"),
+    ("kyiv", "kiev"),
+    ("saint petersburg", "st petersburg"),
+    ("sankt peterburg", "st petersburg"),
+    ("saint louis", "st louis"),
+    ("washington dc", "washington"),
+    ("washington d c", "washington"),
+    ("la", "los angeles"),
+    ("sf", "san francisco"),
+    ("s jose", "san jose"),
+    ("hongkong", "hong kong"),
+    ("hcmc", "ho chi minh city"),
+    ("saigon", "ho chi minh city"),
+    ("kl", "kuala lumpur"),
+    ("s paulo", "sao paulo"),
+    ("den haag", "the hague"),
+    ("s gravenhage", "the hague"),
+    ("geneve", "geneva"),
+    ("zuerich", "zurich"),
+];
+
+/// Country alias → ISO alpha-2 table (inputs already folded).
+const COUNTRY_ALIASES: &[(&str, &str)] = &[
+    ("united states", "US"),
+    ("united states of america", "US"),
+    ("usa", "US"),
+    ("america", "US"),
+    ("united kingdom", "GB"),
+    ("great britain", "GB"),
+    ("england", "GB"),
+    ("uk", "GB"),
+    ("germany", "DE"),
+    ("deutschland", "DE"),
+    ("netherlands", "NL"),
+    ("the netherlands", "NL"),
+    ("holland", "NL"),
+    ("france", "FR"),
+    ("spain", "ES"),
+    ("espana", "ES"),
+    ("italy", "IT"),
+    ("italia", "IT"),
+    ("switzerland", "CH"),
+    ("austria", "AT"),
+    ("belgium", "BE"),
+    ("ireland", "IE"),
+    ("portugal", "PT"),
+    ("sweden", "SE"),
+    ("norway", "NO"),
+    ("denmark", "DK"),
+    ("finland", "FI"),
+    ("poland", "PL"),
+    ("czech republic", "CZ"),
+    ("czechia", "CZ"),
+    ("hungary", "HU"),
+    ("romania", "RO"),
+    ("bulgaria", "BG"),
+    ("greece", "GR"),
+    ("turkey", "TR"),
+    ("russia", "RU"),
+    ("russian federation", "RU"),
+    ("ukraine", "UA"),
+    ("luxembourg", "LU"),
+    ("japan", "JP"),
+    ("south korea", "KR"),
+    ("korea", "KR"),
+    ("republic of korea", "KR"),
+    ("china", "CN"),
+    ("peoples republic of china", "CN"),
+    ("hong kong", "HK"),
+    ("taiwan", "TW"),
+    ("singapore", "SG"),
+    ("malaysia", "MY"),
+    ("indonesia", "ID"),
+    ("thailand", "TH"),
+    ("philippines", "PH"),
+    ("vietnam", "VN"),
+    ("viet nam", "VN"),
+    ("india", "IN"),
+    ("pakistan", "PK"),
+    ("united arab emirates", "AE"),
+    ("uae", "AE"),
+    ("israel", "IL"),
+    ("saudi arabia", "SA"),
+    ("australia", "AU"),
+    ("new zealand", "NZ"),
+    ("brazil", "BR"),
+    ("brasil", "BR"),
+    ("argentina", "AR"),
+    ("chile", "CL"),
+    ("peru", "PE"),
+    ("colombia", "CO"),
+    ("venezuela", "VE"),
+    ("ecuador", "EC"),
+    ("uruguay", "UY"),
+    ("mexico", "MX"),
+    ("canada", "CA"),
+    ("south africa", "ZA"),
+    ("kenya", "KE"),
+    ("nigeria", "NG"),
+    ("ghana", "GH"),
+    ("egypt", "EG"),
+    ("morocco", "MA"),
+    ("tunisia", "TN"),
+    ("belarus", "BY"),
+    ("croatia", "HR"),
+    ("serbia", "RS"),
+    ("slovakia", "SK"),
+    ("slovenia", "SI"),
+    ("estonia", "EE"),
+    ("latvia", "LV"),
+    ("lithuania", "LT"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_case_and_diacritics() {
+        assert_eq!(normalize_city("Düsseldorf"), "dusseldorf");
+        assert_eq!(normalize_city("MÜNCHEN"), "munich");
+        assert_eq!(normalize_city("São Paulo"), "sao paulo");
+        assert_eq!(normalize_city("Zürich"), "zurich");
+    }
+
+    #[test]
+    fn applies_city_aliases() {
+        assert_eq!(normalize_city("Frankfurt am Main"), "frankfurt");
+        assert_eq!(normalize_city("NYC"), "new york");
+        assert_eq!(normalize_city("New York City"), "new york");
+        assert_eq!(normalize_city("Wien"), "vienna");
+        assert_eq!(normalize_city("Kyiv"), "kiev");
+        assert_eq!(normalize_city("Washington, D.C."), "washington");
+    }
+
+    #[test]
+    fn idempotent_on_canonical_names() {
+        for name in ["london", "new york", "frankfurt", "st petersburg"] {
+            assert_eq!(normalize_city(name), name);
+        }
+    }
+
+    #[test]
+    fn strips_punctuation_and_collapses_whitespace() {
+        assert_eq!(normalize_city("  St.   Louis "), "st louis");
+        assert_eq!(normalize_city("Den-Haag"), "the hague");
+    }
+
+    #[test]
+    fn country_codes_pass_through() {
+        assert_eq!(normalize_country("de"), "DE");
+        assert_eq!(normalize_country("DE"), "DE");
+        assert_eq!(normalize_country("Us"), "US");
+    }
+
+    #[test]
+    fn country_names_map_to_iso() {
+        assert_eq!(normalize_country("United States"), "US");
+        assert_eq!(normalize_country("Deutschland"), "DE");
+        assert_eq!(normalize_country("United Kingdom"), "GB");
+        assert_eq!(normalize_country("Viet Nam"), "VN");
+        assert_eq!(normalize_country("The Netherlands"), "NL");
+    }
+
+    #[test]
+    fn unknown_country_is_folded_uppercase() {
+        assert_eq!(normalize_country("Atlantis"), "ATLANTIS");
+    }
+
+    #[test]
+    fn every_city_table_entry_is_already_normalized() {
+        for c in crate::cities::CITY_TABLE {
+            assert_eq!(normalize_city(c.name), c.name, "{} not canonical", c.name);
+        }
+    }
+}

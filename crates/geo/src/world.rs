@@ -1,0 +1,222 @@
+//! The assembled world: city arena, metro clustering, and lookups.
+//!
+//! [`World`] is the geography object every other crate consumes. It is
+//! built once from the static [`CITY_TABLE`](crate::cities::CITY_TABLE)
+//! (or from a custom list in tests) and is immutable afterwards.
+
+use std::collections::BTreeMap;
+
+use cfs_types::{Arena, CityId, MetroId, Region};
+
+use crate::cities::{CityRecord, CITY_TABLE};
+use crate::coord::GeoPoint;
+use crate::metro::{cluster_metros, METRO_RADIUS_KM};
+use crate::normalize::normalize_city;
+
+/// A city with its resolved metro.
+#[derive(Clone, Debug)]
+pub struct City {
+    /// Canonical (normalized) name.
+    pub name: String,
+    /// ISO 3166-1 alpha-2 country code.
+    pub country: String,
+    /// World region.
+    pub region: Region,
+    /// Coordinates.
+    pub location: GeoPoint,
+    /// IATA-style airport code (DNS naming / DRoP baseline).
+    pub iata: String,
+    /// Hub tier (0 = global hub … 3 = small).
+    pub hub_tier: u8,
+    /// The metropolitan area this city belongs to.
+    pub metro: MetroId,
+}
+
+/// A metropolitan area: one or more cities within the 5-mile rule.
+#[derive(Clone, Debug)]
+pub struct Metro {
+    /// Member cities, sorted by id. The first member with the lowest hub
+    /// tier lends the metro its display name.
+    pub cities: Vec<CityId>,
+    /// Display name (name of the most significant member city).
+    pub name: String,
+    /// Region (identical for all members in practice).
+    pub region: Region,
+    /// Representative coordinates (most significant member city).
+    pub location: GeoPoint,
+    /// Lowest (most significant) hub tier among the members.
+    pub hub_tier: u8,
+}
+
+/// The immutable geography database.
+#[derive(Clone, Debug)]
+pub struct World {
+    cities: Arena<CityId, City>,
+    metros: Arena<MetroId, Metro>,
+    by_name: BTreeMap<(String, String), CityId>,
+}
+
+impl World {
+    /// Builds the world from the embedded [`CITY_TABLE`].
+    pub fn builtin() -> Self {
+        Self::from_records(CITY_TABLE)
+    }
+
+    /// Builds a world from arbitrary records (used by tests).
+    pub fn from_records(records: &[CityRecord]) -> Self {
+        let mut cities: Arena<CityId, City> = Arena::with_capacity(records.len());
+        for r in records {
+            cities.push(City {
+                name: r.name.to_string(),
+                country: r.country.to_string(),
+                region: r.region,
+                location: GeoPoint::new(r.lat, r.lon),
+                iata: r.iata.to_string(),
+                hub_tier: r.hub_tier,
+                metro: MetroId::new(0), // fixed up below
+            });
+        }
+
+        let points: Vec<(CityId, GeoPoint)> =
+            cities.iter().map(|(id, c)| (id, c.location)).collect();
+        let assignment = cluster_metros(&points, METRO_RADIUS_KM);
+
+        let mut metros: Arena<MetroId, Metro> = Arena::with_capacity(assignment.members.len());
+        for member_ids in &assignment.members {
+            // Most significant member (lowest hub tier, then lowest id)
+            // names the metro: "jersey city" folds into "new york".
+            let lead = member_ids
+                .iter()
+                .copied()
+                .min_by_key(|id| (cities[*id].hub_tier, *id))
+                .expect("metro has at least one city");
+            metros.push(Metro {
+                cities: member_ids.clone(),
+                name: cities[lead].name.clone(),
+                region: cities[lead].region,
+                location: cities[lead].location,
+                hub_tier: cities[lead].hub_tier,
+            });
+        }
+        for (i, metro) in assignment.metro_of.iter().enumerate() {
+            cities[CityId::new(i as u32)].metro = *metro;
+        }
+
+        let by_name = cities
+            .iter()
+            .map(|(id, c)| ((c.name.clone(), c.country.clone()), id))
+            .collect();
+
+        Self { cities, metros, by_name }
+    }
+
+    /// The city table.
+    pub fn cities(&self) -> &Arena<CityId, City> {
+        &self.cities
+    }
+
+    /// The metro table.
+    pub fn metros(&self) -> &Arena<MetroId, Metro> {
+        &self.metros
+    }
+
+    /// A city by id.
+    pub fn city(&self, id: CityId) -> &City {
+        &self.cities[id]
+    }
+
+    /// A metro by id.
+    pub fn metro(&self, id: MetroId) -> &Metro {
+        &self.metros[id]
+    }
+
+    /// The metro a city belongs to.
+    pub fn metro_of(&self, city: CityId) -> MetroId {
+        self.cities[city].metro
+    }
+
+    /// Looks up a city by (possibly messy) name and country, applying the
+    /// §3.1.1 normalization first.
+    pub fn find_city(&self, raw_name: &str, raw_country: &str) -> Option<CityId> {
+        let name = normalize_city(raw_name);
+        let country = crate::normalize::normalize_country(raw_country);
+        self.by_name.get(&(name, country)).copied()
+    }
+
+    /// All cities in a region, sorted by id.
+    pub fn cities_in_region(&self, region: Region) -> Vec<CityId> {
+        self.cities.iter().filter(|(_, c)| c.region == region).map(|(id, _)| id).collect()
+    }
+
+    /// Great-circle distance between two cities, km.
+    pub fn distance_km(&self, a: CityId, b: CityId) -> f64 {
+        self.cities[a].location.distance_km(self.cities[b].location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_world_builds() {
+        let w = World::builtin();
+        assert!(w.cities().len() >= 140);
+        // Metros are fewer than cities because of the satellite pairs.
+        assert!(w.metros().len() < w.cities().len());
+        assert_eq!(w.cities().len() - w.metros().len(), 4, "four satellite cities merge");
+    }
+
+    #[test]
+    fn satellites_share_their_hubs_metro() {
+        let w = World::builtin();
+        let pairs = [
+            ("jersey city", "US", "new york", "US"),
+            ("clichy", "FR", "paris", "FR"),
+            ("diegem", "BE", "brussels", "BE"),
+            ("kowloon", "HK", "hong kong", "HK"),
+        ];
+        for (sat, sat_cc, hub, hub_cc) in pairs {
+            let s = w.find_city(sat, sat_cc).unwrap();
+            let h = w.find_city(hub, hub_cc).unwrap();
+            assert_eq!(w.metro_of(s), w.metro_of(h), "{sat} should merge into {hub}");
+            // The metro is named after the hub, not the satellite.
+            assert_eq!(w.metro(w.metro_of(s)).name, hub);
+        }
+    }
+
+    #[test]
+    fn find_city_normalizes() {
+        let w = World::builtin();
+        let a = w.find_city("Frankfurt am Main", "Deutschland").unwrap();
+        let b = w.find_city("frankfurt", "DE").unwrap();
+        assert_eq!(a, b);
+        assert!(w.find_city("atlantis", "XX").is_none());
+    }
+
+    #[test]
+    fn regions_partition_cities() {
+        let w = World::builtin();
+        let total: usize = Region::ALL.iter().map(|r| w.cities_in_region(*r).len()).sum();
+        assert_eq!(total, w.cities().len());
+    }
+
+    #[test]
+    fn distances_are_sane() {
+        let w = World::builtin();
+        let lon = w.find_city("london", "GB").unwrap();
+        let nyc = w.find_city("new york", "US").unwrap();
+        let d = w.distance_km(lon, nyc);
+        assert!((5000.0..6000.0).contains(&d));
+    }
+
+    #[test]
+    fn metro_membership_is_consistent() {
+        let w = World::builtin();
+        for (mid, metro) in w.metros().iter() {
+            for c in &metro.cities {
+                assert_eq!(w.metro_of(*c), mid);
+            }
+        }
+    }
+}

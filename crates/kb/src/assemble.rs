@@ -1,0 +1,382 @@
+//! The §3.1 assembly pipeline: from messy public sources to the facility
+//! map the CFS algorithm consumes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use cfs_geo::World;
+use cfs_net::{Ipv4Prefix, PrefixTrie};
+use cfs_types::{Asn, FacilityId, IxpId, MetroId, Region};
+
+use crate::sources::PublicSources;
+
+/// The assembled public picture of the peering ecosystem.
+///
+/// This is the *only* facility data the inference pipeline sees. It can
+/// be degraded after assembly (`remove_facilities`) to run the Figure 8
+/// robustness experiment.
+#[derive(Clone, Debug)]
+pub struct KnowledgeBase {
+    /// AS → known facility presence (PeeringDB ∪ NOC pages).
+    as_facilities: BTreeMap<Asn, BTreeSet<FacilityId>>,
+    /// IXP → known partner facilities (PeeringDB ∪ IXP websites).
+    ixp_facilities: BTreeMap<IxpId, BTreeSet<FacilityId>>,
+    /// Confirmed IXP peering LANs (≥3 sources, §3.1.2).
+    ixp_prefixes: PrefixTrie<IxpId>,
+    /// IXP → fabric address → member AS (websites + PeeringDB, ≥2
+    /// sources for the *membership*, keyed by what the sites publish).
+    ixp_members: BTreeMap<IxpId, BTreeMap<Ipv4Addr, Asn>>,
+    /// AS → exchanges it is known to be a member of.
+    as_ixps: BTreeMap<Asn, BTreeSet<IxpId>>,
+    /// Facility → metro, resolved through name normalization.
+    facility_metro: BTreeMap<FacilityId, MetroId>,
+    /// Facility → region.
+    facility_region: BTreeMap<FacilityId, Region>,
+    /// Exchanges that passed the activity filter.
+    active_ixps: BTreeSet<IxpId>,
+}
+
+impl KnowledgeBase {
+    /// Runs the assembly pipeline over the public sources.
+    pub fn assemble(sources: &PublicSources, world: &World) -> Self {
+        // ---- Facility locations: normalize city strings, map to metros.
+        let mut facility_metro = BTreeMap::new();
+        let mut facility_region = BTreeMap::new();
+        for rec in &sources.pdb_facilities {
+            if let Some(city) = world.find_city(&rec.city_raw, &rec.country_raw) {
+                facility_metro.insert(rec.facility, world.metro_of(city));
+                facility_region.insert(rec.facility, world.city(city).region);
+            }
+        }
+
+        // ---- IXP prefix confirmation: a prefix counts when at least
+        // three of {PeeringDB, IXP website, PCH, consortium} agree.
+        let mut prefix_votes: BTreeMap<(IxpId, Ipv4Prefix), usize> = BTreeMap::new();
+        for (id, rec) in &sources.pdb_ixps {
+            for p in &rec.prefixes {
+                *prefix_votes.entry((*id, *p)).or_default() += 1;
+            }
+        }
+        for (id, site) in &sources.ixp_sites {
+            for p in &site.prefixes {
+                *prefix_votes.entry((*id, *p)).or_default() += 1;
+            }
+        }
+        for (id, prefixes, _) in &sources.pch_list {
+            for p in prefixes {
+                *prefix_votes.entry((*id, *p)).or_default() += 1;
+            }
+        }
+        for (id, prefixes) in &sources.consortium_list {
+            for p in prefixes {
+                *prefix_votes.entry((*id, *p)).or_default() += 1;
+            }
+        }
+
+        // ---- Activity filter: PCH's annotation, plus the requirement of
+        // at least one known member from ≥2 sources (approximated by: the
+        // IXP has a website member list or PDB networks claim membership).
+        let pch_active: BTreeMap<IxpId, bool> =
+            sources.pch_list.iter().map(|(id, _, a)| (*id, *a)).collect();
+        let mut membership_claims: BTreeMap<IxpId, usize> = BTreeMap::new();
+        for site in sources.ixp_sites.values() {
+            if !site.members.is_empty() {
+                *membership_claims.entry(site.ixp).or_default() += 1;
+            }
+        }
+        for net in sources.pdb_networks.values() {
+            for ixp in &net.ixps {
+                *membership_claims.entry(*ixp).or_default() += 1;
+            }
+        }
+        let mut active_ixps = BTreeSet::new();
+        let all_ixps: BTreeSet<IxpId> = sources
+            .pdb_ixps
+            .keys()
+            .copied()
+            .chain(sources.ixp_sites.keys().copied())
+            .chain(sources.pch_list.iter().map(|(id, _, _)| *id))
+            .collect();
+        for id in &all_ixps {
+            let pch_says_dead = pch_active.get(id) == Some(&false);
+            let has_members = membership_claims.get(id).copied().unwrap_or(0) >= 1;
+            if !pch_says_dead && has_members {
+                active_ixps.insert(*id);
+            }
+        }
+
+        let mut ixp_prefixes = PrefixTrie::new();
+        for ((id, prefix), votes) in &prefix_votes {
+            if *votes >= 3 && active_ixps.contains(id) {
+                ixp_prefixes.insert(*prefix, *id);
+            }
+        }
+
+        // ---- AS → facilities: PeeringDB union NOC pages.
+        let mut as_facilities: BTreeMap<Asn, BTreeSet<FacilityId>> = BTreeMap::new();
+        for rec in sources.pdb_networks.values() {
+            as_facilities
+                .entry(rec.asn)
+                .or_default()
+                .extend(rec.facilities.iter().copied());
+        }
+        for page in sources.noc_pages.values() {
+            as_facilities
+                .entry(page.asn)
+                .or_default()
+                .extend(page.facilities.iter().copied());
+        }
+
+        // ---- IXP → facilities: PeeringDB union websites.
+        let mut ixp_facilities: BTreeMap<IxpId, BTreeSet<FacilityId>> = BTreeMap::new();
+        for rec in sources.pdb_ixps.values() {
+            ixp_facilities
+                .entry(rec.ixp)
+                .or_default()
+                .extend(rec.facilities.iter().copied());
+        }
+        for site in sources.ixp_sites.values() {
+            ixp_facilities
+                .entry(site.ixp)
+                .or_default()
+                .extend(site.facilities.iter().copied());
+        }
+
+        // ---- Member directories (fabric address → ASN): IXP websites
+        // plus PeeringDB netixlan rows.
+        let mut ixp_members: BTreeMap<IxpId, BTreeMap<Ipv4Addr, Asn>> = BTreeMap::new();
+        for site in sources.ixp_sites.values() {
+            let entry = ixp_members.entry(site.ixp).or_default();
+            for m in &site.members {
+                entry.insert(m.fabric_ip, m.asn);
+            }
+        }
+        for rec in sources.pdb_networks.values() {
+            for (ixp, ip) in &rec.fabric_ips {
+                ixp_members.entry(*ixp).or_default().insert(*ip, rec.asn);
+            }
+        }
+
+        // ---- AS → IXP membership (PeeringDB claims ∪ site directories).
+        let mut as_ixps: BTreeMap<Asn, BTreeSet<IxpId>> = BTreeMap::new();
+        for rec in sources.pdb_networks.values() {
+            as_ixps.entry(rec.asn).or_default().extend(rec.ixps.iter().copied());
+        }
+        for site in sources.ixp_sites.values() {
+            for m in &site.members {
+                as_ixps.entry(m.asn).or_default().insert(site.ixp);
+            }
+        }
+
+        Self {
+            as_facilities,
+            ixp_facilities,
+            ixp_prefixes,
+            ixp_members,
+            as_ixps,
+            facility_metro,
+            facility_region,
+            active_ixps,
+        }
+    }
+
+    /// Facilities where `asn` is known to be present (empty set when the
+    /// AS has no public record — the paper's "missing data" outcome).
+    pub fn facilities_of_as(&self, asn: Asn) -> BTreeSet<FacilityId> {
+        self.as_facilities.get(&asn).cloned().unwrap_or_default()
+    }
+
+    /// Whether there is *any* facility record for the AS.
+    pub fn knows_as(&self, asn: Asn) -> bool {
+        self.as_facilities.get(&asn).is_some_and(|s| !s.is_empty())
+    }
+
+    /// Known partner facilities of an exchange.
+    pub fn facilities_of_ixp(&self, ixp: IxpId) -> BTreeSet<FacilityId> {
+        self.ixp_facilities.get(&ixp).cloned().unwrap_or_default()
+    }
+
+    /// The exchange owning `ip`, per the confirmed prefix list — the §4.2
+    /// Step 1 public/private classifier.
+    pub fn ixp_of_ip(&self, ip: Ipv4Addr) -> Option<IxpId> {
+        self.ixp_prefixes.longest_match(ip).map(|(_, id)| *id)
+    }
+
+    /// The member AS behind a fabric address, when a member list covers it.
+    pub fn member_of_fabric_ip(&self, ixp: IxpId, ip: Ipv4Addr) -> Option<Asn> {
+        self.ixp_members.get(&ixp).and_then(|m| m.get(&ip)).copied()
+    }
+
+    /// Exchanges `asn` is known to be a member of (PeeringDB claims plus
+    /// website directories) — used for the tethering-vs-remote call and
+    /// for follow-up target prioritization.
+    pub fn ixps_of_as(&self, asn: Asn) -> BTreeSet<IxpId> {
+        self.as_ixps.get(&asn).cloned().unwrap_or_default()
+    }
+
+    /// How many fabric addresses the directories list for `asn` at `ixp` —
+    /// members with two or more ports are the population the §4.4
+    /// proximity heuristic can say something about (which port answers
+    /// depends on switch locality).
+    pub fn member_port_count(&self, ixp: IxpId, asn: Asn) -> usize {
+        self.ixp_members
+            .get(&ixp)
+            .map(|m| m.values().filter(|a| **a == asn).count())
+            .unwrap_or(0)
+    }
+
+    /// The metro of a facility (resolved from normalized city strings).
+    pub fn metro_of_facility(&self, f: FacilityId) -> Option<MetroId> {
+        self.facility_metro.get(&f).copied()
+    }
+
+    /// The region of a facility.
+    pub fn region_of_facility(&self, f: FacilityId) -> Option<Region> {
+        self.facility_region.get(&f).copied()
+    }
+
+    /// Exchanges that passed the activity filter.
+    pub fn active_ixps(&self) -> &BTreeSet<IxpId> {
+        &self.active_ixps
+    }
+
+    /// All ASes with any facility record.
+    pub fn known_ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.as_facilities.iter().filter(|(_, s)| !s.is_empty()).map(|(a, _)| *a)
+    }
+
+    /// Total number of distinct facilities referenced anywhere.
+    pub fn facility_count(&self) -> usize {
+        self.facility_metro.len()
+    }
+
+    /// Degrades the knowledge base by deleting a set of facilities from
+    /// every record — the Figure 8 robustness experiment ("we executed
+    /// CFS while iteratively removing 1,400 facilities from our dataset").
+    pub fn remove_facilities(&mut self, removed: &BTreeSet<FacilityId>) {
+        for set in self.as_facilities.values_mut() {
+            set.retain(|f| !removed.contains(f));
+        }
+        for set in self.ixp_facilities.values_mut() {
+            set.retain(|f| !removed.contains(f));
+        }
+        self.facility_metro.retain(|f, _| !removed.contains(f));
+        self.facility_region.retain(|f, _| !removed.contains(f));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{KbConfig, PublicSources};
+    use cfs_topology::{Topology, TopologyConfig};
+
+    fn setup() -> (Topology, KnowledgeBase) {
+        let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+        let src = PublicSources::derive(&topo, &KbConfig { noc_pages: 20, ..Default::default() });
+        let kb = KnowledgeBase::assemble(&src, &topo.world);
+        (topo, kb)
+    }
+
+    #[test]
+    fn kb_facilities_are_subsets_of_truth() {
+        let (topo, kb) = setup();
+        for node in topo.ases.values() {
+            let known = kb.facilities_of_as(node.asn);
+            for f in &known {
+                assert!(node.facilities.contains(f), "{} kb invents {f}", node.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn kb_misses_some_links_but_knows_most_ases() {
+        // Needs a bigger world: in the tiny one a lucky seed can leave
+        // every volunteer record complete.
+        let topo = Topology::generate(TopologyConfig::default()).unwrap();
+        let src = PublicSources::derive(&topo, &KbConfig::default());
+        let kb = KnowledgeBase::assemble(&src, &topo.world);
+        let truth_links: usize = topo.ases.values().map(|n| n.facilities.len()).sum();
+        let kb_links: usize =
+            topo.ases.keys().map(|a| kb.facilities_of_as(*a).len()).sum();
+        assert!(kb_links < truth_links, "no incompleteness modelled");
+        assert!(kb_links * 10 > truth_links * 5, "kb too empty: {kb_links}/{truth_links}");
+        let known = topo.ases.keys().filter(|a| kb.knows_as(**a)).count();
+        assert!(known * 10 >= topo.ases.len() * 8);
+    }
+
+    #[test]
+    fn confirmed_prefixes_classify_fabric_addresses() {
+        let (topo, kb) = setup();
+        let mut classified = 0;
+        let mut total = 0;
+        for (id, ixp) in topo.ixps.iter() {
+            if !ixp.active {
+                continue;
+            }
+            for m in &ixp.members {
+                total += 1;
+                if kb.ixp_of_ip(m.fabric_ip) == Some(id) {
+                    classified += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(classified * 10 >= total * 8, "{classified}/{total} fabric ips classified");
+    }
+
+    #[test]
+    fn inactive_ixps_filtered() {
+        let (topo, kb) = setup();
+        for (id, ixp) in topo.ixps.iter() {
+            if !ixp.active {
+                assert!(!kb.active_ixps().contains(&id));
+                assert_eq!(kb.ixp_of_ip(ixp.peering_lan.nth(1).unwrap()), None);
+            }
+        }
+    }
+
+    #[test]
+    fn facility_metros_match_ground_truth() {
+        let (topo, kb) = setup();
+        let mut resolved = 0;
+        for (fid, f) in topo.facilities.iter() {
+            if let Some(metro) = kb.metro_of_facility(fid) {
+                resolved += 1;
+                assert_eq!(metro, f.metro, "metro mismatch for {fid}");
+            }
+        }
+        assert!(resolved * 10 >= topo.facilities.len() * 9);
+    }
+
+    #[test]
+    fn member_lookup_works_for_covered_ixps() {
+        let (topo, kb) = setup();
+        let mut hits = 0;
+        for (id, ixp) in topo.ixps.iter() {
+            for m in &ixp.members {
+                if kb.member_of_fabric_ip(id, m.fabric_ip) == Some(m.asn) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 0, "no member directories assembled");
+    }
+
+    #[test]
+    fn removing_facilities_shrinks_every_view() {
+        let (topo, mut kb) = setup();
+        let victim: BTreeSet<FacilityId> =
+            topo.facilities.ids().take(topo.facilities.len() / 2).collect();
+        let before: usize = topo.ases.keys().map(|a| kb.facilities_of_as(*a).len()).sum();
+        kb.remove_facilities(&victim);
+        let after: usize = topo.ases.keys().map(|a| kb.facilities_of_as(*a).len()).sum();
+        assert!(after < before);
+        for a in topo.ases.keys() {
+            for f in kb.facilities_of_as(*a) {
+                assert!(!victim.contains(&f));
+            }
+        }
+        assert!(kb.facility_count() <= topo.facilities.len() - victim.len());
+    }
+}

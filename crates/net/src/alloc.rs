@@ -1,0 +1,150 @@
+//! Deterministic address allocation for the topology generator.
+//!
+//! The generator needs two kinds of allocation: carving subnets out of a
+//! pool (AS prefixes out of the synthetic "global table", IXP peering LANs
+//! out of the IXP pool, point-to-point /31s out of an AS's space), and
+//! handing out individual host addresses inside a subnet (IXP fabric
+//! addresses, router interfaces).
+
+use std::net::Ipv4Addr;
+
+use cfs_types::{Error, Result};
+
+use crate::prefix::Ipv4Prefix;
+
+/// Carves consecutive, non-overlapping subnets of a fixed length out of a
+/// pool prefix.
+#[derive(Clone, Debug)]
+pub struct SubnetAllocator {
+    pool: Ipv4Prefix,
+    sublen: u8,
+    next: u64,
+    count: u64,
+}
+
+impl SubnetAllocator {
+    /// Creates an allocator handing out `/sublen` subnets of `pool`.
+    pub fn new(pool: Ipv4Prefix, sublen: u8) -> Result<Self> {
+        if sublen > 32 || sublen < pool.len() {
+            return Err(Error::invalid(format!("cannot carve /{sublen} out of {pool}")));
+        }
+        Ok(Self { pool, sublen, next: 0, count: 1u64 << (sublen - pool.len()) })
+    }
+
+    /// Allocates the next subnet, or errors when the pool is exhausted.
+    pub fn alloc(&mut self) -> Result<Ipv4Prefix> {
+        if self.next >= self.count {
+            return Err(Error::Exhausted { what: "subnet pool" });
+        }
+        let step = 1u64 << (32 - self.sublen);
+        let base = u64::from(u32::from(self.pool.network())) + self.next * step;
+        self.next += 1;
+        Ipv4Prefix::new(
+            Ipv4Addr::from(u32::try_from(base).expect("inside ipv4 space")),
+            self.sublen,
+        )
+    }
+
+    /// How many subnets remain.
+    pub fn remaining(&self) -> u64 {
+        self.count - self.next
+    }
+}
+
+/// Hands out individual host addresses inside one subnet, skipping the
+/// network base address (kept unused, as routers conventionally do).
+#[derive(Clone, Debug)]
+pub struct HostAllocator {
+    subnet: Ipv4Prefix,
+    next: u64,
+}
+
+impl HostAllocator {
+    /// Creates an allocator over `subnet`. The first address handed out is
+    /// `.1` (base + 1).
+    pub fn new(subnet: Ipv4Prefix) -> Self {
+        Self { subnet, next: 1 }
+    }
+
+    /// Allocates the next host address, or errors when the subnet is full.
+    /// The last address of the subnet (broadcast in classic terms) is not
+    /// handed out.
+    pub fn alloc(&mut self) -> Result<Ipv4Addr> {
+        if self.next + 1 >= self.subnet.size() {
+            return Err(Error::Exhausted { what: "host addresses" });
+        }
+        let ip = self.subnet.nth(self.next)?;
+        self.next += 1;
+        Ok(ip)
+    }
+
+    /// The subnet being allocated from.
+    pub fn subnet(&self) -> Ipv4Prefix {
+        self.subnet
+    }
+
+    /// How many host addresses remain.
+    pub fn remaining(&self) -> u64 {
+        (self.subnet.size() - 1).saturating_sub(self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn subnets_are_consecutive_and_disjoint() {
+        let mut a = SubnetAllocator::new(pfx("10.0.0.0/8"), 16).unwrap();
+        let first = a.alloc().unwrap();
+        let second = a.alloc().unwrap();
+        assert_eq!(first.to_string(), "10.0.0.0/16");
+        assert_eq!(second.to_string(), "10.1.0.0/16");
+        assert!(!first.overlaps(second));
+        assert_eq!(a.remaining(), 254);
+    }
+
+    #[test]
+    fn subnet_pool_exhausts() {
+        let mut a = SubnetAllocator::new(pfx("192.0.2.0/24"), 26).unwrap();
+        for _ in 0..4 {
+            a.alloc().unwrap();
+        }
+        assert!(matches!(a.alloc(), Err(Error::Exhausted { .. })));
+    }
+
+    #[test]
+    fn invalid_carve_rejected() {
+        assert!(SubnetAllocator::new(pfx("10.0.0.0/16"), 8).is_err());
+        assert!(SubnetAllocator::new(pfx("10.0.0.0/16"), 33).is_err());
+    }
+
+    #[test]
+    fn hosts_skip_network_and_broadcast() {
+        let mut h = HostAllocator::new(pfx("192.0.2.0/30"));
+        assert_eq!(h.alloc().unwrap().to_string(), "192.0.2.1");
+        assert_eq!(h.alloc().unwrap().to_string(), "192.0.2.2");
+        assert!(h.alloc().is_err(), ".3 is broadcast, .0 is base");
+    }
+
+    #[test]
+    fn host_remaining_counts_down() {
+        let mut h = HostAllocator::new(pfx("192.0.2.0/29")); // 8 addrs, 6 usable
+        assert_eq!(h.remaining(), 6);
+        h.alloc().unwrap();
+        assert_eq!(h.remaining(), 5);
+    }
+
+    #[test]
+    fn all_hosts_inside_subnet() {
+        let subnet = pfx("198.51.100.0/28");
+        let mut h = HostAllocator::new(subnet);
+        while let Ok(ip) = h.alloc() {
+            assert!(subnet.contains(ip));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The IP→ASN mapping service — our stand-in for Team Cymru's service
+//! (§4.1), which "utilizes multiple BGP sources" and answers
+//! longest-prefix-match queries from announced prefixes to origin ASNs.
+//!
+//! The database is *faithfully wrong* in the ways the paper discusses:
+//! callers feed it the announcements as BGP sees them, and an address used
+//! on a neighbour's router (a point-to-point /31 allocated from the other
+//! peer's space) or shared between siblings maps to the announcing AS, not
+//! the AS operating the interface. Correcting those errors is the job of
+//! alias-resolution majority voting in `cfs-alias`, exactly as in the
+//! paper.
+
+use std::net::Ipv4Addr;
+
+use cfs_types::Asn;
+
+use crate::prefix::Ipv4Prefix;
+use crate::trie::PrefixTrie;
+
+/// One BGP announcement: a prefix and its origin AS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Announcement {
+    /// The announced prefix.
+    pub prefix: Ipv4Prefix,
+    /// The origin AS as seen in BGP.
+    pub origin: Asn,
+}
+
+/// Longest-prefix-match IP→ASN database.
+#[derive(Clone, Debug, Default)]
+pub struct IpAsnDb {
+    trie: PrefixTrie<Asn>,
+}
+
+impl IpAsnDb {
+    /// Builds the database from a set of announcements. When the same
+    /// prefix is announced by several origins (MOAS), the last announcement
+    /// wins — matching the "one answer per query" behaviour of the
+    /// Cymru-style service.
+    pub fn from_announcements<I: IntoIterator<Item = Announcement>>(announcements: I) -> Self {
+        let mut trie = PrefixTrie::new();
+        for a in announcements {
+            trie.insert(a.prefix, a.origin);
+        }
+        Self { trie }
+    }
+
+    /// Adds or replaces a single announcement.
+    pub fn announce(&mut self, prefix: Ipv4Prefix, origin: Asn) {
+        self.trie.insert(prefix, origin);
+    }
+
+    /// Maps an address to the origin AS of its most specific covering
+    /// prefix, with that prefix. `None` for unrouted space (the paper's
+    /// "unresolved" interfaces).
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<(Ipv4Prefix, Asn)> {
+        self.trie.longest_match(ip).map(|(p, asn)| (p, *asn))
+    }
+
+    /// Maps an address to an origin AS, dropping the matched prefix.
+    pub fn origin(&self, ip: Ipv4Addr) -> Option<Asn> {
+        self.lookup(ip).map(|(_, asn)| asn)
+    }
+
+    /// Number of announced prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn lookup_uses_longest_match() {
+        let db = IpAsnDb::from_announcements([
+            Announcement { prefix: pfx("10.0.0.0/8"), origin: Asn(100) },
+            Announcement { prefix: pfx("10.5.0.0/16"), origin: Asn(200) },
+        ]);
+        assert_eq!(db.origin(ip("10.5.1.1")), Some(Asn(200)));
+        assert_eq!(db.origin(ip("10.6.1.1")), Some(Asn(100)));
+        assert_eq!(db.origin(ip("11.0.0.1")), None);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn lookup_reports_matched_prefix() {
+        let db = IpAsnDb::from_announcements([Announcement {
+            prefix: pfx("192.0.2.0/24"),
+            origin: Asn(64512),
+        }]);
+        let (p, asn) = db.lookup(ip("192.0.2.7")).unwrap();
+        assert_eq!(p, pfx("192.0.2.0/24"));
+        assert_eq!(asn, Asn(64512));
+    }
+
+    #[test]
+    fn moas_last_announcement_wins() {
+        let mut db = IpAsnDb::default();
+        db.announce(pfx("10.0.0.0/8"), Asn(1));
+        db.announce(pfx("10.0.0.0/8"), Asn(2));
+        assert_eq!(db.origin(ip("10.0.0.1")), Some(Asn(2)));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn ptp_address_maps_to_allocating_as_not_operator() {
+        // The documented pitfall: a /31 allocated from AS A's space but
+        // configured on AS B's router maps to A.
+        let db = IpAsnDb::from_announcements([Announcement {
+            prefix: pfx("10.0.0.0/8"), // AS A's aggregate
+            origin: Asn(100),
+        }]);
+        let b_side_of_ptp = ip("10.0.0.1");
+        assert_eq!(db.origin(b_side_of_ptp), Some(Asn(100)));
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = IpAsnDb::default();
+        assert!(db.is_empty());
+        assert_eq!(db.origin(ip("8.8.8.8")), None);
+    }
+}

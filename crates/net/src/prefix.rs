@@ -1,0 +1,269 @@
+//! CIDR prefixes over IPv4.
+
+use core::fmt;
+use core::str::FromStr;
+use std::net::Ipv4Addr;
+
+use cfs_types::{Error, Result};
+use serde::Deserialize as _;
+
+/// An IPv4 CIDR prefix. The stored address is always masked to the prefix
+/// length, so two equal prefixes compare equal regardless of how they were
+/// written (`10.0.0.1/8 == 10.0.0.0/8`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Prefix {
+    /// Network base address as a big-endian integer, masked.
+    addr: u32,
+    /// Prefix length, `0..=32`.
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix, masking `addr` down to `len` bits.
+    ///
+    /// Returns an error if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self> {
+        if len > 32 {
+            return Err(Error::invalid(format!("prefix length {len} > 32")));
+        }
+        Ok(Self { addr: u32::from(addr) & mask(len), len })
+    }
+
+    /// Infallible constructor for compile-time-known prefixes; panics on
+    /// `len > 32` (programmer error, not input error).
+    pub fn must(addr: [u8; 4], len: u8) -> Self {
+        Self::new(Ipv4Addr::from(addr), len).expect("static prefix must be valid")
+    }
+
+    /// The (masked) network base address.
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// The prefix length in bits.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// The last address covered by the prefix.
+    pub fn last(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr | !mask(self.len))
+    }
+
+    /// Number of addresses covered (2^(32-len); saturates at `u64` width,
+    /// which is exact for IPv4).
+    pub fn size(self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(self, ip: Ipv4Addr) -> bool {
+        u32::from(ip) & mask(self.len) == self.addr
+    }
+
+    /// Whether `other` is entirely inside this prefix (or equal).
+    pub fn covers(self, other: Ipv4Prefix) -> bool {
+        other.len >= self.len && (other.addr & mask(self.len)) == self.addr
+    }
+
+    /// Whether the two prefixes share any address.
+    pub fn overlaps(self, other: Ipv4Prefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+
+    /// The `i`-th address in the prefix (0 = network base).
+    ///
+    /// Returns an error when `i` is outside the prefix.
+    pub fn nth(self, i: u64) -> Result<Ipv4Addr> {
+        if i >= self.size() {
+            return Err(Error::invalid(format!("address index {i} outside {self}")));
+        }
+        Ok(Ipv4Addr::from(self.addr + u32::try_from(i).expect("bounded by size")))
+    }
+
+    /// Splits into consecutive sub-prefixes of length `sublen`.
+    ///
+    /// Returns an error if `sublen` is shorter than `self.len` or > 32.
+    pub fn subnets(self, sublen: u8) -> Result<impl Iterator<Item = Ipv4Prefix>> {
+        if sublen > 32 || sublen < self.len {
+            return Err(Error::invalid(format!("cannot split {self} into /{sublen}")));
+        }
+        let count = 1u64 << (sublen - self.len);
+        let step = 1u64 << (32 - sublen);
+        let base = u64::from(self.addr);
+        Ok((0..count).map(move |i| Ipv4Prefix {
+            addr: u32::try_from(base + i * step).expect("within ipv4 space"),
+            len: sublen,
+        }))
+    }
+
+    /// The leading `self.len` bits, MSB-first, as 0/1 values — the trie key.
+    pub(crate) fn bits(self) -> impl Iterator<Item = u8> {
+        let addr = self.addr;
+        (0..self.len).map(move |i| ((addr >> (31 - u32::from(i))) & 1) as u8)
+    }
+}
+
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl serde::Serialize for Ipv4Prefix {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> core::result::Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Ipv4Prefix {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> core::result::Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let (addr_s, len_s) =
+            s.split_once('/').ok_or_else(|| Error::parse("ipv4 prefix", s))?;
+        let addr: Ipv4Addr = addr_s.parse().map_err(|_| Error::parse("ipv4 prefix", s))?;
+        let len: u8 = len_s.parse().map_err(|_| Error::parse("ipv4 prefix", s))?;
+        Self::new(addr, len).map_err(|_| Error::parse("ipv4 prefix", s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "203.0.113.7/32"] {
+            assert_eq!(pfx(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn constructor_masks_host_bits() {
+        assert_eq!(pfx("10.1.2.3/8"), pfx("10.0.0.0/8"));
+        assert_eq!(pfx("10.1.2.3/8").to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["10.0.0.0", "10.0.0.0/33", "10.0.0/8", "banana/8", "10.0.0.0/x", ""] {
+            assert!(s.parse::<Ipv4Prefix>().is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let p = pfx("192.0.2.0/24");
+        assert!(p.contains("192.0.2.0".parse().unwrap()));
+        assert!(p.contains("192.0.2.255".parse().unwrap()));
+        assert!(!p.contains("192.0.3.0".parse().unwrap()));
+        assert!(!p.contains("192.0.1.255".parse().unwrap()));
+    }
+
+    #[test]
+    fn default_route_contains_everything() {
+        let all = pfx("0.0.0.0/0");
+        assert!(all.contains("255.255.255.255".parse().unwrap()));
+        assert_eq!(all.size(), 1 << 32);
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        let a = pfx("10.0.0.0/8");
+        let b = pfx("10.1.0.0/16");
+        let c = pfx("11.0.0.0/8");
+        assert!(a.covers(b));
+        assert!(!b.covers(a));
+        assert!(a.covers(a));
+        assert!(a.overlaps(b) && b.overlaps(a));
+        assert!(!a.overlaps(c));
+    }
+
+    #[test]
+    fn nth_and_last() {
+        let p = pfx("192.0.2.0/30");
+        assert_eq!(p.nth(0).unwrap().to_string(), "192.0.2.0");
+        assert_eq!(p.nth(3).unwrap().to_string(), "192.0.2.3");
+        assert!(p.nth(4).is_err());
+        assert_eq!(p.last().to_string(), "192.0.2.3");
+    }
+
+    #[test]
+    fn subnets_enumerate_in_order() {
+        let p = pfx("192.0.2.0/24");
+        let subs: Vec<String> = p.subnets(26).unwrap().map(|s| s.to_string()).collect();
+        assert_eq!(subs, vec!["192.0.2.0/26", "192.0.2.64/26", "192.0.2.128/26", "192.0.2.192/26"]);
+        assert!(p.subnets(8).is_err());
+        assert_eq!(p.subnets(24).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn bits_msb_first() {
+        let p = pfx("128.0.0.0/2");
+        assert_eq!(p.bits().collect::<Vec<_>>(), vec![1, 0]);
+        let p = pfx("192.0.0.0/3");
+        assert_eq!(p.bits().collect::<Vec<_>>(), vec![1, 1, 0]);
+        assert_eq!(pfx("0.0.0.0/0").bits().count(), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_parse_display_round_trip(addr in proptest::arbitrary::any::<u32>(), len in 0u8..=32) {
+            let p = Ipv4Prefix::new(Ipv4Addr::from(addr), len).unwrap();
+            let back: Ipv4Prefix = p.to_string().parse().unwrap();
+            proptest::prop_assert_eq!(p, back);
+        }
+
+        #[test]
+        fn prop_network_and_last_are_contained(addr in proptest::arbitrary::any::<u32>(), len in 0u8..=32) {
+            let p = Ipv4Prefix::new(Ipv4Addr::from(addr), len).unwrap();
+            proptest::prop_assert!(p.contains(p.network()));
+            proptest::prop_assert!(p.contains(p.last()));
+        }
+
+        #[test]
+        fn prop_subnets_partition(addr in proptest::arbitrary::any::<u32>(), len in 8u8..=24) {
+            let p = Ipv4Prefix::new(Ipv4Addr::from(addr), len).unwrap();
+            let sublen = len + 4;
+            let subs: Vec<Ipv4Prefix> = p.subnets(sublen).unwrap().collect();
+            proptest::prop_assert_eq!(subs.len(), 16);
+            let total: u64 = subs.iter().map(|s| s.size()).sum();
+            proptest::prop_assert_eq!(total, p.size());
+            for w in subs.windows(2) {
+                proptest::prop_assert!(!w[0].overlaps(w[1]));
+                proptest::prop_assert!(u32::from(w[0].last()) + 1 == u32::from(w[1].network()));
+            }
+            for s in &subs {
+                proptest::prop_assert!(p.covers(*s));
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! A binary radix trie keyed by IPv4 prefixes.
+//!
+//! One bit per level, arena-allocated nodes, no unsafe and no compression:
+//! simplicity and robustness over raw speed (lookups are still tens of
+//! nanoseconds, far below anything this workspace needs — see the
+//! `trie_lookup` microbench).
+
+use std::net::Ipv4Addr;
+
+use crate::prefix::Ipv4Prefix;
+
+#[derive(Clone, Debug)]
+struct Node<V> {
+    children: [Option<u32>; 2],
+    value: Option<V>,
+}
+
+impl<V> Node<V> {
+    fn new() -> Self {
+        Self { children: [None, None], value: None }
+    }
+}
+
+/// A map from [`Ipv4Prefix`] to `V` supporting exact and longest-prefix
+/// lookups.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self { nodes: vec![Node::new()], len: 0 }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `prefix` → `value`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: V) -> Option<V> {
+        let mut node = 0usize;
+        for bit in prefix.bits() {
+            let slot = bit as usize;
+            node = match self.nodes[node].children[slot] {
+                Some(next) => next as usize,
+                None => {
+                    self.nodes.push(Node::new());
+                    let next = self.nodes.len() - 1;
+                    self.nodes[node].children[slot] = Some(next as u32);
+                    next
+                }
+            };
+        }
+        let old = self.nodes[node].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// The value stored for exactly `prefix`, if any.
+    pub fn exact(&self, prefix: Ipv4Prefix) -> Option<&V> {
+        let mut node = 0usize;
+        for bit in prefix.bits() {
+            node = self.nodes[node].children[bit as usize]? as usize;
+        }
+        self.nodes[node].value.as_ref()
+    }
+
+    /// Removes `prefix`, returning its value. Nodes are not reclaimed
+    /// (tries in this workspace are build-once), only emptied.
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<V> {
+        let mut node = 0usize;
+        for bit in prefix.bits() {
+            node = self.nodes[node].children[bit as usize]? as usize;
+        }
+        let old = self.nodes[node].value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match for `ip`: the most specific stored prefix
+    /// containing the address, with its value.
+    pub fn longest_match(&self, ip: Ipv4Addr) -> Option<(Ipv4Prefix, &V)> {
+        let addr = u32::from(ip);
+        let mut node = 0usize;
+        let mut best: Option<(u8, &V)> = self.nodes[0].value.as_ref().map(|v| (0, v));
+        for depth in 0..32u8 {
+            let bit = ((addr >> (31 - u32::from(depth))) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(next) => {
+                    node = next as usize;
+                    if let Some(v) = self.nodes[node].value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            let p = Ipv4Prefix::new(ip, len).expect("len <= 32");
+            (p, v)
+        })
+    }
+
+    /// All stored `(prefix, &value)` pairs in lexicographic (trie) order.
+    pub fn iter(&self) -> Vec<(Ipv4Prefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack: Vec<(usize, u32, u8)> = vec![(0, 0, 0)]; // node, path, depth
+        while let Some((node, path, depth)) = stack.pop() {
+            if let Some(v) = self.nodes[node].value.as_ref() {
+                let addr = if depth == 0 { 0 } else { path << (32 - u32::from(depth)) };
+                let p = Ipv4Prefix::new(Ipv4Addr::from(addr), depth).expect("depth <= 32");
+                out.push((p, v));
+            }
+            // Push right child first so the left (0 bit) pops first.
+            if let Some(next) = self.nodes[node].children[1] {
+                stack.push((next as usize, (path << 1) | 1, depth + 1));
+            }
+            if let Some(next) = self.nodes[node].children[0] {
+                stack.push((next as usize, path << 1, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+impl<V> FromIterator<(Ipv4Prefix, V)> for PrefixTrie<V> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, V)>>(iter: I) -> Self {
+        let mut trie = Self::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_exact_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), "a"), None);
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.exact(pfx("10.0.0.0/8")), Some(&"b"));
+        assert_eq!(t.exact(pfx("10.0.0.0/9")), None);
+        assert_eq!(t.remove(pfx("10.0.0.0/8")), Some("b"));
+        assert_eq!(t.remove(pfx("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.0.0/8"), 8);
+        t.insert(pfx("10.1.0.0/16"), 16);
+        t.insert(pfx("10.1.2.0/24"), 24);
+
+        assert_eq!(t.longest_match(ip("10.1.2.3")).map(|(p, v)| (p.to_string(), *v)),
+            Some(("10.1.2.0/24".to_string(), 24)));
+        assert_eq!(t.longest_match(ip("10.1.9.9")).unwrap().1, &16);
+        assert_eq!(t.longest_match(ip("10.9.9.9")).unwrap().1, &8);
+        assert_eq!(t.longest_match(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("0.0.0.0/0"), "default");
+        t.insert(pfx("192.0.2.0/24"), "specific");
+        assert_eq!(t.longest_match(ip("8.8.8.8")).unwrap().1, &"default");
+        assert_eq!(t.longest_match(ip("192.0.2.9")).unwrap().1, &"specific");
+    }
+
+    #[test]
+    fn host_route_matches_only_itself() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("192.0.2.1/32"), ());
+        assert!(t.longest_match(ip("192.0.2.1")).is_some());
+        assert!(t.longest_match(ip("192.0.2.2")).is_none());
+    }
+
+    #[test]
+    fn iter_returns_all_inserted() {
+        let prefixes = ["10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24", "0.0.0.0/0"];
+        let t: PrefixTrie<usize> =
+            prefixes.iter().enumerate().map(|(i, s)| (pfx(s), i)).collect();
+        let got: std::collections::BTreeSet<String> =
+            t.iter().into_iter().map(|(p, _)| p.to_string()).collect();
+        let want: std::collections::BTreeSet<String> =
+            prefixes.iter().map(|s| s.to_string()).collect();
+        assert_eq!(got, want);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn removal_reexposes_covering_prefix() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.0.0/8"), "short");
+        t.insert(pfx("10.1.0.0/16"), "long");
+        assert_eq!(t.longest_match(ip("10.1.0.1")).unwrap().1, &"long");
+        t.remove(pfx("10.1.0.0/16"));
+        assert_eq!(t.longest_match(ip("10.1.0.1")).unwrap().1, &"short");
+    }
+
+    proptest::proptest! {
+        /// Longest-prefix match agrees with a naive linear scan.
+        #[test]
+        fn prop_lpm_matches_linear_scan(
+            entries in proptest::collection::btree_map(
+                (proptest::arbitrary::any::<u32>(), 0u8..=32),
+                proptest::arbitrary::any::<u16>(),
+                0..50
+            ),
+            probes in proptest::collection::vec(proptest::arbitrary::any::<u32>(), 0..50)
+        ) {
+            let norm: Vec<(Ipv4Prefix, u16)> = entries
+                .iter()
+                .map(|((addr, len), v)| (Ipv4Prefix::new(Ipv4Addr::from(*addr), *len).unwrap(), *v))
+                .collect();
+            let trie: PrefixTrie<u16> = norm.iter().copied().collect();
+
+            for probe in probes {
+                let addr = Ipv4Addr::from(probe);
+                let expect = norm
+                    .iter()
+                    .filter(|(p, _)| p.contains(addr))
+                    .max_by_key(|(p, _)| p.len())
+                    .map(|(p, v)| (*p, *v));
+                let got = trie.longest_match(addr).map(|(p, v)| (p, *v));
+                // Note: duplicate prefixes in `norm` collapse to the last
+                // value inserted; the BTreeMap input already de-duplicates.
+                proptest::prop_assert_eq!(got, expect);
+            }
+        }
+
+        /// Every inserted prefix is found exactly and listed by iter().
+        #[test]
+        fn prop_exact_and_iter_complete(
+            entries in proptest::collection::btree_map(
+                (proptest::arbitrary::any::<u32>(), 0u8..=32),
+                proptest::arbitrary::any::<u16>(),
+                0..60
+            )
+        ) {
+            let norm: std::collections::BTreeMap<Ipv4Prefix, u16> = entries
+                .iter()
+                .map(|((addr, len), v)| (Ipv4Prefix::new(Ipv4Addr::from(*addr), *len).unwrap(), *v))
+                .collect();
+            let trie: PrefixTrie<u16> = norm.iter().map(|(p, v)| (*p, *v)).collect();
+            proptest::prop_assert_eq!(trie.len(), norm.len());
+            for (p, v) in &norm {
+                proptest::prop_assert_eq!(trie.exact(*p), Some(v));
+            }
+            let listed: std::collections::BTreeMap<Ipv4Prefix, u16> =
+                trie.iter().into_iter().map(|(p, v)| (p, *v)).collect();
+            proptest::prop_assert_eq!(listed, norm);
+        }
+    }
+}

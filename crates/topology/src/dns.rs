@@ -1,0 +1,219 @@
+//! Reverse-DNS (PTR) naming of router interfaces.
+//!
+//! Operators name interfaces according to their [`DnsStyle`]: facility
+//! codes and airport codes for the disciplined ones, opaque device names
+//! for most, nothing at all for others (Google-like CDNs). A small
+//! fraction of names is *stale* — it encodes a location the router moved
+//! away from — reproducing the paper's warning that "DNS entries may be
+//! misleading" [62, 29].
+//!
+//! The same conventions feed two consumers downstream: the DNS-hint
+//! validation oracle of §6 (which knows the per-operator conventions and
+//! confirms them current) and the DRoP-style geolocation baseline of §5
+//! (which only knows generic airport/city tokens).
+
+use rand::Rng;
+
+use cfs_types::Asn;
+
+use crate::generate::Gen;
+use crate::model::{DnsStyle, IfaceKind, RouterLocation};
+
+/// Fraction of interfaces of a *named* operator that actually carry a PTR
+/// record (zone files rot; coverage is never complete).
+const NAME_COVERAGE: f64 = 0.9;
+
+/// Fraction of generated names whose location token is stale (points at a
+/// previous deployment site).
+const STALE_FRACTION: f64 = 0.03;
+
+/// Interface-name prefix by interface kind, mimicking common router
+/// configurations.
+fn if_prefix(kind: IfaceKind) -> &'static str {
+    match kind {
+        IfaceKind::Loopback => "lo0",
+        IfaceKind::Backbone => "ae",
+        IfaceKind::IxpFabric(_) => "ix",
+        IfaceKind::PrivatePtp(_) => "xe",
+    }
+}
+
+/// Builds the hostname for one interface under a convention. Exposed so
+/// tests (and the validation oracle) can reconstruct expected names.
+pub fn format_hostname(
+    style: DnsStyle,
+    if_label: &str,
+    router_ordinal: usize,
+    facility_code: Option<&str>,
+    city_iata: Option<&str>,
+    asn: Asn,
+) -> Option<String> {
+    let asn = asn.raw();
+    match style {
+        DnsStyle::None => None,
+        DnsStyle::FacilityCoded => {
+            let fac = facility_code?;
+            let city = city_iata?;
+            Some(format!("{if_label}.r{router_ordinal}.{fac}.{city}.as{asn}.example.net"))
+        }
+        DnsStyle::CityCoded => {
+            let city = city_iata?;
+            Some(format!("{if_label}.r{router_ordinal}.{city}.as{asn}.example.net"))
+        }
+        DnsStyle::Opaque => Some(format!("{if_label}.ccr{router_ordinal:02}.as{asn}.example.net")),
+    }
+}
+
+/// Assigns PTR names across the whole topology (generation phase 5).
+pub(crate) fn assign_names(g: &mut Gen) {
+    // Stale names draw a wrong facility from this pool.
+    let n_facilities = g.facilities.len();
+
+    let router_ids: Vec<_> = g.routers.ids().collect();
+    for rid in router_ids {
+        let (asn, location, iface_ids) = {
+            let r = &g.routers[rid];
+            (r.asn, r.location, r.ifaces.clone())
+        };
+        let style = g.ases[&asn].dns_style;
+        if style == DnsStyle::None {
+            continue;
+        }
+        let router_ordinal = g.ases[&asn].routers.iter().position(|r| *r == rid).unwrap_or(0);
+
+        let mut if_counter = 0usize;
+        for ifid in iface_ids {
+            if !g.rng.random_bool(NAME_COVERAGE) {
+                continue;
+            }
+            let kind = g.ifaces[ifid].kind;
+            let if_label = if kind == IfaceKind::Loopback {
+                "lo0".to_string()
+            } else {
+                if_counter += 1;
+                format!("{}{}", if_prefix(kind), if_counter)
+            };
+
+            // Location tokens: normally the router's true site; stale
+            // names pick a random other facility.
+            let stale = g.rng.random_bool(STALE_FRACTION);
+            let (fac_code, iata) = if stale && n_facilities > 1 {
+                let wrong =
+                    cfs_types::FacilityId::new(g.rng.random_range(0..n_facilities) as u32);
+                let f = &g.facilities[wrong];
+                (Some(f.dns_code.clone()), Some(g.world.city(f.city).iata.to_lowercase()))
+            } else {
+                match location {
+                    RouterLocation::Facility(f) => {
+                        let f = &g.facilities[f];
+                        (Some(f.dns_code.clone()), Some(g.world.city(f.city).iata.to_lowercase()))
+                    }
+                    RouterLocation::PopCity(c) => {
+                        (None, Some(g.world.city(c).iata.to_lowercase()))
+                    }
+                }
+            };
+
+            // A PoP router under a FacilityCoded convention falls back to
+            // city coding (there is no facility to encode).
+            let effective = match (style, &fac_code) {
+                (DnsStyle::FacilityCoded, None) => DnsStyle::CityCoded,
+                _ => style,
+            };
+            g.ifaces[ifid].dns_name = format_hostname(
+                effective,
+                &if_label,
+                router_ordinal,
+                fac_code.as_deref(),
+                iata.as_deref(),
+                asn,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopologyConfig;
+    use crate::topology::Topology;
+
+    #[test]
+    fn format_follows_conventions() {
+        let h = format_hostname(
+            DnsStyle::FacilityCoded,
+            "ae1",
+            2,
+            Some("eqfra3"),
+            Some("fra"),
+            Asn(3356),
+        );
+        assert_eq!(h.unwrap(), "ae1.r2.eqfra3.fra.as3356.example.net");
+
+        let h = format_hostname(DnsStyle::CityCoded, "xe1", 0, None, Some("lhr"), Asn(1299));
+        assert_eq!(h.unwrap(), "xe1.r0.lhr.as1299.example.net");
+
+        let h = format_hostname(DnsStyle::Opaque, "be9", 3, None, None, Asn(174));
+        assert_eq!(h.unwrap(), "be9.ccr03.as174.example.net");
+
+        assert!(format_hostname(DnsStyle::None, "ae1", 0, None, None, Asn(1)).is_none());
+        // FacilityCoded without a facility code cannot produce a name.
+        assert!(
+            format_hostname(DnsStyle::FacilityCoded, "ae1", 0, None, Some("fra"), Asn(1))
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn google_like_cdn_has_no_ptr_records() {
+        let t = Topology::generate(TopologyConfig::default()).unwrap();
+        let google = &t.ases[&Asn(15169)];
+        for rid in &google.routers {
+            for ifid in &t.routers[*rid].ifaces {
+                assert!(t.ifaces[*ifid].dns_name.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn named_operators_have_mostly_named_interfaces() {
+        let t = Topology::generate(TopologyConfig::default()).unwrap();
+        let coded = t
+            .ases
+            .values()
+            .find(|n| n.dns_style == DnsStyle::FacilityCoded)
+            .expect("a facility-coded AS exists");
+        let (named, total) = coded
+            .routers
+            .iter()
+            .flat_map(|r| &t.routers[*r].ifaces)
+            .fold((0usize, 0usize), |(n, t_), ifid| {
+                (n + usize::from(t.ifaces[*ifid].dns_name.is_some()), t_ + 1)
+            });
+        assert!(total > 0);
+        assert!(named as f64 / total as f64 > 0.6, "{named}/{total}");
+    }
+
+    #[test]
+    fn some_interfaces_are_nameless_overall() {
+        let t = Topology::generate(TopologyConfig::default()).unwrap();
+        let nameless = t.ifaces.values().filter(|i| i.dns_name.is_none()).count();
+        let frac = nameless as f64 / t.ifaces.len() as f64;
+        // Paper: 29% of peering interfaces had no record; over *all*
+        // interfaces we only require a nontrivial share.
+        assert!(frac > 0.1, "nameless fraction {frac}");
+    }
+
+    #[test]
+    fn hostnames_unique_enough_to_identify_interfaces() {
+        let t = Topology::generate(TopologyConfig::tiny()).unwrap();
+        let mut names: Vec<&str> =
+            t.ifaces.values().filter_map(|i| i.dns_name.as_deref()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        // Name collisions are possible (two ifaces, same router, same
+        // prefix) but must be rare.
+        assert!(names.len() as f64 > before as f64 * 0.95);
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-AS address plans.
+//!
+//! Every AS receives a /16 from the synthetic global table. Its tail is
+//! reserved for infrastructure: backbone/loopback interface addresses from
+//! the top /22, and point-to-point /31 subnets (private interconnects,
+//! transit handoffs) from a /21 below it. The head of the block is
+//! "customer" space — traceroute targets live there.
+//!
+//! Point-to-point subnets are always allocated from *one* side's plan, so
+//! the far end of a private interconnect naturally maps to the wrong AS in
+//! the IP-to-ASN database — the §4.1 pitfall the alias majority vote
+//! corrects.
+
+use std::net::Ipv4Addr;
+
+use cfs_net::{HostAllocator, Ipv4Prefix, SubnetAllocator};
+use cfs_types::{Error, Result};
+
+/// Address plan of one AS.
+#[derive(Clone, Debug)]
+pub struct AsAddressPlan {
+    /// The announced /16.
+    pub primary: Ipv4Prefix,
+    backbone: HostAllocator,
+    ptp: SubnetAllocator,
+}
+
+impl AsAddressPlan {
+    /// Builds the plan for a /16 block.
+    pub fn new(primary: Ipv4Prefix) -> Result<Self> {
+        if primary.len() != 16 {
+            return Err(Error::invalid(format!("AS block must be a /16, got {primary}")));
+        }
+        let base = u32::from(primary.network());
+        // x.y.252.0/22 — backbone & loopback host addresses (1022 usable).
+        let backbone_net = Ipv4Prefix::new(Ipv4Addr::from(base | (252 << 8)), 22)?;
+        // x.y.240.0/21 — point-to-point /31 pool (1024 subnets).
+        let ptp_net = Ipv4Prefix::new(Ipv4Addr::from(base | (240 << 8)), 21)?;
+        Ok(Self {
+            primary,
+            backbone: HostAllocator::new(backbone_net),
+            ptp: SubnetAllocator::new(ptp_net, 31)?,
+        })
+    }
+
+    /// Next backbone/loopback interface address.
+    pub fn alloc_backbone(&mut self) -> Result<Ipv4Addr> {
+        self.backbone.alloc()
+    }
+
+    /// Next point-to-point /31.
+    pub fn alloc_ptp(&mut self) -> Result<Ipv4Prefix> {
+        self.ptp.alloc()
+    }
+
+    /// A stable "customer" address inside the block, used as a traceroute
+    /// target for this AS (one active host per announced prefix, as the
+    /// paper selects one active IP per prefix).
+    #[cfg(test)]
+    pub fn target_ip(&self) -> Ipv4Addr {
+        self.primary.nth(10).expect("/16 has an address at offset 10")
+    }
+
+    /// Remaining point-to-point subnets (used by tests to check headroom).
+    #[cfg(test)]
+    pub fn ptp_remaining(&self) -> u64 {
+        self.ptp.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> AsAddressPlan {
+        AsAddressPlan::new("20.7.0.0/16".parse().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_slash16() {
+        assert!(AsAddressPlan::new("10.0.0.0/8".parse().unwrap()).is_err());
+        assert!(AsAddressPlan::new("10.0.0.0/24".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn backbone_addresses_come_from_top_slash22() {
+        let mut p = plan();
+        let ip = p.alloc_backbone().unwrap();
+        assert_eq!(ip.to_string(), "20.7.252.1");
+        assert!(p.primary.contains(ip));
+    }
+
+    #[test]
+    fn ptp_subnets_come_from_the_slash21() {
+        let mut p = plan();
+        let s = p.alloc_ptp().unwrap();
+        assert_eq!(s.to_string(), "20.7.240.0/31");
+        let s2 = p.alloc_ptp().unwrap();
+        assert_eq!(s2.to_string(), "20.7.240.2/31");
+        assert!(!s.overlaps(s2));
+        assert_eq!(p.ptp_remaining(), 1022);
+    }
+
+    #[test]
+    fn pools_do_not_overlap() {
+        let mut p = plan();
+        let bb = p.alloc_backbone().unwrap();
+        for _ in 0..1024 {
+            if let Ok(s) = p.alloc_ptp() {
+                assert!(!s.contains(bb));
+            }
+        }
+    }
+
+    #[test]
+    fn target_ip_is_in_customer_space() {
+        let p = plan();
+        assert_eq!(p.target_ip().to_string(), "20.7.0.10");
+    }
+}

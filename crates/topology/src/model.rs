@@ -1,0 +1,366 @@
+//! The entity structs of the ground-truth model.
+
+use std::net::Ipv4Addr;
+
+use cfs_geo::GeoPoint;
+use cfs_types::{
+    Asn, AsClass, CityId, FacilityId, IfaceId, IxpId, LinkId, MetroId, OperatorId, PeeringKind,
+    Region, RouterId, SwitchId,
+};
+use cfs_net::Ipv4Prefix;
+
+/// A colocation / interconnection facility (§2): a building that hosts
+/// network equipment and supports interconnection.
+#[derive(Clone, Debug)]
+pub struct Facility {
+    /// Display name, e.g. `"equinix fra3"`.
+    pub name: String,
+    /// The company operating the facility.
+    pub operator: OperatorId,
+    /// City the building is in.
+    pub city: CityId,
+    /// Metro area (5-mile clustering of cities).
+    pub metro: MetroId,
+    /// World region (city's region).
+    pub region: Region,
+    /// Building coordinates (jittered around the city centre).
+    pub location: GeoPoint,
+    /// Carrier-neutral facilities accept any network; carrier-operated
+    /// ones mostly host the carrier and its customers.
+    pub carrier_neutral: bool,
+    /// Short code used in facility-coded DNS hostnames (e.g. `"eqfra3"`).
+    pub dns_code: String,
+}
+
+/// A facility operator — an Equinix/Telehouse/Interxion-like company, or a
+/// single-site local operator.
+#[derive(Clone, Debug)]
+pub struct FacilityOperator {
+    /// Company name.
+    pub name: String,
+    /// Facilities run by this operator (filled during generation).
+    pub facilities: Vec<FacilityId>,
+    /// Whether facilities of this operator within one metro are wired
+    /// together, so cross-connects can span them (§2: "Cross-connects can
+    /// be established between members that host their network equipment in
+    /// different facilities of the same interconnection facility
+    /// operator").
+    pub metro_interconnected: bool,
+}
+
+/// Role of an IXP switch in the hierarchy of Figure 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SwitchRole {
+    /// Core switch at the IXP's primary facility.
+    Core,
+    /// Back-haul aggregation switch between access switches and the core.
+    Backhaul,
+    /// Access switch at a partner facility; members plug in here.
+    Access,
+}
+
+/// One switch in an IXP's topology.
+#[derive(Clone, Debug)]
+pub struct Switch {
+    /// The IXP owning the switch.
+    pub ixp: IxpId,
+    /// Role in the hierarchy.
+    pub role: SwitchRole,
+    /// The facility hosting the switch.
+    pub facility: FacilityId,
+    /// Upstream switch (access → backhaul or core; backhaul → core;
+    /// `None` for the core itself).
+    pub parent: Option<SwitchId>,
+}
+
+/// An Internet exchange point.
+#[derive(Clone, Debug)]
+pub struct Ixp {
+    /// Display name, e.g. `"fra-ix"`.
+    pub name: String,
+    /// Metro where the exchange operates.
+    pub metro: MetroId,
+    /// Region of that metro.
+    pub region: Region,
+    /// The peering-LAN prefix; member fabric addresses come from here.
+    pub peering_lan: Ipv4Prefix,
+    /// Partner facilities (those hosting an access switch), sorted.
+    pub facilities: Vec<FacilityId>,
+    /// All switches, core first.
+    pub switches: Vec<SwitchId>,
+    /// The core switch.
+    pub core: SwitchId,
+    /// Whether the IXP is operational (PCH-style inactive exchanges stay
+    /// in databases; the knowledge-base assembly must filter them).
+    pub active: bool,
+    /// Whether the IXP operates a route server for multilateral peering.
+    pub has_route_server: bool,
+    /// Member records, sorted by ASN.
+    pub members: Vec<IxpMembership>,
+}
+
+impl Ixp {
+    /// Finds the first membership record of `asn`, if the AS is a member.
+    pub fn member(&self, asn: Asn) -> Option<&IxpMembership> {
+        self.members.iter().find(|m| m.asn == asn)
+    }
+
+    /// All ports of `asn` at this exchange. Larger members connect at
+    /// several partner facilities (the Figure 6 toy: AS B at facilities
+    /// 3 *and* 4) — which port answers a traceroute depends on switch
+    /// locality, the signal behind the §4.4 proximity heuristic.
+    pub fn members_of(&self, asn: Asn) -> impl Iterator<Item = &IxpMembership> {
+        self.members.iter().filter(move |m| m.asn == asn)
+    }
+}
+
+/// An AS's connection to one IXP.
+#[derive(Clone, Debug)]
+pub struct IxpMembership {
+    /// The member AS.
+    pub asn: Asn,
+    /// Address assigned from the IXP peering LAN, configured on the
+    /// member's fabric-facing interface.
+    pub fabric_ip: Ipv4Addr,
+    /// The member's router carrying the fabric interface.
+    pub router: RouterId,
+    /// The fabric interface itself.
+    pub iface: IfaceId,
+    /// Access switch the member's port is patched into. For remote
+    /// members this is the *reseller's* port — the member's router is
+    /// elsewhere.
+    pub access_switch: SwitchId,
+    /// `Some(reseller ASN)` when the member peers remotely via a
+    /// transport partner (§2 "Remote Peering"); the member's router then
+    /// sits at a distant PoP, not at an IXP facility.
+    pub remote_via: Option<Asn>,
+    /// Whether the member peers multilaterally through the route server.
+    pub uses_route_server: bool,
+}
+
+/// DNS (PTR) naming convention an operator applies to its router
+/// interfaces. Drives both the validation-by-DNS oracle (§6) and the
+/// DRoP-style geolocation baseline (§5, §7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DnsStyle {
+    /// No PTR records at all (the paper's Google case; 29% of peering
+    /// interfaces had no DNS record).
+    None,
+    /// Hostnames embed a facility code and a city code
+    /// (`ae1.rtr2.eqfra3.fra.asNNN.net`) — precise enough for §6
+    /// validation.
+    FacilityCoded,
+    /// Hostnames embed only a city airport code
+    /// (`xe0.rtr2.fra.asNNN.net`) — geolocatable to a city, not a
+    /// building.
+    CityCoded,
+    /// Hostnames exist but carry no location tokens
+    /// (`be12.ccr03.asNNN.net`) — the 55% of named interfaces DRoP cannot
+    /// geolocate.
+    Opaque,
+}
+
+/// An autonomous system.
+#[derive(Clone, Debug)]
+pub struct AsNode {
+    /// The AS number.
+    pub asn: Asn,
+    /// Operator name, e.g. `"tier1-03"` or `"cdn-google-like"`.
+    pub name: String,
+    /// Business class; shapes footprint and peering policy.
+    pub class: AsClass,
+    /// Region where the network is headquartered.
+    pub home_region: Region,
+    /// Announced address space (first prefix is the primary block;
+    /// infrastructure addresses come from its tail).
+    pub prefixes: Vec<Ipv4Prefix>,
+    /// Ground-truth facility presence, sorted.
+    pub facilities: Vec<FacilityId>,
+    /// IXP memberships (ids into the IXP table), sorted.
+    pub ixps: Vec<IxpId>,
+    /// All routers, sorted.
+    pub routers: Vec<RouterId>,
+    /// PTR naming convention.
+    pub dns_style: DnsStyle,
+    /// `Some(other)` when this AS shares address space with a sibling
+    /// organisation, producing the IP-to-ASN conflicts of §4.1.
+    pub sibling: Option<Asn>,
+}
+
+/// Where a router physically sits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterLocation {
+    /// Inside a colocation facility (the interesting case for CFS).
+    Facility(FacilityId),
+    /// At an operator PoP in some city, outside any facility in the
+    /// dataset — access-network aggregation routers, or the distant
+    /// router of a remote peer.
+    PopCity(CityId),
+}
+
+impl RouterLocation {
+    /// The facility, when the router is colocated.
+    pub fn facility(self) -> Option<FacilityId> {
+        match self {
+            Self::Facility(f) => Some(f),
+            Self::PopCity(_) => None,
+        }
+    }
+}
+
+/// How a router fills the IP-ID field of responses — the signal MIDAR's
+/// monotonic-bounds test keys on (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IpIdBehavior {
+    /// One shared, monotonically increasing counter across all interfaces
+    /// (the behaviour alias resolution relies on). `rate` is the mean
+    /// counter increment per millisecond from cross-traffic.
+    SharedCounter {
+        /// Mean counter increments per millisecond.
+        rate_per_ms: u16,
+    },
+    /// Pseudo-random IP-ID per response (defeats the bounds test).
+    Random,
+    /// Constant zero (common on some platforms; defeats the test).
+    Constant,
+    /// Does not answer alias-resolution probes at all (the paper's
+    /// "unresponsive to alias resolution probes (e.g., Google)").
+    Unresponsive,
+}
+
+/// Interface flavour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IfaceKind {
+    /// Router loopback (not seen in traceroute, used as LG router id).
+    Loopback,
+    /// Intra-AS backbone interface (the usual traceroute reply source for
+    /// transit hops).
+    Backbone,
+    /// Interface on an IXP peering LAN; its address belongs to the IXP
+    /// prefix, not to the member AS.
+    IxpFabric(IxpId),
+    /// One end of a private point-to-point interconnection (cross-connect
+    /// or tethering VLAN); the subnet is allocated from *one* of the two
+    /// peers' address space.
+    PrivatePtp(LinkId),
+}
+
+/// A router interface.
+#[derive(Clone, Debug)]
+pub struct Iface {
+    /// Owning router.
+    pub router: RouterId,
+    /// Operating AS (the router's AS — may differ from what IP-to-ASN
+    /// claims for point-to-point and fabric addresses).
+    pub asn: Asn,
+    /// The configured address.
+    pub ip: Ipv4Addr,
+    /// Interface flavour.
+    pub kind: IfaceKind,
+    /// PTR record, if the operator publishes one.
+    pub dns_name: Option<String>,
+}
+
+/// A router.
+#[derive(Clone, Debug)]
+pub struct Router {
+    /// Operating AS.
+    pub asn: Asn,
+    /// Physical location.
+    pub location: RouterLocation,
+    /// Coordinates (facility location or PoP city centre).
+    pub coords: GeoPoint,
+    /// Interfaces, sorted by id.
+    pub ifaces: Vec<IfaceId>,
+    /// IP-ID behaviour for alias-resolution probes.
+    pub ipid: IpIdBehavior,
+    /// Whether the router sends ICMP TTL-exceeded at all (a small number
+    /// of routers are silent, producing `*` hops).
+    pub responds: bool,
+}
+
+/// One endpoint of a physical interconnection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EndPoint {
+    /// The AS operating this side.
+    pub asn: Asn,
+    /// The router.
+    pub router: RouterId,
+    /// The interface used for the interconnection (fabric or ptp iface).
+    pub iface: IfaceId,
+}
+
+/// A materialized private interconnection (cross-connect, tethering VLAN,
+/// or remote private line) or transit link between two routers.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Engineering method.
+    pub kind: PeeringKind,
+    /// The side whose address space provided the point-to-point subnet.
+    pub a: EndPoint,
+    /// The other side.
+    pub b: EndPoint,
+    /// The IXP whose fabric transports the link, for tethering.
+    pub ixp: Option<IxpId>,
+    /// The point-to-point subnet (from `a`'s space).
+    pub subnet: Ipv4Prefix,
+}
+
+/// How an AS-level adjacency is physically realized (one adjacency can
+/// have several instantiations in different places).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Medium {
+    /// A materialized [`Link`] (private peering or transit PNI).
+    Private(LinkId),
+    /// Public peering across an IXP fabric between the two members'
+    /// fabric interfaces.
+    PublicIxp {
+        /// The exchange.
+        ixp: IxpId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_location_facility_accessor() {
+        assert_eq!(RouterLocation::Facility(FacilityId(3)).facility(), Some(FacilityId(3)));
+        assert_eq!(RouterLocation::PopCity(CityId(1)).facility(), None);
+    }
+
+    #[test]
+    fn ixp_member_lookup() {
+        let ixp = Ixp {
+            name: "test-ix".into(),
+            metro: MetroId(0),
+            region: Region::Europe,
+            peering_lan: "185.0.0.0/22".parse().unwrap(),
+            facilities: vec![],
+            switches: vec![],
+            core: SwitchId(0),
+            active: true,
+            has_route_server: true,
+            members: vec![IxpMembership {
+                asn: Asn(65001),
+                fabric_ip: "185.0.0.1".parse().unwrap(),
+                router: RouterId(0),
+                iface: IfaceId(0),
+                access_switch: SwitchId(0),
+                remote_via: None,
+                uses_route_server: true,
+            }],
+        };
+        assert!(ixp.member(Asn(65001)).is_some());
+        assert!(ixp.member(Asn(65002)).is_none());
+    }
+
+    #[test]
+    fn switch_roles_ordering() {
+        // Core < Backhaul < Access — used when sorting switch lists so the
+        // core comes first.
+        assert!(SwitchRole::Core < SwitchRole::Backhaul);
+        assert!(SwitchRole::Backhaul < SwitchRole::Access);
+    }
+}

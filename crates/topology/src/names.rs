@@ -1,0 +1,137 @@
+//! Name generation for generated entities, plus the identities of the ten
+//! paper target networks.
+
+use cfs_types::{Asn, AsClass};
+
+/// The ten target networks of §5, with their real AS numbers: five content
+/// /CDN networks ("responsible for over half the traffic volume in North
+/// America and Europe") and five global transit providers.
+pub const PAPER_TARGETS: &[(u32, &str, AsClass)] = &[
+    (15169, "google-like-cdn", AsClass::Cdn),
+    (10310, "yahoo-like-cdn", AsClass::Cdn),
+    (20940, "akamai-like-cdn", AsClass::Cdn),
+    (22822, "limelight-like-cdn", AsClass::Cdn),
+    (13335, "cloudflare-like-cdn", AsClass::Cdn),
+    (2914, "ntt-like-tier1", AsClass::Tier1),
+    (174, "cogent-like-tier1", AsClass::Tier1),
+    (3320, "dtag-like-tier1", AsClass::Tier1),
+    (3356, "level3-like-tier1", AsClass::Tier1),
+    (1299, "telia-like-tier1", AsClass::Tier1),
+];
+
+/// Returns the ASNs of the five CDN targets.
+pub fn cdn_target_asns() -> Vec<Asn> {
+    PAPER_TARGETS.iter().filter(|(_, _, c)| *c == AsClass::Cdn).map(|(a, _, _)| Asn(*a)).collect()
+}
+
+/// Returns the ASNs of the five transit targets.
+pub fn transit_target_asns() -> Vec<Asn> {
+    PAPER_TARGETS
+        .iter()
+        .filter(|(_, _, c)| *c == AsClass::Tier1)
+        .map(|(a, _, _)| Asn(*a))
+        .collect()
+}
+
+/// Multi-metro colocation chains (Equinix/Telehouse/Interxion-like).
+/// `(name, dns_prefix)` — the dns prefix seeds facility codes.
+pub const CHAIN_OPERATORS: &[(&str, &str)] = &[
+    ("equinet", "eq"),
+    ("telhaus", "th"),
+    ("interxio", "ix"),
+    ("coresite-like", "cs"),
+    ("digital-realty-like", "dr"),
+    ("global-switch-like", "gs"),
+];
+
+/// Builds a facility display name: `"equinet fra3"`.
+pub fn facility_name(operator: &str, city_iata: &str, ordinal: usize) -> String {
+    format!("{} {}{}", operator, city_iata.to_lowercase(), ordinal)
+}
+
+/// Builds a facility DNS code: `"eqfra3"`.
+pub fn facility_dns_code(op_dns_prefix: &str, city_iata: &str, ordinal: usize) -> String {
+    format!("{}{}{}", op_dns_prefix, city_iata.to_lowercase(), ordinal)
+}
+
+/// Builds an IXP name from its metro: `"fra-ix"`, `"fra-ix-2"`.
+pub fn ixp_name(metro_name: &str, ordinal: usize) -> String {
+    let slug: String =
+        metro_name.chars().filter(|c| c.is_ascii_alphanumeric()).take(8).collect();
+    if ordinal == 0 {
+        format!("{slug}-ix")
+    } else {
+        format!("{slug}-ix-{}", ordinal + 1)
+    }
+}
+
+/// Builds a synthetic AS name: `"transit-007"`.
+pub fn as_name(class: AsClass, ordinal: usize) -> String {
+    format!("{}-{:03}", class.label(), ordinal)
+}
+
+/// Synthetic ASN block per class, far from the paper-target ASNs.
+pub fn asn_base(class: AsClass) -> u32 {
+    match class {
+        AsClass::Tier1 => 5_000,
+        AsClass::Transit => 30_000,
+        AsClass::Cdn => 45_000,
+        AsClass::Content => 50_000,
+        AsClass::Access => 60_000,
+        AsClass::Enterprise => 100_000,
+        AsClass::Reseller => 120_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_paper_targets() {
+        assert_eq!(PAPER_TARGETS.len(), 10);
+        assert_eq!(cdn_target_asns().len(), 5);
+        assert_eq!(transit_target_asns().len(), 5);
+        assert!(cdn_target_asns().contains(&Asn(15169)));
+        assert!(transit_target_asns().contains(&Asn(3356)));
+    }
+
+    #[test]
+    fn target_asns_unique() {
+        let mut asns: Vec<u32> = PAPER_TARGETS.iter().map(|(a, _, _)| *a).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        assert_eq!(asns.len(), 10);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(facility_name("equinet", "FRA", 3), "equinet fra3");
+        assert_eq!(facility_dns_code("eq", "FRA", 3), "eqfra3");
+        assert_eq!(ixp_name("frankfurt", 0), "frankfur-ix");
+        assert_eq!(ixp_name("frankfurt", 1), "frankfur-ix-2");
+        assert_eq!(as_name(AsClass::Transit, 7), "transit-007");
+    }
+
+    #[test]
+    fn ixp_name_strips_spaces() {
+        assert_eq!(ixp_name("new york", 0), "newyork-ix");
+        assert_eq!(ixp_name("st petersburg", 0), "stpeters-ix");
+    }
+
+    #[test]
+    fn asn_blocks_do_not_collide_with_targets() {
+        for (asn, _, _) in PAPER_TARGETS {
+            for class in AsClass::ALL {
+                let base = asn_base(class);
+                // The transit targets sit below 5000 and the content
+                // targets in the 10k-23k gap; neither range intersects a
+                // synthetic block.
+                assert!(
+                    *asn < base || *asn >= base + 5_000,
+                    "target AS{asn} collides with {class} block at {base}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Ground-truth invariants across random seeds: whatever world the
+//! generator draws, its structure must satisfy the §2 semantics the rest
+//! of the pipeline assumes.
+
+use cfs_topology::{IfaceKind, Topology, TopologyConfig};
+use cfs_types::PeeringKind;
+use cfs_types::Rel;
+
+fn world(seed: u64) -> Topology {
+    Topology::generate(TopologyConfig::tiny().with_seed(seed)).unwrap()
+}
+
+#[test]
+fn validate_holds_across_seeds() {
+    for seed in 0..12u64 {
+        let t = world(seed);
+        t.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn cross_connect_semantics_across_seeds() {
+    for seed in 0..8u64 {
+        let t = world(seed);
+        for link in t.links.values() {
+            let fa = t.router_facility(link.a.router);
+            let fb = t.router_facility(link.b.router);
+            match link.kind {
+                PeeringKind::PrivateCrossConnect => {
+                    let (Some(fa), Some(fb)) = (fa, fb) else {
+                        panic!("seed {seed}: x-connect outside facilities")
+                    };
+                    if fa != fb {
+                        // Campus cross-connect: one interconnected
+                        // operator, one metro.
+                        let (a, b) = (&t.facilities[fa], &t.facilities[fb]);
+                        assert_eq!(a.operator, b.operator, "seed {seed}");
+                        assert_eq!(a.metro, b.metro, "seed {seed}");
+                    }
+                }
+                PeeringKind::PrivateTethering => {
+                    assert!(link.ixp.is_some(), "seed {seed}: tethering without fabric");
+                }
+                PeeringKind::PublicLocal | PeeringKind::PublicRemote => {
+                    panic!("seed {seed}: public peering materialized as a private link")
+                }
+                PeeringKind::PrivateRemote => {}
+            }
+            // Point-to-point addressing: both ends inside the link subnet,
+            // allocated from side a's space.
+            let ip_a = t.ifaces[link.a.iface].ip;
+            let ip_b = t.ifaces[link.b.iface].ip;
+            assert!(link.subnet.contains(ip_a) && link.subnet.contains(ip_b));
+            assert!(
+                t.ases[&link.a.asn].prefixes.iter().any(|p| p.covers(link.subnet)),
+                "seed {seed}: subnet not from side a"
+            );
+        }
+    }
+}
+
+#[test]
+fn membership_semantics_across_seeds() {
+    for seed in 0..8u64 {
+        let t = world(seed);
+        for (id, ixp) in t.ixps.iter() {
+            for m in &ixp.members {
+                // Fabric interface carries the membership address and an
+                // IxpFabric kind bound to this exchange.
+                let iface = &t.ifaces[m.iface];
+                assert_eq!(iface.kind, IfaceKind::IxpFabric(id), "seed {seed}");
+                assert_eq!(iface.asn, m.asn, "seed {seed}");
+                // The access switch belongs to this exchange.
+                assert_eq!(t.switches[m.access_switch].ixp, id, "seed {seed}");
+                // Remote memberships name a real reseller that is itself
+                // a local member.
+                if let Some(reseller) = m.remote_via {
+                    let r = ixp.member(reseller).unwrap_or_else(|| {
+                        panic!("seed {seed}: reseller {reseller} not a member")
+                    });
+                    assert!(r.remote_via.is_none(), "seed {seed}: reseller is remote");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adjacency_graph_is_connected_upward_across_seeds() {
+    // Every AS must reach the tier-1 mesh through providers (otherwise
+    // parts of the world are unroutable and traceroutes die silently).
+    for seed in 0..8u64 {
+        let t = world(seed);
+        for node in t.ases.values() {
+            if node.class == cfs_types::AsClass::Tier1 {
+                continue;
+            }
+            let mut frontier = vec![node.asn];
+            let mut seen = std::collections::BTreeSet::new();
+            let mut reaches_tier1 = false;
+            while let Some(asn) = frontier.pop() {
+                if !seen.insert(asn) {
+                    continue;
+                }
+                if t.ases[&asn].class == cfs_types::AsClass::Tier1 {
+                    reaches_tier1 = true;
+                    break;
+                }
+                for adj in t.adjacencies_of(asn) {
+                    if adj.rel == Rel::CustomerToProvider && adj.a == asn {
+                        frontier.push(adj.b);
+                    }
+                }
+            }
+            assert!(reaches_tier1, "seed {seed}: {} stranded", node.asn);
+        }
+    }
+}
+
+#[test]
+fn sibling_contamination_is_symmetric_and_real() {
+    // Across seeds, sibling pairs must reference each other, and at least
+    // one sibling's router must carry an address from the partner's space
+    // somewhere in the world (the §4.1 conflict source).
+    let mut any_pair = false;
+    for seed in 0..10u64 {
+        let t = world(seed);
+        for node in t.ases.values() {
+            if let Some(sib) = node.sibling {
+                any_pair = true;
+                assert_eq!(t.ases[&sib].sibling, Some(node.asn), "seed {seed}");
+            }
+        }
+    }
+    assert!(any_pair, "no sibling pairs generated in ten seeds");
+}
+
+#[test]
+fn dual_homed_ports_share_member_and_exchange() {
+    let mut dual_seen = false;
+    for seed in 0..6u64 {
+        let t = Topology::generate(TopologyConfig::default().with_seed(seed)).unwrap();
+        for (id, ixp) in t.ixps.iter() {
+            let mut per_asn: std::collections::BTreeMap<_, Vec<_>> = Default::default();
+            for m in &ixp.members {
+                per_asn.entry(m.asn).or_default().push(m);
+            }
+            for (asn, ports) in per_asn {
+                if ports.len() >= 2 {
+                    dual_seen = true;
+                    // Distinct addresses, distinct routers, all local or
+                    // all consistent with the member's presence.
+                    let mut ips: Vec<_> = ports.iter().map(|m| m.fabric_ip).collect();
+                    ips.dedup();
+                    assert_eq!(ips.len(), ports.len(), "seed {seed} {id} {asn}");
+                    let facs: std::collections::BTreeSet<_> = ports
+                        .iter()
+                        .filter_map(|m| t.router_facility(m.router))
+                        .collect();
+                    for f in &facs {
+                        assert!(
+                            t.ases[&asn].facilities.contains(f),
+                            "seed {seed}: port outside presence"
+                        );
+                    }
+                }
+            }
+        }
+        if dual_seen {
+            break;
+        }
+    }
+    assert!(dual_seen, "no dual-homed member generated");
+}

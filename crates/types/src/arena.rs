@@ -1,0 +1,183 @@
+//! A minimal typed arena.
+//!
+//! Every entity table in the workspace (facilities, routers, interfaces…)
+//! is an [`Arena`] indexed by its own id type, so cross-references between
+//! tables are plain `u32`-sized copies instead of lifetimes or `Rc` webs.
+//! Entities are never removed — the ground-truth topology is immutable once
+//! generated — which keeps ids stable for the whole run.
+
+use core::fmt;
+use core::marker::PhantomData;
+use core::ops::{Index, IndexMut};
+
+/// Conversion between an id newtype and a `usize` arena slot.
+pub trait Idx: Copy + Eq + Ord + core::hash::Hash + fmt::Debug {
+    /// Builds the id for slot `i`.
+    fn from_usize(i: usize) -> Self;
+    /// Returns the slot this id addresses.
+    fn index(self) -> usize;
+}
+
+/// A growable table of `T` addressed by the id type `I`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Arena<I: Idx, T> {
+    items: Vec<T>,
+    _marker: PhantomData<I>,
+}
+
+impl<I: Idx, T> Arena<I, T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self { items: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates an empty arena with room for `cap` entities.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { items: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// Appends an entity and returns its id.
+    pub fn push(&mut self, value: T) -> I {
+        let id = I::from_usize(self.items.len());
+        self.items.push(value);
+        id
+    }
+
+    /// Id that the *next* `push` will return. Useful when an entity must
+    /// know its own id at construction time.
+    pub fn next_id(&self) -> I {
+        I::from_usize(self.items.len())
+    }
+
+    /// Number of entities stored.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Immutable access, returning `None` for out-of-range ids (only
+    /// possible when an id from a different arena leaks in).
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.items.get(id.index())
+    }
+
+    /// Mutable access by id.
+    pub fn get_mut(&mut self, id: I) -> Option<&mut T> {
+        self.items.get_mut(id.index())
+    }
+
+    /// Iterates `(id, &entity)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+    }
+
+    /// Iterates `(id, &mut entity)` in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut T)> {
+        self.items.iter_mut().enumerate().map(|(i, t)| (I::from_usize(i), t))
+    }
+
+    /// Iterates all ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
+        (0..self.items.len()).map(I::from_usize)
+    }
+
+    /// Iterates the entities without ids.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+impl<I: Idx, T> Default for Arena<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Idx, T> Index<I> for Arena<I, T> {
+    type Output = T;
+
+    fn index(&self, id: I) -> &T {
+        &self.items[id.index()]
+    }
+}
+
+impl<I: Idx, T> IndexMut<I> for Arena<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.index()]
+    }
+}
+
+impl<I: Idx, T: fmt::Debug> fmt::Debug for Arena<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<I: Idx, T> FromIterator<T> for Arena<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        Self { items: iter.into_iter().collect(), _marker: PhantomData }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FacilityId;
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut arena: Arena<FacilityId, &str> = Arena::new();
+        let a = arena.push("equinix-fr5");
+        let b = arena.push("telehouse-north");
+        assert_eq!(a, FacilityId(0));
+        assert_eq!(b, FacilityId(1));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena[b], "telehouse-north");
+    }
+
+    #[test]
+    fn next_id_predicts_push() {
+        let mut arena: Arena<FacilityId, u8> = Arena::new();
+        let predicted = arena.next_id();
+        let actual = arena.push(9);
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn get_is_safe_out_of_range() {
+        let arena: Arena<FacilityId, u8> = Arena::new();
+        assert!(arena.get(FacilityId(5)).is_none());
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let arena: Arena<FacilityId, char> = ['a', 'b', 'c'].into_iter().collect();
+        let pairs: Vec<(FacilityId, char)> = arena.iter().map(|(i, c)| (i, *c)).collect();
+        assert_eq!(pairs, vec![(FacilityId(0), 'a'), (FacilityId(1), 'b'), (FacilityId(2), 'c')]);
+        let ids: Vec<FacilityId> = arena.ids().collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn iter_mut_allows_updates() {
+        let mut arena: Arena<FacilityId, u32> = [1u32, 2, 3].into_iter().collect();
+        for (_, v) in arena.iter_mut() {
+            *v *= 10;
+        }
+        assert_eq!(arena.values().copied().collect::<Vec<_>>(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut arena: Arena<FacilityId, u32> = [5u32].into_iter().collect();
+        *arena.get_mut(FacilityId(0)).unwrap() = 7;
+        assert_eq!(arena[FacilityId(0)], 7);
+        arena[FacilityId(0)] += 1;
+        assert_eq!(arena[FacilityId(0)], 8);
+    }
+}

@@ -1,0 +1,112 @@
+//! Business classification of autonomous systems.
+//!
+//! The paper's evaluation (§5, Figure 10) contrasts the peering strategies
+//! of content/CDN networks against large transit providers; the topology
+//! generator uses the class to shape an AS's footprint (how many facilities
+//! and IXPs it joins, in how many regions) and its peering policy.
+
+use core::fmt;
+
+/// The business type of an autonomous system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AsClass {
+    /// Global transit-free backbone (Level3-, NTT-, Telia-like). Large
+    /// private-interconnect footprint, selective public peering.
+    Tier1,
+    /// Regional or national transit provider: sells transit, peers at the
+    /// bigger exchanges in its footprint.
+    Transit,
+    /// Content delivery network (Google-, Akamai-, Cloudflare-like):
+    /// very wide public-peering footprint, open policy, many IXPs.
+    Cdn,
+    /// Content owner / hoster without a global delivery fabric.
+    Content,
+    /// Eyeball / access network serving end users; hosts most vantage
+    /// points of home-probe platforms such as RIPE Atlas.
+    Access,
+    /// Enterprise edge network; small footprint, mostly buys transit.
+    Enterprise,
+    /// IXP port reseller / transport partner enabling remote peering (§2).
+    Reseller,
+}
+
+impl AsClass {
+    /// All classes in a stable report order.
+    pub const ALL: [AsClass; 7] = [
+        Self::Tier1,
+        Self::Transit,
+        Self::Cdn,
+        Self::Content,
+        Self::Access,
+        Self::Enterprise,
+        Self::Reseller,
+    ];
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Tier1 => "tier1",
+            Self::Transit => "transit",
+            Self::Cdn => "cdn",
+            Self::Content => "content",
+            Self::Access => "access",
+            Self::Enterprise => "enterprise",
+            Self::Reseller => "reseller",
+        }
+    }
+
+    /// Whether this class sells transit (used when generating the
+    /// customer-provider AS relationship graph).
+    pub fn sells_transit(self) -> bool {
+        matches!(self, Self::Tier1 | Self::Transit | Self::Reseller)
+    }
+
+    /// Whether networks of this class typically operate infrastructure in
+    /// several world regions.
+    pub fn is_global(self) -> bool {
+        matches!(self, Self::Tier1 | Self::Cdn)
+    }
+}
+
+impl fmt::Display for AsClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique_and_lowercase() {
+        let labels: std::collections::BTreeSet<&str> =
+            AsClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), AsClass::ALL.len());
+        for l in labels {
+            assert_eq!(l, l.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn transit_sellers() {
+        assert!(AsClass::Tier1.sells_transit());
+        assert!(AsClass::Transit.sells_transit());
+        assert!(!AsClass::Cdn.sells_transit());
+        assert!(!AsClass::Access.sells_transit());
+    }
+
+    #[test]
+    fn global_classes() {
+        assert!(AsClass::Tier1.is_global());
+        assert!(AsClass::Cdn.is_global());
+        assert!(!AsClass::Enterprise.is_global());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        for class in AsClass::ALL {
+            assert_eq!(class.to_string(), class.label());
+        }
+    }
+}

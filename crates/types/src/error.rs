@@ -1,0 +1,130 @@
+//! The shared error type for the `cfs` workspace.
+
+use core::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors surfaced by the `cfs` crates.
+///
+/// The workspace keeps a single error enum rather than per-crate error
+/// types: the crates form one system and callers almost always handle the
+/// union anyway.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A textual value (prefix, IP address, hostname…) failed to parse.
+    Parse {
+        /// What was being parsed (e.g. `"ipv4 prefix"`).
+        what: &'static str,
+        /// The offending input.
+        input: String,
+    },
+    /// A referenced entity does not exist in the relevant table.
+    NotFound {
+        /// The entity kind (e.g. `"facility"`).
+        what: &'static str,
+        /// A rendering of the missing key.
+        key: String,
+    },
+    /// An operation received structurally invalid input.
+    Invalid {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A configuration value is out of its supported range.
+    Config {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An address pool or other finite resource was exhausted.
+    Exhausted {
+        /// The resource that ran out (e.g. `"ixp prefix pool"`).
+        what: &'static str,
+    },
+    /// Wrapper for I/O failures in the experiment harness.
+    Io {
+        /// Stringified `std::io::Error` (kept stringly so the enum stays
+        /// `Clone + Eq` for use in test assertions).
+        message: String,
+    },
+}
+
+impl Error {
+    /// Builds a [`Error::Parse`].
+    pub fn parse(what: &'static str, input: impl Into<String>) -> Self {
+        Self::Parse { what, input: input.into() }
+    }
+
+    /// Builds a [`Error::NotFound`].
+    pub fn not_found(what: &'static str, key: impl fmt::Display) -> Self {
+        Self::NotFound { what, key: key.to_string() }
+    }
+
+    /// Builds a [`Error::Invalid`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        Self::Invalid { reason: reason.into() }
+    }
+
+    /// Builds a [`Error::Config`].
+    pub fn config(reason: impl Into<String>) -> Self {
+        Self::Config { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse { what, input } => write!(f, "failed to parse {what}: {input:?}"),
+            Self::NotFound { what, key } => write!(f, "{what} not found: {key}"),
+            Self::Invalid { reason } => write!(f, "invalid input: {reason}"),
+            Self::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::Exhausted { what } => write!(f, "resource exhausted: {what}"),
+            Self::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::parse("ipv4 prefix", "10.0.0.0/999");
+        assert_eq!(e.to_string(), "failed to parse ipv4 prefix: \"10.0.0.0/999\"");
+
+        let e = Error::not_found("facility", "fac42");
+        assert_eq!(e.to_string(), "facility not found: fac42");
+
+        let e = Error::invalid("empty hop list");
+        assert_eq!(e.to_string(), "invalid input: empty hop list");
+
+        let e = Error::config("n_facilities must be > 0");
+        assert!(e.to_string().contains("n_facilities"));
+
+        let e = Error::Exhausted { what: "ixp prefix pool" };
+        assert!(e.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io { .. }));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::parse("x", "y"), Error::parse("x", "y"));
+        assert_ne!(Error::parse("x", "y"), Error::parse("x", "z"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Strongly-typed identifiers for every entity in the model.
+//!
+//! All identifiers are thin newtypes over `u32` (except [`Asn`], which
+//! carries a real 32-bit AS number rather than an arena index). Using
+//! distinct types prevents the classic bug of indexing the facility table
+//! with a router id, at zero runtime cost.
+
+use core::fmt;
+
+use crate::arena::Idx;
+
+/// Defines an arena-index newtype with the shared boilerplate:
+/// construction, `Idx` for arena access, and a `Display` prefix.
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            serde::Serialize, serde::Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index value.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl Idx for $name {
+            fn from_usize(i: usize) -> Self {
+                Self(u32::try_from(i).expect("arena index exceeds u32"))
+            }
+
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an interconnection facility (a building, or part of
+    /// one, offering colocation — §2 of the paper).
+    FacilityId,
+    "fac"
+);
+
+define_id!(
+    /// Identifier of an Internet exchange point. Exchanges operated by the
+    /// same company in different metros are distinct entities (e.g.
+    /// DE-CIX Frankfurt vs DE-CIX Munich), matching §3.1.2.
+    IxpId,
+    "ixp"
+);
+
+define_id!(
+    /// Identifier of a facility *operator* (e.g. an Equinix-like chain).
+    /// Facilities of the same operator within a metro are typically
+    /// interconnected, which matters for cross-connect reachability.
+    OperatorId,
+    "op"
+);
+
+define_id!(
+    /// Identifier of a city in the world table.
+    CityId,
+    "city"
+);
+
+define_id!(
+    /// Identifier of a metropolitan area: one or more cities merged by the
+    /// paper's 5-mile rule (§3.1.1, e.g. Jersey City + NYC).
+    MetroId,
+    "metro"
+);
+
+define_id!(
+    /// Identifier of a country (ISO-normalized).
+    CountryId,
+    "cc"
+);
+
+define_id!(
+    /// Identifier of a physical router in the ground-truth topology.
+    RouterId,
+    "rtr"
+);
+
+define_id!(
+    /// Identifier of a router interface. Interfaces are the unit the CFS
+    /// algorithm resolves to facilities.
+    IfaceId,
+    "if"
+);
+
+define_id!(
+    /// Identifier of an IXP switch (core, backhaul, or access — Figure 6).
+    SwitchId,
+    "sw"
+);
+
+define_id!(
+    /// Identifier of a ground-truth interconnection (one peering link
+    /// between two routers).
+    LinkId,
+    "lnk"
+);
+
+define_id!(
+    /// Identifier of a traceroute vantage point on one of the four
+    /// measurement platforms (Table 1).
+    VantagePointId,
+    "vp"
+);
+
+/// An autonomous system number.
+///
+/// Unlike the arena ids above this is a *semantic* number: the actual ASN
+/// used in routing, IP-to-ASN mapping and reporting. The topology generator
+/// assigns well-known ASNs to the paper's target networks (e.g. 15169 for
+/// the Google-like CDN) and synthetic ASNs elsewhere.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Wraps a raw AS number.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw AS number.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(raw: u32) -> Self {
+        Self(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(FacilityId(7).to_string(), "fac7");
+        assert_eq!(IxpId(0).to_string(), "ixp0");
+        assert_eq!(RouterId(12).to_string(), "rtr12");
+        assert_eq!(IfaceId(3).to_string(), "if3");
+        assert_eq!(Asn(15169).to_string(), "AS15169");
+    }
+
+    #[test]
+    fn debug_matches_display() {
+        assert_eq!(format!("{:?}", MetroId(4)), "metro4");
+        assert_eq!(format!("{:?}", Asn(3356)), "AS3356");
+    }
+
+    #[test]
+    fn idx_round_trips() {
+        let id = FacilityId::from_usize(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, FacilityId::new(42));
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let set: BTreeSet<RouterId> = [RouterId(3), RouterId(1), RouterId(2)].into_iter().collect();
+        let ordered: Vec<u32> = set.into_iter().map(RouterId::raw).collect();
+        assert_eq!(ordered, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn asn_from_u32() {
+        assert_eq!(Asn::from(174).raw(), 174);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena index exceeds u32")]
+    fn idx_overflow_panics() {
+        let _ = IfaceId::from_usize(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

@@ -1,0 +1,37 @@
+//! # cfs-types
+//!
+//! Fundamental identifiers and domain vocabulary shared by every crate in
+//! the `cfs` workspace — the Rust reproduction of *"Mapping Peering
+//! Interconnections to a Facility"* (CoNEXT 2015).
+//!
+//! The workspace models the entities of the interdomain peering ecosystem:
+//! autonomous systems ([`Asn`]), colocation facilities ([`FacilityId`]),
+//! Internet exchange points ([`IxpId`]), routers and their interfaces
+//! ([`RouterId`], [`IfaceId`]), and the geography they live in
+//! ([`CityId`], [`MetroId`], [`Region`]).
+//!
+//! Everything here is deliberately small and dependency-free: plain-old-data
+//! newtypes over integers, a typed [`arena`] for storing
+//! entities, and the shared [`Error`] type.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arena;
+mod asclass;
+mod error;
+mod ids;
+mod peering;
+mod region;
+mod rel;
+
+pub use arena::{Arena, Idx};
+pub use asclass::AsClass;
+pub use error::{Error, Result};
+pub use ids::{
+    Asn, CityId, CountryId, FacilityId, IfaceId, IxpId, LinkId, MetroId, OperatorId, RouterId,
+    SwitchId, VantagePointId,
+};
+pub use peering::{LinkClass, PeeringKind};
+pub use region::Region;
+pub use rel::Rel;

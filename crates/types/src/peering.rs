@@ -1,0 +1,169 @@
+//! Interconnection vocabulary: the peering engineering options of §2 and
+//! the traceroute-level classification of §4.2 Step 1.
+
+use core::fmt;
+
+use crate::ids::IxpId;
+
+/// The engineering method used to establish a peering interconnection
+/// (§2, Figure 1 / Figure 10 legend).
+///
+/// This is both a ground-truth attribute of a generated link and the final
+/// verdict of the CFS algorithm for an inferred one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PeeringKind {
+    /// Public peering over an IXP switching fabric, with both routers
+    /// physically present at facilities of that IXP ("public local").
+    PublicLocal,
+    /// Public peering over an IXP fabric where (at least) the classified
+    /// side reaches the fabric through a reseller / transport partner and
+    /// keeps its router far from any IXP facility ("remote peering", §2).
+    PublicRemote,
+    /// Private peering over a dedicated cross-connect inside a facility
+    /// (or between interconnected facilities of one operator).
+    PrivateCrossConnect,
+    /// Private point-to-point interconnect tunnelled over an IXP's fabric
+    /// as a VLAN ("tethering" / IXP metro VLAN).
+    PrivateTethering,
+    /// Private interconnect between routers in *different* buildings over
+    /// a long-haul circuit — the paper's "remote private peering" outcome
+    /// (§4.2 Step 2 case 3), typical for off-net transit delivery.
+    PrivateRemote,
+}
+
+impl PeeringKind {
+    /// Whether the interconnection uses an IXP's public switching fabric
+    /// for transport (even when the BGP session itself is private).
+    pub fn uses_ixp_fabric(self) -> bool {
+        matches!(self, Self::PublicLocal | Self::PublicRemote | Self::PrivateTethering)
+    }
+
+    /// Whether the peering session is public (IXP-addressed) as opposed to
+    /// a private point-to-point session.
+    pub fn is_public(self) -> bool {
+        matches!(self, Self::PublicLocal | Self::PublicRemote)
+    }
+
+    /// Whether the near-end router must sit in a facility shared with the
+    /// counterparty infrastructure (IXP or peer). Remote variants do not.
+    pub fn requires_local_presence(self) -> bool {
+        matches!(self, Self::PublicLocal | Self::PrivateCrossConnect)
+    }
+
+    /// Stable short label used in reports and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::PublicLocal => "public-local",
+            Self::PublicRemote => "public-remote",
+            Self::PrivateCrossConnect => "private-xconnect",
+            Self::PrivateTethering => "private-tethering",
+            Self::PrivateRemote => "private-remote",
+        }
+    }
+
+    /// All kinds, in report order (Figure 10 legend order, then
+    /// [`PeeringKind::PrivateRemote`]).
+    pub const ALL: [PeeringKind; 5] = [
+        Self::PublicLocal,
+        Self::PublicRemote,
+        Self::PrivateCrossConnect,
+        Self::PrivateTethering,
+        Self::PrivateRemote,
+    ];
+}
+
+impl fmt::Display for PeeringKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Step-1 classification of a traceroute-observed adjacency (§4.2).
+///
+/// Traceroute alone can distinguish *public* peering (an intermediate hop
+/// from IXP address space) from *private* peering (a direct AS-to-AS hop);
+/// refining private into cross-connect vs tethering vs remote, and public
+/// into local vs remote, requires the later CFS steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// `(IP_A, IP_e, IP_B)` with `IP_e` in the address space of `ixp`.
+    Public {
+        /// The IXP whose fabric the middle hop address belongs to.
+        ixp: IxpId,
+    },
+    /// `(IP_A, IP_B)` with no intermediate network.
+    Private,
+}
+
+impl LinkClass {
+    /// The IXP for public classifications, `None` for private.
+    pub fn ixp(self) -> Option<IxpId> {
+        match self {
+            Self::Public { ixp } => Some(ixp),
+            Self::Private => None,
+        }
+    }
+
+    /// Whether this is a public (IXP-mediated) adjacency.
+    pub fn is_public(self) -> bool {
+        matches!(self, Self::Public { .. })
+    }
+}
+
+impl fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Public { ixp } => write!(f, "public({ixp})"),
+            Self::Private => f.write_str("private"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_usage_matches_paper_semantics() {
+        assert!(PeeringKind::PublicLocal.uses_ixp_fabric());
+        assert!(PeeringKind::PublicRemote.uses_ixp_fabric());
+        assert!(PeeringKind::PrivateTethering.uses_ixp_fabric());
+        assert!(!PeeringKind::PrivateCrossConnect.uses_ixp_fabric());
+    }
+
+    #[test]
+    fn public_vs_private_session() {
+        assert!(PeeringKind::PublicLocal.is_public());
+        assert!(PeeringKind::PublicRemote.is_public());
+        assert!(!PeeringKind::PrivateCrossConnect.is_public());
+        assert!(!PeeringKind::PrivateTethering.is_public());
+    }
+
+    #[test]
+    fn local_presence_requirements() {
+        assert!(PeeringKind::PublicLocal.requires_local_presence());
+        assert!(PeeringKind::PrivateCrossConnect.requires_local_presence());
+        assert!(!PeeringKind::PublicRemote.requires_local_presence());
+        assert!(!PeeringKind::PrivateTethering.requires_local_presence());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<&str> =
+            PeeringKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), PeeringKind::ALL.len());
+    }
+
+    #[test]
+    fn link_class_accessors() {
+        let public = LinkClass::Public { ixp: IxpId(3) };
+        assert_eq!(public.ixp(), Some(IxpId(3)));
+        assert!(public.is_public());
+        assert_eq!(public.to_string(), "public(ixp3)");
+
+        let private = LinkClass::Private;
+        assert_eq!(private.ixp(), None);
+        assert!(!private.is_public());
+        assert_eq!(private.to_string(), "private");
+    }
+}

@@ -1,0 +1,71 @@
+//! World regions, matching the regional breakdown used throughout the
+//! paper (§3.1.2 facility counts, Figure 10 columns).
+
+use core::fmt;
+
+/// A world region. The facility dataset of §3.1.2 is reported in exactly
+/// these six buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Region {
+    /// North America (paper: 503 of 1,694 facilities).
+    NorthAmerica,
+    /// Europe (paper: 860 facilities — the densest region).
+    Europe,
+    /// Asia (paper: 143 facilities).
+    Asia,
+    /// Oceania (paper: 84 facilities).
+    Oceania,
+    /// South America (paper: 73 facilities).
+    SouthAmerica,
+    /// Africa (paper: 31 facilities).
+    Africa,
+}
+
+impl Region {
+    /// All regions in the paper's report order.
+    pub const ALL: [Region; 6] = [
+        Self::NorthAmerica,
+        Self::Europe,
+        Self::Asia,
+        Self::Oceania,
+        Self::SouthAmerica,
+        Self::Africa,
+    ];
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::NorthAmerica => "north-america",
+            Self::Europe => "europe",
+            Self::Asia => "asia",
+            Self::Oceania => "oceania",
+            Self::SouthAmerica => "south-america",
+            Self::Africa => "africa",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_regions_in_paper_order() {
+        assert_eq!(Region::ALL.len(), 6);
+        assert_eq!(Region::ALL[0], Region::NorthAmerica);
+        assert_eq!(Region::ALL[1], Region::Europe);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::BTreeSet<&str> =
+            Region::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,43 @@
+//! Interdomain business relationships (Gao–Rexford model).
+
+use core::fmt;
+
+/// The business relationship on an AS-level adjacency.
+///
+/// Stored on the adjacency in canonical orientation: for
+/// [`Rel::CustomerToProvider`], the adjacency's first AS is the customer;
+/// [`Rel::PeerToPeer`] is symmetric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rel {
+    /// The first AS buys transit from the second.
+    CustomerToProvider,
+    /// Settlement-free peering.
+    PeerToPeer,
+}
+
+impl Rel {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::CustomerToProvider => "c2p",
+            Self::PeerToPeer => "p2p",
+        }
+    }
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Rel::CustomerToProvider.to_string(), "c2p");
+        assert_eq!(Rel::PeerToPeer.to_string(), "p2p");
+    }
+}

@@ -1,0 +1,86 @@
+//! Remote-peering census: how many IXP members reach each exchange
+//! through a reseller rather than local equipment? The paper cites ~20%
+//! of AMS-IX members peering remotely (§2) and infers remoteness from
+//! RTT floors (§4.2, after Castro et al.).
+//!
+//! The census runs the RTT test against every fabric address in the
+//! member directories, then — since this is a simulation with known
+//! ground truth — scores its own verdicts.
+//!
+//! ```text
+//! cargo run --release --example remote_peering_census
+//! ```
+
+use cfs::prelude::*;
+use cfs_core::RemoteTester;
+
+fn main() {
+    let topo = Topology::generate(TopologyConfig::default()).expect("topology");
+    let vps = deploy_vantage_points(&topo, &VpConfig::default()).expect("vantage points");
+    let engine = Engine::new(&topo);
+    let sources = PublicSources::derive(&topo, &KbConfig::default());
+    let kb = KnowledgeBase::assemble(&sources, &topo.world);
+
+    let tester = RemoteTester::new(&engine, &vps);
+
+    println!("remote-peering census over published member directories:\n");
+    println!("{:<16} {:>8} {:>8} {:>9}  accuracy", "ixp", "members", "remote", "fraction");
+
+    let mut censused = 0usize;
+    let mut true_pos = 0usize;
+    let mut false_pos = 0usize;
+    let mut truth_remote = 0usize;
+
+    let mut rows: Vec<(String, usize, usize, f64, f64)> = Vec::new();
+    for ixp_id in kb.active_ixps().iter().copied() {
+        let ixp = &topo.ixps[ixp_id];
+        if ixp.members.len() < 4 {
+            continue;
+        }
+        let mut members = 0usize;
+        let mut remote = 0usize;
+        let mut correct = 0usize;
+        for m in &ixp.members {
+            let Some(verdict) = tester.is_remote(ixp_id, m.fabric_ip) else { continue };
+            members += 1;
+            censused += 1;
+            let truth = m.remote_via.is_some();
+            truth_remote += usize::from(truth);
+            if verdict {
+                remote += 1;
+                if truth {
+                    true_pos += 1;
+                } else {
+                    false_pos += 1;
+                }
+            }
+            if verdict == truth {
+                correct += 1;
+            }
+        }
+        if members >= 4 {
+            rows.push((
+                ixp.name.clone(),
+                members,
+                remote,
+                remote as f64 / members as f64,
+                correct as f64 / members as f64,
+            ));
+        }
+    }
+
+    rows.sort_by_key(|(_, members, ..)| std::cmp::Reverse(*members));
+    for (name, members, remote, fraction, accuracy) in rows.iter().take(15) {
+        println!(
+            "{name:<16} {members:>8} {remote:>8} {:>8.1}%  {:>7.1}%",
+            fraction * 100.0,
+            accuracy * 100.0
+        );
+    }
+
+    println!("\ntotals: {censused} memberships tested, {truth_remote} truly remote");
+    println!(
+        "verdict quality: {true_pos} true positives, {false_pos} false positives \
+         (paper validated 44/48 remote inferences against AMS-IX/France-IX data)"
+    );
+}

@@ -1,0 +1,77 @@
+//! # cfs — Constrained Facility Search
+//!
+//! A complete, self-contained reproduction of *"Mapping Peering
+//! Interconnections to a Facility"* (Giotsas, Smaragdakis, Huffaker,
+//! Luckie, claffy — CoNEXT 2015): infer, for every peering
+//! interconnection observed in traceroute data, the **physical colocation
+//! facility** it lives in and the **engineering method** used (public
+//! peering over an IXP, private cross-connect, tethering VLAN, remote
+//! peering).
+//!
+//! Because the paper consumes the live Internet, this workspace ships
+//! every substrate it needs as a crate: a generative ground-truth
+//! topology ([`topology`]), valley-free interdomain routing ([`bgp`]), a
+//! Paris-traceroute measurement simulator ([`traceroute`]), MIDAR-style
+//! alias resolution ([`alias`]), the messy public knowledge bases
+//! ([`kb`]), the CFS algorithm itself ([`core`]), the geolocation
+//! baselines it outperforms ([`baselines`]), the four-channel validation
+//! harness ([`validate`]), and the experiment suite that regenerates
+//! every table and figure ([`experiments`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cfs::prelude::*;
+//!
+//! // 1. A small synthetic peering ecosystem (facilities, IXPs, ASes).
+//! let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+//!
+//! // 2. Measurement substrate: vantage points + traceroute engine.
+//! let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
+//! let engine = Engine::new(&topo);
+//!
+//! // 3. The public view: PeeringDB-like sources, assembled per §3.1.
+//! let sources = PublicSources::derive(&topo, &KbConfig::default());
+//! let kb = KnowledgeBase::assemble(&sources, &topo.world);
+//! let ipasn = topo.build_ipasn_db();
+//!
+//! // 4. Bootstrap campaign toward a few targets.
+//! let targets: Vec<std::net::Ipv4Addr> =
+//!     topo.ases.keys().take(5).map(|a| topo.target_ip(*a).unwrap()).collect();
+//! let vp_ids: Vec<_> = vps.ids().collect();
+//! let traces = run_campaign(&engine, &vps, &vp_ids, &targets, 0, &CampaignLimits::default());
+//!
+//! // 5. Run Constrained Facility Search.
+//! let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+//! cfs.ingest(traces);
+//! let report = cfs.run();
+//! println!("resolved {}/{} interfaces", report.resolved(), report.total());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use cfs_alias as alias;
+pub use cfs_baselines as baselines;
+pub use cfs_bgp as bgp;
+pub use cfs_core as core;
+pub use cfs_experiments as experiments;
+pub use cfs_geo as geo;
+pub use cfs_kb as kb;
+pub use cfs_net as net;
+pub use cfs_topology as topology;
+pub use cfs_traceroute as traceroute;
+pub use cfs_types as types;
+pub use cfs_validate as validate;
+
+/// The names almost every user of the library needs.
+pub mod prelude {
+    pub use cfs_core::{Cfs, CfsConfig, CfsReport, SearchOutcome};
+    pub use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
+    pub use cfs_topology::{Topology, TopologyConfig};
+    pub use cfs_traceroute::{
+        deploy_vantage_points, run_campaign, CampaignLimits, Engine, Platform, VpConfig,
+    };
+    pub use cfs_types::{Asn, AsClass, FacilityId, IxpId, PeeringKind, Region};
+    pub use cfs_validate::{score_report, ValidationOracles};
+}

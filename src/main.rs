@@ -1,0 +1,291 @@
+//! The `cfs` command-line tool: generate worlds, run the full inference
+//! pipeline, export the inferred interconnection map, and run the
+//! analysis scenarios from the examples as one-shot commands.
+//!
+//! ```text
+//! cfs world    [--scale S] [--seed N]             # ground-truth statistics
+//! cfs run      [--scale S] [--seed N] [--out F]   # full pipeline + dataset export
+//! cfs audit    <asn> [--scale S] [--seed N]       # one network's peering map
+//! cfs census   [--scale S] [--seed N]             # remote-peering census
+//! cfs validate [--scale S] [--seed N]             # §6 validation scorecard
+//! ```
+
+use std::collections::BTreeMap;
+
+use cfs::prelude::*;
+use cfs_experiments::{Lab, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let command = args.get(1).map(String::as_str).unwrap_or("help");
+    let (scale, seed) = parse_flags(&args[2.min(args.len())..]);
+
+    let code = match command {
+        "world" => world(scale, seed),
+        "snapshot" => snapshot(scale, seed, flag_value(&args, "--out")),
+        "run" => run_cmd(scale, seed, flag_value(&args, "--out"), flag_value(&args, "--sources")),
+        "audit" => audit(scale, seed, args.get(2).and_then(|s| s.parse().ok())),
+        "census" => census(scale, seed),
+        "validate" => validate(scale, seed),
+        "help" | "--help" | "-h" => {
+            print_help();
+            0
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    eprintln!(
+        "cfs — Constrained Facility Search (CoNEXT'15 reproduction)\n\n\
+         usage: cfs <command> [--scale tiny|default|paper] [--seed N]\n\n\
+         commands:\n\
+         \x20 world      ground-truth statistics of a generated world\n\
+         \x20 snapshot   export the public sources as editable JSON (--out FILE)\n\
+         \x20 run        full pipeline; --out FILE exports the inferred map;\n\
+         \x20            --sources FILE drives it from a saved/edited snapshot\n\
+         \x20 audit ASN  one network's inferred peering map\n\
+         \x20 census     remote-peering census over the exchanges\n\
+         \x20 validate   §6 validation scorecard\n\
+         \x20 help       this message\n\n\
+         paper tables/figures: cargo run -p cfs-experiments --bin all -- --scale paper"
+    );
+}
+
+fn parse_flags(args: &[String]) -> (Scale, Option<u64>) {
+    let mut scale = Scale::Default;
+    let mut seed = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = match args.get(i + 1).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("paper") => Scale::Paper,
+                    _ => Scale::Default,
+                };
+                i += 1;
+            }
+            "--seed" => {
+                seed = args.get(i + 1).and_then(|v| v.parse().ok());
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (scale, seed)
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn provision(scale: Scale, seed: Option<u64>) -> Lab {
+    Lab::provision(scale, seed).expect("world generation failed")
+}
+
+fn world(scale: Scale, seed: Option<u64>) -> i32 {
+    let lab = provision(scale, seed);
+    let t = &lab.topo;
+    println!("scale: {} (seed {})", scale.label(), t.config.seed);
+    println!("facilities:     {}", t.facilities.len());
+    println!("ixps:           {}", t.ixps.len());
+    println!("ases:           {}", t.ases.len());
+    println!("routers:        {}", t.routers.len());
+    println!("interfaces:     {}", t.ifaces.len());
+    println!("private links:  {}", t.links.len());
+    println!("as adjacencies: {}", t.adjacencies.len());
+    for region in Region::ALL {
+        let n = t.facilities.values().filter(|f| f.region == region).count();
+        println!("  {region:<14} {n:>5} facilities");
+    }
+    0
+}
+
+fn snapshot(scale: Scale, seed: Option<u64>, out: Option<String>) -> i32 {
+    let Some(path) = out else {
+        eprintln!("usage: cfs snapshot --out FILE [--scale S] [--seed N]");
+        return 2;
+    };
+    let lab = provision(scale, seed);
+    match lab.sources.save(&path) {
+        Ok(()) => {
+            println!("wrote public sources to {path} (world: scale {}, seed {})",
+                scale.label(), lab.topo.config.seed);
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            1
+        }
+    }
+}
+
+fn run_cmd(
+    scale: Scale,
+    seed: Option<u64>,
+    out: Option<String>,
+    sources_path: Option<String>,
+) -> i32 {
+    let sources = match sources_path {
+        Some(p) => match cfs::kb::PublicSources::load(&p) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("failed to load sources from {p}: {e}");
+                return 1;
+            }
+        },
+        None => None,
+    };
+    let lab = Lab::provision_with_sources(scale, seed, sources).expect("world generation failed");
+    let report = lab.run_cfs(None, None, CfsConfig::default());
+    println!(
+        "resolved {}/{} interfaces ({:.1}%) over {} iterations; {} follow-up traceroutes",
+        report.resolved(),
+        report.total(),
+        report.resolved_fraction() * 100.0,
+        report.iterations.len(),
+        report.traces_issued,
+    );
+
+    if let Some(path) = out {
+        // The public dataset the paper publishes: every inferred
+        // interface and interconnection, in machine-readable form.
+        let interfaces: Vec<serde_json::Value> = report
+            .interfaces
+            .values()
+            .map(|i| {
+                serde_json::json!({
+                    "ip": i.ip.to_string(),
+                    "owner_asn": i.owner.map(|a| a.raw()),
+                    "facility": i.facility.map(|f| lab.topo.facilities[f].name.clone()),
+                    "metro": i.metro.map(|m| lab.topo.world.metro(m).name.clone()),
+                    "outcome": format!("{:?}", i.outcome),
+                    "remote_peer": i.remote,
+                    "candidates": i.candidates.len(),
+                    "resolved_at_iteration": i.resolved_at,
+                    "via_proximity_heuristic": i.via_proximity,
+                })
+            })
+            .collect();
+        let links: Vec<serde_json::Value> = report
+            .links
+            .iter()
+            .map(|l| {
+                serde_json::json!({
+                    "near_asn": l.near_asn.raw(),
+                    "near_ip": l.near_ip.to_string(),
+                    "far_asn": l.far_asn.map(|a| a.raw()),
+                    "far_ip": l.far_ip.map(|ip| ip.to_string()),
+                    "type": l.kind.label(),
+                    "ixp": l.ixp.map(|x| lab.topo.ixps[x].name.clone()),
+                    "near_facility": l.near_facility.map(|f| lab.topo.facilities[f].name.clone()),
+                    "far_facility": l.far_facility.map(|f| lab.topo.facilities[f].name.clone()),
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "generator": "cfs (constrained facility search reproduction)",
+            "scale": scale.label(),
+            "interfaces": interfaces,
+            "interconnections": links,
+        });
+        match serde_json::to_string_pretty(&doc)
+            .map_err(|e| e.to_string())
+            .and_then(|s| std::fs::write(&path, s).map_err(|e| e.to_string()))
+        {
+            Ok(()) => println!("wrote inferred map to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn audit(scale: Scale, seed: Option<u64>, asn: Option<u32>) -> i32 {
+    let Some(asn) = asn else {
+        eprintln!("usage: cfs audit <asn> [--scale S] [--seed N]");
+        return 2;
+    };
+    let target = Asn(asn);
+    let lab = provision(scale, seed);
+    if lab.topo.as_node(target).is_err() {
+        eprintln!("{target} does not exist in this world");
+        return 1;
+    }
+    let report = lab.run_cfs(None, None, CfsConfig::default());
+    let node = lab.topo.as_node(target).expect("checked");
+    println!("{target} ({}, {})", node.name, node.class);
+    let by_kind = report.interfaces_by_kind(target);
+    for kind in PeeringKind::ALL {
+        if let Some(n) = by_kind.get(&kind) {
+            println!("  {:<18} {n}", kind.label());
+        }
+    }
+    let mut metros: BTreeMap<String, usize> = BTreeMap::new();
+    for (ip, _) in report.interfaces_of_owner(target) {
+        if let Some(f) = report.interfaces.get(&ip).and_then(|i| i.facility) {
+            *metros
+                .entry(lab.topo.world.metro(lab.topo.facilities[f].metro).name.clone())
+                .or_default() += 1;
+        }
+    }
+    println!("inferred interconnection metros:");
+    for (m, n) in metros {
+        println!("  {m:<16} {n}");
+    }
+    0
+}
+
+fn census(scale: Scale, seed: Option<u64>) -> i32 {
+    let lab = provision(scale, seed);
+    let engine = cfs::traceroute::Engine::new(&lab.topo);
+    let vps = &lab.vps;
+    let tester = cfs::core::RemoteTester::new(&engine, vps);
+    let mut total = 0usize;
+    let mut remote = 0usize;
+    for ixp_id in lab.kb.active_ixps().iter().copied() {
+        for m in &lab.topo.ixps[ixp_id].members {
+            if let Some(verdict) = tester.is_remote(ixp_id, m.fabric_ip) {
+                total += 1;
+                remote += usize::from(verdict);
+            }
+        }
+    }
+    println!(
+        "remote-peering census: {remote}/{total} memberships inferred remote ({:.1}%)",
+        100.0 * remote as f64 / total.max(1) as f64
+    );
+    0
+}
+
+fn validate(scale: Scale, seed: Option<u64>) -> i32 {
+    let lab = provision(scale, seed);
+    let report = lab.run_cfs(None, None, CfsConfig::default());
+    let oracles = ValidationOracles::standard(&lab.topo, &lab.sources);
+    let scored = score_report(&report, &oracles, &lab.topo);
+    let overall = scored.overall();
+    match overall.accuracy() {
+        Some(acc) => {
+            println!(
+                "validated accuracy: {:.1}% ({}/{} facility-level checks)",
+                acc * 100.0,
+                overall.matched,
+                overall.checked
+            );
+            0
+        }
+        None => {
+            eprintln!("no validation coverage at this scale");
+            1
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Failure injection: the inference pipeline must degrade gracefully —
+//! not collapse — under measurement pathologies (heavy reply loss,
+//! widespread congestion, classic-traceroute artifacts).
+
+use cfs::prelude::*;
+
+fn run_with_engine(topo: &Topology, engine: &Engine<'_>) -> cfs::core::CfsReport {
+    let vps = deploy_vantage_points(topo, &VpConfig::tiny()).unwrap();
+    let sources = PublicSources::derive(topo, &KbConfig::default());
+    let kb = KnowledgeBase::assemble(&sources, &topo.world);
+    let ipasn = topo.build_ipasn_db();
+
+    let targets: Vec<std::net::Ipv4Addr> = topo
+        .ases
+        .values()
+        .filter(|n| matches!(n.class, AsClass::Cdn | AsClass::Tier1))
+        .map(|n| topo.target_ip(n.asn).unwrap())
+        .collect();
+    let vp_ids: Vec<_> = vps.ids().collect();
+    let traces = run_campaign(engine, &vps, &vp_ids, &targets, 0, &CampaignLimits::default());
+
+    let mut cfs = Cfs::new(engine, &vps, &kb, &ipasn, CfsConfig::default());
+    cfs.ingest(traces);
+    cfs.run()
+}
+
+fn accuracy(topo: &Topology, report: &cfs::core::CfsReport) -> (usize, usize) {
+    let mut correct = 0;
+    let mut checked = 0;
+    for iface in report.interfaces.values() {
+        let Some(inferred) = iface.facility else { continue };
+        let Some(ifid) = topo.iface_by_ip(iface.ip) else { continue };
+        let Some(truth) = topo.router_facility(topo.ifaces[ifid].router) else { continue };
+        checked += 1;
+        correct += usize::from(inferred == truth);
+    }
+    (correct, checked)
+}
+
+#[test]
+fn heavy_reply_loss_degrades_coverage_not_correctness() {
+    let topo = Topology::generate(TopologyConfig::default()).unwrap();
+
+    let clean_engine = Engine::new(&topo);
+    let clean = run_with_engine(&topo, &clean_engine);
+
+    let lossy_engine = Engine::new(&topo).with_reply_loss(0.20);
+    let lossy = run_with_engine(&topo, &lossy_engine);
+
+    // Loss hides hops at the measurement level. (End-state interface
+    // counts are *not* monotone in loss: more unresolved interfaces mean
+    // more follow-up probing, which can surface new ones.)
+    let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
+    let vp = &vps.vps[vps.ids().next().unwrap()];
+    let target = topo.target_ip(Asn(15169)).unwrap();
+    let responsive = |engine: &Engine<'_>| -> usize {
+        (0..200u64)
+            .map(|k| {
+                let t = engine.trace(vp, target, k * 13);
+                t.hops.iter().filter(|h| h.ip.is_some()).count()
+            })
+            .sum()
+    };
+    let clean_hops = responsive(&clean_engine);
+    let lossy_hops = responsive(&lossy_engine);
+    assert!(
+        lossy_hops < clean_hops,
+        "20% loss did not hide hops ({lossy_hops} vs {clean_hops})"
+    );
+
+    // But the verdicts that *are* made stay sound.
+    let (clean_ok, clean_n) = accuracy(&topo, &clean);
+    let (lossy_ok, lossy_n) = accuracy(&topo, &lossy);
+    assert!(clean_n > 100 && lossy_n > 50);
+    let clean_acc = clean_ok as f64 / clean_n as f64;
+    let lossy_acc = lossy_ok as f64 / lossy_n as f64;
+    assert!(
+        lossy_acc > clean_acc - 0.10,
+        "loss broke correctness: {lossy_acc:.2} vs {clean_acc:.2}"
+    );
+}
+
+#[test]
+fn pervasive_congestion_does_not_break_remote_inference() {
+    // The remote test takes minima over samples spread across congestion
+    // slots; even a stormy network should rarely flip local members to
+    // "remote".
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
+    let stormy = Engine::new(&topo).with_congestion_percent(30);
+    let tester = cfs::core::RemoteTester::new(&stormy, &vps);
+
+    let mut local_checked = 0usize;
+    let mut local_correct = 0usize;
+    for (id, ixp) in topo.ixps.iter() {
+        for m in &ixp.members {
+            if m.remote_via.is_some() {
+                continue;
+            }
+            if let Some(verdict) = tester.is_remote(id, m.fabric_ip) {
+                local_checked += 1;
+                local_correct += usize::from(!verdict);
+            }
+        }
+    }
+    assert!(local_checked > 20);
+    assert!(
+        local_correct * 10 >= local_checked * 8,
+        "congestion flipped locals to remote: {local_correct}/{local_checked}"
+    );
+}
+
+#[test]
+fn classic_traceroute_artifacts_hurt_but_do_not_poison() {
+    let topo = Topology::generate(TopologyConfig::default()).unwrap();
+    let classic_engine = Engine::new(&topo).without_paris();
+    let classic = run_with_engine(&topo, &classic_engine);
+    let (ok, n) = accuracy(&topo, &classic);
+    assert!(n > 50);
+    // Artifacts insert false adjacencies; conflicts are dropped rather
+    // than followed, so accuracy stays usable (the paper still insists on
+    // Paris for good reason — see the ablation experiment).
+    assert!(
+        ok * 10 >= n * 6,
+        "classic traceroute poisoned the inference: {ok}/{n}"
+    );
+}
