@@ -36,7 +36,10 @@ pub fn correct_ip_to_asn(
     interfaces: &[Ipv4Addr],
 ) -> (BTreeMap<Ipv4Addr, Asn>, CorrectionStats) {
     let mut out: BTreeMap<Ipv4Addr, Asn> = BTreeMap::new();
-    let mut stats = CorrectionStats { sets: aliases.sets.len(), ..Default::default() };
+    let mut stats = CorrectionStats {
+        sets: aliases.sets.len(),
+        ..Default::default()
+    };
 
     // Baseline: raw LPM for every interface of interest.
     for ip in interfaces {
@@ -55,10 +58,10 @@ pub fn correct_ip_to_asn(
         if votes.len() > 1 {
             stats.conflicting_sets += 1;
         }
-        let Some((majority, majority_count)) =
-            votes.iter().max_by_key(|(asn, count)| (*count, std::cmp::Reverse(*asn))).map(
-                |(asn, count)| (*asn, *count),
-            )
+        let Some((majority, majority_count)) = votes
+            .iter()
+            .max_by_key(|(asn, count)| (*count, std::cmp::Reverse(*asn)))
+            .map(|(asn, count)| (*asn, *count))
         else {
             continue; // fully unmapped set
         };
@@ -67,11 +70,9 @@ pub fn correct_ip_to_asn(
         let strict = majority_count * 2 > mapped;
         for ip in set {
             match out.get(ip) {
-                Some(current) if *current != majority => {
-                    if strict {
-                        out.insert(*ip, majority);
-                        stats.corrected_interfaces += 1;
-                    }
+                Some(current) if *current != majority && strict => {
+                    out.insert(*ip, majority);
+                    stats.corrected_interfaces += 1;
                 }
                 None => {
                     out.insert(*ip, majority);
@@ -102,8 +103,14 @@ mod tests {
     #[test]
     fn majority_vote_fixes_ptp_contamination() {
         let db = IpAsnDb::from_announcements([
-            Announcement { prefix: pfx("10.0.0.0/16"), origin: Asn(100) }, // AS A
-            Announcement { prefix: pfx("10.1.0.0/16"), origin: Asn(200) }, // AS B
+            Announcement {
+                prefix: pfx("10.0.0.0/16"),
+                origin: Asn(100),
+            }, // AS A
+            Announcement {
+                prefix: pfx("10.1.0.0/16"),
+                origin: Asn(200),
+            }, // AS B
         ]);
         let set: Vec<Ipv4Addr> = vec![
             "10.0.0.1".parse().unwrap(), // ptp iface from A's space — wrong
@@ -124,11 +131,16 @@ mod tests {
     #[test]
     fn ties_leave_raw_mapping() {
         let db = IpAsnDb::from_announcements([
-            Announcement { prefix: pfx("10.0.0.0/16"), origin: Asn(100) },
-            Announcement { prefix: pfx("10.1.0.0/16"), origin: Asn(200) },
+            Announcement {
+                prefix: pfx("10.0.0.0/16"),
+                origin: Asn(100),
+            },
+            Announcement {
+                prefix: pfx("10.1.0.0/16"),
+                origin: Asn(200),
+            },
         ]);
-        let set: Vec<Ipv4Addr> =
-            vec!["10.0.0.1".parse().unwrap(), "10.1.0.1".parse().unwrap()];
+        let set: Vec<Ipv4Addr> = vec!["10.0.0.1".parse().unwrap(), "10.1.0.1".parse().unwrap()];
         let aliases = AliasResolution {
             sets: vec![set.clone()],
             set_of: set.iter().map(|ip| (*ip, 0)).collect(),
@@ -174,9 +186,14 @@ mod tests {
         // Correction must improve (or at least not worsen) agreement with
         // ground truth over the raw LPM view.
         let truth = |ip: Ipv4Addr| t.ifaces[t.iface_by_ip(ip).unwrap()].asn;
-        let raw_right = ips.iter().filter(|ip| db.origin(**ip) == Some(truth(**ip))).count();
-        let fixed_right =
-            ips.iter().filter(|ip| corrected.get(ip) == Some(&truth(**ip))).count();
+        let raw_right = ips
+            .iter()
+            .filter(|ip| db.origin(**ip) == Some(truth(**ip)))
+            .count();
+        let fixed_right = ips
+            .iter()
+            .filter(|ip| corrected.get(ip) == Some(&truth(**ip)))
+            .count();
         assert!(
             fixed_right >= raw_right,
             "correction made things worse: {fixed_right} < {raw_right}"

@@ -22,6 +22,10 @@ pub struct MidarConfig {
     pub velocity_tolerance: f64,
     /// Width of the counter-offset window for candidate pairing.
     pub offset_window: u32,
+    /// Worker threads for the estimation fan-out (`0` = serial). Probe
+    /// outcomes are pure functions of `(ip, time)`, so the result is
+    /// identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for MidarConfig {
@@ -33,6 +37,7 @@ impl Default for MidarConfig {
             corroboration_spacing_ms: 2,
             velocity_tolerance: 0.5,
             offset_window: 4096,
+            threads: 0,
         }
     }
 }
@@ -83,23 +88,58 @@ pub fn resolve_aliases(
     cfg: &MidarConfig,
 ) -> AliasResolution {
     // ---- Stage 1: estimation ----
-    let mut estimates: Vec<Estimate> = Vec::new();
-    for (idx, ip) in candidates.iter().enumerate() {
+    // Pure per candidate, so it fans out over worker threads; estimates
+    // are merged back in candidate order. The probe-time offset keys off
+    // the candidate's *global* index, so chunk workers reproduce the
+    // serial schedule exactly.
+    let estimate_one = |idx: usize, ip: Ipv4Addr| -> Option<Estimate> {
         // Offset probe times per target to avoid synchronized artifacts.
         let t0 = (idx as u64 % 7) * 13;
         let samples: Vec<(u64, u16)> = (0..cfg.estimation_samples)
             .filter_map(|k| {
                 let t = t0 + k as u64 * cfg.estimation_spacing_ms;
-                prober.probe(*ip, t).map(|id| (t, id))
+                prober.probe(ip, t).map(|id| (t, id))
             })
             .collect();
         if samples.len() < cfg.estimation_samples {
-            continue; // unresponsive or lossy — cannot resolve
+            return None; // unresponsive or lossy — cannot resolve
         }
-        if let Some(est) = estimate(*ip, &samples) {
-            estimates.push(est);
-        }
-    }
+        estimate(ip, &samples)
+    };
+    let workers = match cfg.threads {
+        0 => 1,
+        n => n.min(16),
+    };
+    let estimates: Vec<Estimate> = if workers > 1 && candidates.len() >= 64 {
+        let chunk_size = candidates.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk_size)
+                .enumerate()
+                .map(|(c, chunk)| {
+                    let estimate_one = &estimate_one;
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, ip)| estimate_one(c * chunk_size + i, *ip))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("estimation worker"))
+                .collect()
+        })
+        .expect("estimation thread scope")
+    } else {
+        candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, ip)| estimate_one(idx, *ip))
+            .collect()
+    };
 
     // ---- Stage 2: candidate pairing (velocity + offset windows) ----
     // Bucket by rounded velocity and by base >> window bits; only pairs in
@@ -137,11 +177,10 @@ pub fn resolve_aliases(
 
     // ---- Stage 3: gather sets ----
     let mut groups: BTreeMap<usize, Vec<Ipv4Addr>> = BTreeMap::new();
-    for i in 0..estimates.len() {
-        groups.entry(dsu.find(i)).or_default().push(estimates[i].ip);
+    for (i, estimate) in estimates.iter().enumerate() {
+        groups.entry(dsu.find(i)).or_default().push(estimate.ip);
     }
-    let mut sets: Vec<Vec<Ipv4Addr>> =
-        groups.into_values().filter(|g| g.len() >= 2).collect();
+    let mut sets: Vec<Vec<Ipv4Addr>> = groups.into_values().filter(|g| g.len() >= 2).collect();
     for set in &mut sets {
         set.sort();
     }
@@ -217,12 +256,7 @@ fn velocity_compatible(a: &Estimate, b: &Estimate, cfg: &MidarConfig) -> bool {
 /// The monotonic bounds test: interleave probes to both addresses (two
 /// rounds at different spacings); the merged (time, id) sequence must be
 /// monotonic after unwrapping.
-fn corroborate(
-    prober: &IpIdProber<'_>,
-    a: &Estimate,
-    b: &Estimate,
-    cfg: &MidarConfig,
-) -> bool {
+fn corroborate(prober: &IpIdProber<'_>, a: &Estimate, b: &Estimate, cfg: &MidarConfig) -> bool {
     // Two rounds, the second at *tighter* spacing: the bounds test's
     // discrimination scales inversely with (rate × spacing), so the tight
     // round is the one that rejects distinct-router coincidences.
@@ -260,7 +294,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect() }
+        Self {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -328,8 +364,7 @@ mod tests {
         let mut recovered = 0usize;
         let mut eligible = 0usize;
         for router in t.routers.values() {
-            if matches!(router.ipid, IpIdBehavior::SharedCounter { .. })
-                && router.ifaces.len() >= 2
+            if matches!(router.ipid, IpIdBehavior::SharedCounter { .. }) && router.ifaces.len() >= 2
             {
                 eligible += 1;
                 let a = t.ifaces[router.ifaces[0]].ip;
@@ -387,7 +422,13 @@ mod tests {
         let constant = vec![(0u64, 7u16), (200, 7), (400, 7), (600, 7), (800, 7)];
         assert!(estimate("10.0.0.1".parse().unwrap(), &constant).is_none());
         // Decreasing sequence: not a counter.
-        let decreasing = vec![(0u64, 500u16), (200, 400), (400, 300), (600, 200), (800, 100)];
+        let decreasing = vec![
+            (0u64, 500u16),
+            (200, 400),
+            (400, 300),
+            (600, 200),
+            (800, 100),
+        ];
         assert!(estimate("10.0.0.1".parse().unwrap(), &decreasing).is_none());
     }
 

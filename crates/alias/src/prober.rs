@@ -16,7 +16,10 @@ pub struct IpIdProber<'t> {
 impl<'t> IpIdProber<'t> {
     /// Creates a prober over a topology.
     pub fn new(topo: &'t Topology) -> Self {
-        Self { topo, seed: topo.config.seed ^ 0x1b1d }
+        Self {
+            topo,
+            seed: topo.config.seed ^ 0x1b1d,
+        }
     }
 
     /// Probes `ip` at time `at_ms`, returning the response IP-ID.
@@ -66,9 +69,7 @@ mod tests {
         let router = t
             .routers
             .values()
-            .find(|r| {
-                matches!(r.ipid, IpIdBehavior::SharedCounter { .. }) && r.ifaces.len() >= 2
-            })
+            .find(|r| matches!(r.ipid, IpIdBehavior::SharedCounter { .. }) && r.ifaces.len() >= 2)
             .expect("a counter router with 2+ ifaces");
         let a = t.ifaces[router.ifaces[0]].ip;
         let b = t.ifaces[router.ifaces[1]].ip;
@@ -87,7 +88,9 @@ mod tests {
         let ip = t.ifaces[router.ifaces[0]].ip;
         let v0 = prober.probe(ip, 0).unwrap();
         let v1 = prober.probe(ip, 100).unwrap();
-        let IpIdBehavior::SharedCounter { rate_per_ms } = router.ipid else { unreachable!() };
+        let IpIdBehavior::SharedCounter { rate_per_ms } = router.ipid else {
+            unreachable!()
+        };
         let expect = (u32::from(v0) + u32::from(rate_per_ms) * 100) & 0xFFFF;
         assert_eq!(u32::from(v1), expect);
     }
@@ -96,8 +99,11 @@ mod tests {
     fn unresponsive_routers_stay_silent() {
         let t = topo();
         let prober = IpIdProber::new(&t);
-        let silent =
-            t.routers.values().find(|r| r.ipid == IpIdBehavior::Unresponsive).cloned();
+        let silent = t
+            .routers
+            .values()
+            .find(|r| r.ipid == IpIdBehavior::Unresponsive)
+            .cloned();
         if let Some(router) = silent {
             let ip = t.ifaces[router.ifaces[0]].ip;
             assert_eq!(prober.probe(ip, 0), None);

@@ -59,7 +59,11 @@ impl<'a> CbgGeolocator<'a> {
                 landmarks.push(next);
             }
         }
-        Self { engine, vps, landmarks }
+        Self {
+            engine,
+            vps,
+            landmarks,
+        }
     }
 
     /// Number of landmarks in use.
@@ -105,7 +109,8 @@ impl<'a> CbgGeolocator<'a> {
 
     /// Geolocates to a metro.
     pub fn geolocate_metro(&self, target: Ipv4Addr) -> Option<MetroId> {
-        self.geolocate(target).map(|c| self.engine.topology().world.metro_of(c))
+        self.geolocate(target)
+            .map(|c| self.engine.topology().world.metro_of(c))
     }
 }
 
@@ -127,10 +132,11 @@ mod tests {
         let cbg = CbgGeolocator::new(&engine, &vps, 20);
         assert!(cbg.landmark_count() >= 10);
         // At least two landmarks over 3000 km apart (global spread).
-        let far = cbg
-            .landmarks
-            .iter()
-            .any(|(_, a)| cbg.landmarks.iter().any(|(_, b)| a.distance_km(*b) > 3000.0));
+        let far = cbg.landmarks.iter().any(|(_, a)| {
+            cbg.landmarks
+                .iter()
+                .any(|(_, b)| a.distance_km(*b) > 3000.0)
+        });
         assert!(far, "landmark selection collapsed to one region");
     }
 
@@ -147,7 +153,9 @@ mod tests {
         for router in topo.routers.values().step_by(17) {
             let iface = router.ifaces.first().copied().unwrap();
             let ip = topo.ifaces[iface].ip;
-            let Some(city) = cbg.geolocate(ip) else { continue };
+            let Some(city) = cbg.geolocate(ip) else {
+                continue;
+            };
             let truth = match router.location {
                 RouterLocation::Facility(f) => topo.facilities[f].location,
                 RouterLocation::PopCity(c) => topo.world.city(c).location,

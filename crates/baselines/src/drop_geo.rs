@@ -106,7 +106,9 @@ mod tests {
         let mut located = 0usize;
         let mut correct = 0usize;
         for iface in topo.ifaces.values() {
-            let Some(name) = &iface.dns_name else { continue };
+            let Some(name) = &iface.dns_name else {
+                continue;
+            };
             named += 1;
             if let Some(city) = g.geolocate(name) {
                 located += 1;
@@ -121,7 +123,10 @@ mod tests {
         }
         assert!(named > 0);
         assert!(located > 0);
-        assert!(located < named, "every name geolocated — opaque styles missing?");
+        assert!(
+            located < named,
+            "every name geolocated — opaque styles missing?"
+        );
         // Mostly correct where it answers (stale names are the residue).
         assert!(correct * 10 >= located * 9, "{correct}/{located}");
     }

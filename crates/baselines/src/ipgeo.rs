@@ -69,8 +69,12 @@ impl IpGeoDb {
             }
         }
 
-        let metro_of =
-            topo.world.cities().iter().map(|(id, c)| (id, c.metro)).collect();
+        let metro_of = topo
+            .world
+            .cities()
+            .iter()
+            .map(|(id, c)| (id, c.metro))
+            .collect();
         Self { trie, metro_of }
     }
 
@@ -151,7 +155,9 @@ mod tests {
             if node.facilities.len() != 1 {
                 continue;
             }
-            let Some(first) = node.routers.first() else { continue };
+            let Some(first) = node.routers.first() else {
+                continue;
+            };
             if t.router_facility(*first) != Some(node.facilities[0]) {
                 continue;
             }
@@ -191,7 +197,10 @@ mod tests {
             }
         }
         assert!(checked > 100);
-        assert!(wrong * 2 > checked, "ip-geo suspiciously good: {wrong}/{checked} wrong");
+        assert!(
+            wrong * 2 > checked,
+            "ip-geo suspiciously good: {wrong}/{checked} wrong"
+        );
     }
 
     #[test]

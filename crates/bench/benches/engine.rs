@@ -1,0 +1,169 @@
+//! Benchmarks of the CFS engine's hot loop: a full engine iteration
+//! (observation extraction + constraint pass) at several thread counts,
+//! and the `FacilitySet` representation against the `BTreeSet` it
+//! replaced.
+//!
+//! Besides the usual per-bench console lines, `main` records every
+//! result (plus the machine's core count, which bounds any thread
+//! scaling) into `BENCH_engine.json` at the workspace root.
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use criterion::{black_box, Bencher, Criterion};
+
+use cfs_bench::BenchWorld;
+use cfs_core::{Cfs, CfsConfig};
+use cfs_net::IpAsnDb;
+use cfs_traceroute::{
+    deploy_vantage_points, run_campaign, CampaignLimits, Engine, Trace, VpConfig, VpSet,
+};
+use cfs_types::{FacilityId, FacilitySet, FacilitySetInterner};
+
+struct EngineFixture {
+    world: BenchWorld,
+    vps: VpSet,
+    ipasn: IpAsnDb,
+    traces: Vec<Trace>,
+}
+
+impl EngineFixture {
+    /// Mid-size seeded world with a bootstrap campaign already run.
+    fn standard() -> Self {
+        let world = BenchWorld::standard();
+        let vps = deploy_vantage_points(&world.topo, &VpConfig::tiny()).unwrap();
+        let engine = Engine::new(&world.topo);
+        let ipasn = world.topo.build_ipasn_db();
+        let targets: Vec<Ipv4Addr> = world
+            .topo
+            .ases
+            .keys()
+            .take(24)
+            .map(|a| world.topo.target_ip(*a).unwrap())
+            .collect();
+        let vp_ids: Vec<_> = vps.ids().collect();
+        let traces = run_campaign(
+            &engine,
+            &vps,
+            &vp_ids,
+            &targets,
+            0,
+            &CampaignLimits::default(),
+        );
+        Self {
+            world,
+            vps,
+            ipasn,
+            traces,
+        }
+    }
+
+    /// One engine iteration: alias refresh, observation extraction, and
+    /// the constraint pass — no follow-up probing, so the measured work
+    /// is the per-iteration cost the search loop pays repeatedly.
+    fn iteration(&self, engine: &Engine<'_>, threads: usize) -> usize {
+        let cfg = CfsConfig {
+            max_iterations: 1,
+            followup_interfaces: 0,
+            threads,
+            ..CfsConfig::default()
+        };
+        let mut cfs = Cfs::builder(engine, &self.world.kb)
+            .vps(&self.vps)
+            .ipasn(&self.ipasn)
+            .config(cfg)
+            .build()
+            .unwrap();
+        cfs.ingest(self.traces.clone());
+        cfs.run().total()
+    }
+}
+
+fn bench_engine_iteration(c: &mut Criterion) {
+    let fx = EngineFixture::standard();
+    let engine = Engine::new(&fx.world.topo);
+    let mut group = c.benchmark_group("engine_iteration");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for threads in [1usize, 2, 8] {
+        group.bench_function(&format!("threads={threads}"), |b: &mut Bencher| {
+            b.iter(|| black_box(fx.iteration(&engine, threads)))
+        });
+    }
+    group.finish();
+}
+
+/// The representation change behind the caches: interned sorted-slice
+/// sets versus the `BTreeSet` clone-and-intersect the engine used
+/// before.
+fn bench_facility_sets(c: &mut Criterion) {
+    // Footprint shapes modelled on the knowledge base: a few large
+    // operator footprints and many small ones, intersected pairwise the
+    // way `constrain_public`/`constrain_private` do.
+    let interner = FacilitySetInterner::new();
+    let sets: Vec<FacilitySet> = (0..64u32)
+        .map(|i| {
+            let stride = 1 + (i % 7);
+            let len = if i % 9 == 0 { 180 } else { 12 + (i % 16) };
+            interner.intern((0..len).map(|k| FacilityId::new(i + k * stride)))
+        })
+        .collect();
+    let btrees: Vec<std::collections::BTreeSet<FacilityId>> =
+        sets.iter().map(FacilitySet::to_btree_set).collect();
+
+    let mut group = c.benchmark_group("facset");
+    group.bench_function("intersect_interned", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            let j = (i * 31 + 7) % sets.len();
+            black_box(sets[i].intersect(&sets[j]).len())
+        })
+    });
+    group.bench_function("intersect_btreeset", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % btrees.len();
+            let j = (i * 31 + 7) % btrees.len();
+            // What the engine did before: materialize the intersection
+            // into a fresh owned set.
+            let out: std::collections::BTreeSet<FacilityId> =
+                btrees[i].intersection(&btrees[j]).copied().collect();
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_engine_iteration(&mut criterion);
+    bench_facility_sets(&mut criterion);
+
+    // Record the measurements for tracking across PRs.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let entries: Vec<String> = criterion
+        .results()
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {}, \"iterations\": {}}}",
+                r.name,
+                r.mean.as_nanos(),
+                r.iterations
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"cores\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        cores,
+        entries.join(",\n")
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_engine.json");
+    std::fs::write(&path, json).expect("write BENCH_engine.json");
+    println!("wrote {}", path.display());
+}

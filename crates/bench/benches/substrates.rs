@@ -9,7 +9,7 @@ use cfs_alias::IpIdProber;
 use cfs_bench::BenchWorld;
 use cfs_bgp::compute_routes;
 use cfs_geo::{haversine_km, GeoPoint};
-use cfs_net::{Announcement, IpAsnDb, Ipv4Prefix, PrefixTrie};
+use cfs_net::{IpAsnDb, Ipv4Prefix, PrefixTrie};
 use cfs_traceroute::{deploy_vantage_points, Engine, VpConfig};
 
 fn bench_trie(c: &mut Criterion) {
@@ -20,8 +20,9 @@ fn bench_trie(c: &mut Criterion) {
         let len = rng.random_range(8..=24);
         trie.insert(Ipv4Prefix::new(addr, len).unwrap(), i);
     }
-    let probes: Vec<Ipv4Addr> =
-        (0..1024).map(|_| Ipv4Addr::from(rng.random::<u32>())).collect();
+    let probes: Vec<Ipv4Addr> = (0..1024)
+        .map(|_| Ipv4Addr::from(rng.random::<u32>()))
+        .collect();
     c.bench_function("trie/longest_match_50k_prefixes", |b| {
         let mut i = 0;
         b.iter(|| {
@@ -33,9 +34,7 @@ fn bench_trie(c: &mut Criterion) {
 
 fn bench_ipasn(c: &mut Criterion) {
     let world = BenchWorld::standard();
-    let db = IpAsnDb::from_announcements(
-        world.topo.announcements.iter().copied().collect::<Vec<Announcement>>(),
-    );
+    let db = IpAsnDb::from_announcements(world.topo.announcements.to_vec());
     let ips: Vec<Ipv4Addr> = world.topo.ifaces.values().map(|i| i.ip).collect();
     c.bench_function("ipasn/origin_lookup", |b| {
         let mut i = 0;
@@ -49,7 +48,9 @@ fn bench_ipasn(c: &mut Criterion) {
 fn bench_geo(c: &mut Criterion) {
     let a = GeoPoint::new(51.5074, -0.1278);
     let b2 = GeoPoint::new(40.7128, -74.0060);
-    c.bench_function("geo/haversine", |b| b.iter(|| black_box(haversine_km(a, b2))));
+    c.bench_function("geo/haversine", |b| {
+        b.iter(|| black_box(haversine_km(a, b2)))
+    });
 }
 
 fn bench_routing(c: &mut Criterion) {
@@ -105,8 +106,7 @@ fn bench_generation(c: &mut Criterion) {
     group.bench_function("generate_default_scale", |b| {
         b.iter(|| {
             black_box(
-                cfs_topology::Topology::generate(cfs_topology::TopologyConfig::default())
-                    .unwrap(),
+                cfs_topology::Topology::generate(cfs_topology::TopologyConfig::default()).unwrap(),
             )
         })
     });

@@ -62,24 +62,31 @@ impl CommunityDictionary {
     pub fn build(topo: &Topology, providers: &[Asn], max_facilities: usize) -> Self {
         let mut dict = Self::default();
         for provider in providers {
-            let Ok(node) = topo.as_node(*provider) else { continue };
-            let mut fac_value = 1000u32;
-            for fac in node.facilities.iter().take(max_facilities) {
-                let cv = CommunityValue { asn: *provider, value: fac_value };
+            let Ok(node) = topo.as_node(*provider) else {
+                continue;
+            };
+            for (fac_value, fac) in (1000u32..).zip(node.facilities.iter().take(max_facilities)) {
+                let cv = CommunityValue {
+                    asn: *provider,
+                    value: fac_value,
+                };
                 dict.entries.insert(cv, IngressTag::Facility(*fac));
                 dict.by_facility.insert((*provider, *fac), cv);
-                fac_value += 1;
             }
-            let mut metros: Vec<MetroId> =
-                node.facilities.iter().map(|f| topo.facilities[*f].metro).collect();
+            let mut metros: Vec<MetroId> = node
+                .facilities
+                .iter()
+                .map(|f| topo.facilities[*f].metro)
+                .collect();
             metros.sort();
             metros.dedup();
-            let mut metro_value = 100u32;
-            for metro in metros {
-                let cv = CommunityValue { asn: *provider, value: metro_value };
+            for (metro_value, metro) in (100u32..).zip(metros) {
+                let cv = CommunityValue {
+                    asn: *provider,
+                    value: metro_value,
+                };
                 dict.entries.insert(cv, IngressTag::Metro(metro));
                 dict.by_metro.insert((*provider, metro), cv);
-                metro_value += 1;
             }
         }
         dict
@@ -144,7 +151,9 @@ mod tests {
         let node = topo.as_node(provider).unwrap();
         let first = node.facilities[0];
         let tags = dict.tags_for_ingress(&topo, provider, first);
-        assert!(tags.iter().any(|cv| dict.decode(*cv) == Some(IngressTag::Facility(first))));
+        assert!(tags
+            .iter()
+            .any(|cv| dict.decode(*cv) == Some(IngressTag::Facility(first))));
     }
 
     #[test]
@@ -164,16 +173,31 @@ mod tests {
     #[test]
     fn unknown_values_do_not_decode() {
         let (_, dict, provider) = setup();
-        assert_eq!(dict.decode(CommunityValue { asn: provider, value: 999_999 }), None);
-        assert_eq!(dict.decode(CommunityValue { asn: Asn(64_496), value: 1000 }), None);
+        assert_eq!(
+            dict.decode(CommunityValue {
+                asn: provider,
+                value: 999_999
+            }),
+            None
+        );
+        assert_eq!(
+            dict.decode(CommunityValue {
+                asn: Asn(64_496),
+                value: 1000
+            }),
+            None
+        );
     }
 
     #[test]
     fn facilities_in_foreign_metros_get_no_tags() {
         let (topo, dict, provider) = setup();
         let node = topo.as_node(provider).unwrap();
-        let provider_metros: std::collections::BTreeSet<_> =
-            node.facilities.iter().map(|f| topo.facilities[*f].metro).collect();
+        let provider_metros: std::collections::BTreeSet<_> = node
+            .facilities
+            .iter()
+            .map(|f| topo.facilities[*f].metro)
+            .collect();
         let foreign = topo
             .facilities
             .iter()
@@ -185,7 +209,10 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let cv = CommunityValue { asn: Asn(3356), value: 1002 };
+        let cv = CommunityValue {
+            asn: Asn(3356),
+            value: 1002,
+        };
         assert_eq!(cv.to_string(), "3356:1002");
     }
 
@@ -196,6 +223,10 @@ mod tests {
         // ~109 values total in the paper; we cap facility enumeration to
         // get the same order of magnitude.
         let dict = CommunityDictionary::build(&topo, &providers, 15);
-        assert!((60..400).contains(&dict.len()), "dictionary size {}", dict.len());
+        assert!(
+            (60..400).contains(&dict.len()),
+            "dictionary size {}",
+            dict.len()
+        );
     }
 }

@@ -55,7 +55,11 @@ pub struct LookingGlassBgp<'t> {
 impl<'t> LookingGlassBgp<'t> {
     /// Creates the query interface over a topology.
     pub fn new(topo: &'t Topology) -> Self {
-        Self { topo, routes: RouteCache::new(), db: topo.build_ipasn_db() }
+        Self {
+            topo,
+            routes: RouteCache::new(),
+            db: topo.build_ipasn_db(),
+        }
     }
 
     /// Lists the BGP sessions of a router: its private point-to-point
@@ -167,7 +171,10 @@ impl<'t> LookingGlassBgp<'t> {
                 }
             }
         }
-        Some(BgpRecord { as_path, communities })
+        Some(BgpRecord {
+            as_path,
+            communities,
+        })
     }
 }
 
@@ -227,9 +234,17 @@ mod tests {
                 .collect::<Vec<_>>(),
             20,
         );
-        let tier1 = topo.ases.values().find(|n| n.class == AsClass::Tier1).unwrap();
+        let tier1 = topo
+            .ases
+            .values()
+            .find(|n| n.class == AsClass::Tier1)
+            .unwrap();
         let router = tier1.routers[0];
-        let dest_as = topo.ases.values().find(|n| n.class == AsClass::Access).unwrap();
+        let dest_as = topo
+            .ases
+            .values()
+            .find(|n| n.class == AsClass::Access)
+            .unwrap();
         let dest = topo.target_ip(dest_as.asn).unwrap();
         let record = lg.route(router, dest, &dict).expect("route exists");
         assert_eq!(record.as_path.first(), Some(&tier1.asn));
@@ -273,6 +288,8 @@ mod tests {
         let lg = LookingGlassBgp::new(&topo);
         let dict = CommunityDictionary::default();
         let router = topo.routers.ids().next().unwrap();
-        assert!(lg.route(router, "203.0.113.9".parse().unwrap(), &dict).is_none());
+        assert!(lg
+            .route(router, "203.0.113.9".parse().unwrap(), &dict)
+            .is_none());
     }
 }

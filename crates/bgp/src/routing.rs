@@ -117,8 +117,14 @@ fn adjacency_lists(topo: &Topology) -> BTreeMap<Asn, Nbrs> {
     for adj in &topo.adjacencies {
         match adj.rel {
             Rel::CustomerToProvider => {
-                map.get_mut(&adj.a).expect("as exists").providers.push(adj.b);
-                map.get_mut(&adj.b).expect("as exists").customers.push(adj.a);
+                map.get_mut(&adj.a)
+                    .expect("as exists")
+                    .providers
+                    .push(adj.b);
+                map.get_mut(&adj.b)
+                    .expect("as exists")
+                    .customers
+                    .push(adj.a);
             }
             Rel::PeerToPeer => {
                 map.get_mut(&adj.a).expect("as exists").peers.push(adj.b);
@@ -153,7 +159,11 @@ pub fn compute_routes(topo: &Topology, dest: Asn) -> RouteMap {
                 if p != dest && !routes.contains_key(&p) {
                     routes.insert(
                         p,
-                        Route { kind: RouteType::Customer, len: x_len + 1, next_hop: x },
+                        Route {
+                            kind: RouteType::Customer,
+                            len: x_len + 1,
+                            next_hop: x,
+                        },
                     );
                     queue.push_back(p);
                 }
@@ -175,7 +185,11 @@ pub fn compute_routes(topo: &Topology, dest: Asn) -> RouteMap {
                 if *x == dest || routes.contains_key(x) {
                     continue; // customer route wins at x
                 }
-                let cand = Route { kind: RouteType::Peer, len: y_len + 1, next_hop: y };
+                let cand = Route {
+                    kind: RouteType::Peer,
+                    len: y_len + 1,
+                    next_hop: y,
+                };
                 let better = match peer_candidates.get(x) {
                     None => true,
                     Some(old) => (cand.len, cand.next_hop) < (old.len, old.next_hop),
@@ -192,8 +206,11 @@ pub fn compute_routes(topo: &Topology, dest: Asn) -> RouteMap {
     // AS that already holds a route. Ordered exploration by path length
     // keeps provider routes shortest; FIFO with sorted neighbors keeps
     // ties deterministic.
-    let mut frontier: Vec<(u32, Asn)> =
-        routes.iter().map(|(asn, r)| (r.len, *asn)).chain(std::iter::once((0, dest))).collect();
+    let mut frontier: Vec<(u32, Asn)> = routes
+        .iter()
+        .map(|(asn, r)| (r.len, *asn))
+        .chain(std::iter::once((0, dest)))
+        .collect();
     frontier.sort_unstable();
     let mut queue: VecDeque<Asn> = frontier.into_iter().map(|(_, a)| a).collect();
     while let Some(y) = queue.pop_front() {
@@ -205,7 +222,11 @@ pub fn compute_routes(topo: &Topology, dest: Asn) -> RouteMap {
                 }
                 routes.insert(
                     x,
-                    Route { kind: RouteType::Provider, len: y_len + 1, next_hop: y },
+                    Route {
+                        kind: RouteType::Provider,
+                        len: y_len + 1,
+                        next_hop: y,
+                    },
                 );
                 queue.push_back(x);
             }
@@ -225,7 +246,9 @@ pub struct RouteCache {
 impl RouteCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
-        Self { cache: Mutex::new(BTreeMap::new()) }
+        Self {
+            cache: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// Routes toward `dest`, computing them on first use.

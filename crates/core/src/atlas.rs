@@ -108,7 +108,10 @@ impl InterconnectionAtlas {
 
     /// Interfaces with a facility verdict.
     pub fn resolved_count(&self) -> usize {
-        self.interfaces.values().filter(|e| e.verdict.facility.is_some()).count()
+        self.interfaces
+            .values()
+            .filter(|e| e.verdict.facility.is_some())
+            .count()
     }
 
     /// Distinct interconnections accumulated.
@@ -162,7 +165,11 @@ fn replaces(standing: &InferredInterface, incoming: &InferredInterface) -> bool 
             (false, _, SearchOutcome::UnresolvedLocal | SearchOutcome::UnresolvedRemote) => 1,
             _ => 0,
         };
-        let tightness = if i.candidates.is_empty() { usize::MAX } else { i.candidates.len() };
+        let tightness = if i.candidates.is_empty() {
+            usize::MAX
+        } else {
+            i.candidates.len()
+        };
         (class, std::cmp::Reverse(tightness))
     }
     rank(incoming) > rank(standing)
@@ -173,7 +180,12 @@ mod tests {
     use super::*;
     use std::collections::BTreeSet;
 
-    fn iface(ip: &str, facility: Option<u32>, via_proximity: bool, cands: usize) -> InferredInterface {
+    fn iface(
+        ip: &str,
+        facility: Option<u32>,
+        via_proximity: bool,
+        cands: usize,
+    ) -> InferredInterface {
         let candidates: BTreeSet<cfs_types::FacilityId> = match facility {
             Some(f) => [cfs_types::FacilityId::new(f)].into_iter().collect(),
             None => (0..cands as u32).map(cfs_types::FacilityId::new).collect(),
@@ -257,7 +269,10 @@ mod tests {
         let entry = atlas.interface("10.0.0.1".parse().unwrap()).unwrap();
         assert_eq!(entry.confirmations, 1);
         assert_eq!(entry.disagreements, 1);
-        assert_eq!(atlas.contested(), vec!["10.0.0.1".parse::<Ipv4Addr>().unwrap()]);
+        assert_eq!(
+            atlas.contested(),
+            vec!["10.0.0.1".parse::<Ipv4Addr>().unwrap()]
+        );
     }
 
     #[test]

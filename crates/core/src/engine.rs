@@ -1,14 +1,25 @@
 //! The iterative Constrained Facility Search engine (§4.2–§4.4).
+//!
+//! The search core is `Send`: every substrate reference it holds
+//! ([`Engine`], [`KnowledgeBase`], [`VpSet`], [`IpAsnDb`]) is `Sync`, all
+//! facility sets are immutable [`FacilitySet`] values behind shared
+//! allocations, and the three measurement-heavy stages (observation
+//! extraction, remote-peering verdicts, follow-up traceroutes) fan out
+//! over scoped worker threads. Every parallel stage merges its results in
+//! a deterministic order, so a run produces a byte-identical
+//! [`CfsReport`] at any worker count.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
-use std::rc::Rc;
 
 use cfs_alias::{correct_ip_to_asn, resolve_aliases, AliasResolution, IpIdProber, MidarConfig};
 use cfs_kb::KnowledgeBase;
 use cfs_net::IpAsnDb;
 use cfs_traceroute::{Engine, Platform, Trace, VpSet};
-use cfs_types::{Asn, FacilityId, IxpId, LinkClass, PeeringKind, VantagePointId};
+use cfs_types::{
+    Asn, Error, FacilityId, FacilitySet, FacilitySetInterner, IxpId, LinkClass, PeeringKind,
+    Result, VantagePointId,
+};
 
 use crate::observe::{extract_observations, Observation, Resolver};
 use crate::proximity::ProximityModel;
@@ -41,6 +52,9 @@ pub struct CfsConfig {
     /// Apply Step 3 (alias sets share a facility). Disabled only by the
     /// ablation experiment.
     pub alias_constraints: bool,
+    /// Worker threads for the parallel stages; `0` uses the machine's
+    /// available parallelism. The report is byte-identical at any value.
+    pub threads: usize,
 }
 
 impl Default for CfsConfig {
@@ -56,12 +70,13 @@ impl Default for CfsConfig {
             reverse_search: true,
             proximity: true,
             alias_constraints: true,
+            threads: 0,
         }
     }
 }
 
 /// Convergence record of one iteration (drives Figure 7).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct IterationStats {
     /// 1-based iteration number.
     pub iteration: usize,
@@ -75,10 +90,11 @@ pub struct IterationStats {
 
 /// The Constrained Facility Search engine.
 ///
-/// Construction wires the measurement substrate (traceroute engine and
-/// vantage points), the public data (knowledge base, IP-to-ASN service),
-/// and the configuration; `ingest` feeds bootstrap campaigns; `run`
-/// iterates to convergence and produces the [`CfsReport`].
+/// Built through [`Cfs::builder`], which wires the measurement substrate
+/// (traceroute engine and vantage points), the public data (knowledge
+/// base, IP-to-ASN service), and the configuration; `ingest` feeds
+/// bootstrap campaigns; `run` iterates to convergence and produces the
+/// [`CfsReport`].
 pub struct Cfs<'a> {
     engine: &'a Engine<'a>,
     kb: &'a KnowledgeBase,
@@ -101,16 +117,104 @@ pub struct Cfs<'a> {
     remote_cache: BTreeMap<Ipv4Addr, Option<bool>>,
     vp_crossed: BTreeMap<Asn, Vec<VantagePointId>>,
     chase_attempts: BTreeMap<Ipv4Addr, usize>,
-    as_fac_cache: BTreeMap<Asn, Rc<BTreeSet<FacilityId>>>,
-    ixp_fac_cache: BTreeMap<IxpId, Rc<BTreeSet<FacilityId>>>,
+    interner: FacilitySetInterner,
+    as_fac_cache: BTreeMap<Asn, FacilitySet>,
+    ixp_fac_cache: BTreeMap<IxpId, FacilitySet>,
     clock_ms: u64,
     iterations: Vec<IterationStats>,
     traces_issued: usize,
     new_ips_since_alias: usize,
 }
 
+/// Builder for [`Cfs`]: names every dependency at the call site instead
+/// of a five-argument positional constructor.
+///
+/// ```ignore
+/// let mut cfs = Cfs::builder(&engine, &kb)
+///     .vps(&vps)
+///     .ipasn(&ipasn)
+///     .config(CfsConfig::default())
+///     .threads(8)
+///     .build()?;
+/// ```
+#[must_use = "call .build() to obtain the Cfs engine"]
+pub struct CfsBuilder<'a> {
+    engine: &'a Engine<'a>,
+    kb: &'a KnowledgeBase,
+    vps: Option<&'a VpSet>,
+    ipasn: Option<&'a IpAsnDb>,
+    cfg: CfsConfig,
+    platforms: Option<BTreeSet<Platform>>,
+}
+
+impl<'a> CfsBuilder<'a> {
+    /// The vantage-point set issuing measurements (required).
+    pub fn vps(mut self, vps: &'a VpSet) -> Self {
+        self.vps = Some(vps);
+        self
+    }
+
+    /// The IP-to-ASN service used by alias correction (required).
+    pub fn ipasn(mut self, ipasn: &'a IpAsnDb) -> Self {
+        self.ipasn = Some(ipasn);
+        self
+    }
+
+    /// Replaces the whole configuration (default: [`CfsConfig::default`]).
+    pub fn config(mut self, cfg: CfsConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Restricts follow-up measurements to the given platforms (the
+    /// Figure 7 single-platform runs).
+    pub fn platforms(mut self, platforms: &[Platform]) -> Self {
+        self.platforms = Some(platforms.iter().copied().collect());
+        self
+    }
+
+    /// Worker threads for the parallel stages (`0` = available
+    /// parallelism). Shorthand for setting [`CfsConfig::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Builds the engine; errors when a required dependency was not set.
+    pub fn build(self) -> Result<Cfs<'a>> {
+        let vps = self
+            .vps
+            .ok_or_else(|| Error::invalid("CfsBuilder: vantage points not set (call .vps())"))?;
+        let ipasn = self
+            .ipasn
+            .ok_or_else(|| Error::invalid("CfsBuilder: IP-to-ASN db not set (call .ipasn())"))?;
+        Ok(Cfs::assemble(
+            self.engine,
+            vps,
+            self.kb,
+            ipasn,
+            self.cfg,
+            self.platforms,
+        ))
+    }
+}
+
 impl<'a> Cfs<'a> {
+    /// Starts building a search over the given measurement engine and
+    /// knowledge base. See [`CfsBuilder`].
+    pub fn builder(engine: &'a Engine<'a>, kb: &'a KnowledgeBase) -> CfsBuilder<'a> {
+        CfsBuilder {
+            engine,
+            kb,
+            vps: None,
+            ipasn: None,
+            cfg: CfsConfig::default(),
+            platforms: None,
+        }
+    }
+
     /// Creates a search over the given substrate and public data.
+    #[deprecated(note = "use `Cfs::builder(engine, kb).vps(..).ipasn(..).build()` instead")]
     pub fn new(
         engine: &'a Engine<'a>,
         vps: &'a VpSet,
@@ -118,13 +222,31 @@ impl<'a> Cfs<'a> {
         ipasn: &'a IpAsnDb,
         cfg: CfsConfig,
     ) -> Self {
+        Self::assemble(engine, vps, kb, ipasn, cfg, None)
+    }
+
+    /// Restricts follow-up measurements to the given platforms.
+    #[deprecated(note = "use `CfsBuilder::platforms` instead")]
+    pub fn restrict_platforms(mut self, platforms: &[Platform]) -> Self {
+        self.platforms = Some(platforms.iter().copied().collect());
+        self
+    }
+
+    fn assemble(
+        engine: &'a Engine<'a>,
+        vps: &'a VpSet,
+        kb: &'a KnowledgeBase,
+        ipasn: &'a IpAsnDb,
+        cfg: CfsConfig,
+        platforms: Option<BTreeSet<Platform>>,
+    ) -> Self {
         Self {
             engine,
             kb,
             vps,
             ipasn,
             cfg,
-            platforms: None,
+            platforms,
             traces: Vec::new(),
             processed: 0,
             hop_ips: BTreeSet::new(),
@@ -137,6 +259,7 @@ impl<'a> Cfs<'a> {
             remote_cache: BTreeMap::new(),
             vp_crossed: BTreeMap::new(),
             chase_attempts: BTreeMap::new(),
+            interner: FacilitySetInterner::new(),
             as_fac_cache: BTreeMap::new(),
             ixp_fac_cache: BTreeMap::new(),
             clock_ms: 0,
@@ -146,11 +269,15 @@ impl<'a> Cfs<'a> {
         }
     }
 
-    /// Restricts follow-up measurements to the given platforms (the
-    /// Figure 7 single-platform runs).
-    pub fn restrict_platforms(mut self, platforms: &[Platform]) -> Self {
-        self.platforms = Some(platforms.iter().copied().collect());
-        self
+    /// Effective worker count for the parallel stages.
+    fn workers(&self) -> usize {
+        let n = match self.cfg.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        n.clamp(1, 16)
     }
 
     /// Feeds bootstrap traces (targeted campaigns and archived sweeps).
@@ -220,9 +347,7 @@ impl<'a> Cfs<'a> {
             if !all_done && iteration < self.cfg.max_iterations {
                 issued = self.followups(iteration);
                 self.clock_ms += 120_000; // measurements spread over time
-                if self.new_ips_since_alias > 0
-                    && iteration % self.cfg.realias_every == 0
-                {
+                if self.new_ips_since_alias > 0 && iteration % self.cfg.realias_every == 0 {
                     self.refresh_aliases();
                 }
                 self.process_new_traces();
@@ -259,7 +384,11 @@ impl<'a> Cfs<'a> {
     fn refresh_aliases(&mut self) {
         let prober = IpIdProber::new(self.engine.topology());
         let ips: Vec<Ipv4Addr> = self.hop_ips.iter().copied().collect();
-        self.aliases = resolve_aliases(&prober, &ips, &self.cfg.alias);
+        let mut alias_cfg = self.cfg.alias.clone();
+        if alias_cfg.threads == 0 {
+            alias_cfg.threads = self.workers();
+        }
+        self.aliases = resolve_aliases(&prober, &ips, &alias_cfg);
         let (corrected, _stats) = correct_ip_to_asn(self.ipasn, &self.aliases, &ips);
         self.corrected = corrected;
         self.new_ips_since_alias = 0;
@@ -269,26 +398,72 @@ impl<'a> Cfs<'a> {
         self.observations.clear();
         self.obs_keys.clear();
         for obs in &self.session_observations {
-            self.obs_keys.insert((obs.near_ip, obs.class.ixp(), obs.far_ip));
+            self.obs_keys
+                .insert((obs.near_ip, obs.class.ixp(), obs.far_ip));
         }
         self.processed = 0;
     }
 
+    /// Extracts observations from traces ingested since the last call.
+    ///
+    /// Extraction is pure per trace, so it fans out over worker threads;
+    /// the dedup merge and the vantage-point exposure index then run
+    /// serially in ingestion order, keeping results independent of the
+    /// worker count.
     fn process_new_traces(&mut self) {
-        let resolver = Resolver::new(self.kb, &self.corrected);
-        let mut new_obs = Vec::new();
-        for t in &self.traces[self.processed..] {
-            for obs in extract_observations(t, &resolver) {
+        let workers = self.workers();
+        let Self {
+            ref traces,
+            processed,
+            kb,
+            ref corrected,
+            ref mut obs_keys,
+            ref mut observations,
+            ref mut vp_crossed,
+            ..
+        } = *self;
+        let new = &traces[processed..];
+
+        let per_trace: Vec<Vec<Observation>> = if workers > 1 && new.len() >= 64 {
+            let chunk_size = new.len().div_ceil(workers);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = new
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            let resolver = Resolver::new(kb, corrected);
+                            chunk
+                                .iter()
+                                .map(|t| extract_observations(t, &resolver))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("observation worker"))
+                    .collect()
+            })
+            .expect("observation thread scope")
+        } else {
+            let resolver = Resolver::new(kb, corrected);
+            new.iter()
+                .map(|t| extract_observations(t, &resolver))
+                .collect()
+        };
+
+        for (t, obs_list) in new.iter().zip(per_trace) {
+            for obs in obs_list {
                 let key = (obs.near_ip, obs.class.ixp(), obs.far_ip);
-                if self.obs_keys.insert(key) {
-                    new_obs.push(obs);
+                if obs_keys.insert(key) {
+                    observations.push(obs);
                 }
             }
             // Maintain the exposure index: which vantage points see which
             // ASes on their paths (used to aim follow-ups).
             for hop in &t.hops {
-                if let Some(asn) = hop.ip.and_then(|ip| self.corrected.get(&ip)) {
-                    let list = self.vp_crossed.entry(*asn).or_default();
+                if let Some(asn) = hop.ip.and_then(|ip| corrected.get(&ip)) {
+                    let list = vp_crossed.entry(*asn).or_default();
                     if list.len() < 64 && !list.contains(&t.vp) {
                         list.push(t.vp);
                     }
@@ -296,24 +471,23 @@ impl<'a> Cfs<'a> {
             }
         }
         self.processed = self.traces.len();
-        self.observations.extend(new_obs);
     }
 
-    fn as_facilities(&mut self, asn: Asn) -> Rc<BTreeSet<FacilityId>> {
+    fn as_facilities(&mut self, asn: Asn) -> FacilitySet {
         if let Some(hit) = self.as_fac_cache.get(&asn) {
-            return Rc::clone(hit);
+            return hit.clone();
         }
-        let set = Rc::new(self.kb.facilities_of_as(asn));
-        self.as_fac_cache.insert(asn, Rc::clone(&set));
+        let set = self.interner.intern_set(&self.kb.facilities_of_as(asn));
+        self.as_fac_cache.insert(asn, set.clone());
         set
     }
 
-    fn ixp_facilities(&mut self, ixp: IxpId) -> Rc<BTreeSet<FacilityId>> {
+    fn ixp_facilities(&mut self, ixp: IxpId) -> FacilitySet {
         if let Some(hit) = self.ixp_fac_cache.get(&ixp) {
-            return Rc::clone(hit);
+            return hit.clone();
         }
-        let set = Rc::new(self.kb.facilities_of_ixp(ixp));
-        self.ixp_fac_cache.insert(ixp, Rc::clone(&set));
+        let set = self.interner.intern_set(&self.kb.facilities_of_ixp(ixp));
+        self.ixp_fac_cache.insert(ixp, set.clone());
         set
     }
 
@@ -324,6 +498,7 @@ impl<'a> Cfs<'a> {
     fn apply_constraints(&mut self, iteration: usize) {
         let mut observations = std::mem::take(&mut self.observations);
         observations.extend(self.session_observations.iter().cloned());
+        self.prefill_remote_verdicts(&observations);
         for obs in &observations {
             match obs.class {
                 LinkClass::Public { ixp } => {
@@ -346,14 +521,88 @@ impl<'a> Cfs<'a> {
         self.observations = observations;
     }
 
+    /// Pre-computes the remote-peering RTT verdicts that
+    /// [`Cfs::constrain_public`] will need, fanning the measurements out
+    /// over worker threads.
+    ///
+    /// A verdict is needed for a public interface whose owner shares no
+    /// facility with the exchange (§4.2 case 3). The serial pass binds
+    /// each interface to the *first* exchange triggering the test, so the
+    /// work list is gathered in observation order, probed in parallel,
+    /// and written back in the same order — identical to the serial run.
+    fn prefill_remote_verdicts(&mut self, observations: &[Observation]) {
+        let mut pending: Vec<(Ipv4Addr, IxpId)> = Vec::new();
+        let mut queued: BTreeSet<Ipv4Addr> = BTreeSet::new();
+        for obs in observations {
+            let LinkClass::Public { ixp } = obs.class else {
+                continue;
+            };
+            let mut ends: [Option<(Asn, Ipv4Addr)>; 2] = [Some((obs.near_asn, obs.near_ip)), None];
+            if let (Some(far_asn), Some(far_ip)) = (obs.far_asn, obs.far_ip) {
+                ends[1] = Some((far_asn, far_ip));
+            }
+            for (owner, ip) in ends.into_iter().flatten() {
+                if self.remote_cache.contains_key(&ip) || queued.contains(&ip) {
+                    continue;
+                }
+                let f_owner = self.as_facilities(owner);
+                if f_owner.is_empty() {
+                    continue;
+                }
+                let f_ixp = self.ixp_facilities(ixp);
+                if f_owner.intersection_len(&f_ixp) == 0 {
+                    queued.insert(ip);
+                    pending.push((ip, ixp));
+                }
+            }
+        }
+        if pending.is_empty() {
+            return;
+        }
+
+        let workers = self.workers();
+        let engine = self.engine;
+        let vps = self.vps;
+        let verdicts: Vec<Option<bool>> = if workers > 1 && pending.len() >= 8 {
+            let chunk_size = pending.len().div_ceil(workers);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = pending
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            let tester = RemoteTester::new(engine, vps);
+                            chunk
+                                .iter()
+                                .map(|(ip, ixp)| tester.is_remote(*ixp, *ip))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("remote-test worker"))
+                    .collect()
+            })
+            .expect("remote-test thread scope")
+        } else {
+            let tester = RemoteTester::new(engine, vps);
+            pending
+                .iter()
+                .map(|(ip, ixp)| tester.is_remote(*ixp, *ip))
+                .collect()
+        };
+        for ((ip, _), verdict) in pending.into_iter().zip(verdicts) {
+            self.remote_cache.insert(ip, verdict);
+        }
+    }
+
     /// Step 2 for a public peering interface: intersect the owner's
     /// facilities with the exchange's; an empty overlap triggers the
     /// remote test (§4.2 case 3).
     fn constrain_public(&mut self, owner: Asn, ip: Ipv4Addr, ixp: IxpId, iteration: usize) {
         let f_owner = self.as_facilities(owner);
         let f_ixp = self.ixp_facilities(ixp);
-        let common: BTreeSet<FacilityId> =
-            f_owner.intersection(&f_ixp).copied().collect();
+        let common = f_owner.intersect(&f_ixp);
 
         let verdict = if common.is_empty() && !f_owner.is_empty() {
             *self
@@ -364,8 +613,10 @@ impl<'a> Cfs<'a> {
             None
         };
 
-        let state =
-            self.states.entry(ip).or_insert_with(|| IfaceState::new(ip, Some(owner)));
+        let state = self
+            .states
+            .entry(ip)
+            .or_insert_with(|| IfaceState::new(ip, Some(owner)));
         state.owner.get_or_insert(owner);
         state.public_ixps.insert(ixp);
         if f_owner.is_empty() {
@@ -396,10 +647,12 @@ impl<'a> Cfs<'a> {
     fn constrain_private(&mut self, owner: Asn, ip: Ipv4Addr, peer: Asn, iteration: usize) {
         let f_owner = self.as_facilities(owner);
         let f_peer = self.as_facilities(peer);
-        let common: BTreeSet<FacilityId> = f_owner.intersection(&f_peer).copied().collect();
+        let common = f_owner.intersect(&f_peer);
 
-        let state =
-            self.states.entry(ip).or_insert_with(|| IfaceState::new(ip, Some(owner)));
+        let state = self
+            .states
+            .entry(ip)
+            .or_insert_with(|| IfaceState::new(ip, Some(owner)));
         state.owner.get_or_insert(owner);
         state.seen_private = true;
         if f_owner.is_empty() {
@@ -421,13 +674,13 @@ impl<'a> Cfs<'a> {
     /// candidate sets intersect.
     fn apply_alias_constraints(&mut self, iteration: usize) {
         for set in self.aliases.sets.clone() {
-            let mut combined: Option<BTreeSet<FacilityId>> = None;
+            let mut combined: Option<FacilitySet> = None;
             for ip in &set {
                 if let Some(state) = self.states.get(ip) {
                     if let Some(c) = &state.candidates {
                         combined = Some(match combined {
                             None => c.clone(),
-                            Some(acc) => acc.intersection(c).copied().collect(),
+                            Some(acc) => acc.intersect(c),
                         });
                     }
                 }
@@ -447,7 +700,10 @@ impl<'a> Cfs<'a> {
     }
 
     fn resolved_count(&self) -> usize {
-        self.states.values().filter(|s| s.facility().is_some()).count()
+        self.states
+            .values()
+            .filter(|s| s.facility().is_some())
+            .count()
     }
 
     // ------------------------------------------------------------------
@@ -481,22 +737,69 @@ impl<'a> Cfs<'a> {
         pending.sort_unstable();
         pending.truncate(self.cfg.followup_interfaces);
 
-        let mut issued = 0usize;
+        // Planning reads the search state and only appends probe
+        // requests, so the requests for every chased interface can be
+        // gathered first and the traceroutes fanned out in one batch.
+        let mut requests: Vec<(VantagePointId, Ipv4Addr)> = Vec::new();
         for (_, _, ip) in pending {
             *self.chase_attempts.entry(ip).or_default() += 1;
-            issued += self.chase_interface(ip);
+            self.plan_chase(ip, &mut requests);
         }
+        let issued = requests.len();
+        let traces = self.trace_fanout(&requests);
+        self.ingest(traces);
         self.traces_issued += issued;
         issued
     }
 
-    /// Issues follow-up traceroutes designed to add constraints for one
-    /// unresolved interface.
-    fn chase_interface(&mut self, ip: Ipv4Addr) -> usize {
+    /// Runs the planned follow-up traceroutes, fanned out over worker
+    /// threads. Traces are pure functions of `(vantage point, target,
+    /// time)`, so the in-order merge is identical to a serial run.
+    fn trace_fanout(&self, requests: &[(VantagePointId, Ipv4Addr)]) -> Vec<Trace> {
+        let workers = self.workers();
+        let engine = self.engine;
+        let vps = self.vps;
+        let clock_ms = self.clock_ms;
+        if workers <= 1 || requests.len() < 32 {
+            return requests
+                .iter()
+                .map(|(vp_id, target)| engine.trace(&vps.vps[*vp_id], *target, clock_ms))
+                .collect();
+        }
+        let chunk_size = requests.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|(vp_id, target)| {
+                                engine.trace(&vps.vps[*vp_id], *target, clock_ms)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("trace worker"))
+                .collect()
+        })
+        .expect("trace thread scope")
+    }
+
+    /// Plans follow-up traceroutes designed to add constraints for one
+    /// unresolved interface, appending `(vantage point, target)` requests.
+    fn plan_chase(&mut self, ip: Ipv4Addr, requests: &mut Vec<(VantagePointId, Ipv4Addr)>) {
         let (owner, candidates, queried_ixps) = {
-            let Some(state) = self.states.get(&ip) else { return 0 };
-            let Some(owner) = state.owner else { return 0 };
-            let Some(c) = state.candidates.clone() else { return 0 };
+            let Some(state) = self.states.get(&ip) else {
+                return;
+            };
+            let Some(owner) = state.owner else { return };
+            let Some(c) = state.candidates.clone() else {
+                return;
+            };
             (owner, c, state.public_ixps.clone())
         };
         let f_owner = self.as_facilities(owner);
@@ -518,12 +821,16 @@ impl<'a> Cfs<'a> {
             if f_t.is_empty() {
                 continue;
             }
-            let overlap = f_t.intersection(&candidates).count();
+            let overlap = f_t.intersection_len(&candidates);
             if overlap == 0 {
                 continue;
             }
             let penalty = usize::from(
-                self.kb.ixps_of_as(t).intersection(&queried_ixps).next().is_some(),
+                self.kb
+                    .ixps_of_as(t)
+                    .intersection(&queried_ixps)
+                    .next()
+                    .is_some(),
             );
             if f_t.len() < f_owner.len() && f_t.is_subset(&f_owner) {
                 subset_scored.push((penalty, overlap, t));
@@ -547,7 +854,7 @@ impl<'a> Cfs<'a> {
         // peering); then anything that has previously seen the owner.
         let candidate_coords: Vec<cfs_geo::GeoPoint> = candidates
             .iter()
-            .filter_map(|f| self.kb.metro_of_facility(*f))
+            .filter_map(|f| self.kb.metro_of_facility(f))
             .map(|m| self.engine.topology().world.metro(m).location)
             .collect();
         let distance_to_candidates = |vp: &cfs_traceroute::VantagePoint| -> u64 {
@@ -575,15 +882,13 @@ impl<'a> Cfs<'a> {
         }
         vp_pool.truncate(self.cfg.vps_per_target);
 
-        let mut issued = 0usize;
         let topo = self.engine.topology();
-        let mut new_traces = Vec::new();
         for (_, _, target_as) in &scored {
-            let Ok(target) = topo.target_ip(*target_as) else { continue };
+            let Ok(target) = topo.target_ip(*target_as) else {
+                continue;
+            };
             for vp_id in &vp_pool {
-                let vp = &self.vps.vps[*vp_id];
-                new_traces.push(self.engine.trace(vp, target, self.clock_ms));
-                issued += 1;
+                requests.push((*vp_id, target));
             }
         }
 
@@ -608,18 +913,15 @@ impl<'a> Cfs<'a> {
                     .take(2)
                     .collect();
                 for near_asn in reverse_targets.into_iter().take(2) {
-                    let Ok(target) = topo.target_ip(near_asn) else { continue };
+                    let Ok(target) = topo.target_ip(near_asn) else {
+                        continue;
+                    };
                     for vp_id in &own_vps {
-                        let vp = &self.vps.vps[*vp_id];
-                        new_traces.push(self.engine.trace(vp, target, self.clock_ms));
-                        issued += 1;
+                        requests.push((*vp_id, target));
                     }
                 }
             }
         }
-
-        self.ingest(new_traces);
-        issued
     }
 
     // ------------------------------------------------------------------
@@ -651,8 +953,12 @@ impl<'a> Cfs<'a> {
         let mut proximity = ProximityModel::new();
         if self.cfg.proximity {
             for obs in &all_observations {
-                let LinkClass::Public { .. } = obs.class else { continue };
-                let (Some(far_ip), near_ip) = (obs.far_ip, obs.near_ip) else { continue };
+                let LinkClass::Public { .. } = obs.class else {
+                    continue;
+                };
+                let (Some(far_ip), near_ip) = (obs.far_ip, obs.near_ip) else {
+                    continue;
+                };
                 if !multi_port(obs) {
                     continue;
                 }
@@ -666,28 +972,32 @@ impl<'a> Cfs<'a> {
             // near end.
             let mut assignments: Vec<(Ipv4Addr, FacilityId)> = Vec::new();
             for obs in &all_observations {
-                let LinkClass::Public { .. } = obs.class else { continue };
+                let LinkClass::Public { .. } = obs.class else {
+                    continue;
+                };
                 let Some(far_ip) = obs.far_ip else { continue };
                 if !multi_port(obs) {
                     continue;
                 }
-                let Some(near_f) = self.states.get(&obs.near_ip).and_then(|s| s.facility())
-                else {
+                let Some(near_f) = self.states.get(&obs.near_ip).and_then(|s| s.facility()) else {
                     continue;
                 };
-                let Some(far_state) = self.states.get(&far_ip) else { continue };
+                let Some(far_state) = self.states.get(&far_ip) else {
+                    continue;
+                };
                 if far_state.facility().is_some() {
                     continue;
                 }
-                let Some(cands) = &far_state.candidates else { continue };
+                let Some(cands) = &far_state.candidates else {
+                    continue;
+                };
                 if let Some(f) = proximity.infer(near_f, cands) {
                     assignments.push((far_ip, f));
                 }
             }
             for (ip, f) in assignments {
                 if let Some(state) = self.states.get_mut(&ip) {
-                    let single: BTreeSet<FacilityId> = [f].into_iter().collect();
-                    state.candidates = Some(single);
+                    state.candidates = Some(self.interner.intern([f]));
                     // Marked below via `via_proximity`.
                     state.resolved_at.get_or_insert(usize::MAX);
                 }
@@ -697,7 +1007,11 @@ impl<'a> Cfs<'a> {
         // Interface verdicts.
         let mut interfaces = BTreeMap::new();
         for (ip, state) in &self.states {
-            let candidates = state.candidates.clone().unwrap_or_default();
+            let candidates = state
+                .candidates
+                .as_ref()
+                .map(FacilitySet::to_btree_set)
+                .unwrap_or_default();
             let metro = {
                 let metros: BTreeSet<_> = candidates
                     .iter()
@@ -722,9 +1036,7 @@ impl<'a> Cfs<'a> {
                     remote: state.remote,
                     public_ixps: state.public_ixps.clone(),
                     seen_private: state.seen_private,
-                    resolved_at: state
-                        .resolved_at
-                        .filter(|r| *r != usize::MAX),
+                    resolved_at: state.resolved_at.filter(|r| *r != usize::MAX),
                     via_proximity,
                 },
             );
@@ -745,9 +1057,7 @@ impl<'a> Cfs<'a> {
                         PeeringKind::PublicLocal
                     }
                 }
-                LinkClass::Private => {
-                    self.classify_private(obs, near_facility, far_facility)
-                }
+                LinkClass::Private => self.classify_private(obs, near_facility, far_facility),
             };
             links.push(InferredLink {
                 near_asn: obs.near_asn,
@@ -787,7 +1097,9 @@ impl<'a> Cfs<'a> {
                 return PeeringKind::PrivateCrossConnect;
             }
         }
-        let Some(peer) = obs.far_asn else { return PeeringKind::PrivateCrossConnect };
+        let Some(peer) = obs.far_asn else {
+            return PeeringKind::PrivateCrossConnect;
+        };
         let f_a = self.kb.facilities_of_as(obs.near_asn);
         let f_b = self.kb.facilities_of_as(peer);
         if f_a.intersection(&f_b).next().is_some() {
@@ -843,4 +1155,20 @@ impl<'a> Cfs<'a> {
         }
         stats
     }
+}
+
+// The whole point of the Arc/FacilitySet refactor: the search core and
+// its substrate types cross thread boundaries. Compile-time proof.
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    send::<Cfs<'static>>();
+    send::<KnowledgeBase>();
+    sync::<KnowledgeBase>();
+    sync::<Engine<'static>>();
+    sync::<VpSet>();
+    sync::<IpAsnDb>();
+    send::<CfsReport>();
+    sync::<FacilitySetInterner>();
 }

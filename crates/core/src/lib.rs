@@ -37,7 +37,7 @@ mod report;
 mod state;
 
 pub use atlas::{AtlasEntry, InterconnectionAtlas};
-pub use engine::{Cfs, CfsConfig, IterationStats};
+pub use engine::{Cfs, CfsBuilder, CfsConfig, IterationStats};
 pub use observe::{extract_observations, HopMeaning, Observation, Resolver};
 pub use proximity::ProximityModel;
 pub use remote::RemoteTester;

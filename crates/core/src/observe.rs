@@ -40,7 +40,9 @@ impl<'a> Resolver<'a> {
     /// addresses are *assigned by* the exchange, whatever origin BGP
     /// suggests.
     pub fn meaning(&self, ip: Option<Ipv4Addr>) -> HopMeaning {
-        let Some(ip) = ip else { return HopMeaning::Silent };
+        let Some(ip) = ip else {
+            return HopMeaning::Silent;
+        };
         if let Some(ixp) = self.kb.ixp_of_ip(ip) {
             return HopMeaning::IxpFabric(ixp);
         }
@@ -85,7 +87,9 @@ pub fn extract_observations(trace: &Trace, resolver: &Resolver<'_>) -> Vec<Obser
     let mut out = Vec::new();
 
     for i in 0..meanings.len() {
-        let HopMeaning::As(a) = meanings[i] else { continue };
+        let HopMeaning::As(a) = meanings[i] else {
+            continue;
+        };
         let near_ip = ips[i].expect("mapped hop has an address");
 
         match meanings.get(i + 1) {
@@ -137,11 +141,17 @@ mod tests {
     use cfs_traceroute::Hop;
 
     fn hop(ip: &str) -> Hop {
-        Hop { ip: Some(ip.parse().unwrap()), rtt_ms: 1.0 }
+        Hop {
+            ip: Some(ip.parse().unwrap()),
+            rtt_ms: 1.0,
+        }
     }
 
     fn star() -> Hop {
-        Hop { ip: None, rtt_ms: 0.0 }
+        Hop {
+            ip: None,
+            rtt_ms: 0.0,
+        }
     }
 
     fn trace_of(hops: Vec<Hop>) -> Trace {
@@ -231,9 +241,18 @@ mod tests {
         let resolver = Resolver::new(&kb, &corrected);
 
         let t = trace_of(vec![
-            Hop { ip: Some(near), rtt_ms: 1.0 },
-            Hop { ip: Some(fabric_ip), rtt_ms: 2.0 },
-            Hop { ip: Some(next), rtt_ms: 3.0 },
+            Hop {
+                ip: Some(near),
+                rtt_ms: 1.0,
+            },
+            Hop {
+                ip: Some(fabric_ip),
+                rtt_ms: 2.0,
+            },
+            Hop {
+                ip: Some(next),
+                rtt_ms: 3.0,
+            },
         ]);
         let obs = extract_observations(&t, &resolver);
         assert_eq!(obs.len(), 1);
@@ -266,8 +285,14 @@ mod tests {
         let corrected: BTreeMap<Ipv4Addr, Asn> = [(near, Asn(100))].into_iter().collect();
         let resolver = Resolver::new(&kb, &corrected);
         let t = trace_of(vec![
-            Hop { ip: Some(near), rtt_ms: 1.0 },
-            Hop { ip: Some(fabric_ip), rtt_ms: 2.0 },
+            Hop {
+                ip: Some(near),
+                rtt_ms: 1.0,
+            },
+            Hop {
+                ip: Some(fabric_ip),
+                rtt_ms: 2.0,
+            },
             star(),
         ]);
         assert!(extract_observations(&t, &resolver).is_empty());

@@ -11,9 +11,9 @@
 //! end. Ties — same backhaul or core switch — abstain, exactly the
 //! failure mode the paper reports for AMS-IX.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
-use cfs_types::FacilityId;
+use cfs_types::{FacilityId, FacilitySet};
 
 /// Facility co-occurrence statistics for far-end inference.
 #[derive(Clone, Debug, Default)]
@@ -50,11 +50,7 @@ impl ProximityModel {
     /// when no candidate was ever seen from `near`, or when the leaders
     /// tie (facilities behind the same backhaul or core switch are
     /// indistinguishable from traffic, as the paper notes for AMS-IX).
-    pub fn infer(
-        &self,
-        near: FacilityId,
-        candidates: &BTreeSet<FacilityId>,
-    ) -> Option<FacilityId> {
+    pub fn infer(&self, near: FacilityId, candidates: &FacilitySet) -> Option<FacilityId> {
         // Lift in per-mille to keep ordering integral and exact.
         let lift = |c: FacilityId| -> (u64, usize) {
             let n = self.counts.get(&(near, c)).copied().unwrap_or(0);
@@ -65,8 +61,10 @@ impl ProximityModel {
                 ((n as u64 * 1000) / total as u64, n)
             }
         };
-        let mut scored: Vec<(u64, usize, FacilityId)> =
-            candidates.iter().map(|c| (lift(*c).0, lift(*c).1, *c)).collect();
+        let mut scored: Vec<(u64, usize, FacilityId)> = candidates
+            .iter()
+            .map(|c| (lift(c).0, lift(c).1, c))
+            .collect();
         scored.sort_by_key(|(l, n, f)| (std::cmp::Reverse(*l), std::cmp::Reverse(*n), *f));
         match scored.as_slice() {
             [] => None,
@@ -92,7 +90,7 @@ mod tests {
         FacilityId::new(id)
     }
 
-    fn set(ids: &[u32]) -> BTreeSet<FacilityId> {
+    fn set(ids: &[u32]) -> FacilitySet {
         ids.iter().map(|i| f(*i)).collect()
     }
 

@@ -96,7 +96,9 @@ mod tests {
 
         for (id, ixp) in topo.ixps.iter() {
             for m in &ixp.members {
-                let Some(verdict) = tester.is_remote(id, m.fabric_ip) else { continue };
+                let Some(verdict) = tester.is_remote(id, m.fabric_ip) else {
+                    continue;
+                };
                 // Ground truth: remote membership via reseller, with the
                 // router genuinely far from the exchange.
                 let core = topo.facilities[topo.switches[ixp.core].facility].location;

@@ -11,7 +11,7 @@ use crate::engine::IterationStats;
 use crate::state::SearchOutcome;
 
 /// Final verdict for one observed peering interface.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct InferredInterface {
     /// The interface address.
     pub ip: Ipv4Addr,
@@ -40,7 +40,7 @@ pub struct InferredInterface {
 }
 
 /// Final verdict for one interconnection (deduplicated across traces).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct InferredLink {
     /// Near-side AS.
     pub near_asn: Asn,
@@ -63,7 +63,7 @@ pub struct InferredLink {
 /// Router-level role statistics (§5: 39% of observed routers implement
 /// both public and private peering; 11.9% of public-peering routers span
 /// 2-3 exchanges).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct RouterRoleStats {
     /// Observed routers (alias sets, plus singleton interfaces).
     pub routers: usize,
@@ -76,7 +76,7 @@ pub struct RouterRoleStats {
 }
 
 /// Everything the algorithm concluded.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct CfsReport {
     /// Per-interface verdicts.
     pub interfaces: BTreeMap<Ipv4Addr, InferredInterface>,
@@ -93,7 +93,10 @@ pub struct CfsReport {
 impl CfsReport {
     /// Number of interfaces resolved to exactly one facility.
     pub fn resolved(&self) -> usize {
-        self.interfaces.values().filter(|i| i.facility.is_some()).count()
+        self.interfaces
+            .values()
+            .filter(|i| i.facility.is_some())
+            .count()
     }
 
     /// Number of peering interfaces tracked.
@@ -135,7 +138,11 @@ impl CfsReport {
         let mut votes: BTreeMap<Ipv4Addr, BTreeMap<PeeringKind, usize>> = BTreeMap::new();
         for link in &self.links {
             if link.near_asn == owner {
-                *votes.entry(link.near_ip).or_default().entry(link.kind).or_default() += 1;
+                *votes
+                    .entry(link.near_ip)
+                    .or_default()
+                    .entry(link.kind)
+                    .or_default() += 1;
             }
             if link.far_asn == Some(owner) {
                 if let Some(far_ip) = link.far_ip {
@@ -156,8 +163,9 @@ impl CfsReport {
         }
         let mut out: BTreeMap<PeeringKind, usize> = BTreeMap::new();
         for (_, kinds) in votes {
-            if let Some((kind, _)) =
-                kinds.into_iter().max_by_key(|(k, n)| (*n, std::cmp::Reverse(*k)))
+            if let Some((kind, _)) = kinds
+                .into_iter()
+                .max_by_key(|(k, n)| (*n, std::cmp::Reverse(*k)))
             {
                 *out.entry(kind).or_default() += 1;
             }
@@ -172,7 +180,11 @@ impl CfsReport {
         let mut votes: BTreeMap<Ipv4Addr, BTreeMap<PeeringKind, usize>> = BTreeMap::new();
         for link in &self.links {
             if link.near_asn == owner {
-                *votes.entry(link.near_ip).or_default().entry(link.kind).or_default() += 1;
+                *votes
+                    .entry(link.near_ip)
+                    .or_default()
+                    .entry(link.kind)
+                    .or_default() += 1;
             }
             if link.far_asn == Some(owner) {
                 if let Some(far_ip) = link.far_ip {
@@ -202,7 +214,10 @@ impl CfsReport {
     /// Cumulative resolved fraction per iteration (Figure 7 series).
     pub fn resolution_curve(&self) -> Vec<f64> {
         let total = self.total().max(1) as f64;
-        self.iterations.iter().map(|s| s.resolved as f64 / total).collect()
+        self.iterations
+            .iter()
+            .map(|s| s.resolved as f64 / total)
+            .collect()
     }
 }
 
@@ -241,8 +256,18 @@ mod tests {
             interfaces,
             links: Vec::new(),
             iterations: vec![
-                IterationStats { iteration: 1, resolved: 1, tracked: 3, traces_issued: 0 },
-                IterationStats { iteration: 2, resolved: 2, tracked: 3, traces_issued: 5 },
+                IterationStats {
+                    iteration: 1,
+                    resolved: 1,
+                    tracked: 3,
+                    traces_issued: 0,
+                },
+                IterationStats {
+                    iteration: 2,
+                    resolved: 2,
+                    tracked: 3,
+                    traces_issued: 5,
+                },
             ],
             router_stats: RouterRoleStats::default(),
             traces_issued: 5,

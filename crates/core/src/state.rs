@@ -4,10 +4,12 @@
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
-use cfs_types::{Asn, FacilityId, IxpId};
+use cfs_types::{Asn, FacilityId, FacilitySet, IxpId};
 
 /// The paper's Step 2 outcome taxonomy for one interface.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum SearchOutcome {
     /// Converged to exactly one facility.
     Resolved,
@@ -29,8 +31,8 @@ pub struct IfaceState {
     /// Corrected owner AS (post alias majority vote), when known.
     pub owner: Option<Asn>,
     /// Current candidate facilities. `None` until the first constraint is
-    /// applied.
-    pub candidates: Option<BTreeSet<FacilityId>>,
+    /// applied. Interned sets make the clone here a reference-count bump.
+    pub candidates: Option<FacilitySet>,
     /// Whether the RTT test flagged this interface as a remote peer.
     pub remote: bool,
     /// Whether any constraint could not be computed for lack of data.
@@ -69,10 +71,7 @@ impl IfaceState {
 
     /// The single facility, when resolved.
     pub fn facility(&self) -> Option<FacilityId> {
-        match &self.candidates {
-            Some(set) if set.len() == 1 => set.iter().next().copied(),
-            _ => None,
-        }
+        self.candidates.as_ref().and_then(FacilitySet::single)
     }
 
     /// Current outcome classification.
@@ -98,7 +97,7 @@ impl IfaceState {
     /// and counted rather than wiping the state.
     ///
     /// Returns `true` when the state changed.
-    pub fn constrain(&mut self, allowed: &BTreeSet<FacilityId>, iteration: usize) -> bool {
+    pub fn constrain(&mut self, allowed: &FacilitySet, iteration: usize) -> bool {
         if allowed.is_empty() {
             self.missing_data = true;
             return false;
@@ -114,8 +113,7 @@ impl IfaceState {
                 true
             }
             Some(current) => {
-                let intersection: BTreeSet<FacilityId> =
-                    current.intersection(allowed).copied().collect();
+                let intersection = current.intersect(allowed);
                 if intersection.is_empty() {
                     self.conflicts += 1;
                     return false;
@@ -142,7 +140,7 @@ mod tests {
         "192.0.2.1".parse().unwrap()
     }
 
-    fn set(ids: &[u32]) -> BTreeSet<FacilityId> {
+    fn set(ids: &[u32]) -> FacilitySet {
         ids.iter().map(|i| FacilityId::new(*i)).collect()
     }
 
@@ -187,7 +185,7 @@ mod tests {
     #[test]
     fn empty_constraint_marks_missing_data() {
         let mut s = IfaceState::new(ip(), None);
-        assert!(!s.constrain(&BTreeSet::new(), 1));
+        assert!(!s.constrain(&FacilitySet::empty(), 1));
         assert!(s.missing_data);
         assert_eq!(s.outcome(), SearchOutcome::MissingData);
     }
@@ -223,7 +221,7 @@ mod tests {
             let mut s = IfaceState::new("10.0.0.1".parse().unwrap(), None);
             let mut last_len: Option<usize> = None;
             for (i, raw) in constraints.iter().enumerate() {
-                let facs: BTreeSet<FacilityId> =
+                let facs: FacilitySet =
                     raw.iter().map(|x| FacilityId::new(*x)).collect();
                 s.constrain(&facs, i + 1);
                 if let Some(set) = &s.candidates {
@@ -246,9 +244,9 @@ mod tests {
             )
         ) {
             let mut s = IfaceState::new("10.0.0.1".parse().unwrap(), None);
-            let mut applied: Vec<BTreeSet<FacilityId>> = Vec::new();
+            let mut applied: Vec<FacilitySet> = Vec::new();
             for (i, raw) in constraints.iter().enumerate() {
-                let facs: BTreeSet<FacilityId> =
+                let facs: FacilitySet =
                     raw.iter().map(|x| FacilityId::new(*x)).collect();
                 let before = s.conflicts;
                 s.constrain(&facs, i + 1);
@@ -258,7 +256,7 @@ mod tests {
             }
             if let Some(f) = s.facility() {
                 for c in &applied {
-                    proptest::prop_assert!(c.contains(&f));
+                    proptest::prop_assert!(c.contains(f));
                 }
             }
         }

@@ -2,7 +2,7 @@
 //! BGP-capable looking glasses feeding the search directly.
 
 use cfs_bgp::LookingGlassBgp;
-use cfs_core::{Cfs, CfsConfig};
+use cfs_core::Cfs;
 use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
 use cfs_topology::{Topology, TopologyConfig};
 use cfs_traceroute::{
@@ -15,7 +15,9 @@ struct Fx {
 
 impl Fx {
     fn new() -> Self {
-        Self { topo: Topology::generate(TopologyConfig::default()).unwrap() }
+        Self {
+            topo: Topology::generate(TopologyConfig::default()).unwrap(),
+        }
     }
 
     fn run(&self, with_sessions: bool) -> cfs_core::CfsReport {
@@ -33,10 +35,20 @@ impl Fx {
             .map(|n| topo.target_ip(n.asn).unwrap())
             .collect();
         let all_vps: Vec<_> = vps.ids().collect();
-        let traces =
-            run_campaign(&engine, &vps, &all_vps, &targets, 0, &CampaignLimits::default());
+        let traces = run_campaign(
+            &engine,
+            &vps,
+            &all_vps,
+            &targets,
+            0,
+            &CampaignLimits::default(),
+        );
 
-        let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+        let mut cfs = Cfs::builder(&engine, &kb)
+            .vps(&vps)
+            .ipasn(&ipasn)
+            .build()
+            .unwrap();
         cfs.ingest(traces);
         if with_sessions {
             let lg_bgp = LookingGlassBgp::new(topo);
@@ -76,9 +88,15 @@ fn session_verdicts_are_accurate_too() {
     let mut correct = 0usize;
     let mut wrong = 0usize;
     for iface in report.interfaces.values() {
-        let Some(inferred) = iface.facility else { continue };
-        let Some(ifid) = topo.iface_by_ip(iface.ip) else { continue };
-        let Some(truth) = topo.router_facility(topo.ifaces[ifid].router) else { continue };
+        let Some(inferred) = iface.facility else {
+            continue;
+        };
+        let Some(ifid) = topo.iface_by_ip(iface.ip) else {
+            continue;
+        };
+        let Some(truth) = topo.router_facility(topo.ifaces[ifid].router) else {
+            continue;
+        };
         if inferred == truth {
             correct += 1;
         } else {

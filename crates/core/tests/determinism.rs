@@ -1,0 +1,83 @@
+//! The parallel stages must not change results: a serial (`threads = 1`)
+//! and a parallel (`threads = 4`) run of the full pipeline over the same
+//! seeded world must produce byte-identical `CfsReport` JSON.
+//!
+//! This holds because every measurement primitive the parallel stages
+//! fan out (trace simulation, IP-ID probing, remote-peering RTT tests)
+//! is a pure function of its call parameters, and every fan-out merges
+//! its results in submission order.
+
+use cfs_core::{Cfs, CfsConfig};
+use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
+use cfs_topology::{Topology, TopologyConfig};
+use cfs_traceroute::{deploy_vantage_points, run_campaign, CampaignLimits, Engine, VpConfig};
+
+fn report_json(topo: &Topology, threads: usize) -> String {
+    let vps = deploy_vantage_points(topo, &VpConfig::tiny()).unwrap();
+    let engine = Engine::new(topo);
+    let sources = PublicSources::derive(topo, &KbConfig::default());
+    let kb = KnowledgeBase::assemble(&sources, &topo.world);
+    let ipasn = topo.build_ipasn_db();
+
+    let targets: Vec<std::net::Ipv4Addr> = topo
+        .ases
+        .keys()
+        .take(12)
+        .map(|a| topo.target_ip(*a).unwrap())
+        .collect();
+    let all_vps: Vec<_> = vps.ids().collect();
+    let traces = run_campaign(
+        &engine,
+        &vps,
+        &all_vps,
+        &targets,
+        0,
+        &CampaignLimits::default(),
+    );
+
+    let mut cfs = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .config(CfsConfig {
+            max_iterations: 8,
+            ..CfsConfig::default()
+        })
+        .threads(threads)
+        .build()
+        .unwrap();
+    cfs.ingest(traces);
+    let report = cfs.run();
+    serde_json::to_string(&report).unwrap()
+}
+
+#[test]
+fn serial_and_parallel_reports_are_byte_identical() {
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    let serial = report_json(&topo, 1);
+    let parallel = report_json(&topo, 4);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "thread count changed the report");
+}
+
+#[test]
+fn rerun_at_same_thread_count_is_deterministic() {
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    assert_eq!(report_json(&topo, 4), report_json(&topo, 4));
+}
+
+#[test]
+fn cfs_is_send() {
+    fn assert_send<T: Send>(_: &T) {}
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
+    let engine = Engine::new(&topo);
+    let sources = PublicSources::derive(&topo, &KbConfig::default());
+    let kb = KnowledgeBase::assemble(&sources, &topo.world);
+    let ipasn = topo.build_ipasn_db();
+    let cfs = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .build()
+        .unwrap();
+    assert_send(&cfs);
+}

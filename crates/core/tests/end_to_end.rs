@@ -3,7 +3,7 @@
 //! campaigns, execute the search, and score the verdicts against the
 //! hidden truth.
 
-use cfs_core::{Cfs, CfsConfig, SearchOutcome};
+use cfs_core::{Cfs, SearchOutcome};
 use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
 use cfs_topology::{Topology, TopologyConfig};
 use cfs_traceroute::{
@@ -17,14 +17,22 @@ struct Fixture {
 
 impl Fixture {
     fn new() -> Self {
-        Self { topo: Topology::generate(TopologyConfig::default()).unwrap() }
+        Self {
+            topo: Topology::generate(TopologyConfig::default()).unwrap(),
+        }
     }
 
     fn run_cfs(&self) -> (cfs_core::CfsReport, &Topology) {
         let topo = &self.topo;
         let vps = deploy_vantage_points(topo, &VpConfig::tiny()).unwrap();
         let engine = Engine::new(topo);
-        let sources = PublicSources::derive(topo, &KbConfig { noc_pages: 40, ..Default::default() });
+        let sources = PublicSources::derive(
+            topo,
+            &KbConfig {
+                noc_pages: 40,
+                ..Default::default()
+            },
+        );
         let kb = KnowledgeBase::assemble(&sources, &topo.world);
         let ipasn = topo.build_ipasn_db();
 
@@ -32,16 +40,24 @@ impl Fixture {
         let targets: Vec<std::net::Ipv4Addr> = topo
             .ases
             .values()
-            .filter(|n| {
-                matches!(n.class, cfs_types::AsClass::Cdn | cfs_types::AsClass::Tier1)
-            })
+            .filter(|n| matches!(n.class, cfs_types::AsClass::Cdn | cfs_types::AsClass::Tier1))
             .map(|n| topo.target_ip(n.asn).unwrap())
             .collect();
         let all_vps: Vec<_> = vps.ids().collect();
-        let traces =
-            run_campaign(&engine, &vps, &all_vps, &targets, 0, &CampaignLimits::default());
+        let traces = run_campaign(
+            &engine,
+            &vps,
+            &all_vps,
+            &targets,
+            0,
+            &CampaignLimits::default(),
+        );
 
-        let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+        let mut cfs = Cfs::builder(&engine, &kb)
+            .vps(&vps)
+            .ipasn(&ipasn)
+            .build()
+            .unwrap();
         cfs.ingest(traces);
         let report = cfs.run();
         (report, topo)
@@ -53,10 +69,16 @@ fn facility_accuracy(report: &cfs_core::CfsReport, topo: &Topology) -> (usize, u
     let mut wrong = 0;
     let mut same_city_wrong = 0;
     for iface in report.interfaces.values() {
-        let Some(inferred) = iface.facility else { continue };
-        let Some(ifid) = topo.iface_by_ip(iface.ip) else { continue };
+        let Some(inferred) = iface.facility else {
+            continue;
+        };
+        let Some(ifid) = topo.iface_by_ip(iface.ip) else {
+            continue;
+        };
         let router = topo.ifaces[ifid].router;
-        let Some(truth) = topo.router_facility(router) else { continue };
+        let Some(truth) = topo.router_facility(router) else {
+            continue;
+        };
         if inferred == truth {
             correct += 1;
         } else {
@@ -74,7 +96,11 @@ fn cfs_resolves_interfaces_with_high_accuracy() {
     let fx = Fixture::new();
     let (report, topo) = fx.run_cfs();
 
-    assert!(report.total() > 100, "only {} interfaces tracked", report.total());
+    assert!(
+        report.total() > 100,
+        "only {} interfaces tracked",
+        report.total()
+    );
     assert!(
         report.resolved_fraction() > 0.35,
         "resolved fraction too low: {:.2}",
@@ -85,7 +111,10 @@ fn cfs_resolves_interfaces_with_high_accuracy() {
     let checked = correct + wrong;
     assert!(checked > 50, "too few verdicts to score: {checked}");
     let accuracy = correct as f64 / checked as f64;
-    assert!(accuracy > 0.80, "facility accuracy {accuracy:.2} ({correct}/{checked})");
+    assert!(
+        accuracy > 0.80,
+        "facility accuracy {accuracy:.2} ({correct}/{checked})"
+    );
     // The paper's signature failure mode: wrong building, right city.
     let city_accuracy = (correct + same_city) as f64 / checked as f64;
     assert!(city_accuracy >= accuracy);
@@ -99,11 +128,18 @@ fn convergence_curve_is_monotonic_and_frontloaded() {
     let curve = report.resolution_curve();
     assert!(curve.len() >= 2, "no iterations recorded");
     for w in curve.windows(2) {
-        assert!(w[1] >= w[0] - 1e-12, "resolution curve decreased: {curve:?}");
+        assert!(
+            w[1] >= w[0] - 1e-12,
+            "resolution curve decreased: {curve:?}"
+        );
     }
     // Iteration 1 (single-common-facility cases) already resolves a
     // sizeable share, as in Figure 7.
-    assert!(curve[0] > 0.05, "first iteration resolved too little: {}", curve[0]);
+    assert!(
+        curve[0] > 0.05,
+        "first iteration resolved too little: {}",
+        curve[0]
+    );
 }
 
 #[test]
@@ -115,7 +151,13 @@ fn outcome_taxonomy_is_populated() {
     for iface in report.interfaces.values() {
         *by_outcome.entry(iface.outcome).or_insert(0usize) += 1;
     }
-    assert!(by_outcome.get(&SearchOutcome::Resolved).copied().unwrap_or(0) > 0);
+    assert!(
+        by_outcome
+            .get(&SearchOutcome::Resolved)
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
     // Incomplete public data must leave some interfaces short of a
     // verdict, as in the paper (70.65% resolved, not 100%).
     let unresolved: usize = by_outcome
@@ -123,7 +165,10 @@ fn outcome_taxonomy_is_populated() {
         .filter(|(k, _)| **k != SearchOutcome::Resolved)
         .map(|(_, v)| *v)
         .sum();
-    assert!(unresolved > 0, "everything resolved — incompleteness not modelled");
+    assert!(
+        unresolved > 0,
+        "everything resolved — incompleteness not modelled"
+    );
 }
 
 #[test]
@@ -143,11 +188,7 @@ fn links_carry_kinds_and_some_are_public() {
     let fx = Fixture::new();
     let (report, _) = fx.run_cfs();
     assert!(!report.links.is_empty());
-    let public = report
-        .links
-        .iter()
-        .filter(|l| l.kind.is_public())
-        .count();
+    let public = report.links.iter().filter(|l| l.kind.is_public()).count();
     let private = report.links.len() - public;
     assert!(public > 0, "no public links classified");
     assert!(private > 0, "no private links classified");
@@ -162,14 +203,28 @@ fn platform_restriction_limits_followups() {
     let kb = KnowledgeBase::assemble(&sources, &topo.world);
     let ipasn = topo.build_ipasn_db();
 
-    let targets: Vec<std::net::Ipv4Addr> =
-        topo.ases.keys().take(10).map(|a| topo.target_ip(*a).unwrap()).collect();
+    let targets: Vec<std::net::Ipv4Addr> = topo
+        .ases
+        .keys()
+        .take(10)
+        .map(|a| topo.target_ip(*a).unwrap())
+        .collect();
     let atlas_vps: Vec<_> = vps.of_platform(Platform::RipeAtlas).to_vec();
-    let traces =
-        run_campaign(&engine, &vps, &atlas_vps, &targets, 0, &CampaignLimits::default());
+    let traces = run_campaign(
+        &engine,
+        &vps,
+        &atlas_vps,
+        &targets,
+        0,
+        &CampaignLimits::default(),
+    );
 
-    let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default())
-        .restrict_platforms(&[Platform::RipeAtlas]);
+    let mut cfs = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .platforms(&[Platform::RipeAtlas])
+        .build()
+        .unwrap();
     cfs.ingest(traces);
     let report = cfs.run();
     // Must complete and produce a nonempty report even under restriction.

@@ -15,7 +15,9 @@ fn main() {
     let mut sizes = std::collections::BTreeMap::new();
     let mut classes = std::collections::BTreeMap::new();
     for iface in report.interfaces.values() {
-        *outcomes.entry(format!("{:?}", iface.outcome)).or_insert(0usize) += 1;
+        *outcomes
+            .entry(format!("{:?}", iface.outcome))
+            .or_insert(0usize) += 1;
         if iface.outcome == SearchOutcome::UnresolvedLocal {
             let bucket = match iface.candidates.len() {
                 0..=1 => unreachable!("unresolved-local implies >1"),

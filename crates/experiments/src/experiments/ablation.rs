@@ -21,10 +21,38 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     let base = CfsConfig::default();
     let variants: Vec<(&str, CfsConfig, bool)> = vec![
         ("full", base.clone(), true),
-        ("no-alias", CfsConfig { alias_constraints: false, ..base.clone() }, true),
-        ("no-followup", CfsConfig { followup_interfaces: 0, ..base.clone() }, true),
-        ("no-reverse", CfsConfig { reverse_search: false, ..base.clone() }, true),
-        ("no-proximity", CfsConfig { proximity: false, ..base.clone() }, true),
+        (
+            "no-alias",
+            CfsConfig {
+                alias_constraints: false,
+                ..base.clone()
+            },
+            true,
+        ),
+        (
+            "no-followup",
+            CfsConfig {
+                followup_interfaces: 0,
+                ..base.clone()
+            },
+            true,
+        ),
+        (
+            "no-reverse",
+            CfsConfig {
+                reverse_search: false,
+                ..base.clone()
+            },
+            true,
+        ),
+        (
+            "no-proximity",
+            CfsConfig {
+                proximity: false,
+                ..base.clone()
+            },
+            true,
+        ),
         ("classic-tracert", base.clone(), false),
     ];
 
@@ -34,7 +62,11 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
         let report = run_variant(lab, cfg, paris);
         let (correct, wrong) = accuracy(lab, &report);
         let checked = correct + wrong;
-        let acc = if checked > 0 { correct as f64 / checked as f64 } else { 0.0 };
+        let acc = if checked > 0 {
+            correct as f64 / checked as f64
+        } else {
+            0.0
+        };
         rows.push(vec![
             label.to_string(),
             report.total().to_string(),
@@ -55,7 +87,14 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     }
 
     out.table(
-        &["variant", "tracked", "resolved", "coverage", "accuracy", "follow-ups"],
+        &[
+            "variant",
+            "tracked",
+            "resolved",
+            "coverage",
+            "accuracy",
+            "follow-ups",
+        ],
         &rows,
     );
     out.line("");
@@ -65,10 +104,18 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
 }
 
 fn run_variant(lab: &Lab, cfg: CfsConfig, paris: bool) -> CfsReport {
-    let engine =
-        if paris { Engine::new(&lab.topo) } else { Engine::new(&lab.topo).without_paris() };
+    let engine = if paris {
+        Engine::new(&lab.topo)
+    } else {
+        Engine::new(&lab.topo).without_paris()
+    };
     let traces = lab.bootstrap_traces(&engine, None);
-    let mut cfs = Cfs::new(&engine, &lab.vps, &lab.kb, &lab.ipasn, cfg);
+    let mut cfs = Cfs::builder(&engine, &lab.kb)
+        .vps(&lab.vps)
+        .ipasn(&lab.ipasn)
+        .config(cfg)
+        .build()
+        .expect("ablation: CFS dependencies are always set");
     cfs.ingest(traces);
     cfs.run()
 }
@@ -77,8 +124,12 @@ fn accuracy(lab: &Lab, report: &CfsReport) -> (usize, usize) {
     let mut correct = 0;
     let mut wrong = 0;
     for iface in report.interfaces.values() {
-        let Some(inferred) = iface.facility else { continue };
-        let Some(ifid) = lab.topo.iface_by_ip(iface.ip) else { continue };
+        let Some(inferred) = iface.facility else {
+            continue;
+        };
+        let Some(ifid) = lab.topo.iface_by_ip(iface.ip) else {
+            continue;
+        };
         let Some(truth) = lab.topo.router_facility(lab.topo.ifaces[ifid].router) else {
             continue;
         };

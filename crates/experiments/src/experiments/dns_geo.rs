@@ -34,16 +34,19 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     let mut cbg_within_1000km = 0usize;
 
     for ip in report.interfaces.keys() {
-        let Some(ifid) = lab.topo.iface_by_ip(*ip) else { continue };
+        let Some(ifid) = lab.topo.iface_by_ip(*ip) else {
+            continue;
+        };
         let iface = &lab.topo.ifaces[ifid];
         let (truth_metro, truth_country) = match lab.topo.routers[iface.router].location {
             RouterLocation::Facility(f) => {
                 let fac = &lab.topo.facilities[f];
                 (fac.metro, lab.topo.world.city(fac.city).country.clone())
             }
-            RouterLocation::PopCity(c) => {
-                (lab.topo.world.metro_of(c), lab.topo.world.city(c).country.clone())
-            }
+            RouterLocation::PopCity(c) => (
+                lab.topo.world.metro_of(c),
+                lab.topo.world.city(c).country.clone(),
+            ),
         };
         total += 1;
 
@@ -68,7 +71,7 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
         }
 
         // CBG multilateration is expensive; sample one interface in four.
-        if total % 4 == 0 {
+        if total.is_multiple_of(4) {
             if let Some(city) = cbg.geolocate(*ip) {
                 cbg_answers += 1;
                 if lab.topo.world.metro_of(city) == truth_metro {
@@ -91,27 +94,46 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
         .unwrap_or_else(|| report.resolved_fraction());
 
     let pct = |n: usize, d: usize| {
-        if d == 0 { 0.0 } else { n as f64 / d as f64 }
+        if d == 0 {
+            0.0
+        } else {
+            n as f64 / d as f64
+        }
     };
 
     out.kv("peering interfaces examined", total);
-    out.kv("with a PTR record", format!("{named} ({:.1}%)", 100.0 * pct(named, total)));
+    out.kv(
+        "with a PTR record",
+        format!("{named} ({:.1}%)", 100.0 * pct(named, total)),
+    );
     out.kv(
         "with location tokens (DRoP geolocatable)",
-        format!("{geo_tokens} ({:.1}% of all)", 100.0 * pct(geo_tokens, total)),
+        format!(
+            "{geo_tokens} ({:.1}% of all)",
+            100.0 * pct(geo_tokens, total)
+        ),
     );
     out.kv(
         "DRoP metro accuracy where it answers",
         format!("{:.1}%", 100.0 * pct(drop_correct_metro, geo_tokens.max(1))),
     );
-    out.kv("CFS resolved fraction at iteration 5", format!("{:.1}%", 100.0 * cfs_at_5));
+    out.kv(
+        "CFS resolved fraction at iteration 5",
+        format!("{:.1}%", 100.0 * cfs_at_5),
+    );
     out.kv(
         "IP-geolocation metro accuracy",
-        format!("{:.1}%", 100.0 * pct(ipgeo_correct_metro, ipgeo_answers.max(1))),
+        format!(
+            "{:.1}%",
+            100.0 * pct(ipgeo_correct_metro, ipgeo_answers.max(1))
+        ),
     );
     out.kv(
         "IP-geolocation country accuracy",
-        format!("{:.1}%", 100.0 * pct(ipgeo_correct_country, ipgeo_answers.max(1))),
+        format!(
+            "{:.1}%",
+            100.0 * pct(ipgeo_correct_country, ipgeo_answers.max(1))
+        ),
     );
     out.kv(
         "CBG (delay) metro accuracy",
@@ -151,7 +173,10 @@ mod tests {
         let json = run(&lab, &mut out).unwrap();
         let drop_cov = json["drop_geolocatable_fraction"].as_f64().unwrap();
         let cfs5 = json["cfs_resolved_fraction_at_iter5"].as_f64().unwrap();
-        assert!(drop_cov < 0.9, "DRoP coverage suspiciously complete: {drop_cov}");
+        assert!(
+            drop_cov < 0.9,
+            "DRoP coverage suspiciously complete: {drop_cov}"
+        );
         assert!(
             cfs5 > drop_cov * 0.8,
             "CFS at iteration 5 ({cfs5}) should rival DRoP coverage ({drop_cov})"

@@ -37,11 +37,20 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
                 .and_then(|i| i.facility)
                 .and_then(|f| lab.kb.region_of_facility(f));
             if let Some(region) = region {
-                *by_region.entry(region).or_default().entry(kind).or_default() += 1;
+                *by_region
+                    .entry(region)
+                    .or_default()
+                    .entry(kind)
+                    .or_default() += 1;
             }
         }
 
-        let class = lab.topo.ases.get(&target).map(|n| n.class.label()).unwrap_or("?");
+        let class = lab
+            .topo
+            .ases
+            .get(&target)
+            .map(|n| n.class.label())
+            .unwrap_or("?");
         let fmt = |m: &BTreeMap<PeeringKind, usize>| {
             PeeringKind::ALL
                 .iter()
@@ -77,7 +86,15 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     out.line("counts are public-local/public-remote/private-xconnect/tethering/private-remote");
     out.line("");
     out.table(
-        &["target", "class", "interfaces", "total", "europe", "north-america", "asia"],
+        &[
+            "target",
+            "class",
+            "interfaces",
+            "total",
+            "europe",
+            "north-america",
+            "asia",
+        ],
         &rows,
     );
     out.line("");
@@ -108,7 +125,8 @@ mod tests {
             let total = row["total"].as_object().unwrap();
             let get = |k: &str| total.get(k).and_then(|v| v.as_i64()).unwrap_or(0);
             let public = get("public-local") + get("public-remote");
-            let private = get("private-xconnect") + get("private-tethering") + get("private-remote");
+            let private =
+                get("private-xconnect") + get("private-tethering") + get("private-remote");
             let asn = cfs_types::Asn(row["asn"].as_u64().unwrap() as u32);
             match lab.topo.ases[&asn].class {
                 AsClass::Cdn => {

@@ -94,8 +94,10 @@ mod tests {
         let mut out = Output::new("fig2-test", "tiny").quiet();
         let json = run(&lab, &mut out).unwrap();
         let series = json["series"].as_array().unwrap();
-        let counts: Vec<u64> =
-            series.iter().map(|r| r["noc_facilities"].as_u64().unwrap()).collect();
+        let counts: Vec<u64> = series
+            .iter()
+            .map(|r| r["noc_facilities"].as_u64().unwrap())
+            .collect();
         for w in counts.windows(2) {
             assert!(w[0] >= w[1]);
         }

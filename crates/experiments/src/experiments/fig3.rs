@@ -25,16 +25,24 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
         .collect();
 
     out.kv("metros with >= 10 facilities", qualifying.len());
-    out.kv("largest metro facility count", ranked.first().map(|(_, n)| *n).unwrap_or(0));
+    out.kv(
+        "largest metro facility count",
+        ranked.first().map(|(_, n)| *n).unwrap_or(0),
+    );
     out.kv(
         "facility:ixp ratio",
-        format!("{:.1}", lab.topo.facilities.len() as f64 / lab.topo.ixps.len().max(1) as f64),
+        format!(
+            "{:.1}",
+            lab.topo.facilities.len() as f64 / lab.topo.ixps.len().max(1) as f64
+        ),
     );
     out.line("");
     out.line("paper: 33 metros >= 10 facilities; London/NYC lead with 40+; ~3 facilities per IXP");
     out.line("");
-    let rows: Vec<Vec<String>> =
-        qualifying.iter().map(|(name, n)| vec![name.clone(), n.to_string()]).collect();
+    let rows: Vec<Vec<String>> = qualifying
+        .iter()
+        .map(|(name, n)| vec![name.clone(), n.to_string()])
+        .collect();
     out.table(&["metro", "facilities"], &rows);
 
     Ok(serde_json::json!({
@@ -60,8 +68,10 @@ mod tests {
         let metros = json["metros"].as_array().unwrap();
         assert!(!metros.is_empty(), "no metro reaches 10 facilities");
         // Counts are sorted descending.
-        let counts: Vec<u64> =
-            metros.iter().map(|m| m["facilities"].as_u64().unwrap()).collect();
+        let counts: Vec<u64> = metros
+            .iter()
+            .map(|m| m["facilities"].as_u64().unwrap())
+            .collect();
         for w in counts.windows(2) {
             assert!(w[0] >= w[1]);
         }

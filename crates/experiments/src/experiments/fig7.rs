@@ -34,8 +34,11 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     let atlas = &interface_sets[1];
     let lg = &interface_sets[2];
     let lg_only = lg.difference(atlas).count();
-    let lg_unseen_fraction =
-        if lg.is_empty() { 0.0 } else { lg_only as f64 / lg.len() as f64 };
+    let lg_unseen_fraction = if lg.is_empty() {
+        0.0
+    } else {
+        lg_only as f64 / lg.len() as f64
+    };
 
     let sample_points = [1usize, 5, 10, 20, 40, 60, 80, 100];
     let mut rows = Vec::new();
@@ -52,7 +55,10 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     for (label, _curve, total, resolved) in &curves {
         out.kv(
             &format!("{label}: final resolved / tracked"),
-            format!("{resolved} / {total} ({:.1}%)", 100.0 * *resolved as f64 / (*total).max(1) as f64),
+            format!(
+                "{resolved} / {total} ({:.1}%)",
+                100.0 * *resolved as f64 / (*total).max(1) as f64
+            ),
         );
     }
     out.kv(
@@ -89,8 +95,12 @@ mod tests {
         let curves = json["curves"].as_array().unwrap();
         assert_eq!(curves.len(), 3);
         for c in curves {
-            let vals: Vec<f64> =
-                c["curve"].as_array().unwrap().iter().map(|v| v.as_f64().unwrap()).collect();
+            let vals: Vec<f64> = c["curve"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
             assert!(!vals.is_empty());
             for w in vals.windows(2) {
                 assert!(w[1] >= w[0] - 1e-12);

@@ -42,13 +42,13 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
 
     // Each (step, trial) degradation run is independent and deterministic
     // in its derived seed; fan them out over scoped threads.
-    let jobs: Vec<(usize, usize)> =
-        (1..=steps).flat_map(|s| (0..trials).map(move |t| (s, t))).collect();
+    let jobs: Vec<(usize, usize)> = (1..=steps)
+        .flat_map(|s| (0..trials).map(move |t| (s, t)))
+        .collect();
     let run_one = |step: usize, trial: usize| -> (usize, f64, f64) {
         let removed_count = max_removed * step / steps;
-        let mut rng = ChaCha20Rng::seed_from_u64(
-            lab.topo.config.seed ^ (step as u64) << 8 ^ trial as u64,
-        );
+        let mut rng =
+            ChaCha20Rng::seed_from_u64(lab.topo.config.seed ^ (step as u64) << 8 ^ trial as u64);
         let mut pool: Vec<FacilityId> = lab.topo.facilities.ids().collect();
         pool.shuffle(&mut rng);
         let removed: BTreeSet<FacilityId> = pool.into_iter().take(removed_count).collect();
@@ -71,17 +71,26 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
             changed as f64 / baseline_resolved as f64,
         )
     };
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
     let results: Vec<(usize, f64, f64)> = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in jobs.chunks(jobs.len().div_ceil(workers)) {
             let chunk: Vec<(usize, usize)> = chunk.to_vec();
             let run_one = &run_one;
             handles.push(scope.spawn(move |_| {
-                chunk.iter().map(|(s, t)| run_one(*s, *t)).collect::<Vec<_>>()
+                chunk
+                    .iter()
+                    .map(|(s, t)| run_one(*s, *t))
+                    .collect::<Vec<_>>()
             }));
         }
-        handles.into_iter().flat_map(|h| h.join().expect("fig8 worker")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fig8 worker"))
+            .collect()
     })
     .expect("fig8 thread scope");
 
@@ -91,13 +100,15 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
         let removed_count = max_removed * step / steps;
         let step_results: Vec<&(usize, f64, f64)> =
             results.iter().filter(|(s, _, _)| *s == step).collect();
-        let lost =
-            step_results.iter().map(|(_, l, _)| l).sum::<f64>() / step_results.len() as f64;
+        let lost = step_results.iter().map(|(_, l, _)| l).sum::<f64>() / step_results.len() as f64;
         let changed =
             step_results.iter().map(|(_, _, c)| c).sum::<f64>() / step_results.len() as f64;
         rows.push(vec![
             removed_count.to_string(),
-            format!("{:.1}%", 100.0 * removed_count as f64 / total_facilities as f64),
+            format!(
+                "{:.1}%",
+                100.0 * removed_count as f64 / total_facilities as f64
+            ),
             format!("{:.3}", lost),
             format!("{:.3}", changed),
         ]);
@@ -113,7 +124,12 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     out.kv("trials per point", trials);
     out.line("");
     out.table(
-        &["facilities removed", "of dataset", "unresolved fraction", "changed fraction"],
+        &[
+            "facilities removed",
+            "of dataset",
+            "unresolved fraction",
+            "changed fraction",
+        ],
         &rows,
     );
     out.line("");
@@ -129,7 +145,11 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
 /// A lighter CFS configuration: Figure 8 needs dozens of runs, and the
 /// degradation signal saturates well before 100 iterations.
 fn fast_cfg() -> CfsConfig {
-    CfsConfig { max_iterations: 30, followup_interfaces: 30, ..CfsConfig::default() }
+    CfsConfig {
+        max_iterations: 30,
+        followup_interfaces: 30,
+        ..CfsConfig::default()
+    }
 }
 
 #[cfg(test)]
@@ -143,8 +163,12 @@ mod tests {
         let json = run(&lab, &mut out).unwrap();
         let points = json["points"].as_array().unwrap();
         assert!(points.len() >= 3);
-        let first = points.first().unwrap()["unresolved_fraction"].as_f64().unwrap();
-        let last = points.last().unwrap()["unresolved_fraction"].as_f64().unwrap();
+        let first = points.first().unwrap()["unresolved_fraction"]
+            .as_f64()
+            .unwrap();
+        let last = points.last().unwrap()["unresolved_fraction"]
+            .as_f64()
+            .unwrap();
         assert!(
             last > first,
             "removing most facilities should unresolve more interfaces ({first} -> {last})"

@@ -53,7 +53,14 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
         }));
     }
     out.table(
-        &["source", "link type", "matched/checked", "facility acc", "city acc", "remote ok"],
+        &[
+            "source",
+            "link type",
+            "matched/checked",
+            "facility acc",
+            "city acc",
+            "remote ok",
+        ],
         &rows,
     );
 
@@ -63,7 +70,14 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
         "overall facility-level accuracy",
         overall
             .accuracy()
-            .map(|a| format!("{:.1}% ({}/{})", a * 100.0, overall.matched, overall.checked))
+            .map(|a| {
+                format!(
+                    "{:.1}% ({}/{})",
+                    a * 100.0,
+                    overall.matched,
+                    overall.checked
+                )
+            })
             .unwrap_or_else(|| "no coverage".into()),
     );
     out.kv(

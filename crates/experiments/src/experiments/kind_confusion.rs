@@ -30,9 +30,10 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
             true => {
                 // Fabric address → membership → local or remote.
                 let Some(far_ip) = link.far_ip else { continue };
-                let Some(ifid) = lab.topo.iface_by_ip(far_ip) else { continue };
-                let cfs_topology::IfaceKind::IxpFabric(ixp) = lab.topo.ifaces[ifid].kind
-                else {
+                let Some(ifid) = lab.topo.iface_by_ip(far_ip) else {
+                    continue;
+                };
+                let cfs_topology::IfaceKind::IxpFabric(ixp) = lab.topo.ifaces[ifid].kind else {
                     continue;
                 };
                 let Some(m) = lab.topo.ixps[ixp]
@@ -51,9 +52,10 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
             false => {
                 // Point-to-point interface → link record → kind.
                 let Some(far_ip) = link.far_ip else { continue };
-                let Some(ifid) = lab.topo.iface_by_ip(far_ip) else { continue };
-                let cfs_topology::IfaceKind::PrivatePtp(lid) = lab.topo.ifaces[ifid].kind
-                else {
+                let Some(ifid) = lab.topo.iface_by_ip(far_ip) else {
+                    continue;
+                };
+                let cfs_topology::IfaceKind::PrivatePtp(lid) = lab.topo.ifaces[ifid].kind else {
                     continue;
                 };
                 lab.topo.links[lid].kind
@@ -68,7 +70,11 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
                 .far_ip
                 .and_then(|ip| report.interfaces.get(&ip))
                 .is_some_and(|i| i.remote);
-            if far_remote { PeeringKind::PublicRemote } else { PeeringKind::PublicLocal }
+            if far_remote {
+                PeeringKind::PublicRemote
+            } else {
+                PeeringKind::PublicLocal
+            }
         } else {
             link.kind
         };
@@ -102,10 +108,17 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
         .chain(PeeringKind::ALL.iter().map(|k| k.label()))
         .collect();
     out.table(&headers, &rows);
-    let accuracy = if scored > 0 { diagonal as f64 / scored as f64 } else { 0.0 };
+    let accuracy = if scored > 0 {
+        diagonal as f64 / scored as f64
+    } else {
+        0.0
+    };
     out.line("");
     out.kv("links scored", scored);
-    out.kv("type accuracy (diagonal)", format!("{:.1}%", accuracy * 100.0));
+    out.kv(
+        "type accuracy (diagonal)",
+        format!("{:.1}%", accuracy * 100.0),
+    );
     out.line("");
     out.line("expectation: tethering and private-remote confuse with each other (Step 2 cannot separate them without facility evidence), not with cross-connects");
 

@@ -38,8 +38,18 @@ pub fn run_by_id(id: &str, lab: &Lab, out: &mut Output) -> Result<serde_json::Va
 
 /// All experiment ids in paper order, plus the extension studies.
 pub const ALL_IDS: [&str; 12] = [
-    "table1", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10", "text_stats", "proximity",
-    "dns_geo", "ablation", "kind_confusion",
+    "table1",
+    "fig2",
+    "fig3",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "text_stats",
+    "proximity",
+    "dns_geo",
+    "ablation",
+    "kind_confusion",
 ];
 
 /// Standard binary entry point shared by all experiment binaries.

@@ -28,8 +28,10 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     for platform in Platform::ALL {
         let ids = lab.vps.of_platform(platform);
         let asns: BTreeSet<_> = ids.iter().map(|id| lab.vps.vps[*id].asn).collect();
-        let countries: BTreeSet<String> =
-            ids.iter().map(|id| country_of(lab.vps.vps[*id].router)).collect();
+        let countries: BTreeSet<String> = ids
+            .iter()
+            .map(|id| country_of(lab.vps.vps[*id].router))
+            .collect();
         total_vps += ids.len();
         all_asns.extend(asns.iter().copied());
         all_countries.extend(countries.iter().cloned());

@@ -32,23 +32,40 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     };
 
     out.kv("peering interfaces tracked", total);
-    out.kv("resolved to a single facility", format!("{resolved} ({})", pct(resolved, total)));
+    out.kv(
+        "resolved to a single facility",
+        format!("{resolved} ({})", pct(resolved, total)),
+    );
     out.kv(
         "unresolved but pinned to one city",
-        format!("{city_constrained} ({} of unresolved)", pct(city_constrained, unresolved.max(1))),
+        format!(
+            "{city_constrained} ({} of unresolved)",
+            pct(city_constrained, unresolved.max(1))
+        ),
     );
     out.kv(
         "unresolved for lack of facility data",
-        format!("{missing} ({} of unresolved)", pct(missing, unresolved.max(1))),
+        format!(
+            "{missing} ({} of unresolved)",
+            pct(missing, unresolved.max(1))
+        ),
     );
     out.kv("observed routers (alias groups)", stats.routers);
     out.kv(
         "multi-role routers (public + private)",
-        format!("{} ({})", stats.multi_role, pct(stats.multi_role, stats.routers)),
+        format!(
+            "{} ({})",
+            stats.multi_role,
+            pct(stats.multi_role, stats.routers)
+        ),
     );
     out.kv(
         "public routers spanning >= 2 IXPs",
-        format!("{} ({} of public)", stats.multi_ixp, pct(stats.multi_ixp, stats.routers_public)),
+        format!(
+            "{} ({} of public)",
+            stats.multi_ixp,
+            pct(stats.multi_ixp, stats.routers_public)
+        ),
     );
     out.kv("follow-up traceroutes issued", report.traces_issued);
     out.line("");

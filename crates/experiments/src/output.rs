@@ -17,7 +17,12 @@ pub struct Output {
 impl Output {
     /// Starts an output document for experiment `id` at a given scale.
     pub fn new(id: &str, scale: &str) -> Self {
-        let mut out = Self { id: id.to_string(), scale: scale.to_string(), md: String::new(), quiet: false };
+        let mut out = Self {
+            id: id.to_string(),
+            scale: scale.to_string(),
+            md: String::new(),
+            quiet: false,
+        };
         out.heading(&format!("{id} (scale: {scale})"));
         out
     }

@@ -42,7 +42,15 @@ const fn city(
     iata: &'static str,
     hub_tier: u8,
 ) -> CityRecord {
-    CityRecord { name, country, region, lat, lon, iata, hub_tier }
+    CityRecord {
+        name,
+        country,
+        region,
+        lat,
+        lon,
+        iata,
+        hub_tier,
+    }
 }
 
 use Region::{Africa, Asia, Europe, NorthAmerica, Oceania, SouthAmerica};
@@ -116,7 +124,15 @@ pub const CITY_TABLE: &[CityRecord] = &[
     city("new york", "US", NorthAmerica, 40.7128, -74.0060, "JFK", 0),
     city("ashburn", "US", NorthAmerica, 39.0438, -77.4874, "IAD", 1),
     city("san jose", "US", NorthAmerica, 37.3382, -121.8863, "SJC", 1),
-    city("los angeles", "US", NorthAmerica, 34.0522, -118.2437, "LAX", 1),
+    city(
+        "los angeles",
+        "US",
+        NorthAmerica,
+        34.0522,
+        -118.2437,
+        "LAX",
+        1,
+    ),
     // ---- North America: major ------------------------------------------
     city("miami", "US", NorthAmerica, 25.7617, -80.1918, "MIA", 1),
     city("chicago", "US", NorthAmerica, 41.8781, -87.6298, "ORD", 1),
@@ -125,21 +141,85 @@ pub const CITY_TABLE: &[CityRecord] = &[
     city("atlanta", "US", NorthAmerica, 33.7490, -84.3880, "ATL", 1),
     city("montreal", "CA", NorthAmerica, 45.5017, -73.5673, "YUL", 1),
     // ---- North America: regional ---------------------------------------
-    city("washington", "US", NorthAmerica, 38.9072, -77.0369, "DCA", 2),
+    city(
+        "washington",
+        "US",
+        NorthAmerica,
+        38.9072,
+        -77.0369,
+        "DCA",
+        2,
+    ),
     city("boston", "US", NorthAmerica, 42.3601, -71.0589, "BOS", 2),
-    city("philadelphia", "US", NorthAmerica, 39.9526, -75.1652, "PHL", 2),
+    city(
+        "philadelphia",
+        "US",
+        NorthAmerica,
+        39.9526,
+        -75.1652,
+        "PHL",
+        2,
+    ),
     city("tampa", "US", NorthAmerica, 27.9506, -82.4572, "TPA", 3),
     city("houston", "US", NorthAmerica, 29.7604, -95.3698, "IAH", 2),
     city("austin", "US", NorthAmerica, 30.2672, -97.7431, "AUS", 3),
     city("denver", "US", NorthAmerica, 39.7392, -104.9903, "DEN", 2),
     city("phoenix", "US", NorthAmerica, 33.4484, -112.0740, "PHX", 2),
-    city("san francisco", "US", NorthAmerica, 37.7749, -122.4194, "SFO", 2),
-    city("palo alto", "US", NorthAmerica, 37.4419, -122.1430, "PAO", 2),
+    city(
+        "san francisco",
+        "US",
+        NorthAmerica,
+        37.7749,
+        -122.4194,
+        "SFO",
+        2,
+    ),
+    city(
+        "palo alto",
+        "US",
+        NorthAmerica,
+        37.4419,
+        -122.1430,
+        "PAO",
+        2,
+    ),
     city("portland", "US", NorthAmerica, 45.5152, -122.6784, "PDX", 2),
-    city("las vegas", "US", NorthAmerica, 36.1699, -115.1398, "LAS", 2),
-    city("salt lake city", "US", NorthAmerica, 40.7608, -111.8910, "SLC", 3),
-    city("minneapolis", "US", NorthAmerica, 44.9778, -93.2650, "MSP", 2),
-    city("kansas city", "US", NorthAmerica, 39.0997, -94.5786, "MCI", 3),
+    city(
+        "las vegas",
+        "US",
+        NorthAmerica,
+        36.1699,
+        -115.1398,
+        "LAS",
+        2,
+    ),
+    city(
+        "salt lake city",
+        "US",
+        NorthAmerica,
+        40.7608,
+        -111.8910,
+        "SLC",
+        3,
+    ),
+    city(
+        "minneapolis",
+        "US",
+        NorthAmerica,
+        44.9778,
+        -93.2650,
+        "MSP",
+        2,
+    ),
+    city(
+        "kansas city",
+        "US",
+        NorthAmerica,
+        39.0997,
+        -94.5786,
+        "MCI",
+        3,
+    ),
     city("st louis", "US", NorthAmerica, 38.6270, -90.1994, "STL", 3),
     city("detroit", "US", NorthAmerica, 42.3314, -83.0458, "DTW", 3),
     city("cleveland", "US", NorthAmerica, 41.4993, -81.6944, "CLE", 3),
@@ -147,13 +227,53 @@ pub const CITY_TABLE: &[CityRecord] = &[
     city("charlotte", "US", NorthAmerica, 35.2271, -80.8431, "CLT", 3),
     city("nashville", "US", NorthAmerica, 36.1627, -86.7816, "BNA", 3),
     city("toronto", "CA", NorthAmerica, 43.6532, -79.3832, "YYZ", 2),
-    city("vancouver", "CA", NorthAmerica, 49.2827, -123.1207, "YVR", 2),
+    city(
+        "vancouver",
+        "CA",
+        NorthAmerica,
+        49.2827,
+        -123.1207,
+        "YVR",
+        2,
+    ),
     city("calgary", "CA", NorthAmerica, 51.0447, -114.0719, "YYC", 3),
-    city("mexico city", "MX", NorthAmerica, 19.4326, -99.1332, "MEX", 2),
-    city("monterrey", "MX", NorthAmerica, 25.6866, -100.3161, "MTY", 3),
-    city("queretaro", "MX", NorthAmerica, 20.5888, -100.3899, "QRO", 3),
+    city(
+        "mexico city",
+        "MX",
+        NorthAmerica,
+        19.4326,
+        -99.1332,
+        "MEX",
+        2,
+    ),
+    city(
+        "monterrey",
+        "MX",
+        NorthAmerica,
+        25.6866,
+        -100.3161,
+        "MTY",
+        3,
+    ),
+    city(
+        "queretaro",
+        "MX",
+        NorthAmerica,
+        20.5888,
+        -100.3899,
+        "QRO",
+        3,
+    ),
     // ---- North America: satellite city ---------------------------------
-    city("jersey city", "US", NorthAmerica, 40.7178, -74.0431, "EWR", 3),
+    city(
+        "jersey city",
+        "US",
+        NorthAmerica,
+        40.7178,
+        -74.0431,
+        "EWR",
+        3,
+    ),
     // ---- Asia ------------------------------------------------------------
     city("tokyo", "JP", Asia, 35.6762, 139.6503, "NRT", 0),
     city("singapore", "SG", Asia, 1.3521, 103.8198, "SIN", 0),
@@ -193,18 +313,58 @@ pub const CITY_TABLE: &[CityRecord] = &[
     city("wellington", "NZ", Oceania, -41.2866, 174.7756, "WLG", 3),
     city("christchurch", "NZ", Oceania, -43.5321, 172.6362, "CHC", 3),
     // ---- South America ----------------------------------------------------
-    city("sao paulo", "BR", SouthAmerica, -23.5505, -46.6333, "GRU", 1),
-    city("rio de janeiro", "BR", SouthAmerica, -22.9068, -43.1729, "GIG", 2),
-    city("porto alegre", "BR", SouthAmerica, -30.0346, -51.2177, "POA", 3),
+    city(
+        "sao paulo",
+        "BR",
+        SouthAmerica,
+        -23.5505,
+        -46.6333,
+        "GRU",
+        1,
+    ),
+    city(
+        "rio de janeiro",
+        "BR",
+        SouthAmerica,
+        -22.9068,
+        -43.1729,
+        "GIG",
+        2,
+    ),
+    city(
+        "porto alegre",
+        "BR",
+        SouthAmerica,
+        -30.0346,
+        -51.2177,
+        "POA",
+        3,
+    ),
     city("fortaleza", "BR", SouthAmerica, -3.7319, -38.5267, "FOR", 3),
-    city("buenos aires", "AR", SouthAmerica, -34.6037, -58.3816, "EZE", 2),
+    city(
+        "buenos aires",
+        "AR",
+        SouthAmerica,
+        -34.6037,
+        -58.3816,
+        "EZE",
+        2,
+    ),
     city("santiago", "CL", SouthAmerica, -33.4489, -70.6693, "SCL", 2),
     city("lima", "PE", SouthAmerica, -12.0464, -77.0428, "LIM", 3),
     city("bogota", "CO", SouthAmerica, 4.7110, -74.0721, "BOG", 2),
     city("medellin", "CO", SouthAmerica, 6.2476, -75.5658, "MDE", 3),
     city("caracas", "VE", SouthAmerica, 10.4806, -66.9036, "CCS", 3),
     city("quito", "EC", SouthAmerica, -0.1807, -78.4678, "UIO", 3),
-    city("montevideo", "UY", SouthAmerica, -34.9011, -56.1645, "MVD", 3),
+    city(
+        "montevideo",
+        "UY",
+        SouthAmerica,
+        -34.9011,
+        -56.1645,
+        "MVD",
+        3,
+    ),
     // ---- Africa -----------------------------------------------------------
     city("johannesburg", "ZA", Africa, -26.2041, 28.0473, "JNB", 2),
     city("cape town", "ZA", Africa, -33.9249, 18.4241, "CPT", 2),
@@ -248,7 +408,12 @@ mod tests {
         let mut seen = BTreeSet::new();
         for c in CITY_TABLE {
             assert_eq!(c.name, c.name.to_lowercase(), "{} not lowercase", c.name);
-            assert!(seen.insert((c.name, c.country)), "duplicate {} {}", c.name, c.country);
+            assert!(
+                seen.insert((c.name, c.country)),
+                "duplicate {} {}",
+                c.name,
+                c.country
+            );
             assert_eq!(c.country.len(), 2);
             assert_eq!(c.country, c.country.to_uppercase());
             assert_eq!(c.iata.len(), 3);
@@ -269,7 +434,9 @@ mod tests {
         // Figure 3's top metros come from these three regions.
         for region in [Region::Europe, Region::NorthAmerica, Region::Asia] {
             assert!(
-                CITY_TABLE.iter().any(|c| c.region == region && c.hub_tier == 0),
+                CITY_TABLE
+                    .iter()
+                    .any(|c| c.region == region && c.hub_tier == 0),
                 "no tier-0 hub in {region}"
             );
         }

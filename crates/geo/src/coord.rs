@@ -81,10 +81,16 @@ mod tests {
         assert!((lon_nyc - 5570.0).abs() < 56.0, "London-NYC was {lon_nyc}");
 
         let lon_fra = haversine_km(LONDON, FRANKFURT);
-        assert!((lon_fra - 637.0).abs() < 7.0, "London-Frankfurt was {lon_fra}");
+        assert!(
+            (lon_fra - 637.0).abs() < 7.0,
+            "London-Frankfurt was {lon_fra}"
+        );
 
         let lon_syd = haversine_km(LONDON, SYDNEY);
-        assert!((lon_syd - 16994.0).abs() < 170.0, "London-Sydney was {lon_syd}");
+        assert!(
+            (lon_syd - 16994.0).abs() < 170.0,
+            "London-Sydney was {lon_syd}"
+        );
     }
 
     #[test]

@@ -62,15 +62,15 @@ pub fn cluster_metros(cities: &[(CityId, GeoPoint)], radius_km: f64) -> MetroAss
     // Gather components keyed by their minimum CityId for canonical order.
     let mut components: Vec<(CityId, Vec<usize>)> = Vec::new();
     let mut root_slot: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
-    for i in 0..n {
+    for (i, (city, _)) in cities.iter().enumerate() {
         let root = find(&mut parent, i);
         let slot = *root_slot.entry(root).or_insert_with(|| {
-            components.push((cities[i].0, Vec::new()));
+            components.push((*city, Vec::new()));
             components.len() - 1
         });
         let (min_city, members) = &mut components[slot];
-        if cities[i].0 < *min_city {
-            *min_city = cities[i].0;
+        if *city < *min_city {
+            *min_city = *city;
         }
         members.push(i);
     }
@@ -157,8 +157,9 @@ mod tests {
 
     #[test]
     fn all_far_apart_means_one_metro_each() {
-        let cities: Vec<(CityId, GeoPoint)> =
-            (0..10).map(|i| (CityId(i), p(f64::from(i) * 2.0, 0.0))).collect();
+        let cities: Vec<(CityId, GeoPoint)> = (0..10)
+            .map(|i| (CityId(i), p(f64::from(i) * 2.0, 0.0)))
+            .collect();
         let a = cluster_metros(&cities, METRO_RADIUS_KM);
         assert_eq!(a.metro_count(), 10);
     }

@@ -43,8 +43,12 @@ fn fold(raw: &str) -> String {
     let mut last_space = true; // trim leading whitespace
     for ch in raw.chars() {
         let mapped: &str = match ch {
-            'ä' | 'à' | 'á' | 'â' | 'ã' | 'å' | 'Ä' | 'À' | 'Á' | 'Â' | 'Ã' | 'Å' => "a",
-            'ö' | 'ò' | 'ó' | 'ô' | 'õ' | 'ø' | 'Ö' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ø' => "o",
+            'ä' | 'à' | 'á' | 'â' | 'ã' | 'å' | 'Ä' | 'À' | 'Á' | 'Â' | 'Ã' | 'Å' => {
+                "a"
+            }
+            'ö' | 'ò' | 'ó' | 'ô' | 'õ' | 'ø' | 'Ö' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ø' => {
+                "o"
+            }
             'ü' | 'ù' | 'ú' | 'û' | 'Ü' | 'Ù' | 'Ú' | 'Û' => "u",
             'é' | 'è' | 'ê' | 'ë' | 'É' | 'È' | 'Ê' | 'Ë' => "e",
             'í' | 'ì' | 'î' | 'ï' | 'Í' | 'Ì' | 'Î' | 'Ï' => "i",

@@ -107,7 +107,11 @@ impl World {
             .map(|(id, c)| ((c.name.clone(), c.country.clone()), id))
             .collect();
 
-        Self { cities, metros, by_name }
+        Self {
+            cities,
+            metros,
+            by_name,
+        }
     }
 
     /// The city table.
@@ -145,7 +149,11 @@ impl World {
 
     /// All cities in a region, sorted by id.
     pub fn cities_in_region(&self, region: Region) -> Vec<CityId> {
-        self.cities.iter().filter(|(_, c)| c.region == region).map(|(id, _)| id).collect()
+        self.cities
+            .iter()
+            .filter(|(_, c)| c.region == region)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Great-circle distance between two cities, km.
@@ -164,7 +172,11 @@ mod tests {
         assert!(w.cities().len() >= 140);
         // Metros are fewer than cities because of the satellite pairs.
         assert!(w.metros().len() < w.cities().len());
-        assert_eq!(w.cities().len() - w.metros().len(), 4, "four satellite cities merge");
+        assert_eq!(
+            w.cities().len() - w.metros().len(),
+            4,
+            "four satellite cities merge"
+        );
     }
 
     #[test]
@@ -179,7 +191,11 @@ mod tests {
         for (sat, sat_cc, hub, hub_cc) in pairs {
             let s = w.find_city(sat, sat_cc).unwrap();
             let h = w.find_city(hub, hub_cc).unwrap();
-            assert_eq!(w.metro_of(s), w.metro_of(h), "{sat} should merge into {hub}");
+            assert_eq!(
+                w.metro_of(s),
+                w.metro_of(h),
+                "{sat} should merge into {hub}"
+            );
             // The metro is named after the hub, not the satellite.
             assert_eq!(w.metro(w.metro_of(s)).name, hub);
         }
@@ -197,7 +213,10 @@ mod tests {
     #[test]
     fn regions_partition_cities() {
         let w = World::builtin();
-        let total: usize = Region::ALL.iter().map(|r| w.cities_in_region(*r).len()).sum();
+        let total: usize = Region::ALL
+            .iter()
+            .map(|r| w.cities_in_region(*r).len())
+            .sum();
         assert_eq!(total, w.cities().len());
     }
 

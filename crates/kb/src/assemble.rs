@@ -76,8 +76,11 @@ impl KnowledgeBase {
         // ---- Activity filter: PCH's annotation, plus the requirement of
         // at least one known member from ≥2 sources (approximated by: the
         // IXP has a website member list or PDB networks claim membership).
-        let pch_active: BTreeMap<IxpId, bool> =
-            sources.pch_list.iter().map(|(id, _, a)| (*id, *a)).collect();
+        let pch_active: BTreeMap<IxpId, bool> = sources
+            .pch_list
+            .iter()
+            .map(|(id, _, a)| (*id, *a))
+            .collect();
         let mut membership_claims: BTreeMap<IxpId, usize> = BTreeMap::new();
         for site in sources.ixp_sites.values() {
             if !site.members.is_empty() {
@@ -160,7 +163,10 @@ impl KnowledgeBase {
         // ---- AS → IXP membership (PeeringDB claims ∪ site directories).
         let mut as_ixps: BTreeMap<Asn, BTreeSet<IxpId>> = BTreeMap::new();
         for rec in sources.pdb_networks.values() {
-            as_ixps.entry(rec.asn).or_default().extend(rec.ixps.iter().copied());
+            as_ixps
+                .entry(rec.asn)
+                .or_default()
+                .extend(rec.ixps.iter().copied());
         }
         for site in sources.ixp_sites.values() {
             for m in &site.members {
@@ -242,7 +248,10 @@ impl KnowledgeBase {
 
     /// All ASes with any facility record.
     pub fn known_ases(&self) -> impl Iterator<Item = Asn> + '_ {
-        self.as_facilities.iter().filter(|(_, s)| !s.is_empty()).map(|(a, _)| *a)
+        self.as_facilities
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(a, _)| *a)
     }
 
     /// Total number of distinct facilities referenced anywhere.
@@ -273,7 +282,13 @@ mod tests {
 
     fn setup() -> (Topology, KnowledgeBase) {
         let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
-        let src = PublicSources::derive(&topo, &KbConfig { noc_pages: 20, ..Default::default() });
+        let src = PublicSources::derive(
+            &topo,
+            &KbConfig {
+                noc_pages: 20,
+                ..Default::default()
+            },
+        );
         let kb = KnowledgeBase::assemble(&src, &topo.world);
         (topo, kb)
     }
@@ -297,10 +312,16 @@ mod tests {
         let src = PublicSources::derive(&topo, &KbConfig::default());
         let kb = KnowledgeBase::assemble(&src, &topo.world);
         let truth_links: usize = topo.ases.values().map(|n| n.facilities.len()).sum();
-        let kb_links: usize =
-            topo.ases.keys().map(|a| kb.facilities_of_as(*a).len()).sum();
+        let kb_links: usize = topo
+            .ases
+            .keys()
+            .map(|a| kb.facilities_of_as(*a).len())
+            .sum();
         assert!(kb_links < truth_links, "no incompleteness modelled");
-        assert!(kb_links * 10 > truth_links * 5, "kb too empty: {kb_links}/{truth_links}");
+        assert!(
+            kb_links * 10 > truth_links * 5,
+            "kb too empty: {kb_links}/{truth_links}"
+        );
         let known = topo.ases.keys().filter(|a| kb.knows_as(**a)).count();
         assert!(known * 10 >= topo.ases.len() * 8);
     }
@@ -322,7 +343,10 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(classified * 10 >= total * 8, "{classified}/{total} fabric ips classified");
+        assert!(
+            classified * 10 >= total * 8,
+            "{classified}/{total} fabric ips classified"
+        );
     }
 
     #[test]
@@ -366,11 +390,22 @@ mod tests {
     #[test]
     fn removing_facilities_shrinks_every_view() {
         let (topo, mut kb) = setup();
-        let victim: BTreeSet<FacilityId> =
-            topo.facilities.ids().take(topo.facilities.len() / 2).collect();
-        let before: usize = topo.ases.keys().map(|a| kb.facilities_of_as(*a).len()).sum();
+        let victim: BTreeSet<FacilityId> = topo
+            .facilities
+            .ids()
+            .take(topo.facilities.len() / 2)
+            .collect();
+        let before: usize = topo
+            .ases
+            .keys()
+            .map(|a| kb.facilities_of_as(*a).len())
+            .sum();
         kb.remove_facilities(&victim);
-        let after: usize = topo.ases.keys().map(|a| kb.facilities_of_as(*a).len()).sum();
+        let after: usize = topo
+            .ases
+            .keys()
+            .map(|a| kb.facilities_of_as(*a).len())
+            .sum();
         assert!(after < before);
         for a in topo.ases.keys() {
             for f in kb.facilities_of_as(*a) {

@@ -170,7 +170,12 @@ impl PublicSources {
                 } else {
                     (city.name.clone(), city.country.clone())
                 };
-                PdbFacilityRecord { facility: id, name: f.name.clone(), city_raw, country_raw }
+                PdbFacilityRecord {
+                    facility: id,
+                    name: f.name.clone(),
+                    city_raw,
+                    country_raw,
+                }
             })
             .collect();
 
@@ -206,8 +211,12 @@ impl PublicSources {
                     }
                 }
             }
-            let ixps: Vec<IxpId> =
-                node.ixps.iter().copied().filter(|_| rng.random_bool(quality.max(0.6))).collect();
+            let ixps: Vec<IxpId> = node
+                .ixps
+                .iter()
+                .copied()
+                .filter(|_| rng.random_bool(quality.max(0.6)))
+                .collect();
             // netixlan rows for the listed memberships (mostly present).
             let mut fabric_ips: Vec<(IxpId, Ipv4Addr)> = Vec::new();
             for ixp in &ixps {
@@ -219,7 +228,12 @@ impl PublicSources {
             }
             pdb_networks.insert(
                 node.asn,
-                PdbNetworkRecord { asn: node.asn, facilities, ixps, fabric_ips },
+                PdbNetworkRecord {
+                    asn: node.asn,
+                    facilities,
+                    ixps,
+                    fabric_ips,
+                },
             );
         }
 
@@ -233,15 +247,22 @@ impl PublicSources {
             };
             pdb_ixps.insert(
                 id,
-                PdbIxpRecord { ixp: id, prefixes: vec![ixp.peering_lan], facilities },
+                PdbIxpRecord {
+                    ixp: id,
+                    prefixes: vec![ixp.peering_lan],
+                    facilities,
+                },
             );
         }
 
         // ---- IXP websites ----
         let mut by_size: Vec<IxpId> = topo.ixps.iter().map(|(id, _)| id).collect();
         by_size.sort_by_key(|id| std::cmp::Reverse(topo.ixps[*id].members.len()));
-        let detailed: std::collections::BTreeSet<IxpId> =
-            by_size.iter().copied().take(cfg.detailed_ixp_sites).collect();
+        let detailed: std::collections::BTreeSet<IxpId> = by_size
+            .iter()
+            .copied()
+            .take(cfg.detailed_ixp_sites)
+            .collect();
 
         let mut ixp_sites = BTreeMap::new();
         for (id, ixp) in topo.ixps.iter() {
@@ -413,7 +434,10 @@ mod tests {
 
     fn sources() -> (Topology, PublicSources) {
         let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
-        let cfg = KbConfig { noc_pages: 20, ..KbConfig::default() };
+        let cfg = KbConfig {
+            noc_pages: 20,
+            ..KbConfig::default()
+        };
         let src = PublicSources::derive(&topo, &cfg);
         (topo, src)
     }
@@ -430,7 +454,10 @@ mod tests {
         // guaranteed to hit someone.
         let topo = Topology::generate(TopologyConfig::default()).unwrap();
         let src = PublicSources::derive(&topo, &KbConfig::default());
-        assert!(src.pdb_networks.len() < topo.ases.len(), "nobody missing from PDB");
+        assert!(
+            src.pdb_networks.len() < topo.ases.len(),
+            "nobody missing from PDB"
+        );
         let incomplete = src
             .pdb_networks
             .values()
@@ -452,7 +479,10 @@ mod tests {
                 assert!(truth.contains(f), "NOC page invents a facility");
             }
         }
-        assert!(listed * 100 >= truth_total * 93, "{listed}/{truth_total} listed");
+        assert!(
+            listed * 100 >= truth_total * 93,
+            "{listed}/{truth_total} listed"
+        );
     }
 
     #[test]
@@ -462,13 +492,16 @@ mod tests {
         // overall average — we transcribed the deficient ones.
         let coverage = |asn: &Asn| {
             let truth = topo.ases[asn].facilities.len().max(1);
-            let pdb = src.pdb_networks.get(asn).map(|r| r.facilities.len()).unwrap_or(0);
+            let pdb = src
+                .pdb_networks
+                .get(asn)
+                .map(|r| r.facilities.len())
+                .unwrap_or(0);
             pdb as f64 / truth as f64
         };
-        let noc_avg: f64 = src.noc_pages.keys().map(coverage).sum::<f64>()
-            / src.noc_pages.len() as f64;
-        let all_avg: f64 =
-            topo.ases.keys().map(|a| coverage(a)).sum::<f64>() / topo.ases.len() as f64;
+        let noc_avg: f64 =
+            src.noc_pages.keys().map(coverage).sum::<f64>() / src.noc_pages.len() as f64;
+        let all_avg: f64 = topo.ases.keys().map(coverage).sum::<f64>() / topo.ases.len() as f64;
         assert!(noc_avg <= all_avg + 0.05, "noc {noc_avg} vs all {all_avg}");
     }
 
@@ -476,7 +509,10 @@ mod tests {
     fn detailed_sites_expose_port_facilities() {
         let (_, src) = sources();
         let detailed: Vec<_> = src.ixp_sites.values().filter(|s| s.detailed).collect();
-        assert_eq!(detailed.len(), src.config.detailed_ixp_sites.min(detailed.len()));
+        assert_eq!(
+            detailed.len(),
+            src.config.detailed_ixp_sites.min(detailed.len())
+        );
         assert!(!detailed.is_empty());
         for site in detailed {
             for m in &site.members {

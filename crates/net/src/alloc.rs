@@ -26,15 +26,24 @@ impl SubnetAllocator {
     /// Creates an allocator handing out `/sublen` subnets of `pool`.
     pub fn new(pool: Ipv4Prefix, sublen: u8) -> Result<Self> {
         if sublen > 32 || sublen < pool.len() {
-            return Err(Error::invalid(format!("cannot carve /{sublen} out of {pool}")));
+            return Err(Error::invalid(format!(
+                "cannot carve /{sublen} out of {pool}"
+            )));
         }
-        Ok(Self { pool, sublen, next: 0, count: 1u64 << (sublen - pool.len()) })
+        Ok(Self {
+            pool,
+            sublen,
+            next: 0,
+            count: 1u64 << (sublen - pool.len()),
+        })
     }
 
     /// Allocates the next subnet, or errors when the pool is exhausted.
     pub fn alloc(&mut self) -> Result<Ipv4Prefix> {
         if self.next >= self.count {
-            return Err(Error::Exhausted { what: "subnet pool" });
+            return Err(Error::Exhausted {
+                what: "subnet pool",
+            });
         }
         let step = 1u64 << (32 - self.sublen);
         let base = u64::from(u32::from(self.pool.network())) + self.next * step;
@@ -71,7 +80,9 @@ impl HostAllocator {
     /// handed out.
     pub fn alloc(&mut self) -> Result<Ipv4Addr> {
         if self.next + 1 >= self.subnet.size() {
-            return Err(Error::Exhausted { what: "host addresses" });
+            return Err(Error::Exhausted {
+                what: "host addresses",
+            });
         }
         let ip = self.subnet.nth(self.next)?;
         self.next += 1;

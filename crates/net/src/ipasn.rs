@@ -88,8 +88,14 @@ mod tests {
     #[test]
     fn lookup_uses_longest_match() {
         let db = IpAsnDb::from_announcements([
-            Announcement { prefix: pfx("10.0.0.0/8"), origin: Asn(100) },
-            Announcement { prefix: pfx("10.5.0.0/16"), origin: Asn(200) },
+            Announcement {
+                prefix: pfx("10.0.0.0/8"),
+                origin: Asn(100),
+            },
+            Announcement {
+                prefix: pfx("10.5.0.0/16"),
+                origin: Asn(200),
+            },
         ]);
         assert_eq!(db.origin(ip("10.5.1.1")), Some(Asn(200)));
         assert_eq!(db.origin(ip("10.6.1.1")), Some(Asn(100)));

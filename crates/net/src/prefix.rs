@@ -5,7 +5,6 @@ use core::str::FromStr;
 use std::net::Ipv4Addr;
 
 use cfs_types::{Error, Result};
-use serde::Deserialize as _;
 
 /// An IPv4 CIDR prefix. The stored address is always masked to the prefix
 /// length, so two equal prefixes compare equal regardless of how they were
@@ -26,7 +25,10 @@ impl Ipv4Prefix {
         if len > 32 {
             return Err(Error::invalid(format!("prefix length {len} > 32")));
         }
-        Ok(Self { addr: u32::from(addr) & mask(len), len })
+        Ok(Self {
+            addr: u32::from(addr) & mask(len),
+            len,
+        })
     }
 
     /// Infallible constructor for compile-time-known prefixes; panics on
@@ -41,6 +43,8 @@ impl Ipv4Prefix {
     }
 
     /// The prefix length in bits.
+    // A mask length, not a container size; `is_empty` would be meaningless.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }
@@ -78,7 +82,9 @@ impl Ipv4Prefix {
         if i >= self.size() {
             return Err(Error::invalid(format!("address index {i} outside {self}")));
         }
-        Ok(Ipv4Addr::from(self.addr + u32::try_from(i).expect("bounded by size")))
+        Ok(Ipv4Addr::from(
+            self.addr + u32::try_from(i).expect("bounded by size"),
+        ))
     }
 
     /// Splits into consecutive sub-prefixes of length `sublen`.
@@ -86,7 +92,9 @@ impl Ipv4Prefix {
     /// Returns an error if `sublen` is shorter than `self.len` or > 32.
     pub fn subnets(self, sublen: u8) -> Result<impl Iterator<Item = Ipv4Prefix>> {
         if sublen > 32 || sublen < self.len {
-            return Err(Error::invalid(format!("cannot split {self} into /{sublen}")));
+            return Err(Error::invalid(format!(
+                "cannot split {self} into /{sublen}"
+            )));
         }
         let count = 1u64 << (sublen - self.len);
         let step = 1u64 << (32 - sublen);
@@ -124,17 +132,17 @@ impl fmt::Debug for Ipv4Prefix {
     }
 }
 
+// Prefixes serialize in their display form ("10.0.0.0/8") so JSON
+// snapshots stay hand-editable.
 impl serde::Serialize for Ipv4Prefix {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> core::result::Result<S::Ok, S::Error> {
-        serializer.collect_str(self)
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Ipv4Prefix {
-    fn deserialize<D: serde::Deserializer<'de>>(
-        deserializer: D,
-    ) -> core::result::Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
+impl serde::Deserialize for Ipv4Prefix {
+    fn from_value(v: &serde::Value) -> core::result::Result<Self, serde::Error> {
+        let s = <String as serde::Deserialize>::from_value(v)?;
         s.parse().map_err(serde::de::Error::custom)
     }
 }
@@ -143,8 +151,9 @@ impl FromStr for Ipv4Prefix {
     type Err = Error;
 
     fn from_str(s: &str) -> Result<Self> {
-        let (addr_s, len_s) =
-            s.split_once('/').ok_or_else(|| Error::parse("ipv4 prefix", s))?;
+        let (addr_s, len_s) = s
+            .split_once('/')
+            .ok_or_else(|| Error::parse("ipv4 prefix", s))?;
         let addr: Ipv4Addr = addr_s.parse().map_err(|_| Error::parse("ipv4 prefix", s))?;
         let len: u8 = len_s.parse().map_err(|_| Error::parse("ipv4 prefix", s))?;
         Self::new(addr, len).map_err(|_| Error::parse("ipv4 prefix", s))
@@ -174,7 +183,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["10.0.0.0", "10.0.0.0/33", "10.0.0/8", "banana/8", "10.0.0.0/x", ""] {
+        for s in [
+            "10.0.0.0",
+            "10.0.0.0/33",
+            "10.0.0/8",
+            "banana/8",
+            "10.0.0.0/x",
+            "",
+        ] {
             assert!(s.parse::<Ipv4Prefix>().is_err(), "{s:?} should not parse");
         }
     }
@@ -220,7 +236,15 @@ mod tests {
     fn subnets_enumerate_in_order() {
         let p = pfx("192.0.2.0/24");
         let subs: Vec<String> = p.subnets(26).unwrap().map(|s| s.to_string()).collect();
-        assert_eq!(subs, vec!["192.0.2.0/26", "192.0.2.64/26", "192.0.2.128/26", "192.0.2.192/26"]);
+        assert_eq!(
+            subs,
+            vec![
+                "192.0.2.0/26",
+                "192.0.2.64/26",
+                "192.0.2.128/26",
+                "192.0.2.192/26"
+            ]
+        );
         assert!(p.subnets(8).is_err());
         assert_eq!(p.subnets(24).unwrap().count(), 1);
     }

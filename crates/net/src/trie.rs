@@ -17,7 +17,10 @@ struct Node<V> {
 
 impl<V> Node<V> {
     fn new() -> Self {
-        Self { children: [None, None], value: None }
+        Self {
+            children: [None, None],
+            value: None,
+        }
     }
 }
 
@@ -38,7 +41,10 @@ impl<V> Default for PrefixTrie<V> {
 impl<V> PrefixTrie<V> {
     /// Creates an empty trie.
     pub fn new() -> Self {
-        Self { nodes: vec![Node::new()], len: 0 }
+        Self {
+            nodes: vec![Node::new()],
+            len: 0,
+        }
     }
 
     /// Number of prefixes stored.
@@ -127,7 +133,11 @@ impl<V> PrefixTrie<V> {
         let mut stack: Vec<(usize, u32, u8)> = vec![(0, 0, 0)]; // node, path, depth
         while let Some((node, path, depth)) = stack.pop() {
             if let Some(v) = self.nodes[node].value.as_ref() {
-                let addr = if depth == 0 { 0 } else { path << (32 - u32::from(depth)) };
+                let addr = if depth == 0 {
+                    0
+                } else {
+                    path << (32 - u32::from(depth))
+                };
                 let p = Ipv4Prefix::new(Ipv4Addr::from(addr), depth).expect("depth <= 32");
                 out.push((p, v));
             }
@@ -186,8 +196,11 @@ mod tests {
         t.insert(pfx("10.1.0.0/16"), 16);
         t.insert(pfx("10.1.2.0/24"), 24);
 
-        assert_eq!(t.longest_match(ip("10.1.2.3")).map(|(p, v)| (p.to_string(), *v)),
-            Some(("10.1.2.0/24".to_string(), 24)));
+        assert_eq!(
+            t.longest_match(ip("10.1.2.3"))
+                .map(|(p, v)| (p.to_string(), *v)),
+            Some(("10.1.2.0/24".to_string(), 24))
+        );
         assert_eq!(t.longest_match(ip("10.1.9.9")).unwrap().1, &16);
         assert_eq!(t.longest_match(ip("10.9.9.9")).unwrap().1, &8);
         assert_eq!(t.longest_match(ip("11.0.0.1")), None);
@@ -213,8 +226,11 @@ mod tests {
     #[test]
     fn iter_returns_all_inserted() {
         let prefixes = ["10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24", "0.0.0.0/0"];
-        let t: PrefixTrie<usize> =
-            prefixes.iter().enumerate().map(|(i, s)| (pfx(s), i)).collect();
+        let t: PrefixTrie<usize> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (pfx(s), i))
+            .collect();
         let got: std::collections::BTreeSet<String> =
             t.iter().into_iter().map(|(p, _)| p.to_string()).collect();
         let want: std::collections::BTreeSet<String> =

@@ -155,7 +155,10 @@ impl TopologyConfig {
 
     /// The facility share of `region`.
     pub fn region_share(&self, region: Region) -> f64 {
-        let idx = Region::ALL.iter().position(|r| *r == region).expect("region in ALL");
+        let idx = Region::ALL
+            .iter()
+            .position(|r| *r == region)
+            .expect("region in ALL");
         self.region_shares[idx]
     }
 
@@ -180,11 +183,15 @@ impl TopologyConfig {
             ));
         }
         if self.total_ases() > 40_000 {
-            return Err(Error::config("total AS count exceeds supported scale (40k)"));
+            return Err(Error::config(
+                "total AS count exceeds supported scale (40k)",
+            ));
         }
         let share_sum: f64 = self.region_shares.iter().sum();
         if (share_sum - 1.0).abs() > 1e-6 {
-            return Err(Error::config(format!("region_shares sum to {share_sum}, expected 1.0")));
+            return Err(Error::config(format!(
+                "region_shares sum to {share_sum}, expected 1.0"
+            )));
         }
         for f in [
             self.remote_peering_fraction,
@@ -229,25 +236,33 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = TopologyConfig::default();
-        c.facility_budget = 0;
+        let c = TopologyConfig {
+            facility_budget: 0,
+            ..TopologyConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = TopologyConfig::default();
         c.ixp_budget = c.facility_budget + 1;
         assert!(c.validate().is_err());
 
-        let mut c = TopologyConfig::default();
-        c.remote_peering_fraction = 1.5;
+        let c = TopologyConfig {
+            remote_peering_fraction: 1.5,
+            ..TopologyConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = TopologyConfig::default();
-        c.region_shares = [0.5, 0.5, 0.5, 0.0, 0.0, 0.0];
+        let c = TopologyConfig {
+            region_shares: [0.5, 0.5, 0.5, 0.0, 0.0, 0.0],
+            ..TopologyConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = TopologyConfig::default();
-        c.named_targets = true;
-        c.cdn_count = 2;
+        let c = TopologyConfig {
+            named_targets: true,
+            cdn_count: 2,
+            ..TopologyConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

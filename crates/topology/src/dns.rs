@@ -54,13 +54,19 @@ pub fn format_hostname(
         DnsStyle::FacilityCoded => {
             let fac = facility_code?;
             let city = city_iata?;
-            Some(format!("{if_label}.r{router_ordinal}.{fac}.{city}.as{asn}.example.net"))
+            Some(format!(
+                "{if_label}.r{router_ordinal}.{fac}.{city}.as{asn}.example.net"
+            ))
         }
         DnsStyle::CityCoded => {
             let city = city_iata?;
-            Some(format!("{if_label}.r{router_ordinal}.{city}.as{asn}.example.net"))
+            Some(format!(
+                "{if_label}.r{router_ordinal}.{city}.as{asn}.example.net"
+            ))
         }
-        DnsStyle::Opaque => Some(format!("{if_label}.ccr{router_ordinal:02}.as{asn}.example.net")),
+        DnsStyle::Opaque => Some(format!(
+            "{if_label}.ccr{router_ordinal:02}.as{asn}.example.net"
+        )),
     }
 }
 
@@ -79,7 +85,11 @@ pub(crate) fn assign_names(g: &mut Gen) {
         if style == DnsStyle::None {
             continue;
         }
-        let router_ordinal = g.ases[&asn].routers.iter().position(|r| *r == rid).unwrap_or(0);
+        let router_ordinal = g.ases[&asn]
+            .routers
+            .iter()
+            .position(|r| *r == rid)
+            .unwrap_or(0);
 
         let mut if_counter = 0usize;
         for ifid in iface_ids {
@@ -98,19 +108,22 @@ pub(crate) fn assign_names(g: &mut Gen) {
             // names pick a random other facility.
             let stale = g.rng.random_bool(STALE_FRACTION);
             let (fac_code, iata) = if stale && n_facilities > 1 {
-                let wrong =
-                    cfs_types::FacilityId::new(g.rng.random_range(0..n_facilities) as u32);
+                let wrong = cfs_types::FacilityId::new(g.rng.random_range(0..n_facilities) as u32);
                 let f = &g.facilities[wrong];
-                (Some(f.dns_code.clone()), Some(g.world.city(f.city).iata.to_lowercase()))
+                (
+                    Some(f.dns_code.clone()),
+                    Some(g.world.city(f.city).iata.to_lowercase()),
+                )
             } else {
                 match location {
                     RouterLocation::Facility(f) => {
                         let f = &g.facilities[f];
-                        (Some(f.dns_code.clone()), Some(g.world.city(f.city).iata.to_lowercase()))
+                        (
+                            Some(f.dns_code.clone()),
+                            Some(g.world.city(f.city).iata.to_lowercase()),
+                        )
                     }
-                    RouterLocation::PopCity(c) => {
-                        (None, Some(g.world.city(c).iata.to_lowercase()))
-                    }
+                    RouterLocation::PopCity(c) => (None, Some(g.world.city(c).iata.to_lowercase())),
                 }
             };
 
@@ -159,8 +172,7 @@ mod tests {
         assert!(format_hostname(DnsStyle::None, "ae1", 0, None, None, Asn(1)).is_none());
         // FacilityCoded without a facility code cannot produce a name.
         assert!(
-            format_hostname(DnsStyle::FacilityCoded, "ae1", 0, None, Some("fra"), Asn(1))
-                .is_none()
+            format_hostname(DnsStyle::FacilityCoded, "ae1", 0, None, Some("fra"), Asn(1)).is_none()
         );
     }
 
@@ -207,8 +219,11 @@ mod tests {
     #[test]
     fn hostnames_unique_enough_to_identify_interfaces() {
         let t = Topology::generate(TopologyConfig::tiny()).unwrap();
-        let mut names: Vec<&str> =
-            t.ifaces.values().filter_map(|i| i.dns_name.as_deref()).collect();
+        let mut names: Vec<&str> = t
+            .ifaces
+            .values()
+            .filter_map(|i| i.dns_name.as_deref())
+            .collect();
         let before = names.len();
         names.sort_unstable();
         names.dedup();

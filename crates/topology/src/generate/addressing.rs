@@ -29,7 +29,9 @@ impl AsAddressPlan {
     /// Builds the plan for a /16 block.
     pub fn new(primary: Ipv4Prefix) -> Result<Self> {
         if primary.len() != 16 {
-            return Err(Error::invalid(format!("AS block must be a /16, got {primary}")));
+            return Err(Error::invalid(format!(
+                "AS block must be a /16, got {primary}"
+            )));
         }
         let base = u32::from(primary.network());
         // x.y.252.0/22 — backbone & loopback host addresses (1022 usable).
@@ -58,7 +60,9 @@ impl AsAddressPlan {
     /// paper selects one active IP per prefix).
     #[cfg(test)]
     pub fn target_ip(&self) -> Ipv4Addr {
-        self.primary.nth(10).expect("/16 has an address at offset 10")
+        self.primary
+            .nth(10)
+            .expect("/16 has an address at offset 10")
     }
 
     /// Remaining point-to-point subnets (used by tests to check headroom).

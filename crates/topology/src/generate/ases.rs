@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use cfs_types::{Asn, AsClass, Error, FacilityId, IxpId, Region, Result};
+use cfs_types::{AsClass, Asn, Error, FacilityId, IxpId, Region, Result};
 
 use crate::model::{AsNode, DnsStyle, IfaceKind, IxpMembership, RouterLocation};
 use crate::names::{as_name, asn_base, PAPER_TARGETS};
@@ -307,7 +307,9 @@ fn sample_regional(g: &mut Gen, home: Region, n: usize, home_bias: f64) -> Vec<F
         if !home_facs.is_empty() && g.rng.random_bool(home_bias) {
             out.push(home_facs[g.rng.random_range(0..home_facs.len())]);
         } else {
-            out.push(FacilityId::new(g.rng.random_range(0..g.facilities.len()) as u32));
+            out.push(FacilityId::new(
+                g.rng.random_range(0..g.facilities.len()) as u32
+            ));
         }
     }
     out
@@ -315,9 +317,17 @@ fn sample_regional(g: &mut Gen, home: Region, n: usize, home_bias: f64) -> Vec<F
 
 /// Resellers colocate at the primary facilities of the largest exchanges.
 fn sample_big_ixp_facilities(g: &mut Gen, n: usize) -> Vec<FacilityId> {
-    let mut ixps: Vec<IxpId> = g.ixps.iter().filter(|(_, x)| x.active).map(|(id, _)| id).collect();
+    let mut ixps: Vec<IxpId> = g
+        .ixps
+        .iter()
+        .filter(|(_, x)| x.active)
+        .map(|(id, _)| id)
+        .collect();
     ixps.sort_by_key(|id| std::cmp::Reverse(g.ixps[*id].facilities.len()));
-    ixps.into_iter().take(n.max(1)).map(|id| g.ixps[id].facilities[0]).collect()
+    ixps.into_iter()
+        .take(n.max(1))
+        .map(|id| g.ixps[id].facilities[0])
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -340,7 +350,13 @@ fn assign_memberships(g: &mut Gen) -> Result<()> {
     let mut roster: Vec<Asn> = g.ases.keys().copied().collect();
     roster.sort_by_key(|asn| {
         let class = g.ases[asn].class;
-        (CLASS_ORDER.iter().position(|c| *c == class).expect("class listed"), *asn)
+        (
+            CLASS_ORDER
+                .iter()
+                .position(|c| *c == class)
+                .expect("class listed"),
+            *asn,
+        )
     });
 
     let s_ixp = (g.cfg.ixp_budget as f64 / 368.0).clamp(0.05, 2.0);
@@ -411,10 +427,8 @@ fn assign_memberships(g: &mut Gen) -> Result<()> {
             // one member reachable at two buildings of the same fabric) —
             // infrastructure-heavy members dual-home their IXP presence
             // for redundancy, buying into a second building if needed.
-            let dual_homes = matches!(
-                class,
-                AsClass::Cdn | AsClass::Transit | AsClass::Tier1
-            ) && g.rng.random_bool(0.35);
+            let dual_homes = matches!(class, AsClass::Cdn | AsClass::Transit | AsClass::Tier1)
+                && g.rng.random_bool(0.35);
             if dual_homes {
                 let second = g.ases[&asn]
                     .facilities
@@ -426,15 +440,10 @@ fn assign_memberships(g: &mut Gen) -> Result<()> {
                         g.ixps[ixp].facilities.iter().copied().find(|f| *f != fac)
                     });
                 if let Some(f2) = second {
-                    if g.routers_at.get(&(asn, f2)).is_none() {
+                    if !g.routers_at.contains_key(&(asn, f2)) {
                         let coords = g.facilities[f2].location;
                         let ipid = g.sample_ipid(class);
-                        let _ = g.new_router(
-                            asn,
-                            RouterLocation::Facility(f2),
-                            coords,
-                            ipid,
-                        )?;
+                        let _ = g.new_router(asn, RouterLocation::Facility(f2), coords, ipid)?;
                         let node = g.ases.get_mut(&asn).expect("exists");
                         node.facilities.push(f2);
                         node.facilities.sort();
@@ -447,9 +456,7 @@ fn assign_memberships(g: &mut Gen) -> Result<()> {
 
         // Remote peering: reach a distant exchange through a reseller.
         let wants_remote = match class {
-            AsClass::Access | AsClass::Content => {
-                g.rng.random_bool(g.cfg.remote_peering_fraction)
-            }
+            AsClass::Access | AsClass::Content => g.rng.random_bool(g.cfg.remote_peering_fraction),
             AsClass::Transit => g.rng.random_bool(g.cfg.remote_peering_fraction / 2.0),
             AsClass::Cdn => g.rng.random_bool(0.1),
             _ => false,
@@ -461,13 +468,7 @@ fn assign_memberships(g: &mut Gen) -> Result<()> {
     Ok(())
 }
 
-fn join_local(
-    g: &mut Gen,
-    asn: Asn,
-    ixp: IxpId,
-    fac: FacilityId,
-    primary: bool,
-) -> Result<()> {
+fn join_local(g: &mut Gen, asn: Asn, ixp: IxpId, fac: FacilityId, primary: bool) -> Result<()> {
     if primary && g.ixps[ixp].member(asn).is_some() {
         return Ok(());
     }
@@ -475,8 +476,11 @@ fn join_local(
         .routers_at
         .get(&(asn, fac))
         .ok_or_else(|| Error::invalid(format!("{asn} has no router at {fac}")))?;
-    let fabric_ip =
-        g.fabric.get_mut(&ixp).ok_or_else(|| Error::not_found("fabric alloc", ixp))?.alloc()?;
+    let fabric_ip = g
+        .fabric
+        .get_mut(&ixp)
+        .ok_or_else(|| Error::not_found("fabric alloc", ixp))?
+        .alloc()?;
     let iface = g.add_iface(router, asn, fabric_ip, IfaceKind::IxpFabric(ixp));
     let access_switch = access_switch_at(g, ixp, fac)?;
     let uses_route_server = match g.ixps[ixp].member(asn) {
@@ -527,8 +531,11 @@ fn join_remote(g: &mut Gen, asn: Asn) -> Result<()> {
         .routers
         .first()
         .ok_or_else(|| Error::invalid(format!("{asn} has no router for remote peering")))?;
-    let fabric_ip =
-        g.fabric.get_mut(&ixp).ok_or_else(|| Error::not_found("fabric alloc", ixp))?.alloc()?;
+    let fabric_ip = g
+        .fabric
+        .get_mut(&ixp)
+        .ok_or_else(|| Error::not_found("fabric alloc", ixp))?
+        .alloc()?;
     let iface = g.add_iface(router, asn, fabric_ip, IfaceKind::IxpFabric(ixp));
     let reseller_switch = g.ixps[ixp]
         .member(reseller)
@@ -615,7 +622,11 @@ mod tests {
     fn every_as_has_presence_and_routers() {
         let t = topo();
         for node in t.ases.values() {
-            assert!(!node.facilities.is_empty(), "{} has no facilities", node.asn);
+            assert!(
+                !node.facilities.is_empty(),
+                "{} has no facilities",
+                node.asn
+            );
             assert!(!node.routers.is_empty(), "{} has no routers", node.asn);
             // One router per facility of presence.
             for fac in &node.facilities {
@@ -636,11 +647,13 @@ mod tests {
         // 54% of ASes at >1 IXP, 66% at >1 facility (§3.1.2) — we accept
         // broad agreement.
         let total = t.ases.len() as f64;
-        let multi_fac =
-            t.ases.values().filter(|n| n.facilities.len() > 1).count() as f64 / total;
+        let multi_fac = t.ases.values().filter(|n| n.facilities.len() > 1).count() as f64 / total;
         assert!(multi_fac > 0.35, "multi-facility share {multi_fac}");
         let member_counts: usize = t.ixps.values().map(|x| x.members.len()).sum();
-        assert!(member_counts > t.ases.len() / 2, "too few memberships: {member_counts}");
+        assert!(
+            member_counts > t.ases.len() / 2,
+            "too few memberships: {member_counts}"
+        );
     }
 
     #[test]

@@ -72,12 +72,7 @@ pub(super) fn build(g: &mut Gen) -> Result<()> {
     Ok(())
 }
 
-fn build_metro(
-    g: &mut Gen,
-    metro: MetroId,
-    count: usize,
-    chain_ids: &[OperatorId],
-) -> Result<()> {
+fn build_metro(g: &mut Gen, metro: MetroId, count: usize, chain_ids: &[OperatorId]) -> Result<()> {
     if count == 0 {
         return Ok(());
     }
@@ -109,12 +104,13 @@ fn build_metro(
         };
 
         // Place the building near a random member city of the metro.
-        let city =
-            m.cities[g.rng.random_range(0..m.cities.len())];
+        let city = m.cities[g.rng.random_range(0..m.cities.len())];
         let c = g.world.city(city);
         let jitter = |rng: &mut rand_chacha::ChaCha20Rng| (rng.random::<f64>() - 0.5) * 0.12;
-        let location =
-            GeoPoint::new(c.location.lat + jitter(&mut g.rng), c.location.lon + jitter(&mut g.rng));
+        let location = GeoPoint::new(
+            c.location.lat + jitter(&mut g.rng),
+            c.location.lon + jitter(&mut g.rng),
+        );
 
         let (op_name, op_prefix) = {
             let op = &g.operators[operator];
@@ -184,7 +180,10 @@ mod tests {
             v.sort_unstable();
             v[v.len() / 2]
         };
-        assert!(max >= 5 * median, "max {max} median {median} — distribution not heavy-tailed");
+        assert!(
+            max >= 5 * median,
+            "max {max} median {median} — distribution not heavy-tailed"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ use super::{apportion, Gen};
 pub(super) fn build(g: &mut Gen) -> Result<()> {
     // Metro weights = facility counts; metros without facilities get none.
     let metros: Vec<MetroId> = g.facs_by_metro.keys().copied().collect();
-    let weights: Vec<f64> = metros.iter().map(|m| g.facs_by_metro[m].len() as f64).collect();
+    let weights: Vec<f64> = metros
+        .iter()
+        .map(|m| g.facs_by_metro[m].len() as f64)
+        .collect();
     let mut counts = apportion(g.cfg.ixp_budget, &weights);
 
     // No metro hosts more IXPs than facilities; redistribute overflow to
@@ -47,7 +50,10 @@ pub(super) fn build(g: &mut Gen) -> Result<()> {
                     overflow -= 1;
                 }
             }
-            if overflow > 0 && order.iter().all(|&i| counts[i] >= g.facs_by_metro[&metros[i]].len())
+            if overflow > 0
+                && order
+                    .iter()
+                    .all(|&i| counts[i] >= g.facs_by_metro[&metros[i]].len())
             {
                 break; // every metro saturated; drop the remainder
             }
@@ -88,7 +94,10 @@ fn build_ixp(g: &mut Gen, metro: MetroId, ordinal: usize) -> Result<()> {
     let mut pool = all_facs;
     pool.shuffle(&mut g.rng);
     let switch_load = |g: &Gen, f: FacilityId| -> usize {
-        g.switches.values().filter(|s| s.facility == f && s.role == SwitchRole::Access).count()
+        g.switches
+            .values()
+            .filter(|s| s.facility == f && s.role == SwitchRole::Access)
+            .count()
     };
     let mut partners: Vec<FacilityId> = Vec::with_capacity(span);
     for _ in 0..span {
@@ -219,7 +228,11 @@ mod tests {
     #[test]
     fn large_ixps_use_backhaul_layer() {
         let t = Topology::generate(TopologyConfig::paper()).unwrap();
-        let large = t.ixps.values().find(|x| x.facilities.len() > 4).expect("a large ixp exists");
+        let large = t
+            .ixps
+            .values()
+            .find(|x| x.facilities.len() > 4)
+            .expect("a large ixp exists");
         assert!(large
             .switches
             .iter()

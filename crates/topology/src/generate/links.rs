@@ -5,7 +5,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use cfs_types::{Asn, AsClass, Error, FacilityId, IxpId, PeeringKind, Rel, Result};
+use cfs_types::{AsClass, Asn, Error, FacilityId, IxpId, PeeringKind, Rel, Result};
 
 use crate::model::{EndPoint, IfaceKind, Link, Medium};
 
@@ -21,7 +21,11 @@ pub(super) fn build(g: &mut Gen) -> Result<()> {
 
 /// ASNs of a class, sorted (deterministic).
 fn of_class(g: &Gen, class: AsClass) -> Vec<Asn> {
-    g.ases.values().filter(|n| n.class == class).map(|n| n.asn).collect()
+    g.ases
+        .values()
+        .filter(|n| n.class == class)
+        .map(|n| n.asn)
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -75,8 +79,16 @@ fn materialize(
     let ib = g.add_iface(rb, b, subnet.nth(1)?, IfaceKind::PrivatePtp(lid));
     let id = g.links.push(Link {
         kind,
-        a: EndPoint { asn: a, router: ra, iface: ia },
-        b: EndPoint { asn: b, router: rb, iface: ib },
+        a: EndPoint {
+            asn: a,
+            router: ra,
+            iface: ia,
+        },
+        b: EndPoint {
+            asn: b,
+            router: rb,
+            iface: ib,
+        },
         ixp,
         subnet,
     });
@@ -117,7 +129,10 @@ fn private_link(g: &mut Gen, a: Asn, b: Asn, allow_tethering: bool) -> Result<Op
             let (fac_a, fac_b) = {
                 let ma = g.ixps[ixp].member(a).expect("a is member");
                 let mb = g.ixps[ixp].member(b).expect("b is member");
-                (g.routers[ma.router].location.facility(), g.routers[mb.router].location.facility())
+                (
+                    g.routers[ma.router].location.facility(),
+                    g.routers[mb.router].location.facility(),
+                )
             };
             if let (Some(fa), Some(fb)) = (fac_a, fac_b) {
                 let m = materialize(g, a, b, PeeringKind::PrivateTethering, fa, fb, Some(ixp))?;
@@ -170,17 +185,30 @@ fn transit_link(g: &mut Gen, prov: Asn, cust: Asn) -> Result<Option<Medium>> {
         .copied()
         .min_by_key(|f| g.facilities[*f].location.distance_km(cust_home) as u64)
         .expect("provider has presence");
-    if g.routers_at.get(&(cust, target_fac)).is_none() {
+    if !g.routers_at.contains_key(&(cust, target_fac)) {
         let coords = g.facilities[target_fac].location;
         let class = g.ases[&cust].class;
         let ipid = g.sample_ipid(class);
-        g.new_router(cust, crate::model::RouterLocation::Facility(target_fac), coords, ipid)?;
+        g.new_router(
+            cust,
+            crate::model::RouterLocation::Facility(target_fac),
+            coords,
+            ipid,
+        )?;
         let node = g.ases.get_mut(&cust).expect("exists");
         node.facilities.push(target_fac);
         node.facilities.sort();
         node.facilities.dedup();
     }
-    let m = materialize(g, prov, cust, PeeringKind::PrivateCrossConnect, target_fac, target_fac, None)?;
+    let m = materialize(
+        g,
+        prov,
+        cust,
+        PeeringKind::PrivateCrossConnect,
+        target_fac,
+        target_fac,
+        None,
+    )?;
     Ok(Some(m))
 }
 
@@ -194,10 +222,10 @@ fn transit_links(g: &mut Gen) -> Result<()> {
 
     // Customer class → candidate providers and how many to pick.
     let specs: Vec<(AsClass, bool, std::ops::RangeInclusive<usize>)> = vec![
-        (AsClass::Transit, true, 2..=3),    // transit buys from tier1s
-        (AsClass::Cdn, true, 1..=2),        // cdn keeps tier1 backup transit
-        (AsClass::Reseller, true, 1..=2),   // resellers ride on tier1s
-        (AsClass::Content, false, 1..=2),   // content buys from transit
+        (AsClass::Transit, true, 2..=3),  // transit buys from tier1s
+        (AsClass::Cdn, true, 1..=2),      // cdn keeps tier1 backup transit
+        (AsClass::Reseller, true, 1..=2), // resellers ride on tier1s
+        (AsClass::Content, false, 1..=2), // content buys from transit
         (AsClass::Access, false, 1..=2),
         (AsClass::Enterprise, false, 1..=2),
     ];
@@ -216,9 +244,17 @@ fn transit_links(g: &mut Gen) -> Result<()> {
                     .copied()
                     .filter(|t| g.ases[t].home_region == home)
                     .collect();
-                if regional.is_empty() { transits.clone() } else { regional }
+                if regional.is_empty() {
+                    transits.clone()
+                } else {
+                    regional
+                }
             };
-            let pool: Vec<Asn> = if pool.is_empty() { tier1s.clone() } else { pool };
+            let pool: Vec<Asn> = if pool.is_empty() {
+                tier1s.clone()
+            } else {
+                pool
+            };
             let n = g.rng.random_range(range.clone());
             let mut choices = pool;
             choices.retain(|p| *p != cust);
@@ -245,7 +281,7 @@ fn tier1_mesh(g: &mut Gen) -> Result<()> {
     for (i, a) in tier1s.iter().enumerate() {
         for b in &tier1s[i + 1..] {
             let common = common_facilities(g, *a, *b);
-            let n_locations = common.len().min(3).max(1);
+            let n_locations = common.len().clamp(1, 3);
             if common.is_empty() {
                 if let Some(m) = private_link(g, *a, *b, false)? {
                     g.add_adjacency(*a, *b, Rel::PeerToPeer, m);
@@ -332,18 +368,30 @@ fn tethering_link(g: &mut Gen, a: Asn, b: Asn) -> Result<Option<Medium>> {
         let mb = g.ixps[ixp].member(b).expect("member");
         (ma.router, mb.router)
     };
-    let (fa, fb) =
-        (g.routers[ra].location.facility(), g.routers[rb].location.facility());
-    let (Some(fa), Some(fb)) = (fa, fb) else { return Ok(None) };
+    let (fa, fb) = (
+        g.routers[ra].location.facility(),
+        g.routers[rb].location.facility(),
+    );
+    let (Some(fa), Some(fb)) = (fa, fb) else {
+        return Ok(None);
+    };
     let m = materialize(g, a, b, PeeringKind::PrivateTethering, fa, fb, Some(ixp))?;
     Ok(Some(m))
 }
 
 fn public_peering(g: &mut Gen) -> Result<()> {
-    let ixp_ids: Vec<IxpId> = g.ixps.iter().filter(|(_, x)| x.active).map(|(id, _)| id).collect();
+    let ixp_ids: Vec<IxpId> = g
+        .ixps
+        .iter()
+        .filter(|(_, x)| x.active)
+        .map(|(id, _)| id)
+        .collect();
     for ixp in ixp_ids {
-        let members: Vec<(Asn, bool)> =
-            g.ixps[ixp].members.iter().map(|m| (m.asn, m.uses_route_server)).collect();
+        let members: Vec<(Asn, bool)> = g.ixps[ixp]
+            .members
+            .iter()
+            .map(|m| (m.asn, m.uses_route_server))
+            .collect();
         for (i, (a, a_rs)) in members.iter().enumerate() {
             for (b, b_rs) in &members[i + 1..] {
                 if a == b || g.has_adjacency(*a, *b) {
@@ -394,7 +442,10 @@ mod tests {
     fn every_stub_as_has_a_provider() {
         let t = topo();
         for node in t.ases.values() {
-            if matches!(node.class, AsClass::Access | AsClass::Enterprise | AsClass::Content) {
+            if matches!(
+                node.class,
+                AsClass::Access | AsClass::Enterprise | AsClass::Content
+            ) {
                 let has_provider = t
                     .adjacencies_of(node.asn)
                     .any(|adj| adj.rel == Rel::CustomerToProvider && adj.a == node.asn);
@@ -406,8 +457,12 @@ mod tests {
     #[test]
     fn tier1s_form_a_peering_mesh() {
         let t = topo();
-        let tier1s: Vec<_> =
-            t.ases.values().filter(|n| n.class == AsClass::Tier1).map(|n| n.asn).collect();
+        let tier1s: Vec<_> = t
+            .ases
+            .values()
+            .filter(|n| n.class == AsClass::Tier1)
+            .map(|n| n.asn)
+            .collect();
         for (i, a) in tier1s.iter().enumerate() {
             for b in &tier1s[i + 1..] {
                 let adj = t.adjacency(*a, *b).expect("tier1 pair not connected");
@@ -482,7 +537,11 @@ mod tests {
         let public = t
             .adjacencies
             .iter()
-            .filter(|adj| adj.mediums.iter().any(|m| matches!(m, Medium::PublicIxp { .. })))
+            .filter(|adj| {
+                adj.mediums
+                    .iter()
+                    .any(|m| matches!(m, Medium::PublicIxp { .. }))
+            })
             .count();
         assert!(public > 50, "too few public adjacencies: {public}");
     }
@@ -492,7 +551,11 @@ mod tests {
         let t = topo();
         for adj in &t.adjacencies {
             let reverse = t.adjacencies.iter().any(|o| o.a == adj.b && o.b == adj.a);
-            assert!(!reverse, "both orientations present for {}-{}", adj.a, adj.b);
+            assert!(
+                !reverse,
+                "both orientations present for {}-{}",
+                adj.a, adj.b
+            );
         }
     }
 }

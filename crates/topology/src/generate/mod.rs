@@ -21,14 +21,14 @@ use rand_chacha::ChaCha20Rng;
 use cfs_geo::{GeoPoint, World};
 use cfs_net::{Announcement, HostAllocator, Ipv4Prefix, PrefixTrie, SubnetAllocator};
 use cfs_types::{
-    Arena, Asn, AsClass, Error, FacilityId, IfaceId, IxpId, LinkId, MetroId, OperatorId, Rel,
+    Arena, AsClass, Asn, Error, FacilityId, IfaceId, IxpId, LinkId, MetroId, OperatorId, Rel,
     Result, RouterId, SwitchId,
 };
 
 use crate::config::TopologyConfig;
 use crate::model::{
-    AsNode, Facility, FacilityOperator, Iface, IfaceKind, IpIdBehavior, Ixp, Link, Medium,
-    Router, RouterLocation, Switch,
+    AsNode, Facility, FacilityOperator, Iface, IfaceKind, IpIdBehavior, Ixp, Link, Medium, Router,
+    RouterLocation, Switch,
 };
 use crate::topology::{AsAdjacency, Topology};
 
@@ -107,7 +107,9 @@ impl Gen {
     /// its sibling's when the pair shares address space.
     fn infra_plan(&mut self, asn: Asn) -> Result<&mut AsAddressPlan> {
         let source = self.infra_source.get(&asn).copied().unwrap_or(asn);
-        self.plans.get_mut(&source).ok_or_else(|| Error::not_found("address plan", source))
+        self.plans
+            .get_mut(&source)
+            .ok_or_else(|| Error::not_found("address plan", source))
     }
 
     /// Allocates a backbone/loopback address for `asn`.
@@ -120,7 +122,10 @@ impl Gen {
         // Point-to-point subnets always come from the AS's own plan: the
         // address *must* map to the allocating AS for the §4.1 pitfall to
         // be modelled correctly.
-        self.plans.get_mut(&asn).ok_or_else(|| Error::not_found("address plan", asn))?.alloc_ptp()
+        self.plans
+            .get_mut(&asn)
+            .ok_or_else(|| Error::not_found("address plan", asn))?
+            .alloc_ptp()
     }
 
     /// Adds an interface to a router and to the global table.
@@ -131,7 +136,13 @@ impl Gen {
         ip: Ipv4Addr,
         kind: IfaceKind,
     ) -> IfaceId {
-        let id = self.ifaces.push(Iface { router, asn, ip, kind, dns_name: None });
+        let id = self.ifaces.push(Iface {
+            router,
+            asn,
+            ip,
+            kind,
+            dns_name: None,
+        });
         self.routers[router].ifaces.push(id);
         id
     }
@@ -179,7 +190,9 @@ impl Gen {
         } else if x < self.cfg.ipid_random_fraction + self.cfg.ipid_constant_fraction {
             IpIdBehavior::Constant
         } else {
-            IpIdBehavior::SharedCounter { rate_per_ms: self.rng.random_range(1..40) }
+            IpIdBehavior::SharedCounter {
+                rate_per_ms: self.rng.random_range(1..40),
+            }
         }
     }
 
@@ -197,8 +210,11 @@ impl Gen {
         if rel == Rel::PeerToPeer
             && (self.adj.contains_key(&(a, b)) || self.adj.contains_key(&(b, a)))
         {
-            let existing_key =
-                if self.adj.contains_key(&(a, b)) { (a, b) } else { (b, a) };
+            let existing_key = if self.adj.contains_key(&(a, b)) {
+                (a, b)
+            } else {
+                (b, a)
+            };
             if let Some((existing_rel, mediums)) = self.adj.get_mut(&existing_key) {
                 if *existing_rel == Rel::PeerToPeer && !mediums.contains(&medium) {
                     mediums.push(medium);
@@ -240,7 +256,10 @@ impl Gen {
         let mut announcements = Vec::new();
         for (asn, node) in &ases {
             for p in &node.prefixes {
-                announcements.push(Announcement { prefix: *p, origin: *asn });
+                announcements.push(Announcement {
+                    prefix: *p,
+                    origin: *asn,
+                });
             }
         }
         debug_assert_eq!(plans.len(), ases.len());
@@ -272,7 +291,10 @@ impl Gen {
         let mut iface_by_ip = BTreeMap::new();
         for (id, iface) in ifaces.iter() {
             if iface_by_ip.insert(iface.ip, id).is_some() {
-                return Err(Error::invalid(format!("duplicate interface address {}", iface.ip)));
+                return Err(Error::invalid(format!(
+                    "duplicate interface address {}",
+                    iface.ip
+                )));
             }
         }
 
@@ -320,7 +342,9 @@ pub(crate) fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
     order.sort_by(|&i, &j| {
         let fi = exact[i] - exact[i].floor();
         let fj = exact[j] - exact[j].floor();
-        fj.partial_cmp(&fi).unwrap_or(std::cmp::Ordering::Equal).then(i.cmp(&j))
+        fj.partial_cmp(&fi)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
     });
     for &i in order.iter().take(total - assigned) {
         parts[i] += 1;

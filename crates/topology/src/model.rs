@@ -3,11 +3,11 @@
 use std::net::Ipv4Addr;
 
 use cfs_geo::GeoPoint;
+use cfs_net::Ipv4Prefix;
 use cfs_types::{
-    Asn, AsClass, CityId, FacilityId, IfaceId, IxpId, LinkId, MetroId, OperatorId, PeeringKind,
+    AsClass, Asn, CityId, FacilityId, IfaceId, IxpId, LinkId, MetroId, OperatorId, PeeringKind,
     Region, RouterId, SwitchId,
 };
-use cfs_net::Ipv4Prefix;
 
 /// A colocation / interconnection facility (§2): a building that hosts
 /// network equipment and supports interconnection.
@@ -326,7 +326,10 @@ mod tests {
 
     #[test]
     fn router_location_facility_accessor() {
-        assert_eq!(RouterLocation::Facility(FacilityId(3)).facility(), Some(FacilityId(3)));
+        assert_eq!(
+            RouterLocation::Facility(FacilityId(3)).facility(),
+            Some(FacilityId(3))
+        );
         assert_eq!(RouterLocation::PopCity(CityId(1)).facility(), None);
     }
 

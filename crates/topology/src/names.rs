@@ -1,7 +1,7 @@
 //! Name generation for generated entities, plus the identities of the ten
 //! paper target networks.
 
-use cfs_types::{Asn, AsClass};
+use cfs_types::{AsClass, Asn};
 
 /// The ten target networks of §5, with their real AS numbers: five content
 /// /CDN networks ("responsible for over half the traffic volume in North
@@ -21,7 +21,11 @@ pub const PAPER_TARGETS: &[(u32, &str, AsClass)] = &[
 
 /// Returns the ASNs of the five CDN targets.
 pub fn cdn_target_asns() -> Vec<Asn> {
-    PAPER_TARGETS.iter().filter(|(_, _, c)| *c == AsClass::Cdn).map(|(a, _, _)| Asn(*a)).collect()
+    PAPER_TARGETS
+        .iter()
+        .filter(|(_, _, c)| *c == AsClass::Cdn)
+        .map(|(a, _, _)| Asn(*a))
+        .collect()
 }
 
 /// Returns the ASNs of the five transit targets.
@@ -56,8 +60,11 @@ pub fn facility_dns_code(op_dns_prefix: &str, city_iata: &str, ordinal: usize) -
 
 /// Builds an IXP name from its metro: `"fra-ix"`, `"fra-ix-2"`.
 pub fn ixp_name(metro_name: &str, ordinal: usize) -> String {
-    let slug: String =
-        metro_name.chars().filter(|c| c.is_ascii_alphanumeric()).take(8).collect();
+    let slug: String = metro_name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .take(8)
+        .collect();
     if ordinal == 0 {
         format!("{slug}-ix")
     } else {

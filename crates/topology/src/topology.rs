@@ -11,9 +11,7 @@ use cfs_types::{
 };
 
 use crate::config::TopologyConfig;
-use crate::model::{
-    AsNode, Facility, FacilityOperator, Iface, Ixp, Link, Medium, Router, Switch,
-};
+use crate::model::{AsNode, Facility, FacilityOperator, Iface, Ixp, Link, Medium, Router, Switch};
 
 /// One AS-level adjacency with its physical instantiations.
 ///
@@ -76,7 +74,9 @@ impl Topology {
 
     /// The AS record for `asn`.
     pub fn as_node(&self, asn: Asn) -> Result<&AsNode> {
-        self.ases.get(&asn).ok_or_else(|| Error::not_found("as", asn))
+        self.ases
+            .get(&asn)
+            .ok_or_else(|| Error::not_found("as", asn))
     }
 
     /// Ground-truth owner interface of an IP address, if any.
@@ -89,8 +89,10 @@ impl Topology {
     /// IP per prefix per target network).
     pub fn target_ip(&self, asn: Asn) -> Result<Ipv4Addr> {
         let node = self.as_node(asn)?;
-        let primary =
-            node.prefixes.first().ok_or_else(|| Error::invalid(format!("{asn} has no prefix")))?;
+        let primary = node
+            .prefixes
+            .first()
+            .ok_or_else(|| Error::invalid(format!("{asn} has no prefix")))?;
         primary.nth(10)
     }
 
@@ -133,7 +135,11 @@ impl Topology {
 
     /// All adjacencies involving `asn`.
     pub fn adjacencies_of(&self, asn: Asn) -> impl Iterator<Item = &AsAdjacency> {
-        self.neighbors.get(&asn).into_iter().flatten().map(move |i| &self.adjacencies[*i])
+        self.neighbors
+            .get(&asn)
+            .into_iter()
+            .flatten()
+            .map(move |i| &self.adjacencies[*i])
     }
 
     /// Builds the (contaminated) IP→ASN database from the announcements —
@@ -144,7 +150,10 @@ impl Topology {
 
     /// All IXP peering-LAN prefixes with their IXPs.
     pub fn ixp_prefix_list(&self) -> Vec<(Ipv4Prefix, IxpId)> {
-        self.ixps.iter().map(|(id, ixp)| (ixp.peering_lan, id)).collect()
+        self.ixps
+            .iter()
+            .map(|(id, ixp)| (ixp.peering_lan, id))
+            .collect()
     }
 
     /// Checks structural invariants; generation runs this before
@@ -173,8 +182,9 @@ impl Topology {
                     return Err(Error::invalid(format!("{iid} lists foreign switch {sid}")));
                 }
                 if *sid != ixp.core {
-                    let parent =
-                        sw.parent.ok_or_else(|| Error::invalid(format!("{sid} orphaned")))?;
+                    let parent = sw
+                        .parent
+                        .ok_or_else(|| Error::invalid(format!("{sid} orphaned")))?;
                     let p = &self.switches[parent];
                     if p.ixp != iid {
                         return Err(Error::invalid(format!("{sid} parent in foreign ixp")));
@@ -210,7 +220,9 @@ impl Topology {
         for (rid, r) in self.routers.iter() {
             for ifid in &r.ifaces {
                 if self.ifaces[*ifid].router != rid {
-                    return Err(Error::invalid(format!("{rid} iface {ifid} points elsewhere")));
+                    return Err(Error::invalid(format!(
+                        "{rid} iface {ifid} points elsewhere"
+                    )));
                 }
             }
         }
@@ -226,7 +238,10 @@ impl Topology {
         // AS record consistency.
         for (asn, node) in &self.ases {
             if node.asn != *asn {
-                return Err(Error::invalid(format!("as map key {asn} != node {}", node.asn)));
+                return Err(Error::invalid(format!(
+                    "as map key {asn} != node {}",
+                    node.asn
+                )));
             }
             for rid in &node.routers {
                 if self.routers[*rid].asn != *asn {
@@ -237,16 +252,23 @@ impl Topology {
             sorted.sort();
             sorted.dedup();
             if sorted != node.facilities {
-                return Err(Error::invalid(format!("{asn} facility list not sorted/unique")));
+                return Err(Error::invalid(format!(
+                    "{asn} facility list not sorted/unique"
+                )));
             }
         }
         // Adjacency canonical form and index completeness.
         for (i, adj) in self.adjacencies.iter().enumerate() {
             if adj.rel == Rel::PeerToPeer && adj.a >= adj.b {
-                return Err(Error::invalid(format!("p2p adjacency not canonical at {i}")));
+                return Err(Error::invalid(format!(
+                    "p2p adjacency not canonical at {i}"
+                )));
             }
             if adj.mediums.is_empty() {
-                return Err(Error::invalid(format!("adjacency {}-{} has no medium", adj.a, adj.b)));
+                return Err(Error::invalid(format!(
+                    "adjacency {}-{} has no medium",
+                    adj.a, adj.b
+                )));
             }
             if self.adj_index.get(&(adj.a, adj.b)) != Some(&i) {
                 return Err(Error::invalid("adjacency index out of sync"));

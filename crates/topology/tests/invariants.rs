@@ -52,7 +52,10 @@ fn cross_connect_semantics_across_seeds() {
             let ip_b = t.ifaces[link.b.iface].ip;
             assert!(link.subnet.contains(ip_a) && link.subnet.contains(ip_b));
             assert!(
-                t.ases[&link.a.asn].prefixes.iter().any(|p| p.covers(link.subnet)),
+                t.ases[&link.a.asn]
+                    .prefixes
+                    .iter()
+                    .any(|p| p.covers(link.subnet)),
                 "seed {seed}: subnet not from side a"
             );
         }
@@ -75,9 +78,9 @@ fn membership_semantics_across_seeds() {
                 // Remote memberships name a real reseller that is itself
                 // a local member.
                 if let Some(reseller) = m.remote_via {
-                    let r = ixp.member(reseller).unwrap_or_else(|| {
-                        panic!("seed {seed}: reseller {reseller} not a member")
-                    });
+                    let r = ixp
+                        .member(reseller)
+                        .unwrap_or_else(|| panic!("seed {seed}: reseller {reseller} not a member"));
                     assert!(r.remote_via.is_none(), "seed {seed}: reseller is remote");
                 }
             }

@@ -30,7 +30,10 @@ pub fn run_campaign_parallel(
     at_ms: u64,
     limits: &CampaignLimits,
 ) -> Vec<Trace> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
     if workers <= 1 || vp_ids.len() < 64 {
         return run_campaign(engine, vps, vp_ids, targets, at_ms, limits);
     }
@@ -42,7 +45,10 @@ pub fn run_campaign_parallel(
                 scope.spawn(move |_| run_campaign(engine, vps, chunk, targets, at_ms, limits))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("campaign worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker"))
+            .collect()
     })
     .expect("campaign thread scope");
     chunks.into_iter().flatten().collect()
@@ -60,7 +66,10 @@ pub struct CampaignLimits {
 
 impl Default for CampaignLimits {
     fn default() -> Self {
-        Self { lg_queries: 25, open_queries: 500 }
+        Self {
+            lg_queries: 25,
+            open_queries: 500,
+        }
     }
 }
 
@@ -105,7 +114,9 @@ pub fn archived_sweep(
         let vp = &vps.vps[*id];
         for _ in 0..per_vp {
             let asn = asns[rng.random_range(0..asns.len())];
-            let Ok(target) = topo.target_ip(asn) else { continue };
+            let Ok(target) = topo.target_ip(asn) else {
+                continue;
+            };
             let at_ms = rng.random_range(0..86_400_000);
             out.push(engine.trace(vp, target, at_ms));
         }
@@ -131,8 +142,14 @@ mod tests {
         let engine = Engine::new(&topo);
         let targets = vec![topo.target_ip(*topo.ases.keys().next().unwrap()).unwrap()];
         let atlas: Vec<_> = vps.of_platform(Platform::RipeAtlas).to_vec();
-        let traces =
-            run_campaign(&engine, &vps, &atlas, &targets, 0, &CampaignLimits::default());
+        let traces = run_campaign(
+            &engine,
+            &vps,
+            &atlas,
+            &targets,
+            0,
+            &CampaignLimits::default(),
+        );
         assert_eq!(traces.len(), atlas.len());
     }
 
@@ -140,10 +157,17 @@ mod tests {
     fn lg_rate_limit_caps_queries() {
         let (topo, vps) = setup();
         let engine = Engine::new(&topo);
-        let targets: Vec<Ipv4Addr> =
-            topo.ases.keys().take(40).map(|a| topo.target_ip(*a).unwrap()).collect();
+        let targets: Vec<Ipv4Addr> = topo
+            .ases
+            .keys()
+            .take(40)
+            .map(|a| topo.target_ip(*a).unwrap())
+            .collect();
         let lgs: Vec<_> = vps.of_platform(Platform::LookingGlass).to_vec();
-        let limits = CampaignLimits { lg_queries: 5, open_queries: 100 };
+        let limits = CampaignLimits {
+            lg_queries: 5,
+            open_queries: 100,
+        };
         let traces = run_campaign(&engine, &vps, &lgs, &targets, 0, &limits);
         assert_eq!(traces.len(), lgs.len() * 5);
     }
@@ -154,8 +178,7 @@ mod tests {
         let engine = Engine::new(&topo);
         let traces = archived_sweep(&engine, &vps, Platform::Ark, 10, 1);
         assert_eq!(traces.len(), vps.of_platform(Platform::Ark).len() * 10);
-        let distinct: std::collections::BTreeSet<_> =
-            traces.iter().map(|t| t.target).collect();
+        let distinct: std::collections::BTreeSet<_> = traces.iter().map(|t| t.target).collect();
         assert!(distinct.len() > 5);
     }
 
@@ -184,8 +207,12 @@ mod parallel_tests {
         let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
         let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
         let engine = Engine::new(&topo);
-        let targets: Vec<Ipv4Addr> =
-            topo.ases.keys().take(3).map(|a| topo.target_ip(*a).unwrap()).collect();
+        let targets: Vec<Ipv4Addr> = topo
+            .ases
+            .keys()
+            .take(3)
+            .map(|a| topo.target_ip(*a).unwrap())
+            .collect();
         let ids: Vec<_> = vps.ids().collect();
         let limits = CampaignLimits::default();
         let seq = run_campaign(&engine, &vps, &ids, &targets, 5, &limits);

@@ -128,13 +128,23 @@ impl<'t> Engine<'t> {
 
         let Some(dest_asn) = self.db.origin(target) else {
             // Unrouted space: probes die somewhere in the core.
-            trace.hops.extend([Hop { ip: None, rtt_ms: 0.0 }; 3]);
+            trace.hops.extend(
+                [Hop {
+                    ip: None,
+                    rtt_ms: 0.0,
+                }; 3],
+            );
             return trace;
         };
 
         let routes = self.routes.routes(self.topo, dest_asn);
         let Some(as_path) = routes.path(vp.asn) else {
-            trace.hops.extend([Hop { ip: None, rtt_ms: 0.0 }; 3]);
+            trace.hops.extend(
+                [Hop {
+                    ip: None,
+                    rtt_ms: 0.0,
+                }; 3],
+            );
             return trace;
         };
 
@@ -148,7 +158,10 @@ impl<'t> Engine<'t> {
                 self.select_medium(x, y, self.topo.routers[current].coords, &mut rng)
             else {
                 // Inconsistent adjacency (should not happen): truncate.
-                trace.hops.push(Hop { ip: None, rtt_ms: 0.0 });
+                trace.hops.push(Hop {
+                    ip: None,
+                    rtt_ms: 0.0,
+                });
                 return trace;
             };
             if egress != current {
@@ -180,7 +193,10 @@ impl<'t> Engine<'t> {
 
         // The destination host itself (targets are verified-active, §5).
         let rtt = fiber_rtt_ms(dist_km) + 0.05 * (path.len() + 1) as f64 + rng.random::<f64>();
-        trace.hops.push(Hop { ip: Some(target), rtt_ms: rtt });
+        trace.hops.push(Hop {
+            ip: Some(target),
+            rtt_ms: rtt,
+        });
         trace.reached = true;
         trace
     }
@@ -240,7 +256,9 @@ impl<'t> Engine<'t> {
         let adj = self.topo.adjacency(x, y)?;
         let mut best: Option<(f64, (RouterId, RouterId, IfaceId))> = None;
         for medium in &adj.mediums {
-            let Some(endpoints) = self.medium_endpoints(*medium, x, y, here) else { continue };
+            let Some(endpoints) = self.medium_endpoints(*medium, x, y, here) else {
+                continue;
+            };
             let d = here.distance_km(self.topo.routers[endpoints.0].coords);
             if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
                 best = Some((d, endpoints));
@@ -407,13 +425,20 @@ mod tests {
         let engine = Engine::new(&topo);
         // Trace from many VPs to many targets; at least one public
         // crossing must surface an IXP fabric address.
-        let targets: Vec<Ipv4Addr> =
-            topo.ases.keys().take(30).map(|a| topo.target_ip(*a).unwrap()).collect();
+        let targets: Vec<Ipv4Addr> = topo
+            .ases
+            .keys()
+            .take(30)
+            .map(|a| topo.target_ip(*a).unwrap())
+            .collect();
         let mut fabric_seen = false;
         'outer: for id in vps.ids() {
             for target in &targets {
                 let t = engine.trace(&vps.vps[id], *target, 0);
-                if t.hops.iter().any(|h| h.ip.is_some_and(|ip| topo.ixp_of_ip(ip).is_some())) {
+                if t.hops
+                    .iter()
+                    .any(|h| h.ip.is_some_and(|ip| topo.ixp_of_ip(ip).is_some()))
+                {
                     fabric_seen = true;
                     break 'outer;
                 }
@@ -453,7 +478,10 @@ mod tests {
         }
         if let (Some(_), Some((remote, dist))) = (local_rtt, remote_rtt) {
             // The remote detour adds at least the propagation floor.
-            assert!(remote >= fiber_rtt_ms(dist) * 0.9, "remote rtt {remote} for {dist} km");
+            assert!(
+                remote >= fiber_rtt_ms(dist) * 0.9,
+                "remote rtt {remote} for {dist} km"
+            );
         }
     }
 
@@ -470,8 +498,12 @@ mod tests {
         let (topo, vps) = setup();
         let paris = Engine::new(&topo);
         let classic = Engine::new(&topo).without_paris();
-        let targets: Vec<Ipv4Addr> =
-            topo.ases.keys().take(20).map(|a| topo.target_ip(*a).unwrap()).collect();
+        let targets: Vec<Ipv4Addr> = topo
+            .ases
+            .keys()
+            .take(20)
+            .map(|a| topo.target_ip(*a).unwrap())
+            .collect();
         let mut differs = false;
         for id in vps.ids().take(30) {
             for target in &targets {

@@ -8,7 +8,7 @@ use rand_chacha::ChaCha20Rng;
 
 use cfs_geo::GeoPoint;
 use cfs_topology::Topology;
-use cfs_types::{Arena, Asn, AsClass, Region, Result, RouterId, VantagePointId};
+use cfs_types::{Arena, AsClass, Asn, Region, Result, RouterId, VantagePointId};
 
 /// A measurement platform (Table 1 of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -26,8 +26,7 @@ pub enum Platform {
 
 impl Platform {
     /// All platforms in Table 1 order.
-    pub const ALL: [Platform; 4] =
-        [Self::RipeAtlas, Self::LookingGlass, Self::IPlane, Self::Ark];
+    pub const ALL: [Platform; 4] = [Self::RipeAtlas, Self::LookingGlass, Self::IPlane, Self::Ark];
 
     /// Short label used in reports.
     pub fn label(self) -> &'static str {
@@ -80,19 +79,37 @@ pub struct VpConfig {
 
 impl Default for VpConfig {
     fn default() -> Self {
-        Self { seed: 0xA71A5, atlas: 1500, looking_glass: 450, iplane: 60, ark: 50 }
+        Self {
+            seed: 0xA71A5,
+            atlas: 1500,
+            looking_glass: 450,
+            iplane: 60,
+            ark: 50,
+        }
     }
 }
 
 impl VpConfig {
     /// The paper's Table 1 counts.
     pub fn paper() -> Self {
-        Self { atlas: 6385, looking_glass: 1877, iplane: 147, ark: 107, ..Self::default() }
+        Self {
+            atlas: 6385,
+            looking_glass: 1877,
+            iplane: 147,
+            ark: 107,
+            ..Self::default()
+        }
     }
 
     /// A minimal set for unit tests.
     pub fn tiny() -> Self {
-        Self { atlas: 60, looking_glass: 25, iplane: 6, ark: 5, ..Self::default() }
+        Self {
+            atlas: 60,
+            looking_glass: 25,
+            iplane: 6,
+            ark: 5,
+            ..Self::default()
+        }
     }
 }
 
@@ -107,7 +124,10 @@ pub struct VpSet {
 impl VpSet {
     /// Vantage points of one platform.
     pub fn of_platform(&self, platform: Platform) -> &[VantagePointId] {
-        self.by_platform.get(&platform).map(Vec::as_slice).unwrap_or(&[])
+        self.by_platform
+            .get(&platform)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All vantage point ids.
@@ -149,11 +169,18 @@ pub fn deploy_vantage_points(topo: &Topology, cfg: &VpConfig) -> Result<VpSet> {
     let mut access_by_region: BTreeMap<Region, Vec<Asn>> = BTreeMap::new();
     for node in topo.ases.values() {
         if node.class == AsClass::Access {
-            access_by_region.entry(node.home_region).or_default().push(node.asn);
+            access_by_region
+                .entry(node.home_region)
+                .or_default()
+                .push(node.asn);
         }
     }
-    let all_access: Vec<Asn> =
-        topo.ases.values().filter(|n| n.class == AsClass::Access).map(|n| n.asn).collect();
+    let all_access: Vec<Asn> = topo
+        .ases
+        .values()
+        .filter(|n| n.class == AsClass::Access)
+        .map(|n| n.asn)
+        .collect();
     for _ in 0..cfg.atlas {
         let x: f64 = rng.random();
         let mut acc = 0.0;
@@ -170,7 +197,14 @@ pub fn deploy_vantage_points(topo: &Topology, cfg: &VpConfig) -> Result<VpSet> {
         let asn = pool[rng.random_range(0..pool.len())];
         let routers = &topo.ases[&asn].routers;
         let router = routers[rng.random_range(0..routers.len())];
-        push_vp(&mut vps, &mut by_platform, Platform::RipeAtlas, asn, router, topo);
+        push_vp(
+            &mut vps,
+            &mut by_platform,
+            Platform::RipeAtlas,
+            asn,
+            router,
+            topo,
+        );
     }
 
     // ---- Looking glasses: production routers of transit networks ----
@@ -182,14 +216,26 @@ pub fn deploy_vantage_points(topo: &Topology, cfg: &VpConfig) -> Result<VpSet> {
         .collect();
     lg_routers.shuffle(&mut rng);
     for (asn, router) in lg_routers.into_iter().take(cfg.looking_glass) {
-        push_vp(&mut vps, &mut by_platform, Platform::LookingGlass, asn, router, topo);
+        push_vp(
+            &mut vps,
+            &mut by_platform,
+            Platform::LookingGlass,
+            asn,
+            router,
+            topo,
+        );
     }
 
     // ---- iPlane and Ark: small, globally scattered sets ----
     let host_pool: Vec<Asn> = topo
         .ases
         .values()
-        .filter(|n| matches!(n.class, AsClass::Access | AsClass::Content | AsClass::Enterprise))
+        .filter(|n| {
+            matches!(
+                n.class,
+                AsClass::Access | AsClass::Content | AsClass::Enterprise
+            )
+        })
         .map(|n| n.asn)
         .collect();
     for (platform, count) in [(Platform::IPlane, cfg.iplane), (Platform::Ark, cfg.ark)] {
@@ -213,7 +259,13 @@ fn push_vp(
     topo: &Topology,
 ) {
     let id = vps.next_id();
-    vps.push(VantagePoint { id, platform, asn, router, coords: topo.routers[router].coords });
+    vps.push(VantagePoint {
+        id,
+        platform,
+        asn,
+        router,
+        coords: topo.routers[router].coords,
+    });
     by_platform.entry(platform).or_default().push(id);
 }
 
@@ -285,8 +337,14 @@ mod tests {
             topo.ases[&vp.asn].home_region
         };
         let atlas = vps.of_platform(Platform::RipeAtlas);
-        let eu = atlas.iter().filter(|id| region_of(id) == Region::Europe).count();
-        let asia = atlas.iter().filter(|id| region_of(id) == Region::Asia).count();
+        let eu = atlas
+            .iter()
+            .filter(|id| region_of(id) == Region::Europe)
+            .count();
+        let asia = atlas
+            .iter()
+            .filter(|id| region_of(id) == Region::Asia)
+            .count();
         assert!(eu > asia * 2, "eu {eu} asia {asia}");
     }
 

@@ -31,7 +31,9 @@ fn hops_follow_the_bgp_as_path() {
         let routes = compute_routes(&topo, *asn);
         for id in vps.ids().step_by(7) {
             let vp = &vps.vps[id];
-            let Some(as_path) = routes.path(vp.asn) else { continue };
+            let Some(as_path) = routes.path(vp.asn) else {
+                continue;
+            };
             let trace = engine.trace(vp, target, i as u64);
             if !trace.reached {
                 continue;
@@ -42,7 +44,9 @@ fn hops_follow_the_bgp_as_path() {
             let mut pos = 0usize;
             for hop in &trace.hops[..trace.hops.len() - 1] {
                 let Some(ip) = hop.ip else { continue };
-                let Some(hop_as) = owner(&topo, ip) else { continue };
+                let Some(hop_as) = owner(&topo, ip) else {
+                    continue;
+                };
                 // Advance along the AS path until we find this AS.
                 while pos < as_path_set.len() && as_path_set[pos] != hop_as {
                     pos += 1;
@@ -71,10 +75,11 @@ fn boundary_hops_reply_from_fabric_or_ptp_interfaces() {
             let trace = engine.trace(&vps.vps[id], target, 0);
             // Only truly adjacent responsive pairs: a silent router in
             // between would make unrelated hops look adjacent.
-            let hops: Vec<Option<std::net::Ipv4Addr>> =
-                trace.hops.iter().map(|h| h.ip).collect();
+            let hops: Vec<Option<std::net::Ipv4Addr>> = trace.hops.iter().map(|h| h.ip).collect();
             for w in hops.windows(2) {
-                let (Some(h0), Some(h1)) = (w[0], w[1]) else { continue };
+                let (Some(h0), Some(h1)) = (w[0], w[1]) else {
+                    continue;
+                };
                 let w = [h0, h1];
                 let (a, b) = (owner(&topo, w[0]), owner(&topo, w[1]));
                 let (Some(a), Some(b)) = (a, b) else { continue };
@@ -103,7 +108,10 @@ fn boundary_hops_reply_from_fabric_or_ptp_interfaces() {
             }
         }
     }
-    assert!(crossings > 30, "too few boundary crossings observed: {crossings}");
+    assert!(
+        crossings > 30,
+        "too few boundary crossings observed: {crossings}"
+    );
 }
 
 #[test]
@@ -118,7 +126,9 @@ fn fabric_hop_belongs_to_the_far_member_router() {
         for id in vps.ids().step_by(9) {
             let trace = engine.trace(&vps.vps[id], target, 0);
             for hop in trace.hops.iter().filter_map(|h| h.ip) {
-                let Some(ixp) = topo.ixp_of_ip(hop) else { continue };
+                let Some(ixp) = topo.ixp_of_ip(hop) else {
+                    continue;
+                };
                 // The fabric address must be a member's port at that IXP,
                 // configured on that member's router.
                 let m = topo.ixps[ixp]

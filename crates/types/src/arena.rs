@@ -28,12 +28,18 @@ pub struct Arena<I: Idx, T> {
 impl<I: Idx, T> Arena<I, T> {
     /// Creates an empty arena.
     pub fn new() -> Self {
-        Self { items: Vec::new(), _marker: PhantomData }
+        Self {
+            items: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an empty arena with room for `cap` entities.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { items: Vec::with_capacity(cap), _marker: PhantomData }
+        Self {
+            items: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
     }
 
     /// Appends an entity and returns its id.
@@ -72,12 +78,18 @@ impl<I: Idx, T> Arena<I, T> {
 
     /// Iterates `(id, &entity)` in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
-        self.items.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from_usize(i), t))
     }
 
     /// Iterates `(id, &mut entity)` in insertion order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (I, &mut T)> {
-        self.items.iter_mut().enumerate().map(|(i, t)| (I::from_usize(i), t))
+        self.items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| (I::from_usize(i), t))
     }
 
     /// Iterates all ids in insertion order.
@@ -119,7 +131,10 @@ impl<I: Idx, T: fmt::Debug> fmt::Debug for Arena<I, T> {
 
 impl<I: Idx, T> FromIterator<T> for Arena<I, T> {
     fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
-        Self { items: iter.into_iter().collect(), _marker: PhantomData }
+        Self {
+            items: iter.into_iter().collect(),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -158,7 +173,14 @@ mod tests {
     fn iter_yields_ids_in_order() {
         let arena: Arena<FacilityId, char> = ['a', 'b', 'c'].into_iter().collect();
         let pairs: Vec<(FacilityId, char)> = arena.iter().map(|(i, c)| (i, *c)).collect();
-        assert_eq!(pairs, vec![(FacilityId(0), 'a'), (FacilityId(1), 'b'), (FacilityId(2), 'c')]);
+        assert_eq!(
+            pairs,
+            vec![
+                (FacilityId(0), 'a'),
+                (FacilityId(1), 'b'),
+                (FacilityId(2), 'c')
+            ]
+        );
         let ids: Vec<FacilityId> = arena.ids().collect();
         assert_eq!(ids.len(), 3);
     }
@@ -169,7 +191,10 @@ mod tests {
         for (_, v) in arena.iter_mut() {
             *v *= 10;
         }
-        assert_eq!(arena.values().copied().collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(
+            arena.values().copied().collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
     }
 
     #[test]

@@ -52,22 +52,32 @@ pub enum Error {
 impl Error {
     /// Builds a [`Error::Parse`].
     pub fn parse(what: &'static str, input: impl Into<String>) -> Self {
-        Self::Parse { what, input: input.into() }
+        Self::Parse {
+            what,
+            input: input.into(),
+        }
     }
 
     /// Builds a [`Error::NotFound`].
     pub fn not_found(what: &'static str, key: impl fmt::Display) -> Self {
-        Self::NotFound { what, key: key.to_string() }
+        Self::NotFound {
+            what,
+            key: key.to_string(),
+        }
     }
 
     /// Builds a [`Error::Invalid`].
     pub fn invalid(reason: impl Into<String>) -> Self {
-        Self::Invalid { reason: reason.into() }
+        Self::Invalid {
+            reason: reason.into(),
+        }
     }
 
     /// Builds a [`Error::Config`].
     pub fn config(reason: impl Into<String>) -> Self {
-        Self::Config { reason: reason.into() }
+        Self::Config {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -88,7 +98,9 @@ impl std::error::Error for Error {}
 
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
-        Self::Io { message: e.to_string() }
+        Self::Io {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -99,7 +111,10 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let e = Error::parse("ipv4 prefix", "10.0.0.0/999");
-        assert_eq!(e.to_string(), "failed to parse ipv4 prefix: \"10.0.0.0/999\"");
+        assert_eq!(
+            e.to_string(),
+            "failed to parse ipv4 prefix: \"10.0.0.0/999\""
+        );
 
         let e = Error::not_found("facility", "fac42");
         assert_eq!(e.to_string(), "facility not found: fac42");
@@ -110,7 +125,9 @@ mod tests {
         let e = Error::config("n_facilities must be > 0");
         assert!(e.to_string().contains("n_facilities"));
 
-        let e = Error::Exhausted { what: "ixp prefix pool" };
+        let e = Error::Exhausted {
+            what: "ixp prefix pool",
+        };
         assert!(e.to_string().contains("exhausted"));
     }
 

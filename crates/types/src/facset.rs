@@ -1,0 +1,347 @@
+//! Interned, immutable facility sets.
+//!
+//! The CFS engine spends most of its time intersecting facility sets: the
+//! footprints of ASes and exchanges (from the knowledge base) against the
+//! per-interface candidate sets it narrows. Those footprints repeat
+//! endlessly — every observation of the same AS reuses the same set — so
+//! [`FacilitySet`] stores a sorted, deduplicated `Arc<[FacilityId]>`:
+//!
+//! * cloning is a reference-count bump, safe to share across threads;
+//! * intersection runs over sorted slices — two-pointer for similar
+//!   sizes, per-element binary search when one side is much smaller
+//!   (`O(min(n, m) · log max(n, m))`);
+//! * a [`FacilitySetInterner`] collapses identical contents onto one
+//!   allocation, so equality checks between interned sets are usually a
+//!   pointer comparison.
+
+use core::fmt;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::ids::FacilityId;
+
+/// An immutable, sorted set of facilities behind a shared allocation.
+///
+/// Equality, ordering, and hashing follow the contents; `Clone` is a
+/// reference-count bump.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FacilitySet(Arc<[FacilityId]>);
+
+impl FacilitySet {
+    /// The shared empty set.
+    pub fn empty() -> Self {
+        static EMPTY: OnceLock<FacilitySet> = OnceLock::new();
+        EMPTY
+            .get_or_init(|| FacilitySet(Arc::from(Vec::new())))
+            .clone()
+    }
+
+    /// Builds a set from an already sorted, deduplicated vector.
+    fn from_sorted(ids: Vec<FacilityId>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "must be sorted and deduplicated"
+        );
+        if ids.is_empty() {
+            return Self::empty();
+        }
+        Self(Arc::from(ids))
+    }
+
+    /// Number of facilities in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `f` is a member.
+    pub fn contains(&self, f: FacilityId) -> bool {
+        self.0.binary_search(&f).is_ok()
+    }
+
+    /// The single member when the set has exactly one.
+    pub fn single(&self) -> Option<FacilityId> {
+        match *self.0 {
+            [f] => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Iterates the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = FacilityId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The members as a sorted slice.
+    pub fn as_slice(&self) -> &[FacilityId] {
+        &self.0
+    }
+
+    /// The members as an owned `BTreeSet` (report/interop boundary).
+    pub fn to_btree_set(&self) -> BTreeSet<FacilityId> {
+        self.iter().collect()
+    }
+
+    /// Intersection with `other`.
+    ///
+    /// When the result equals one of the inputs the input's allocation is
+    /// reused, so repeated constraining against supersets stays
+    /// allocation-free and interner sharing survives.
+    pub fn intersect(&self, other: &FacilitySet) -> FacilitySet {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return self.clone();
+        }
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = Vec::with_capacity(small.len());
+        if small.len() * 16 < large.len() {
+            // Strongly skewed sizes: probe the large side per element.
+            for f in small.iter() {
+                if large.contains(f) {
+                    out.push(f);
+                }
+            }
+        } else {
+            let (a, b) = (&small.0, &large.0);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        if out.len() == self.len() {
+            self.clone()
+        } else if out.len() == other.len() {
+            other.clone()
+        } else {
+            FacilitySet::from_sorted(out)
+        }
+    }
+
+    /// Number of facilities shared with `other`, without materializing
+    /// the intersection.
+    pub fn intersection_len(&self, other: &FacilitySet) -> usize {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return self.len();
+        }
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().filter(|f| large.contains(*f)).count()
+    }
+
+    /// Whether every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &FacilitySet) -> bool {
+        self.len() <= other.len() && self.intersection_len(other) == self.len()
+    }
+}
+
+impl FromIterator<FacilityId> for FacilitySet {
+    fn from_iter<I: IntoIterator<Item = FacilityId>>(iter: I) -> Self {
+        let mut ids: Vec<FacilityId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self::from_sorted(ids)
+    }
+}
+
+impl From<&BTreeSet<FacilityId>> for FacilitySet {
+    fn from(set: &BTreeSet<FacilityId>) -> Self {
+        // Already sorted and deduplicated by construction.
+        Self::from_sorted(set.iter().copied().collect())
+    }
+}
+
+impl From<BTreeSet<FacilityId>> for FacilitySet {
+    fn from(set: BTreeSet<FacilityId>) -> Self {
+        Self::from(&set)
+    }
+}
+
+impl fmt::Debug for FacilitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.0.iter()).finish()
+    }
+}
+
+impl serde::Serialize for FacilitySet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.iter().map(|f| f.to_value()).collect())
+    }
+}
+
+impl serde::Deserialize for FacilitySet {
+    fn from_value(v: &serde::Value) -> core::result::Result<Self, serde::Error> {
+        let ids = <Vec<FacilityId> as serde::Deserialize>::from_value(v)?;
+        Ok(ids.into_iter().collect())
+    }
+}
+
+/// Deduplicating pool of [`FacilitySet`] allocations.
+///
+/// Interning the knowledge-base footprints means the engine's AS and IXP
+/// caches share one allocation per distinct footprint, and intersections
+/// of a set with itself (or a shared superset) short-circuit on pointer
+/// identity. The interner is `Sync`; the pool sits behind a `Mutex` that
+/// is only touched on cache misses.
+#[derive(Debug, Default)]
+pub struct FacilitySetInterner {
+    pool: Mutex<BTreeSet<Arc<[FacilityId]>>>,
+}
+
+impl FacilitySetInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns the facilities yielded by `iter` (any order, duplicates
+    /// allowed): identical contents always return clones of one shared
+    /// allocation.
+    pub fn intern<I: IntoIterator<Item = FacilityId>>(&self, iter: I) -> FacilitySet {
+        let mut ids: Vec<FacilityId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        self.intern_sorted(ids)
+    }
+
+    /// Interns an existing `BTreeSet` (already sorted and deduplicated).
+    pub fn intern_set(&self, set: &BTreeSet<FacilityId>) -> FacilitySet {
+        self.intern_sorted(set.iter().copied().collect())
+    }
+
+    fn intern_sorted(&self, ids: Vec<FacilityId>) -> FacilitySet {
+        if ids.is_empty() {
+            return FacilitySet::empty();
+        }
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = pool.get(ids.as_slice()) {
+            return FacilitySet(Arc::clone(hit));
+        }
+        let arc: Arc<[FacilityId]> = Arc::from(ids);
+        pool.insert(Arc::clone(&arc));
+        FacilitySet(arc)
+    }
+
+    /// Number of distinct sets interned so far.
+    pub fn distinct_sets(&self) -> usize {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(ids: &[u32]) -> FacilitySet {
+        ids.iter().map(|i| FacilityId::new(*i)).collect()
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let s = fs(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.as_slice(), &[FacilityId(1), FacilityId(3), FacilityId(5)]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(FacilityId(3)));
+        assert!(!s.contains(FacilityId(2)));
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert_eq!(fs(&[7]).single(), Some(FacilityId(7)));
+        assert_eq!(fs(&[7, 8]).single(), None);
+        assert!(FacilitySet::empty().is_empty());
+        assert_eq!(FacilitySet::empty().single(), None);
+    }
+
+    #[test]
+    fn intersect_matches_btreeset_semantics() {
+        let a = fs(&[1, 2, 3, 4]);
+        let b = fs(&[2, 4, 6]);
+        assert_eq!(a.intersect(&b), fs(&[2, 4]));
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(fs(&[2, 4]).is_subset(&a));
+        assert!(!b.is_subset(&a));
+    }
+
+    #[test]
+    fn intersect_reuses_input_allocation_when_unchanged() {
+        let a = fs(&[1, 2, 3]);
+        let sup = fs(&[1, 2, 3, 4, 5]);
+        let out = a.intersect(&sup);
+        assert!(Arc::ptr_eq(&out.0, &a.0), "subset side must be reused");
+        let same = a.intersect(&a.clone());
+        assert!(Arc::ptr_eq(&same.0, &a.0));
+    }
+
+    #[test]
+    fn skewed_intersection_uses_probe_path() {
+        let small = fs(&[3, 900]);
+        let large: FacilitySet = (0..200).map(FacilityId::new).collect();
+        assert_eq!(small.intersect(&large), fs(&[3]));
+        assert_eq!(large.intersect(&small), fs(&[3]));
+    }
+
+    #[test]
+    fn interner_shares_allocations() {
+        let interner = FacilitySetInterner::new();
+        let a = interner.intern([FacilityId(2), FacilityId(1)]);
+        let b = interner.intern([FacilityId(1), FacilityId(2), FacilityId(2)]);
+        assert!(
+            Arc::ptr_eq(&a.0, &b.0),
+            "identical contents share one allocation"
+        );
+        assert_eq!(interner.distinct_sets(), 1);
+        let c = interner.intern_set(&[FacilityId(1)].into_iter().collect());
+        assert_eq!(c, fs(&[1]));
+        assert_eq!(interner.distinct_sets(), 2);
+        assert!(interner.intern([]).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = fs(&[4, 9]);
+        let v = serde::Serialize::to_value(&s);
+        let back: FacilitySet = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, s);
+    }
+
+    proptest::proptest! {
+        /// Intersection agrees with `BTreeSet::intersection` for arbitrary
+        /// contents, regardless of which side is larger.
+        #[test]
+        fn prop_intersection_matches_btreeset(
+            a in proptest::collection::btree_set(0u32..64, 0..24),
+            b in proptest::collection::btree_set(0u32..64, 0..24)
+        ) {
+            let sa: BTreeSet<FacilityId> = a.iter().map(|x| FacilityId::new(*x)).collect();
+            let sb: BTreeSet<FacilityId> = b.iter().map(|x| FacilityId::new(*x)).collect();
+            let expected: Vec<FacilityId> = sa.intersection(&sb).copied().collect();
+            let fa = FacilitySet::from(&sa);
+            let fb = FacilitySet::from(&sb);
+            proptest::prop_assert_eq!(fa.intersect(&fb).as_slice(), expected.as_slice());
+            proptest::prop_assert_eq!(fb.intersect(&fa).as_slice(), expected.as_slice());
+            proptest::prop_assert_eq!(fa.intersection_len(&fb), expected.len());
+            proptest::prop_assert_eq!(
+                fa.is_subset(&fb),
+                sa.is_subset(&sb)
+            );
+        }
+    }
+}

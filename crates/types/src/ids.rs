@@ -204,7 +204,9 @@ mod tests {
 
     #[test]
     fn ids_are_ordered_and_hashable() {
-        let set: BTreeSet<RouterId> = [RouterId(3), RouterId(1), RouterId(2)].into_iter().collect();
+        let set: BTreeSet<RouterId> = [RouterId(3), RouterId(1), RouterId(2)]
+            .into_iter()
+            .collect();
         let ordered: Vec<u32> = set.into_iter().map(RouterId::raw).collect();
         assert_eq!(ordered, vec![1, 2, 3]);
     }

@@ -20,6 +20,7 @@
 pub mod arena;
 mod asclass;
 mod error;
+mod facset;
 mod ids;
 mod peering;
 mod region;
@@ -28,6 +29,7 @@ mod rel;
 pub use arena::{Arena, Idx};
 pub use asclass::AsClass;
 pub use error::{Error, Result};
+pub use facset::{FacilitySet, FacilitySetInterner};
 pub use ids::{
     Asn, CityId, CountryId, FacilityId, IfaceId, IxpId, LinkId, MetroId, OperatorId, RouterId,
     SwitchId, VantagePointId,

@@ -10,7 +10,9 @@ use crate::ids::IxpId;
 ///
 /// This is both a ground-truth attribute of a generated link and the final
 /// verdict of the CFS algorithm for an inferred one.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum PeeringKind {
     /// Public peering over an IXP switching fabric, with both routers
     /// physically present at facilities of that IXP ("public local").
@@ -35,7 +37,10 @@ impl PeeringKind {
     /// Whether the interconnection uses an IXP's public switching fabric
     /// for transport (even when the BGP session itself is private).
     pub fn uses_ixp_fabric(self) -> bool {
-        matches!(self, Self::PublicLocal | Self::PublicRemote | Self::PrivateTethering)
+        matches!(
+            self,
+            Self::PublicLocal | Self::PublicRemote | Self::PrivateTethering
+        )
     }
 
     /// Whether the peering session is public (IXP-addressed) as opposed to

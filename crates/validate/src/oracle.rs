@@ -6,7 +6,7 @@ use std::net::Ipv4Addr;
 use cfs_bgp::{CommunityDictionary, IngressTag};
 use cfs_kb::PublicSources;
 use cfs_topology::{DnsStyle, Topology};
-use cfs_types::{Asn, AsClass, FacilityId, MetroId};
+use cfs_types::{AsClass, Asn, FacilityId, MetroId};
 
 /// Which channel produced a ground-truth claim.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -103,8 +103,11 @@ impl<'t> ValidationOracles<'t> {
             .map(|n| n.asn)
             .take(7)
             .collect();
-        let dns_code_index: BTreeMap<String, FacilityId> =
-            topo.facilities.iter().map(|(id, f)| (f.dns_code.clone(), id)).collect();
+        let dns_code_index: BTreeMap<String, FacilityId> = topo
+            .facilities
+            .iter()
+            .map(|(id, f)| (f.dns_code.clone(), id))
+            .collect();
 
         let mut site_ports = BTreeMap::new();
         for site in sources.ixp_sites.values().filter(|s| s.detailed) {
@@ -154,7 +157,9 @@ impl<'t> ValidationOracles<'t> {
     /// Every claim the four channels can make about `ip`.
     pub fn answers(&self, ip: Ipv4Addr) -> Vec<OracleAnswer> {
         let mut out = Vec::new();
-        let Some((owner, facility, metro)) = self.truth_of(ip) else { return out };
+        let Some((owner, facility, metro)) = self.truth_of(ip) else {
+            return out;
+        };
 
         // --- Direct feedback: the two CDNs validate their own side only.
         if self.feedback_ases.contains(&owner) {
@@ -266,8 +271,7 @@ mod tests {
                 if a.source == ValidationSource::BgpCommunities {
                     seen += 1;
                     if let Some(claim) = a.facility {
-                        let truth =
-                            topo.routers[iface.router].location.facility().unwrap();
+                        let truth = topo.routers[iface.router].location.facility().unwrap();
                         assert_eq!(claim, truth, "community tags never lie");
                     }
                 }

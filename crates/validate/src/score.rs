@@ -91,14 +91,23 @@ pub fn score_report(
     let mut kind_of: BTreeMap<Ipv4Addr, PeeringKind> = BTreeMap::new();
     let mut kind_votes: BTreeMap<Ipv4Addr, BTreeMap<PeeringKind, usize>> = BTreeMap::new();
     for link in &report.links {
-        *kind_votes.entry(link.near_ip).or_default().entry(link.kind).or_default() += 1;
+        *kind_votes
+            .entry(link.near_ip)
+            .or_default()
+            .entry(link.kind)
+            .or_default() += 1;
         if let Some(far) = link.far_ip {
-            *kind_votes.entry(far).or_default().entry(link.kind).or_default() += 1;
+            *kind_votes
+                .entry(far)
+                .or_default()
+                .entry(link.kind)
+                .or_default() += 1;
         }
     }
     for (ip, votes) in kind_votes {
-        if let Some((kind, _)) =
-            votes.into_iter().max_by_key(|(k, n)| (*n, std::cmp::Reverse(*k)))
+        if let Some((kind, _)) = votes
+            .into_iter()
+            .max_by_key(|(k, n)| (*n, std::cmp::Reverse(*k)))
         {
             kind_of.insert(ip, kind);
         }
@@ -123,8 +132,7 @@ pub fn score_report(
             {
                 // Metro-granularity channel (community metro tags).
                 bucket.metro_checked += 1;
-                bucket.metro_matched +=
-                    usize::from(topo.facilities[inferred].metro == truth_metro);
+                bucket.metro_matched += usize::from(topo.facilities[inferred].metro == truth_metro);
             }
 
             if let Some(truth_remote) = answer.remote {
@@ -139,7 +147,7 @@ pub fn score_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfs_core::{Cfs, CfsConfig};
+    use cfs_core::Cfs;
     use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
     use cfs_topology::{Topology, TopologyConfig};
     use cfs_traceroute::{deploy_vantage_points, run_campaign, CampaignLimits, Engine, VpConfig};
@@ -149,8 +157,13 @@ mod tests {
         let topo = Topology::generate(TopologyConfig::default()).unwrap();
         let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
         let engine = Engine::new(&topo);
-        let sources =
-            PublicSources::derive(&topo, &KbConfig { noc_pages: 40, ..Default::default() });
+        let sources = PublicSources::derive(
+            &topo,
+            &KbConfig {
+                noc_pages: 40,
+                ..Default::default()
+            },
+        );
         let kb = KnowledgeBase::assemble(&sources, &topo.world);
         let ipasn = topo.build_ipasn_db();
 
@@ -161,10 +174,20 @@ mod tests {
             .map(|n| topo.target_ip(n.asn).unwrap())
             .collect();
         let all_vps: Vec<_> = vps.ids().collect();
-        let traces =
-            run_campaign(&engine, &vps, &all_vps, &targets, 0, &CampaignLimits::default());
+        let traces = run_campaign(
+            &engine,
+            &vps,
+            &all_vps,
+            &targets,
+            0,
+            &CampaignLimits::default(),
+        );
 
-        let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+        let mut cfs = Cfs::builder(&engine, &kb)
+            .vps(&vps)
+            .ipasn(&ipasn)
+            .build()
+            .expect("score: CFS dependencies are always set");
         cfs.ingest(traces);
         let report = cfs.run();
 
@@ -177,13 +200,20 @@ mod tests {
     fn validation_finds_coverage_and_high_accuracy() {
         let (_topo, scored) = run();
         let overall = scored.overall();
-        assert!(overall.checked > 10, "validation coverage too thin: {}", overall.checked);
+        assert!(
+            overall.checked > 10,
+            "validation coverage too thin: {}",
+            overall.checked
+        );
         let acc = overall.accuracy().unwrap();
         assert!(acc > 0.8, "overall validated accuracy {acc:.2}");
         // City-level accuracy dominates facility-level (the paper's
         // misses land in the right city).
         let metro_acc = overall.metro_accuracy().unwrap();
-        assert!(metro_acc >= acc - 1e-9, "metro {metro_acc:.2} < facility {acc:.2}");
+        assert!(
+            metro_acc >= acc - 1e-9,
+            "metro {metro_acc:.2} < facility {acc:.2}"
+        );
     }
 
     #[test]
@@ -196,7 +226,10 @@ mod tests {
                 b.checked + b.metro_checked + b.remote_checked > 0
             })
             .count();
-        assert!(sources_with_coverage >= 3, "only {sources_with_coverage} sources fired");
+        assert!(
+            sources_with_coverage >= 3,
+            "only {sources_with_coverage} sources fired"
+        );
     }
 
     #[test]

@@ -13,12 +13,10 @@ use std::collections::BTreeMap;
 use cfs::prelude::*;
 
 fn main() {
-    let target = Asn(
-        std::env::args()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(15169),
-    );
+    let target = Asn(std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15169));
 
     let topo = Topology::generate(TopologyConfig::default()).expect("topology");
     let Ok(node) = topo.as_node(target) else {
@@ -36,10 +34,20 @@ fn main() {
     // Probe the audited network from everywhere.
     let target_ip = topo.target_ip(target).expect("target address");
     let vp_ids: Vec<_> = vps.ids().collect();
-    let traces =
-        run_campaign(&engine, &vps, &vp_ids, &[target_ip], 0, &CampaignLimits::default());
+    let traces = run_campaign(
+        &engine,
+        &vps,
+        &vp_ids,
+        &[target_ip],
+        0,
+        &CampaignLimits::default(),
+    );
 
-    let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+    let mut cfs = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .build()
+        .expect("vps and ipasn are set");
     cfs.ingest(traces);
     let report = cfs.run();
 
@@ -69,8 +77,11 @@ fn main() {
     }
 
     // How much of the network's true footprint did the audit see?
-    let truth_metros: std::collections::BTreeSet<_> =
-        node.facilities.iter().map(|f| topo.facilities[*f].metro).collect();
+    let truth_metros: std::collections::BTreeSet<_> = node
+        .facilities
+        .iter()
+        .map(|f| topo.facilities[*f].metro)
+        .collect();
     println!(
         "\ncoverage: audit surfaced {} metros of the network's {} ground-truth metros",
         ranked.len(),

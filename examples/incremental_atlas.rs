@@ -12,7 +12,6 @@
 //! cargo run --release --example incremental_atlas
 //! ```
 
-use cfs::core::InterconnectionAtlas;
 use cfs::prelude::*;
 
 fn main() {
@@ -47,8 +46,10 @@ fn main() {
     let mut atlas = InterconnectionAtlas::new();
     let vp_ids: Vec<_> = vps.ids().collect();
     for (day, targets) in campaign_targets.iter().enumerate() {
-        let ips: Vec<std::net::Ipv4Addr> =
-            targets.iter().filter_map(|a| topo.target_ip(*a).ok()).collect();
+        let ips: Vec<std::net::Ipv4Addr> = targets
+            .iter()
+            .filter_map(|a| topo.target_ip(*a).ok())
+            .collect();
         let traces = run_campaign(
             &engine,
             &vps,
@@ -57,7 +58,11 @@ fn main() {
             (day as u64) * 86_400_000, // one campaign per day
             &CampaignLimits::default(),
         );
-        let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+        let mut cfs = Cfs::builder(&engine, &kb)
+            .vps(&vps)
+            .ipasn(&ipasn)
+            .build()
+            .expect("vps and ipasn are set");
         cfs.ingest(traces);
         let report = cfs.run();
         atlas.merge(&report);
@@ -79,7 +84,10 @@ fn main() {
     );
 
     // Confirmation depth: how much of the map has independent support?
-    let confirmed = atlas.interfaces().filter(|(_, e)| e.confirmations > 0).count();
+    let confirmed = atlas
+        .interfaces()
+        .filter(|(_, e)| e.confirmations > 0)
+        .count();
     println!(
         "independently re-confirmed interfaces: {confirmed} of {}",
         atlas.interface_count()

@@ -15,7 +15,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use cfs::prelude::*;
-use cfs_types::FacilityId;
 
 fn main() {
     let topo = Topology::generate(TopologyConfig::default()).expect("topology");
@@ -31,9 +30,20 @@ fn main() {
         .filter_map(|(asn, _, _)| topo.target_ip(Asn(*asn)).ok())
         .collect();
     let vp_ids: Vec<_> = vps.ids().collect();
-    let traces = run_campaign(&engine, &vps, &vp_ids, &targets, 0, &CampaignLimits::default());
+    let traces = run_campaign(
+        &engine,
+        &vps,
+        &vp_ids,
+        &targets,
+        0,
+        &CampaignLimits::default(),
+    );
 
-    let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+    let mut cfs = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .build()
+        .expect("vps and ipasn are set");
     cfs.ingest(traces);
     let report = cfs.run();
 

@@ -36,11 +36,22 @@ fn main() {
         .filter_map(|(asn, _, _)| topo.target_ip(Asn(*asn)).ok())
         .collect();
     let vp_ids: Vec<_> = vps.ids().collect();
-    let traces = run_campaign(&engine, &vps, &vp_ids, &targets, 0, &CampaignLimits::default());
+    let traces = run_campaign(
+        &engine,
+        &vps,
+        &vp_ids,
+        &targets,
+        0,
+        &CampaignLimits::default(),
+    );
     println!("bootstrap: {} traceroutes", traces.len());
 
     // 5. Constrained Facility Search: classify, constrain, alias, chase.
-    let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+    let mut cfs = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .build()
+        .expect("vps and ipasn are set");
     cfs.ingest(traces);
     let report = cfs.run();
 
@@ -55,14 +66,26 @@ fn main() {
 
     // A few verdicts.
     println!("\nsample verdicts:");
-    for iface in report.interfaces.values().filter(|i| i.facility.is_some()).take(8) {
+    for iface in report
+        .interfaces
+        .values()
+        .filter(|i| i.facility.is_some())
+        .take(8)
+    {
         let fac = iface.facility.unwrap();
         println!(
             "  {} ({}) -> {} [{}]{}",
             iface.ip,
-            iface.owner.map(|a| a.to_string()).unwrap_or_else(|| "AS?".into()),
+            iface
+                .owner
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "AS?".into()),
             topo.facilities[fac].name,
-            if iface.public_ixps.is_empty() { "private" } else { "public" },
+            if iface.public_ixps.is_empty() {
+                "private"
+            } else {
+                "public"
+            },
             if iface.remote { " (remote peer)" } else { "" },
         );
     }

@@ -12,7 +12,6 @@
 //! ```
 
 use cfs::prelude::*;
-use cfs_core::RemoteTester;
 
 fn main() {
     let topo = Topology::generate(TopologyConfig::default()).expect("topology");
@@ -24,7 +23,10 @@ fn main() {
     let tester = RemoteTester::new(&engine, &vps);
 
     println!("remote-peering census over published member directories:\n");
-    println!("{:<16} {:>8} {:>8} {:>9}  accuracy", "ixp", "members", "remote", "fraction");
+    println!(
+        "{:<16} {:>8} {:>8} {:>9}  accuracy",
+        "ixp", "members", "remote", "fraction"
+    );
 
     let mut censused = 0usize;
     let mut true_pos = 0usize;
@@ -41,7 +43,9 @@ fn main() {
         let mut remote = 0usize;
         let mut correct = 0usize;
         for m in &ixp.members {
-            let Some(verdict) = tester.is_remote(ixp_id, m.fabric_ip) else { continue };
+            let Some(verdict) = tester.is_remote(ixp_id, m.fabric_ip) else {
+                continue;
+            };
             members += 1;
             censused += 1;
             let truth = m.remote_via.is_some();

@@ -42,7 +42,7 @@
 //! let traces = run_campaign(&engine, &vps, &vp_ids, &targets, 0, &CampaignLimits::default());
 //!
 //! // 5. Run Constrained Facility Search.
-//! let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+//! let mut cfs = Cfs::builder(&engine, &kb).vps(&vps).ipasn(&ipasn).build().unwrap();
 //! cfs.ingest(traces);
 //! let report = cfs.run();
 //! println!("resolved {}/{} interfaces", report.resolved(), report.total());
@@ -66,12 +66,18 @@ pub use cfs_validate as validate;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
-    pub use cfs_core::{Cfs, CfsConfig, CfsReport, SearchOutcome};
+    pub use cfs_core::{
+        Cfs, CfsBuilder, CfsConfig, CfsReport, InterconnectionAtlas, IterationStats, RemoteTester,
+        SearchOutcome,
+    };
     pub use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
     pub use cfs_topology::{Topology, TopologyConfig};
     pub use cfs_traceroute::{
         deploy_vantage_points, run_campaign, CampaignLimits, Engine, Platform, VpConfig,
     };
-    pub use cfs_types::{Asn, AsClass, FacilityId, IxpId, PeeringKind, Region};
+    pub use cfs_types::{
+        AsClass, Asn, FacilityId, FacilitySet, FacilitySetInterner, IxpId, MetroId, PeeringKind,
+        Region,
+    };
     pub use cfs_validate::{score_report, ValidationOracles};
 }

@@ -23,7 +23,12 @@ fn main() {
     let code = match command {
         "world" => world(scale, seed),
         "snapshot" => snapshot(scale, seed, flag_value(&args, "--out")),
-        "run" => run_cmd(scale, seed, flag_value(&args, "--out"), flag_value(&args, "--sources")),
+        "run" => run_cmd(
+            scale,
+            seed,
+            flag_value(&args, "--out"),
+            flag_value(&args, "--sources"),
+        ),
         "audit" => audit(scale, seed, args.get(2).and_then(|s| s.parse().ok())),
         "census" => census(scale, seed),
         "validate" => validate(scale, seed),
@@ -83,7 +88,10 @@ fn parse_flags(args: &[String]) -> (Scale, Option<u64>) {
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn provision(scale: Scale, seed: Option<u64>) -> Lab {
@@ -116,8 +124,11 @@ fn snapshot(scale: Scale, seed: Option<u64>, out: Option<String>) -> i32 {
     let lab = provision(scale, seed);
     match lab.sources.save(&path) {
         Ok(()) => {
-            println!("wrote public sources to {path} (world: scale {}, seed {})",
-                scale.label(), lab.topo.config.seed);
+            println!(
+                "wrote public sources to {path} (world: scale {}, seed {})",
+                scale.label(),
+                lab.topo.config.seed
+            );
             0
         }
         Err(e) => {
@@ -234,7 +245,13 @@ fn audit(scale: Scale, seed: Option<u64>, asn: Option<u32>) -> i32 {
     for (ip, _) in report.interfaces_of_owner(target) {
         if let Some(f) = report.interfaces.get(&ip).and_then(|i| i.facility) {
             *metros
-                .entry(lab.topo.world.metro(lab.topo.facilities[f].metro).name.clone())
+                .entry(
+                    lab.topo
+                        .world
+                        .metro(lab.topo.facilities[f].metro)
+                        .name
+                        .clone(),
+                )
                 .or_default() += 1;
         }
     }

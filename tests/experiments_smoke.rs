@@ -10,7 +10,10 @@ fn every_experiment_runs_and_reports() {
         let mut out = Output::new(&format!("{id}-smoke"), "tiny").quiet();
         let json = experiments::run_by_id(id, &lab, &mut out)
             .unwrap_or_else(|e| panic!("{id} failed: {e}"));
-        assert!(json.is_object() || json.is_array(), "{id} returned scalar json");
+        assert!(
+            json.is_object() || json.is_array(),
+            "{id} returned scalar json"
+        );
     }
 }
 
@@ -31,5 +34,8 @@ fn labs_share_seed_determinism() {
     let c = Lab::provision(Scale::Tiny, Some(6)).unwrap();
     let pair_a: Vec<_> = a.topo.ases.values().map(|n| n.facilities.clone()).collect();
     let pair_c: Vec<_> = c.topo.ases.values().map(|n| n.facilities.clone()).collect();
-    assert_ne!(pair_a, pair_c, "seeds 5 and 6 generated identical footprints");
+    assert_ne!(
+        pair_a, pair_c,
+        "seeds 5 and 6 generated identical footprints"
+    );
 }

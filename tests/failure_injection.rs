@@ -17,9 +17,20 @@ fn run_with_engine(topo: &Topology, engine: &Engine<'_>) -> cfs::core::CfsReport
         .map(|n| topo.target_ip(n.asn).unwrap())
         .collect();
     let vp_ids: Vec<_> = vps.ids().collect();
-    let traces = run_campaign(engine, &vps, &vp_ids, &targets, 0, &CampaignLimits::default());
+    let traces = run_campaign(
+        engine,
+        &vps,
+        &vp_ids,
+        &targets,
+        0,
+        &CampaignLimits::default(),
+    );
 
-    let mut cfs = Cfs::new(engine, &vps, &kb, &ipasn, CfsConfig::default());
+    let mut cfs = Cfs::builder(engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .build()
+        .unwrap();
     cfs.ingest(traces);
     cfs.run()
 }
@@ -28,9 +39,15 @@ fn accuracy(topo: &Topology, report: &cfs::core::CfsReport) -> (usize, usize) {
     let mut correct = 0;
     let mut checked = 0;
     for iface in report.interfaces.values() {
-        let Some(inferred) = iface.facility else { continue };
-        let Some(ifid) = topo.iface_by_ip(iface.ip) else { continue };
-        let Some(truth) = topo.router_facility(topo.ifaces[ifid].router) else { continue };
+        let Some(inferred) = iface.facility else {
+            continue;
+        };
+        let Some(ifid) = topo.iface_by_ip(iface.ip) else {
+            continue;
+        };
+        let Some(truth) = topo.router_facility(topo.ifaces[ifid].router) else {
+            continue;
+        };
         checked += 1;
         correct += usize::from(inferred == truth);
     }

@@ -17,9 +17,20 @@ fn pipeline(seed: u64) -> (Topology, PublicSources, cfs::core::CfsReport) {
         .filter_map(|(asn, _, _)| topo.target_ip(Asn(*asn)).ok())
         .collect();
     let vp_ids: Vec<_> = vps.ids().collect();
-    let traces = run_campaign(&engine, &vps, &vp_ids, &targets, 0, &CampaignLimits::default());
+    let traces = run_campaign(
+        &engine,
+        &vps,
+        &vp_ids,
+        &targets,
+        0,
+        &CampaignLimits::default(),
+    );
 
-    let mut cfs = Cfs::new(&engine, &vps, &kb, &ipasn, CfsConfig::default());
+    let mut cfs = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .build()
+        .unwrap();
     cfs.ingest(traces);
     let report = cfs.run();
     (topo, sources, report)
@@ -30,16 +41,27 @@ fn full_pipeline_reaches_paper_grade_accuracy() {
     let (topo, sources, report) = pipeline(0xCF5_2015);
 
     assert!(report.total() > 300, "tracked {}", report.total());
-    assert!(report.resolved_fraction() > 0.4, "resolved {}", report.resolved_fraction());
+    assert!(
+        report.resolved_fraction() > 0.4,
+        "resolved {}",
+        report.resolved_fraction()
+    );
 
     let oracles = ValidationOracles::standard(&topo, &sources);
     let scored = score_report(&report, &oracles, &topo);
     let overall = scored.overall();
-    assert!(overall.checked > 50, "validation coverage {}", overall.checked);
+    assert!(
+        overall.checked > 50,
+        "validation coverage {}",
+        overall.checked
+    );
     let acc = overall.accuracy().unwrap();
     assert!(acc > 0.8, "validated accuracy {acc:.3}");
     let metro = overall.metro_accuracy().unwrap();
-    assert!(metro > acc - 1e-9, "city-level should dominate: {metro:.3} vs {acc:.3}");
+    assert!(
+        metro > acc - 1e-9,
+        "city-level should dominate: {metro:.3} vs {acc:.3}"
+    );
 }
 
 #[test]
@@ -121,10 +143,15 @@ fn owner_attribution_is_mostly_correct_after_alias_majority_vote() {
     let db = topo.build_ipasn_db();
     let mut raw_right = 0usize;
     for iface in report.interfaces.values() {
-        let Some(ifid) = topo.iface_by_ip(iface.ip) else { continue };
+        let Some(ifid) = topo.iface_by_ip(iface.ip) else {
+            continue;
+        };
         if iface.owner.is_some() && db.origin(iface.ip) == Some(topo.ifaces[ifid].asn) {
             raw_right += 1;
         }
     }
-    assert!(right >= raw_right, "correction made ownership worse: {right} < {raw_right}");
+    assert!(
+        right >= raw_right,
+        "correction made ownership worse: {right} < {raw_right}"
+    );
 }

@@ -26,7 +26,10 @@ fn knowledge_base_is_a_lossy_subset_of_truth() {
         truth_links += node.facilities.len();
     }
     // Lossiness: volunteer data misses a real share of links.
-    assert!(kb_links < truth_links, "no incompleteness: {kb_links} = {truth_links}");
+    assert!(
+        kb_links < truth_links,
+        "no incompleteness: {kb_links} = {truth_links}"
+    );
     assert!(
         kb_links * 100 > truth_links * 60,
         "kb implausibly empty: {kb_links}/{truth_links}"
@@ -47,7 +50,10 @@ fn ip_to_asn_database_carries_the_documented_contamination() {
             contaminated += 1;
         }
     }
-    assert!(contaminated > 50, "too few contaminated interfaces: {contaminated}");
+    assert!(
+        contaminated > 50,
+        "too few contaminated interfaces: {contaminated}"
+    );
 }
 
 #[test]
@@ -79,7 +85,10 @@ fn detailed_ixp_sites_cover_only_a_handful_of_exchanges() {
         .values()
         .filter(|s| s.members.iter().any(|m| m.facility.is_some()))
         .count();
-    assert_eq!(detailed, with_port_facilities, "ordinary sites must not leak port data");
+    assert_eq!(
+        detailed, with_port_facilities,
+        "ordinary sites must not leak port data"
+    );
 }
 
 #[test]
@@ -95,5 +104,8 @@ fn remote_memberships_exist_at_scale() {
     assert!(total > 100);
     let frac = remote as f64 / total as f64;
     // Configured at 18%; allow sampling slack either way.
-    assert!((0.03..0.40).contains(&frac), "remote membership fraction {frac}");
+    assert!(
+        (0.03..0.40).contains(&frac),
+        "remote membership fraction {frac}"
+    );
 }

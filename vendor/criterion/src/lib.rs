@@ -1,0 +1,172 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock measurement loop (short warm-up, then timed batches).
+//! There is no statistical analysis or HTML report; each benchmark
+//! prints one line: name, mean time per iteration, and iteration count.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One measured result, retrievable after a run via
+/// [`Criterion::results`].
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id (`group/name` when inside a group).
+    pub name: String,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Iterations measured (after warm-up).
+    pub iterations: u64,
+}
+
+/// Benchmark driver (stub of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Runs one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let result = BenchResult {
+            name: name.to_string(),
+            mean: bencher.mean,
+            iterations: bencher.iterations,
+        };
+        println!(
+            "bench {:<50} {:>12.3?} /iter ({} iters)",
+            result.name, result.mean, result.iterations
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside are prefixed `group/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.to_string(),
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks (stub of criterion's).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    mean: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `f`: brief warm-up, then timed batches until enough
+    /// wall-clock signal accumulates (~200ms or 10k iterations).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        black_box(f());
+        let probe = warmup_start.elapsed();
+
+        let budget = Duration::from_millis(200);
+        let batch: u64 = if probe >= budget {
+            1
+        } else {
+            let per_iter = probe.max(Duration::from_nanos(20));
+            (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64
+        };
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.iterations = batch;
+        self.mean = total / batch as u32;
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group
+            .sample_size(10)
+            .bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[1].name, "grp/inner");
+        assert!(c.results()[0].iterations >= 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for `crossbeam` 0.8 — the scoped-thread API only.
+//!
+//! `crossbeam::thread::scope` is implemented over `std::thread::scope`
+//! (stable since Rust 1.63), preserving the crossbeam call shape the
+//! workspace uses: the scope function returns a `Result`, spawned
+//! closures receive a `&Scope` argument (for nested spawns), and
+//! handles expose `join() -> Result<T>`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Scoped threads (stub of `crossbeam::thread`).
+pub mod thread {
+    /// Panic payload carried by a crashed scope or thread.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Runs `f` inside a thread scope. Unlike crossbeam, a panicking
+    /// child propagates through `std::thread::scope` when joined
+    /// implicitly, so the returned `Result` is `Ok` whenever `f`
+    /// returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    /// Spawning handle passed to the scope closure and to each spawned
+    /// thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it
+        /// can spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Handle to one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` holds the
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_out_and_join() {
+        let data: Vec<u64> = (0..100).collect();
+        let sums: Vec<u64> = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(30)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        })
+        .expect("scope");
+        assert_eq!(sums.iter().sum::<u64>(), 4950);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().expect("inner") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` crate's value-tree traits
+//! (`Serialize::to_value` / `Deserialize::from_value`). The item
+//! definition is parsed straight off the token stream — no `syn`, no
+//! `quote`, since neither can be fetched in this build environment.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields;
+//! - tuple structs (a single field acts as a newtype and passes its
+//!   value through, which also covers `#[serde(transparent)]`; wider
+//!   tuples serialize as arrays);
+//! - enums whose variants are all units (serialized as the variant
+//!   name).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("derive(Deserialize): generated impl failed to parse")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct, in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Enum with unit variants only.
+    Enum(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+
+    // Outer attributes (`#[serde(transparent)]`, doc comments, ...).
+    // Transparent newtypes already pass through, so attributes only need
+    // skipping.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility.
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next(); // pub(crate) etc.
+        }
+    }
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic types are not supported by the offline stub");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_unit_variants(g.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body {other:?}"),
+        },
+        kw => panic!("serde derive: unsupported item kind `{kw}`"),
+    };
+
+    Item { name, kind }
+}
+
+/// Extracts field names from `{ ... }`, skipping attributes, visibility,
+/// and types (commas inside angle brackets belong to the type).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        let Some(TokenTree::Ident(field)) = iter.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts tuple-struct fields: top-level commas + 1 (empty tuples don't
+/// occur in this workspace).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in stream {
+        any = true;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        panic!("serde derive: empty tuple structs are not supported");
+    }
+    commas + 1
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let Some(TokenTree::Ident(variant)) = iter.next() else {
+            break;
+        };
+        variants.push(variant.to_string());
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                panic!("serde derive: only unit enum variants are supported by the offline stub")
+            }
+            other => panic!("serde derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{entries}])")
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match __get(\"{f}\") {{\n\
+                             ::core::option::Option::Some(fv) => \
+                                 ::serde::Deserialize::from_value(fv).map_err(|e| \
+                                 ::serde::Error::custom(::std::format!(\
+                                     \"{name}.{f}: {{}}\", e)))?,\n\
+                             ::core::option::Option::None => \
+                                 ::serde::missing_field(\"{name}\", \"{f}\")?,\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = match v {{\n\
+                     ::serde::Value::Map(m) => m,\n\
+                     other => return ::core::result::Result::Err(::serde::Error::custom(\n\
+                         ::std::format!(\"{name}: expected object, got {{other:?}}\"))),\n\
+                 }};\n\
+                 let __get = |k: &str| __map.iter().find(|kv| kv.0 == k).map(|kv| &kv.1);\n\
+                 ::core::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Tuple(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = match v {{\n\
+                     ::serde::Value::Seq(items) if items.len() == {n} => items,\n\
+                     other => return ::core::result::Result::Err(::serde::Error::custom(\n\
+                         ::std::format!(\"{name}: expected array of {n}, got {{other:?}}\"))),\n\
+                 }};\n\
+                 ::core::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "let s = match v {{\n\
+                     ::serde::Value::Str(s) => s.as_str(),\n\
+                     other => return ::core::result::Result::Err(::serde::Error::custom(\n\
+                         ::std::format!(\"{name}: expected string, got {{other:?}}\"))),\n\
+                 }};\n\
+                 match s {{\n\
+                     {arms}\n\
+                     other => ::core::result::Result::Err(::serde::Error::custom(\n\
+                         ::std::format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

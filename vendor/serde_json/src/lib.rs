@@ -1,0 +1,495 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! JSON text parsing and printing over the vendored `serde` crate's
+//! [`Value`] tree: [`to_string`] / [`to_string_pretty`], [`from_str`],
+//! [`to_value`], and a [`json!`] macro covering the literal forms this
+//! workspace uses (objects, arrays, `null`, booleans, and arbitrary
+//! serializable expressions).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use serde::Value;
+
+/// Error alias: this crate reports through `serde`'s message error.
+pub type Error = serde::Error;
+
+/// Renders any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Renders a value as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, false);
+    Ok(out)
+}
+
+/// Renders a value as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, true);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent + 1, pretty);
+                write_value(out, item, indent + 1, pretty);
+            }
+            newline_indent(out, indent, pretty);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent + 1, pretty);
+                write_escaped(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent + 1, pretty);
+            }
+            newline_indent(out, indent, pretty);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize, pretty: bool) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+/// `Debug`-formats finite floats (it round-trips and always keeps a
+/// decimal point, e.g. `1.0`); non-finite values have no JSON form and
+/// degrade to `null` like real `serde_json`.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::custom("unexpected end of JSON")),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::custom(format!(
+                "unexpected byte `{}` at offset {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::custom(format!("bad array at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::custom(format!("bad object at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain UTF-8 up to a quote or escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::custom(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                _ => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::custom("truncated escape"))?;
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0C}'),
+            b'u' => {
+                let hi = self.parse_hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: the low half must follow as \uXXXX.
+                    if self.eat_keyword("\\u") {
+                        let lo = self.parse_hex4()?;
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        return Err(Error::custom("lone high surrogate"));
+                    }
+                } else {
+                    hi
+                };
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| Error::custom(format!("bad \\u escape {code:#x}")))?,
+                );
+            }
+            other => {
+                return Err(Error::custom(format!(
+                    "unknown escape `\\{}`",
+                    other as char
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::custom("bad \\u escape"))?;
+        self.pos = end;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::custom("bad \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("bad number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("bad number `{text}`")))
+    }
+}
+
+// ---------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------
+
+/// Builds a [`Value`] from a JSON-like literal. Object and array forms
+/// nest; any other expression is rendered via its `Serialize` impl.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_object_entries!(entries ; $($body)*);
+        $crate::Value::Map(entries)
+    }};
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_items!(items ; $($body)*);
+        $crate::Value::Seq(items)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: accumulates object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($entries:ident ; ) => {};
+    // Single-token values (nested {...} / [...] groups, idents, literals)
+    // followed by more entries: re-dispatch through json!.
+    ($entries:ident ; $key:literal : $val:tt , $($rest:tt)*) => {
+        $entries.push((::std::string::String::from($key), $crate::json!($val)));
+        $crate::json_object_entries!($entries ; $($rest)*);
+    };
+    ($entries:ident ; $key:literal : $val:tt) => {
+        $entries.push((::std::string::String::from($key), $crate::json!($val)));
+    };
+    // Multi-token expression values.
+    ($entries:ident ; $key:literal : $val:expr , $($rest:tt)*) => {
+        $entries.push((::std::string::String::from($key), $crate::to_value(&$val)));
+        $crate::json_object_entries!($entries ; $($rest)*);
+    };
+    ($entries:ident ; $key:literal : $val:expr) => {
+        $entries.push((::std::string::String::from($key), $crate::to_value(&$val)));
+    };
+}
+
+/// Implementation detail of [`json!`]: accumulates array items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_items {
+    ($items:ident ; ) => {};
+    ($items:ident ; $val:tt , $($rest:tt)*) => {
+        $items.push($crate::json!($val));
+        $crate::json_array_items!($items ; $($rest)*);
+    };
+    ($items:ident ; $val:tt) => {
+        $items.push($crate::json!($val));
+    };
+    ($items:ident ; $val:expr , $($rest:tt)*) => {
+        $items.push($crate::to_value(&$val));
+        $crate::json_array_items!($items ; $($rest)*);
+    };
+    ($items:ident ; $val:expr) => {
+        $items.push($crate::to_value(&$val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_round_trip() {
+        let text = r#"{"a": [1, -2, 3.5, "x\n", null, true], "b": {"c": false}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][0], Value::U64(1));
+        assert_eq!(v["a"][1], Value::I64(-2));
+        assert_eq!(v["a"][2], Value::F64(3.5));
+        assert_eq!(v["a"][3], Value::Str("x\n".into()));
+        assert!(v["a"][4].is_null());
+        assert_eq!(v["b"]["c"], Value::Bool(false));
+        let back: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("{}extra").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        let rows = vec![json!({"n": 1}), json!({"n": 2})];
+        let doc = json!({
+            "flat": 7,
+            "call": 3 + 4,
+            "nested": { "deep": [1, 2, 3], "none": null },
+            "rows": rows,
+            "flag": true,
+        });
+        assert_eq!(doc["flat"], doc["call"]);
+        assert_eq!(doc["nested"]["deep"][2], Value::U64(3));
+        assert!(doc["nested"]["none"].is_null());
+        assert_eq!(doc["rows"][1]["n"], Value::U64(2));
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!({}), Value::Map(vec![]));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(v, Value::Str("é😀".into()));
+    }
+}
