@@ -8,6 +8,13 @@
 //! over scoped worker threads. Every parallel stage merges its results in
 //! a deterministic order, so a run produces a byte-identical
 //! [`CfsReport`] at any worker count.
+//!
+//! All iterated engine state (`states`, the facility caches, the
+//! exposure index…) is deliberately `BTreeMap`/`BTreeSet`, never the
+//! hashed std containers, so iteration order — and therefore report
+//! bytes — cannot depend on hasher seeds. `cfs-lint`'s
+//! `unordered-iteration` rule enforces this for every library crate
+//! (DESIGN.md §6).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;

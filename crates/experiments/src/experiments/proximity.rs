@@ -117,7 +117,8 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
         let far_fac = port_facility[far_ip];
         let far_asn = lab
             .kb
-            .member_of_fabric_ip(lab.kb.ixp_of_ip(*far_ip).unwrap(), *far_ip)
+            .ixp_of_ip(*far_ip)
+            .and_then(|ixp| lab.kb.member_of_fabric_ip(ixp, *far_ip))
             .unwrap_or(Asn(0));
         if !is_test(far_asn) {
             model.observe(*near_fac, far_fac);

@@ -322,7 +322,10 @@ impl PublicSources {
                 (coverage + rng.random::<f64>() * 0.8, n.asn)
             })
             .collect();
-        noc_candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // total_cmp: the score mixes a ratio with seeded noise and can
+        // never be NaN, but partial_cmp().unwrap() would turn a future
+        // arithmetic slip into a panic deep inside KB assembly.
+        noc_candidates.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut noc_pages = BTreeMap::new();
         for (_, asn) in noc_candidates.into_iter().take(cfg.noc_pages) {
             let truth = &topo.ases[&asn].facilities;

@@ -1,0 +1,215 @@
+//! `cfs-lint` — the workspace invariant linter.
+//!
+//! An offline, dependency-free static-analysis pass over this
+//! workspace's own Rust sources. It does not parse Rust properly — it
+//! masks comments and literals with a small hand-rolled scanner
+//! ([`lexer`]) and then matches lexical patterns ([`rules`]) that
+//! encode the invariants the system's headline guarantee rests on:
+//! byte-identical [`CfsReport`]s at any thread count, seeded randomness
+//! only, and panic-free library code.
+//!
+//! Findings are suppressed per line with
+//! `// cfs-lint: allow(<rule>) — <one-line justification>`; the
+//! justification is mandatory (enforced by the `unjustified-allow`
+//! rule). Output is deterministic: files are visited in sorted order
+//! and findings are fully ordered, so `--json` output is byte-stable
+//! across runs.
+//!
+//! [`CfsReport`]: ../cfs_core/report/struct.CfsReport.html
+
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_source, classify, Finding, RuleInfo, Target, RULES};
+
+/// Directory prefixes (workspace-relative) the walker never descends
+/// into. `fixtures` holds deliberately dirty snippets for the linter's
+/// own tests; `vendor` is third-party stand-in code.
+const SKIP_PREFIXES: &[&str] = &[
+    ".git",
+    "target",
+    "vendor",
+    "results",
+    "crates/lint/tests/fixtures",
+];
+
+/// Locates the workspace root by walking up from `start` until a
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collects every lintable `.rs` file under `root`, as sorted
+/// workspace-relative `/`-separated paths.
+pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = match path.strip_prefix(root) {
+                Ok(r) => r.to_string_lossy().replace('\\', "/"),
+                Err(_) => continue,
+            };
+            if SKIP_PREFIXES
+                .iter()
+                .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+            {
+                continue;
+            }
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                stack.push(path);
+            } else if rel.ends_with(".rs") && classify(&rel).is_some() {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `root`. Findings come back in a
+/// total order (path, line, col, rule), identical across runs.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in collect_files(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        findings.extend(check_source(&rel, &source));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a single-line JSON document with a fixed key
+/// order and fully sorted contents — byte-stable across runs.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for f in findings {
+        match counts.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((f.rule, 1)),
+        }
+    }
+    counts.sort();
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            f.rule,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("],\"counts\":{");
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{rule}\":{n}"));
+    }
+    out.push_str(&format!("}},\"total\":{}}}", findings.len()));
+    out
+}
+
+/// Renders findings for humans: one `path:line:col: rule: message` per
+/// finding plus a summary line.
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {}: {}\n",
+            f.path, f.line, f.col, f.rule, f.message
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str(&format!(
+            "cfs-lint: clean ({files_scanned} files scanned)\n"
+        ));
+    } else {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for f in findings {
+            match counts.iter_mut().find(|(r, _)| *r == f.rule) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((f.rule, 1)),
+            }
+        }
+        counts.sort();
+        let by_rule: Vec<String> = counts.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        out.push_str(&format!(
+            "cfs-lint: {} findings ({})\n",
+            findings.len(),
+            by_rule.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let findings = vec![Finding {
+            path: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "wall-clock",
+            message: "uses \"now\"".into(),
+        }];
+        let a = render_json(&findings);
+        let b = render_json(&findings);
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"now\\\""));
+        assert!(a.contains("\"total\":1"));
+    }
+
+    #[test]
+    fn empty_render() {
+        assert_eq!(
+            render_json(&[]),
+            "{\"findings\":[],\"counts\":{},\"total\":0}"
+        );
+        assert!(render_human(&[], 12).contains("clean (12 files"));
+    }
+}

@@ -1,0 +1,511 @@
+//! The rule catalog and the per-file check pass.
+//!
+//! Each rule is a lexical invariant keyed to a guarantee the workspace
+//! already made (see DESIGN.md §6 "Enforced invariants"): byte-identical
+//! reports at any thread count, seeded randomness only, no panics in
+//! library code. Rules match over *masked* source (comments and literal
+//! contents blanked by [`crate::lexer::scan`]) so strings and docs never
+//! produce findings.
+
+use crate::lexer::{scan, ScannedFile};
+
+/// Where a source file lives in the cargo target layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// `src/` of a library crate — the code other crates build on.
+    Lib,
+    /// `src/bin/` or `src/main.rs` — executable entry points.
+    Bin,
+    /// `tests/` — integration tests.
+    Test,
+    /// `examples/`.
+    Example,
+    /// `benches/`, or anything in the dedicated `bench` crate.
+    Bench,
+}
+
+/// Classification of one workspace-relative path.
+#[derive(Clone, Debug)]
+pub struct FileCtx {
+    /// Short crate name: `core`, `kb`, …; the root package is `cfs`.
+    pub crate_name: String,
+    /// Which target kind the file belongs to.
+    pub target: Target,
+}
+
+/// The crates whose types are compile-time-asserted `Send`/`Sync`
+/// (see `crates/core/src/engine.rs::_assert_send_sync`): a stray `Rc`
+/// in any of them is a latent `!Send` regression.
+const SEND_CRATES: &[&str] = &["types", "net", "kb", "traceroute", "alias", "core"];
+
+/// Classifies a workspace-relative, `/`-separated path. Returns `None`
+/// for files the linter does not reason about (vendored code is never
+/// passed in; unknown layouts are skipped).
+pub fn classify(rel: &str) -> Option<FileCtx> {
+    let (crate_name, rest) = if let Some(r) = rel.strip_prefix("crates/") {
+        let (name, rest) = r.split_once('/')?;
+        (name.to_owned(), rest)
+    } else {
+        ("cfs".to_owned(), rel)
+    };
+    if !rest.ends_with(".rs") {
+        return None;
+    }
+    let target = if crate_name == "bench" || rest.starts_with("benches/") {
+        Target::Bench
+    } else if rest.starts_with("src/bin/") || rest == "src/main.rs" {
+        Target::Bin
+    } else if rest.starts_with("src/") {
+        Target::Lib
+    } else if rest.starts_with("tests/") {
+        Target::Test
+    } else if rest.starts_with("examples/") {
+        Target::Example
+    } else {
+        return None;
+    };
+    Some(FileCtx { crate_name, target })
+}
+
+/// One linter finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (byte offset into the line).
+    pub col: usize,
+    /// Rule identifier, e.g. `unwrap-in-lib`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A static description of one rule, for `cfs-lint rules` and the docs.
+pub struct RuleInfo {
+    /// The identifier used in findings and `allow(...)` directives.
+    pub name: &'static str,
+    /// What the rule guards, in one line.
+    pub summary: &'static str,
+}
+
+/// Every rule the linter knows, in stable (alphabetical) order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "ambient-rng",
+        summary: "randomness must come from the seeded topology RNG, never ambient entropy",
+    },
+    RuleInfo {
+        name: "deprecated-cfs-api",
+        summary: "Cfs::new / restrict_platforms are deprecated; use Cfs::builder",
+    },
+    RuleInfo {
+        name: "raw-thread-spawn",
+        summary: "use the scoped fan-out (crossbeam scope), not free-running std threads",
+    },
+    RuleInfo {
+        name: "rc-in-send-crate",
+        summary: "Rc in a crate whose types are asserted Send/Sync is a latent !Send regression",
+    },
+    RuleInfo {
+        name: "unjustified-allow",
+        summary: "every cfs-lint allow(...) must carry a one-line justification",
+    },
+    RuleInfo {
+        name: "unordered-iteration",
+        summary: "HashMap/HashSet iteration order is unspecified; use BTree* in report paths",
+    },
+    RuleInfo {
+        name: "unwrap-in-lib",
+        summary: "library code must not panic: no bare unwrap(), expect() needs a literal message",
+    },
+    RuleInfo {
+        name: "wall-clock",
+        summary: "Instant::now/SystemTime::now leak wall time into results; use the virtual clock",
+    },
+];
+
+/// True when byte `b` can be part of an identifier.
+fn is_ident(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Byte offsets of `needle` in `line` where the match is not preceded
+/// (and, if `whole_word`, not followed) by an identifier byte.
+fn find_tokens(line: &str, needle: &str, whole_word: bool) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    // Only needles that *start* with an identifier char can be
+    // swallowed by a longer identifier (`.unwrap()` after `cfs` is
+    // fine; `Rc` inside `Arc` is not).
+    let guard_prefix = needle.as_bytes().first().copied().is_some_and(is_ident);
+    while let Some(p) = line[from..].find(needle) {
+        let at = from + p;
+        let pre_ok = !guard_prefix || at == 0 || !is_ident(bytes[at - 1]);
+        let end = at + needle.len();
+        let post_ok = !whole_word || end >= bytes.len() || !is_ident(bytes[end]);
+        if pre_ok && post_ok {
+            out.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    out
+}
+
+/// A suppression directive parsed from a comment:
+/// `// cfs-lint: allow(rule-a, rule-b) — why this is sound`.
+#[derive(Clone, Debug)]
+pub struct Directive {
+    /// 0-based line the comment sits on.
+    pub line: usize,
+    /// 0-based line whose findings it suppresses (same line for a
+    /// trailing comment, next line for a comment-only line).
+    pub target: usize,
+    /// Rules named inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether non-empty justification text follows the `)`.
+    pub justified: bool,
+}
+
+/// Parses suppression directives out of the scanned comments.
+///
+/// Only regular `//` / `/* */` comments carry directives. Doc comments
+/// (`///`, `//!` — whose captured text starts with `/`, `!`, or `*`)
+/// are skipped: documentation frequently *describes* the directive
+/// syntax, and a suppression hidden in rendered docs would be easy to
+/// miss in review.
+pub fn parse_directives(scanned: &ScannedFile) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for (line, comment) in scanned.comments.iter().enumerate() {
+        if matches!(comment.trim_start().chars().next(), Some('/' | '!' | '*')) {
+            continue;
+        }
+        let Some(pos) = comment.find("cfs-lint:") else {
+            continue;
+        };
+        let after = &comment[pos + "cfs-lint:".len()..];
+        let Some(open) = after.find("allow(") else {
+            continue;
+        };
+        let body = &after[open + "allow(".len()..];
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = body[..close]
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let tail = body[close + 1..]
+            .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '-' | '—' | ':' | '–'));
+        let code_is_blank = scanned.code[line].trim().is_empty();
+        let target = if code_is_blank { line + 1 } else { line };
+        out.push(Directive {
+            line,
+            target,
+            rules,
+            justified: !tail.trim().is_empty(),
+        });
+    }
+    out
+}
+
+/// Runs every applicable rule over one masked line, appending findings.
+fn check_line(
+    ctx: &FileCtx,
+    path: &str,
+    lineno: usize,
+    line: &str,
+    next_line: Option<&str>,
+    in_test: bool,
+    out: &mut Vec<Finding>,
+) {
+    let lib_like = matches!(ctx.target, Target::Lib | Target::Bin);
+    let mut push = |col: usize, rule: &'static str, message: String| {
+        out.push(Finding {
+            path: path.to_owned(),
+            line: lineno + 1,
+            col: col + 1,
+            rule,
+            message,
+        });
+    };
+
+    // unordered-iteration: deterministic reports need deterministic
+    // iteration; std's hashed containers are banned from non-test
+    // library code outright (BTreeMap/BTreeSet/sorted Vec instead).
+    if lib_like && !in_test {
+        for needle in ["HashMap", "HashSet"] {
+            for col in find_tokens(line, needle, true) {
+                push(
+                    col,
+                    "unordered-iteration",
+                    format!("`{needle}` iteration order is unspecified and varies per process; use `BTreeMap`/`BTreeSet` or sort before iterating"),
+                );
+            }
+        }
+    }
+
+    // wall-clock: only the bench targets may read real time; everything
+    // else uses the simulation's virtual clock so runs are reproducible.
+    if ctx.target != Target::Bench {
+        for needle in ["Instant::now", "SystemTime::now"] {
+            for col in find_tokens(line, needle, true) {
+                push(
+                    col,
+                    "wall-clock",
+                    format!("`{needle}` reads wall time; use the engine's virtual clock (or move timing into `crates/bench`)"),
+                );
+            }
+        }
+    }
+
+    // ambient-rng: every random draw must derive from the seeded
+    // topology RNG (ChaCha20Rng::seed_from_u64), in all targets.
+    for needle in [
+        "thread_rng",
+        "from_entropy",
+        "from_os_rng",
+        "OsRng",
+        "rand::random",
+    ] {
+        for col in find_tokens(line, needle, true) {
+            push(
+                col,
+                "ambient-rng",
+                format!("`{needle}` draws ambient entropy; derive a `ChaCha20Rng::seed_from_u64` stream from the topology seed instead"),
+            );
+        }
+    }
+
+    // rc-in-send-crate: the Send/Sync compile-time assertions only
+    // cover the types they name; a new Rc field elsewhere in these
+    // crates would silently poison the next type that embeds it.
+    if SEND_CRATES.contains(&ctx.crate_name.as_str()) && lib_like && !in_test {
+        let mut cols: Vec<usize> = Vec::new();
+        for needle in ["Rc<", "Rc::", "std::rc"] {
+            cols.extend(find_tokens(line, needle, false));
+        }
+        if let Some(&col) = cols.iter().min() {
+            push(
+                col,
+                "rc-in-send-crate",
+                "`Rc` in a Send/Sync-asserted crate; use `Arc` (see engine.rs::_assert_send_sync)"
+                    .to_owned(),
+            );
+        }
+    }
+
+    // raw-thread-spawn: free-running threads escape the deterministic
+    // submission-order merge; all fan-out goes through scoped workers.
+    if lib_like && !in_test {
+        for col in find_tokens(line, "thread::spawn", true) {
+            push(
+                col,
+                "raw-thread-spawn",
+                "free-running `thread::spawn` breaks the deterministic fan-out/merge; use `crossbeam::thread::scope` chunked workers".to_owned(),
+            );
+        }
+    }
+
+    // unwrap-in-lib: library code surfaces `cfs_types::Error`, it does
+    // not panic. `expect` with a literal message is the documented
+    // escape hatch for genuinely unreachable states.
+    if ctx.target == Target::Lib && !in_test {
+        for col in find_tokens(line, ".unwrap()", false) {
+            push(
+                col,
+                "unwrap-in-lib",
+                "bare `.unwrap()` in library code; return a typed `cfs_types::Error` or use `.expect(\"<invariant>\")`".to_owned(),
+            );
+        }
+        for col in find_tokens(line, ".expect(", false) {
+            let after = &line[col + ".expect(".len()..];
+            let arg = after.trim_start();
+            let arg = if arg.is_empty() {
+                next_line.map(str::trim_start).unwrap_or("")
+            } else {
+                arg
+            };
+            let is_literal = arg.trim_start_matches(['b', 'r', '#']).starts_with('"');
+            if !is_literal {
+                push(
+                    col,
+                    "unwrap-in-lib",
+                    "`.expect(...)` without a literal message; document the invariant in a string literal or return a typed error".to_owned(),
+                );
+            }
+        }
+    }
+
+    // deprecated-cfs-api: the builder replaced the positional
+    // constructor; the shims only exist for one deprecation cycle.
+    for (needle, hint) in [
+        (
+            "Cfs::new(",
+            "Cfs::builder(engine, kb).vps(..).ipasn(..).build()",
+        ),
+        (".restrict_platforms(", "CfsBuilder::platforms"),
+    ] {
+        for col in find_tokens(line, needle, false) {
+            push(
+                col,
+                "deprecated-cfs-api",
+                format!("deprecated CFS constructor API; migrate to `{hint}`"),
+            );
+        }
+    }
+}
+
+/// Lints one file: scans it, runs the rules, applies suppressions, and
+/// reports unjustified or malformed directives.
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let Some(ctx) = classify(rel_path) else {
+        return Vec::new();
+    };
+    let scanned = scan(source);
+    let directives = parse_directives(&scanned);
+
+    let mut findings = Vec::new();
+    for (lineno, line) in scanned.code.iter().enumerate() {
+        let next = scanned.code.get(lineno + 1).map(String::as_str);
+        check_line(
+            &ctx,
+            rel_path,
+            lineno,
+            line,
+            next,
+            scanned.in_test[lineno],
+            &mut findings,
+        );
+    }
+
+    // Apply suppressions: a directive clears findings of the named
+    // rules on its target line.
+    findings.retain(|f| {
+        !directives
+            .iter()
+            .any(|d| d.target == f.line - 1 && d.rules.iter().any(|r| r == f.rule))
+    });
+
+    // Directive hygiene: unknown rule names and missing justifications
+    // are findings themselves, so the suppression inventory stays
+    // auditable.
+    for d in &directives {
+        for r in &d.rules {
+            if !RULES.iter().any(|info| info.name == r) {
+                findings.push(Finding {
+                    path: rel_path.to_owned(),
+                    line: d.line + 1,
+                    col: 1,
+                    rule: "unjustified-allow",
+                    message: format!("allow() names unknown rule `{r}`"),
+                });
+            }
+        }
+        if !d.justified {
+            findings.push(Finding {
+                path: rel_path.to_owned(),
+                line: d.line + 1,
+                col: 1,
+                rule: "unjustified-allow",
+                message:
+                    "cfs-lint allow(...) without a justification; append `— <one-line reason>`"
+                        .to_owned(),
+            });
+        }
+    }
+
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_layout() {
+        assert_eq!(
+            classify("crates/core/src/engine.rs").map(|c| c.target),
+            Some(Target::Lib)
+        );
+        assert_eq!(
+            classify("crates/experiments/src/bin/fig2.rs").map(|c| c.target),
+            Some(Target::Bin)
+        );
+        assert_eq!(
+            classify("crates/core/tests/determinism.rs").map(|c| c.target),
+            Some(Target::Test)
+        );
+        assert_eq!(
+            classify("crates/topology/examples/stats.rs").map(|c| c.target),
+            Some(Target::Example)
+        );
+        assert_eq!(
+            classify("crates/bench/src/lib.rs").map(|c| c.target),
+            Some(Target::Bench)
+        );
+        assert_eq!(classify("src/main.rs").map(|c| c.target), Some(Target::Bin));
+        assert_eq!(classify("src/lib.rs").map(|c| c.target), Some(Target::Lib));
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn string_contents_never_fire() {
+        let f = check_source(
+            "crates/core/src/x.rs",
+            "fn f() { let _ = \"HashMap Instant::now() .unwrap()\"; }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt_from_unwrap() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { Some(1).unwrap(); }\n}\n";
+        assert!(check_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn documented_expect_is_allowed() {
+        let ok = "fn f() { Some(1).expect(\"seeded world always has an AS\"); }\n";
+        assert!(check_source("crates/core/src/x.rs", ok).is_empty());
+        let bad = "fn f() { Some(1).expect(msg); }\n";
+        assert_eq!(check_source("crates/core/src/x.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn suppression_requires_justification() {
+        let justified =
+            "fn f() { Some(1).unwrap() } // cfs-lint: allow(unwrap-in-lib) — demo invariant\n";
+        assert!(check_source("crates/core/src/x.rs", justified).is_empty());
+        let bare = "fn f() { Some(1).unwrap() } // cfs-lint: allow(unwrap-in-lib)\n";
+        let f = check_source("crates/core/src/x.rs", bare);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unjustified-allow");
+    }
+
+    #[test]
+    fn standalone_directive_covers_next_line() {
+        let src = "// cfs-lint: allow(wall-clock) — operator-facing elapsed print\nlet t = Instant::now();\n";
+        assert!(check_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_directives() {
+        // The doc text *describes* the syntax; it must neither suppress
+        // the finding on the next line nor trip unjustified-allow.
+        let src = "/// Write `// cfs-lint: allow(wall-clock)` to suppress.\nfn f() { let _ = Instant::now(); }\n";
+        let f = check_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn arc_does_not_trip_rc_rule() {
+        let src = "use std::sync::Arc;\nfn f(x: Arc<u32>) -> Arc<u32> { x }\n";
+        assert!(check_source("crates/kb/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: `unordered-iteration` must fire on hashed containers in
+// library code. Not compiled — scanned by self_test.rs.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for x in xs {
+        *counts.entry(*x).or_default() += 1;
+    }
+    counts.into_iter().collect() // iteration order leaks into the result
+}

@@ -1,0 +1,6 @@
+// Fixture: `wall-clock` must fire on real-time reads in non-bench code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

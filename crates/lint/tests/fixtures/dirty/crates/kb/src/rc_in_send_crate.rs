@@ -1,0 +1,6 @@
+// Fixture: `rc-in-send-crate` must fire — `kb` types are asserted Sync.
+use std::rc::Rc;
+
+pub struct Snapshot {
+    pub names: Rc<Vec<String>>,
+}

@@ -1,0 +1,17 @@
+// Fixture: `unwrap-in-lib` must fire twice — a bare unwrap() and an
+// expect() whose message is not a string literal. The documented
+// literal expect and the cfg(test) module must NOT fire.
+pub fn first_facility(ids: &[u32], msg: &str) -> u32 {
+    let undocumented = ids.iter().max().expect(msg);
+    let bare = ids.first().unwrap();
+    let _documented = ids.last().expect("non-empty checked by caller");
+    undocumented + bare
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

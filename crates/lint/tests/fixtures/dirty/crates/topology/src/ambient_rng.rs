@@ -1,0 +1,8 @@
+// Fixture: `ambient-rng` must fire on every entropy source that is not
+// the seeded topology RNG.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _also: f64 = rand::random();
+    let _seeded_from_os = StdRng::from_entropy();
+    rng.next_u64()
+}

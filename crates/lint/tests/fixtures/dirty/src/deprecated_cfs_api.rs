@@ -1,0 +1,5 @@
+// Fixture: `deprecated-cfs-api` must fire on both shim call sites.
+pub fn build_search<'a>(deps: &'a Deps) -> Cfs<'a> {
+    let cfs = Cfs::new(&deps.engine, &deps.vps, &deps.kb, &deps.ipasn, Default::default());
+    cfs.restrict_platforms(&[Platform::Ark])
+}

@@ -1,0 +1,5 @@
+// Fixture: a justified allow naming a real rule produces no
+// `unjustified-allow` finding.
+pub fn tidy() {
+    let _t = std::time::Instant::now(); // cfs-lint: allow(wall-clock) — fixture for the justified form
+}

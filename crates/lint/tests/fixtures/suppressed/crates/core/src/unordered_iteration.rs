@@ -1,0 +1,14 @@
+// Fixture: justified suppressions silence `unordered-iteration`.
+// cfs-lint: allow(unordered-iteration) — import only; iteration sites annotated individually
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    // cfs-lint: allow(unordered-iteration) — result re-sorted below before anything iterates it
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for x in xs {
+        *counts.entry(*x).or_default() += 1;
+    }
+    let mut out: Vec<(u32, usize)> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}

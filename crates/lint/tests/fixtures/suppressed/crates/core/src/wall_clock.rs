@@ -1,0 +1,7 @@
+// Fixture: justified suppressions silence `wall-clock`.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    // cfs-lint: allow(wall-clock) — operator-facing log timestamp; never reaches a report
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,8 @@
+// Fixture: justified suppressions silence `rc-in-send-crate`.
+// cfs-lint: allow(rc-in-send-crate) — single-threaded scratch type, never embedded in Sync state
+use std::rc::Rc;
+
+pub struct Scratch {
+    // cfs-lint: allow(rc-in-send-crate) — see type-level justification above
+    pub names: Rc<Vec<String>>,
+}

@@ -1,0 +1,7 @@
+// Fixture: justified suppressions silence `unwrap-in-lib`.
+pub fn first_facility(ids: &[u32], msg: &str) -> u32 {
+    // cfs-lint: allow(unwrap-in-lib) — message threaded from caller, always descriptive
+    let undocumented = ids.iter().max().expect(msg);
+    let bare = ids.first().unwrap(); // cfs-lint: allow(unwrap-in-lib) — len checked two lines up
+    undocumented + bare
+}

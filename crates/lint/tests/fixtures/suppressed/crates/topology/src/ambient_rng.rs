@@ -1,0 +1,7 @@
+// Fixture: justified suppressions silence `ambient-rng`.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // cfs-lint: allow(ambient-rng) — fixture demonstrating the suppression form
+    // cfs-lint: allow(ambient-rng) — ditto, standalone-directive form covering the next line
+    let _also: f64 = rand::random();
+    rng.next_u64()
+}

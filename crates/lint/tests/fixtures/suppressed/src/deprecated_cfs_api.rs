@@ -1,0 +1,6 @@
+// Fixture: justified suppressions silence `deprecated-cfs-api`.
+pub fn build_search<'a>(deps: &'a Deps) -> Cfs<'a> {
+    // cfs-lint: allow(deprecated-cfs-api) — exercises the shim until its removal PR
+    let cfs = Cfs::new(&deps.engine, &deps.vps, &deps.kb, &deps.ipasn, Default::default());
+    cfs.restrict_platforms(&[Platform::Ark]) // cfs-lint: allow(deprecated-cfs-api) — same shim coverage
+}

@@ -1,0 +1,32 @@
+//! Tier-1 gate: the workspace's own sources carry zero lint findings.
+//!
+//! This is the enforcement half of DESIGN.md §6 — the invariants the
+//! parallel CFS core rests on (deterministic iteration, virtual time,
+//! seeded RNG, no ambient threads, panic-free library code) regress at
+//! CI time, not as flaky figure diffs three PRs later.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = cfs_lint::find_workspace_root(manifest).expect("workspace root above crates/lint");
+    let findings = cfs_lint::check_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        findings.is_empty(),
+        "cfs-lint found invariant violations — fix them or add a justified \
+         `// cfs-lint: allow(<rule>)`:\n{}",
+        cfs_lint::render_human(&findings, 0)
+    );
+}
+
+#[test]
+fn rule_catalog_is_sorted_and_unique() {
+    // The catalog is the contract (`cfs-lint rules`, DESIGN.md §6);
+    // keep it alphabetical so diffs stay reviewable.
+    let names: Vec<&str> = cfs_lint::RULES.iter().map(|r| r.name).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(names, sorted);
+}

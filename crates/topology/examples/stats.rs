@@ -8,7 +8,9 @@
 
 use cfs_topology::{Topology, TopologyConfig};
 
+#[allow(clippy::disallowed_methods)] // mirrors the cfs-lint allow below
 fn main() {
+    // cfs-lint: allow(wall-clock) — operator-facing elapsed print in an example; never feeds results
     let start = std::time::Instant::now();
     let t = Topology::generate(TopologyConfig::paper()).unwrap();
     println!("generation time: {:?}", start.elapsed());

@@ -1,0 +1,18 @@
+//! Tier-1 gate at the workspace root: `cargo test -q` (which only runs
+//! the root package's tests) must fail on any `cfs-lint` finding, not
+//! just `cargo test --workspace`. The same check also lives in
+//! `crates/lint/tests/workspace_clean.rs` next to the linter's own
+//! fixtures; this copy is the one the ROADMAP tier-1 command reaches.
+
+#[test]
+fn workspace_passes_cfs_lint() {
+    let root = cfs_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("the repo root declares [workspace]");
+    let findings = cfs_lint::check_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        findings.is_empty(),
+        "cfs-lint found invariant violations — fix them or add a justified \
+         `// cfs-lint: allow(<rule>)` (DESIGN.md §6):\n{}",
+        cfs_lint::render_human(&findings, 0)
+    );
+}
