@@ -1,13 +1,15 @@
 //! Benchmarks of the CFS engine's hot loop: a full engine iteration
 //! (observation extraction + constraint pass) at several thread counts,
-//! and the `FacilitySet` representation against the `BTreeSet` it
-//! replaced.
+//! the recording overhead of an attached `TraceRecorder` against the
+//! default `NoopRecorder`, and the `FacilitySet` representation against
+//! the `BTreeSet` it replaced.
 //!
 //! Besides the usual per-bench console lines, `main` records every
 //! result (plus the machine's core count, which bounds any thread
 //! scaling) into `BENCH_engine.json` at the workspace root.
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{black_box, Bencher, Criterion};
@@ -15,6 +17,7 @@ use criterion::{black_box, Bencher, Criterion};
 use cfs_bench::BenchWorld;
 use cfs_core::{Cfs, CfsConfig};
 use cfs_net::IpAsnDb;
+use cfs_obs::{Monotonic, Recorder, TraceRecorder};
 use cfs_traceroute::{
     deploy_vantage_points, run_campaign, CampaignLimits, Engine, Trace, VpConfig, VpSet,
 };
@@ -77,6 +80,31 @@ impl EngineFixture {
         cfs.ingest(self.traces.clone());
         cfs.run().total()
     }
+
+    /// Same iteration with an explicit recorder attached, for measuring
+    /// what full tracing costs relative to the `NoopRecorder` default.
+    fn iteration_recorded(
+        &self,
+        engine: &Engine<'_>,
+        threads: usize,
+        recorder: Arc<dyn Recorder>,
+    ) -> usize {
+        let cfg = CfsConfig {
+            max_iterations: 1,
+            followup_interfaces: 0,
+            threads,
+            ..CfsConfig::default()
+        };
+        let mut cfs = Cfs::builder(engine, &self.world.kb)
+            .vps(&self.vps)
+            .ipasn(&self.ipasn)
+            .config(cfg)
+            .recorder(recorder)
+            .build()
+            .unwrap();
+        cfs.ingest(self.traces.clone());
+        cfs.run().total()
+    }
 }
 
 fn bench_engine_iteration(c: &mut Criterion) {
@@ -91,6 +119,30 @@ fn bench_engine_iteration(c: &mut Criterion) {
             b.iter(|| black_box(fx.iteration(&engine, threads)))
         });
     }
+    group.finish();
+}
+
+/// Recording overhead: the same single-threaded engine iteration with
+/// the default `NoopRecorder` versus a live `TraceRecorder` counting
+/// every observation, remote test, and stage span. The budget is ≤5%
+/// over the noop baseline — tracing is meant to be cheap enough to
+/// leave on in experiments.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let fx = EngineFixture::standard();
+    let engine = Engine::new(&fx.world.topo);
+    let mut group = c.benchmark_group("obs_overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("noop", |b: &mut Bencher| {
+        b.iter(|| black_box(fx.iteration(&engine, 1)))
+    });
+    // One recorder reused across iterations: shards and histograms are
+    // fixed-size, so accumulation doesn't grow the working set.
+    let recorder = Arc::new(TraceRecorder::new(Arc::new(Monotonic::new())));
+    group.bench_function("trace", |b: &mut Bencher| {
+        b.iter(|| black_box(fx.iteration_recorded(&engine, 1, recorder.clone())))
+    });
     group.finish();
 }
 
@@ -139,6 +191,7 @@ fn bench_facility_sets(c: &mut Criterion) {
 fn main() {
     let mut criterion = Criterion::default();
     bench_engine_iteration(&mut criterion);
+    bench_obs_overhead(&mut criterion);
     bench_facility_sets(&mut criterion);
 
     // Record the measurements for tracking across PRs.

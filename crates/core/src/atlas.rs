@@ -216,6 +216,7 @@ mod tests {
             iterations: Vec::new(),
             router_stats: Default::default(),
             traces_issued: 0,
+            convergence: Default::default(),
         }
     }
 

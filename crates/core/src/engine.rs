@@ -18,20 +18,25 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use cfs_alias::{correct_ip_to_asn, resolve_aliases, AliasResolution, IpIdProber, MidarConfig};
 use cfs_kb::KnowledgeBase;
 use cfs_net::IpAsnDb;
+use cfs_obs::{NoopRecorder, Recorder};
 use cfs_traceroute::{Engine, Platform, Trace, VpSet};
 use cfs_types::{
     Asn, Error, FacilityId, FacilitySet, FacilitySetInterner, IxpId, LinkClass, PeeringKind,
     Result, VantagePointId,
 };
 
-use crate::observe::{extract_observations, Observation, Resolver};
+use crate::observe::{extract_observations_recorded, Observation, Resolver};
 use crate::proximity::ProximityModel;
 use crate::remote::RemoteTester;
-use crate::report::{CfsReport, InferredInterface, InferredLink, RouterRoleStats};
+use crate::report::{
+    CandidateHistogram, CfsReport, ConvergenceTelemetry, InferredInterface, InferredLink,
+    RouterRoleStats,
+};
 use crate::state::{IfaceState, SearchOutcome};
 
 /// Tuning knobs of the search loop.
@@ -131,6 +136,8 @@ pub struct Cfs<'a> {
     iterations: Vec<IterationStats>,
     traces_issued: usize,
     new_ips_since_alias: usize,
+    recorder: Arc<dyn Recorder>,
+    conv_hists: Vec<CandidateHistogram>,
 }
 
 /// Builder for [`Cfs`]: names every dependency at the call site instead
@@ -152,6 +159,7 @@ pub struct CfsBuilder<'a> {
     ipasn: Option<&'a IpAsnDb>,
     cfg: CfsConfig,
     platforms: Option<BTreeSet<Platform>>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl<'a> CfsBuilder<'a> {
@@ -187,6 +195,16 @@ impl<'a> CfsBuilder<'a> {
         self
     }
 
+    /// Attaches an observability recorder: every pipeline stage then
+    /// emits spans, counters, and histograms through it (default: the
+    /// no-op recorder, which costs one empty virtual call per signal).
+    /// With a `cfs_obs::TraceRecorder` the stable export is
+    /// byte-identical at any [`CfsBuilder::threads`] value.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Builds the engine; errors when a required dependency was not set.
     pub fn build(self) -> Result<Cfs<'a>> {
         let vps = self
@@ -202,6 +220,7 @@ impl<'a> CfsBuilder<'a> {
             ipasn,
             self.cfg,
             self.platforms,
+            self.recorder,
         ))
     }
 }
@@ -217,6 +236,7 @@ impl<'a> Cfs<'a> {
             ipasn: None,
             cfg: CfsConfig::default(),
             platforms: None,
+            recorder: Arc::new(NoopRecorder),
         }
     }
 
@@ -229,7 +249,7 @@ impl<'a> Cfs<'a> {
         ipasn: &'a IpAsnDb,
         cfg: CfsConfig,
     ) -> Self {
-        Self::assemble(engine, vps, kb, ipasn, cfg, None)
+        Self::assemble(engine, vps, kb, ipasn, cfg, None, Arc::new(NoopRecorder))
     }
 
     /// Restricts follow-up measurements to the given platforms.
@@ -246,6 +266,7 @@ impl<'a> Cfs<'a> {
         ipasn: &'a IpAsnDb,
         cfg: CfsConfig,
         platforms: Option<BTreeSet<Platform>>,
+        recorder: Arc<dyn Recorder>,
     ) -> Self {
         Self {
             engine,
@@ -273,6 +294,8 @@ impl<'a> Cfs<'a> {
             iterations: Vec::new(),
             traces_issued: 0,
             new_ips_since_alias: 0,
+            recorder,
+            conv_hists: Vec::new(),
         }
     }
 
@@ -334,16 +357,20 @@ impl<'a> Cfs<'a> {
     /// Runs the search to convergence (or the iteration cap) and returns
     /// the report.
     pub fn run(&mut self) -> CfsReport {
+        cfs_obs::span!(self.recorder, "cfs.run");
         self.refresh_aliases();
         self.process_new_traces();
 
         let mut stale = 0usize;
         let mut last_resolved = 0usize;
         for iteration in 1..=self.cfg.max_iterations {
+            cfs_obs::span!(self.recorder, "cfs.iteration");
+            self.recorder.counter("cfs.iterations", 1);
             self.apply_constraints(iteration);
             if self.cfg.alias_constraints {
                 self.apply_alias_constraints(iteration);
             }
+            self.record_convergence(iteration);
             let resolved = self.resolved_count();
             let mut issued = 0usize;
 
@@ -384,11 +411,29 @@ impl<'a> Cfs<'a> {
         self.build_report()
     }
 
+    /// Snapshots the candidate-set-size distribution after this
+    /// iteration's constraints: one [`CandidateHistogram`] per iteration
+    /// for `CfsReport::convergence`, mirrored into the recorder's
+    /// `cfs.candidates_per_iface` histogram. Iterates the (worker-count
+    /// independent) state map, so the telemetry is deterministic.
+    fn record_convergence(&mut self, iteration: usize) {
+        let mut hist = CandidateHistogram::new(iteration);
+        for state in self.states.values() {
+            let size = state.candidates.as_ref().map(FacilitySet::len);
+            hist.record(size);
+            if let Some(n) = size {
+                self.recorder.observe("cfs.candidates_per_iface", n as u64);
+            }
+        }
+        self.conv_hists.push(hist);
+    }
+
     // ------------------------------------------------------------------
     // Data preparation
     // ------------------------------------------------------------------
 
     fn refresh_aliases(&mut self) {
+        cfs_obs::span!(self.recorder, "stage.alias_resolution");
         let prober = IpIdProber::new(self.engine.topology());
         let ips: Vec<Ipv4Addr> = self.hop_ips.iter().copied().collect();
         let mut alias_cfg = self.cfg.alias.clone();
@@ -418,6 +463,7 @@ impl<'a> Cfs<'a> {
     /// serially in ingestion order, keeping results independent of the
     /// worker count.
     fn process_new_traces(&mut self) {
+        cfs_obs::span!(self.recorder, "stage.extract");
         let workers = self.workers();
         let Self {
             ref traces,
@@ -427,9 +473,14 @@ impl<'a> Cfs<'a> {
             ref mut obs_keys,
             ref mut observations,
             ref mut vp_crossed,
+            ref recorder,
             ..
         } = *self;
         let new = &traces[processed..];
+        // Workers record per *trace* through this borrow; chunk-level
+        // signals would vary with the worker count (DESIGN.md §7).
+        let rec: &dyn Recorder = &**recorder;
+        rec.counter("extract.traces", new.len() as u64);
 
         let per_trace: Vec<Vec<Observation>> = if workers > 1 && new.len() >= 64 {
             let chunk_size = new.len().div_ceil(workers);
@@ -441,7 +492,7 @@ impl<'a> Cfs<'a> {
                             let resolver = Resolver::new(kb, corrected);
                             chunk
                                 .iter()
-                                .map(|t| extract_observations(t, &resolver))
+                                .map(|t| extract_observations_recorded(t, &resolver, rec))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -455,7 +506,7 @@ impl<'a> Cfs<'a> {
         } else {
             let resolver = Resolver::new(kb, corrected);
             new.iter()
-                .map(|t| extract_observations(t, &resolver))
+                .map(|t| extract_observations_recorded(t, &resolver, rec))
                 .collect()
         };
 
@@ -464,6 +515,7 @@ impl<'a> Cfs<'a> {
                 let key = (obs.near_ip, obs.class.ixp(), obs.far_ip);
                 if obs_keys.insert(key) {
                     observations.push(obs);
+                    rec.counter("extract.observations_new", 1);
                 }
             }
             // Maintain the exposure index: which vantage points see which
@@ -503,9 +555,12 @@ impl<'a> Cfs<'a> {
     // ------------------------------------------------------------------
 
     fn apply_constraints(&mut self, iteration: usize) {
+        cfs_obs::span!(self.recorder, "stage.constrain");
         let mut observations = std::mem::take(&mut self.observations);
         observations.extend(self.session_observations.iter().cloned());
         self.prefill_remote_verdicts(&observations);
+        self.recorder
+            .counter("constrain.observations", observations.len() as u64);
         for obs in &observations {
             match obs.class {
                 LinkClass::Public { ixp } => {
@@ -538,6 +593,7 @@ impl<'a> Cfs<'a> {
     /// work list is gathered in observation order, probed in parallel,
     /// and written back in the same order — identical to the serial run.
     fn prefill_remote_verdicts(&mut self, observations: &[Observation]) {
+        cfs_obs::span!(self.recorder, "stage.remote");
         let mut pending: Vec<(Ipv4Addr, IxpId)> = Vec::new();
         let mut queued: BTreeSet<Ipv4Addr> = BTreeSet::new();
         for obs in observations {
@@ -570,6 +626,10 @@ impl<'a> Cfs<'a> {
         let workers = self.workers();
         let engine = self.engine;
         let vps = self.vps;
+        // Verdict counters are per tested address (the pending list does
+        // not depend on the worker count), so the recorder's totals stay
+        // chunking-independent.
+        let rec: &dyn Recorder = &*self.recorder;
         let verdicts: Vec<Option<bool>> = if workers > 1 && pending.len() >= 8 {
             let chunk_size = pending.len().div_ceil(workers);
             crossbeam::thread::scope(|scope| {
@@ -577,7 +637,7 @@ impl<'a> Cfs<'a> {
                     .chunks(chunk_size)
                     .map(|chunk| {
                         scope.spawn(move |_| {
-                            let tester = RemoteTester::new(engine, vps);
+                            let tester = RemoteTester::new(engine, vps).recorded(rec);
                             chunk
                                 .iter()
                                 .map(|(ip, ixp)| tester.is_remote(*ixp, *ip))
@@ -592,7 +652,7 @@ impl<'a> Cfs<'a> {
             })
             .expect("remote-test thread scope")
         } else {
-            let tester = RemoteTester::new(engine, vps);
+            let tester = RemoteTester::new(engine, vps).recorded(rec);
             pending
                 .iter()
                 .map(|(ip, ixp)| tester.is_remote(*ixp, *ip))
@@ -612,10 +672,11 @@ impl<'a> Cfs<'a> {
         let common = f_owner.intersect(&f_ixp);
 
         let verdict = if common.is_empty() && !f_owner.is_empty() {
-            *self
-                .remote_cache
-                .entry(ip)
-                .or_insert_with(|| RemoteTester::new(self.engine, self.vps).is_remote(ixp, ip))
+            *self.remote_cache.entry(ip).or_insert_with(|| {
+                RemoteTester::new(self.engine, self.vps)
+                    .recorded(&*self.recorder)
+                    .is_remote(ixp, ip)
+            })
         } else {
             None
         };
@@ -680,6 +741,7 @@ impl<'a> Cfs<'a> {
     /// Step 3: all aliases of a router share its facility, so their
     /// candidate sets intersect.
     fn apply_alias_constraints(&mut self, iteration: usize) {
+        cfs_obs::span!(self.recorder, "stage.alias_constrain");
         for set in self.aliases.sets.clone() {
             let mut combined: Option<FacilitySet> = None;
             for ip in &set {
@@ -725,6 +787,7 @@ impl<'a> Cfs<'a> {
     }
 
     fn followups(&mut self, _iteration: usize) -> usize {
+        cfs_obs::span!(self.recorder, "stage.followup");
         // Chase the interfaces closest to resolution first, but rotate
         // the measurement budget: an interface that has been chased a few
         // times without converging yields its slot to fresher ones (the
@@ -753,6 +816,7 @@ impl<'a> Cfs<'a> {
             self.plan_chase(ip, &mut requests);
         }
         let issued = requests.len();
+        self.recorder.counter("followup.requests", issued as u64);
         let traces = self.trace_fanout(&requests);
         self.ingest(traces);
         self.traces_issued += issued;
@@ -936,6 +1000,7 @@ impl<'a> Cfs<'a> {
     // ------------------------------------------------------------------
 
     fn build_report(&mut self) -> CfsReport {
+        cfs_obs::span!(self.recorder, "stage.report");
         let all_observations: Vec<Observation> = self
             .observations
             .iter()
@@ -1081,12 +1146,30 @@ impl<'a> Cfs<'a> {
         // Router-role statistics over alias groups.
         let router_stats = self.router_stats();
 
+        self.recorder
+            .counter("report.interfaces", interfaces.len() as u64);
+        self.recorder.counter("report.links", links.len() as u64);
+
+        // Convergence telemetry: the per-iteration candidate histograms
+        // plus every interface's narrowing trajectory.
+        let mut trajectories = BTreeMap::new();
+        for (ip, state) in &self.states {
+            if !state.trajectory.is_empty() {
+                trajectories.insert(*ip, state.trajectory.clone());
+            }
+        }
+        let convergence = ConvergenceTelemetry {
+            per_iteration: self.conv_hists.clone(),
+            trajectories,
+        };
+
         CfsReport {
             interfaces,
             links,
             iterations: self.iterations.clone(),
             router_stats,
             traces_issued: self.traces_issued,
+            convergence,
         }
     }
 

@@ -35,11 +35,18 @@ mod proximity;
 mod remote;
 mod report;
 mod state;
+mod telemetry;
 
 pub use atlas::{AtlasEntry, InterconnectionAtlas};
 pub use engine::{Cfs, CfsBuilder, CfsConfig, IterationStats};
-pub use observe::{extract_observations, HopMeaning, Observation, Resolver};
+pub use observe::{
+    extract_observations, extract_observations_recorded, HopMeaning, Observation, Resolver,
+};
 pub use proximity::ProximityModel;
 pub use remote::RemoteTester;
-pub use report::{CfsReport, InferredInterface, InferredLink, RouterRoleStats};
-pub use state::{IfaceState, SearchOutcome};
+pub use report::{
+    CandidateHistogram, CfsReport, ConvergenceTelemetry, InferredInterface, InferredLink,
+    RouterRoleStats, CANDIDATE_BUCKET_LE,
+};
+pub use state::{IfaceState, SearchOutcome, TrajectoryPoint};
+pub use telemetry::{render_trace_json, TRACE_SCHEMA};

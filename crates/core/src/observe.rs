@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use cfs_kb::KnowledgeBase;
+use cfs_obs::Recorder;
 use cfs_traceroute::Trace;
 use cfs_types::{Asn, IxpId, LinkClass};
 
@@ -130,6 +131,28 @@ pub fn extract_observations(trace: &Trace, resolver: &Resolver<'_>) -> Vec<Obser
             _ => {}
         }
     }
+    out
+}
+
+/// [`extract_observations`] plus telemetry: counts public and private
+/// crossings and samples the per-trace observation count.
+///
+/// All recording here is per *trace*, never per worker chunk, so the
+/// merged totals are independent of how the extraction stage splits
+/// traces over threads (the DESIGN.md §7 determinism contract).
+pub fn extract_observations_recorded(
+    trace: &Trace,
+    resolver: &Resolver<'_>,
+    rec: &dyn Recorder,
+) -> Vec<Observation> {
+    let out = extract_observations(trace, resolver);
+    for obs in &out {
+        match obs.class {
+            LinkClass::Public { .. } => rec.counter("observe.public", 1),
+            LinkClass::Private => rec.counter("observe.private", 1),
+        }
+    }
+    rec.observe("observe.per_trace", out.len() as u64);
     out
 }
 

@@ -8,6 +8,7 @@
 use std::net::Ipv4Addr;
 
 use cfs_geo::fiber_rtt_ms;
+use cfs_obs::{Recorder, NOOP};
 use cfs_traceroute::{Engine, VpSet};
 use cfs_types::{IxpId, VantagePointId};
 
@@ -26,12 +27,25 @@ const REMOTE_SLACK_MS: f64 = 6.0;
 pub struct RemoteTester<'a> {
     engine: &'a Engine<'a>,
     vps: &'a VpSet,
+    recorder: &'a dyn Recorder,
 }
 
 impl<'a> RemoteTester<'a> {
     /// Creates a tester over the measurement platforms.
     pub fn new(engine: &'a Engine<'a>, vps: &'a VpSet) -> Self {
-        Self { engine, vps }
+        Self {
+            engine,
+            vps,
+            recorder: &NOOP,
+        }
+    }
+
+    /// Attaches a recorder: every [`RemoteTester::is_remote`] call then
+    /// counts its test and verdict. Recording is per tested address, so
+    /// the totals are chunking-independent (DESIGN.md §7).
+    pub fn recorded(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The nearest vantage points to the exchange's core facility.
@@ -54,6 +68,7 @@ impl<'a> RemoteTester<'a> {
     /// `ixp`. Returns `None` when no measurement succeeded (silent
     /// router, no vantage points).
     pub fn is_remote(&self, ixp: IxpId, fabric_ip: Ipv4Addr) -> Option<bool> {
+        self.recorder.counter("remote.tests", 1);
         let mut verdict = None;
         for (vp_id, dist_km) in self.nearest_vps(ixp, 3) {
             let vp = &self.vps.vps[vp_id];
@@ -68,6 +83,12 @@ impl<'a> RemoteTester<'a> {
             verdict = Some(min_rtt > local_bound);
             break; // nearest responsive vantage point decides
         }
+        let outcome = match verdict {
+            Some(true) => "remote.verdict_remote",
+            Some(false) => "remote.verdict_local",
+            None => "remote.verdict_unknown",
+        };
+        self.recorder.counter(outcome, 1);
         verdict
     }
 }

@@ -8,7 +8,69 @@ use std::net::Ipv4Addr;
 use cfs_types::{Asn, FacilityId, IxpId, MetroId, PeeringKind};
 
 use crate::engine::IterationStats;
-use crate::state::SearchOutcome;
+use crate::state::{SearchOutcome, TrajectoryPoint};
+
+/// Upper (inclusive) bounds of the [`CandidateHistogram`] size buckets
+/// for interfaces still holding several candidates; sizes above the last
+/// bound land in a trailing overflow bucket.
+pub const CANDIDATE_BUCKET_LE: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Distribution of candidate-set sizes across tracked interfaces at the
+/// end of one CFS iteration (the convergence signal behind Figure 7:
+/// mass should drain from the wide buckets into `resolved`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CandidateHistogram {
+    /// 1-based iteration this snapshot was taken after.
+    pub iteration: usize,
+    /// Interfaces with no candidate set yet (unconstrained or missing
+    /// data).
+    pub unconstrained: usize,
+    /// Interfaces down to exactly one candidate.
+    pub resolved: usize,
+    /// Interfaces with > 1 candidates, bucketed by
+    /// [`CANDIDATE_BUCKET_LE`] plus one overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl CandidateHistogram {
+    /// An empty histogram for the given iteration.
+    pub fn new(iteration: usize) -> Self {
+        Self {
+            iteration,
+            unconstrained: 0,
+            resolved: 0,
+            buckets: vec![0; CANDIDATE_BUCKET_LE.len() + 1],
+        }
+    }
+
+    /// Buckets one interface's current candidate-set size (`None` when
+    /// no constraint has produced a set yet).
+    pub fn record(&mut self, candidates: Option<usize>) {
+        match candidates {
+            None | Some(0) => self.unconstrained += 1,
+            Some(1) => self.resolved += 1,
+            Some(n) => {
+                let idx = CANDIDATE_BUCKET_LE
+                    .iter()
+                    .position(|b| n <= *b)
+                    .unwrap_or(CANDIDATE_BUCKET_LE.len());
+                self.buckets[idx] += 1;
+            }
+        }
+    }
+}
+
+/// Convergence telemetry: how candidate sets drained, globally and per
+/// interface. Lives alongside [`CfsReport::resolution_curve`], which
+/// summarizes the same process as one number per iteration.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ConvergenceTelemetry {
+    /// One candidate-set-size histogram per iteration, in order.
+    pub per_iteration: Vec<CandidateHistogram>,
+    /// Narrowing trajectory of every interface whose candidate set ever
+    /// changed: (iteration, size-after-change) pairs, oldest first.
+    pub trajectories: BTreeMap<Ipv4Addr, Vec<TrajectoryPoint>>,
+}
 
 /// Final verdict for one observed peering interface.
 #[derive(Clone, Debug, serde::Serialize)]
@@ -88,6 +150,9 @@ pub struct CfsReport {
     pub router_stats: RouterRoleStats,
     /// Total traceroutes issued (bootstrap + follow-ups).
     pub traces_issued: usize,
+    /// Convergence telemetry (per-iteration candidate histograms and
+    /// per-interface narrowing trajectories).
+    pub convergence: ConvergenceTelemetry,
 }
 
 impl CfsReport {
@@ -271,6 +336,7 @@ mod tests {
             ],
             router_stats: RouterRoleStats::default(),
             traces_issued: 5,
+            convergence: ConvergenceTelemetry::default(),
         };
         assert_eq!(report.resolved(), 2);
         assert_eq!(report.total(), 3);
@@ -279,6 +345,63 @@ mod tests {
         let curve = report.resolution_curve();
         assert_eq!(curve.len(), 2);
         assert!(curve[1] > curve[0]);
+    }
+
+    #[test]
+    fn resolution_curve_shape_is_pinned() {
+        // Four tracked interfaces, resolved counts 1 → 2 → 4 across
+        // three iterations: the curve is exactly [0.25, 0.5, 1.0] and
+        // never decreases.
+        let mut interfaces = BTreeMap::new();
+        for i in 0..4 {
+            let ip = format!("10.0.1.{i}");
+            interfaces.insert(ip.parse().unwrap(), iface(&ip, Some(i)));
+        }
+        let iterations = [1usize, 2, 4]
+            .iter()
+            .enumerate()
+            .map(|(i, resolved)| IterationStats {
+                iteration: i + 1,
+                resolved: *resolved,
+                tracked: 4,
+                traces_issued: 0,
+            })
+            .collect();
+        let report = CfsReport {
+            interfaces,
+            links: Vec::new(),
+            iterations,
+            router_stats: RouterRoleStats::default(),
+            traces_issued: 0,
+            convergence: ConvergenceTelemetry::default(),
+        };
+        assert_eq!(report.resolution_curve(), vec![0.25, 0.5, 1.0]);
+        let curve = report.resolution_curve();
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]), "must be monotone");
+
+        // Degenerate report: no interfaces, no iterations — empty curve,
+        // and the max(1) guard keeps the division finite.
+        let empty = CfsReport {
+            interfaces: BTreeMap::new(),
+            links: Vec::new(),
+            iterations: Vec::new(),
+            router_stats: RouterRoleStats::default(),
+            traces_issued: 0,
+            convergence: ConvergenceTelemetry::default(),
+        };
+        assert!(empty.resolution_curve().is_empty());
+    }
+
+    #[test]
+    fn candidate_histogram_buckets_sizes() {
+        let mut h = CandidateHistogram::new(3);
+        for size in [None, Some(0), Some(1), Some(2), Some(3), Some(33)] {
+            h.record(size);
+        }
+        assert_eq!(h.iteration, 3);
+        assert_eq!(h.unconstrained, 2);
+        assert_eq!(h.resolved, 1);
+        assert_eq!(h.buckets, vec![1, 1, 0, 0, 0, 1]);
     }
 
     #[test]
@@ -310,6 +433,7 @@ mod tests {
             iterations: Vec::new(),
             router_stats: RouterRoleStats::default(),
             traces_issued: 0,
+            convergence: ConvergenceTelemetry::default(),
         };
         let by_kind = report.interfaces_by_kind(Asn(1));
         assert_eq!(by_kind[&PeeringKind::PublicLocal], 1);

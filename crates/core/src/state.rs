@@ -23,6 +23,17 @@ pub enum SearchOutcome {
     MissingData,
 }
 
+/// One step of an interface's narrowing trajectory: the candidate-set
+/// size right after a constraint changed it (§4's convergence signal,
+/// exported through `CfsReport::convergence`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct TrajectoryPoint {
+    /// 1-based iteration the change happened in.
+    pub iteration: usize,
+    /// Candidate facilities remaining after the change.
+    pub candidates: usize,
+}
+
 /// Search state of one observed peering interface.
 #[derive(Clone, Debug)]
 pub struct IfaceState {
@@ -50,6 +61,9 @@ pub struct IfaceState {
     /// its proximity ranking only on far ends that *had* several
     /// candidate facilities before converging.
     pub was_ambiguous: bool,
+    /// Every point at which a constraint changed the candidate set:
+    /// the interface's narrowing trajectory, oldest first.
+    pub trajectory: Vec<TrajectoryPoint>,
 }
 
 impl IfaceState {
@@ -66,6 +80,7 @@ impl IfaceState {
             seen_private: false,
             resolved_at: None,
             was_ambiguous: false,
+            trajectory: Vec::new(),
         }
     }
 
@@ -110,6 +125,10 @@ impl IfaceState {
                 } else {
                     self.was_ambiguous = true;
                 }
+                self.trajectory.push(TrajectoryPoint {
+                    iteration,
+                    candidates: allowed.len(),
+                });
                 true
             }
             Some(current) => {
@@ -126,6 +145,10 @@ impl IfaceState {
                 if resolved_now {
                     self.resolved_at.get_or_insert(iteration);
                 }
+                self.trajectory.push(TrajectoryPoint {
+                    iteration,
+                    candidates: current.len(),
+                });
                 true
             }
         }
@@ -199,6 +222,33 @@ mod tests {
         assert_eq!(s.outcome(), SearchOutcome::UnresolvedRemote);
         s.constrain(&set(&[1]), 2);
         assert_eq!(s.outcome(), SearchOutcome::Resolved);
+    }
+
+    #[test]
+    fn trajectory_records_every_narrowing_step() {
+        let mut s = IfaceState::new(ip(), None);
+        s.constrain(&set(&[1, 2, 5]), 1);
+        s.constrain(&set(&[1, 2, 5]), 2); // no change: no point
+        s.constrain(&set(&[8, 9]), 3); // conflict: no point
+        s.constrain(&set(&[2, 5]), 4);
+        s.constrain(&set(&[5]), 6);
+        assert_eq!(
+            s.trajectory,
+            vec![
+                TrajectoryPoint {
+                    iteration: 1,
+                    candidates: 3
+                },
+                TrajectoryPoint {
+                    iteration: 4,
+                    candidates: 2
+                },
+                TrajectoryPoint {
+                    iteration: 6,
+                    candidates: 1
+                },
+            ]
+        );
     }
 
     #[test]

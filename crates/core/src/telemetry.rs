@@ -1,0 +1,183 @@
+//! Rendering the `cfs-trace/1` document: the `--trace-json` export
+//! combining a [`cfs_obs::TraceSnapshot`] with the report's convergence
+//! telemetry.
+//!
+//! Everything here is hand-rolled JSON over `BTreeMap`-ordered data, in
+//! the style of `cfs_obs::export`: a given `(report, snapshot)` pair
+//! always renders to the same bytes, and nothing thread-sensitive (span
+//! durations) enters the document. That is what lets
+//! `crates/core/tests/determinism.rs` assert byte-identical trace files
+//! across worker counts.
+//!
+//! Document layout:
+//!
+//! ```text
+//! {
+//!   "schema": "cfs-trace/1",
+//!   "digest": "<fnv1a64 over everything after this member>",
+//!   "counters": { "<name>": <u64>, … },
+//!   "histogram_le": [1, 2, 4, …],               // shared obs bounds
+//!   "histograms": { "<name>": {"count", "sum", "buckets"}, … },
+//!   "spans": { "<name>": {"count"}, … },        // counts, never ns
+//!   "convergence": {
+//!     "candidate_bucket_le": [2, 4, 8, 16, 32],
+//!     "per_iteration": [ {"iteration", "unconstrained",
+//!                         "resolved", "buckets"}, … ],
+//!     "trajectories": { "<ip>": [[iteration, candidates], …], … }
+//!   },
+//!   "resolution_curve": [0.25, …]
+//! }
+//! ```
+
+use cfs_obs::export::{fnv1a64, stable_body};
+use cfs_obs::TraceSnapshot;
+
+use crate::report::{CfsReport, ConvergenceTelemetry, CANDIDATE_BUCKET_LE};
+
+/// Schema identifier stamped into every trace document.
+pub const TRACE_SCHEMA: &str = "cfs-trace/1";
+
+fn push_usize_list(out: &mut String, values: impl IntoIterator<Item = usize>) {
+    out.push('[');
+    for (i, v) in values.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn push_convergence(out: &mut String, conv: &ConvergenceTelemetry) {
+    out.push_str("{\"candidate_bucket_le\":");
+    push_usize_list(out, CANDIDATE_BUCKET_LE);
+    out.push_str(",\"per_iteration\":[");
+    for (i, h) in conv.per_iteration.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"iteration\":{},\"unconstrained\":{},\"resolved\":{},\"buckets\":",
+            h.iteration, h.unconstrained, h.resolved
+        ));
+        push_usize_list(out, h.buckets.iter().map(|b| *b as usize));
+        out.push('}');
+    }
+    out.push_str("],\"trajectories\":{");
+    for (i, (ip, points)) in conv.trajectories.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{ip}\":["));
+        for (j, p) in points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", p.iteration, p.candidates));
+        }
+        out.push(']');
+    }
+    out.push_str("}}");
+}
+
+/// Renders the full trace document for `--trace-json`.
+///
+/// The digest is FNV-1a 64 over the document body (everything after the
+/// `"digest"` member), so consumers can check integrity — and the
+/// determinism test can compare files across thread counts — without
+/// parsing.
+pub fn render_trace_json(report: &CfsReport, snap: &TraceSnapshot) -> String {
+    let mut body = stable_body(snap);
+    body.push_str(",\"convergence\":");
+    push_convergence(&mut body, &report.convergence);
+    body.push_str(",\"resolution_curve\":[");
+    for (i, v) in report.resolution_curve().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        // Shortest-roundtrip float formatting: stable for equal bits.
+        body.push_str(&format!("{v}"));
+    }
+    body.push(']');
+    let digest = fnv1a64(&body);
+    format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"digest\":\"{digest:016x}\",{body}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CandidateHistogram;
+    use crate::state::TrajectoryPoint;
+    use cfs_obs::{Recorder, TraceRecorder};
+    use std::collections::BTreeMap;
+
+    fn report() -> CfsReport {
+        let mut hist = CandidateHistogram::new(1);
+        hist.record(Some(3));
+        hist.record(Some(1));
+        hist.record(None);
+        let mut trajectories = BTreeMap::new();
+        trajectories.insert(
+            "10.0.0.1".parse().unwrap(),
+            vec![
+                TrajectoryPoint {
+                    iteration: 1,
+                    candidates: 3,
+                },
+                TrajectoryPoint {
+                    iteration: 2,
+                    candidates: 1,
+                },
+            ],
+        );
+        CfsReport {
+            interfaces: BTreeMap::new(),
+            links: Vec::new(),
+            iterations: Vec::new(),
+            router_stats: Default::default(),
+            traces_issued: 0,
+            convergence: ConvergenceTelemetry {
+                per_iteration: vec![hist],
+                trajectories,
+            },
+        }
+    }
+
+    fn snapshot() -> TraceSnapshot {
+        let rec = TraceRecorder::deterministic();
+        rec.counter("cfs.iterations", 2);
+        rec.observe("cfs.candidates_per_iface", 3);
+        let s = rec.span_start();
+        rec.span_end("cfs.run", s);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn document_shape_and_stability() {
+        let doc = render_trace_json(&report(), &snapshot());
+        assert!(doc.starts_with("{\"schema\":\"cfs-trace/1\",\"digest\":\""));
+        for needle in [
+            "\"counters\":{\"cfs.iterations\":2",
+            "\"convergence\":{\"candidate_bucket_le\":[2,4,8,16,32]",
+            "\"per_iteration\":[{\"iteration\":1,\"unconstrained\":1,\"resolved\":1,",
+            "\"trajectories\":{\"10.0.0.1\":[[1,3],[2,1]]}",
+            "\"resolution_curve\":[]",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
+        assert!(!doc.contains("total_ns"), "durations leaked: {doc}");
+        assert_eq!(doc, render_trace_json(&report(), &snapshot()));
+    }
+
+    #[test]
+    fn digest_matches_body() {
+        let doc = render_trace_json(&report(), &snapshot());
+        // Everything after the digest member is the digested body.
+        let marker = "\",";
+        let digest_start = doc.find("\"digest\":\"").unwrap() + "\"digest\":\"".len();
+        let digest_hex = &doc[digest_start..digest_start + 16];
+        let body_start = doc[digest_start..].find(marker).unwrap() + digest_start + marker.len();
+        let body = &doc[body_start..doc.len() - 1];
+        assert_eq!(format!("{:016x}", fnv1a64(body)), digest_hex);
+    }
+}

@@ -7,12 +7,23 @@
 //! is a pure function of its call parameters, and every fan-out merges
 //! its results in submission order.
 
-use cfs_core::{Cfs, CfsConfig};
+use std::sync::Arc;
+
+use cfs_core::{render_trace_json, Cfs, CfsConfig};
 use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
+use cfs_obs::TraceRecorder;
 use cfs_topology::{Topology, TopologyConfig};
 use cfs_traceroute::{deploy_vantage_points, run_campaign, CampaignLimits, Engine, VpConfig};
 
 fn report_json(topo: &Topology, threads: usize) -> String {
+    let (report, _) = report_and_trace(topo, threads);
+    report
+}
+
+/// Runs the pipeline with a deterministic (virtual-clock) recorder
+/// attached, returning both the report JSON and the rendered
+/// `cfs-trace/1` document.
+fn report_and_trace(topo: &Topology, threads: usize) -> (String, String) {
     let vps = deploy_vantage_points(topo, &VpConfig::tiny()).unwrap();
     let engine = Engine::new(topo);
     let sources = PublicSources::derive(topo, &KbConfig::default());
@@ -35,6 +46,7 @@ fn report_json(topo: &Topology, threads: usize) -> String {
         &CampaignLimits::default(),
     );
 
+    let recorder = Arc::new(TraceRecorder::deterministic());
     let mut cfs = Cfs::builder(&engine, &kb)
         .vps(&vps)
         .ipasn(&ipasn)
@@ -43,11 +55,13 @@ fn report_json(topo: &Topology, threads: usize) -> String {
             ..CfsConfig::default()
         })
         .threads(threads)
+        .recorder(recorder.clone())
         .build()
         .unwrap();
     cfs.ingest(traces);
     let report = cfs.run();
-    serde_json::to_string(&report).unwrap()
+    let trace = render_trace_json(&report, &recorder.snapshot());
+    (serde_json::to_string(&report).unwrap(), trace)
 }
 
 #[test]
@@ -64,6 +78,23 @@ fn serial_and_parallel_reports_are_byte_identical() {
             serial, parallel,
             "thread count {threads} changed the report"
         );
+    }
+}
+
+#[test]
+fn trace_json_is_byte_identical_across_thread_counts() {
+    // The tentpole guarantee of cfs-obs: worker counters are recorded
+    // per item (never per chunk) and the stable export carries no span
+    // durations, so the whole `cfs-trace/1` document — counters,
+    // histograms, span counts, convergence telemetry, digest — is
+    // byte-identical however the stages were chunked.
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    let (serial_report, serial_trace) = report_and_trace(&topo, 1);
+    assert!(serial_trace.starts_with("{\"schema\":\"cfs-trace/1\""));
+    for threads in [2, 8] {
+        let (report, trace) = report_and_trace(&topo, threads);
+        assert_eq!(serial_report, report, "report changed at {threads} threads");
+        assert_eq!(serial_trace, trace, "trace changed at {threads} threads");
     }
 }
 

@@ -117,6 +117,10 @@ pub const RULES: &[RuleInfo] = &[
         summary: "HashMap/HashSet iteration order is unspecified; use BTree* in report paths",
     },
     RuleInfo {
+        name: "unused-allow",
+        summary: "an allow(...) that suppresses no finding is stale; remove it",
+    },
+    RuleInfo {
         name: "unwrap-in-lib",
         summary: "library code must not panic: no bare unwrap(), expect() needs a literal message",
     },
@@ -248,15 +252,17 @@ fn check_line(
         }
     }
 
-    // wall-clock: only the bench targets may read real time; everything
-    // else uses the simulation's virtual clock so runs are reproducible.
-    if ctx.target != Target::Bench {
+    // wall-clock: only the bench targets and cfs-obs's clock module —
+    // the one sanctioned home of `Instant::now`, behind the injectable
+    // `Clock` trait — may read real time; everything else uses virtual
+    // clocks so runs are reproducible.
+    if ctx.target != Target::Bench && path != "crates/obs/src/clock.rs" {
         for needle in ["Instant::now", "SystemTime::now"] {
             for col in find_tokens(line, needle, true) {
                 push(
                     col,
                     "wall-clock",
-                    format!("`{needle}` reads wall time; use the engine's virtual clock (or move timing into `crates/bench`)"),
+                    format!("`{needle}` reads wall time; go through `cfs_obs::Clock` (`Monotonic`/`Virtual`) or move timing into `crates/bench`"),
                 );
             }
         }
@@ -383,25 +389,52 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
     }
 
     // Apply suppressions: a directive clears findings of the named
-    // rules on its target line.
+    // rules on its target line, and each `(directive, rule)` pair
+    // remembers whether it actually cleared anything.
+    let mut used: Vec<Vec<bool>> = directives
+        .iter()
+        .map(|d| vec![false; d.rules.len()])
+        .collect();
     findings.retain(|f| {
-        !directives
-            .iter()
-            .any(|d| d.target == f.line - 1 && d.rules.iter().any(|r| r == f.rule))
+        let mut suppressed = false;
+        for (di, d) in directives.iter().enumerate() {
+            if d.target != f.line - 1 {
+                continue;
+            }
+            for (ri, r) in d.rules.iter().enumerate() {
+                if r == f.rule {
+                    used[di][ri] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        !suppressed
     });
 
-    // Directive hygiene: unknown rule names and missing justifications
-    // are findings themselves, so the suppression inventory stays
-    // auditable.
-    for d in &directives {
-        for r in &d.rules {
+    // Directive hygiene: unknown rule names, missing justifications, and
+    // suppressions with nothing to suppress are findings themselves, so
+    // the suppression inventory stays auditable.
+    for (di, d) in directives.iter().enumerate() {
+        for (ri, r) in d.rules.iter().enumerate() {
             if !RULES.iter().any(|info| info.name == r) {
+                // Unknown names are unjustified-allow's business; firing
+                // unused-allow too would double-report one mistake.
                 findings.push(Finding {
                     path: rel_path.to_owned(),
                     line: d.line + 1,
                     col: 1,
                     rule: "unjustified-allow",
                     message: format!("allow() names unknown rule `{r}`"),
+                });
+            } else if !used[di][ri] {
+                findings.push(Finding {
+                    path: rel_path.to_owned(),
+                    line: d.line + 1,
+                    col: 1,
+                    rule: "unused-allow",
+                    message: format!(
+                        "allow({r}) suppresses nothing on its target line; remove the stale directive"
+                    ),
                 });
             }
         }
@@ -500,6 +533,41 @@ mod tests {
         let src = "/// Write `// cfs-lint: allow(wall-clock)` to suppress.\nfn f() { let _ = Instant::now(); }\n";
         let f = check_source("crates/core/src/x.rs", src);
         assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn stale_allow_fires_unused_allow() {
+        let src =
+            "fn f() { let x = 1; } // cfs-lint: allow(wall-clock) — stale: nothing to silence\n";
+        let f = check_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn partially_used_allow_flags_only_the_stale_rule() {
+        let src = "fn f() { Some(1).unwrap() } // cfs-lint: allow(unwrap-in-lib, wall-clock) — only one applies\n";
+        let f = check_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unused-allow");
+        assert!(f[0].message.contains("wall-clock"), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_rule_does_not_double_report_as_unused() {
+        let src = "// cfs-lint: allow(no-such-rule) — wrong name on purpose\nfn f() {}\n";
+        let f = check_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unjustified-allow");
+    }
+
+    #[test]
+    fn obs_clock_module_is_the_sanctioned_wall_clock_home() {
+        let src = "pub fn origin() { let _ = std::time::Instant::now(); }\n";
+        assert!(check_source("crates/obs/src/clock.rs", src).is_empty());
+        let f = check_source("crates/obs/src/recorder.rs", src);
+        assert_eq!(f.len(), 1, "only clock.rs is sanctioned: {f:?}");
         assert_eq!(f[0].rule, "wall-clock");
     }
 

@@ -1,0 +1,7 @@
+// Fixture: `unused-allow` must fire when a justified directive names a
+// real rule but its target line carries no such finding — the directive
+// is stale and hides nothing.
+pub fn spotless() {
+    let x = 1; // cfs-lint: allow(wall-clock) — stale: nothing here reads the clock
+    let _ = x;
+}

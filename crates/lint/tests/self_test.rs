@@ -45,6 +45,7 @@ fn dirty_tree_finding_inventory_is_exact() {
         ("rc-in-send-crate", 2),
         ("unjustified-allow", 2),
         ("unordered-iteration", 3),
+        ("unused-allow", 1),
         ("unwrap-in-lib", 2),
         ("wall-clock", 2),
     ];
@@ -81,6 +82,7 @@ fn dirty_findings_point_at_real_lines() {
         9,
         "unjustified-allow"
     ));
+    assert!(has("crates/core/src/unused_allow.rs", 5, "unused-allow"));
 }
 
 #[test]

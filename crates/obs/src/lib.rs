@@ -1,0 +1,57 @@
+//! # cfs-obs
+//!
+//! Deterministic observability for the CFS pipeline: structured spans,
+//! counters, and monotonic histograms behind a [`Recorder`] trait, with
+//! an injectable [`Clock`] and thread-count-independent aggregation.
+//!
+//! Like `cfs-lint`, this crate is dependency-free: it sits underneath
+//! every instrumented crate and must never pull substrate code along.
+//!
+//! The three guarantees instrumented code leans on (DESIGN.md §7):
+//!
+//! 1. **Free when off** — the default [`NoopRecorder`] turns every
+//!    signal into an empty virtual call.
+//! 2. **No wall time in the pipeline** — timing goes through [`Clock`];
+//!    [`Monotonic`] is the workspace's one sanctioned `Instant::now`
+//!    caller, [`Virtual`] is scripted time for tests.
+//! 3. **Deterministic aggregation** — [`TraceRecorder`] shards per
+//!    thread and merges in fixed order; a snapshot's stable export is
+//!    byte-identical however work was chunked, because durations are
+//!    kept out of it.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cfs_obs::{Recorder, TraceRecorder};
+//!
+//! let rec = Arc::new(TraceRecorder::deterministic());
+//! {
+//!     cfs_obs::span!(rec, "stage.extract");
+//!     rec.counter("observations", 42);
+//!     rec.observe("candidates.per_iface", 3);
+//! }
+//! let snap = rec.snapshot();
+//! # let _ = snap;
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clock;
+pub mod export;
+mod recorder;
+mod trace;
+
+pub use clock::{Clock, Monotonic, Virtual};
+pub use recorder::{span, NoopRecorder, Recorder, SpanGuard, NOOP};
+pub use trace::{Histogram, SpanStats, TraceRecorder, TraceSnapshot, HISTOGRAM_BOUNDS};
+
+// The recorder crosses the engine's scoped-worker boundary; prove it at
+// compile time like `cfs-core` does for its substrate types.
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn sync<T: Sync + Send>() {}
+    sync::<NoopRecorder>();
+    sync::<TraceRecorder>();
+    sync::<Monotonic>();
+    sync::<Virtual>();
+}

@@ -1,0 +1,123 @@
+//! The recording API instrumented code talks to.
+//!
+//! Instrumentation sites hold an `Arc<dyn Recorder>` and emit three
+//! kinds of signals:
+//!
+//! * **counters** — monotonically increasing sums (`counter`),
+//! * **histograms** — value distributions over fixed power-of-two
+//!   buckets (`observe`),
+//! * **spans** — named scopes whose entry/exit are timed through the
+//!   injected [`Clock`](crate::Clock) (`span_start`/`span_end`, usually
+//!   via the [`span!`](crate::span!) guard macro).
+//!
+//! The default implementation is [`NoopRecorder`]: every method is an
+//! empty body behind one virtual call, so fully-instrumented code costs
+//! next to nothing when nobody is listening.
+
+use std::sync::Arc;
+
+/// Sink for counters, histogram samples, and span timings.
+///
+/// Implementations must be safe to call from the engine's scoped worker
+/// threads (`Send + Sync`); aggregation across threads is the
+/// implementation's problem (see
+/// [`TraceRecorder`](crate::TraceRecorder) for the deterministic one).
+///
+/// Names are `&'static str` by design: the instrumentation vocabulary is
+/// fixed at compile time (DESIGN.md §7 lists it), which keeps recording
+/// allocation-free and the export schema stable.
+pub trait Recorder: Send + Sync {
+    /// Whether anything is listening. Lets call sites skip building
+    /// expensive arguments; plain counters don't need the check.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, _name: &'static str, _delta: u64) {}
+
+    /// Records one sample into the named histogram.
+    fn observe(&self, _name: &'static str, _value: u64) {}
+
+    /// Marks a span entry; returns the start timestamp (ns) to hand back
+    /// to [`Recorder::span_end`].
+    fn span_start(&self) -> u64 {
+        0
+    }
+
+    /// Marks a span exit entered at `start_ns`.
+    fn span_end(&self, _name: &'static str, _start_ns: u64) {}
+}
+
+/// The do-nothing recorder: the default everywhere.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// A `'static` no-op instance, for call sites that need a borrowed
+/// default (`&NOOP`) rather than an owned `Arc`.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+/// RAII span: records the enclosing scope's duration on drop.
+///
+/// Obtain one through [`span`] or the [`span!`](crate::span!) macro.
+pub struct SpanGuard {
+    rec: Arc<dyn Recorder>,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.rec.span_end(self.name, self.start_ns);
+    }
+}
+
+/// Enters a named span on `rec`; the returned guard closes it on drop.
+pub fn span(rec: Arc<dyn Recorder>, name: &'static str) -> SpanGuard {
+    let start_ns = rec.span_start();
+    SpanGuard {
+        rec,
+        name,
+        start_ns,
+    }
+}
+
+/// Opens a span over the rest of the enclosing scope:
+/// `cfs_obs::span!(self.recorder, "cfs.iteration");`.
+///
+/// Expands to a hygienic `let` binding holding a [`SpanGuard`], so the
+/// span closes when the scope ends; several `span!`s may nest in one
+/// function.
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $name:expr) => {
+        // Two statements so `Arc::clone`'s generic is inferred from the
+        // recorder, then unsize-coerced into `span`'s `Arc<dyn Recorder>`.
+        let _obs_span_rec = ::std::sync::Arc::clone(&$rec);
+        let _obs_span_guard = $crate::span(_obs_span_rec, $name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.counter("x", 1);
+        rec.observe("y", 2);
+        let s = rec.span_start();
+        rec.span_end("z", s);
+    }
+
+    #[test]
+    fn span_macro_compiles_and_nests() {
+        let rec: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+        span!(rec, "outer");
+        span!(rec, "inner");
+    }
+}

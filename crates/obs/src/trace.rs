@@ -1,0 +1,258 @@
+//! The collecting recorder and its deterministic aggregation.
+//!
+//! [`TraceRecorder`] buffers signals into a fixed array of shards, each
+//! behind its own mutex; a thread writes to the shard assigned to it on
+//! first use (a process-wide round-robin), so the engine's scoped
+//! workers rarely contend. [`TraceRecorder::snapshot`] merges the shards
+//! **in shard-index order** into `BTreeMap`s.
+//!
+//! ## Determinism contract
+//!
+//! A snapshot is byte-stable across worker counts because every merged
+//! quantity is a sum of per-*item* integer contributions, and the item
+//! set (traces extracted, remote tests run, constraints applied…) is
+//! itself independent of how work was chunked across threads. Which
+//! shard a contribution lands in varies run to run; the fixed-order
+//! merge over commutative sums erases that. The only thread-sensitive
+//! quantities are span durations, which is why the stable export
+//! ([`crate::export::stable_body`]) carries span *counts* but never
+//! nanoseconds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{Clock, Virtual};
+use crate::recorder::Recorder;
+
+/// Number of shards: matches the engine's worker clamp (≤ 16), so at
+/// full fan-out each worker usually owns a shard.
+const SHARDS: usize = 16;
+
+/// Upper (inclusive) bucket bounds of every histogram: powers of two up
+/// to 32768, plus an overflow bucket. Fixed bounds keep merged
+/// histograms exact and the export schema stable.
+pub const HISTOGRAM_BOUNDS: [u64; 16] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+];
+
+/// A monotonic histogram over [`HISTOGRAM_BOUNDS`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// One counter per bound, plus the trailing overflow bucket.
+    pub buckets: [u64; HISTOGRAM_BOUNDS.len() + 1],
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        let idx = HISTOGRAM_BOUNDS
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(HISTOGRAM_BOUNDS.len());
+        self.buckets[idx] += 1;
+    }
+
+    /// Adds another histogram into this one (exact: bounds are shared).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Mean sample value, when any were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// Aggregated timing of one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed entries.
+    pub count: u64,
+    /// Total time spent inside, in clock nanoseconds. Excluded from the
+    /// stable export (see module docs).
+    pub total_ns: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<&'static str, SpanStats>,
+}
+
+/// A merged, immutable view of everything recorded so far.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Span statistics by name.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+}
+
+/// Process-wide round-robin of thread → shard assignments.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The shard this thread writes to, assigned on first record.
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+/// The collecting [`Recorder`]: sharded buffers, injectable clock,
+/// deterministic snapshots.
+pub struct TraceRecorder {
+    clock: Arc<dyn Clock>,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl TraceRecorder {
+    /// A recorder timing spans with the given clock.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            clock,
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+        }
+    }
+
+    /// A recorder on a [`Virtual`] clock at time zero: span durations
+    /// are all zero, so even the unstable export surface is
+    /// deterministic. The choice for tests and CI.
+    pub fn deterministic() -> Self {
+        Self::new(Arc::new(Virtual::new()))
+    }
+
+    fn with_shard<R>(&self, f: impl FnOnce(&mut Shard) -> R) -> R {
+        let idx = MY_SHARD.with(|s| *s);
+        let mut shard = self.shards[idx]
+            .lock()
+            .expect("obs shard mutex poisoned by a panicking recorder call");
+        f(&mut shard)
+    }
+
+    /// Merges every shard, in shard-index order, into one snapshot.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut out = TraceSnapshot::default();
+        for shard in &self.shards {
+            let shard = shard
+                .lock()
+                .expect("obs shard mutex poisoned by a panicking recorder call");
+            for (name, v) in &shard.counters {
+                *out.counters.entry(name).or_insert(0) += v;
+            }
+            for (name, h) in &shard.histograms {
+                out.histograms.entry(name).or_default().merge(h);
+            }
+            for (name, s) in &shard.spans {
+                let agg = out.spans.entry(name).or_default();
+                agg.count += s.count;
+                agg.total_ns += s.total_ns;
+            }
+        }
+        out
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.with_shard(|s| *s.counters.entry(name).or_insert(0) += delta);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.with_shard(|s| s.histograms.entry(name).or_default().record(value));
+    }
+
+    fn span_start(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    fn span_end(&self, name: &'static str, start_ns: u64) {
+        let elapsed = self.clock.now_ns().saturating_sub(start_ns);
+        self.with_shard(|s| {
+            let stats = s.spans.entry(name).or_default();
+            stats.count += 1;
+            stats.total_ns += elapsed;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::span;
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 32768, 32769] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.buckets[0], 2, "0 and 1 share the ≤1 bucket");
+        assert_eq!(h.buckets[1], 1, "2 lands in ≤2");
+        assert_eq!(h.buckets[2], 1, "3 lands in ≤4");
+        assert_eq!(h.buckets[15], 1, "32768 is the last finite bound");
+        assert_eq!(h.buckets[16], 1, "32769 overflows");
+    }
+
+    #[test]
+    fn spans_are_timed_by_the_injected_clock() {
+        let clock = Arc::new(Virtual::new());
+        let rec = Arc::new(TraceRecorder::new(clock.clone()));
+        {
+            let _g = span(rec.clone(), "stage");
+            clock.advance(1_000);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.spans["stage"],
+            SpanStats {
+                count: 1,
+                total_ns: 1_000
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_merges_to_the_serial_snapshot() {
+        // The same 400 per-item contributions, recorded serially and
+        // split over 4 threads, must merge to identical snapshots —
+        // the property the engine's trace-JSON determinism rests on.
+        let serial = TraceRecorder::deterministic();
+        for i in 0..400u64 {
+            serial.counter("items", 1);
+            serial.observe("sizes", i % 37);
+        }
+
+        let sharded = TraceRecorder::deterministic();
+        #[allow(clippy::disallowed_methods)] // test-only thread fan-out, no determinism at stake
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rec = &sharded;
+                scope.spawn(move || {
+                    for i in (t * 100)..((t + 1) * 100) {
+                        rec.counter("items", 1);
+                        rec.observe("sizes", i % 37);
+                    }
+                });
+            }
+        });
+
+        assert_eq!(serial.snapshot(), sharded.snapshot());
+    }
+}

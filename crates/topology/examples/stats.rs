@@ -6,12 +6,13 @@
 //! cargo run --release -p cfs-topology --example stats
 //! ```
 
+use cfs_obs::Monotonic;
 use cfs_topology::{Topology, TopologyConfig};
 
-#[allow(clippy::disallowed_methods)] // mirrors the cfs-lint allow below
 fn main() {
-    // cfs-lint: allow(wall-clock) — operator-facing elapsed print in an example; never feeds results
-    let start = std::time::Instant::now();
+    // Timing goes through cfs-obs: `Monotonic` is the workspace's one
+    // sanctioned wall-clock reader (cfs-lint `wall-clock`).
+    let start = Monotonic::new();
     let t = Topology::generate(TopologyConfig::paper()).unwrap();
     println!("generation time: {:?}", start.elapsed());
     println!("facilities:      {}", t.facilities.len());

@@ -59,6 +59,7 @@ pub use cfs_experiments as experiments;
 pub use cfs_geo as geo;
 pub use cfs_kb as kb;
 pub use cfs_net as net;
+pub use cfs_obs as obs;
 pub use cfs_topology as topology;
 pub use cfs_traceroute as traceroute;
 pub use cfs_types as types;

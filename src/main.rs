@@ -5,13 +5,17 @@
 //! ```text
 //! cfs world    [--scale S] [--seed N]             # ground-truth statistics
 //! cfs run      [--scale S] [--seed N] [--out F]   # full pipeline + dataset export
+//!              [--trace-json F] [--metrics]       #   + observability export
 //! cfs audit    <asn> [--scale S] [--seed N]       # one network's peering map
 //! cfs census   [--scale S] [--seed N]             # remote-peering census
 //! cfs validate [--scale S] [--seed N]             # §6 validation scorecard
+//! cfs trace-validate <file>                       # check a --trace-json export
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use cfs::obs::{Monotonic, TraceRecorder};
 use cfs::prelude::*;
 use cfs_experiments::{Lab, Scale};
 
@@ -28,10 +32,13 @@ fn main() {
             seed,
             flag_value(&args, "--out"),
             flag_value(&args, "--sources"),
+            flag_value(&args, "--trace-json"),
+            args.iter().any(|a| a == "--metrics"),
         ),
         "audit" => audit(scale, seed, args.get(2).and_then(|s| s.parse().ok())),
         "census" => census(scale, seed),
         "validate" => validate(scale, seed),
+        "trace-validate" => trace_validate(args.get(2).map(String::as_str)),
         "help" | "--help" | "-h" => {
             print_help();
             0
@@ -53,10 +60,13 @@ fn print_help() {
          \x20 world      ground-truth statistics of a generated world\n\
          \x20 snapshot   export the public sources as editable JSON (--out FILE)\n\
          \x20 run        full pipeline; --out FILE exports the inferred map;\n\
-         \x20            --sources FILE drives it from a saved/edited snapshot\n\
+         \x20            --sources FILE drives it from a saved/edited snapshot;\n\
+         \x20            --trace-json FILE exports deterministic telemetry;\n\
+         \x20            --metrics prints a human timing/counter summary\n\
          \x20 audit ASN  one network's inferred peering map\n\
          \x20 census     remote-peering census over the exchanges\n\
          \x20 validate   §6 validation scorecard\n\
+         \x20 trace-validate FILE  check a --trace-json export (schema + digest)\n\
          \x20 help       this message\n\n\
          paper tables/figures: cargo run -p cfs-experiments --bin all -- --scale paper"
     );
@@ -143,6 +153,8 @@ fn run_cmd(
     seed: Option<u64>,
     out: Option<String>,
     sources_path: Option<String>,
+    trace_json: Option<String>,
+    metrics: bool,
 ) -> i32 {
     let sources = match sources_path {
         Some(p) => match cfs::kb::PublicSources::load(&p) {
@@ -155,7 +167,14 @@ fn run_cmd(
         None => None,
     };
     let lab = Lab::provision_with_sources(scale, seed, sources).expect("world generation failed");
-    let report = lab.run_cfs(None, None, CfsConfig::default());
+    // Attach a recorder only when somebody will read it; otherwise the
+    // pipeline keeps its free no-op instrumentation.
+    let recorder = (trace_json.is_some() || metrics)
+        .then(|| Arc::new(TraceRecorder::new(Arc::new(Monotonic::new()))));
+    let report = match &recorder {
+        Some(rec) => lab.run_cfs_observed(CfsConfig::default(), rec.clone()),
+        None => lab.run_cfs(None, None, CfsConfig::default()),
+    };
     println!(
         "resolved {}/{} interfaces ({:.1}%) over {} iterations; {} follow-up traceroutes",
         report.resolved(),
@@ -218,7 +237,151 @@ fn run_cmd(
             }
         }
     }
+
+    if let Some(rec) = &recorder {
+        let snap = rec.snapshot();
+        if let Some(path) = &trace_json {
+            let doc = cfs::core::render_trace_json(&report, &snap);
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("failed to write {path}: {e}");
+                return 1;
+            }
+            println!("wrote trace telemetry to {path}");
+        }
+        if metrics {
+            print!("{}", cfs::obs::export::render_metrics(&snap));
+        }
+    }
     0
+}
+
+/// Checks a `--trace-json` export: schema marker, digest integrity, and
+/// the structural invariants the document promises (monotone resolution
+/// curve, shrinking trajectories, aligned histogram buckets).
+fn trace_validate(path: Option<&str>) -> i32 {
+    let Some(path) = path else {
+        eprintln!("usage: cfs trace-validate FILE");
+        return 2;
+    };
+    let raw = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return 1;
+        }
+    };
+    let mut problems: Vec<String> = Vec::new();
+
+    // Digest check on the raw bytes: everything after the digest member
+    // is the digested body (see cfs_core::render_trace_json).
+    let prefix = format!("{{\"schema\":\"{}\",\"digest\":\"", cfs::core::TRACE_SCHEMA);
+    if let Some(rest) = raw.strip_prefix(prefix.as_str()) {
+        match (rest.get(..16), rest.get(18..rest.len().saturating_sub(1))) {
+            (Some(digest_hex), Some(body)) if rest[16..].starts_with("\",") => {
+                let computed = format!("{:016x}", cfs::obs::export::fnv1a64(body));
+                if computed != digest_hex {
+                    problems.push(format!(
+                        "digest mismatch: header {digest_hex}, body {computed}"
+                    ));
+                }
+            }
+            _ => problems.push("malformed digest member".into()),
+        }
+    } else {
+        problems.push(format!("missing {} schema header", cfs::core::TRACE_SCHEMA));
+    }
+
+    let doc: serde_json::Value = match serde_json::from_str(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("invalid: {path} is not JSON: {e}");
+            return 1;
+        }
+    };
+    for key in [
+        "schema",
+        "digest",
+        "counters",
+        "histogram_le",
+        "histograms",
+        "spans",
+        "convergence",
+        "resolution_curve",
+    ] {
+        if doc.get(key).is_none() {
+            problems.push(format!("missing top-level member {key:?}"));
+        }
+    }
+    if let Some(bounds) = doc.get("histogram_le").and_then(|v| v.as_array()) {
+        let want = bounds.len() + 1;
+        for (name, h) in doc
+            .get("histograms")
+            .and_then(|v| v.as_object())
+            .map(|m| m.iter())
+            .into_iter()
+            .flatten()
+        {
+            let got = h.get("buckets").and_then(|b| b.as_array()).map(Vec::len);
+            if got != Some(want) {
+                problems.push(format!("histogram {name:?}: {got:?} buckets, want {want}"));
+            }
+        }
+    }
+    if let Some(conv) = doc.get("convergence") {
+        let le_len = conv
+            .get("candidate_bucket_le")
+            .and_then(|v| v.as_array())
+            .map(Vec::len)
+            .unwrap_or(0);
+        for h in conv
+            .get("per_iteration")
+            .and_then(|v| v.as_array())
+            .into_iter()
+            .flatten()
+        {
+            let got = h.get("buckets").and_then(|b| b.as_array()).map(Vec::len);
+            if got != Some(le_len + 1) {
+                problems.push(format!(
+                    "per_iteration buckets: {got:?}, want {}",
+                    le_len + 1
+                ));
+                break;
+            }
+        }
+        for (ip, points) in conv
+            .get("trajectories")
+            .and_then(|v| v.as_object())
+            .map(|m| m.iter())
+            .into_iter()
+            .flatten()
+        {
+            let sizes: Vec<u64> = points
+                .as_array()
+                .into_iter()
+                .flatten()
+                .filter_map(|p| p.as_array().and_then(|pair| pair.get(1)?.as_u64()))
+                .collect();
+            if sizes.windows(2).any(|w| w[1] > w[0]) {
+                problems.push(format!("trajectory {ip} grows: {sizes:?}"));
+            }
+        }
+    }
+    if let Some(curve) = doc.get("resolution_curve").and_then(|v| v.as_array()) {
+        let vals: Vec<f64> = curve.iter().filter_map(|v| v.as_f64()).collect();
+        if vals.windows(2).any(|w| w[1] < w[0]) || vals.iter().any(|v| !(0.0..=1.0).contains(v)) {
+            problems.push(format!("resolution_curve not monotone in [0,1]: {vals:?}"));
+        }
+    }
+
+    if problems.is_empty() {
+        println!("{path}: valid {} document", cfs::core::TRACE_SCHEMA);
+        0
+    } else {
+        for p in &problems {
+            eprintln!("invalid: {p}");
+        }
+        1
+    }
 }
 
 fn audit(scale: Scale, seed: Option<u64>, asn: Option<u32>) -> i32 {
