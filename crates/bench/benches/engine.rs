@@ -15,11 +15,13 @@ use std::time::Duration;
 use criterion::{black_box, Bencher, Criterion};
 
 use cfs_bench::BenchWorld;
+use cfs_chaos::{FaultPlan, FaultProfile};
 use cfs_core::{Cfs, CfsConfig};
 use cfs_net::IpAsnDb;
 use cfs_obs::{Monotonic, Recorder, TraceRecorder};
 use cfs_traceroute::{
-    deploy_vantage_points, run_campaign, CampaignLimits, Engine, Trace, VpConfig, VpSet,
+    deploy_vantage_points, run_campaign, CampaignLimits, ChaosEngine, Engine, ProbeService, Trace,
+    VpConfig, VpSet,
 };
 use cfs_types::{FacilityId, FacilitySet, FacilitySetInterner};
 
@@ -146,6 +148,54 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The chaos layer's toll on the probe hot path: raw `Engine::trace`
+/// throughput versus the same engine behind a `ChaosEngine` with an
+/// all-zero plan (pure wrapper cost: one hash check per fault
+/// dimension) and with the `standard` profile actively perturbing
+/// traces. The wrapper is a handful of integer hashes per probe, so
+/// both should sit within a few percent of the raw engine.
+fn bench_chaos_overhead(c: &mut Criterion) {
+    let fx = EngineFixture::standard();
+    let engine = Engine::new(&fx.world.topo);
+    let targets: Vec<Ipv4Addr> = fx
+        .world
+        .topo
+        .ases
+        .keys()
+        .take(24)
+        .map(|a| fx.world.topo.target_ip(*a).unwrap())
+        .collect();
+    let vp_id = fx.vps.ids().next().expect("bench world has VPs");
+    let vp = &fx.vps.vps[vp_id];
+    let seed = fx.world.topo.config.seed;
+
+    let mut group = c.benchmark_group("chaos_overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    let mut run = |name: &str, svc: &dyn ProbeService| {
+        group.bench_function(name, |b: &mut Bencher| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % targets.len();
+                black_box(svc.trace(vp, targets[i], (i as u64) * 60_000).hops.len())
+            })
+        });
+    };
+    run("clean", &engine);
+    let off = ChaosEngine::new(
+        Engine::new(&fx.world.topo),
+        FaultPlan::new(seed, FaultProfile::off()),
+    );
+    run("chaos_off", &off);
+    let standard = ChaosEngine::new(
+        Engine::new(&fx.world.topo),
+        FaultPlan::new(seed, FaultProfile::standard()),
+    );
+    run("chaos_standard", &standard);
+    group.finish();
+}
+
 /// The representation change behind the caches: interned sorted-slice
 /// sets versus the `BTreeSet` clone-and-intersect the engine used
 /// before.
@@ -192,6 +242,7 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_engine_iteration(&mut criterion);
     bench_obs_overhead(&mut criterion);
+    bench_chaos_overhead(&mut criterion);
     bench_facility_sets(&mut criterion);
 
     // Record the measurements for tracking across PRs.

@@ -206,6 +206,8 @@ mod tests {
             seen_private: false,
             resolved_at: facility.map(|_| 1),
             via_proximity,
+            widened: false,
+            unresolved_reason: None,
         }
     }
 
@@ -217,6 +219,7 @@ mod tests {
             router_stats: Default::default(),
             traces_issued: 0,
             convergence: Default::default(),
+            data_quality: Default::default(),
         }
     }
 

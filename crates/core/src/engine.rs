@@ -21,21 +21,22 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use cfs_alias::{correct_ip_to_asn, resolve_aliases, AliasResolution, IpIdProber, MidarConfig};
+use cfs_chaos::{CircuitBreaker, RetryBudget, RetryPolicy};
 use cfs_kb::KnowledgeBase;
 use cfs_net::IpAsnDb;
 use cfs_obs::{NoopRecorder, Recorder};
-use cfs_traceroute::{Engine, Platform, Trace, VpSet};
+use cfs_traceroute::{Engine, Platform, ProbeService, Trace, VpSet};
 use cfs_types::{
-    Asn, Error, FacilityId, FacilitySet, FacilitySetInterner, IxpId, LinkClass, PeeringKind,
-    Result, VantagePointId,
+    Asn, Error, FacilityId, FacilitySet, FacilitySetInterner, IxpId, LinkClass, MetroId,
+    PeeringKind, Result, UnresolvedReason, VantagePointId,
 };
 
 use crate::observe::{extract_observations_recorded, Observation, Resolver};
 use crate::proximity::ProximityModel;
 use crate::remote::RemoteTester;
 use crate::report::{
-    CandidateHistogram, CfsReport, ConvergenceTelemetry, InferredInterface, InferredLink,
-    RouterRoleStats,
+    CandidateHistogram, CfsReport, ConvergenceTelemetry, DataQualityReport, InferredInterface,
+    InferredLink, RouterRoleStats,
 };
 use crate::state::{IfaceState, SearchOutcome};
 
@@ -67,6 +68,22 @@ pub struct CfsConfig {
     /// Worker threads for the parallel stages; `0` uses the machine's
     /// available parallelism. The report is byte-identical at any value.
     pub threads: usize,
+    /// Backoff schedule for re-issuing failed follow-up traceroutes
+    /// (DESIGN.md §9). Jitter derives from the run seed, never ambient
+    /// randomness, so retries are deterministic.
+    pub retry: RetryPolicy,
+    /// Total follow-up retries a run may spend across all iterations;
+    /// exhaustion surfaces as `probe_exhausted` verdicts, not an error.
+    pub retry_budget: u64,
+    /// Consecutive failed probes before a vantage point's circuit opens
+    /// and follow-up planning routes around it.
+    pub breaker_threshold: u32,
+    /// How long (virtual ms) an open circuit keeps a vantage point out
+    /// of the follow-up pool.
+    pub breaker_cooldown_ms: u64,
+    /// Widen empty facility intersections to metro-level candidates
+    /// instead of dead-ending (DESIGN.md §9).
+    pub metro_widening: bool,
 }
 
 impl Default for CfsConfig {
@@ -83,8 +100,21 @@ impl Default for CfsConfig {
             proximity: true,
             alias_constraints: true,
             threads: 0,
+            retry: RetryPolicy::default(),
+            retry_budget: 768,
+            breaker_threshold: 6,
+            breaker_cooldown_ms: 600_000,
+            metro_widening: true,
         }
     }
+}
+
+/// A follow-up probe that produced no routing information at all: every
+/// hop anonymous (rate-limited/silent routers) or no hops (vantage-point
+/// outage, probe timeout). Such traces add no observations, so they are
+/// the retry trigger.
+fn probe_failed(t: &Trace) -> bool {
+    t.hops.iter().all(|h| h.ip.is_none())
 }
 
 /// Convergence record of one iteration (drives Figure 7).
@@ -108,7 +138,7 @@ pub struct IterationStats {
 /// bootstrap campaigns; `run` iterates to convergence and produces the
 /// [`CfsReport`].
 pub struct Cfs<'a> {
-    engine: &'a Engine<'a>,
+    engine: &'a dyn ProbeService,
     kb: &'a KnowledgeBase,
     vps: &'a VpSet,
     ipasn: &'a IpAsnDb,
@@ -132,12 +162,23 @@ pub struct Cfs<'a> {
     interner: FacilitySetInterner,
     as_fac_cache: BTreeMap<Asn, FacilitySet>,
     ixp_fac_cache: BTreeMap<IxpId, FacilitySet>,
+    metro_cand_cache: BTreeMap<IxpId, FacilitySet>,
     clock_ms: u64,
     iterations: Vec<IterationStats>,
     traces_issued: usize,
     new_ips_since_alias: usize,
     recorder: Arc<dyn Recorder>,
     conv_hists: Vec<CandidateHistogram>,
+    /// Follow-up retry budget; spent/denied counts feed the
+    /// [`DataQualityReport`].
+    retry_budget: RetryBudget,
+    /// Per-vantage-point circuit breaker over follow-up probe failures.
+    breaker: CircuitBreaker,
+    /// Seed for retry backoff jitter, derived from the topology seed so
+    /// the schedule is a pure function of the run inputs.
+    chaos_seed: u64,
+    /// Probes still failed after every retry round.
+    failed_probes: u64,
 }
 
 /// Builder for [`Cfs`]: names every dependency at the call site instead
@@ -153,7 +194,7 @@ pub struct Cfs<'a> {
 /// ```
 #[must_use = "call .build() to obtain the Cfs engine"]
 pub struct CfsBuilder<'a> {
-    engine: &'a Engine<'a>,
+    engine: &'a dyn ProbeService,
     kb: &'a KnowledgeBase,
     vps: Option<&'a VpSet>,
     ipasn: Option<&'a IpAsnDb>,
@@ -227,8 +268,10 @@ impl<'a> CfsBuilder<'a> {
 
 impl<'a> Cfs<'a> {
     /// Starts building a search over the given measurement engine and
-    /// knowledge base. See [`CfsBuilder`].
-    pub fn builder(engine: &'a Engine<'a>, kb: &'a KnowledgeBase) -> CfsBuilder<'a> {
+    /// knowledge base. See [`CfsBuilder`]. Any [`ProbeService`] works —
+    /// the clean simulator [`Engine`] or a fault-injecting
+    /// `cfs_traceroute::ChaosEngine`; the search never learns which.
+    pub fn builder(engine: &'a dyn ProbeService, kb: &'a KnowledgeBase) -> CfsBuilder<'a> {
         CfsBuilder {
             engine,
             kb,
@@ -240,27 +283,8 @@ impl<'a> Cfs<'a> {
         }
     }
 
-    /// Creates a search over the given substrate and public data.
-    #[deprecated(note = "use `Cfs::builder(engine, kb).vps(..).ipasn(..).build()` instead")]
-    pub fn new(
-        engine: &'a Engine<'a>,
-        vps: &'a VpSet,
-        kb: &'a KnowledgeBase,
-        ipasn: &'a IpAsnDb,
-        cfg: CfsConfig,
-    ) -> Self {
-        Self::assemble(engine, vps, kb, ipasn, cfg, None, Arc::new(NoopRecorder))
-    }
-
-    /// Restricts follow-up measurements to the given platforms.
-    #[deprecated(note = "use `CfsBuilder::platforms` instead")]
-    pub fn restrict_platforms(mut self, platforms: &[Platform]) -> Self {
-        self.platforms = Some(platforms.iter().copied().collect());
-        self
-    }
-
     fn assemble(
-        engine: &'a Engine<'a>,
+        engine: &'a dyn ProbeService,
         vps: &'a VpSet,
         kb: &'a KnowledgeBase,
         ipasn: &'a IpAsnDb,
@@ -268,6 +292,9 @@ impl<'a> Cfs<'a> {
         platforms: Option<BTreeSet<Platform>>,
         recorder: Arc<dyn Recorder>,
     ) -> Self {
+        let retry_budget = RetryBudget::new(cfg.retry_budget);
+        let breaker = CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_ms);
+        let chaos_seed = cfs_chaos::splitmix64(engine.topology().config.seed ^ 0xcf5c_4a05);
         Self {
             engine,
             kb,
@@ -290,12 +317,17 @@ impl<'a> Cfs<'a> {
             interner: FacilitySetInterner::new(),
             as_fac_cache: BTreeMap::new(),
             ixp_fac_cache: BTreeMap::new(),
+            metro_cand_cache: BTreeMap::new(),
             clock_ms: 0,
             iterations: Vec::new(),
             traces_issued: 0,
             new_ips_since_alias: 0,
             recorder,
             conv_hists: Vec::new(),
+            retry_budget,
+            breaker,
+            chaos_seed,
+            failed_probes: 0,
         }
     }
 
@@ -550,6 +582,29 @@ impl<'a> Cfs<'a> {
         set
     }
 
+    /// The metro-level widening pool for an exchange: every known
+    /// facility in the metros the exchange operates in. When footprints
+    /// fail to intersect, falling back to this pool keeps the interface
+    /// geographically constrained instead of dead-ending (DESIGN.md §9).
+    fn metro_candidates(&mut self, ixp: IxpId) -> FacilitySet {
+        if let Some(hit) = self.metro_cand_cache.get(&ixp) {
+            return hit.clone();
+        }
+        let metros: BTreeSet<MetroId> = self
+            .kb
+            .facilities_of_ixp(ixp)
+            .iter()
+            .filter_map(|f| self.kb.metro_of_facility(*f))
+            .collect();
+        let mut pool: BTreeSet<FacilityId> = BTreeSet::new();
+        for m in metros {
+            pool.extend(self.kb.facilities_in_metro(m));
+        }
+        let set = self.interner.intern_set(&pool);
+        self.metro_cand_cache.insert(ixp, set.clone());
+        set
+    }
+
     // ------------------------------------------------------------------
     // Steps 2 + 3: constraints
     // ------------------------------------------------------------------
@@ -626,6 +681,8 @@ impl<'a> Cfs<'a> {
         let workers = self.workers();
         let engine = self.engine;
         let vps = self.vps;
+        let retry = self.cfg.retry;
+        let retry_seed = self.chaos_seed;
         // Verdict counters are per tested address (the pending list does
         // not depend on the worker count), so the recorder's totals stay
         // chunking-independent.
@@ -637,7 +694,9 @@ impl<'a> Cfs<'a> {
                     .chunks(chunk_size)
                     .map(|chunk| {
                         scope.spawn(move |_| {
-                            let tester = RemoteTester::new(engine, vps).recorded(rec);
+                            let tester = RemoteTester::new(engine, vps)
+                                .recorded(rec)
+                                .retrying(retry, retry_seed);
                             chunk
                                 .iter()
                                 .map(|(ip, ixp)| tester.is_remote(*ixp, *ip))
@@ -652,7 +711,9 @@ impl<'a> Cfs<'a> {
             })
             .expect("remote-test thread scope")
         } else {
-            let tester = RemoteTester::new(engine, vps).recorded(rec);
+            let tester = RemoteTester::new(engine, vps)
+                .recorded(rec)
+                .retrying(retry, retry_seed);
             pending
                 .iter()
                 .map(|(ip, ixp)| tester.is_remote(*ixp, *ip))
@@ -675,8 +736,22 @@ impl<'a> Cfs<'a> {
             *self.remote_cache.entry(ip).or_insert_with(|| {
                 RemoteTester::new(self.engine, self.vps)
                     .recorded(&*self.recorder)
+                    .retrying(self.cfg.retry, self.chaos_seed)
                     .is_remote(ixp, ip)
             })
+        } else {
+            None
+        };
+
+        // Metro-level widening pool, resolved before the state borrow.
+        // Only needed when the intersection came up empty and the remote
+        // test did not explain it away.
+        let widened = if self.cfg.metro_widening
+            && common.is_empty()
+            && !f_owner.is_empty()
+            && !matches!(verdict, Some(true))
+        {
+            Some(self.metro_candidates(ixp))
         } else {
             None
         };
@@ -689,6 +764,7 @@ impl<'a> Cfs<'a> {
         state.public_ixps.insert(ixp);
         if f_owner.is_empty() {
             state.missing_data = true;
+            state.reason.get_or_insert(UnresolvedReason::NoFacilityData);
             return;
         }
         if !common.is_empty() {
@@ -703,8 +779,26 @@ impl<'a> Cfs<'a> {
                 }
                 Some(false) | None => {
                     // Local RTT but no common facility: our data is
-                    // missing the link (or the ping never landed).
-                    state.missing_data = true;
+                    // missing the link (or the ping never landed). Widen
+                    // to the exchange's metro-level candidates instead of
+                    // dead-ending (DESIGN.md §9) — later constraints can
+                    // still narrow from there.
+                    let reason = if verdict.is_none() {
+                        UnresolvedReason::RemoteInconclusive
+                    } else {
+                        UnresolvedReason::EmptyIntersection
+                    };
+                    state.reason.get_or_insert(reason);
+                    match widened {
+                        Some(pool) if !pool.is_empty() => {
+                            if !state.widened {
+                                state.widened = true;
+                                self.recorder.counter("constrain.widened", 1);
+                            }
+                            state.constrain(&pool, iteration);
+                        }
+                        _ => state.missing_data = true,
+                    }
                 }
             }
         }
@@ -725,12 +819,14 @@ impl<'a> Cfs<'a> {
         state.seen_private = true;
         if f_owner.is_empty() {
             state.missing_data = true;
+            state.reason.get_or_insert(UnresolvedReason::NoFacilityData);
             return;
         }
         if !common.is_empty() {
             state.constrain(&common, iteration);
         } else if f_peer.is_empty() {
             state.missing_data = true;
+            state.reason.get_or_insert(UnresolvedReason::NoFacilityData);
         } else {
             // Tethering or remote private peering: the only safe
             // constraint is the owner's own footprint.
@@ -810,44 +906,117 @@ impl<'a> Cfs<'a> {
         // Planning reads the search state and only appends probe
         // requests, so the requests for every chased interface can be
         // gathered first and the traceroutes fanned out in one batch.
+        // Per-interface spans let exhausted retry budgets be attributed
+        // back to the interfaces they starved.
         let mut requests: Vec<(VantagePointId, Ipv4Addr)> = Vec::new();
+        let mut spans: Vec<(Ipv4Addr, usize, usize)> = Vec::new();
         for (_, _, ip) in pending {
             *self.chase_attempts.entry(ip).or_default() += 1;
+            let start = requests.len();
             self.plan_chase(ip, &mut requests);
+            spans.push((ip, start, requests.len()));
         }
         let issued = requests.len();
         self.recorder.counter("followup.requests", issued as u64);
+        let denied_before = self.retry_budget.denied();
         let traces = self.trace_fanout(&requests);
+        if self.retry_budget.denied() > denied_before {
+            // The budget ran dry during this fan-out: interfaces whose
+            // every probe still failed were starved, not unlucky.
+            for (ip, start, end) in spans {
+                if start < end && traces[start..end].iter().all(probe_failed) {
+                    if let Some(state) = self.states.get_mut(&ip) {
+                        state.reason.get_or_insert(UnresolvedReason::ProbeExhausted);
+                    }
+                }
+            }
+        }
         self.ingest(traces);
         self.traces_issued += issued;
         issued
     }
 
-    /// Runs the planned follow-up traceroutes, fanned out over worker
-    /// threads. Traces are pure functions of `(vantage point, target,
-    /// time)`, so the in-order merge is identical to a serial run.
-    fn trace_fanout(&self, requests: &[(VantagePointId, Ipv4Addr)]) -> Vec<Trace> {
+    /// Runs the planned follow-up traceroutes with deterministic
+    /// retry-on-failure, fanned out over worker threads.
+    ///
+    /// Round 0 issues every request at the current clock. Between rounds
+    /// a *serial* pass in submission order feeds the circuit breaker and
+    /// spends the retry budget, then failed probes are re-issued after an
+    /// exponential-backoff delay whose jitter derives from the run seed.
+    /// Probing is a pure function of `(vantage point, target, time)` and
+    /// all bookkeeping is serial, so any worker count produces the same
+    /// traces, counters, and breaker state as a serial run.
+    fn trace_fanout(&mut self, requests: &[(VantagePointId, Ipv4Addr)]) -> Vec<Trace> {
+        let probes: Vec<(VantagePointId, Ipv4Addr, u64)> = requests
+            .iter()
+            .map(|(vp, target)| (*vp, *target, self.clock_ms))
+            .collect();
+        let mut traces = self.probe_batch(&probes);
+        for ((vp, _, at), t) in probes.iter().zip(&traces) {
+            self.breaker
+                .record(u64::from(vp.raw()), !probe_failed(t), *at);
+        }
+
+        let policy = self.cfg.retry;
+        for attempt in 1..=policy.max_retries {
+            let mut retry: Vec<(usize, (VantagePointId, Ipv4Addr, u64))> = Vec::new();
+            for (i, t) in traces.iter().enumerate() {
+                if !probe_failed(t) {
+                    continue;
+                }
+                if !self.retry_budget.try_spend() {
+                    continue;
+                }
+                let (vp, target, _) = probes[i];
+                let seed =
+                    self.chaos_seed ^ (u64::from(vp.raw()) << 32) ^ u64::from(u32::from(target));
+                let at = self.clock_ms + policy.delay_ms(seed, attempt);
+                retry.push((i, (vp, target, at)));
+            }
+            if retry.is_empty() {
+                break;
+            }
+            self.recorder
+                .counter("followup.retries", retry.len() as u64);
+            let batch: Vec<(VantagePointId, Ipv4Addr, u64)> =
+                retry.iter().map(|(_, p)| *p).collect();
+            let fresh = self.probe_batch(&batch);
+            for ((i, (vp, _, at)), t) in retry.into_iter().zip(fresh) {
+                self.breaker
+                    .record(u64::from(vp.raw()), !probe_failed(&t), at);
+                traces[i] = t;
+            }
+        }
+
+        let exhausted = traces.iter().filter(|t| probe_failed(t)).count() as u64;
+        self.failed_probes += exhausted;
+        if exhausted > 0 {
+            self.recorder.counter("followup.exhausted", exhausted);
+        }
+        traces
+    }
+
+    /// One parallel probe round: each entry is traced at its own virtual
+    /// time and results merge in submission order.
+    fn probe_batch(&self, probes: &[(VantagePointId, Ipv4Addr, u64)]) -> Vec<Trace> {
         let workers = self.workers();
         let engine = self.engine;
         let vps = self.vps;
-        let clock_ms = self.clock_ms;
-        if workers <= 1 || requests.len() < 32 {
-            return requests
+        if workers <= 1 || probes.len() < 32 {
+            return probes
                 .iter()
-                .map(|(vp_id, target)| engine.trace(&vps.vps[*vp_id], *target, clock_ms))
+                .map(|(vp_id, target, at)| engine.trace(&vps.vps[*vp_id], *target, *at))
                 .collect();
         }
-        let chunk_size = requests.len().div_ceil(workers);
+        let chunk_size = probes.len().div_ceil(workers);
         crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = requests
+            let handles: Vec<_> = probes
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move |_| {
                         chunk
                             .iter()
-                            .map(|(vp_id, target)| {
-                                engine.trace(&vps.vps[*vp_id], *target, clock_ms)
-                            })
+                            .map(|(vp_id, target, at)| engine.trace(&vps.vps[*vp_id], *target, *at))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -935,23 +1104,38 @@ impl<'a> Cfs<'a> {
                 .min()
                 .unwrap_or(u64::MAX)
         };
+        // Vantage points whose circuit is open (consecutive probe
+        // failures — an outage window, a silent path) yield their pool
+        // slot to the next-nearest candidate instead of burning budget.
+        let mut skipped = 0u64;
+        let clock_ms = self.clock_ms;
+        let breaker = &self.breaker;
+        let mut live = |id: VantagePointId| -> bool {
+            let open = breaker.is_open(u64::from(id.raw()), clock_ms);
+            skipped += u64::from(open);
+            !open
+        };
         let mut inside: Vec<(u64, VantagePointId)> = self
             .vps
             .vps
             .iter()
             .filter(|(id, vp)| vp.asn == owner && self.allowed_vp(*id))
+            .filter(|(id, _)| live(*id))
             .map(|(id, vp)| (distance_to_candidates(vp), id))
             .collect();
         inside.sort_unstable();
         let mut vp_pool: Vec<VantagePointId> = inside.into_iter().map(|(_, id)| id).collect();
         if let Some(seen) = self.vp_crossed.get(&owner) {
             for id in seen {
-                if self.allowed_vp(*id) && !vp_pool.contains(id) {
+                if self.allowed_vp(*id) && live(*id) && !vp_pool.contains(id) {
                     vp_pool.push(*id);
                 }
             }
         }
         vp_pool.truncate(self.cfg.vps_per_target);
+        if skipped > 0 {
+            self.recorder.counter("chase.vp_skipped", skipped);
+        }
 
         let topo = self.engine.topology();
         for (_, _, target_as) in &scored {
@@ -1110,6 +1294,8 @@ impl<'a> Cfs<'a> {
                     seen_private: state.seen_private,
                     resolved_at: state.resolved_at.filter(|r| *r != usize::MAX),
                     via_proximity,
+                    widened: state.widened,
+                    unresolved_reason: state.final_reason(),
                 },
             );
         }
@@ -1163,6 +1349,29 @@ impl<'a> Cfs<'a> {
             trajectories,
         };
 
+        // Data-quality ledger: what the run had to absorb (DESIGN.md §9).
+        // Built from search-observable symptoms only — the report reads
+        // the same whether failures came from injected faults or honest
+        // gaps.
+        let mut unresolved_reasons: BTreeMap<String, u64> = BTreeMap::new();
+        let mut widened_interfaces = 0u64;
+        for state in self.states.values() {
+            widened_interfaces += u64::from(state.widened);
+            if let Some(reason) = state.final_reason() {
+                *unresolved_reasons
+                    .entry(reason.code().to_string())
+                    .or_default() += 1;
+            }
+        }
+        let data_quality = DataQualityReport {
+            probes_retried: self.retry_budget.spent(),
+            retries_denied: self.retry_budget.denied(),
+            failed_probes: self.failed_probes,
+            vp_breaker_trips: self.breaker.trips(),
+            widened_interfaces,
+            unresolved_reasons,
+        };
+
         CfsReport {
             interfaces,
             links,
@@ -1170,6 +1379,7 @@ impl<'a> Cfs<'a> {
             router_stats,
             traces_issued: self.traces_issued,
             convergence,
+            data_quality,
         }
     }
 
@@ -1257,6 +1467,9 @@ fn _assert_send_sync() {
     send::<KnowledgeBase>();
     sync::<KnowledgeBase>();
     sync::<Engine<'static>>();
+    sync::<&dyn ProbeService>();
+    send::<RetryBudget>();
+    send::<CircuitBreaker>();
     sync::<VpSet>();
     sync::<IpAsnDb>();
     send::<CfsReport>();

@@ -45,8 +45,8 @@ pub use observe::{
 pub use proximity::ProximityModel;
 pub use remote::RemoteTester;
 pub use report::{
-    CandidateHistogram, CfsReport, ConvergenceTelemetry, InferredInterface, InferredLink,
-    RouterRoleStats, CANDIDATE_BUCKET_LE,
+    CandidateHistogram, CfsReport, ConvergenceTelemetry, DataQualityReport, InferredInterface,
+    InferredLink, RouterRoleStats, CANDIDATE_BUCKET_LE,
 };
 pub use state::{IfaceState, SearchOutcome, TrajectoryPoint};
 pub use telemetry::{render_trace_json, TRACE_SCHEMA};

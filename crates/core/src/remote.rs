@@ -7,9 +7,10 @@
 
 use std::net::Ipv4Addr;
 
+use cfs_chaos::RetryPolicy;
 use cfs_geo::fiber_rtt_ms;
 use cfs_obs::{Recorder, NOOP};
-use cfs_traceroute::{Engine, VpSet};
+use cfs_traceroute::{ProbeService, VantagePoint, VpSet};
 use cfs_types::{IxpId, VantagePointId};
 
 /// Spacing between repeated measurements: beyond the congestion episode
@@ -25,18 +26,22 @@ const REMOTE_SLACK_MS: f64 = 6.0;
 
 /// RTT-based remote-peering detector.
 pub struct RemoteTester<'a> {
-    engine: &'a Engine<'a>,
+    engine: &'a dyn ProbeService,
     vps: &'a VpSet,
     recorder: &'a dyn Recorder,
+    retry: RetryPolicy,
+    retry_seed: u64,
 }
 
 impl<'a> RemoteTester<'a> {
     /// Creates a tester over the measurement platforms.
-    pub fn new(engine: &'a Engine<'a>, vps: &'a VpSet) -> Self {
+    pub fn new(engine: &'a dyn ProbeService, vps: &'a VpSet) -> Self {
         Self {
             engine,
             vps,
             recorder: &NOOP,
+            retry: RetryPolicy::default(),
+            retry_seed: 0,
         }
     }
 
@@ -46,6 +51,33 @@ impl<'a> RemoteTester<'a> {
     pub fn recorded(mut self, recorder: &'a dyn Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// Sets the retry policy for unanswered pings. Backoff jitter comes
+    /// from `seed`, never from ambient randomness (DESIGN.md §9).
+    pub fn retrying(mut self, retry: RetryPolicy, seed: u64) -> Self {
+        self.retry = retry;
+        self.retry_seed = seed;
+        self
+    }
+
+    /// One RTT sample with deterministic retry-on-silence: an unanswered
+    /// ping is re-issued after an exponential backoff delay, so transient
+    /// loss (rate-limit episodes, timeout blips) does not starve the
+    /// remote-peering test.
+    fn sample(&self, vp: &VantagePoint, target: Ipv4Addr, at_ms: u64) -> Option<f64> {
+        if let Some(rtt) = self.engine.ping(vp, target, at_ms) {
+            return Some(rtt);
+        }
+        let seed = self.retry_seed ^ u64::from(u32::from(target)).rotate_left(17) ^ at_ms;
+        for attempt in 1..=self.retry.max_retries {
+            self.recorder.counter("remote.retries", 1);
+            let t = at_ms + self.retry.delay_ms(seed, attempt);
+            if let Some(rtt) = self.engine.ping(vp, target, t) {
+                return Some(rtt);
+            }
+        }
+        None
     }
 
     /// The nearest vantage points to the exchange's core facility.
@@ -73,7 +105,7 @@ impl<'a> RemoteTester<'a> {
         for (vp_id, dist_km) in self.nearest_vps(ixp, 3) {
             let vp = &self.vps.vps[vp_id];
             let min_rtt = (0..SAMPLES)
-                .filter_map(|k| self.engine.ping(vp, fabric_ip, 1 + k * SAMPLE_SPACING_MS))
+                .filter_map(|k| self.sample(vp, fabric_ip, 1 + k * SAMPLE_SPACING_MS))
                 .fold(f64::INFINITY, f64::min);
             if !min_rtt.is_finite() {
                 continue;
@@ -97,7 +129,7 @@ impl<'a> RemoteTester<'a> {
 mod tests {
     use super::*;
     use cfs_topology::{Topology, TopologyConfig};
-    use cfs_traceroute::{deploy_vantage_points, VpConfig};
+    use cfs_traceroute::{deploy_vantage_points, Engine, VpConfig};
 
     fn setup() -> Topology {
         Topology::generate(TopologyConfig::tiny()).unwrap()
@@ -145,6 +177,62 @@ mod tests {
                 "remote recall too low: {correct_remote}/{checked_remote}"
             );
         }
+    }
+
+    #[test]
+    fn retries_preserve_verdict_coverage_under_transient_loss() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        use cfs_chaos::{FaultPlan, FaultProfile};
+        use cfs_traceroute::ChaosEngine;
+
+        #[derive(Default)]
+        struct Retries(AtomicU64);
+        impl Recorder for Retries {
+            fn counter(&self, name: &'static str, delta: u64) {
+                if name == "remote.retries" {
+                    self.0.fetch_add(delta, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let topo = setup();
+        let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
+        let clean = Engine::new(&topo);
+        let noisy = ChaosEngine::new(
+            Engine::new(&topo),
+            FaultPlan::new(
+                9,
+                FaultProfile {
+                    probe_timeout_pm: 400,
+                    ..FaultProfile::off()
+                },
+            ),
+        );
+        let rec = Retries::default();
+        let retried = RemoteTester::new(&noisy, &vps)
+            .recorded(&rec)
+            .retrying(RetryPolicy::default(), 9);
+
+        let baseline = RemoteTester::new(&clean, &vps);
+        let mut clean_verdicts = 0usize;
+        let mut noisy_verdicts = 0usize;
+        let mut tested = 0usize;
+        for (id, ixp) in topo.ixps.iter() {
+            for m in &ixp.members {
+                tested += 1;
+                clean_verdicts += usize::from(baseline.is_remote(id, m.fabric_ip).is_some());
+                noisy_verdicts += usize::from(retried.is_remote(id, m.fabric_ip).is_some());
+            }
+        }
+        assert!(tested > 0);
+        assert!(rec.0.load(Ordering::Relaxed) > 0, "no retries were issued");
+        // 40% per-probe transient loss with exponential-backoff retries
+        // must not collapse verdict coverage.
+        assert!(
+            noisy_verdicts * 10 >= clean_verdicts * 9,
+            "coverage collapsed: {noisy_verdicts}/{clean_verdicts} of {tested}"
+        );
     }
 
     #[test]

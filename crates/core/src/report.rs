@@ -5,7 +5,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
-use cfs_types::{Asn, FacilityId, IxpId, MetroId, PeeringKind};
+use cfs_types::{Asn, FacilityId, IxpId, MetroId, PeeringKind, UnresolvedReason};
 
 use crate::engine::IterationStats;
 use crate::state::{SearchOutcome, TrajectoryPoint};
@@ -99,6 +99,12 @@ pub struct InferredInterface {
     /// Whether the facility came from the switch-proximity fallback
     /// rather than constraint convergence.
     pub via_proximity: bool,
+    /// Whether the candidate set was widened to metro-level fallback
+    /// candidates after an empty intersection (DESIGN.md §9).
+    pub widened: bool,
+    /// Why the interface did not pin to one facility, `None` when
+    /// resolved (the §9 reason taxonomy).
+    pub unresolved_reason: Option<UnresolvedReason>,
 }
 
 /// Final verdict for one interconnection (deduplicated across traces).
@@ -137,6 +143,30 @@ pub struct RouterRoleStats {
     pub multi_ixp: usize,
 }
 
+/// What one run had to absorb to produce its verdicts: retries spent,
+/// probes lost for good, circuits opened, and degraded inferences
+/// (DESIGN.md §9). Built from search-observable symptoms only, so the
+/// ledger reads the same whether trouble came from injected faults or
+/// honestly dirty data.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct DataQualityReport {
+    /// Follow-up probes re-issued after a failure (retry budget spent).
+    pub probes_retried: u64,
+    /// Retries refused because the budget had run dry.
+    pub retries_denied: u64,
+    /// Probes that still carried no routing information after every
+    /// retry round.
+    pub failed_probes: u64,
+    /// Vantage-point circuit-breaker trips over the whole run.
+    pub vp_breaker_trips: u64,
+    /// Interfaces whose candidates were widened to metro-level fallback
+    /// sets after an empty facility intersection.
+    pub widened_interfaces: u64,
+    /// Tally of unresolved-verdict reasons, keyed by
+    /// [`UnresolvedReason::code`].
+    pub unresolved_reasons: BTreeMap<String, u64>,
+}
+
 /// Everything the algorithm concluded.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct CfsReport {
@@ -153,6 +183,9 @@ pub struct CfsReport {
     /// Convergence telemetry (per-iteration candidate histograms and
     /// per-interface narrowing trajectories).
     pub convergence: ConvergenceTelemetry,
+    /// Data-quality ledger: faults absorbed, retries spent, degraded
+    /// inferences (DESIGN.md §9).
+    pub data_quality: DataQualityReport,
 }
 
 impl CfsReport {
@@ -307,6 +340,12 @@ mod tests {
             seen_private: false,
             resolved_at: fac.map(|_| 1),
             via_proximity: false,
+            widened: false,
+            unresolved_reason: if fac.is_some() {
+                None
+            } else {
+                Some(UnresolvedReason::NoFacilityData)
+            },
         }
     }
 
@@ -337,6 +376,7 @@ mod tests {
             router_stats: RouterRoleStats::default(),
             traces_issued: 5,
             convergence: ConvergenceTelemetry::default(),
+            data_quality: DataQualityReport::default(),
         };
         assert_eq!(report.resolved(), 2);
         assert_eq!(report.total(), 3);
@@ -374,6 +414,7 @@ mod tests {
             router_stats: RouterRoleStats::default(),
             traces_issued: 0,
             convergence: ConvergenceTelemetry::default(),
+            data_quality: DataQualityReport::default(),
         };
         assert_eq!(report.resolution_curve(), vec![0.25, 0.5, 1.0]);
         let curve = report.resolution_curve();
@@ -388,6 +429,7 @@ mod tests {
             router_stats: RouterRoleStats::default(),
             traces_issued: 0,
             convergence: ConvergenceTelemetry::default(),
+            data_quality: DataQualityReport::default(),
         };
         assert!(empty.resolution_curve().is_empty());
     }
@@ -434,6 +476,7 @@ mod tests {
             router_stats: RouterRoleStats::default(),
             traces_issued: 0,
             convergence: ConvergenceTelemetry::default(),
+            data_quality: DataQualityReport::default(),
         };
         let by_kind = report.interfaces_by_kind(Asn(1));
         assert_eq!(by_kind[&PeeringKind::PublicLocal], 1);

@@ -4,7 +4,7 @@
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
-use cfs_types::{Asn, FacilityId, FacilitySet, IxpId};
+use cfs_types::{Asn, FacilityId, FacilitySet, IxpId, UnresolvedReason};
 
 /// The paper's Step 2 outcome taxonomy for one interface.
 #[derive(
@@ -48,6 +48,12 @@ pub struct IfaceState {
     pub remote: bool,
     /// Whether any constraint could not be computed for lack of data.
     pub missing_data: bool,
+    /// Whether the candidate set was widened to metro-level fallback
+    /// candidates after an empty facility intersection (DESIGN.md §9).
+    pub widened: bool,
+    /// First degradation symptom observed for this interface, if any.
+    /// [`IfaceState::final_reason`] folds it into the verdict taxonomy.
+    pub reason: Option<UnresolvedReason>,
     /// Number of constraints whose intersection would have been empty
     /// (kept for diagnostics; the offending constraint is dropped).
     pub conflicts: usize,
@@ -75,6 +81,8 @@ impl IfaceState {
             candidates: None,
             remote: false,
             missing_data: false,
+            widened: false,
+            reason: None,
             conflicts: 0,
             public_ixps: BTreeSet::new(),
             seen_private: false,
@@ -106,6 +114,24 @@ impl IfaceState {
         }
     }
 
+    /// Why the interface is not pinned to exactly one facility, `None`
+    /// when it resolved. The first recorded symptom wins; conflicts and
+    /// plain ambiguity are the fallbacks when no sharper reason was seen.
+    pub fn final_reason(&self) -> Option<UnresolvedReason> {
+        match self.outcome() {
+            SearchOutcome::Resolved => None,
+            SearchOutcome::UnresolvedRemote => Some(UnresolvedReason::RemotePeer),
+            SearchOutcome::MissingData => {
+                Some(self.reason.unwrap_or(UnresolvedReason::NoFacilityData))
+            }
+            SearchOutcome::UnresolvedLocal => Some(self.reason.unwrap_or(if self.conflicts > 0 {
+                UnresolvedReason::ConstraintConflict
+            } else {
+                UnresolvedReason::AmbiguousCandidates
+            })),
+        }
+    }
+
     /// Applies a constraint: intersects the candidate set with `allowed`,
     /// recording the iteration on resolution. An empty intersection is a
     /// conflict (incomplete data, §5/Figure 8): the constraint is dropped
@@ -115,6 +141,7 @@ impl IfaceState {
     pub fn constrain(&mut self, allowed: &FacilitySet, iteration: usize) -> bool {
         if allowed.is_empty() {
             self.missing_data = true;
+            self.reason.get_or_insert(UnresolvedReason::NoFacilityData);
             return false;
         }
         match &mut self.candidates {
@@ -249,6 +276,26 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn final_reason_tracks_outcome() {
+        let mut s = IfaceState::new(ip(), None);
+        assert_eq!(s.final_reason(), Some(UnresolvedReason::NoFacilityData));
+        s.constrain(&set(&[1, 2]), 1);
+        assert_eq!(
+            s.final_reason(),
+            Some(UnresolvedReason::AmbiguousCandidates)
+        );
+        s.constrain(&set(&[8, 9]), 2); // conflict, dropped
+        assert_eq!(s.final_reason(), Some(UnresolvedReason::ConstraintConflict));
+        s.reason = Some(UnresolvedReason::EmptyIntersection);
+        assert_eq!(s.final_reason(), Some(UnresolvedReason::EmptyIntersection));
+        s.constrain(&set(&[2]), 3);
+        assert_eq!(s.final_reason(), None, "resolved clears the reason");
+        s.remote = true;
+        s.candidates = Some(set(&[1, 2]));
+        assert_eq!(s.final_reason(), Some(UnresolvedReason::RemotePeer));
     }
 
     #[test]

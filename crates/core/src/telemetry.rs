@@ -140,6 +140,7 @@ mod tests {
                 per_iteration: vec![hist],
                 trajectories,
             },
+            data_quality: Default::default(),
         }
     }
 

@@ -1,0 +1,149 @@
+//! Property tests for the resilience layer: under *arbitrary* fault
+//! plans — any mix of VP outages, probe timeouts, silent routers, rate
+//! limiting, truncation, loops, and knowledge-base rot — the pipeline
+//! must never panic, and every interface it observed must still leave
+//! with a verdict: a facility, or a typed unresolved reason.
+
+use std::sync::OnceLock;
+
+use cfs_chaos::{FaultPlan, FaultProfile};
+use cfs_core::{Cfs, CfsConfig, SearchOutcome};
+use cfs_kb::{degrade_sources, KbConfig, KnowledgeBase, PublicSources};
+use cfs_net::IpAsnDb;
+use cfs_topology::{Topology, TopologyConfig};
+use cfs_traceroute::{
+    deploy_vantage_points, run_campaign, CampaignLimits, ChaosEngine, Engine, Trace, VpConfig,
+    VpSet,
+};
+use proptest::prelude::*;
+
+struct Fixture {
+    topo: Topology,
+    vps: VpSet,
+    sources: PublicSources,
+    ipasn: IpAsnDb,
+}
+
+/// One shared world: the property varies the fault plan, not the
+/// topology, so the expensive generation happens once.
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+        let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).unwrap();
+        let sources = PublicSources::derive(&topo, &KbConfig::default());
+        let ipasn = topo.build_ipasn_db();
+        Fixture {
+            topo,
+            vps,
+            sources,
+            ipasn,
+        }
+    })
+}
+
+/// A fast configuration: the property needs many full runs.
+fn small_cfg() -> CfsConfig {
+    CfsConfig {
+        max_iterations: 6,
+        followup_interfaces: 12,
+        ..CfsConfig::default()
+    }
+}
+
+fn bootstrap(engine: &ChaosEngine<'_>, fix: &Fixture) -> Vec<Trace> {
+    let targets: Vec<std::net::Ipv4Addr> = fix
+        .topo
+        .ases
+        .keys()
+        .take(8)
+        .map(|a| fix.topo.target_ip(*a).unwrap())
+        .collect();
+    let all_vps: Vec<_> = fix.vps.ids().collect();
+    run_campaign(
+        engine,
+        &fix.vps,
+        &all_vps,
+        &targets,
+        0,
+        &CampaignLimits::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance property of the chaos tentpole: no fault plan can
+    /// make CFS panic, and every observed interface gets exactly one of
+    /// a facility or a typed unresolved reason — never silence.
+    ///
+    /// Rates run up to 40% per dimension — far past any plausible real
+    /// campaign. (The vendored proptest has no `prop_map`, so the
+    /// profile's fields are drawn individually.)
+    #[test]
+    fn cfs_survives_arbitrary_fault_plans(
+        seed in any::<u64>(),
+        vp_outage_pm in 0u32..400,
+        outage_window_ms in 1u64..600_000,
+        probe_timeout_pm in 0u32..400,
+        router_silent_pm in 0u32..200,
+        rate_limit_episode_pm in 0u32..400,
+        rate_limit_drop_pm in 0u32..=1000,
+        rate_limit_slot_ms in 1u64..120_000,
+        truncate_pm in 0u32..300,
+        loop_pm in 0u32..300,
+        kb_member_lag_pm in 0u32..400,
+        kb_facility_loss_pm in 0u32..300,
+        kb_conflict_pm in 0u32..400,
+    ) {
+        let fix = fixture();
+        let profile = FaultProfile {
+            vp_outage_pm,
+            outage_window_ms,
+            probe_timeout_pm,
+            router_silent_pm,
+            rate_limit_episode_pm,
+            rate_limit_drop_pm,
+            rate_limit_slot_ms,
+            truncate_pm,
+            loop_pm,
+            kb_member_lag_pm,
+            kb_facility_loss_pm,
+            kb_conflict_pm,
+        };
+        let plan = FaultPlan::new(seed, profile);
+        let engine = ChaosEngine::new(Engine::new(&fix.topo), plan);
+        let dirty = degrade_sources(&fix.sources, &plan);
+        let kb = KnowledgeBase::assemble(&dirty, &fix.topo.world);
+        let traces = bootstrap(&engine, fix);
+
+        let mut cfs = Cfs::builder(&engine, &kb)
+            .vps(&fix.vps)
+            .ipasn(&fix.ipasn)
+            .config(small_cfg())
+            .build()
+            .unwrap();
+        cfs.ingest(traces);
+        let report = cfs.run();
+
+        for iface in report.interfaces.values() {
+            match iface.outcome {
+                SearchOutcome::Resolved => {
+                    prop_assert!(iface.facility.is_some(),
+                        "{}: resolved without a facility", iface.ip);
+                    prop_assert!(iface.unresolved_reason.is_none(),
+                        "{}: resolved but carries a reason", iface.ip);
+                }
+                _ => prop_assert!(iface.unresolved_reason.is_some(),
+                    "{}: unresolved ({:?}) without a reason", iface.ip, iface.outcome),
+            }
+        }
+        // The tallies in the data-quality section cover exactly the
+        // unresolved population.
+        let unresolved = report.interfaces.values()
+            .filter(|i| i.outcome != SearchOutcome::Resolved)
+            .count() as u64;
+        let tallied: u64 = report.data_quality.unresolved_reasons.values().sum();
+        prop_assert_eq!(tallied, unresolved);
+    }
+}

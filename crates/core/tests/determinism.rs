@@ -9,11 +9,14 @@
 
 use std::sync::Arc;
 
+use cfs_chaos::{FaultPlan, FaultProfile};
 use cfs_core::{render_trace_json, Cfs, CfsConfig};
-use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
+use cfs_kb::{degrade_sources, KbConfig, KnowledgeBase, PublicSources};
 use cfs_obs::TraceRecorder;
 use cfs_topology::{Topology, TopologyConfig};
-use cfs_traceroute::{deploy_vantage_points, run_campaign, CampaignLimits, Engine, VpConfig};
+use cfs_traceroute::{
+    deploy_vantage_points, run_campaign, CampaignLimits, ChaosEngine, Engine, VpConfig,
+};
 
 fn report_json(topo: &Topology, threads: usize) -> String {
     let (report, _) = report_and_trace(topo, threads);
@@ -24,9 +27,28 @@ fn report_json(topo: &Topology, threads: usize) -> String {
 /// attached, returning both the report JSON and the rendered
 /// `cfs-trace/1` document.
 fn report_and_trace(topo: &Topology, threads: usize) -> (String, String) {
+    faulted_report_and_trace(topo, threads, None)
+}
+
+/// Same pipeline, optionally behind an active fault plan: the probe
+/// engine lies (timeouts, truncation, rate limiting) and the knowledge
+/// base is assembled from a degraded source snapshot. Retries, breaker
+/// bookkeeping, and metro widening must all stay thread-invariant.
+fn faulted_report_and_trace(
+    topo: &Topology,
+    threads: usize,
+    plan: Option<FaultPlan>,
+) -> (String, String) {
     let vps = deploy_vantage_points(topo, &VpConfig::tiny()).unwrap();
-    let engine = Engine::new(topo);
-    let sources = PublicSources::derive(topo, &KbConfig::default());
+    let engine = match plan {
+        Some(p) => ChaosEngine::new(Engine::new(topo), p),
+        None => ChaosEngine::new(Engine::new(topo), FaultPlan::new(0, FaultProfile::off())),
+    };
+    let clean_sources = PublicSources::derive(topo, &KbConfig::default());
+    let sources = match plan {
+        Some(p) => degrade_sources(&clean_sources, &p),
+        None => clean_sources,
+    };
     let kb = KnowledgeBase::assemble(&sources, &topo.world);
     let ipasn = topo.build_ipasn_db();
 
@@ -95,6 +117,37 @@ fn trace_json_is_byte_identical_across_thread_counts() {
         let (report, trace) = report_and_trace(&topo, threads);
         assert_eq!(serial_report, report, "report changed at {threads} threads");
         assert_eq!(serial_trace, trace, "trace changed at {threads} threads");
+    }
+}
+
+#[test]
+fn faulted_runs_are_byte_identical_across_thread_counts() {
+    // The chaos layer's fault decisions are pure hashes of (seed,
+    // entity, time slot), and the resilience machinery they trigger —
+    // retry budget spends, circuit-breaker trips, metro widening — is
+    // accounted serially in submission order between parallel rounds.
+    // So even a run full of injected faults must not depend on how the
+    // fan-outs were chunked.
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    let plan = Some(FaultPlan::new(topo.config.seed, FaultProfile::standard()));
+    let (serial_report, serial_trace) = faulted_report_and_trace(&topo, 1, plan);
+    assert!(serial_trace.starts_with("{\"schema\":\"cfs-trace/1\""));
+    // The plan must actually be biting, or this test proves nothing.
+    assert!(
+        serial_report.contains("\"probes_retried\":")
+            && !serial_report.contains("\"probes_retried\":0,"),
+        "fault plan injected no retriable probe failures"
+    );
+    for threads in [2, 8] {
+        let (report, trace) = faulted_report_and_trace(&topo, threads, plan);
+        assert_eq!(
+            serial_report, report,
+            "faulted report changed at {threads} threads"
+        );
+        assert_eq!(
+            serial_trace, trace,
+            "faulted trace changed at {threads} threads"
+        );
     }
 }
 

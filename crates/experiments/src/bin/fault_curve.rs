@@ -1,0 +1,5 @@
+//! Extension study: accuracy versus probe-fault rate under the chaos layer.
+
+fn main() {
+    cfs_experiments::experiments::main_for("fault_curve");
+}

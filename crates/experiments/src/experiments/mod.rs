@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod dns_geo;
+pub mod fault_curve;
 pub mod fig10;
 pub mod fig2;
 pub mod fig3;
@@ -32,12 +33,13 @@ pub fn run_by_id(id: &str, lab: &Lab, out: &mut Output) -> Result<serde_json::Va
         "dns_geo" => dns_geo::run(lab, out),
         "ablation" => ablation::run(lab, out),
         "kind_confusion" => kind_confusion::run(lab, out),
+        "fault_curve" => fault_curve::run(lab, out),
         other => Err(cfs_types::Error::not_found("experiment", other)),
     }
 }
 
 /// All experiment ids in paper order, plus the extension studies.
-pub const ALL_IDS: [&str; 12] = [
+pub const ALL_IDS: [&str; 13] = [
     "table1",
     "fig2",
     "fig3",
@@ -50,16 +52,27 @@ pub const ALL_IDS: [&str; 12] = [
     "dns_geo",
     "ablation",
     "kind_confusion",
+    "fault_curve",
 ];
 
 /// Standard binary entry point shared by all experiment binaries.
+///
+/// Every run carries a deterministic `cfs_obs::TraceRecorder`, and the
+/// pipeline counters it accumulates land next to the experiment's
+/// results as `results/<id>.metrics.json`.
 pub fn main_for(id: &str) {
     let (scale, seed) = crate::parse_args();
-    let lab = Lab::provision(scale, seed).expect("lab provisioning failed");
+    let mut lab = Lab::provision(scale, seed).expect("lab provisioning failed");
+    let recorder = std::sync::Arc::new(cfs_obs::TraceRecorder::deterministic());
+    lab.recorder = recorder.clone();
     let mut out = Output::new(id, scale.label());
     let json = run_by_id(id, &lab, &mut out).expect("experiment failed");
     let path = out.finish(json).expect("writing results failed");
+    let metrics = cfs_obs::export::render_metrics(&recorder.snapshot());
+    let metrics_path = crate::results_dir().join(format!("{id}.metrics.json"));
+    std::fs::write(&metrics_path, metrics).expect("writing metrics failed");
     eprintln!("\nwrote {}", path.display());
+    eprintln!("wrote {}", metrics_path.display());
     // Tiny scale is for smoke tests only; remind the user.
     if scale == Scale::Tiny {
         eprintln!("note: --scale tiny is a smoke test; use --scale paper for the reproduction");

@@ -29,7 +29,7 @@ mod lab;
 mod output;
 
 pub use lab::{Lab, Scale};
-pub use output::Output;
+pub use output::{results_dir, Output};
 
 /// Parses the common CLI arguments (`--scale`, `--seed`).
 pub fn parse_args() -> (Scale, Option<u64>) {

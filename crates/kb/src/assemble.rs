@@ -241,6 +241,17 @@ impl KnowledgeBase {
         self.facility_region.get(&f).copied()
     }
 
+    /// Every known facility in metro `m` — the metro-level widening pool
+    /// the search falls back to when footprints fail to intersect
+    /// (DESIGN.md §9).
+    pub fn facilities_in_metro(&self, m: MetroId) -> BTreeSet<FacilityId> {
+        self.facility_metro
+            .iter()
+            .filter(|(_, metro)| **metro == m)
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
     /// Exchanges that passed the activity filter.
     pub fn active_ixps(&self) -> &BTreeSet<IxpId> {
         &self.active_ixps

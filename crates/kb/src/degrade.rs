@@ -1,0 +1,192 @@
+//! The knowledge-plane degrade pass: applies a `cfs-chaos` fault plan to
+//! a [`PublicSources`] bundle *before* assembly, modelling the ways real
+//! public databases rot — stale snapshots with lagged IXP member lists,
+//! facilities that vanished from the feed, and volunteer records
+//! rewritten into self-contradiction.
+//!
+//! Degradation happens at the sources layer on purpose: the assembly
+//! pipeline and the search both consume the damaged data through their
+//! ordinary interfaces and never learn it was perturbed. Every decision
+//! is a pure function of the plan seed and record identity, so the same
+//! plan always produces the same degraded snapshot.
+
+use std::collections::BTreeSet;
+
+use cfs_chaos::FaultPlan;
+use cfs_types::FacilityId;
+
+use crate::sources::PublicSources;
+
+/// Returns a degraded copy of `src` per `plan`. An all-off plan returns
+/// an identical copy.
+pub fn degrade_sources(src: &PublicSources, plan: &FaultPlan) -> PublicSources {
+    let mut out = src.clone();
+    if plan.is_off() {
+        return out;
+    }
+
+    // ---- deleted facilities: the record vanished from the snapshot, and
+    // with it every reference the other sources held. ----
+    let doomed: BTreeSet<FacilityId> = out
+        .pdb_facilities
+        .iter()
+        .map(|r| r.facility)
+        .filter(|f| plan.delete_kb_facility(u64::from(f.raw())))
+        .collect();
+    if !doomed.is_empty() {
+        out.pdb_facilities.retain(|r| !doomed.contains(&r.facility));
+        for rec in out.pdb_networks.values_mut() {
+            rec.facilities.retain(|f| !doomed.contains(f));
+        }
+        for rec in out.pdb_ixps.values_mut() {
+            rec.facilities.retain(|f| !doomed.contains(f));
+        }
+        for site in out.ixp_sites.values_mut() {
+            site.facilities.retain(|f| !doomed.contains(f));
+            for m in &mut site.members {
+                if m.facility.is_some_and(|f| doomed.contains(&f)) {
+                    m.facility = None;
+                }
+            }
+        }
+        for page in out.noc_pages.values_mut() {
+            page.facilities.retain(|f| !doomed.contains(f));
+        }
+    }
+
+    // ---- lagged member lists: one staleness decision per (ixp, member)
+    // drops the website row, the PDB membership, and the netixlan ports
+    // together — a snapshot lags as a unit. ----
+    for (ixp, site) in out.ixp_sites.iter_mut() {
+        let ixp_key = u64::from(ixp.raw());
+        site.members
+            .retain(|m| !plan.drop_kb_member(ixp_key, u64::from(m.asn.raw())));
+    }
+    for rec in out.pdb_networks.values_mut() {
+        let asn_key = u64::from(rec.asn.raw());
+        rec.ixps
+            .retain(|ixp| !plan.drop_kb_member(u64::from(ixp.raw()), asn_key));
+        rec.fabric_ips
+            .retain(|(ixp, _)| !plan.drop_kb_member(u64::from(ixp.raw()), asn_key));
+    }
+
+    // ---- conflicting network records: rewrite alternating facility
+    // entries with plausible-but-wrong picks from the (surviving)
+    // facility table, the way volunteer records contradict NOC pages. ----
+    let pool: Vec<FacilityId> = out.pdb_facilities.iter().map(|r| r.facility).collect();
+    for rec in out.pdb_networks.values_mut() {
+        let asn_key = u64::from(rec.asn.raw());
+        if pool.is_empty() || !plan.conflict_kb_network(asn_key) {
+            continue;
+        }
+        for (slot, f) in rec.facilities.iter_mut().enumerate().skip(1).step_by(2) {
+            if let Some(i) = plan.conflict_pick(asn_key, slot as u64, pool.len()) {
+                *f = pool[i];
+            }
+        }
+        let mut seen = BTreeSet::new();
+        rec.facilities.retain(|f| seen.insert(*f));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::KbConfig;
+    use cfs_chaos::FaultProfile;
+    use cfs_topology::{Topology, TopologyConfig};
+
+    fn sources() -> PublicSources {
+        let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+        PublicSources::derive(&topo, &KbConfig::default())
+    }
+
+    #[test]
+    fn off_plan_is_identity() {
+        let src = sources();
+        let out = degrade_sources(&src, &FaultPlan::new(1, FaultProfile::off()));
+        assert_eq!(out.pdb_facilities.len(), src.pdb_facilities.len());
+        assert_eq!(out.pdb_networks.len(), src.pdb_networks.len());
+        for (a, b) in out.pdb_networks.values().zip(src.pdb_networks.values()) {
+            assert_eq!(a.facilities, b.facilities);
+            assert_eq!(a.fabric_ips, b.fabric_ips);
+        }
+    }
+
+    #[test]
+    fn degradation_is_deterministic() {
+        let src = sources();
+        let plan = FaultPlan::new(7, FaultProfile::stale_kb());
+        let a = degrade_sources(&src, &plan);
+        let b = degrade_sources(&src, &plan);
+        assert_eq!(a.pdb_facilities.len(), b.pdb_facilities.len());
+        for (x, y) in a.pdb_networks.values().zip(b.pdb_networks.values()) {
+            assert_eq!(x.facilities, y.facilities);
+            assert_eq!(x.ixps, y.ixps);
+        }
+        for (x, y) in a.ixp_sites.values().zip(b.ixp_sites.values()) {
+            assert_eq!(x.members.len(), y.members.len());
+        }
+    }
+
+    #[test]
+    fn stale_kb_actually_loses_rows() {
+        let src = sources();
+        let plan = FaultPlan::new(3, FaultProfile::stale_kb());
+        let out = degrade_sources(&src, &plan);
+        let before: usize = src.ixp_sites.values().map(|s| s.members.len()).sum();
+        let after: usize = out.ixp_sites.values().map(|s| s.members.len()).sum();
+        assert!(after < before, "member lag dropped nothing ({before})");
+    }
+
+    #[test]
+    fn deleted_facilities_leave_no_dangling_references() {
+        let src = sources();
+        let plan = FaultPlan::new(
+            5,
+            FaultProfile {
+                kb_facility_loss_pm: 300,
+                ..FaultProfile::off()
+            },
+        );
+        let out = degrade_sources(&src, &plan);
+        assert!(out.pdb_facilities.len() < src.pdb_facilities.len());
+        let alive: BTreeSet<FacilityId> = out.pdb_facilities.iter().map(|r| r.facility).collect();
+        for rec in out.pdb_networks.values() {
+            assert!(rec.facilities.iter().all(|f| alive.contains(f)));
+        }
+        for site in out.ixp_sites.values() {
+            assert!(site.facilities.iter().all(|f| alive.contains(f)));
+        }
+        for page in out.noc_pages.values() {
+            assert!(page.facilities.iter().all(|f| alive.contains(f)));
+        }
+    }
+
+    #[test]
+    fn conflicts_rewrite_some_records_without_duplicates() {
+        let src = sources();
+        let plan = FaultPlan::new(
+            11,
+            FaultProfile {
+                kb_conflict_pm: 500,
+                ..FaultProfile::off()
+            },
+        );
+        let out = degrade_sources(&src, &plan);
+        let mut rewritten = 0;
+        for (asn, rec) in &out.pdb_networks {
+            let mut seen = BTreeSet::new();
+            assert!(
+                rec.facilities.iter().all(|f| seen.insert(*f)),
+                "duplicate facility in conflicted record"
+            );
+            if rec.facilities != src.pdb_networks[asn].facilities {
+                rewritten += 1;
+            }
+        }
+        assert!(rewritten > 0, "conflict knob rewrote nothing");
+    }
+}

@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 
 mod assemble;
+mod degrade;
 mod snapshot;
 mod sources;
 
 pub use assemble::KnowledgeBase;
+pub use degrade::degrade_sources;
 pub use sources::{
     IxpSiteRecord, KbConfig, NocPage, PdbFacilityRecord, PdbIxpRecord, PdbNetworkRecord,
     PublicSources, SiteMemberRecord,

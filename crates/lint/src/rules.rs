@@ -97,8 +97,8 @@ pub const RULES: &[RuleInfo] = &[
         summary: "randomness must come from the seeded topology RNG, never ambient entropy",
     },
     RuleInfo {
-        name: "deprecated-cfs-api",
-        summary: "Cfs::new / restrict_platforms are deprecated; use Cfs::builder",
+        name: "raw-sleep",
+        summary: "thread::sleep/spin loops stall real time; schedule on the virtual clock instead",
     },
     RuleInfo {
         name: "raw-thread-spawn",
@@ -346,21 +346,20 @@ fn check_line(
         }
     }
 
-    // deprecated-cfs-api: the builder replaced the positional
-    // constructor; the shims only exist for one deprecation cycle.
-    for (needle, hint) in [
-        (
-            "Cfs::new(",
-            "Cfs::builder(engine, kb).vps(..).ipasn(..).build()",
-        ),
-        (".restrict_platforms(", "CfsBuilder::platforms"),
-    ] {
-        for col in find_tokens(line, needle, false) {
-            push(
-                col,
-                "deprecated-cfs-api",
-                format!("deprecated CFS constructor API; migrate to `{hint}`"),
-            );
+    // raw-sleep: blocking on wall time stalls the pipeline and makes
+    // timing nondeterministic; delays are modelled as virtual-clock
+    // offsets (`RetryPolicy::delay_ms` feeds probe timestamps, nothing
+    // actually sleeps). Like wall-clock, the bench targets and cfs-obs's
+    // clock module are the only sanctioned homes.
+    if ctx.target != Target::Bench && path != "crates/obs/src/clock.rs" {
+        for needle in ["thread::sleep", "sleep_ms", "spin_loop"] {
+            for col in find_tokens(line, needle, true) {
+                push(
+                    col,
+                    "raw-sleep",
+                    format!("`{needle}` blocks on wall time; model the delay as a virtual-clock offset (see `cfs_chaos::RetryPolicy`) or move it into `crates/bench`"),
+                );
+            }
         }
     }
 }
@@ -569,6 +568,16 @@ mod tests {
         let f = check_source("crates/obs/src/recorder.rs", src);
         assert_eq!(f.len(), 1, "only clock.rs is sanctioned: {f:?}");
         assert_eq!(f[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn raw_sleep_banned_outside_clock_and_bench() {
+        let src = "fn f() { std::thread::sleep(d); std::hint::spin_loop(); }\n";
+        let f = check_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "raw-sleep"));
+        assert!(check_source("crates/obs/src/clock.rs", src).is_empty());
+        assert!(check_source("crates/bench/src/lib.rs", src).is_empty());
     }
 
     #[test]

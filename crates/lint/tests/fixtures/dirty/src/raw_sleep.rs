@@ -1,0 +1,7 @@
+// Fixture: `raw-sleep` must fire on both blocking-wait forms.
+pub fn wait_for_probe(d: std::time::Duration) {
+    std::thread::sleep(d);
+    while !probe_landed() {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: justified suppressions silence `raw-sleep`.
+pub fn wait_for_probe(d: std::time::Duration) {
+    // cfs-lint: allow(raw-sleep) — fixture models a legacy blocking shim
+    std::thread::sleep(d);
+    while !probe_landed() {
+        std::hint::spin_loop(); // cfs-lint: allow(raw-sleep) — same blocking-shim coverage
+    }
+}

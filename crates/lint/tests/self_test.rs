@@ -40,7 +40,7 @@ fn dirty_tree_finding_inventory_is_exact() {
     let findings = check_workspace(&fixture_root("dirty")).expect("fixture tree is readable");
     let expected: &[(&str, usize)] = &[
         ("ambient-rng", 3),
-        ("deprecated-cfs-api", 2),
+        ("raw-sleep", 2),
         ("raw-thread-spawn", 1),
         ("rc-in-send-crate", 2),
         ("unjustified-allow", 2),
@@ -70,8 +70,8 @@ fn dirty_findings_point_at_real_lines() {
     };
     assert!(has("crates/kb/src/unwrap_in_lib.rs", 5, "unwrap-in-lib"));
     assert!(has("crates/kb/src/unwrap_in_lib.rs", 6, "unwrap-in-lib"));
-    assert!(has("src/deprecated_cfs_api.rs", 3, "deprecated-cfs-api"));
-    assert!(has("src/deprecated_cfs_api.rs", 4, "deprecated-cfs-api"));
+    assert!(has("src/raw_sleep.rs", 3, "raw-sleep"));
+    assert!(has("src/raw_sleep.rs", 5, "raw-sleep"));
     assert!(has(
         "crates/core/src/unjustified_allow.rs",
         6,

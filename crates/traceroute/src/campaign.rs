@@ -14,8 +14,9 @@ use rand_chacha::ChaCha20Rng;
 
 use cfs_types::VantagePointId;
 
-use crate::engine::{Engine, Trace};
+use crate::engine::Trace;
 use crate::platform::{Platform, VpSet};
+use crate::service::ProbeService;
 
 /// Like [`run_campaign`], fanned out over scoped threads. Traces are
 /// deterministic per `(vantage point, target, time)`, so the result is
@@ -23,7 +24,7 @@ use crate::platform::{Platform, VpSet};
 /// wall-clock differs. Useful for paper-scale campaigns (8.5k vantage
 /// points × targets).
 pub fn run_campaign_parallel(
-    engine: &Engine<'_>,
+    engine: &dyn ProbeService,
     vps: &VpSet,
     vp_ids: &[VantagePointId],
     targets: &[Ipv4Addr],
@@ -76,7 +77,7 @@ impl Default for CampaignLimits {
 /// Runs a targeted campaign: every vantage point probes every target (up
 /// to its platform's limit), at the given measurement time.
 pub fn run_campaign(
-    engine: &Engine<'_>,
+    engine: &dyn ProbeService,
     vps: &VpSet,
     vp_ids: &[VantagePointId],
     targets: &[Ipv4Addr],
@@ -100,7 +101,7 @@ pub fn run_campaign(
 /// Simulates the archived daily sweeps of iPlane and Ark: each vantage
 /// point traces toward `per_vp` random routed targets.
 pub fn archived_sweep(
-    engine: &Engine<'_>,
+    engine: &dyn ProbeService,
     vps: &VpSet,
     platform: Platform,
     per_vp: usize,
@@ -127,6 +128,7 @@ pub fn archived_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::platform::{deploy_vantage_points, VpConfig};
     use cfs_topology::{Topology, TopologyConfig};
 
@@ -199,6 +201,7 @@ mod tests {
 #[cfg(test)]
 mod parallel_tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::platform::{deploy_vantage_points, VpConfig};
     use cfs_topology::{Topology, TopologyConfig};
 

@@ -23,6 +23,7 @@ mod error;
 mod facset;
 mod ids;
 mod peering;
+mod reason;
 mod region;
 mod rel;
 
@@ -35,5 +36,6 @@ pub use ids::{
     SwitchId, VantagePointId,
 };
 pub use peering::{LinkClass, PeeringKind};
+pub use reason::UnresolvedReason;
 pub use region::Region;
 pub use rel::Rel;

@@ -1,0 +1,88 @@
+//! Why an interface failed to pin to a single facility.
+//!
+//! The search always emits a verdict; when the verdict is anything other
+//! than *resolved*, this taxonomy says what starved it (DESIGN.md §9).
+//! Reasons describe **observable symptoms** — the search cannot tell a
+//! stale database from an honest gap, so the vocabulary never mentions
+//! injected faults.
+
+use std::fmt;
+
+/// The typed reason attached to an unresolved interface verdict.
+///
+/// `Ord` so tallies can live in `BTreeMap`s (deterministic iteration,
+/// like every map in a library path). Serializes as the variant name;
+/// [`UnresolvedReason::code`] is the snake_case form used for tally
+/// keys and human-facing output.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum UnresolvedReason {
+    /// The knowledge base had no facility footprint at all for the owner
+    /// or the exchange — nothing to intersect.
+    NoFacilityData,
+    /// Footprints existed but never overlapped, even after widening to
+    /// metro-level candidates.
+    EmptyIntersection,
+    /// Constraints contradicted each other; the conflicting evidence was
+    /// dropped rather than intersected.
+    ConstraintConflict,
+    /// The probe retry budget ran dry before the measurements this
+    /// interface needed could land.
+    ProbeExhausted,
+    /// The remote-peering test never produced a verdict (no responsive
+    /// vantage point near the exchange).
+    RemoteInconclusive,
+    /// The search converged but more than one candidate facility
+    /// remained.
+    AmbiguousCandidates,
+    /// The interface peers remotely: its router sits outside the
+    /// exchange's metro, so no local facility applies.
+    RemotePeer,
+}
+
+impl UnresolvedReason {
+    /// Stable snake_case code, matching the serialized form.
+    #[must_use]
+    pub const fn code(self) -> &'static str {
+        match self {
+            Self::NoFacilityData => "no_facility_data",
+            Self::EmptyIntersection => "empty_intersection",
+            Self::ConstraintConflict => "constraint_conflict",
+            Self::ProbeExhausted => "probe_exhausted",
+            Self::RemoteInconclusive => "remote_inconclusive",
+            Self::AmbiguousCandidates => "ambiguous_candidates",
+            Self::RemotePeer => "remote_peer",
+        }
+    }
+}
+
+impl fmt::Display for UnresolvedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_serde() {
+        for r in [
+            UnresolvedReason::NoFacilityData,
+            UnresolvedReason::EmptyIntersection,
+            UnresolvedReason::ConstraintConflict,
+            UnresolvedReason::ProbeExhausted,
+            UnresolvedReason::RemoteInconclusive,
+            UnresolvedReason::AmbiguousCandidates,
+            UnresolvedReason::RemotePeer,
+        ] {
+            let json = serde_json::to_string(&r).unwrap();
+            assert_eq!(json, format!("\"{r:?}\""));
+            let back: UnresolvedReason = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, r);
+            assert!(r.code().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+}

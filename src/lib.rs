@@ -54,6 +54,7 @@
 pub use cfs_alias as alias;
 pub use cfs_baselines as baselines;
 pub use cfs_bgp as bgp;
+pub use cfs_chaos as chaos;
 pub use cfs_core as core;
 pub use cfs_experiments as experiments;
 pub use cfs_geo as geo;
@@ -67,18 +68,20 @@ pub use cfs_validate as validate;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
+    pub use cfs_chaos::{FaultPlan, FaultProfile, RetryPolicy};
     pub use cfs_core::{
-        Cfs, CfsBuilder, CfsConfig, CfsReport, InterconnectionAtlas, IterationStats, RemoteTester,
-        SearchOutcome,
+        Cfs, CfsBuilder, CfsConfig, CfsReport, DataQualityReport, InterconnectionAtlas,
+        IterationStats, RemoteTester, SearchOutcome,
     };
-    pub use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
+    pub use cfs_kb::{degrade_sources, KbConfig, KnowledgeBase, PublicSources};
     pub use cfs_topology::{Topology, TopologyConfig};
     pub use cfs_traceroute::{
-        deploy_vantage_points, run_campaign, CampaignLimits, Engine, Platform, VpConfig,
+        deploy_vantage_points, run_campaign, CampaignLimits, ChaosEngine, Engine, Platform,
+        ProbeService, VpConfig,
     };
     pub use cfs_types::{
         AsClass, Asn, FacilityId, FacilitySet, FacilitySetInterner, IxpId, MetroId, PeeringKind,
-        Region,
+        Region, UnresolvedReason,
     };
     pub use cfs_validate::{score_report, ValidationOracles};
 }

@@ -6,6 +6,7 @@
 //! cfs world    [--scale S] [--seed N]             # ground-truth statistics
 //! cfs run      [--scale S] [--seed N] [--out F]   # full pipeline + dataset export
 //!              [--trace-json F] [--metrics]       #   + observability export
+//!              [--faults P]                       #   + chaos fault injection
 //! cfs audit    <asn> [--scale S] [--seed N]       # one network's peering map
 //! cfs census   [--scale S] [--seed N]             # remote-peering census
 //! cfs validate [--scale S] [--seed N]             # §6 validation scorecard
@@ -34,6 +35,7 @@ fn main() {
             flag_value(&args, "--sources"),
             flag_value(&args, "--trace-json"),
             args.iter().any(|a| a == "--metrics"),
+            flag_value(&args, "--faults"),
         ),
         "audit" => audit(scale, seed, args.get(2).and_then(|s| s.parse().ok())),
         "census" => census(scale, seed),
@@ -62,7 +64,9 @@ fn print_help() {
          \x20 run        full pipeline; --out FILE exports the inferred map;\n\
          \x20            --sources FILE drives it from a saved/edited snapshot;\n\
          \x20            --trace-json FILE exports deterministic telemetry;\n\
-         \x20            --metrics prints a human timing/counter summary\n\
+         \x20            --metrics prints a human timing/counter summary;\n\
+         \x20            --faults P injects a deterministic fault profile\n\
+         \x20            (off|default|flaky|blackout|stale-kb, composable as a+b)\n\
          \x20 audit ASN  one network's inferred peering map\n\
          \x20 census     remote-peering census over the exchanges\n\
          \x20 validate   §6 validation scorecard\n\
@@ -155,6 +159,7 @@ fn run_cmd(
     sources_path: Option<String>,
     trace_json: Option<String>,
     metrics: bool,
+    faults: Option<String>,
 ) -> i32 {
     let sources = match sources_path {
         Some(p) => match cfs::kb::PublicSources::load(&p) {
@@ -166,14 +171,34 @@ fn run_cmd(
         },
         None => None,
     };
-    let lab = Lab::provision_with_sources(scale, seed, sources).expect("world generation failed");
+    let mut lab =
+        Lab::provision_with_sources(scale, seed, sources).expect("world generation failed");
+    let plan = match &faults {
+        Some(spec) => match FaultPlan::named(spec, lab.topo.config.seed) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!(
+                    "unknown fault profile {spec:?} \
+                     (named: off, default, flaky, blackout, stale-kb; compose with `+`)"
+                );
+                return 2;
+            }
+        },
+        None => None,
+    };
     // Attach a recorder only when somebody will read it; otherwise the
     // pipeline keeps its free no-op instrumentation.
     let recorder = (trace_json.is_some() || metrics)
         .then(|| Arc::new(TraceRecorder::new(Arc::new(Monotonic::new()))));
-    let report = match &recorder {
-        Some(rec) => lab.run_cfs_observed(CfsConfig::default(), rec.clone()),
-        None => lab.run_cfs(None, None, CfsConfig::default()),
+    if let Some(rec) = &recorder {
+        lab.recorder = rec.clone();
+    }
+    let report = match plan {
+        Some(plan) => lab.run_cfs_chaos(plan, CfsConfig::default()),
+        None => match &recorder {
+            Some(rec) => lab.run_cfs_observed(CfsConfig::default(), rec.clone()),
+            None => lab.run_cfs(None, None, CfsConfig::default()),
+        },
     };
     println!(
         "resolved {}/{} interfaces ({:.1}%) over {} iterations; {} follow-up traceroutes",
@@ -183,6 +208,18 @@ fn run_cmd(
         report.iterations.len(),
         report.traces_issued,
     );
+    if let Some(spec) = &faults {
+        let dq = &report.data_quality;
+        println!(
+            "fault profile {spec}: {} failed probes, {} retried ({} denied), \
+             {} VP breaker trips, {} interfaces metro-widened",
+            dq.failed_probes,
+            dq.probes_retried,
+            dq.retries_denied,
+            dq.vp_breaker_trips,
+            dq.widened_interfaces,
+        );
+    }
 
     if let Some(path) = out {
         // The public dataset the paper publishes: every inferred
