@@ -238,12 +238,63 @@ fn bench_facility_sets(c: &mut Criterion) {
     group.finish();
 }
 
+/// The profiling/diff layer itself: rendering the `cfs-profile/1`
+/// sidecar from a populated snapshot, and structurally diffing two full
+/// `cfs-trace/1` documents — the operations the CI regression gate runs
+/// on every build, so they should stay far below a pipeline iteration.
+fn bench_profile_diff(c: &mut Criterion) {
+    let fx = EngineFixture::standard();
+    let engine = Engine::new(&fx.world.topo);
+    let recorder = Arc::new(TraceRecorder::new(Arc::new(Monotonic::new())));
+    fx.iteration_recorded(&engine, 1, recorder.clone());
+    let snap = recorder.snapshot();
+    let profile_doc = cfs_obs::render_profile_json(&snap);
+
+    // Two traces of the same run shape with a small counter drift, so
+    // the diff walks every section and itemizes something.
+    let report = {
+        let mut cfs = Cfs::builder(&engine, &fx.world.kb)
+            .vps(&fx.vps)
+            .ipasn(&fx.ipasn)
+            .config(CfsConfig {
+                max_iterations: 1,
+                ..CfsConfig::default()
+            })
+            .recorder(recorder.clone())
+            .build()
+            .unwrap();
+        cfs.ingest(fx.traces.clone());
+        cfs.run()
+    };
+    let trace_a = cfs_core::render_trace_json(&report, &snap);
+    let trace_b = cfs_core::render_trace_json(&report, &recorder.snapshot());
+
+    let mut group = c.benchmark_group("profile_diff");
+    group.bench_function("render_profile", |b: &mut Bencher| {
+        b.iter(|| black_box(cfs_obs::render_profile_json(&snap).len()))
+    });
+    group.bench_function("diff_traces", |b: &mut Bencher| {
+        b.iter(|| {
+            let d = cfs_obs::diff_docs(&trace_a, &trace_b, 0).expect("well-formed");
+            black_box(d.is_drift())
+        })
+    });
+    group.bench_function("diff_profiles", |b: &mut Bencher| {
+        b.iter(|| {
+            let d = cfs_obs::diff_docs(&profile_doc, &profile_doc, 25).expect("well-formed");
+            black_box(d.is_drift())
+        })
+    });
+    group.finish();
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_engine_iteration(&mut criterion);
     bench_obs_overhead(&mut criterion);
     bench_chaos_overhead(&mut criterion);
     bench_facility_sets(&mut criterion);
+    bench_profile_diff(&mut criterion);
 
     // Record the measurements for tracking across PRs.
     let cores = std::thread::available_parallelism()

@@ -44,7 +44,7 @@
 mod plan;
 mod retry;
 
-pub use plan::{FaultPlan, FaultProfile};
+pub use plan::{FaultPlan, FaultProfile, KB_SOURCE_IXP_SITE, KB_SOURCE_PDB_FAC, KB_SOURCE_PDB_NET};
 pub use retry::{CircuitBreaker, RetryBudget, RetryPolicy};
 
 /// SplitMix64 — the workspace's standard parameter-mixing hash (the

@@ -47,6 +47,13 @@ pub struct FaultProfile {
     /// Per-network probability the PeeringDB record self-contradicts
     /// (facility list rewritten with plausible-but-wrong entries).
     pub kb_conflict_pm: u32,
+    /// Width of the knowledge-plane refresh window in virtual
+    /// milliseconds. Zero means the KB snapshot is coherent (every
+    /// record fetched at the same instant); non-zero places one seeded
+    /// *flip instant* inside the window and assigns every record a
+    /// seeded fetch instant, so records land in a pre- or post-refresh
+    /// epoch — a torn snapshot, the `mid-kb-refresh` failure mode.
+    pub kb_refresh_window_ms: u64,
 }
 
 impl FaultProfile {
@@ -66,6 +73,7 @@ impl FaultProfile {
             kb_member_lag_pm: 0,
             kb_facility_loss_pm: 0,
             kb_conflict_pm: 0,
+            kb_refresh_window_ms: 0,
         }
     }
 
@@ -128,6 +136,20 @@ impl FaultProfile {
         }
     }
 
+    /// The knowledge plane flipping mid-campaign: the same rot dials as
+    /// [`Self::stale_kb`], but with a one-day refresh window, so each
+    /// source record is fetched either before or after a seeded flip
+    /// instant. IXP-website and PeeringDB views of the same member can
+    /// then disagree — the torn-snapshot inconsistency §3 of the paper
+    /// warns about, rather than mere uniform staleness.
+    #[must_use]
+    pub const fn mid_kb_refresh() -> Self {
+        Self {
+            kb_refresh_window_ms: 86_400_000,
+            ..Self::stale_kb()
+        }
+    }
+
     /// A pure probe-loss profile at `pm` per-mille, for sweeping
     /// accuracy-vs-fault-rate curves.
     #[must_use]
@@ -139,7 +161,7 @@ impl FaultProfile {
     }
 
     /// Looks up a named profile: `off`, `default`, `flaky`, `blackout`,
-    /// `stale-kb`.
+    /// `stale-kb`, `mid-kb-refresh`.
     #[must_use]
     pub fn named(name: &str) -> Option<Self> {
         Some(match name {
@@ -148,6 +170,7 @@ impl FaultProfile {
             "flaky" => Self::flaky(),
             "blackout" => Self::blackout(),
             "stale-kb" => Self::stale_kb(),
+            "mid-kb-refresh" => Self::mid_kb_refresh(),
             _ => return None,
         })
     }
@@ -182,6 +205,7 @@ impl FaultProfile {
             kb_member_lag_pm: add(self.kb_member_lag_pm, other.kb_member_lag_pm),
             kb_facility_loss_pm: add(self.kb_facility_loss_pm, other.kb_facility_loss_pm),
             kb_conflict_pm: add(self.kb_conflict_pm, other.kb_conflict_pm),
+            kb_refresh_window_ms: self.kb_refresh_window_ms.max(other.kb_refresh_window_ms),
         }
     }
 
@@ -231,6 +255,21 @@ const D_KB_MEMBER: u64 = 0xc4a0_5008;
 const D_KB_FACILITY: u64 = 0xc4a0_5009;
 const D_KB_CONFLICT: u64 = 0xc4a0_500a;
 const D_KB_PICK: u64 = 0xc4a0_500b;
+const D_KB_REFRESH: u64 = 0xc4a0_500c;
+const D_KB_FETCH: u64 = 0xc4a0_500d;
+
+/// Mixed into a decision's entity key per post-refresh epoch, so epoch 1
+/// rolls fresh dice while epoch 0 is bit-identical to the coherent
+/// (no-refresh) snapshot. Golden-ratio constant, same family as
+/// `splitmix64`'s increment.
+const EPOCH_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Source tag for IXP-website site listings (see [`FaultPlan::kb_fetch_epoch`]).
+pub const KB_SOURCE_IXP_SITE: u64 = 1;
+/// Source tag for PeeringDB network records.
+pub const KB_SOURCE_PDB_NET: u64 = 2;
+/// Source tag for PeeringDB facility records.
+pub const KB_SOURCE_PDB_FAC: u64 = 3;
 
 impl FaultPlan {
     /// Binds a profile to a run seed.
@@ -355,33 +394,107 @@ impl FaultPlan {
 
     // ---- knowledge plane ----
 
-    /// Did member `member` of exchange `ixp` lag out of the KB snapshot?
+    /// The seeded instant inside [`FaultProfile::kb_refresh_window_ms`]
+    /// at which the upstream knowledge plane flipped, or `None` when the
+    /// snapshot is coherent (window is zero).
+    #[must_use]
+    pub fn kb_refresh_at_ms(&self) -> Option<u64> {
+        let window = self.profile.kb_refresh_window_ms;
+        (window > 0).then(|| self.hash(D_KB_REFRESH, 0, 0) % window)
+    }
+
+    /// The refresh epoch a record was fetched in: 0 before the flip
+    /// instant, 1 after. `source` is a [`KB_SOURCE_IXP_SITE`]-style tag
+    /// and `entity` the record's key, so different sources fetch the
+    /// "same" entity at independent seeded instants — the tear. Always 0
+    /// when no refresh is active, keeping every epoch-aware decision
+    /// bit-identical to its coherent-snapshot counterpart.
+    #[must_use]
+    pub fn kb_fetch_epoch(&self, source: u64, entity: u64) -> u64 {
+        let Some(flip) = self.kb_refresh_at_ms() else {
+            return 0;
+        };
+        let fetched = self.hash(D_KB_FETCH, source, entity) % self.profile.kb_refresh_window_ms;
+        u64::from(fetched >= flip)
+    }
+
+    /// Mixes a fetch epoch into an entity key. Epoch 0 is the identity.
+    const fn epoch_key(entity: u64, epoch: u64) -> u64 {
+        entity ^ epoch.wrapping_mul(EPOCH_MIX)
+    }
+
+    /// Did member `member` of exchange `ixp` lag out of the coherent KB
+    /// snapshot? Epoch-0 shorthand for [`Self::drop_kb_member_at`].
     #[must_use]
     pub fn drop_kb_member(&self, ixp: u64, member: u64) -> bool {
-        self.decide(D_KB_MEMBER, ixp, member, self.profile.kb_member_lag_pm)
+        self.drop_kb_member_at(ixp, member, 0)
     }
 
-    /// Did facility `fac` vanish from the snapshot?
+    /// Did member `member` of exchange `ixp` lag out of the snapshot
+    /// fetched in `epoch`?
+    #[must_use]
+    pub fn drop_kb_member_at(&self, ixp: u64, member: u64, epoch: u64) -> bool {
+        self.decide(
+            D_KB_MEMBER,
+            ixp,
+            Self::epoch_key(member, epoch),
+            self.profile.kb_member_lag_pm,
+        )
+    }
+
+    /// Did facility `fac` vanish from the coherent snapshot? Epoch-0
+    /// shorthand for [`Self::delete_kb_facility_at`].
     #[must_use]
     pub fn delete_kb_facility(&self, fac: u64) -> bool {
-        self.decide(D_KB_FACILITY, fac, 0, self.profile.kb_facility_loss_pm)
+        self.delete_kb_facility_at(fac, 0)
     }
 
-    /// Is network `asn`'s record self-contradictory in this snapshot?
+    /// Did facility `fac` vanish from the snapshot fetched in `epoch`?
+    #[must_use]
+    pub fn delete_kb_facility_at(&self, fac: u64, epoch: u64) -> bool {
+        self.decide(
+            D_KB_FACILITY,
+            Self::epoch_key(fac, epoch),
+            0,
+            self.profile.kb_facility_loss_pm,
+        )
+    }
+
+    /// Is network `asn`'s record self-contradictory in the coherent
+    /// snapshot? Epoch-0 shorthand for [`Self::conflict_kb_network_at`].
     #[must_use]
     pub fn conflict_kb_network(&self, asn: u64) -> bool {
-        self.decide(D_KB_CONFLICT, asn, 0, self.profile.kb_conflict_pm)
+        self.conflict_kb_network_at(asn, 0)
+    }
+
+    /// Is network `asn`'s record self-contradictory in the snapshot
+    /// fetched in `epoch`?
+    #[must_use]
+    pub fn conflict_kb_network_at(&self, asn: u64, epoch: u64) -> bool {
+        self.decide(
+            D_KB_CONFLICT,
+            Self::epoch_key(asn, epoch),
+            0,
+            self.profile.kb_conflict_pm,
+        )
     }
 
     /// Deterministic index into a pool of `n` replacement candidates,
     /// for rewriting a conflicted record's entry `slot`. Returns `None`
-    /// for an empty pool.
+    /// for an empty pool. Epoch-0 shorthand for
+    /// [`Self::conflict_pick_at`].
     #[must_use]
     pub fn conflict_pick(&self, asn: u64, slot: u64, n: usize) -> Option<usize> {
+        self.conflict_pick_at(asn, slot, n, 0)
+    }
+
+    /// Deterministic replacement pick for the record fetched in `epoch`.
+    #[must_use]
+    pub fn conflict_pick_at(&self, asn: u64, slot: u64, n: usize, epoch: u64) -> Option<usize> {
         if n == 0 {
             return None;
         }
-        Some((self.hash(D_KB_PICK, asn, slot) as usize) % n)
+        Some((self.hash(D_KB_PICK, Self::epoch_key(asn, epoch), slot) as usize) % n)
     }
 }
 
@@ -492,6 +605,63 @@ mod tests {
             FaultProfile::stale_kb().kb_member_lag_pm
         );
         assert!(!both.is_off());
+    }
+
+    #[test]
+    fn no_refresh_means_one_epoch_and_unchanged_decisions() {
+        let p = FaultPlan::new(42, FaultProfile::stale_kb());
+        assert_eq!(p.kb_refresh_at_ms(), None);
+        for k in 0..200u64 {
+            assert_eq!(p.kb_fetch_epoch(KB_SOURCE_IXP_SITE, k), 0);
+            // Epoch-aware calls at epoch 0 are the legacy decisions.
+            assert_eq!(p.drop_kb_member_at(7, k, 0), p.drop_kb_member(7, k));
+            assert_eq!(p.delete_kb_facility_at(k, 0), p.delete_kb_facility(k));
+            assert_eq!(p.conflict_kb_network_at(k, 0), p.conflict_kb_network(k));
+        }
+    }
+
+    #[test]
+    fn mid_refresh_tears_the_snapshot_between_sources() {
+        let p = FaultPlan::new(42, FaultProfile::mid_kb_refresh());
+        let flip = p.kb_refresh_at_ms().expect("refresh active");
+        assert!(flip < FaultProfile::mid_kb_refresh().kb_refresh_window_ms);
+        // Both epochs must occur across sources/entities, and the same
+        // entity must land in different epochs for some pair of sources
+        // — that inter-source disagreement is the failure mode.
+        let mut epochs = [false; 2];
+        let mut torn = false;
+        for k in 0..500u64 {
+            let site = p.kb_fetch_epoch(KB_SOURCE_IXP_SITE, k);
+            let pdb = p.kb_fetch_epoch(KB_SOURCE_PDB_NET, k);
+            epochs[site as usize] = true;
+            epochs[pdb as usize] = true;
+            torn |= site != pdb;
+        }
+        assert!(epochs[0] && epochs[1], "flip instant splits the window");
+        assert!(torn, "some entity fetched on opposite sides of the flip");
+    }
+
+    #[test]
+    fn epochs_roll_independent_dice() {
+        let p = FaultPlan::new(9, FaultProfile::mid_kb_refresh());
+        let disagrees =
+            (0..2000u64).any(|m| p.drop_kb_member_at(3, m, 0) != p.drop_kb_member_at(3, m, 1));
+        assert!(disagrees, "epoch 1 must not mirror epoch 0");
+    }
+
+    #[test]
+    fn mid_kb_refresh_parses_and_merges_windows() {
+        let p = FaultProfile::parse("mid-kb-refresh").unwrap();
+        assert_eq!(p.kb_refresh_window_ms, 86_400_000);
+        assert!(!p.is_off());
+        let merged = FaultProfile::stale_kb().merge(&p);
+        assert_eq!(merged.kb_refresh_window_ms, 86_400_000);
+        assert_eq!(
+            FaultProfile::off()
+                .merge(&FaultProfile::off())
+                .kb_refresh_window_ms,
+            0
+        );
     }
 
     #[test]

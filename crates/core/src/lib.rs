@@ -49,4 +49,4 @@ pub use report::{
     InferredLink, RouterRoleStats, CANDIDATE_BUCKET_LE,
 };
 pub use state::{IfaceState, SearchOutcome, TrajectoryPoint};
-pub use telemetry::{render_trace_json, TRACE_SCHEMA};
+pub use telemetry::{render_profile_json, render_trace_json, PROFILE_SCHEMA, TRACE_SCHEMA};

@@ -37,6 +37,12 @@ use crate::report::{CfsReport, ConvergenceTelemetry, CANDIDATE_BUCKET_LE};
 /// Schema identifier stamped into every trace document.
 pub const TRACE_SCHEMA: &str = "cfs-trace/1";
 
+/// The duration-sidecar renderer, re-exported so trace producers can
+/// write the `cfs-profile/1` file next to the trace without reaching
+/// into `cfs_obs` themselves. The sidecar reads the same snapshot but
+/// never enters [`render_trace_json`]'s digested body.
+pub use cfs_obs::profile::{render_profile_json, PROFILE_SCHEMA};
+
 fn push_usize_list(out: &mut String, values: impl IntoIterator<Item = usize>) {
     out.push('[');
     for (i, v) in values.into_iter().enumerate() {

@@ -95,6 +95,7 @@ proptest! {
         kb_member_lag_pm in 0u32..400,
         kb_facility_loss_pm in 0u32..300,
         kb_conflict_pm in 0u32..400,
+        kb_refresh_window_ms in 0u64..172_800_000,
     ) {
         let fix = fixture();
         let profile = FaultProfile {
@@ -110,6 +111,7 @@ proptest! {
             kb_member_lag_pm,
             kb_facility_loss_pm,
             kb_conflict_pm,
+            kb_refresh_window_ms,
         };
         let plan = FaultPlan::new(seed, profile);
         let engine = ChaosEngine::new(Engine::new(&fix.topo), plan);

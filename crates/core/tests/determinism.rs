@@ -10,9 +10,9 @@
 use std::sync::Arc;
 
 use cfs_chaos::{FaultPlan, FaultProfile};
-use cfs_core::{render_trace_json, Cfs, CfsConfig};
+use cfs_core::{render_profile_json, render_trace_json, Cfs, CfsConfig};
 use cfs_kb::{degrade_sources, KbConfig, KnowledgeBase, PublicSources};
-use cfs_obs::TraceRecorder;
+use cfs_obs::{Clock, Monotonic, TraceRecorder, Virtual};
 use cfs_topology::{Topology, TopologyConfig};
 use cfs_traceroute::{
     deploy_vantage_points, run_campaign, CampaignLimits, ChaosEngine, Engine, VpConfig,
@@ -39,6 +39,18 @@ fn faulted_report_and_trace(
     threads: usize,
     plan: Option<FaultPlan>,
 ) -> (String, String) {
+    let (report, trace, _) = run_with_clock(topo, threads, plan, Arc::new(Virtual::new()));
+    (report, trace)
+}
+
+/// The full pipeline with an arbitrary recorder clock, returning the
+/// report JSON, the rendered trace, and the `cfs-profile/1` sidecar.
+fn run_with_clock(
+    topo: &Topology,
+    threads: usize,
+    plan: Option<FaultPlan>,
+    clock: Arc<dyn Clock>,
+) -> (String, String, String) {
     let vps = deploy_vantage_points(topo, &VpConfig::tiny()).unwrap();
     let engine = match plan {
         Some(p) => ChaosEngine::new(Engine::new(topo), p),
@@ -68,7 +80,7 @@ fn faulted_report_and_trace(
         &CampaignLimits::default(),
     );
 
-    let recorder = Arc::new(TraceRecorder::deterministic());
+    let recorder = Arc::new(TraceRecorder::new(clock));
     let mut cfs = Cfs::builder(&engine, &kb)
         .vps(&vps)
         .ipasn(&ipasn)
@@ -82,8 +94,10 @@ fn faulted_report_and_trace(
         .unwrap();
     cfs.ingest(traces);
     let report = cfs.run();
-    let trace = render_trace_json(&report, &recorder.snapshot());
-    (serde_json::to_string(&report).unwrap(), trace)
+    let snap = recorder.snapshot();
+    let trace = render_trace_json(&report, &snap);
+    let profile = render_profile_json(&snap);
+    (serde_json::to_string(&report).unwrap(), trace, profile)
 }
 
 #[test]
@@ -149,6 +163,72 @@ fn faulted_runs_are_byte_identical_across_thread_counts() {
             "faulted trace changed at {threads} threads"
         );
     }
+}
+
+#[test]
+fn profile_sidecar_never_perturbs_the_trace() {
+    // The ISSUE acceptance criterion: the deterministic trace digest is
+    // byte-identical with and without duration capture. A wall-clock
+    // (Monotonic) recorder accumulates real nanoseconds in the sidecar,
+    // yet the rendered `cfs-trace/1` document — digest included — must
+    // match the virtual-clock run exactly, and rendering the profile
+    // must not perturb a re-rendered trace.
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    let (_, virtual_trace, virtual_profile) =
+        run_with_clock(&topo, 2, None, Arc::new(Virtual::new()));
+    let (_, wall_trace, wall_profile) = run_with_clock(&topo, 2, None, Arc::new(Monotonic::new()));
+    assert_eq!(
+        virtual_trace, wall_trace,
+        "wall-clock durations leaked into the digestible trace body"
+    );
+    for profile in [&virtual_profile, &wall_profile] {
+        assert!(
+            profile.starts_with("{\"schema\":\"cfs-profile/1\""),
+            "sidecar carries its own schema marker: {}",
+            &profile[..60.min(profile.len())]
+        );
+    }
+    // Same pipeline work → same span entry counts, whatever the clock.
+    let doc_v = cfs_obs::ProfileDoc::parse(&virtual_profile).unwrap();
+    let doc_w = cfs_obs::ProfileDoc::parse(&wall_profile).unwrap();
+    assert_eq!(
+        doc_v.spans.keys().collect::<Vec<_>>(),
+        doc_w.spans.keys().collect::<Vec<_>>()
+    );
+    for (name, stats) in &doc_v.spans {
+        assert_eq!(stats.count, doc_w.spans[name].count, "span {name}");
+    }
+}
+
+#[test]
+fn trace_diff_is_clean_across_thread_counts_and_catches_drift() {
+    // Self-compare via the diff engine at every supported worker count:
+    // the tool must report zero drift for traces of the same world. A
+    // different topology seed must surface as counter deltas.
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    let (_, base_trace) = report_and_trace(&topo, 1);
+    for threads in [1, 2, 8] {
+        let (_, trace) = report_and_trace(&topo, threads);
+        let diff = cfs_obs::diff_docs(&base_trace, &trace, 0).unwrap();
+        assert!(
+            !diff.is_drift(),
+            "threads={threads} drifted: {}",
+            diff.render_text()
+        );
+    }
+
+    let other = Topology::generate(TopologyConfig::tiny().with_seed(999)).unwrap();
+    let (_, other_trace) = report_and_trace(&other, 1);
+    let diff = cfs_obs::diff_docs(&base_trace, &other_trace, 0).unwrap();
+    assert!(diff.is_drift(), "different worlds must diff as drift");
+    let cfs_obs::DocDiff::Trace(t) = &diff else {
+        panic!("trace pair must produce a trace diff");
+    };
+    assert!(
+        !t.counters_changed.is_empty(),
+        "seeded drift produced no counter deltas: {}",
+        diff.render_text()
+    );
 }
 
 #[test]

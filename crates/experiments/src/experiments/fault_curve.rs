@@ -22,6 +22,10 @@ use crate::{Lab, Output};
 /// Probe-loss rates swept, in per-mille (0 = clean baseline, 100 = 10%).
 pub const LOSS_PM: [u32; 5] = [0, 20, 50, 100, 150];
 
+/// Knowledge-plane fault profiles swept alongside the probe-loss curve:
+/// uniform staleness versus the torn mid-refresh snapshot.
+pub const KB_PROFILES: [&str; 2] = ["stale-kb", "mid-kb-refresh"];
+
 /// One point of the degradation curve.
 struct Point {
     loss_pm: u32,
@@ -90,6 +94,58 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
     out.line("");
     out.line("expectation: retained coverage decays gradually (no cliff through 10% loss); resolved facilities stay consistent with the clean run");
 
+    // Knowledge-plane scenarios: the same metrics under KB rot, with and
+    // without a mid-campaign refresh tearing the snapshot.
+    let mut kb_points = Vec::new();
+    for name in KB_PROFILES {
+        let profile = FaultProfile::parse(name).expect("known kb profile");
+        let plan = FaultPlan::new(lab.topo.config.seed, profile);
+        let report = lab.run_cfs_chaos(plan, fast_cfg());
+        let map = facility_map(&report);
+        let consistent = map
+            .iter()
+            .filter(|(ip, fac)| clean_map.get(*ip) == Some(fac))
+            .count();
+        kb_points.push((
+            name,
+            Point {
+                loss_pm: 0,
+                resolved: map.len(),
+                retained: map.len() as f64 / clean_resolved as f64,
+                consistent: consistent as f64 / map.len().max(1) as f64,
+                retries: report.data_quality.probes_retried,
+                widened: report.data_quality.widened_interfaces,
+            },
+        ));
+    }
+    let kb_rows: Vec<Vec<String>> = kb_points
+        .iter()
+        .map(|(name, p)| {
+            vec![
+                (*name).to_string(),
+                p.resolved.to_string(),
+                format!("{:.3}", p.retained),
+                format!("{:.3}", p.consistent),
+                p.retries.to_string(),
+                p.widened.to_string(),
+            ]
+        })
+        .collect();
+    out.line("");
+    out.table(
+        &[
+            "kb profile",
+            "resolved",
+            "retained vs clean",
+            "consistent w/ clean",
+            "retries",
+            "widened",
+        ],
+        &kb_rows,
+    );
+    out.line("");
+    out.line("expectation: mid-kb-refresh (torn snapshot) hurts consistency at most modestly beyond uniform stale-kb rot");
+
     let json_points: Vec<serde_json::Value> = points
         .iter()
         .map(|p| {
@@ -103,9 +159,23 @@ pub fn run(lab: &Lab, out: &mut Output) -> Result<serde_json::Value> {
             })
         })
         .collect();
+    let json_kb_points: Vec<serde_json::Value> = kb_points
+        .iter()
+        .map(|(name, p)| {
+            serde_json::json!({
+                "profile": name,
+                "resolved": p.resolved,
+                "retained_fraction": p.retained,
+                "consistent_fraction": p.consistent,
+                "probes_retried": p.retries,
+                "widened_interfaces": p.widened,
+            })
+        })
+        .collect();
     Ok(serde_json::json!({
         "clean_resolved": clean_resolved,
         "points": json_points,
+        "kb_points": json_kb_points,
     }))
 }
 
@@ -151,6 +221,28 @@ mod tests {
                 "cliff at {pm}‰ loss: {resolved} of {clean_resolved} clean resolutions survive"
             );
         }
+    }
+
+    /// The torn snapshot must dirty the data, not kill the pipeline: a
+    /// mid-kb-refresh run still resolves interfaces, and the same plan
+    /// reproduces byte-identically.
+    #[test]
+    fn mid_kb_refresh_degrades_gracefully_and_reproduces() {
+        let lab = Lab::provision(Scale::Tiny, Some(11)).expect("lab");
+        let plan = FaultPlan::new(
+            lab.topo.config.seed,
+            FaultProfile::parse("mid-kb-refresh").expect("named profile"),
+        );
+        let a = lab.run_cfs_chaos(plan, fast_cfg());
+        assert!(
+            !facility_map(&a).is_empty(),
+            "torn KB snapshot wiped out all resolutions"
+        );
+        let b = lab.run_cfs_chaos(plan, fast_cfg());
+        assert_eq!(
+            serde_json::to_string(&a).expect("render"),
+            serde_json::to_string(&b).expect("render")
+        );
     }
 
     /// Same seed, same plan, same answer — chaos is deterministic even

@@ -57,22 +57,31 @@ pub const ALL_IDS: [&str; 13] = [
 
 /// Standard binary entry point shared by all experiment binaries.
 ///
-/// Every run carries a deterministic `cfs_obs::TraceRecorder`, and the
-/// pipeline counters it accumulates land next to the experiment's
-/// results as `results/<id>.metrics.json`.
+/// Every run carries a `cfs_obs::TraceRecorder` on the monotonic clock:
+/// the deterministic counters it accumulates land next to the
+/// experiment's results as `results/<id>.metrics.json`, and the
+/// wall-clock duration sidecar as `results/<id>.profile.json` (the
+/// `cfs-profile/1` document `cfs profile` renders).
 pub fn main_for(id: &str) {
     let (scale, seed) = crate::parse_args();
     let mut lab = Lab::provision(scale, seed).expect("lab provisioning failed");
-    let recorder = std::sync::Arc::new(cfs_obs::TraceRecorder::deterministic());
+    let recorder = std::sync::Arc::new(cfs_obs::TraceRecorder::new(std::sync::Arc::new(
+        cfs_obs::Monotonic::new(),
+    )));
     lab.recorder = recorder.clone();
     let mut out = Output::new(id, scale.label());
     let json = run_by_id(id, &lab, &mut out).expect("experiment failed");
     let path = out.finish(json).expect("writing results failed");
-    let metrics = cfs_obs::export::render_metrics(&recorder.snapshot());
+    let snap = recorder.snapshot();
+    let metrics = cfs_obs::export::render_metrics(&snap);
     let metrics_path = crate::results_dir().join(format!("{id}.metrics.json"));
     std::fs::write(&metrics_path, metrics).expect("writing metrics failed");
+    let profile_path = crate::results_dir().join(format!("{id}.profile.json"));
+    std::fs::write(&profile_path, cfs_obs::render_profile_json(&snap))
+        .expect("writing profile failed");
     eprintln!("\nwrote {}", path.display());
     eprintln!("wrote {}", metrics_path.display());
+    eprintln!("wrote {}", profile_path.display());
     // Tiny scale is for smoke tests only; remind the user.
     if scale == Scale::Tiny {
         eprintln!("note: --scale tiny is a smoke test; use --scale paper for the reproduction");

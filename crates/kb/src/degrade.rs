@@ -9,10 +9,17 @@
 //! ordinary interfaces and never learn it was perturbed. Every decision
 //! is a pure function of the plan seed and record identity, so the same
 //! plan always produces the same degraded snapshot.
+//!
+//! Under `mid-kb-refresh`, each source record additionally carries a
+//! seeded *fetch epoch* (`FaultPlan::kb_fetch_epoch`): the IXP website
+//! and PeeringDB views of the same membership roll their staleness dice
+//! in possibly different epochs, so the two sources can disagree about
+//! a member — a torn snapshot rather than uniform rot. With no refresh
+//! window every epoch is 0 and this module behaves exactly as before.
 
 use std::collections::BTreeSet;
 
-use cfs_chaos::FaultPlan;
+use cfs_chaos::{FaultPlan, KB_SOURCE_IXP_SITE, KB_SOURCE_PDB_FAC, KB_SOURCE_PDB_NET};
 use cfs_types::FacilityId;
 
 use crate::sources::PublicSources;
@@ -31,7 +38,11 @@ pub fn degrade_sources(src: &PublicSources, plan: &FaultPlan) -> PublicSources {
         .pdb_facilities
         .iter()
         .map(|r| r.facility)
-        .filter(|f| plan.delete_kb_facility(u64::from(f.raw())))
+        .filter(|f| {
+            let fac = u64::from(f.raw());
+            let epoch = plan.kb_fetch_epoch(KB_SOURCE_PDB_FAC, fac);
+            plan.delete_kb_facility_at(fac, epoch)
+        })
         .collect();
     if !doomed.is_empty() {
         out.pdb_facilities.retain(|r| !doomed.contains(&r.facility));
@@ -55,19 +66,25 @@ pub fn degrade_sources(src: &PublicSources, plan: &FaultPlan) -> PublicSources {
     }
 
     // ---- lagged member lists: one staleness decision per (ixp, member)
-    // drops the website row, the PDB membership, and the netixlan ports
-    // together — a snapshot lags as a unit. ----
+    // *per fetch epoch*. With a coherent snapshot (no refresh window)
+    // both sources share epoch 0, so the website row, the PDB
+    // membership, and the netixlan ports lag together as a unit. Under
+    // mid-kb-refresh the site listing and the PDB record may have been
+    // fetched on opposite sides of the flip, and their decisions
+    // decouple — the sources then disagree about the member. ----
     for (ixp, site) in out.ixp_sites.iter_mut() {
         let ixp_key = u64::from(ixp.raw());
+        let epoch = plan.kb_fetch_epoch(KB_SOURCE_IXP_SITE, ixp_key);
         site.members
-            .retain(|m| !plan.drop_kb_member(ixp_key, u64::from(m.asn.raw())));
+            .retain(|m| !plan.drop_kb_member_at(ixp_key, u64::from(m.asn.raw()), epoch));
     }
     for rec in out.pdb_networks.values_mut() {
         let asn_key = u64::from(rec.asn.raw());
+        let epoch = plan.kb_fetch_epoch(KB_SOURCE_PDB_NET, asn_key);
         rec.ixps
-            .retain(|ixp| !plan.drop_kb_member(u64::from(ixp.raw()), asn_key));
+            .retain(|ixp| !plan.drop_kb_member_at(u64::from(ixp.raw()), asn_key, epoch));
         rec.fabric_ips
-            .retain(|(ixp, _)| !plan.drop_kb_member(u64::from(ixp.raw()), asn_key));
+            .retain(|(ixp, _)| !plan.drop_kb_member_at(u64::from(ixp.raw()), asn_key, epoch));
     }
 
     // ---- conflicting network records: rewrite alternating facility
@@ -76,11 +93,12 @@ pub fn degrade_sources(src: &PublicSources, plan: &FaultPlan) -> PublicSources {
     let pool: Vec<FacilityId> = out.pdb_facilities.iter().map(|r| r.facility).collect();
     for rec in out.pdb_networks.values_mut() {
         let asn_key = u64::from(rec.asn.raw());
-        if pool.is_empty() || !plan.conflict_kb_network(asn_key) {
+        let epoch = plan.kb_fetch_epoch(KB_SOURCE_PDB_NET, asn_key);
+        if pool.is_empty() || !plan.conflict_kb_network_at(asn_key, epoch) {
             continue;
         }
         for (slot, f) in rec.facilities.iter_mut().enumerate().skip(1).step_by(2) {
-            if let Some(i) = plan.conflict_pick(asn_key, slot as u64, pool.len()) {
+            if let Some(i) = plan.conflict_pick_at(asn_key, slot as u64, pool.len(), epoch) {
                 *f = pool[i];
             }
         }
@@ -162,6 +180,79 @@ mod tests {
         }
         for page in out.noc_pages.values() {
             assert!(page.facilities.iter().all(|f| alive.contains(f)));
+        }
+    }
+
+    /// The (ixp, asn) memberships asserted by *both* the IXP website and
+    /// PeeringDB in `src`, and whether each source still asserts them in
+    /// `out`: `(site_kept, pdb_kept)` per pair.
+    fn membership_views(src: &PublicSources, out: &PublicSources) -> Vec<(bool, bool)> {
+        let mut views = Vec::new();
+        for (ixp, site) in &src.ixp_sites {
+            for m in &site.members {
+                let Some(rec) = src.pdb_networks.get(&m.asn) else {
+                    continue;
+                };
+                if !rec.ixps.contains(ixp) {
+                    continue;
+                }
+                let site_kept = out
+                    .ixp_sites
+                    .get(ixp)
+                    .is_some_and(|s| s.members.iter().any(|x| x.asn == m.asn));
+                let pdb_kept = out
+                    .pdb_networks
+                    .get(&m.asn)
+                    .is_some_and(|r| r.ixps.contains(ixp));
+                views.push((site_kept, pdb_kept));
+            }
+        }
+        views
+    }
+
+    #[test]
+    fn stale_kb_lags_both_sources_in_lockstep() {
+        let src = sources();
+        for seed in [3, 7, 11, 42] {
+            let out = degrade_sources(&src, &FaultPlan::new(seed, FaultProfile::stale_kb()));
+            for (site_kept, pdb_kept) in membership_views(&src, &out) {
+                assert_eq!(
+                    site_kept, pdb_kept,
+                    "coherent snapshot: sources must agree (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mid_kb_refresh_tears_sources_apart() {
+        let src = sources();
+        let torn = [3u64, 7, 11, 42].iter().any(|&seed| {
+            let out = degrade_sources(&src, &FaultPlan::new(seed, FaultProfile::mid_kb_refresh()));
+            membership_views(&src, &out)
+                .iter()
+                .any(|(site, pdb)| site != pdb)
+        });
+        assert!(
+            torn,
+            "mid-kb-refresh never decoupled the website from PeeringDB"
+        );
+    }
+
+    #[test]
+    fn mid_kb_refresh_degradation_is_deterministic() {
+        let src = sources();
+        let plan = FaultPlan::new(13, FaultProfile::mid_kb_refresh());
+        let a = degrade_sources(&src, &plan);
+        let b = degrade_sources(&src, &plan);
+        assert_eq!(a.pdb_facilities.len(), b.pdb_facilities.len());
+        for (x, y) in a.pdb_networks.values().zip(b.pdb_networks.values()) {
+            assert_eq!(x.facilities, y.facilities);
+            assert_eq!(x.ixps, y.ixps);
+            assert_eq!(x.fabric_ips, y.fabric_ips);
+        }
+        for (x, y) in a.ixp_sites.values().zip(b.ixp_sites.values()) {
+            assert_eq!(x.members.len(), y.members.len());
         }
     }
 

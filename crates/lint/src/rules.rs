@@ -486,6 +486,26 @@ mod tests {
     }
 
     #[test]
+    fn wall_clock_sanction_list_is_exactly_the_clock_module() {
+        // The duration sidecar (profile.rs) and the diff engine
+        // (diff.rs) consume timings but must never *capture* them —
+        // duration capture lives only behind `cfs_obs::Clock` in
+        // clock.rs. A stray `Instant::now` in any other obs module is a
+        // finding.
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(check_source("crates/obs/src/clock.rs", src).is_empty());
+        for path in [
+            "crates/obs/src/profile.rs",
+            "crates/obs/src/diff.rs",
+            "crates/obs/src/trace.rs",
+        ] {
+            let f = check_source(path, src);
+            assert_eq!(f.len(), 1, "{path} must not be a sanctioned clock home");
+            assert_eq!(f[0].rule, "wall-clock", "{path}");
+        }
+    }
+
+    #[test]
     fn string_contents_never_fire() {
         let f = check_source(
             "crates/core/src/x.rs",

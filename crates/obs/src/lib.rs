@@ -37,11 +37,19 @@
 #![forbid(unsafe_code)]
 
 mod clock;
+pub mod diff;
 pub mod export;
+mod json;
+pub mod profile;
 mod recorder;
 mod trace;
 
 pub use clock::{Clock, Monotonic, Virtual};
+pub use diff::{diff_docs, DiffError, DocDiff, ProfileDiff, TraceDiff};
+pub use profile::{
+    render_profile_json, render_profile_report, DurationStats, ProfileDoc, PROFILE_BOUNDS_NS,
+    PROFILE_SCHEMA,
+};
 pub use recorder::{span, NoopRecorder, Recorder, SpanGuard, NOOP};
 pub use trace::{Histogram, SpanStats, TraceRecorder, TraceSnapshot, HISTOGRAM_BOUNDS};
 

@@ -16,13 +16,17 @@
 //! merge over commutative sums erases that. The only thread-sensitive
 //! quantities are span durations, which is why the stable export
 //! ([`crate::export::stable_body`]) carries span *counts* but never
-//! nanoseconds.
+//! nanoseconds. Durations still accumulate — per-span min/max and
+//! log-scaled distributions in [`TraceSnapshot::durations`] — but they
+//! leave the process only through the non-digested `cfs-profile/1`
+//! sidecar ([`crate::profile`]) and the human `--metrics` summary.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::clock::{Clock, Virtual};
+use crate::profile::DurationStats;
 use crate::recorder::Recorder;
 
 /// Number of shards: matches the engine's worker clamp (≤ 16), so at
@@ -89,6 +93,7 @@ struct Shard {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
     spans: BTreeMap<&'static str, SpanStats>,
+    durations: BTreeMap<&'static str, DurationStats>,
 }
 
 /// A merged, immutable view of everything recorded so far.
@@ -100,6 +105,10 @@ pub struct TraceSnapshot {
     pub histograms: BTreeMap<&'static str, Histogram>,
     /// Span statistics by name.
     pub spans: BTreeMap<&'static str, SpanStats>,
+    /// The duration sidecar: per-span wall-clock distributions. Only the
+    /// `cfs-profile/1` export and `--metrics` read these; the stable
+    /// trace body never does (module docs).
+    pub durations: BTreeMap<&'static str, DurationStats>,
 }
 
 /// Process-wide round-robin of thread → shard assignments.
@@ -159,6 +168,9 @@ impl TraceRecorder {
                 agg.count += s.count;
                 agg.total_ns += s.total_ns;
             }
+            for (name, d) in &shard.durations {
+                out.durations.entry(name).or_default().merge(d);
+            }
         }
         out
     }
@@ -187,6 +199,7 @@ impl Recorder for TraceRecorder {
             let stats = s.spans.entry(name).or_default();
             stats.count += 1;
             stats.total_ns += elapsed;
+            s.durations.entry(name).or_default().record(elapsed);
         });
     }
 }

@@ -6,11 +6,16 @@
 //! cfs world    [--scale S] [--seed N]             # ground-truth statistics
 //! cfs run      [--scale S] [--seed N] [--out F]   # full pipeline + dataset export
 //!              [--trace-json F] [--metrics]       #   + observability export
+//!              [--profile-json F]                 #   + duration sidecar export
 //!              [--faults P]                       #   + chaos fault injection
 //! cfs audit    <asn> [--scale S] [--seed N]       # one network's peering map
+//!              [--faults P]                       #   + data-quality section
 //! cfs census   [--scale S] [--seed N]             # remote-peering census
 //! cfs validate [--scale S] [--seed N]             # §6 validation scorecard
 //! cfs trace-validate <file>                       # check a --trace-json export
+//! cfs profile  <file> [--top N]                   # render a --profile-json export
+//! cfs trace-diff <a> <b> [--json]                 # compare two exports
+//!              [--tolerance-pct N]                #   (trace or profile pairs)
 //! ```
 
 use std::collections::BTreeMap;
@@ -34,13 +39,26 @@ fn main() {
             flag_value(&args, "--out"),
             flag_value(&args, "--sources"),
             flag_value(&args, "--trace-json"),
+            flag_value(&args, "--profile-json"),
             args.iter().any(|a| a == "--metrics"),
             flag_value(&args, "--faults"),
         ),
-        "audit" => audit(scale, seed, args.get(2).and_then(|s| s.parse().ok())),
+        "audit" => audit(
+            scale,
+            seed,
+            args.get(2).and_then(|s| s.parse().ok()),
+            flag_value(&args, "--faults"),
+        ),
         "census" => census(scale, seed),
         "validate" => validate(scale, seed),
         "trace-validate" => trace_validate(args.get(2).map(String::as_str)),
+        "profile" => profile_cmd(args.get(2).map(String::as_str), flag_value(&args, "--top")),
+        "trace-diff" => trace_diff(
+            args.get(2).map(String::as_str),
+            args.get(3).map(String::as_str),
+            args.iter().any(|a| a == "--json"),
+            flag_value(&args, "--tolerance-pct"),
+        ),
         "help" | "--help" | "-h" => {
             print_help();
             0
@@ -64,13 +82,22 @@ fn print_help() {
          \x20 run        full pipeline; --out FILE exports the inferred map;\n\
          \x20            --sources FILE drives it from a saved/edited snapshot;\n\
          \x20            --trace-json FILE exports deterministic telemetry;\n\
+         \x20            --profile-json FILE exports the wall-clock duration\n\
+         \x20            sidecar (cfs-profile/1; never part of the trace digest);\n\
          \x20            --metrics prints a human timing/counter summary;\n\
          \x20            --faults P injects a deterministic fault profile\n\
-         \x20            (off|default|flaky|blackout|stale-kb, composable as a+b)\n\
-         \x20 audit ASN  one network's inferred peering map\n\
+         \x20            (off|default|flaky|blackout|stale-kb|mid-kb-refresh,\n\
+         \x20            composable as a+b)\n\
+         \x20 audit ASN  one network's inferred peering map; --faults P audits\n\
+         \x20            a faulted run and prints its data-quality section\n\
          \x20 census     remote-peering census over the exchanges\n\
          \x20 validate   §6 validation scorecard\n\
          \x20 trace-validate FILE  check a --trace-json export (schema + digest)\n\
+         \x20 profile FILE [--top N]  stage tree + bottlenecks of a profile export\n\
+         \x20 trace-diff A B  compare two trace or profile exports\n\
+         \x20            (--json for machine output; --tolerance-pct N for\n\
+         \x20            profile durations, default 25; exit 0 same, 1 drift,\n\
+         \x20            2 malformed)\n\
          \x20 help       this message\n\n\
          paper tables/figures: cargo run -p cfs-experiments --bin all -- --scale paper"
     );
@@ -152,12 +179,14 @@ fn snapshot(scale: Scale, seed: Option<u64>, out: Option<String>) -> i32 {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one flag per CLI switch, parsed in main
 fn run_cmd(
     scale: Scale,
     seed: Option<u64>,
     out: Option<String>,
     sources_path: Option<String>,
     trace_json: Option<String>,
+    profile_json: Option<String>,
     metrics: bool,
     faults: Option<String>,
 ) -> i32 {
@@ -171,15 +200,14 @@ fn run_cmd(
         },
         None => None,
     };
-    let mut lab =
-        Lab::provision_with_sources(scale, seed, sources).expect("world generation failed");
+    let lab = Lab::provision_with_sources(scale, seed, sources).expect("world generation failed");
     let plan = match &faults {
         Some(spec) => match FaultPlan::named(spec, lab.topo.config.seed) {
             Some(p) => Some(p),
             None => {
                 eprintln!(
-                    "unknown fault profile {spec:?} \
-                     (named: off, default, flaky, blackout, stale-kb; compose with `+`)"
+                    "unknown fault profile {spec:?} (named: off, default, flaky, \
+                     blackout, stale-kb, mid-kb-refresh; compose with `+`)"
                 );
                 return 2;
             }
@@ -188,17 +216,15 @@ fn run_cmd(
     };
     // Attach a recorder only when somebody will read it; otherwise the
     // pipeline keeps its free no-op instrumentation.
-    let recorder = (trace_json.is_some() || metrics)
+    let recorder = (trace_json.is_some() || profile_json.is_some() || metrics)
         .then(|| Arc::new(TraceRecorder::new(Arc::new(Monotonic::new()))));
-    if let Some(rec) = &recorder {
-        lab.recorder = rec.clone();
-    }
-    let report = match plan {
-        Some(plan) => lab.run_cfs_chaos(plan, CfsConfig::default()),
-        None => match &recorder {
-            Some(rec) => lab.run_cfs_observed(CfsConfig::default(), rec.clone()),
-            None => lab.run_cfs(None, None, CfsConfig::default()),
-        },
+    let report = match (plan, &recorder) {
+        (Some(plan), Some(rec)) => {
+            lab.run_cfs_chaos_observed(plan, CfsConfig::default(), rec.clone())
+        }
+        (Some(plan), None) => lab.run_cfs_chaos(plan, CfsConfig::default()),
+        (None, Some(rec)) => lab.run_cfs_observed(CfsConfig::default(), rec.clone()),
+        (None, None) => lab.run_cfs(None, None, CfsConfig::default()),
     };
     println!(
         "resolved {}/{} interfaces ({:.1}%) over {} iterations; {} follow-up traceroutes",
@@ -285,11 +311,98 @@ fn run_cmd(
             }
             println!("wrote trace telemetry to {path}");
         }
+        if let Some(path) = &profile_json {
+            let doc = cfs::core::render_profile_json(&snap);
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("failed to write {path}: {e}");
+                return 1;
+            }
+            println!("wrote duration profile to {path}");
+        }
         if metrics {
             print!("{}", cfs::obs::export::render_metrics(&snap));
         }
     }
     0
+}
+
+/// Renders a `cfs-profile/1` export as a stage tree with self/child
+/// time and a top-N bottleneck table.
+fn profile_cmd(path: Option<&str>, top: Option<String>) -> i32 {
+    let Some(path) = path else {
+        eprintln!("usage: cfs profile FILE [--top N]");
+        return 2;
+    };
+    let top_n = match top {
+        None => 5,
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--top wants a number, got {raw:?}");
+                return 2;
+            }
+        },
+    };
+    let raw = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return 1;
+        }
+    };
+    match cfs::obs::ProfileDoc::parse(&raw) {
+        Ok(doc) => {
+            print!("{}", cfs::obs::render_profile_report(&doc, top_n));
+            0
+        }
+        Err(e) => {
+            eprintln!("invalid profile {path}: {e}");
+            1
+        }
+    }
+}
+
+/// Structurally compares two trace or profile exports. Exit 0 when
+/// identical within tolerance, 1 on drift, 2 on malformed input.
+fn trace_diff(a: Option<&str>, b: Option<&str>, json: bool, tolerance: Option<String>) -> i32 {
+    let (Some(a_path), Some(b_path)) = (a, b) else {
+        eprintln!("usage: cfs trace-diff A B [--json] [--tolerance-pct N]");
+        return 2;
+    };
+    let tolerance_pct = match tolerance {
+        None => 25,
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--tolerance-pct wants a number, got {raw:?}");
+                return 2;
+            }
+        },
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            None
+        }
+    };
+    let (Some(a_raw), Some(b_raw)) = (read(a_path), read(b_path)) else {
+        return 2;
+    };
+    match cfs::obs::diff_docs(&a_raw, &b_raw, tolerance_pct) {
+        Ok(diff) => {
+            if json {
+                println!("{}", diff.render_json());
+            } else {
+                print!("{}", diff.render_text());
+            }
+            i32::from(diff.is_drift())
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+    }
 }
 
 /// Checks a `--trace-json` export: schema marker, digest integrity, and
@@ -307,7 +420,9 @@ fn trace_validate(path: Option<&str>) -> i32 {
             return 1;
         }
     };
-    let mut problems: Vec<String> = Vec::new();
+    // Problems are tagged with the document section that failed, so a
+    // red CI run says *where* to look, not just that something is off.
+    let mut problems: Vec<(&'static str, String)> = Vec::new();
 
     // Digest check on the raw bytes: everything after the digest member
     // is the digested body (see cfs_core::render_trace_json).
@@ -317,21 +432,25 @@ fn trace_validate(path: Option<&str>) -> i32 {
             (Some(digest_hex), Some(body)) if rest[16..].starts_with("\",") => {
                 let computed = format!("{:016x}", cfs::obs::export::fnv1a64(body));
                 if computed != digest_hex {
-                    problems.push(format!(
-                        "digest mismatch: header {digest_hex}, body {computed}"
+                    problems.push((
+                        "digest",
+                        format!("digest mismatch: header {digest_hex}, body {computed}"),
                     ));
                 }
             }
-            _ => problems.push("malformed digest member".into()),
+            _ => problems.push(("digest", "malformed digest member".into())),
         }
     } else {
-        problems.push(format!("missing {} schema header", cfs::core::TRACE_SCHEMA));
+        problems.push((
+            "digest",
+            format!("missing {} schema header", cfs::core::TRACE_SCHEMA),
+        ));
     }
 
     let doc: serde_json::Value = match serde_json::from_str(&raw) {
         Ok(v) => v,
         Err(e) => {
-            eprintln!("invalid: {path} is not JSON: {e}");
+            eprintln!("invalid [json]: {path} is not JSON: {e}");
             return 1;
         }
     };
@@ -346,7 +465,7 @@ fn trace_validate(path: Option<&str>) -> i32 {
         "resolution_curve",
     ] {
         if doc.get(key).is_none() {
-            problems.push(format!("missing top-level member {key:?}"));
+            problems.push(("structure", format!("missing top-level member {key:?}")));
         }
     }
     if let Some(bounds) = doc.get("histogram_le").and_then(|v| v.as_array()) {
@@ -360,7 +479,10 @@ fn trace_validate(path: Option<&str>) -> i32 {
         {
             let got = h.get("buckets").and_then(|b| b.as_array()).map(Vec::len);
             if got != Some(want) {
-                problems.push(format!("histogram {name:?}: {got:?} buckets, want {want}"));
+                problems.push((
+                    "histograms",
+                    format!("histogram {name:?}: {got:?} buckets, want {want}"),
+                ));
             }
         }
     }
@@ -378,9 +500,9 @@ fn trace_validate(path: Option<&str>) -> i32 {
         {
             let got = h.get("buckets").and_then(|b| b.as_array()).map(Vec::len);
             if got != Some(le_len + 1) {
-                problems.push(format!(
-                    "per_iteration buckets: {got:?}, want {}",
-                    le_len + 1
+                problems.push((
+                    "convergence",
+                    format!("per_iteration buckets: {got:?}, want {}", le_len + 1),
                 ));
                 break;
             }
@@ -399,14 +521,17 @@ fn trace_validate(path: Option<&str>) -> i32 {
                 .filter_map(|p| p.as_array().and_then(|pair| pair.get(1)?.as_u64()))
                 .collect();
             if sizes.windows(2).any(|w| w[1] > w[0]) {
-                problems.push(format!("trajectory {ip} grows: {sizes:?}"));
+                problems.push(("convergence", format!("trajectory {ip} grows: {sizes:?}")));
             }
         }
     }
     if let Some(curve) = doc.get("resolution_curve").and_then(|v| v.as_array()) {
         let vals: Vec<f64> = curve.iter().filter_map(|v| v.as_f64()).collect();
         if vals.windows(2).any(|w| w[1] < w[0]) || vals.iter().any(|v| !(0.0..=1.0).contains(v)) {
-            problems.push(format!("resolution_curve not monotone in [0,1]: {vals:?}"));
+            problems.push((
+                "resolution_curve",
+                format!("resolution_curve not monotone in [0,1]: {vals:?}"),
+            ));
         }
     }
 
@@ -414,16 +539,16 @@ fn trace_validate(path: Option<&str>) -> i32 {
         println!("{path}: valid {} document", cfs::core::TRACE_SCHEMA);
         0
     } else {
-        for p in &problems {
-            eprintln!("invalid: {p}");
+        for (section, p) in &problems {
+            eprintln!("invalid [{section}]: {p}");
         }
         1
     }
 }
 
-fn audit(scale: Scale, seed: Option<u64>, asn: Option<u32>) -> i32 {
+fn audit(scale: Scale, seed: Option<u64>, asn: Option<u32>, faults: Option<String>) -> i32 {
     let Some(asn) = asn else {
-        eprintln!("usage: cfs audit <asn> [--scale S] [--seed N]");
+        eprintln!("usage: cfs audit <asn> [--scale S] [--seed N] [--faults P]");
         return 2;
     };
     let target = Asn(asn);
@@ -432,7 +557,23 @@ fn audit(scale: Scale, seed: Option<u64>, asn: Option<u32>) -> i32 {
         eprintln!("{target} does not exist in this world");
         return 1;
     }
-    let report = lab.run_cfs(None, None, CfsConfig::default());
+    let plan = match &faults {
+        Some(spec) => match FaultPlan::named(spec, lab.topo.config.seed) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!(
+                    "unknown fault profile {spec:?} (named: off, default, flaky, \
+                     blackout, stale-kb, mid-kb-refresh; compose with `+`)"
+                );
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let report = match plan {
+        Some(plan) => lab.run_cfs_chaos(plan, CfsConfig::default()),
+        None => lab.run_cfs(None, None, CfsConfig::default()),
+    };
     let node = lab.topo.as_node(target).expect("checked");
     println!("{target} ({}, {})", node.name, node.class);
     let by_kind = report.interfaces_by_kind(target);
@@ -458,6 +599,33 @@ fn audit(scale: Scale, seed: Option<u64>, asn: Option<u32>) -> i32 {
     println!("inferred interconnection metros:");
     for (m, n) in metros {
         println!("  {m:<16} {n}");
+    }
+
+    // What the run had to absorb to produce these verdicts — the
+    // DataQualityReport ledger, plus this network's own share of the
+    // unresolved-reason taxonomy.
+    let dq = &report.data_quality;
+    println!("data quality:");
+    if let Some(spec) = &faults {
+        println!("  fault profile     {spec}");
+    }
+    println!("  probes retried    {}", dq.probes_retried);
+    println!("  retries denied    {}", dq.retries_denied);
+    println!("  failed probes     {}", dq.failed_probes);
+    println!("  vp breaker trips  {}", dq.vp_breaker_trips);
+    println!("  widened ifaces    {}", dq.widened_interfaces);
+    let mut asn_reasons: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ip in report.interfaces_of_owner(target).keys() {
+        if let Some(reason) = report.interfaces.get(ip).and_then(|i| i.unresolved_reason) {
+            *asn_reasons.entry(reason.code()).or_default() += 1;
+        }
+    }
+    if !dq.unresolved_reasons.is_empty() {
+        println!("  unresolved reasons (run-wide / {target}):");
+        for (code, n) in &dq.unresolved_reasons {
+            let own = asn_reasons.get(code.as_str()).copied().unwrap_or(0);
+            println!("    {code:<22} {n:>5} / {own}");
+        }
     }
     0
 }

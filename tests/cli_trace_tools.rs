@@ -1,0 +1,212 @@
+//! End-to-end CLI coverage for the profiling/diff tooling: `cfs run
+//! --trace-json --profile-json`, `cfs profile`, `cfs trace-diff`, and
+//! the section-tagged `cfs trace-validate` failure reporting — driven
+//! through the real binary, the way CI drives it.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cfs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cfs"))
+        .args(args)
+        .output()
+        .expect("cfs binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfs-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn profile_and_diff_cli_end_to_end() {
+    let trace_a = tmp("a.trace.json");
+    let trace_b = tmp("b.trace.json");
+    let prof_a = tmp("a.prof.json");
+
+    // One traced+profiled run, and a second at a different seed.
+    let run_a = cfs(&[
+        "run",
+        "--scale",
+        "tiny",
+        "--seed",
+        "7",
+        "--trace-json",
+        trace_a.to_str().unwrap(),
+        "--profile-json",
+        prof_a.to_str().unwrap(),
+    ]);
+    assert!(run_a.status.success(), "run a failed: {}", stderr(&run_a));
+    let run_b = cfs(&[
+        "run",
+        "--scale",
+        "tiny",
+        "--seed",
+        "8",
+        "--trace-json",
+        trace_b.to_str().unwrap(),
+    ]);
+    assert!(run_b.status.success(), "run b failed: {}", stderr(&run_b));
+
+    // The exports exist and carry their schema markers.
+    let trace_doc = std::fs::read_to_string(&trace_a).expect("trace written");
+    assert!(trace_doc.starts_with("{\"schema\":\"cfs-trace/1\""));
+    let prof_doc = std::fs::read_to_string(&prof_a).expect("profile written");
+    assert!(prof_doc.starts_with("{\"schema\":\"cfs-profile/1\""));
+
+    // The trace still validates — the sidecar flag must not change it.
+    let validate = cfs(&["trace-validate", trace_a.to_str().unwrap()]);
+    assert!(
+        validate.status.success(),
+        "trace-validate rejected a fresh export: {}",
+        stderr(&validate)
+    );
+
+    // Self-compare: identical → exit 0.
+    let same = cfs(&[
+        "trace-diff",
+        trace_a.to_str().unwrap(),
+        trace_a.to_str().unwrap(),
+    ]);
+    assert_eq!(same.status.code(), Some(0), "{}", stderr(&same));
+    assert!(stdout(&same).contains("identical"), "{}", stdout(&same));
+
+    // Different seed → drift, exit 1, with a counter-delta section.
+    let drift = cfs(&[
+        "trace-diff",
+        trace_a.to_str().unwrap(),
+        trace_b.to_str().unwrap(),
+    ]);
+    assert_eq!(drift.status.code(), Some(1), "{}", stderr(&drift));
+    let drift_text = stdout(&drift);
+    assert!(drift_text.contains("counters ("), "{drift_text}");
+
+    // Same pair as machine output.
+    let drift_json = cfs(&[
+        "trace-diff",
+        trace_a.to_str().unwrap(),
+        trace_b.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(drift_json.status.code(), Some(1));
+    assert!(stdout(&drift_json).contains("\"drift\":true"));
+
+    // Profile self-compare through the same subcommand.
+    let prof_same = cfs(&[
+        "trace-diff",
+        prof_a.to_str().unwrap(),
+        prof_a.to_str().unwrap(),
+        "--tolerance-pct",
+        "10",
+    ]);
+    assert_eq!(prof_same.status.code(), Some(0), "{}", stderr(&prof_same));
+
+    // Mixing the two schemas is malformed input → exit 2.
+    let mixed = cfs(&[
+        "trace-diff",
+        trace_a.to_str().unwrap(),
+        prof_a.to_str().unwrap(),
+    ]);
+    assert_eq!(mixed.status.code(), Some(2), "{}", stdout(&mixed));
+    assert!(
+        stderr(&mixed).contains("schema mismatch"),
+        "{}",
+        stderr(&mixed)
+    );
+
+    // The profile report renders a stage tree + bottleneck table.
+    let report = cfs(&["profile", prof_a.to_str().unwrap(), "--top", "3"]);
+    assert!(report.status.success(), "{}", stderr(&report));
+    let report_text = stdout(&report);
+    assert!(report_text.contains("cfs.run"), "{report_text}");
+    assert!(report_text.contains("bottlenecks"), "{report_text}");
+
+    // And refuses a trace document.
+    let wrong = cfs(&["profile", trace_a.to_str().unwrap()]);
+    assert_eq!(wrong.status.code(), Some(1));
+}
+
+#[test]
+fn golden_trace_fixture_matches_a_fresh_run() {
+    // Guards the committed CI regression fixture: the tiny/seed-7 run
+    // shape must keep producing exactly these bytes. If this fails
+    // after an *intentional* behavior change, regenerate with
+    // `cfs run --scale tiny --seed 7 --trace-json tests/golden/trace-tiny-seed7.json`.
+    let golden = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/trace-tiny-seed7.json"
+    );
+    let fresh = tmp("golden-check.trace.json");
+    let run = cfs(&[
+        "run",
+        "--scale",
+        "tiny",
+        "--seed",
+        "7",
+        "--trace-json",
+        fresh.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "{}", stderr(&run));
+    let diff = cfs(&["trace-diff", golden, fresh.to_str().unwrap()]);
+    assert_eq!(
+        diff.status.code(),
+        Some(0),
+        "golden trace drifted:\n{}",
+        stdout(&diff)
+    );
+}
+
+#[test]
+fn trace_validate_names_the_failing_sections() {
+    // The committed fixture is wrong in several distinct ways; the
+    // validator must attribute each problem to its section.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/corrupt-trace-bad-digest.json"
+    );
+    let out = cfs(&["trace-validate", fixture]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    for section in [
+        "[digest]",
+        "[structure]",
+        "[histograms]",
+        "[resolution_curve]",
+    ] {
+        assert!(err.contains(section), "missing {section} in:\n{err}");
+    }
+}
+
+#[test]
+fn trace_validate_flags_convergence_violations_behind_a_good_digest() {
+    // A document whose digest is correct but whose trajectory grows:
+    // only the convergence section may be blamed.
+    let body = concat!(
+        "\"counters\":{\"x\":1},\"histogram_le\":[1],",
+        "\"histograms\":{},\"spans\":{},",
+        "\"convergence\":{\"candidate_bucket_le\":[2],",
+        "\"per_iteration\":[{\"iteration\":1,\"unconstrained\":0,\"resolved\":1,\"buckets\":[1,0]}],",
+        "\"trajectories\":{\"10.0.0.1\":[[1,2],[2,5]]}},",
+        "\"resolution_curve\":[0.5,1]"
+    );
+    let digest = cfs::obs::export::fnv1a64(body);
+    let doc = format!("{{\"schema\":\"cfs-trace/1\",\"digest\":\"{digest:016x}\",{body}}}");
+    let path = tmp("growing-trajectory.json");
+    std::fs::write(&path, doc).expect("fixture written");
+
+    let out = cfs(&["trace-validate", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("[convergence]"), "{err}");
+    assert!(err.contains("trajectory 10.0.0.1 grows"), "{err}");
+    assert!(!err.contains("[digest]"), "digest was valid:\n{err}");
+}
