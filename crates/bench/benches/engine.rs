@@ -73,14 +73,14 @@ impl EngineFixture {
             threads,
             ..CfsConfig::default()
         };
-        let mut cfs = Cfs::builder(engine, &self.world.kb)
+        let mut session = Cfs::builder(engine, &self.world.kb)
             .vps(&self.vps)
             .ipasn(&self.ipasn)
             .config(cfg)
-            .build()
+            .build_session()
             .unwrap();
-        cfs.ingest(self.traces.clone());
-        cfs.run().total()
+        session.ingest(self.traces.clone());
+        session.into_report().total()
     }
 
     /// Same iteration with an explicit recorder attached, for measuring
@@ -97,15 +97,15 @@ impl EngineFixture {
             threads,
             ..CfsConfig::default()
         };
-        let mut cfs = Cfs::builder(engine, &self.world.kb)
+        let mut session = Cfs::builder(engine, &self.world.kb)
             .vps(&self.vps)
             .ipasn(&self.ipasn)
             .config(cfg)
             .recorder(recorder)
-            .build()
+            .build_session()
             .unwrap();
-        cfs.ingest(self.traces.clone());
-        cfs.run().total()
+        session.ingest(self.traces.clone());
+        session.into_report().total()
     }
 }
 
@@ -253,7 +253,7 @@ fn bench_profile_diff(c: &mut Criterion) {
     // Two traces of the same run shape with a small counter drift, so
     // the diff walks every section and itemizes something.
     let report = {
-        let mut cfs = Cfs::builder(&engine, &fx.world.kb)
+        let mut session = Cfs::builder(&engine, &fx.world.kb)
             .vps(&fx.vps)
             .ipasn(&fx.ipasn)
             .config(CfsConfig {
@@ -261,10 +261,10 @@ fn bench_profile_diff(c: &mut Criterion) {
                 ..CfsConfig::default()
             })
             .recorder(recorder.clone())
-            .build()
+            .build_session()
             .unwrap();
-        cfs.ingest(fx.traces.clone());
-        cfs.run()
+        session.ingest(fx.traces.clone());
+        session.into_report()
     };
     let trace_a = cfs_core::render_trace_json(&report, &snap);
     let trace_b = cfs_core::render_trace_json(&report, &recorder.snapshot());

@@ -1,0 +1,290 @@
+//! Benchmarks of the service mode (`cfsd`): resident-session query
+//! latency, and the incremental delta path — a KB epoch flip absorbed
+//! through `CfsSession::apply_delta` — against the full re-convergence
+//! a batch deployment would pay for the same input change, at roughly
+//! 1% and 10% of observed owner footprints flipped per epoch.
+//!
+//! Besides the per-bench console lines, `main` records every result and
+//! the measured dirty-set sizes into `BENCH_serve.json` at the
+//! workspace root; EXPERIMENTS.md quotes the speedups from there.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, Bencher, Criterion};
+
+use cfs_bench::BenchWorld;
+use cfs_core::{Cfs, CfsConfig, CfsReport, CfsSession, Delta, DeltaOutcome};
+use cfs_kb::KnowledgeBase;
+use cfs_net::IpAsnDb;
+use cfs_traceroute::{
+    deploy_vantage_points, run_campaign, CampaignLimits, Engine, Trace, VpConfig, VpSet,
+};
+use cfs_types::Asn;
+
+/// Service sessions run follow-up-less (measurement-complete) configs;
+/// one worker keeps per-iteration timings free of scheduling noise.
+fn service_config() -> CfsConfig {
+    CfsConfig {
+        followup_interfaces: 0,
+        threads: 1,
+        ..CfsConfig::default()
+    }
+}
+
+struct ServeFixture {
+    world: BenchWorld,
+    vps: VpSet,
+    ipasn: IpAsnDb,
+    traces: Vec<Trace>,
+}
+
+impl ServeFixture {
+    /// Mid-size seeded world with a bootstrap campaign already run —
+    /// the same shape `cfsd` boots with.
+    fn standard() -> Self {
+        let world = BenchWorld::standard();
+        let vps = deploy_vantage_points(&world.topo, &VpConfig::tiny()).unwrap();
+        let engine = Engine::new(&world.topo);
+        let ipasn = world.topo.build_ipasn_db();
+        let targets: Vec<Ipv4Addr> = world
+            .topo
+            .ases
+            .keys()
+            .take(24)
+            .map(|a| world.topo.target_ip(*a).unwrap())
+            .collect();
+        let vp_ids: Vec<_> = vps.ids().collect();
+        let traces = run_campaign(
+            &engine,
+            &vps,
+            &vp_ids,
+            &targets,
+            0,
+            &CampaignLimits::default(),
+        );
+        Self {
+            world,
+            vps,
+            ipasn,
+            traces,
+        }
+    }
+
+    /// A fresh unconverged session over the bootstrap inputs.
+    fn session<'a>(&'a self, engine: &'a Engine<'a>, kb: &'a KnowledgeBase) -> CfsSession<'a> {
+        let mut session = Cfs::builder(engine, kb)
+            .vps(&self.vps)
+            .ipasn(&self.ipasn)
+            .config(service_config())
+            .build_session()
+            .expect("bench fixture always sets vps/ipasn");
+        session.ingest(self.traces.clone());
+        session
+    }
+
+    /// A KB epoch in which observed-owner ASes lose one listed facility
+    /// each — scrubbed from both PeeringDB and the NOC page, since the
+    /// assembled footprint is their union — until the flipped ASes
+    /// collectively own about `target_ifaces` interfaces. Flips start
+    /// from the ASes owning the fewest interfaces, so the small-target
+    /// epoch models the common operational case: a peripheral record
+    /// changing, not a backbone redeploying.
+    fn flipped_kb(&self, baseline: &CfsReport, target_ifaces: usize) -> Arc<KnowledgeBase> {
+        let mut owned: std::collections::BTreeMap<Asn, usize> = std::collections::BTreeMap::new();
+        for iface in baseline.interfaces.values() {
+            if let Some(owner) = iface.owner {
+                *owned.entry(owner).or_default() += 1;
+            }
+        }
+        let mut owners: Vec<Asn> = owned.keys().copied().collect();
+        owners.sort_by_key(|asn| (owned[asn], *asn));
+        let mut sources = self.world.sources.clone();
+        let mut flipped = 0usize;
+        let mut covered = 0usize;
+        for asn in &owners {
+            if flipped > 0 && covered >= target_ifaces {
+                break;
+            }
+            let Some(rec) = sources.pdb_networks.get_mut(asn) else {
+                continue;
+            };
+            if rec.facilities.len() < 2 {
+                continue;
+            }
+            let victim = rec.facilities[0];
+            rec.facilities.retain(|f| *f != victim);
+            if let Some(page) = sources.noc_pages.get_mut(asn) {
+                page.facilities.retain(|f| *f != victim);
+            }
+            flipped += 1;
+            covered += owned[asn];
+        }
+        assert!(flipped > 0, "no flippable AS footprints in the bench world");
+        Arc::new(KnowledgeBase::assemble(&sources, &self.world.topo.world))
+    }
+}
+
+/// Resident-session query throughput: what a `cfsd` answer costs once
+/// the report is cached (the daemon adds one line-protocol roundtrip on
+/// top of this).
+fn bench_query(c: &mut Criterion, fx: &ServeFixture, engine: &Engine<'_>) {
+    let mut session = fx.session(engine, &fx.world.kb);
+    session.converge();
+    let ips: Vec<Ipv4Addr> = session
+        .report()
+        .expect("converged above")
+        .interfaces
+        .keys()
+        .copied()
+        .collect();
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("query", |b: &mut Bencher| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ips.len();
+            black_box(session.query(ips[i]).candidates)
+        })
+    });
+    group.finish();
+}
+
+/// The delta path against the batch path, same input change: apply a KB
+/// epoch flip to a converged session (re-converges the dirty frontier
+/// only) versus rebuilding and re-converging a session from scratch
+/// over the flipped epoch.
+fn bench_deltas(
+    c: &mut Criterion,
+    fx: &ServeFixture,
+    engine: &Engine<'_>,
+    kb_base: &Arc<KnowledgeBase>,
+    flips: &[(&'static str, Arc<KnowledgeBase>)],
+) {
+    let mut group = c.benchmark_group("serve");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    group.bench_function("full_reconverge", |b: &mut Bencher| {
+        let (_, kb_flip) = &flips[0];
+        b.iter(|| {
+            let session = fx.session(engine, kb_flip);
+            black_box(session.into_report().total())
+        })
+    });
+
+    for (name, kb_flip) in flips {
+        group.bench_function(&format!("delta_kb_{name}"), |b: &mut Bencher| {
+            let mut session = fx.session(engine, &fx.world.kb);
+            session.converge();
+            // Alternate flip/unflip so every iteration absorbs a delta
+            // of the same dirty size from a converged state.
+            let mut forward = true;
+            b.iter(|| {
+                let epoch = if forward { kb_flip } else { kb_base };
+                forward = !forward;
+                let outcome = session
+                    .apply_delta(Delta::KbEpochFlip(epoch.clone()))
+                    .expect("service config is follow-up-less");
+                black_box(outcome.reconverged)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One-off dirty-set accounting for the JSON sidecar: how many
+/// interfaces each flip dirties and re-converges, out of the total.
+fn dirty_stats(
+    fx: &ServeFixture,
+    engine: &Engine<'_>,
+    flips: &[(&'static str, Arc<KnowledgeBase>)],
+) -> Vec<(String, DeltaOutcome)> {
+    flips
+        .iter()
+        .map(|(name, kb_flip)| {
+            let mut session = fx.session(engine, &fx.world.kb);
+            session.converge();
+            let outcome = session
+                .apply_delta(Delta::KbEpochFlip(kb_flip.clone()))
+                .expect("service config is follow-up-less");
+            (format!("delta_kb_{name}"), outcome)
+        })
+        .collect()
+}
+
+fn main() {
+    let fx = ServeFixture::standard();
+    let engine = Engine::new(&fx.world.topo);
+
+    // Baseline epoch (content-equal to the fixture KB) plus two flipped
+    // epochs sized for ~1% and ~10% of the observed owner footprints.
+    let kb_base = Arc::new(KnowledgeBase::assemble(
+        &fx.world.sources,
+        &fx.world.topo.world,
+    ));
+    let baseline = fx.session(&engine, &fx.world.kb).into_report();
+    // The dirty frontier closes over footprint consumers and alias sets,
+    // so it lands at roughly twice the owned-interface count the flip
+    // targets; aim at half of each nominal tier and verify below.
+    let total = baseline.total();
+    let flips: Vec<(&'static str, Arc<KnowledgeBase>)> = vec![
+        ("1pct", fx.flipped_kb(&baseline, (total / 200).max(1))),
+        ("10pct", fx.flipped_kb(&baseline, (total / 20).max(1))),
+    ];
+
+    let mut criterion = Criterion::default();
+    bench_query(&mut criterion, &fx, &engine);
+    bench_deltas(&mut criterion, &fx, &engine, &kb_base, &flips);
+    let stats = dirty_stats(&fx, &engine, &flips);
+    for (name, o) in &stats {
+        println!(
+            "{name}: dirty {} reconverged {} of {} interfaces",
+            o.dirty, o.reconverged, o.total
+        );
+    }
+    let small = &stats[0].1;
+    assert!(
+        small.dirty * 100 <= small.total,
+        "the small flip must stay at <=1% dirty to make the speedup claim honest: {} of {}",
+        small.dirty,
+        small.total
+    );
+
+    // Record the measurements for tracking across PRs.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let entries: Vec<String> = criterion
+        .results()
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {}, \"iterations\": {}}}",
+                r.name,
+                r.mean.as_nanos(),
+                r.iterations
+            )
+        })
+        .collect();
+    let dirty: Vec<String> = stats
+        .iter()
+        .map(|(name, o)| {
+            format!(
+                "    {{\"name\": \"{}\", \"dirty\": {}, \"reconverged\": {}, \"total\": {}}}",
+                name, o.dirty, o.reconverged, o.total
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"cores\": {},\n  \"results\": [\n{}\n  ],\n  \"dirty\": [\n{}\n  ]\n}}\n",
+        cores,
+        entries.join(",\n"),
+        dirty.join(",\n")
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

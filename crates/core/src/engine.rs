@@ -117,6 +117,40 @@ fn probe_failed(t: &Trace) -> bool {
     t.hops.iter().all(|h| h.ip.is_none())
 }
 
+/// The knowledge base a search reads from: borrowed at build time, or an
+/// owned epoch swapped in by a `KbEpochFlip` delta. Every KB read in the
+/// engine goes through [`Cfs::kb`], so a flip atomically retargets the
+/// whole constraint system.
+pub(crate) enum KbHandle<'a> {
+    /// The builder-supplied knowledge base.
+    Borrowed(&'a KnowledgeBase),
+    /// A replacement epoch installed by [`crate::session::Delta::KbEpochFlip`].
+    Owned(Arc<KnowledgeBase>),
+}
+
+impl KbHandle<'_> {
+    pub(crate) fn get(&self) -> &KnowledgeBase {
+        match self {
+            KbHandle::Borrowed(kb) => kb,
+            KbHandle::Owned(kb) => kb,
+        }
+    }
+}
+
+/// A constraint-graph dependency key: which knowledge-base footprint a
+/// state's constraints were computed from. A KB epoch flip diffs the
+/// footprint caches and dirties exactly `deps[changed key]`, so
+/// re-convergence sweeps only interfaces whose inputs actually moved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum DepKey {
+    /// `facilities_of_as(asn)` was intersected into the state.
+    As(Asn),
+    /// `facilities_of_ixp(ixp)` was intersected into the state.
+    Ixp(IxpId),
+    /// The metro-level widening pool of `ixp` could have been applied.
+    Metro(IxpId),
+}
+
 /// Convergence record of one iteration (drives Figure 7).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct IterationStats {
@@ -138,47 +172,59 @@ pub struct IterationStats {
 /// bootstrap campaigns; `run` iterates to convergence and produces the
 /// [`CfsReport`].
 pub struct Cfs<'a> {
-    engine: &'a dyn ProbeService,
-    kb: &'a KnowledgeBase,
-    vps: &'a VpSet,
-    ipasn: &'a IpAsnDb,
-    cfg: CfsConfig,
-    platforms: Option<BTreeSet<Platform>>,
+    pub(crate) engine: &'a dyn ProbeService,
+    pub(crate) kb: KbHandle<'a>,
+    pub(crate) vps: &'a VpSet,
+    pub(crate) ipasn: &'a IpAsnDb,
+    pub(crate) cfg: CfsConfig,
+    pub(crate) platforms: Option<BTreeSet<Platform>>,
 
-    traces: Vec<Trace>,
-    processed: usize,
-    hop_ips: BTreeSet<Ipv4Addr>,
-    aliases: AliasResolution,
-    corrected: BTreeMap<Ipv4Addr, Asn>,
-    observations: Vec<Observation>,
+    pub(crate) traces: Vec<Trace>,
+    pub(crate) processed: usize,
+    pub(crate) hop_ips: BTreeSet<Ipv4Addr>,
+    pub(crate) aliases: AliasResolution,
+    pub(crate) corrected: BTreeMap<Ipv4Addr, Asn>,
+    pub(crate) observations: Vec<Observation>,
     /// Observations from BGP-capable looking glasses (§3.2 augmentation);
     /// survive the observation rebuilds that follow re-aliasing.
-    session_observations: Vec<Observation>,
-    obs_keys: BTreeSet<(Ipv4Addr, Option<IxpId>, Option<Ipv4Addr>)>,
-    states: BTreeMap<Ipv4Addr, IfaceState>,
-    remote_cache: BTreeMap<Ipv4Addr, Option<bool>>,
-    vp_crossed: BTreeMap<Asn, Vec<VantagePointId>>,
-    chase_attempts: BTreeMap<Ipv4Addr, usize>,
-    interner: FacilitySetInterner,
-    as_fac_cache: BTreeMap<Asn, FacilitySet>,
-    ixp_fac_cache: BTreeMap<IxpId, FacilitySet>,
-    metro_cand_cache: BTreeMap<IxpId, FacilitySet>,
-    clock_ms: u64,
-    iterations: Vec<IterationStats>,
-    traces_issued: usize,
-    new_ips_since_alias: usize,
-    recorder: Arc<dyn Recorder>,
-    conv_hists: Vec<CandidateHistogram>,
+    pub(crate) session_observations: Vec<Observation>,
+    /// Raw looking-glass session listings in ingestion order, replayed
+    /// under the new epoch when a `KbEpochFlip` delta re-classifies them.
+    pub(crate) bgp_log: Vec<(Asn, cfs_bgp::BgpSession)>,
+    pub(crate) obs_keys: BTreeSet<(Ipv4Addr, Option<IxpId>, Option<Ipv4Addr>)>,
+    pub(crate) states: BTreeMap<Ipv4Addr, IfaceState>,
+    /// Remote-peering verdicts keyed by fabric address, each bound to the
+    /// first exchange that triggered its test (the binding is needed to
+    /// recompute the verdict when a delta invalidates it).
+    pub(crate) remote_cache: BTreeMap<Ipv4Addr, (IxpId, Option<bool>)>,
+    pub(crate) vp_crossed: BTreeMap<Asn, Vec<VantagePointId>>,
+    pub(crate) chase_attempts: BTreeMap<Ipv4Addr, usize>,
+    pub(crate) interner: FacilitySetInterner,
+    pub(crate) as_fac_cache: BTreeMap<Asn, FacilitySet>,
+    pub(crate) ixp_fac_cache: BTreeMap<IxpId, FacilitySet>,
+    pub(crate) metro_cand_cache: BTreeMap<IxpId, FacilitySet>,
+    /// Reverse dependency index: KB footprint key → interfaces whose
+    /// constraints consumed it (see [`DepKey`]).
+    pub(crate) deps: BTreeMap<DepKey, BTreeSet<Ipv4Addr>>,
+    /// Vantage points administratively down (`VpStatusChange` deltas);
+    /// excluded from the remote-peering measurement pool.
+    pub(crate) vp_down: BTreeSet<VantagePointId>,
+    pub(crate) clock_ms: u64,
+    pub(crate) iterations: Vec<IterationStats>,
+    pub(crate) traces_issued: usize,
+    pub(crate) new_ips_since_alias: usize,
+    pub(crate) recorder: Arc<dyn Recorder>,
+    pub(crate) conv_hists: Vec<CandidateHistogram>,
     /// Follow-up retry budget; spent/denied counts feed the
     /// [`DataQualityReport`].
-    retry_budget: RetryBudget,
+    pub(crate) retry_budget: RetryBudget,
     /// Per-vantage-point circuit breaker over follow-up probe failures.
-    breaker: CircuitBreaker,
+    pub(crate) breaker: CircuitBreaker,
     /// Seed for retry backoff jitter, derived from the topology seed so
     /// the schedule is a pure function of the run inputs.
-    chaos_seed: u64,
+    pub(crate) chaos_seed: u64,
     /// Probes still failed after every retry round.
-    failed_probes: u64,
+    pub(crate) failed_probes: u64,
 }
 
 /// Builder for [`Cfs`]: names every dependency at the call site instead
@@ -201,6 +247,7 @@ pub struct CfsBuilder<'a> {
     cfg: CfsConfig,
     platforms: Option<BTreeSet<Platform>>,
     recorder: Arc<dyn Recorder>,
+    vps_down: BTreeSet<VantagePointId>,
 }
 
 impl<'a> CfsBuilder<'a> {
@@ -246,6 +293,15 @@ impl<'a> CfsBuilder<'a> {
         self
     }
 
+    /// Marks vantage points as administratively down from the start:
+    /// they are excluded from the remote-peering measurement pool. A
+    /// fresh search built with the same set reproduces a resident
+    /// session that absorbed the equivalent `VpStatusChange` deltas.
+    pub fn vps_down(mut self, down: BTreeSet<VantagePointId>) -> Self {
+        self.vps_down = down;
+        self
+    }
+
     /// Builds the engine; errors when a required dependency was not set.
     pub fn build(self) -> Result<Cfs<'a>> {
         let vps = self
@@ -262,7 +318,15 @@ impl<'a> CfsBuilder<'a> {
             self.cfg,
             self.platforms,
             self.recorder,
+            self.vps_down,
         ))
+    }
+
+    /// Builds a resident [`crate::session::CfsSession`] around the
+    /// engine: the service-mode entry point with incremental
+    /// re-convergence (`apply_delta`) and a queryable cached report.
+    pub fn build_session(self) -> Result<crate::session::CfsSession<'a>> {
+        Ok(crate::session::CfsSession::new(self.build()?))
     }
 }
 
@@ -280,9 +344,17 @@ impl<'a> Cfs<'a> {
             cfg: CfsConfig::default(),
             platforms: None,
             recorder: Arc::new(NoopRecorder),
+            vps_down: BTreeSet::new(),
         }
     }
 
+    /// The knowledge base the search currently reads from (the borrowed
+    /// build-time epoch, or the owned epoch a delta flipped in).
+    pub(crate) fn kb(&self) -> &KnowledgeBase {
+        self.kb.get()
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         engine: &'a dyn ProbeService,
         vps: &'a VpSet,
@@ -291,13 +363,14 @@ impl<'a> Cfs<'a> {
         cfg: CfsConfig,
         platforms: Option<BTreeSet<Platform>>,
         recorder: Arc<dyn Recorder>,
+        vp_down: BTreeSet<VantagePointId>,
     ) -> Self {
         let retry_budget = RetryBudget::new(cfg.retry_budget);
         let breaker = CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_ms);
         let chaos_seed = cfs_chaos::splitmix64(engine.topology().config.seed ^ 0xcf5c_4a05);
         Self {
             engine,
-            kb,
+            kb: KbHandle::Borrowed(kb),
             vps,
             ipasn,
             cfg,
@@ -309,6 +382,7 @@ impl<'a> Cfs<'a> {
             corrected: BTreeMap::new(),
             observations: Vec::new(),
             session_observations: Vec::new(),
+            bgp_log: Vec::new(),
             obs_keys: BTreeSet::new(),
             states: BTreeMap::new(),
             remote_cache: BTreeMap::new(),
@@ -318,6 +392,8 @@ impl<'a> Cfs<'a> {
             as_fac_cache: BTreeMap::new(),
             ixp_fac_cache: BTreeMap::new(),
             metro_cand_cache: BTreeMap::new(),
+            deps: BTreeMap::new(),
+            vp_down,
             clock_ms: 0,
             iterations: Vec::new(),
             traces_issued: 0,
@@ -332,7 +408,7 @@ impl<'a> Cfs<'a> {
     }
 
     /// Effective worker count for the parallel stages.
-    fn workers(&self) -> usize {
+    pub(crate) fn workers(&self) -> usize {
         let n = match self.cfg.threads {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -362,13 +438,14 @@ impl<'a> Cfs<'a> {
     /// `owner` is the AS operating the queried looking glass.
     pub fn ingest_bgp_sessions(&mut self, owner: Asn, sessions: &[cfs_bgp::BgpSession]) {
         for s in sessions {
+            self.bgp_log.push((owner, *s));
             for ip in [s.local_ip, s.neighbor_ip] {
                 if self.hop_ips.insert(ip) {
                     self.new_ips_since_alias += 1;
                 }
             }
             // Classification mirrors Step 1: confirmed IXP space ⇒ public.
-            let class = match self.kb.ixp_of_ip(s.neighbor_ip) {
+            let class = match self.kb().ixp_of_ip(s.neighbor_ip) {
                 Some(ixp) => LinkClass::Public { ixp },
                 None => LinkClass::Private,
             };
@@ -388,8 +465,24 @@ impl<'a> Cfs<'a> {
 
     /// Runs the search to convergence (or the iteration cap) and returns
     /// the report.
+    ///
+    /// This is the batch entry point: a thin converge-once wrapper over
+    /// the same internals the resident session API drives —
+    /// `CfsBuilder::build_session()` followed by
+    /// [`crate::session::CfsSession::converge`] produces the identical
+    /// report (and the session can then absorb deltas, which `run` never
+    /// can).
     pub fn run(&mut self) -> CfsReport {
         cfs_obs::span!(self.recorder, "cfs.run");
+        self.run_to_convergence();
+        self.build_report()
+    }
+
+    /// The iterative constraint loop: applies constraints, records
+    /// convergence, issues follow-ups, and stops on the paper's
+    /// staleness/iteration-cap/all-done conditions. Leaves every verdict
+    /// in `self.states`; callers build the report separately.
+    pub(crate) fn run_to_convergence(&mut self) {
         self.refresh_aliases();
         self.process_new_traces();
 
@@ -439,8 +532,6 @@ impl<'a> Cfs<'a> {
                 break;
             }
         }
-
-        self.build_report()
     }
 
     /// Snapshots the candidate-set-size distribution after this
@@ -461,10 +552,81 @@ impl<'a> Cfs<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Incremental re-convergence (the session's dirty-frontier sweep)
+    // ------------------------------------------------------------------
+
+    /// Re-derives the states of exactly the interfaces in `scope` from
+    /// the current observation list and knowledge base, leaving every
+    /// other state untouched.
+    ///
+    /// Correctness rests on the iteration-1 fixed point of follow-up-less
+    /// configurations: with no new measurements arriving, the constraint
+    /// loop's state after iteration 1 equals its state at convergence
+    /// (observation constraints are static sets, re-applying them is a
+    /// no-op, and alias combination is idempotent). One scoped sweep at
+    /// `iteration = 1` therefore reproduces, byte-for-byte, what a
+    /// from-scratch batch run would compute for the scoped interfaces —
+    /// provided `scope` is closed over alias sets (callers union in every
+    /// member of any alias set containing a dirty interface).
+    pub(crate) fn kernel_converge(&mut self, scope: &BTreeSet<Ipv4Addr>) {
+        cfs_obs::span!(self.recorder, "serve.kernel");
+        for ip in scope {
+            self.states.remove(ip);
+        }
+        self.apply_constraints_scoped(1, Some(scope));
+        if self.cfg.alias_constraints {
+            self.apply_alias_constraints_scoped(1, Some(scope));
+        }
+    }
+
+    /// Rebuilds `iterations` and `conv_hists` as the follow-up-less batch
+    /// loop would have produced them over the current (fixed-point)
+    /// states: the per-iteration resolved/tracked counts are constant, so
+    /// the loop's control flow — staleness counter, iteration cap,
+    /// all-done early exit — is replayed against constants.
+    pub(crate) fn synthesize_iterations(&mut self) {
+        self.iterations.clear();
+        self.conv_hists.clear();
+        let resolved = self.resolved_count();
+        let tracked = self.states.len();
+        let all_done = self
+            .states
+            .values()
+            .all(|s| s.outcome() != SearchOutcome::UnresolvedLocal);
+        let mut stale = 0usize;
+        let mut last_resolved = 0usize;
+        for iteration in 1..=self.cfg.max_iterations {
+            let mut hist = CandidateHistogram::new(iteration);
+            for state in self.states.values() {
+                hist.record(state.candidates.as_ref().map(FacilitySet::len));
+            }
+            self.conv_hists.push(hist);
+            self.iterations.push(IterationStats {
+                iteration,
+                resolved,
+                tracked,
+                traces_issued: 0,
+            });
+            if resolved == last_resolved {
+                stale += 1;
+                if stale >= self.cfg.stale_iterations {
+                    break;
+                }
+            } else {
+                stale = 0;
+            }
+            last_resolved = resolved;
+            if all_done {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Data preparation
     // ------------------------------------------------------------------
 
-    fn refresh_aliases(&mut self) {
+    pub(crate) fn refresh_aliases(&mut self) {
         cfs_obs::span!(self.recorder, "stage.alias_resolution");
         let prober = IpIdProber::new(self.engine.topology());
         let ips: Vec<Ipv4Addr> = self.hop_ips.iter().copied().collect();
@@ -494,13 +656,13 @@ impl<'a> Cfs<'a> {
     /// the dedup merge and the vantage-point exposure index then run
     /// serially in ingestion order, keeping results independent of the
     /// worker count.
-    fn process_new_traces(&mut self) {
+    pub(crate) fn process_new_traces(&mut self) {
         cfs_obs::span!(self.recorder, "stage.extract");
         let workers = self.workers();
         let Self {
             ref traces,
             processed,
-            kb,
+            ref kb,
             ref corrected,
             ref mut obs_keys,
             ref mut observations,
@@ -508,6 +670,7 @@ impl<'a> Cfs<'a> {
             ref recorder,
             ..
         } = *self;
+        let kb = kb.get();
         let new = &traces[processed..];
         // Workers record per *trace* through this borrow; chunk-level
         // signals would vary with the worker count (DESIGN.md §7).
@@ -564,20 +727,22 @@ impl<'a> Cfs<'a> {
         self.processed = self.traces.len();
     }
 
-    fn as_facilities(&mut self, asn: Asn) -> FacilitySet {
+    pub(crate) fn as_facilities(&mut self, asn: Asn) -> FacilitySet {
         if let Some(hit) = self.as_fac_cache.get(&asn) {
             return hit.clone();
         }
-        let set = self.interner.intern_set(&self.kb.facilities_of_as(asn));
+        let facs = self.kb().facilities_of_as(asn);
+        let set = self.interner.intern_set(&facs);
         self.as_fac_cache.insert(asn, set.clone());
         set
     }
 
-    fn ixp_facilities(&mut self, ixp: IxpId) -> FacilitySet {
+    pub(crate) fn ixp_facilities(&mut self, ixp: IxpId) -> FacilitySet {
         if let Some(hit) = self.ixp_fac_cache.get(&ixp) {
             return hit.clone();
         }
-        let set = self.interner.intern_set(&self.kb.facilities_of_ixp(ixp));
+        let facs = self.kb().facilities_of_ixp(ixp);
+        let set = self.interner.intern_set(&facs);
         self.ixp_fac_cache.insert(ixp, set.clone());
         set
     }
@@ -586,19 +751,19 @@ impl<'a> Cfs<'a> {
     /// facility in the metros the exchange operates in. When footprints
     /// fail to intersect, falling back to this pool keeps the interface
     /// geographically constrained instead of dead-ending (DESIGN.md §9).
-    fn metro_candidates(&mut self, ixp: IxpId) -> FacilitySet {
+    pub(crate) fn metro_candidates(&mut self, ixp: IxpId) -> FacilitySet {
         if let Some(hit) = self.metro_cand_cache.get(&ixp) {
             return hit.clone();
         }
-        let metros: BTreeSet<MetroId> = self
-            .kb
+        let kb = self.kb();
+        let metros: BTreeSet<MetroId> = kb
             .facilities_of_ixp(ixp)
             .iter()
-            .filter_map(|f| self.kb.metro_of_facility(*f))
+            .filter_map(|f| kb.metro_of_facility(*f))
             .collect();
         let mut pool: BTreeSet<FacilityId> = BTreeSet::new();
         for m in metros {
-            pool.extend(self.kb.facilities_in_metro(m));
+            pool.extend(kb.facilities_in_metro(m));
         }
         let set = self.interner.intern_set(&pool);
         self.metro_cand_cache.insert(ixp, set.clone());
@@ -610,25 +775,47 @@ impl<'a> Cfs<'a> {
     // ------------------------------------------------------------------
 
     fn apply_constraints(&mut self, iteration: usize) {
+        self.apply_constraints_scoped(iteration, None);
+    }
+
+    /// The constraint pass over the merged observation list. With
+    /// `scope: None` this is the full batch pass; with a scope, only
+    /// endpoints inside it are (re-)constrained — the session's dirty
+    /// frontier sweep. The observation order, and therefore every
+    /// interface's constraint subsequence, is identical in both modes.
+    pub(crate) fn apply_constraints_scoped(
+        &mut self,
+        iteration: usize,
+        scope: Option<&BTreeSet<Ipv4Addr>>,
+    ) {
         cfs_obs::span!(self.recorder, "stage.constrain");
+        let in_scope = |ip: Ipv4Addr| scope.is_none_or(|s| s.contains(&ip));
         let mut observations = std::mem::take(&mut self.observations);
         observations.extend(self.session_observations.iter().cloned());
-        self.prefill_remote_verdicts(&observations);
+        self.prefill_remote_verdicts(&observations, scope);
         self.recorder
             .counter("constrain.observations", observations.len() as u64);
         for obs in &observations {
             match obs.class {
                 LinkClass::Public { ixp } => {
-                    self.constrain_public(obs.near_asn, obs.near_ip, ixp, iteration);
+                    if in_scope(obs.near_ip) {
+                        self.constrain_public(obs.near_asn, obs.near_ip, ixp, iteration);
+                    }
                     if let (Some(far_asn), Some(far_ip)) = (obs.far_asn, obs.far_ip) {
-                        self.constrain_public(far_asn, far_ip, ixp, iteration);
+                        if in_scope(far_ip) {
+                            self.constrain_public(far_asn, far_ip, ixp, iteration);
+                        }
                     }
                 }
                 LinkClass::Private => {
                     if let Some(far_asn) = obs.far_asn {
-                        self.constrain_private(obs.near_asn, obs.near_ip, far_asn, iteration);
+                        if in_scope(obs.near_ip) {
+                            self.constrain_private(obs.near_asn, obs.near_ip, far_asn, iteration);
+                        }
                         if let Some(far_ip) = obs.far_ip {
-                            self.constrain_private(far_asn, far_ip, obs.near_asn, iteration);
+                            if in_scope(far_ip) {
+                                self.constrain_private(far_asn, far_ip, obs.near_asn, iteration);
+                            }
                         }
                     }
                 }
@@ -647,7 +834,11 @@ impl<'a> Cfs<'a> {
     /// each interface to the *first* exchange triggering the test, so the
     /// work list is gathered in observation order, probed in parallel,
     /// and written back in the same order — identical to the serial run.
-    fn prefill_remote_verdicts(&mut self, observations: &[Observation]) {
+    fn prefill_remote_verdicts(
+        &mut self,
+        observations: &[Observation],
+        scope: Option<&BTreeSet<Ipv4Addr>>,
+    ) {
         cfs_obs::span!(self.recorder, "stage.remote");
         let mut pending: Vec<(Ipv4Addr, IxpId)> = Vec::new();
         let mut queued: BTreeSet<Ipv4Addr> = BTreeSet::new();
@@ -660,6 +851,9 @@ impl<'a> Cfs<'a> {
                 ends[1] = Some((far_asn, far_ip));
             }
             for (owner, ip) in ends.into_iter().flatten() {
+                if !scope.is_none_or(|s| s.contains(&ip)) {
+                    continue;
+                }
                 if self.remote_cache.contains_key(&ip) || queued.contains(&ip) {
                     continue;
                 }
@@ -683,6 +877,7 @@ impl<'a> Cfs<'a> {
         let vps = self.vps;
         let retry = self.cfg.retry;
         let retry_seed = self.chaos_seed;
+        let down = &self.vp_down;
         // Verdict counters are per tested address (the pending list does
         // not depend on the worker count), so the recorder's totals stay
         // chunking-independent.
@@ -696,7 +891,8 @@ impl<'a> Cfs<'a> {
                         scope.spawn(move |_| {
                             let tester = RemoteTester::new(engine, vps)
                                 .recorded(rec)
-                                .retrying(retry, retry_seed);
+                                .retrying(retry, retry_seed)
+                                .excluding(down);
                             chunk
                                 .iter()
                                 .map(|(ip, ixp)| tester.is_remote(*ixp, *ip))
@@ -713,14 +909,15 @@ impl<'a> Cfs<'a> {
         } else {
             let tester = RemoteTester::new(engine, vps)
                 .recorded(rec)
-                .retrying(retry, retry_seed);
+                .retrying(retry, retry_seed)
+                .excluding(down);
             pending
                 .iter()
                 .map(|(ip, ixp)| tester.is_remote(*ixp, *ip))
                 .collect()
         };
-        for ((ip, _), verdict) in pending.into_iter().zip(verdicts) {
-            self.remote_cache.insert(ip, verdict);
+        for ((ip, ixp), verdict) in pending.into_iter().zip(verdicts) {
+            self.remote_cache.insert(ip, (ixp, verdict));
         }
     }
 
@@ -728,17 +925,28 @@ impl<'a> Cfs<'a> {
     /// facilities with the exchange's; an empty overlap triggers the
     /// remote test (§4.2 case 3).
     fn constrain_public(&mut self, owner: Asn, ip: Ipv4Addr, ixp: IxpId, iteration: usize) {
+        // Dependency edges for incremental invalidation: the state of
+        // `ip` is a function of these footprints (the metro pool is a
+        // conservative superset — it only matters on the widening path).
+        for key in [DepKey::As(owner), DepKey::Ixp(ixp), DepKey::Metro(ixp)] {
+            self.deps.entry(key).or_default().insert(ip);
+        }
         let f_owner = self.as_facilities(owner);
         let f_ixp = self.ixp_facilities(ixp);
         let common = f_owner.intersect(&f_ixp);
 
         let verdict = if common.is_empty() && !f_owner.is_empty() {
-            *self.remote_cache.entry(ip).or_insert_with(|| {
-                RemoteTester::new(self.engine, self.vps)
-                    .recorded(&*self.recorder)
-                    .retrying(self.cfg.retry, self.chaos_seed)
-                    .is_remote(ixp, ip)
-            })
+            self.remote_cache
+                .entry(ip)
+                .or_insert_with(|| {
+                    let verdict = RemoteTester::new(self.engine, self.vps)
+                        .recorded(&*self.recorder)
+                        .retrying(self.cfg.retry, self.chaos_seed)
+                        .excluding(&self.vp_down)
+                        .is_remote(ixp, ip);
+                    (ixp, verdict)
+                })
+                .1
         } else {
             None
         };
@@ -807,6 +1015,9 @@ impl<'a> Cfs<'a> {
     /// Step 2 for a private peering interface: intersect the two peers'
     /// facility sets (cross-connects join routers in one building).
     fn constrain_private(&mut self, owner: Asn, ip: Ipv4Addr, peer: Asn, iteration: usize) {
+        for key in [DepKey::As(owner), DepKey::As(peer)] {
+            self.deps.entry(key).or_default().insert(ip);
+        }
         let f_owner = self.as_facilities(owner);
         let f_peer = self.as_facilities(peer);
         let common = f_owner.intersect(&f_peer);
@@ -837,8 +1048,24 @@ impl<'a> Cfs<'a> {
     /// Step 3: all aliases of a router share its facility, so their
     /// candidate sets intersect.
     fn apply_alias_constraints(&mut self, iteration: usize) {
+        self.apply_alias_constraints_scoped(iteration, None);
+    }
+
+    /// Step 3 over every alias set (scope `None`) or only the sets
+    /// intersecting the dirty frontier. A scoped caller must pass a
+    /// frontier closed over alias sets, so any set it touches is
+    /// entirely inside the scope and the combined intersection matches
+    /// the full pass.
+    pub(crate) fn apply_alias_constraints_scoped(
+        &mut self,
+        iteration: usize,
+        scope: Option<&BTreeSet<Ipv4Addr>>,
+    ) {
         cfs_obs::span!(self.recorder, "stage.alias_constrain");
         for set in self.aliases.sets.clone() {
+            if !scope.is_none_or(|s| set.iter().any(|ip| s.contains(ip))) {
+                continue;
+            }
             let mut combined: Option<FacilitySet> = None;
             for ip in &set {
                 if let Some(state) = self.states.get(ip) {
@@ -864,7 +1091,7 @@ impl<'a> Cfs<'a> {
         }
     }
 
-    fn resolved_count(&self) -> usize {
+    pub(crate) fn resolved_count(&self) -> usize {
         self.states
             .values()
             .filter(|s| s.facility().is_some())
@@ -1052,7 +1279,7 @@ impl<'a> Cfs<'a> {
         // candidates: a crossing with them still shrinks the set.
         let mut subset_scored: Vec<(usize, usize, Asn)> = Vec::new();
         let mut overlap_scored: Vec<(usize, usize, Asn)> = Vec::new();
-        let known: Vec<Asn> = self.kb.known_ases().collect();
+        let known: Vec<Asn> = self.kb().known_ases().collect();
         for t in known {
             if t == owner {
                 continue;
@@ -1066,7 +1293,7 @@ impl<'a> Cfs<'a> {
                 continue;
             }
             let penalty = usize::from(
-                self.kb
+                self.kb()
                     .ixps_of_as(t)
                     .intersection(&queried_ixps)
                     .next()
@@ -1094,7 +1321,7 @@ impl<'a> Cfs<'a> {
         // peering); then anything that has previously seen the owner.
         let candidate_coords: Vec<cfs_geo::GeoPoint> = candidates
             .iter()
-            .filter_map(|f| self.kb.metro_of_facility(f))
+            .filter_map(|f| self.kb().metro_of_facility(f))
             .map(|m| self.engine.topology().world.metro(m).location)
             .collect();
         let distance_to_candidates = |vp: &cfs_traceroute::VantagePoint| -> u64 {
@@ -1183,7 +1410,15 @@ impl<'a> Cfs<'a> {
     // Reporting (+ §4.4 proximity fallback)
     // ------------------------------------------------------------------
 
-    fn build_report(&mut self) -> CfsReport {
+    /// Renders the current search state into a [`CfsReport`].
+    ///
+    /// Deliberately non-mutating: the §4.4 proximity fallback is applied
+    /// through an overlay consulted at every read site instead of being
+    /// written back into `states`, so a resident session can re-render
+    /// reports after every delta without the render perturbing the next
+    /// incremental sweep. The emitted bytes are identical to the historic
+    /// mutating version.
+    pub(crate) fn build_report(&self) -> CfsReport {
         cfs_obs::span!(self.recorder, "stage.report");
         let all_observations: Vec<Observation> = self
             .observations
@@ -1202,10 +1437,14 @@ impl<'a> Cfs<'a> {
         // AMS-IX) selects the same population.
         let multi_port = |obs: &Observation| -> bool {
             match (obs.class.ixp(), obs.far_asn) {
-                (Some(ixp), Some(asn)) => self.kb.member_port_count(ixp, asn) >= 2,
+                (Some(ixp), Some(asn)) => self.kb().member_port_count(ixp, asn) >= 2,
                 _ => false,
             }
         };
+        // Proximity verdicts live in this overlay, never in `states`:
+        // an overlaid interface reads as resolved-to-`f` at every site
+        // below (verdict, links, data-quality tally).
+        let mut overlay: BTreeMap<Ipv4Addr, FacilityId> = BTreeMap::new();
         let mut proximity = ProximityModel::new();
         if self.cfg.proximity {
             for obs in &all_observations {
@@ -1226,7 +1465,6 @@ impl<'a> Cfs<'a> {
             }
             // Apply to unresolved multi-port far ends with a resolved
             // near end.
-            let mut assignments: Vec<(Ipv4Addr, FacilityId)> = Vec::new();
             for obs in &all_observations {
                 let LinkClass::Public { .. } = obs.class else {
                     continue;
@@ -1248,30 +1486,31 @@ impl<'a> Cfs<'a> {
                     continue;
                 };
                 if let Some(f) = proximity.infer(near_f, cands) {
-                    assignments.push((far_ip, f));
-                }
-            }
-            for (ip, f) in assignments {
-                if let Some(state) = self.states.get_mut(&ip) {
-                    state.candidates = Some(self.interner.intern([f]));
-                    // Marked below via `via_proximity`.
-                    state.resolved_at.get_or_insert(usize::MAX);
+                    // Later observations overwrite earlier ones, exactly
+                    // as sequential state mutation used to.
+                    overlay.insert(far_ip, f);
                 }
             }
         }
+        let facility_of = |ip: &Ipv4Addr, state: &IfaceState| {
+            overlay.get(ip).copied().or_else(|| state.facility())
+        };
 
         // Interface verdicts.
         let mut interfaces = BTreeMap::new();
         for (ip, state) in &self.states {
-            let candidates = state
-                .candidates
-                .as_ref()
-                .map(FacilitySet::to_btree_set)
-                .unwrap_or_default();
+            let candidates = match overlay.get(ip) {
+                Some(f) => BTreeSet::from([*f]),
+                None => state
+                    .candidates
+                    .as_ref()
+                    .map(FacilitySet::to_btree_set)
+                    .unwrap_or_default(),
+            };
             let metro = {
                 let metros: BTreeSet<_> = candidates
                     .iter()
-                    .filter_map(|f| self.kb.metro_of_facility(*f))
+                    .filter_map(|f| self.kb().metro_of_facility(*f))
                     .collect();
                 if metros.len() == 1 && !candidates.is_empty() {
                     metros.into_iter().next()
@@ -1279,23 +1518,32 @@ impl<'a> Cfs<'a> {
                     None
                 }
             };
-            let via_proximity = state.resolved_at == Some(usize::MAX);
+            let via_proximity = overlay.contains_key(ip);
+            let outcome = if via_proximity {
+                SearchOutcome::Resolved
+            } else {
+                state.outcome()
+            };
             interfaces.insert(
                 *ip,
                 InferredInterface {
                     ip: *ip,
                     owner: state.owner,
-                    facility: state.facility(),
+                    facility: facility_of(ip, state),
                     candidates,
                     metro,
-                    outcome: state.outcome(),
+                    outcome,
                     remote: state.remote,
                     public_ixps: state.public_ixps.clone(),
                     seen_private: state.seen_private,
-                    resolved_at: state.resolved_at.filter(|r| *r != usize::MAX),
+                    resolved_at: state.resolved_at,
                     via_proximity,
                     widened: state.widened,
-                    unresolved_reason: state.final_reason(),
+                    unresolved_reason: if via_proximity {
+                        None
+                    } else {
+                        state.final_reason()
+                    },
                 },
             );
         }
@@ -1305,8 +1553,11 @@ impl<'a> Cfs<'a> {
         for obs in &all_observations {
             let near_state = self.states.get(&obs.near_ip);
             let far_state = obs.far_ip.and_then(|ip| self.states.get(&ip));
-            let near_facility = near_state.and_then(|s| s.facility());
-            let far_facility = far_state.and_then(|s| s.facility());
+            let near_facility = near_state.and_then(|s| facility_of(&obs.near_ip, s));
+            let far_facility = obs
+                .far_ip
+                .and_then(|ip| far_state.map(|s| (ip, s)))
+                .and_then(|(ip, s)| facility_of(&ip, s));
             let kind = match obs.class {
                 LinkClass::Public { .. } => {
                     if near_state.is_some_and(|s| s.remote) {
@@ -1355,8 +1606,11 @@ impl<'a> Cfs<'a> {
         // gaps.
         let mut unresolved_reasons: BTreeMap<String, u64> = BTreeMap::new();
         let mut widened_interfaces = 0u64;
-        for state in self.states.values() {
+        for (ip, state) in &self.states {
             widened_interfaces += u64::from(state.widened);
+            if overlay.contains_key(ip) {
+                continue; // proximity resolved it — no unresolved reason
+            }
             if let Some(reason) = state.final_reason() {
                 *unresolved_reasons
                     .entry(reason.code().to_string())
@@ -1400,17 +1654,17 @@ impl<'a> Cfs<'a> {
         let Some(peer) = obs.far_asn else {
             return PeeringKind::PrivateCrossConnect;
         };
-        let f_a = self.kb.facilities_of_as(obs.near_asn);
-        let f_b = self.kb.facilities_of_as(peer);
+        let f_a = self.kb().facilities_of_as(obs.near_asn);
+        let f_b = self.kb().facilities_of_as(peer);
         if f_a.intersection(&f_b).next().is_some() {
             return PeeringKind::PrivateCrossConnect;
         }
         // No shared building: a VLAN over a shared exchange, or a
         // long-haul circuit.
         let shared_ixp = self
-            .kb
+            .kb()
             .ixps_of_as(obs.near_asn)
-            .intersection(&self.kb.ixps_of_as(peer))
+            .intersection(&self.kb().ixps_of_as(peer))
             .next()
             .is_some();
         if shared_ixp {

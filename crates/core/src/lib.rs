@@ -34,6 +34,7 @@ mod observe;
 mod proximity;
 mod remote;
 mod report;
+mod session;
 mod state;
 mod telemetry;
 
@@ -48,5 +49,6 @@ pub use report::{
     CandidateHistogram, CfsReport, ConvergenceTelemetry, DataQualityReport, InferredInterface,
     InferredLink, RouterRoleStats, CANDIDATE_BUCKET_LE,
 };
+pub use session::{canonical_trace, CfsSession, Delta, DeltaOutcome, QueryAnswer};
 pub use state::{IfaceState, SearchOutcome, TrajectoryPoint};
 pub use telemetry::{render_profile_json, render_trace_json, PROFILE_SCHEMA, TRACE_SCHEMA};

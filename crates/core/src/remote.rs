@@ -5,6 +5,7 @@
 //! at different times of the day to avoid temporarily elevated RTT values
 //! due to congestion".
 
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 use cfs_chaos::RetryPolicy;
@@ -31,6 +32,7 @@ pub struct RemoteTester<'a> {
     recorder: &'a dyn Recorder,
     retry: RetryPolicy,
     retry_seed: u64,
+    down: Option<&'a BTreeSet<VantagePointId>>,
 }
 
 impl<'a> RemoteTester<'a> {
@@ -42,7 +44,18 @@ impl<'a> RemoteTester<'a> {
             recorder: &NOOP,
             retry: RetryPolicy::default(),
             retry_seed: 0,
+            down: None,
         }
+    }
+
+    /// Excludes the given vantage points from the measurement pool (a
+    /// `VpStatusChange` delta marks platforms administratively down).
+    /// The verdict stays a pure function of `(ixp, ip, down-set)`, so a
+    /// resident session and a fresh run built with the same exclusions
+    /// agree byte-for-byte.
+    pub fn excluding(mut self, down: &'a BTreeSet<VantagePointId>) -> Self {
+        self.down = Some(down);
+        self
     }
 
     /// Attaches a recorder: every [`RemoteTester::is_remote`] call then
@@ -89,6 +102,7 @@ impl<'a> RemoteTester<'a> {
             .vps
             .vps
             .iter()
+            .filter(|(id, _)| self.down.is_none_or(|down| !down.contains(id)))
             .map(|(id, vp)| (id, vp.coords.distance_km(core)))
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));

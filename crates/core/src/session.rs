@@ -1,0 +1,527 @@
+//! The resident session API: CFS as a long-lived service instead of a
+//! one-shot batch (ROADMAP's north star; the follow-on workload of
+//! Milolidakis et al., "Detecting Network Disruptions At Colocation
+//! Facilities").
+//!
+//! A [`CfsSession`] wraps the batch engine, converges once, caches the
+//! report, and then absorbs [`Delta`]s — new traceroute campaigns, a
+//! knowledge-base epoch flip, a vantage point going down — by dirtying
+//! exactly the interfaces whose constraint inputs changed and
+//! re-converging only that frontier ([`Cfs::kernel_converge`]). After
+//! every delta the cached report is byte-identical to what a from-scratch
+//! batch run over the merged inputs would produce; the determinism tests
+//! in `crates/core/tests/session.rs` assert this at several thread
+//! counts, with and without fault injection.
+//!
+//! Incremental correctness rests on the **iteration-1 fixed point**:
+//! sessions require follow-up-less configurations
+//! (`CfsConfig::followup_interfaces == 0`), under which the batch loop's
+//! serialized state stops changing after the first iteration —
+//! observation constraints are static sets, re-intersecting them is
+//! idempotent, and alias combination leaves every member at the combined
+//! set. One scoped constraint pass therefore reproduces convergence for
+//! the dirty interfaces, and [`Cfs::synthesize_iterations`] replays the
+//! loop's control flow against the (constant) per-iteration counts to
+//! rebuild the convergence telemetry the batch loop would have written.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use cfs_kb::KnowledgeBase;
+use cfs_obs::export::fnv1a64;
+use cfs_obs::{Recorder, TraceRecorder};
+use cfs_traceroute::Trace;
+use cfs_types::{Asn, Error, FacilityId, IxpId, LinkClass, MetroId, Result, VantagePointId};
+
+use crate::engine::{Cfs, DepKey, KbHandle};
+use crate::observe::Observation;
+use crate::remote::RemoteTester;
+use crate::report::CfsReport;
+use crate::state::SearchOutcome;
+use crate::telemetry::render_trace_json;
+
+/// An incremental input change a resident session can absorb without
+/// recomputing the world.
+pub enum Delta {
+    /// A new traceroute campaign: ingested, re-aliased, re-extracted;
+    /// interfaces whose observation neighborhood or alias set changed
+    /// are re-converged.
+    TracerouteBatch(Vec<Trace>),
+    /// A knowledge-base epoch flip (the `mid-kb-refresh` model made
+    /// first-class): footprint caches are diffed against the new epoch
+    /// and only interfaces that consumed a changed footprint are dirtied.
+    KbEpochFlip(Arc<KnowledgeBase>),
+    /// A vantage point going down (or coming back): remote-peering
+    /// verdicts measured through the affected pool are recomputed, and
+    /// interfaces whose verdict flipped are re-converged.
+    VpStatusChange {
+        /// The platform whose status changed.
+        vp: VantagePointId,
+        /// `true` when the vantage point came back up.
+        up: bool,
+    },
+}
+
+/// What one [`CfsSession::apply_delta`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct DeltaOutcome {
+    /// Report epoch after the delta (bumped once per applied delta).
+    pub epoch: u64,
+    /// Interfaces whose constraint inputs changed.
+    pub dirty: usize,
+    /// Interfaces actually re-converged (the dirty set closed over alias
+    /// sets). Strictly less than `total` when the delta was local.
+    pub reconverged: usize,
+    /// Total interfaces tracked after re-convergence.
+    pub total: usize,
+}
+
+/// Answer to a single-interface lookup (`interface → facility, method,
+/// confidence` — the service query of ROADMAP's north star).
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct QueryAnswer {
+    /// The queried address.
+    pub ip: Ipv4Addr,
+    /// Corrected owner AS, when known.
+    pub owner: Option<Asn>,
+    /// The single inferred facility, when resolved.
+    pub facility: Option<FacilityId>,
+    /// The metro, when all candidates agree on one.
+    pub metro: Option<MetroId>,
+    /// Remaining candidate count (0 when the interface is unknown).
+    pub candidates: usize,
+    /// Outcome classification.
+    pub outcome: SearchOutcome,
+    /// Engineering method observed for the interface:
+    /// `public-remote`, `mixed`, `public`, `private`, or `unknown`.
+    pub method: &'static str,
+    /// Heuristic confidence in `facility` (1.0 ⇒ certain).
+    pub confidence: f64,
+    /// Report epoch the answer was read from.
+    pub epoch: u64,
+}
+
+/// A resident CFS engine: converge once, query forever, absorb deltas.
+///
+/// Built by [`crate::CfsBuilder::build_session`]. The batch entry point
+/// [`Cfs::run`] survives as a thin converge-once wrapper over the same
+/// internals.
+pub struct CfsSession<'a> {
+    cfs: Cfs<'a>,
+    report: Option<CfsReport>,
+    epoch: u64,
+}
+
+impl<'a> CfsSession<'a> {
+    pub(crate) fn new(cfs: Cfs<'a>) -> Self {
+        Self {
+            cfs,
+            report: None,
+            epoch: 0,
+        }
+    }
+
+    /// Feeds bootstrap traces before the first convergence. After
+    /// [`CfsSession::converge`], feed new campaigns through
+    /// [`Delta::TracerouteBatch`] instead, so only affected interfaces
+    /// are recomputed.
+    pub fn ingest(&mut self, traces: Vec<Trace>) {
+        self.cfs.ingest(traces);
+    }
+
+    /// Feeds BGP session listings from looking glasses (§3.2). Like
+    /// [`CfsSession::ingest`], a bootstrap-phase input.
+    pub fn ingest_bgp_sessions(&mut self, owner: Asn, sessions: &[cfs_bgp::BgpSession]) {
+        self.cfs.ingest_bgp_sessions(owner, sessions);
+    }
+
+    /// Report epoch: 0 before the first convergence, 1 after it, +1 per
+    /// applied delta.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The cached report, when the session has converged.
+    pub fn report(&self) -> Option<&CfsReport> {
+        self.report.as_ref()
+    }
+
+    /// Runs the search to convergence (first call) and returns the
+    /// cached report (every call). Identical to what [`Cfs::run`] on the
+    /// same inputs returns, byte for byte.
+    pub fn converge(&mut self) -> &CfsReport {
+        if self.report.is_none() {
+            let report = self.cfs.run();
+            self.report = Some(report);
+            self.epoch = 1;
+        }
+        self.report.as_ref().expect("report cached above")
+    }
+
+    /// Converges if needed and surrenders the report.
+    pub fn into_report(mut self) -> CfsReport {
+        self.converge();
+        self.report.expect("converge caches the report")
+    }
+
+    /// Single-interface lookup against the cached report. Interfaces the
+    /// search never tracked come back as [`SearchOutcome::MissingData`]
+    /// with zero confidence; call [`CfsSession::converge`] first.
+    pub fn query(&self, ip: Ipv4Addr) -> QueryAnswer {
+        let Some(iface) = self.report.as_ref().and_then(|r| r.interfaces.get(&ip)) else {
+            return QueryAnswer {
+                ip,
+                owner: None,
+                facility: None,
+                metro: None,
+                candidates: 0,
+                outcome: SearchOutcome::MissingData,
+                method: "unknown",
+                confidence: 0.0,
+                epoch: self.epoch,
+            };
+        };
+        let public = !iface.public_ixps.is_empty();
+        let method = match (public, iface.seen_private, iface.remote) {
+            (true, true, _) => "mixed",
+            (true, false, true) => "public-remote",
+            (true, false, false) => "public",
+            (false, true, _) => "private",
+            (false, false, _) => "unknown",
+        };
+        let confidence = if iface.outcome == SearchOutcome::Resolved {
+            if iface.via_proximity {
+                0.7
+            } else if iface.widened {
+                0.6
+            } else {
+                0.95
+            }
+        } else if iface.candidates.is_empty() {
+            0.0
+        } else {
+            1.0 / iface.candidates.len() as f64
+        };
+        QueryAnswer {
+            ip,
+            owner: iface.owner,
+            facility: iface.facility,
+            metro: iface.metro,
+            candidates: iface.candidates.len(),
+            outcome: iface.outcome,
+            method,
+            confidence,
+            epoch: self.epoch,
+        }
+    }
+
+    /// The canonical `cfs-trace/1` document for the cached report:
+    /// rendered from a fresh deterministic recorder fed pure functions of
+    /// the report, so equal reports produce equal trace bytes — and
+    /// therefore equal digests — no matter how many deltas, queries, or
+    /// worker threads produced them.
+    pub fn trace_json(&mut self) -> String {
+        self.converge();
+        canonical_trace(self.report.as_ref().expect("converged above"))
+    }
+
+    /// Applies one delta: dirties the interfaces whose constraint inputs
+    /// changed, closes the set over alias sets, re-converges exactly that
+    /// frontier, rebuilds the report, and bumps the epoch.
+    ///
+    /// Emits `serve.delta`, `serve.dirty_ifaces`, and `serve.reconverged`
+    /// through the session recorder.
+    ///
+    /// Errors when the configuration runs follow-ups
+    /// (`CfsConfig::followup_interfaces > 0`): targeted probing reacts to
+    /// global state, so incremental re-convergence is only sound for the
+    /// measurement-complete configurations service deployments use.
+    pub fn apply_delta(&mut self, delta: Delta) -> Result<DeltaOutcome> {
+        if self.cfs.cfg.followup_interfaces > 0 {
+            return Err(Error::invalid(
+                "CfsSession::apply_delta requires a follow-up-less configuration \
+                 (set CfsConfig::followup_interfaces = 0): incremental re-convergence \
+                 relies on the iteration-1 fixed point",
+            ));
+        }
+        if self.report.is_none() {
+            self.converge();
+        }
+        cfs_obs::span!(self.cfs.recorder, "serve.delta");
+        let (dirty, purge_remote) = match delta {
+            Delta::TracerouteBatch(traces) => (self.absorb_traces(traces), true),
+            Delta::KbEpochFlip(kb) => (self.absorb_kb_flip(kb), true),
+            Delta::VpStatusChange { vp, up } => (self.absorb_vp_status(vp, up), false),
+        };
+        let scope = self.alias_closure(&dirty);
+        if purge_remote {
+            // Dirty observation neighborhoods can change which exchange
+            // first triggers an interface's remote test; drop the cached
+            // verdicts so the kernel re-derives them exactly as a fresh
+            // batch run would. Clean interfaces keep theirs: their
+            // trigger sequence is an unchanged prefix-preserving
+            // subsequence, so the cached verdict is already the batch
+            // answer.
+            for ip in &scope {
+                self.cfs.remote_cache.remove(ip);
+            }
+        }
+        self.cfs.kernel_converge(&scope);
+        self.cfs.synthesize_iterations();
+        let total = self.cfs.states.len();
+        self.cfs
+            .recorder
+            .counter("serve.dirty_ifaces", dirty.len() as u64);
+        self.cfs
+            .recorder
+            .counter("serve.reconverged", scope.len() as u64);
+        self.report = Some(self.cfs.build_report());
+        self.epoch += 1;
+        Ok(DeltaOutcome {
+            epoch: self.epoch,
+            dirty: dirty.len(),
+            reconverged: scope.len(),
+            total,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Delta absorption: compute the dirty frontier
+    // ------------------------------------------------------------------
+
+    /// Per-interface fingerprint of everything constraint derivation
+    /// reads: the interface's subsequence of the merged observation list
+    /// (owner, classification, far side) and its alias-set membership.
+    /// An unchanged fingerprint means every constraint the batch pass
+    /// would intersect into the interface is unchanged too.
+    fn fingerprints(&self) -> BTreeMap<Ipv4Addr, u64> {
+        let mut acc: BTreeMap<Ipv4Addr, String> = BTreeMap::new();
+        for obs in self
+            .cfs
+            .session_observations
+            .iter()
+            .chain(self.cfs.observations.iter())
+        {
+            let line = format!(
+                "{:?}|{}|{:?}|{:?}|{:?};",
+                obs.near_asn,
+                obs.near_ip,
+                obs.class.ixp(),
+                obs.far_asn,
+                obs.far_ip
+            );
+            acc.entry(obs.near_ip).or_default().push_str(&line);
+            if let Some(far) = obs.far_ip {
+                acc.entry(far).or_default().push_str(&line);
+            }
+        }
+        for (ip, set) in &self.cfs.aliases.set_of {
+            let entry = acc.entry(*ip).or_default();
+            entry.push_str("#aliases:");
+            for member in &self.cfs.aliases.sets[*set] {
+                entry.push_str(&format!("{member},"));
+            }
+        }
+        acc.into_iter().map(|(ip, s)| (ip, fnv1a64(&s))).collect()
+    }
+
+    /// Interfaces whose fingerprint differs between two snapshots
+    /// (changed, appeared, or disappeared).
+    fn fingerprint_diff(
+        before: &BTreeMap<Ipv4Addr, u64>,
+        after: &BTreeMap<Ipv4Addr, u64>,
+    ) -> BTreeSet<Ipv4Addr> {
+        let mut dirty = BTreeSet::new();
+        for (ip, fp) in after {
+            if before.get(ip) != Some(fp) {
+                dirty.insert(*ip);
+            }
+        }
+        for ip in before.keys() {
+            if !after.contains_key(ip) {
+                dirty.insert(*ip);
+            }
+        }
+        dirty
+    }
+
+    fn absorb_traces(&mut self, traces: Vec<Trace>) -> BTreeSet<Ipv4Addr> {
+        let before = self.fingerprints();
+        self.cfs.ingest(traces);
+        // Alias resolution is global (new probes can merge old sets), so
+        // re-resolve and re-extract everything; the fingerprint diff then
+        // narrows the re-convergence to interfaces that actually moved.
+        self.cfs.refresh_aliases();
+        self.cfs.process_new_traces();
+        let after = self.fingerprints();
+        Self::fingerprint_diff(&before, &after)
+    }
+
+    fn absorb_kb_flip(&mut self, kb: Arc<KnowledgeBase>) -> BTreeSet<Ipv4Addr> {
+        // When the new epoch classifies observations identically (same
+        // confirmed LAN space, same fabric directory, same activity
+        // filter), extraction is a fixed point: every trace and
+        // looking-glass record would rebuild the exact observation list
+        // already held, and the fingerprint diff would come back empty.
+        // Skip the rebuild and let the footprint diff below find the
+        // dirty frontier — this is what makes a facility-list flip cost
+        // O(dirty), not O(world).
+        let same_view = self.cfs.kb().same_classification_view(&kb);
+        let before = if same_view {
+            BTreeMap::new()
+        } else {
+            self.fingerprints()
+        };
+        self.cfs.kb = KbHandle::Owned(kb);
+        let mut dirty = BTreeSet::new();
+
+        // Diff every footprint the constraint system has consumed against
+        // the new epoch; a changed footprint dirties exactly the
+        // interfaces the dependency index says consumed it.
+        let as_keys: Vec<Asn> = self.cfs.as_fac_cache.keys().copied().collect();
+        for asn in as_keys {
+            let old = self
+                .cfs
+                .as_fac_cache
+                .remove(&asn)
+                .expect("key collected from this map");
+            let new = self.cfs.as_facilities(asn);
+            if old != new {
+                if let Some(consumers) = self.cfs.deps.get(&DepKey::As(asn)) {
+                    dirty.extend(consumers.iter().copied());
+                }
+            }
+        }
+        let ixp_keys: Vec<IxpId> = self.cfs.ixp_fac_cache.keys().copied().collect();
+        for ixp in ixp_keys {
+            let old = self
+                .cfs
+                .ixp_fac_cache
+                .remove(&ixp)
+                .expect("key collected from this map");
+            let new = self.cfs.ixp_facilities(ixp);
+            if old != new {
+                if let Some(consumers) = self.cfs.deps.get(&DepKey::Ixp(ixp)) {
+                    dirty.extend(consumers.iter().copied());
+                }
+            }
+        }
+        let metro_keys: Vec<IxpId> = self.cfs.metro_cand_cache.keys().copied().collect();
+        for ixp in metro_keys {
+            let old = self
+                .cfs
+                .metro_cand_cache
+                .remove(&ixp)
+                .expect("key collected from this map");
+            let new = self.cfs.metro_candidates(ixp);
+            if old != new {
+                if let Some(consumers) = self.cfs.deps.get(&DepKey::Metro(ixp)) {
+                    dirty.extend(consumers.iter().copied());
+                }
+            }
+        }
+
+        if same_view {
+            return dirty;
+        }
+
+        // Observation classification reads the KB (confirmed IXP space ⇒
+        // public), so rebuild the observation list under the new epoch:
+        // replay the looking-glass log, then re-extract every trace.
+        // Alias resolution and ownership correction never read the KB, so
+        // they stand.
+        self.cfs.observations.clear();
+        self.cfs.obs_keys.clear();
+        self.cfs.session_observations.clear();
+        self.cfs.processed = 0;
+        let log = std::mem::take(&mut self.cfs.bgp_log);
+        for (owner, s) in &log {
+            let class = match self.cfs.kb().ixp_of_ip(s.neighbor_ip) {
+                Some(ixp) => LinkClass::Public { ixp },
+                None => LinkClass::Private,
+            };
+            let obs = Observation {
+                near_asn: *owner,
+                near_ip: s.local_ip,
+                class,
+                far_asn: Some(s.neighbor_asn),
+                far_ip: Some(s.neighbor_ip),
+            };
+            let key = (obs.near_ip, obs.class.ixp(), obs.far_ip);
+            if self.cfs.obs_keys.insert(key) {
+                self.cfs.session_observations.push(obs);
+            }
+        }
+        self.cfs.bgp_log = log;
+        self.cfs.process_new_traces();
+
+        let after = self.fingerprints();
+        dirty.extend(Self::fingerprint_diff(&before, &after));
+        dirty
+    }
+
+    fn absorb_vp_status(&mut self, vp: VantagePointId, up: bool) -> BTreeSet<Ipv4Addr> {
+        if up {
+            self.cfs.vp_down.remove(&vp);
+        } else {
+            self.cfs.vp_down.insert(vp);
+        }
+        // Remote verdicts are pure functions of (ixp, ip, down-set);
+        // recompute every cached one under the new pool and dirty the
+        // interfaces whose verdict flipped. The stored exchange binding
+        // keeps the re-measurement aimed where the first trigger aimed.
+        let entries: Vec<(Ipv4Addr, IxpId, Option<bool>)> = self
+            .cfs
+            .remote_cache
+            .iter()
+            .map(|(ip, (ixp, verdict))| (*ip, *ixp, *verdict))
+            .collect();
+        let mut dirty = BTreeSet::new();
+        for (ip, ixp, old) in entries {
+            let verdict = RemoteTester::new(self.cfs.engine, self.cfs.vps)
+                .recorded(&*self.cfs.recorder)
+                .retrying(self.cfs.cfg.retry, self.cfs.chaos_seed)
+                .excluding(&self.cfs.vp_down)
+                .is_remote(ixp, ip);
+            if verdict != old {
+                self.cfs.remote_cache.insert(ip, (ixp, verdict));
+                dirty.insert(ip);
+            }
+        }
+        dirty
+    }
+
+    /// Closes a dirty set over alias sets: every member of any alias set
+    /// containing a dirty interface joins the re-convergence scope, so
+    /// the scoped alias-combination step sees whole routers (alias sets
+    /// are disjoint, so one level of closure suffices).
+    fn alias_closure(&self, dirty: &BTreeSet<Ipv4Addr>) -> BTreeSet<Ipv4Addr> {
+        let mut scope = dirty.clone();
+        for ip in dirty {
+            if let Some(members) = self.cfs.aliases.aliases_of(*ip) {
+                scope.extend(members.iter().copied());
+            }
+        }
+        scope
+    }
+}
+
+/// Renders the canonical `cfs-trace/1` document for a report: a fresh
+/// deterministic recorder is fed pure functions of the report, so equal
+/// reports ⇒ equal documents ⇒ equal digests. This is what the daemon
+/// serves and what the CI smoke job diffs against a fresh batch run.
+pub fn canonical_trace(report: &CfsReport) -> String {
+    let recorder = TraceRecorder::deterministic();
+    recorder.counter("report.interfaces", report.interfaces.len() as u64);
+    recorder.counter("report.links", report.links.len() as u64);
+    recorder.counter("cfs.iterations", report.iterations.len() as u64);
+    for _ in &report.iterations {
+        for iface in report.interfaces.values() {
+            if !iface.candidates.is_empty() {
+                recorder.observe("cfs.candidates_per_iface", iface.candidates.len() as u64);
+            }
+        }
+    }
+    render_trace_json(report, &recorder.snapshot())
+}

@@ -44,20 +44,20 @@ impl Fx {
             &CampaignLimits::default(),
         );
 
-        let mut cfs = Cfs::builder(&engine, &kb)
+        let mut session = Cfs::builder(&engine, &kb)
             .vps(&vps)
             .ipasn(&ipasn)
-            .build()
+            .build_session()
             .unwrap();
-        cfs.ingest(traces);
+        session.ingest(traces);
         if with_sessions {
             let lg_bgp = LookingGlassBgp::new(topo);
             for id in vps.of_platform(Platform::LookingGlass) {
                 let vp = &vps.vps[*id];
-                cfs.ingest_bgp_sessions(vp.asn, &lg_bgp.sessions(vp.router));
+                session.ingest_bgp_sessions(vp.asn, &lg_bgp.sessions(vp.router));
             }
         }
-        cfs.run()
+        session.into_report()
     }
 }
 

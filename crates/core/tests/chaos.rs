@@ -119,14 +119,14 @@ proptest! {
         let kb = KnowledgeBase::assemble(&dirty, &fix.topo.world);
         let traces = bootstrap(&engine, fix);
 
-        let mut cfs = Cfs::builder(&engine, &kb)
+        let mut session = Cfs::builder(&engine, &kb)
             .vps(&fix.vps)
             .ipasn(&fix.ipasn)
             .config(small_cfg())
-            .build()
+            .build_session()
             .unwrap();
-        cfs.ingest(traces);
-        let report = cfs.run();
+        session.ingest(traces);
+        let report = session.into_report();
 
         for iface in report.interfaces.values() {
             match iface.outcome {

@@ -81,7 +81,7 @@ fn run_with_clock(
     );
 
     let recorder = Arc::new(TraceRecorder::new(clock));
-    let mut cfs = Cfs::builder(&engine, &kb)
+    let mut session = Cfs::builder(&engine, &kb)
         .vps(&vps)
         .ipasn(&ipasn)
         .config(CfsConfig {
@@ -90,10 +90,10 @@ fn run_with_clock(
         })
         .threads(threads)
         .recorder(recorder.clone())
-        .build()
+        .build_session()
         .unwrap();
-    cfs.ingest(traces);
-    let report = cfs.run();
+    session.ingest(traces);
+    let report = session.into_report();
     let snap = recorder.snapshot();
     let trace = render_trace_json(&report, &snap);
     let profile = render_profile_json(&snap);

@@ -53,13 +53,13 @@ impl Fixture {
             &CampaignLimits::default(),
         );
 
-        let mut cfs = Cfs::builder(&engine, &kb)
+        let mut session = Cfs::builder(&engine, &kb)
             .vps(&vps)
             .ipasn(&ipasn)
-            .build()
+            .build_session()
             .unwrap();
-        cfs.ingest(traces);
-        let report = cfs.run();
+        session.ingest(traces);
+        let report = session.into_report();
         (report, topo)
     }
 }
@@ -219,14 +219,14 @@ fn platform_restriction_limits_followups() {
         &CampaignLimits::default(),
     );
 
-    let mut cfs = Cfs::builder(&engine, &kb)
+    let mut session = Cfs::builder(&engine, &kb)
         .vps(&vps)
         .ipasn(&ipasn)
         .platforms(&[Platform::RipeAtlas])
-        .build()
+        .build_session()
         .unwrap();
-    cfs.ingest(traces);
-    let report = cfs.run();
+    session.ingest(traces);
+    let report = session.into_report();
     // Must complete and produce a nonempty report even under restriction.
     assert!(report.total() > 0);
 }

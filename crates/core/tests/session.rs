@@ -1,0 +1,392 @@
+//! Service-mode determinism: a resident session that converges and then
+//! absorbs deltas must end in *exactly* the state a from-scratch batch
+//! run over the merged inputs reaches — byte-identical report JSON and
+//! identical canonical trace digests — at several worker counts, with
+//! and without an active fault plan. This is the contract that lets
+//! `cfsd` serve incremental answers without ever drifting from the
+//! paper's batch semantics.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use cfs_chaos::{FaultPlan, FaultProfile};
+use cfs_core::{canonical_trace, Cfs, CfsConfig, CfsReport, Delta};
+use cfs_kb::{KbConfig, KnowledgeBase, PublicSources};
+use cfs_obs::TraceRecorder;
+use cfs_topology::{Topology, TopologyConfig};
+use cfs_traceroute::{
+    deploy_vantage_points, run_campaign, CampaignLimits, ChaosEngine, Engine, ProbeService, Trace,
+    VpConfig, VpSet,
+};
+use cfs_types::VantagePointId;
+
+struct World {
+    topo: Topology,
+    sources: PublicSources,
+}
+
+impl World {
+    fn new() -> Self {
+        let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+        let sources = PublicSources::derive(&topo, &KbConfig::default());
+        Self { topo, sources }
+    }
+
+    fn engine(&self, faults: bool) -> Box<dyn ProbeService + '_> {
+        if faults {
+            Box::new(ChaosEngine::new(
+                Engine::new(&self.topo),
+                FaultPlan::new(
+                    11,
+                    FaultProfile {
+                        probe_timeout_pm: 150,
+                        ..FaultProfile::off()
+                    },
+                ),
+            ))
+        } else {
+            Box::new(Engine::new(&self.topo))
+        }
+    }
+
+    fn campaign(&self, engine: &dyn ProbeService, vps: &VpSet, at_ms: u64) -> Vec<Trace> {
+        let targets: Vec<Ipv4Addr> = self
+            .topo
+            .ases
+            .keys()
+            .take(12)
+            .map(|a| self.topo.target_ip(*a).unwrap())
+            .collect();
+        let vp_ids: Vec<_> = vps.ids().collect();
+        run_campaign(
+            engine,
+            vps,
+            &vp_ids,
+            &targets,
+            at_ms,
+            &CampaignLimits::default(),
+        )
+    }
+}
+
+/// Service sessions run follow-up-less (measurement-complete) configs.
+fn service_config(threads: usize) -> CfsConfig {
+    CfsConfig {
+        followup_interfaces: 0,
+        threads,
+        ..CfsConfig::default()
+    }
+}
+
+fn report_bytes(report: &CfsReport) -> String {
+    serde_json::to_string(report).unwrap()
+}
+
+/// Builds a fresh batch session over the given inputs and converges it.
+#[allow(clippy::too_many_arguments)]
+fn fresh_report(
+    engine: &dyn ProbeService,
+    kb: &KnowledgeBase,
+    vps: &VpSet,
+    ipasn: &cfs_net::IpAsnDb,
+    threads: usize,
+    campaigns: &[Vec<Trace>],
+    down: BTreeSet<VantagePointId>,
+) -> CfsReport {
+    let mut session = Cfs::builder(engine, kb)
+        .vps(vps)
+        .ipasn(ipasn)
+        .config(service_config(threads))
+        .vps_down(down)
+        .build_session()
+        .unwrap();
+    for c in campaigns {
+        session.ingest(c.clone());
+    }
+    session.into_report()
+}
+
+#[test]
+fn traceroute_delta_replay_matches_fresh_batch() {
+    let world = World::new();
+    let vps = deploy_vantage_points(&world.topo, &VpConfig::tiny()).unwrap();
+    let kb = KnowledgeBase::assemble(&world.sources, &world.topo.world);
+    let ipasn = world.topo.build_ipasn_db();
+
+    for faults in [false, true] {
+        let engine = world.engine(faults);
+        let batch_a = world.campaign(engine.as_ref(), &vps, 0);
+        let batch_b = world.campaign(engine.as_ref(), &vps, 7_200_000);
+
+        for threads in [1usize, 2, 8] {
+            let full = fresh_report(
+                engine.as_ref(),
+                &kb,
+                &vps,
+                &ipasn,
+                threads,
+                &[batch_a.clone(), batch_b.clone()],
+                BTreeSet::new(),
+            );
+
+            let mut session = Cfs::builder(engine.as_ref(), &kb)
+                .vps(&vps)
+                .ipasn(&ipasn)
+                .config(service_config(threads))
+                .build_session()
+                .unwrap();
+            session.ingest(batch_a.clone());
+            session.converge();
+            let outcome = session
+                .apply_delta(Delta::TracerouteBatch(batch_b.clone()))
+                .unwrap();
+            assert_eq!(outcome.epoch, 2);
+            let incremental = session.into_report();
+
+            assert_eq!(
+                report_bytes(&full),
+                report_bytes(&incremental),
+                "threads={threads} faults={faults}: replay diverged from batch"
+            );
+            assert_eq!(
+                canonical_trace(&full),
+                canonical_trace(&incremental),
+                "threads={threads} faults={faults}: trace digests diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn kb_flip_dirties_strict_subset_and_matches_fresh_batch() {
+    let world = World::new();
+    let vps = deploy_vantage_points(&world.topo, &VpConfig::tiny()).unwrap();
+    let kb = KnowledgeBase::assemble(&world.sources, &world.topo.world);
+    let ipasn = world.topo.build_ipasn_db();
+    let engine = Engine::new(&world.topo);
+    let batch = world.campaign(&engine, &vps, 0);
+
+    // A 1-record epoch flip: an AS the search actually constrained loses
+    // one listed facility. Pick it from the converged report's owners so
+    // the delta provably intersects the constraint graph.
+    let baseline = fresh_report(
+        &engine,
+        &kb,
+        &vps,
+        &ipasn,
+        1,
+        std::slice::from_ref(&batch),
+        BTreeSet::new(),
+    );
+    let observed_owners: BTreeSet<_> = baseline
+        .interfaces
+        .values()
+        .filter_map(|i| i.owner)
+        .collect();
+    // The assembled footprint is pdb ∪ NOC, so scrub the facility from
+    // both sources and keep looking until the merged footprint really
+    // shrinks.
+    let (asn, removed, kb2) = observed_owners
+        .iter()
+        .find_map(|asn| {
+            let rec = world.sources.pdb_networks.get(asn)?;
+            if rec.facilities.len() < 2 {
+                return None;
+            }
+            let victim = rec.facilities[0];
+            let mut sources2 = world.sources.clone();
+            let rec2 = sources2.pdb_networks.get_mut(asn).unwrap();
+            rec2.facilities.retain(|f| *f != victim);
+            if let Some(page) = sources2.noc_pages.get_mut(asn) {
+                page.facilities.retain(|f| *f != victim);
+            }
+            let kb2 = KnowledgeBase::assemble(&sources2, &world.topo.world);
+            (kb2.facilities_of_as(*asn) != kb.facilities_of_as(*asn))
+                .then(|| (*asn, victim, Arc::new(kb2)))
+        })
+        .expect("some observed AS has a removable facility");
+
+    for threads in [1usize, 2, 8] {
+        let full = fresh_report(
+            &engine,
+            &kb2,
+            &vps,
+            &ipasn,
+            threads,
+            std::slice::from_ref(&batch),
+            BTreeSet::new(),
+        );
+
+        let recorder = Arc::new(TraceRecorder::deterministic());
+        let mut session = Cfs::builder(&engine, &kb)
+            .vps(&vps)
+            .ipasn(&ipasn)
+            .config(service_config(threads))
+            .recorder(recorder.clone())
+            .build_session()
+            .unwrap();
+        session.ingest(batch.clone());
+        session.converge();
+        let outcome = session
+            .apply_delta(Delta::KbEpochFlip(kb2.clone()))
+            .unwrap();
+
+        // The acceptance assertion: a 1-record KB delta re-converges
+        // strictly fewer interfaces than the session tracks, and the
+        // serve.* counters say the same thing.
+        assert!(
+            outcome.dirty > 0,
+            "flip of {asn:?}/{removed:?} dirtied nothing"
+        );
+        assert!(
+            outcome.reconverged < outcome.total,
+            "1-record delta swept the world: {} of {}",
+            outcome.reconverged,
+            outcome.total
+        );
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counters.get("serve.dirty_ifaces").copied(),
+            Some(outcome.dirty as u64)
+        );
+        assert_eq!(
+            snap.counters.get("serve.reconverged").copied(),
+            Some(outcome.reconverged as u64)
+        );
+        assert!(
+            snap.counters["serve.reconverged"] < full.total() as u64,
+            "counter claims a full sweep"
+        );
+
+        let incremental = session.into_report();
+        assert_eq!(
+            report_bytes(&full),
+            report_bytes(&incremental),
+            "threads={threads}: KB flip diverged from fresh batch under the new epoch"
+        );
+        assert_eq!(canonical_trace(&full), canonical_trace(&incremental));
+    }
+}
+
+#[test]
+fn vp_status_delta_matches_fresh_batch_with_pool_exclusion() {
+    let world = World::new();
+    let vps = deploy_vantage_points(&world.topo, &VpConfig::tiny()).unwrap();
+    let kb = KnowledgeBase::assemble(&world.sources, &world.topo.world);
+    let ipasn = world.topo.build_ipasn_db();
+    let engine = Engine::new(&world.topo);
+    let batch = world.campaign(&engine, &vps, 0);
+    let victim = vps.ids().next().unwrap();
+
+    for threads in [1usize, 2, 8] {
+        let full = fresh_report(
+            &engine,
+            &kb,
+            &vps,
+            &ipasn,
+            threads,
+            std::slice::from_ref(&batch),
+            BTreeSet::from([victim]),
+        );
+
+        let mut session = Cfs::builder(&engine, &kb)
+            .vps(&vps)
+            .ipasn(&ipasn)
+            .config(service_config(threads))
+            .build_session()
+            .unwrap();
+        session.ingest(batch.clone());
+        session.converge();
+        session
+            .apply_delta(Delta::VpStatusChange {
+                vp: victim,
+                up: false,
+            })
+            .unwrap();
+        let incremental = session.into_report();
+
+        assert_eq!(
+            report_bytes(&full),
+            report_bytes(&incremental),
+            "threads={threads}: VP-down delta diverged from a fresh run excluding it"
+        );
+        assert_eq!(canonical_trace(&full), canonical_trace(&incremental));
+    }
+}
+
+#[test]
+fn apply_delta_rejects_followup_configurations() {
+    let world = World::new();
+    let vps = deploy_vantage_points(&world.topo, &VpConfig::tiny()).unwrap();
+    let kb = KnowledgeBase::assemble(&world.sources, &world.topo.world);
+    let ipasn = world.topo.build_ipasn_db();
+    let engine = Engine::new(&world.topo);
+
+    let mut session = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        // default config: follow-ups enabled
+        .build_session()
+        .unwrap();
+    session.ingest(world.campaign(&engine, &vps, 0));
+    let err = session
+        .apply_delta(Delta::TracerouteBatch(Vec::new()))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("followup_interfaces"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn session_queries_answer_from_the_cached_report() {
+    let world = World::new();
+    let vps = deploy_vantage_points(&world.topo, &VpConfig::tiny()).unwrap();
+    let kb = KnowledgeBase::assemble(&world.sources, &world.topo.world);
+    let ipasn = world.topo.build_ipasn_db();
+    let engine = Engine::new(&world.topo);
+
+    let mut session = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .config(service_config(1))
+        .build_session()
+        .unwrap();
+    session.ingest(world.campaign(&engine, &vps, 0));
+    assert_eq!(session.epoch(), 0);
+    session.converge();
+    assert_eq!(session.epoch(), 1);
+
+    let report = session.report().unwrap();
+    let (resolved_ip, iface) = report
+        .interfaces
+        .iter()
+        .find(|(_, i)| i.facility.is_some() && !i.via_proximity && !i.widened)
+        .map(|(ip, i)| (*ip, i.clone()))
+        .expect("some interface resolves");
+    let answer = session.query(resolved_ip);
+    assert_eq!(answer.facility, iface.facility);
+    assert_eq!(answer.owner, iface.owner);
+    assert_eq!(answer.candidates, 1);
+    assert_eq!(answer.epoch, 1);
+    assert!((answer.confidence - 0.95).abs() < 1e-9);
+    assert_ne!(answer.method, "unknown");
+
+    // An address the search never tracked: zero-confidence missing-data.
+    let missing = session.query("203.0.113.200".parse().unwrap());
+    assert_eq!(missing.candidates, 0);
+    assert_eq!(missing.confidence, 0.0);
+    assert_eq!(missing.method, "unknown");
+
+    // converge() is idempotent and run()-equivalent.
+    let again = report_bytes(session.converge());
+    let mut batch = Cfs::builder(&engine, &kb)
+        .vps(&vps)
+        .ipasn(&ipasn)
+        .config(service_config(1))
+        .build()
+        .unwrap();
+    batch.ingest(world.campaign(&engine, &vps, 0));
+    assert_eq!(report_bytes(&batch.run()), again);
+}

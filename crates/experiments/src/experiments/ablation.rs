@@ -110,14 +110,14 @@ fn run_variant(lab: &Lab, cfg: CfsConfig, paris: bool) -> CfsReport {
         Engine::new(&lab.topo).without_paris()
     };
     let traces = lab.bootstrap_traces(&engine, None);
-    let mut cfs = Cfs::builder(&engine, &lab.kb)
+    let mut session = Cfs::builder(&engine, &lab.kb)
         .vps(&lab.vps)
         .ipasn(&lab.ipasn)
         .config(cfg)
-        .build()
+        .build_session()
         .expect("ablation: CFS dependencies are always set");
-    cfs.ingest(traces);
-    cfs.run()
+    session.ingest(traces);
+    session.into_report()
 }
 
 fn accuracy(lab: &Lab, report: &CfsReport) -> (usize, usize) {

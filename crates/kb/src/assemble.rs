@@ -257,6 +257,20 @@ impl KnowledgeBase {
         &self.active_ixps
     }
 
+    /// Whether two epochs agree on everything observation classification
+    /// reads: the confirmed peering-LAN space ([`Self::ixp_of_ip`]), the
+    /// fabric-address directory ([`Self::member_of_fabric_ip`] and the
+    /// port counts), and the activity filter. When the views match, every
+    /// trace and looking-glass record classifies identically under either
+    /// epoch, so a resident session absorbing the flip can skip
+    /// re-extraction and re-converge from the footprint diff alone.
+    pub fn same_classification_view(&self, other: &Self) -> bool {
+        self.active_ixps == other.active_ixps
+            && self.ixp_members == other.ixp_members
+            && self.as_ixps == other.as_ixps
+            && self.ixp_prefixes.iter() == other.ixp_prefixes.iter()
+    }
+
     /// All ASes with any facility record.
     pub fn known_ases(&self) -> impl Iterator<Item = Asn> + '_ {
         self.as_facilities

@@ -101,6 +101,10 @@ pub const RULES: &[RuleInfo] = &[
         summary: "thread::sleep/spin loops stall real time; schedule on the virtual clock instead",
     },
     RuleInfo {
+        name: "raw-socket",
+        summary: "socket I/O is single-homed in crates/svc; speak cfs-api/1 through Client/Server",
+    },
+    RuleInfo {
         name: "raw-thread-spawn",
         summary: "use the scoped fan-out (crossbeam scope), not free-running std threads",
     },
@@ -301,6 +305,28 @@ fn check_line(
                 "`Rc` in a Send/Sync-asserted crate; use `Arc` (see engine.rs::_assert_send_sync)"
                     .to_owned(),
             );
+        }
+    }
+
+    // raw-socket: like wall-clock, a single-home rule — socket I/O
+    // lives only in `crates/svc`, the daemon/client pair behind the
+    // versioned cfs-api/1 protocol. A socket anywhere else would move
+    // bytes around the schema and its typed errors.
+    if !path.starts_with("crates/svc/") {
+        for needle in [
+            "TcpListener",
+            "TcpStream",
+            "UdpSocket",
+            "UnixListener",
+            "UnixStream",
+        ] {
+            for col in find_tokens(line, needle, true) {
+                push(
+                    col,
+                    "raw-socket",
+                    format!("`{needle}` outside `crates/svc`; talk to a daemon through `cfs_svc::Client`/`Server` so every byte crosses the versioned cfs-api/1 protocol"),
+                );
+            }
         }
     }
 
@@ -598,6 +624,27 @@ mod tests {
         assert!(f.iter().all(|x| x.rule == "raw-sleep"));
         assert!(check_source("crates/obs/src/clock.rs", src).is_empty());
         assert!(check_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_socket_single_homed_in_svc() {
+        // Any file inside crates/svc — server, client, or a future
+        // module — may open sockets; everywhere else is a finding, in
+        // every target kind (tests and benches drive daemons through
+        // the cfs binary or `cfs_svc::Client`, never raw std::net).
+        let src = "fn f() { let l = std::net::TcpListener::bind(a); }\n";
+        assert!(check_source("crates/svc/src/server.rs", src).is_empty());
+        assert!(check_source("crates/svc/src/client.rs", src).is_empty());
+        for path in [
+            "crates/core/src/x.rs",
+            "src/main.rs",
+            "tests/service_cli.rs",
+            "crates/bench/benches/serve.rs",
+        ] {
+            let f = check_source(path, src);
+            assert_eq!(f.len(), 1, "{path} must not open sockets: {f:?}");
+            assert_eq!(f[0].rule, "raw-socket", "{path}");
+        }
     }
 
     #[test]

@@ -1,0 +1,10 @@
+// Fixture: `raw-socket` stays silent here — `crates/svc` is the one
+// sanctioned home of socket I/O (the cfs-api/1 daemon and client).
+use std::net::TcpListener;
+
+pub fn listen(addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let (stream, _) = listener.accept()?;
+    drop(stream);
+    Ok(())
+}

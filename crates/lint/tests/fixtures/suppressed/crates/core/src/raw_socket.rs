@@ -1,0 +1,11 @@
+// Fixture: justified suppressions silence `raw-socket`.
+// cfs-lint: allow(raw-socket) — fixture import, mirrors the svc accept loop
+use std::net::TcpListener;
+
+pub fn listen(addr: &str) -> std::io::Result<()> {
+    // cfs-lint: allow(raw-socket) — fixture bind, mirrors the svc accept loop
+    let listener = TcpListener::bind(addr)?;
+    let (stream, _) = listener.accept()?;
+    drop(stream);
+    Ok(())
+}

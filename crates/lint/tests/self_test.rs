@@ -41,6 +41,7 @@ fn dirty_tree_finding_inventory_is_exact() {
     let expected: &[(&str, usize)] = &[
         ("ambient-rng", 3),
         ("raw-sleep", 2),
+        ("raw-socket", 2),
         ("raw-thread-spawn", 1),
         ("rc-in-send-crate", 2),
         ("unjustified-allow", 2),
@@ -72,6 +73,12 @@ fn dirty_findings_point_at_real_lines() {
     assert!(has("crates/kb/src/unwrap_in_lib.rs", 6, "unwrap-in-lib"));
     assert!(has("src/raw_sleep.rs", 3, "raw-sleep"));
     assert!(has("src/raw_sleep.rs", 5, "raw-sleep"));
+    assert!(has("crates/core/src/raw_socket.rs", 3, "raw-socket"));
+    assert!(has("crates/core/src/raw_socket.rs", 6, "raw-socket"));
+    // The svc copy of the same hazard is sanctioned: single-home rule.
+    assert!(!findings
+        .iter()
+        .any(|f| f.path.starts_with("crates/svc/") && f.rule == "raw-socket"));
     assert!(has(
         "crates/core/src/unjustified_allow.rs",
         6,

@@ -1,0 +1,205 @@
+//! The `cfsd` daemon loop: a deliberately single-threaded accept loop
+//! over a TCP or Unix socket.
+//!
+//! One thread, one connection at a time, one request line → one response
+//! line. The session behind the dispatch function is `&mut` state with
+//! no locks — serialization *is* the concurrency model, exactly like the
+//! engine's submission-order merges: answers depend only on the order
+//! requests arrive, never on scheduling.
+//!
+//! Malformed or unversioned lines are answered in the loop with the
+//! typed errors of [`crate::proto`]; the embedder's dispatch function
+//! only ever sees well-formed [`Request`]s.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+
+use crate::proto::{parse_request, Request};
+
+/// What the dispatch function returns: the response line (without
+/// newline) and whether the daemon should stop after sending it.
+pub struct Outcome {
+    /// The `cfs-api/1` response line.
+    pub response: String,
+    /// `true` to stop accepting after this response ([`Request::Shutdown`]).
+    pub shutdown: bool,
+}
+
+impl Outcome {
+    /// A keep-serving outcome.
+    pub fn reply(response: String) -> Self {
+        Self {
+            response,
+            shutdown: false,
+        }
+    }
+
+    /// A stop-after-this outcome.
+    pub fn last(response: String) -> Self {
+        Self {
+            response,
+            shutdown: true,
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// The daemon's listening socket.
+pub struct Server {
+    listener: Listener,
+}
+
+impl Server {
+    /// Binds a TCP listener (e.g. `127.0.0.1:4015`).
+    pub fn bind_tcp(addr: &str) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: Listener::Tcp(TcpListener::bind(addr)?),
+        })
+    }
+
+    /// Binds a Unix socket, replacing a stale socket file from a
+    /// previous daemon if one is in the way.
+    pub fn bind_unix(path: &Path) -> std::io::Result<Self> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        Ok(Self {
+            listener: Listener::Unix(UnixListener::bind(path)?),
+        })
+    }
+
+    /// The bound TCP address, when listening on TCP (useful with port 0).
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        match &self.listener {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(_) => None,
+        }
+    }
+
+    /// Runs the accept loop until a dispatch returns
+    /// [`Outcome::shutdown`] or accepting fails. Connection-level I/O
+    /// errors (a client hanging up mid-line) drop that connection and
+    /// keep serving.
+    pub fn serve(self, mut dispatch: impl FnMut(Request) -> Outcome) -> std::io::Result<()> {
+        match self.listener {
+            Listener::Tcp(listener) => {
+                for stream in listener.incoming() {
+                    let stream = stream?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    if serve_connection(reader, stream, &mut dispatch)? {
+                        return Ok(());
+                    }
+                }
+                Ok(())
+            }
+            Listener::Unix(listener) => {
+                for stream in listener.incoming() {
+                    let stream = stream?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    if serve_connection(reader, stream, &mut dispatch)? {
+                        return Ok(());
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Serves one connection; returns `Ok(true)` when a shutdown was
+/// requested and acknowledged.
+fn serve_connection<R: BufRead, W: Write>(
+    reader: R,
+    mut writer: W,
+    dispatch: &mut impl FnMut(Request) -> Outcome,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return Ok(false); // client hung up mid-line; keep serving
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match parse_request(&line) {
+            Err(e) => (e.to_response(), false),
+            Ok(req) => {
+                let outcome = dispatch(req);
+                (outcome.response, outcome.shutdown)
+            }
+        };
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return Ok(false); // client gone before the answer; keep serving
+        }
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Reply;
+
+    #[test]
+    fn connection_loop_answers_parse_errors_without_dispatch() {
+        let input = b"{nonsense\n{\"schema\":\"cfs-api/1\",\"op\":\"status\"}\n".to_vec();
+        let mut out = Vec::new();
+        let mut dispatched = 0;
+        let done = serve_connection(&input[..], &mut out, &mut |req| {
+            dispatched += 1;
+            assert_eq!(req, Request::Status);
+            Outcome::reply(Reply::ok().str("state", "serving").finish())
+        })
+        .unwrap();
+        assert!(!done);
+        assert_eq!(dispatched, 1, "malformed line must not reach dispatch");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"code\":\"bad_request\""));
+        assert!(lines[1].contains("\"state\":\"serving\""));
+    }
+
+    #[test]
+    fn shutdown_outcome_ends_the_loop_after_responding() {
+        let input =
+            b"{\"schema\":\"cfs-api/1\",\"op\":\"shutdown\"}\n{\"schema\":\"cfs-api/1\",\"op\":\"status\"}\n"
+                .to_vec();
+        let mut out = Vec::new();
+        let mut dispatched = 0;
+        let done = serve_connection(&input[..], &mut out, &mut |req| {
+            dispatched += 1;
+            match req {
+                Request::Shutdown => Outcome::last(Reply::ok().str("state", "stopping").finish()),
+                _ => Outcome::reply(Reply::ok().finish()),
+            }
+        })
+        .unwrap();
+        assert!(done);
+        assert_eq!(dispatched, 1, "requests after shutdown must not dispatch");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let input = b"\n  \n{\"schema\":\"cfs-api/1\",\"op\":\"status\"}\n".to_vec();
+        let mut out = Vec::new();
+        serve_connection(&input[..], &mut out, &mut |_| {
+            Outcome::reply(Reply::ok().finish())
+        })
+        .unwrap();
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 1);
+    }
+}

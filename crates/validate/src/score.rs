@@ -183,13 +183,13 @@ mod tests {
             &CampaignLimits::default(),
         );
 
-        let mut cfs = Cfs::builder(&engine, &kb)
+        let mut session = Cfs::builder(&engine, &kb)
             .vps(&vps)
             .ipasn(&ipasn)
-            .build()
+            .build_session()
             .expect("score: CFS dependencies are always set");
-        cfs.ingest(traces);
-        let report = cfs.run();
+        session.ingest(traces);
+        let report = session.into_report();
 
         let oracles = ValidationOracles::standard(&topo, &sources);
         let scored = score_report(&report, &oracles, &topo);

@@ -43,13 +43,13 @@ fn main() {
         &CampaignLimits::default(),
     );
 
-    let mut cfs = Cfs::builder(&engine, &kb)
+    let mut session = Cfs::builder(&engine, &kb)
         .vps(&vps)
         .ipasn(&ipasn)
-        .build()
+        .build_session()
         .expect("vps and ipasn are set");
-    cfs.ingest(traces);
-    let report = cfs.run();
+    session.ingest(traces);
+    let report = session.into_report();
 
     // Interfaces of the audited AS, by peering type.
     let by_kind = report.interfaces_by_kind(target);

@@ -58,13 +58,13 @@ fn main() {
             (day as u64) * 86_400_000, // one campaign per day
             &CampaignLimits::default(),
         );
-        let mut cfs = Cfs::builder(&engine, &kb)
+        let mut session = Cfs::builder(&engine, &kb)
             .vps(&vps)
             .ipasn(&ipasn)
-            .build()
+            .build_session()
             .expect("vps and ipasn are set");
-        cfs.ingest(traces);
-        let report = cfs.run();
+        session.ingest(traces);
+        let report = session.into_report();
         atlas.merge(&report);
         println!(
             "campaign {}: {} targets -> atlas now {} interfaces ({} resolved), {} interconnections",

@@ -39,13 +39,13 @@ fn main() {
         &CampaignLimits::default(),
     );
 
-    let mut cfs = Cfs::builder(&engine, &kb)
+    let mut session = Cfs::builder(&engine, &kb)
         .vps(&vps)
         .ipasn(&ipasn)
-        .build()
+        .build_session()
         .expect("vps and ipasn are set");
-    cfs.ingest(traces);
-    let report = cfs.run();
+    session.ingest(traces);
+    let report = session.into_report();
 
     // Attribute every resolved interconnection endpoint to its building.
     let mut links_in: BTreeMap<FacilityId, usize> = BTreeMap::new();

@@ -46,14 +46,15 @@ fn main() {
     );
     println!("bootstrap: {} traceroutes", traces.len());
 
-    // 5. Constrained Facility Search: classify, constrain, alias, chase.
-    let mut cfs = Cfs::builder(&engine, &kb)
+    // 5. Constrained Facility Search: classify, constrain, alias, chase —
+    //    run as a resident session (the `cfsd` API) converged once.
+    let mut session = Cfs::builder(&engine, &kb)
         .vps(&vps)
         .ipasn(&ipasn)
-        .build()
+        .build_session()
         .expect("vps and ipasn are set");
-    cfs.ingest(traces);
-    let report = cfs.run();
+    session.ingest(traces);
+    let report = session.into_report();
 
     println!(
         "\nCFS: resolved {}/{} peering interfaces ({:.1}%) in {} iterations, {} follow-up traceroutes",

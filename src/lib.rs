@@ -41,12 +41,21 @@
 //! let vp_ids: Vec<_> = vps.ids().collect();
 //! let traces = run_campaign(&engine, &vps, &vp_ids, &targets, 0, &CampaignLimits::default());
 //!
-//! // 5. Run Constrained Facility Search.
-//! let mut cfs = Cfs::builder(&engine, &kb).vps(&vps).ipasn(&ipasn).build().unwrap();
-//! cfs.ingest(traces);
-//! let report = cfs.run();
+//! // 5. Run Constrained Facility Search as a resident session: converge
+//! //    once, then query the cached report (and later absorb deltas via
+//! //    `CfsSession::apply_delta` without re-running the world).
+//! let mut session = Cfs::builder(&engine, &kb).vps(&vps).ipasn(&ipasn).build_session().unwrap();
+//! session.ingest(traces);
+//! let report = session.converge();
 //! println!("resolved {}/{} interfaces", report.resolved(), report.total());
+//! let probe = *report.interfaces.keys().next().unwrap();
+//! let answer = session.query(probe);
+//! println!("method {} (confidence {:.2})", answer.method, answer.confidence);
 //! ```
+//!
+//! The same session powers the `cfsd` daemon: `cfs serve --socket
+//! /tmp/cfsd.sock` keeps one resident and answers line-delimited
+//! `cfs-api/1` requests (see [`svc`] and `cfs query`).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -61,6 +70,7 @@ pub use cfs_geo as geo;
 pub use cfs_kb as kb;
 pub use cfs_net as net;
 pub use cfs_obs as obs;
+pub use cfs_svc as svc;
 pub use cfs_topology as topology;
 pub use cfs_traceroute as traceroute;
 pub use cfs_types as types;
@@ -70,10 +80,12 @@ pub use cfs_validate as validate;
 pub mod prelude {
     pub use cfs_chaos::{FaultPlan, FaultProfile, RetryPolicy};
     pub use cfs_core::{
-        Cfs, CfsBuilder, CfsConfig, CfsReport, DataQualityReport, InterconnectionAtlas,
-        IterationStats, RemoteTester, SearchOutcome,
+        canonical_trace, Cfs, CfsBuilder, CfsConfig, CfsReport, CfsSession, DataQualityReport,
+        Delta, DeltaOutcome, InterconnectionAtlas, IterationStats, QueryAnswer, RemoteTester,
+        SearchOutcome,
     };
     pub use cfs_kb::{degrade_sources, KbConfig, KnowledgeBase, PublicSources};
+    pub use cfs_svc::{Client, Endpoint, Reply, Request, Server};
     pub use cfs_topology::{Topology, TopologyConfig};
     pub use cfs_traceroute::{
         deploy_vantage_points, run_campaign, CampaignLimits, ChaosEngine, Engine, Platform,

@@ -16,13 +16,22 @@
 //! cfs profile  <file> [--top N]                   # render a --profile-json export
 //! cfs trace-diff <a> <b> [--json]                 # compare two exports
 //!              [--tolerance-pct N]                #   (trace or profile pairs)
+//! cfs serve    --socket PATH | --tcp ADDR         # resident cfsd daemon
+//!              [--scale S] [--seed N]             #   speaking cfs-api/1
+//!              [--campaigns N]                    #   + pre-ingested campaigns
+//! cfs query    --socket PATH | --tcp ADDR         # one cfs-api/1 roundtrip
+//!              <ip>|status|trace|shutdown         #   against a daemon
+//!              [--raw JSON] [--out FILE]
 //! ```
 
 use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use cfs::obs::{Monotonic, TraceRecorder};
 use cfs::prelude::*;
+use cfs::svc::{ApiError, Outcome};
+use cfs::traceroute::{ProbeService, Trace};
 use cfs_experiments::{Lab, Scale};
 
 fn main() {
@@ -59,6 +68,14 @@ fn main() {
             args.iter().any(|a| a == "--json"),
             flag_value(&args, "--tolerance-pct"),
         ),
+        "serve" => serve_cmd(
+            scale,
+            seed,
+            flag_value(&args, "--socket"),
+            flag_value(&args, "--tcp"),
+            flag_value(&args, "--campaigns"),
+        ),
+        "query" => query_cmd(&args),
         "help" | "--help" | "-h" => {
             print_help();
             0
@@ -98,6 +115,13 @@ fn print_help() {
          \x20            (--json for machine output; --tolerance-pct N for\n\
          \x20            profile durations, default 25; exit 0 same, 1 drift,\n\
          \x20            2 malformed)\n\
+         \x20 serve      resident cfsd daemon speaking line-delimited cfs-api/1\n\
+         \x20            over --socket PATH or --tcp ADDR; --campaigns N\n\
+         \x20            pre-ingests the deterministic follow-on campaigns 1..N\n\
+         \x20 query      one cfs-api/1 roundtrip against a daemon: an IPv4\n\
+         \x20            address, status, trace, or shutdown (or --raw JSON);\n\
+         \x20            --out FILE saves the payload; exit 0 ok, 3 transport\n\
+         \x20            error, 4 daemon error response\n\
          \x20 help       this message\n\n\
          paper tables/figures: cargo run -p cfs-experiments --bin all -- --scale paper"
     );
@@ -672,5 +696,369 @@ fn validate(scale: Scale, seed: Option<u64>) -> i32 {
             eprintln!("no validation coverage at this scale");
             1
         }
+    }
+}
+
+/// Follow-up-less configuration for resident sessions: `apply_delta`
+/// requires measurement-complete inputs (see `CfsSession::apply_delta`).
+fn service_config() -> CfsConfig {
+    CfsConfig {
+        followup_interfaces: 0,
+        ..CfsConfig::default()
+    }
+}
+
+/// Deterministic follow-on campaign *k*: every vantage point probes the
+/// standard targets at `k * 2h`. A pure function of `(world, k)`, so a
+/// daemon that pre-ingested `--campaigns N` at boot and one that absorbed
+/// the same numbers as `delta` requests hold identical inputs — and,
+/// by the session determinism contract, identical reports.
+fn serve_campaign(lab: &Lab, engine: &dyn ProbeService, k: u64) -> Vec<Trace> {
+    let targets: Vec<Ipv4Addr> = lab
+        .targets()
+        .iter()
+        .filter_map(|a| lab.topo.target_ip(*a).ok())
+        .collect();
+    let vp_ids: Vec<_> = lab.vps.ids().collect();
+    run_campaign(
+        engine,
+        &lab.vps,
+        &vp_ids,
+        &targets,
+        k * 7_200_000,
+        &CampaignLimits::default(),
+    )
+}
+
+/// `cfs serve`: provision a world, converge a resident session, and
+/// answer `cfs-api/1` requests until a `shutdown` arrives.
+fn serve_cmd(
+    scale: Scale,
+    seed: Option<u64>,
+    socket: Option<String>,
+    tcp: Option<String>,
+    campaigns: Option<String>,
+) -> i32 {
+    let campaigns: u64 = match campaigns.map(|c| c.parse::<u64>()) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--campaigns wants a number");
+            return 2;
+        }
+    };
+    // Bind before the (slow) world provisioning: early clients connect
+    // immediately and their requests queue until the loop starts.
+    let bound = match (&socket, &tcp) {
+        (Some(path), None) => Server::bind_unix(std::path::Path::new(path)),
+        (None, Some(addr)) => Server::bind_tcp(addr),
+        _ => {
+            eprintln!(
+                "usage: cfs serve --socket PATH | --tcp ADDR \
+                 [--scale S] [--seed N] [--campaigns N]"
+            );
+            return 2;
+        }
+    };
+    let server = match bound {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cfsd: failed to bind: {e}");
+            return 1;
+        }
+    };
+    match server.tcp_addr() {
+        Some(addr) => println!("cfsd: listening on {addr}"),
+        None => println!("cfsd: listening on {}", socket.as_deref().unwrap_or("?")),
+    }
+
+    let lab = provision(scale, seed);
+    let engine = Engine::new(&lab.topo);
+    let mut session = Cfs::builder(&engine, &lab.kb)
+        .vps(&lab.vps)
+        .ipasn(&lab.ipasn)
+        .config(service_config())
+        .build_session()
+        .expect("serve: CFS dependencies are always set");
+    session.ingest(lab.bootstrap_traces(&engine, None));
+    for k in 1..=campaigns {
+        session.ingest(serve_campaign(&lab, &engine, k));
+    }
+    lab.feed_bgp_sessions(&mut session, None);
+    session.converge();
+    // The daemon's view of the public sources: kb-flip deltas mutate it
+    // in place so consecutive flips compose.
+    let mut sources = lab.sources.clone();
+    {
+        let report = session.report().expect("converged above");
+        println!(
+            "cfsd: serving {} interfaces ({} resolved) at epoch {}",
+            report.total(),
+            report.resolved(),
+            session.epoch(),
+        );
+    }
+
+    match server.serve(|req| dispatch(req, &mut session, &lab, &engine, &mut sources)) {
+        Ok(()) => {
+            println!("cfsd: shutdown");
+            0
+        }
+        Err(e) => {
+            eprintln!("cfsd: {e}");
+            1
+        }
+    }
+}
+
+/// Answers one well-formed request against the resident session.
+fn dispatch(
+    req: Request,
+    session: &mut CfsSession<'_>,
+    lab: &Lab,
+    engine: &dyn ProbeService,
+    sources: &mut PublicSources,
+) -> Outcome {
+    match req {
+        Request::Status => {
+            let report = session.report().expect("serve converges before accepting");
+            Outcome::reply(
+                Reply::ok()
+                    .str("state", "serving")
+                    .u64("epoch", session.epoch())
+                    .u64("interfaces", report.total() as u64)
+                    .u64("resolved", report.resolved() as u64)
+                    .u64("links", report.links.len() as u64)
+                    .finish(),
+            )
+        }
+        Request::Query { iface } => Outcome::reply(answer_query(&iface, session, lab)),
+        Request::Trace => Outcome::reply(Reply::ok().raw("trace", &session.trace_json()).finish()),
+        Request::Shutdown => Outcome::last(
+            Reply::ok()
+                .str("state", "stopping")
+                .u64("epoch", session.epoch())
+                .finish(),
+        ),
+        Request::DeltaCampaign { campaign } => {
+            if campaign == 0 {
+                return Outcome::reply(
+                    ApiError::new(
+                        "bad_delta",
+                        "campaign numbers start at 1 (0 is the bootstrap campaign)",
+                    )
+                    .to_response(),
+                );
+            }
+            let traces = serve_campaign(lab, engine, campaign);
+            delta_reply(session.apply_delta(Delta::TracerouteBatch(traces)))
+        }
+        Request::DeltaKbFlip {
+            asn,
+            facility,
+            present,
+        } => {
+            let target = Asn(asn);
+            let facility = FacilityId::new(facility);
+            if facility.raw() as usize >= lab.topo.facilities.len() {
+                return Outcome::reply(
+                    ApiError::new("bad_delta", format!("no such facility: {facility}"))
+                        .to_response(),
+                );
+            }
+            let Some(rec) = sources.pdb_networks.get_mut(&target) else {
+                return Outcome::reply(
+                    ApiError::new(
+                        "bad_delta",
+                        format!("{target} has no PeeringDB record in this world"),
+                    )
+                    .to_response(),
+                );
+            };
+            // The assembled AS footprint is pdb ∪ NOC, so a flip must
+            // touch both sources or the merged footprint never changes.
+            rec.facilities.retain(|f| *f != facility);
+            if present {
+                rec.facilities.push(facility);
+                rec.facilities.sort_unstable();
+            }
+            if let Some(page) = sources.noc_pages.get_mut(&target) {
+                page.facilities.retain(|f| *f != facility);
+                if present {
+                    page.facilities.push(facility);
+                    page.facilities.sort_unstable();
+                }
+            }
+            let kb2 = KnowledgeBase::assemble(sources, &lab.topo.world);
+            delta_reply(session.apply_delta(Delta::KbEpochFlip(Arc::new(kb2))))
+        }
+        Request::DeltaVpStatus { vp, up } => {
+            let vp = cfs::types::VantagePointId::new(vp);
+            if !lab.vps.ids().any(|i| i == vp) {
+                return Outcome::reply(
+                    ApiError::new("bad_delta", format!("no such vantage point: {vp}"))
+                        .to_response(),
+                );
+            }
+            delta_reply(session.apply_delta(Delta::VpStatusChange { vp, up }))
+        }
+    }
+}
+
+/// Renders a `DeltaOutcome` (or the engine's refusal) as a response.
+fn delta_reply(result: cfs::types::Result<DeltaOutcome>) -> Outcome {
+    match result {
+        Ok(o) => Outcome::reply(
+            Reply::ok()
+                .u64("epoch", o.epoch)
+                .u64("dirty", o.dirty as u64)
+                .u64("reconverged", o.reconverged as u64)
+                .u64("total", o.total as u64)
+                .finish(),
+        ),
+        Err(e) => Outcome::reply(ApiError::new("internal", e.to_string()).to_response()),
+    }
+}
+
+/// Answers a `query` op: `bad_iface` when the address does not parse,
+/// `unknown_iface` when the session never observed it, otherwise the
+/// facility/method/confidence verdict from the cached report.
+fn answer_query(iface: &str, session: &CfsSession<'_>, lab: &Lab) -> String {
+    let Ok(ip) = iface.parse::<Ipv4Addr>() else {
+        return ApiError::new("bad_iface", format!("not an IPv4 address: {iface:?}")).to_response();
+    };
+    let tracked = session
+        .report()
+        .is_some_and(|r| r.interfaces.contains_key(&ip));
+    if !tracked {
+        return ApiError::new(
+            "unknown_iface",
+            format!("{ip} was never observed by this session"),
+        )
+        .to_response();
+    }
+    let a = session.query(ip);
+    Reply::ok()
+        .str("iface", &ip.to_string())
+        .opt_u64("owner", a.owner.map(|x| u64::from(x.raw())))
+        .opt_str(
+            "facility",
+            a.facility.map(|f| lab.topo.facilities[f].name.as_str()),
+        )
+        .opt_str(
+            "metro",
+            a.metro.map(|m| lab.topo.world.metro(m).name.as_str()),
+        )
+        .u64("candidates", a.candidates as u64)
+        .str("outcome", &format!("{:?}", a.outcome))
+        .str("method", a.method)
+        .f64("confidence", a.confidence)
+        .u64("epoch", a.epoch)
+        .finish()
+}
+
+/// `cfs query`: one request/response roundtrip against a running daemon.
+/// Exit 0 on an `ok:true` response, 2 on usage errors, 3 on transport
+/// failures, 4 when the daemon answers with a typed error.
+fn query_cmd(args: &[String]) -> i32 {
+    let socket = flag_value(args, "--socket");
+    let tcp = flag_value(args, "--tcp");
+    let usage = "usage: cfs query --socket PATH | --tcp ADDR \
+                 <ip>|status|trace|shutdown [--raw JSON] [--out FILE]";
+    let endpoint = match (&socket, &tcp) {
+        (Some(p), None) => Endpoint::Unix(std::path::PathBuf::from(p)),
+        (None, Some(a)) => Endpoint::Tcp(a.clone()),
+        _ => {
+            eprintln!("{usage}");
+            return 2;
+        }
+    };
+    let request = match flag_value(args, "--raw") {
+        Some(line) => line,
+        None => {
+            // First non-flag token after the command is the subject.
+            let mut subject = None;
+            let mut i = 2;
+            while i < args.len() {
+                if args[i].starts_with("--") {
+                    i += 2; // every query flag takes a value
+                } else {
+                    subject = Some(args[i].as_str());
+                    break;
+                }
+            }
+            match subject {
+                Some("status") => {
+                    format!("{{\"schema\":\"{}\",\"op\":\"status\"}}", cfs::svc::SCHEMA)
+                }
+                Some("trace") => {
+                    format!("{{\"schema\":\"{}\",\"op\":\"trace\"}}", cfs::svc::SCHEMA)
+                }
+                Some("shutdown") => {
+                    format!(
+                        "{{\"schema\":\"{}\",\"op\":\"shutdown\"}}",
+                        cfs::svc::SCHEMA
+                    )
+                }
+                Some(ip) => format!(
+                    "{{\"schema\":\"{}\",\"op\":\"query\",\"iface\":\"{ip}\"}}",
+                    cfs::svc::SCHEMA
+                ),
+                None => {
+                    eprintln!("{usage}");
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let mut client = match Client::connect(&endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to connect: {e}");
+            return 3;
+        }
+    };
+    let response = match client.roundtrip(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("transport error: {e}");
+            return 3;
+        }
+    };
+    let ok = serde_json::from_str::<serde_json::Value>(&response)
+        .ok()
+        .and_then(|v| v.get("ok")?.as_bool())
+        == Some(true);
+    // A trace reply wraps a complete cfs-trace/1 document; peel the
+    // envelope so --out writes something trace-validate/trace-diff accept
+    // byte-for-byte (the inner digest must not shift).
+    let trace_prefix = format!(
+        "{{\"schema\":\"{}\",\"ok\":true,\"trace\":",
+        cfs::svc::SCHEMA
+    );
+    let payload = if ok {
+        response
+            .strip_prefix(trace_prefix.as_str())
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or(&response)
+            .to_string()
+    } else {
+        response.clone()
+    };
+    match flag_value(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &payload) {
+                eprintln!("failed to write {path}: {e}");
+                return 1;
+            }
+            println!("wrote response payload to {path}");
+        }
+        None => println!("{payload}"),
+    }
+    if ok {
+        0
+    } else {
+        4
     }
 }

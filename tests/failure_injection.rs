@@ -26,13 +26,13 @@ fn run_with_engine(topo: &Topology, engine: &Engine<'_>) -> cfs::core::CfsReport
         &CampaignLimits::default(),
     );
 
-    let mut cfs = Cfs::builder(engine, &kb)
+    let mut session = Cfs::builder(engine, &kb)
         .vps(&vps)
         .ipasn(&ipasn)
-        .build()
+        .build_session()
         .unwrap();
-    cfs.ingest(traces);
-    cfs.run()
+    session.ingest(traces);
+    session.into_report()
 }
 
 fn accuracy(topo: &Topology, report: &cfs::core::CfsReport) -> (usize, usize) {

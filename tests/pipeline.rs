@@ -26,13 +26,13 @@ fn pipeline(seed: u64) -> (Topology, PublicSources, cfs::core::CfsReport) {
         &CampaignLimits::default(),
     );
 
-    let mut cfs = Cfs::builder(&engine, &kb)
+    let mut session = Cfs::builder(&engine, &kb)
         .vps(&vps)
         .ipasn(&ipasn)
-        .build()
+        .build_session()
         .unwrap();
-    cfs.ingest(traces);
-    let report = cfs.run();
+    session.ingest(traces);
+    let report = session.into_report();
     (topo, sources, report)
 }
 
