@@ -147,8 +147,17 @@ pub fn scan(src: &str) -> ScannedFile {
             }
             State::Str { byte: _ } => {
                 if c == '\\' {
-                    masked.push_str("  ");
-                    i += 2;
+                    if chars.get(i + 1) == Some(&'\n') {
+                        // Line continuation (`"…\` at end of line): mask
+                        // only the backslash and let the newline take
+                        // the normal path, or every line after this
+                        // string shifts against the raw source.
+                        masked.push(' ');
+                        i += 1;
+                    } else {
+                        masked.push_str("  ");
+                        i += 2;
+                    }
                 } else if c == '"' {
                     masked.push('"');
                     i += 1;
@@ -279,6 +288,13 @@ mod tests {
         let s = scan("let x = r#\"Instant::now()\"#; let c = 'a'; let lt: &'static str = \"\";");
         assert!(!s.code[0].contains("Instant"));
         assert!(s.code[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbering() {
+        let s = scan("let h = \"first\\\n    second\";\nlet after = 1;\n");
+        assert_eq!(s.code.len(), 4, "{:?}", s.code);
+        assert_eq!(s.code[2], "let after = 1;");
     }
 
     #[test]

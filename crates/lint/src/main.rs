@@ -2,18 +2,58 @@
 //!
 //! ```text
 //! cargo run -p cfs-lint -- check [--json] [--root <dir>]
+//! cargo run -p cfs-lint -- fix [--check] [--root <dir>]
+//! cargo run -p cfs-lint -- graph [--json] [--root <dir>]
 //! cargo run -p cfs-lint -- rules
 //! ```
 //!
 //! Exit codes are part of the contract (CI keys off them):
-//! `0` clean, `1` findings, `2` usage or I/O error.
+//! `0` clean, `1` findings (for `fix --check`: would change files),
+//! `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cfs-lint <check [--json] [--root <dir>] | rules>");
+    eprintln!(
+        "usage: cfs-lint <check [--json] [--root <dir>] | fix [--check] [--root <dir>] | graph [--json] [--root <dir>] | rules>"
+    );
     ExitCode::from(2)
+}
+
+/// Parses the shared `[--json|--check] [--root <dir>]` tail and
+/// resolves the workspace root. `Err` carries the exit code.
+fn parse_common(args: &[String], flag: Option<&str>) -> Result<(bool, PathBuf), ExitCode> {
+    let mut flag_set = false;
+    let mut root: Option<PathBuf> = None;
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            f if Some(f) == flag => flag_set = true,
+            "--root" => match rest.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return Err(usage()),
+            },
+            _ => return Err(usage()),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| {
+                eprintln!("cfs-lint: cannot determine working directory: {e}");
+                ExitCode::from(2)
+            })?;
+            match cfs_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("cfs-lint: no workspace root found above {}", cwd.display());
+                    return Err(ExitCode::from(2));
+                }
+            }
+        }
+    };
+    Ok((flag_set, root))
 }
 
 fn main() -> ExitCode {
@@ -29,37 +69,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "check" => {
-            let mut json = false;
-            let mut root: Option<PathBuf> = None;
-            let mut rest = args[1..].iter();
-            while let Some(a) = rest.next() {
-                match a.as_str() {
-                    "--json" => json = true,
-                    "--root" => match rest.next() {
-                        Some(dir) => root = Some(PathBuf::from(dir)),
-                        None => return usage(),
-                    },
-                    _ => return usage(),
-                }
-            }
-            let root = match root {
-                Some(r) => r,
-                None => {
-                    let cwd = match std::env::current_dir() {
-                        Ok(c) => c,
-                        Err(e) => {
-                            eprintln!("cfs-lint: cannot determine working directory: {e}");
-                            return ExitCode::from(2);
-                        }
-                    };
-                    match cfs_lint::find_workspace_root(&cwd) {
-                        Some(r) => r,
-                        None => {
-                            eprintln!("cfs-lint: no workspace root found above {}", cwd.display());
-                            return ExitCode::from(2);
-                        }
-                    }
-                }
+            let (json, root) = match parse_common(&args[1..], Some("--json")) {
+                Ok(v) => v,
+                Err(code) => return code,
             };
             let files = match cfs_lint::collect_files(&root) {
                 Ok(f) => f,
@@ -85,6 +97,68 @@ fn main() -> ExitCode {
             } else {
                 ExitCode::FAILURE
             }
+        }
+        "fix" => {
+            let (check_only, root) = match parse_common(&args[1..], Some("--check")) {
+                Ok(v) => v,
+                Err(code) => return code,
+            };
+            let plan = match cfs_lint::plan_fixes(&root) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!(
+                        "cfs-lint: planning fixes for {} failed: {e}",
+                        root.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            if plan.is_empty() {
+                println!("cfs-lint fix: nothing to fix");
+                return ExitCode::SUCCESS;
+            }
+            for fix in &plan {
+                println!("{}", fix.describe());
+            }
+            if check_only {
+                eprintln!(
+                    "cfs-lint fix --check: {} fix(es) pending; run `cfs-lint fix` to apply",
+                    plan.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            match cfs_lint::apply_fixes(&root, &plan) {
+                Ok(changed) => {
+                    println!("cfs-lint fix: rewrote {changed} file(s)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cfs-lint: applying fixes failed: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "graph" => {
+            let (json, root) = match parse_common(&args[1..], Some("--json")) {
+                Ok(v) => v,
+                Err(code) => return code,
+            };
+            let ws = match cfs_lint::load_workspace(&root) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("cfs-lint: loading {} failed: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let dump = cfs_lint::render_graph_json(&ws);
+            if json {
+                println!("{dump}");
+            } else {
+                // The human view is the same document, one top-level
+                // member per line — still deterministic, just skimmable.
+                println!("{}", dump.replace(",\"", ",\n\""));
+            }
+            ExitCode::SUCCESS
         }
         _ => usage(),
     }

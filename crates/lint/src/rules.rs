@@ -22,6 +22,10 @@ pub enum Target {
     Example,
     /// `benches/`, or anything in the dedicated `bench` crate.
     Bench,
+    /// `vendor/<stub>/src/` — the vendored dependency stubs. Only the
+    /// `vendor-surface` rule applies: stub APIs must not leak ambient
+    /// entropy or wall time into workspace code that calls them.
+    Vendor,
 }
 
 /// Classification of one workspace-relative path.
@@ -39,9 +43,21 @@ pub struct FileCtx {
 const SEND_CRATES: &[&str] = &["types", "net", "kb", "traceroute", "alias", "core"];
 
 /// Classifies a workspace-relative, `/`-separated path. Returns `None`
-/// for files the linter does not reason about (vendored code is never
-/// passed in; unknown layouts are skipped).
+/// for files the linter does not reason about (unknown layouts are
+/// skipped). Vendored stubs classify as [`Target::Vendor`] so the
+/// `vendor-surface` rule can see their public surface; no other rule
+/// applies to them.
 pub fn classify(rel: &str) -> Option<FileCtx> {
+    if let Some(r) = rel.strip_prefix("vendor/") {
+        let (name, rest) = r.split_once('/')?;
+        if rest.starts_with("src/") && rest.ends_with(".rs") {
+            return Some(FileCtx {
+                crate_name: name.to_owned(),
+                target: Target::Vendor,
+            });
+        }
+        return None;
+    }
     let (crate_name, rest) = if let Some(r) = rel.strip_prefix("crates/") {
         let (name, rest) = r.split_once('/')?;
         (name.to_owned(), rest)
@@ -97,6 +113,18 @@ pub const RULES: &[RuleInfo] = &[
         summary: "randomness must come from the seeded topology RNG, never ambient entropy",
     },
     RuleInfo {
+        name: "api-drift",
+        summary: "every cfs-api/1 surface (parser, request literals, DESIGN.md §10) must agree",
+    },
+    RuleInfo {
+        name: "determinism-race",
+        summary: "scoped-worker closures must not mutate captures, lock, or iterate unordered containers",
+    },
+    RuleInfo {
+        name: "panic-reachability",
+        summary: "no panic site may be reachable from the cfsd request loop; answer typed errors",
+    },
+    RuleInfo {
         name: "raw-sleep",
         summary: "thread::sleep/spin loops stall real time; schedule on the virtual clock instead",
     },
@@ -127,6 +155,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "unwrap-in-lib",
         summary: "library code must not panic: no bare unwrap(), expect() needs a literal message",
+    },
+    RuleInfo {
+        name: "vendor-surface",
+        summary: "vendored stub APIs must not leak ambient entropy or wall time (sanctioned paths excepted)",
     },
     RuleInfo {
         name: "wall-clock",
@@ -220,6 +252,29 @@ pub fn parse_directives(scanned: &ScannedFile) -> Vec<Directive> {
     out
 }
 
+/// `(path prefix, token)` pairs exempt from `vendor-surface`: stub
+/// surfaces that intentionally mirror an upstream API whose contract
+/// includes the token. Criterion's measurement loop *is* wall-clock
+/// timing; everything it reports is already quarantined in
+/// `crates/bench` by the `wall-clock` rule on the workspace side.
+const VENDOR_SANCTIONED: &[(&str, &str)] = &[("vendor/criterion/", "Instant::now")];
+
+/// Tokens a vendored stub's surface must not expose: the same ambient
+/// entropy and wall-time vocabulary the workspace rules ban, because a
+/// stub that reaches for them smuggles nondeterminism *under* the
+/// seeded-RNG and virtual-clock rules (workspace code calling a clean-
+/// looking stub API would still lint clean).
+const VENDOR_TOKENS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "rand::random",
+    "getrandom",
+    "Instant::now",
+    "SystemTime::now",
+];
+
 /// Runs every applicable rule over one masked line, appending findings.
 fn check_line(
     ctx: &FileCtx,
@@ -240,6 +295,31 @@ fn check_line(
             message,
         });
     };
+
+    // Vendored stubs get exactly one rule — their surface must stay as
+    // deterministic as the workspace that calls it — and none of the
+    // workspace-layout rules (a stub legitimately uses HashMap, spawns
+    // threads, whatever its upstream API requires).
+    if ctx.target == Target::Vendor {
+        if in_test {
+            return;
+        }
+        for needle in VENDOR_TOKENS {
+            for col in find_tokens(line, needle, true) {
+                let sanctioned = VENDOR_SANCTIONED
+                    .iter()
+                    .any(|(prefix, tok)| tok == needle && path.starts_with(prefix));
+                if !sanctioned {
+                    push(
+                        col,
+                        "vendor-surface",
+                        format!("vendored stub surface uses `{needle}`; stubs must be pure functions of their inputs (or get a sanctioned-path entry with a reason)"),
+                    );
+                }
+            }
+        }
+        return;
+    }
 
     // unordered-iteration: deterministic reports need deterministic
     // iteration; std's hashed containers are banned from non-test
@@ -390,20 +470,16 @@ fn check_line(
     }
 }
 
-/// Lints one file: scans it, runs the rules, applies suppressions, and
-/// reports unjustified or malformed directives.
-pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let Some(ctx) = classify(rel_path) else {
-        return Vec::new();
-    };
-    let scanned = scan(source);
-    let directives = parse_directives(&scanned);
-
+/// The token-layer pass: every lexical rule over one scanned file.
+/// No suppression happens here — [`finish_file`] applies directives
+/// after the workspace-level semantic rules have contributed their
+/// findings for the same file.
+pub fn lexical_findings(ctx: &FileCtx, rel_path: &str, scanned: &ScannedFile) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (lineno, line) in scanned.code.iter().enumerate() {
         let next = scanned.code.get(lineno + 1).map(String::as_str);
         check_line(
-            &ctx,
+            ctx,
             rel_path,
             lineno,
             line,
@@ -412,6 +488,14 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
             &mut findings,
         );
     }
+    findings
+}
+
+/// Applies one file's suppression directives to its merged findings
+/// (lexical + semantic) and appends the directive-hygiene findings.
+pub fn finish_file(rel_path: &str, scanned: &ScannedFile, findings: Vec<Finding>) -> Vec<Finding> {
+    let directives = parse_directives(scanned);
+    let mut findings = findings;
 
     // Apply suppressions: a directive clears findings of the named
     // rules on its target line, and each `(directive, rule)` pair
@@ -480,6 +564,19 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
+/// Lints one file standalone: scan, lexical rules, suppression,
+/// hygiene. The semantic rules need the whole workspace and live in
+/// [`crate::check_workspace`]; this entry point is what fixtures and
+/// unit tests use for single-file behavior.
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let Some(ctx) = classify(rel_path) else {
+        return Vec::new();
+    };
+    let scanned = scan(source);
+    let findings = lexical_findings(&ctx, rel_path, &scanned);
+    finish_file(rel_path, &scanned, findings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +606,33 @@ mod tests {
         assert_eq!(classify("src/main.rs").map(|c| c.target), Some(Target::Bin));
         assert_eq!(classify("src/lib.rs").map(|c| c.target), Some(Target::Lib));
         assert!(classify("README.md").is_none());
+        assert_eq!(
+            classify("vendor/rand/src/lib.rs").map(|c| c.target),
+            Some(Target::Vendor)
+        );
+        assert_eq!(
+            classify("vendor/rand/src/lib.rs").map(|c| c.crate_name),
+            Some("rand".to_owned())
+        );
+        assert!(classify("vendor/rand/Cargo.toml").is_none());
+    }
+
+    #[test]
+    fn vendor_surface_bans_entropy_but_not_layout_rules() {
+        // A stub may use HashMap and spawn threads (its upstream API may
+        // demand it); what it may not do is read entropy or wall time.
+        let src = "use std::collections::HashMap;\nfn f() { let r = OsRng; let t = std::time::Instant::now(); }\n";
+        let f = check_source("vendor/rand/src/lib.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "vendor-surface"));
+    }
+
+    #[test]
+    fn criterion_wall_clock_is_sanctioned() {
+        let src = "fn bench() { let start = Instant::now(); }\n";
+        assert!(check_source("vendor/criterion/src/lib.rs", src).is_empty());
+        let f = check_source("vendor/crossbeam/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Keeps `clippy.toml` honest: its disallowed-types/-methods lists
+//! mirror the mechanical subset of the cfs-lint catalog, and each entry
+//! declares which rule it mirrors via a `(cfs-lint: <rule>)` suffix in
+//! its reason string. This test fails when an entry names a rule the
+//! catalog dropped, or when a mechanical rule loses its clippy mirror.
+
+use std::collections::BTreeSet;
+
+use cfs_lint::RULES;
+
+/// The rules whose token set is simple enough for clippy's
+/// disallowed-lists to mirror; each must appear in clippy.toml at
+/// least once.
+const MIRRORED_RULES: &[&str] = &[
+    "rc-in-send-crate",
+    "raw-thread-spawn",
+    "unordered-iteration",
+    "wall-clock",
+];
+
+fn clippy_toml() -> String {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = cfs_lint::find_workspace_root(manifest).expect("workspace root above crates/lint");
+    std::fs::read_to_string(root.join("clippy.toml")).expect("clippy.toml exists at the root")
+}
+
+#[test]
+fn every_clippy_reason_names_a_cataloged_rule() {
+    let toml = clippy_toml();
+    let mut tagged = 0usize;
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut rest = toml.as_str();
+    while let Some(p) = rest.find("(cfs-lint: ") {
+        let tail = &rest[p + "(cfs-lint: ".len()..];
+        let close = tail.find(')').expect("(cfs-lint: …) tag is closed");
+        let rule = &tail[..close];
+        assert!(
+            RULES.iter().any(|r| r.name == rule),
+            "clippy.toml mirrors unknown rule `{rule}`"
+        );
+        if let Some(known) = MIRRORED_RULES.iter().find(|m| **m == rule) {
+            seen.insert(known);
+        }
+        tagged += 1;
+        rest = &tail[close..];
+    }
+    assert!(tagged >= MIRRORED_RULES.len(), "untagged clippy entries");
+    for rule in MIRRORED_RULES {
+        assert!(
+            seen.contains(rule),
+            "mechanical rule `{rule}` lost its clippy.toml mirror"
+        );
+    }
+}
+
+#[test]
+fn every_disallowed_entry_carries_a_rule_tag() {
+    // A disallowed entry without a `(cfs-lint: …)` tag is a mirror
+    // nobody can audit; each `path = …` line must carry one.
+    let toml = clippy_toml();
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with("{ path") {
+            assert!(
+                line.contains("(cfs-lint: "),
+                "clippy.toml entry missing its rule tag: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration tests for `cfs-lint fix`: the autofixer repairs exactly
+//! the mechanical findings, and a second run is a byte-level no-op.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use cfs_lint::{apply_fixes, check_workspace, plan_fixes};
+
+fn fixture_root(which: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(which)
+}
+
+/// Copies the dirty fixture tree into a fresh scratch dir (one per
+/// caller, so parallel tests never collide) and returns its root.
+fn scratch_copy(tag: &str) -> PathBuf {
+    let dst = std::env::temp_dir().join(format!("cfs-lint-fix-{}-{tag}", std::process::id()));
+    if dst.exists() {
+        fs::remove_dir_all(&dst).expect("stale scratch dir is removable");
+    }
+    copy_tree(&fixture_root("dirty"), &dst);
+    dst
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).expect("scratch dir is creatable");
+    for entry in fs::read_dir(src).expect("fixture tree is readable") {
+        let entry = entry.expect("fixture entry is readable");
+        let to = dst.join(entry.file_name());
+        if entry
+            .file_type()
+            .expect("fixture entry has a type")
+            .is_dir()
+        {
+            copy_tree(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).expect("fixture file is copyable");
+        }
+    }
+}
+
+/// Snapshot of every file's bytes under `root`, keyed by relative path.
+fn snapshot(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("scratch tree is readable") {
+            let path = entry.expect("scratch entry is readable").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("entry lives under root")
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, fs::read(&path).expect("scratch file is readable"));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn fix_repairs_exactly_the_mechanical_findings() {
+    let root = scratch_copy("repair");
+    let before = check_workspace(&root).expect("scratch tree lints");
+    let plan = plan_fixes(&root).expect("plan succeeds");
+    // The dirty tree has one bare unwrap and one stale allow.
+    assert_eq!(plan.len(), 2, "{plan:#?}");
+
+    let changed = apply_fixes(&root, &plan).expect("apply succeeds");
+    assert_eq!(changed, 2, "both planned files must be rewritten");
+
+    let after = check_workspace(&root).expect("fixed tree lints");
+    assert_eq!(
+        after.len(),
+        before.len() - 2,
+        "exactly the two mechanical findings disappear:\n{after:#?}"
+    );
+    assert!(!after.iter().any(|f| f.rule == "unused-allow"));
+    assert!(!after
+        .iter()
+        .any(|f| f.rule == "unwrap-in-lib" && f.message.starts_with("bare `.unwrap()`")));
+    // The non-literal expect() is not mechanical; it must survive.
+    assert!(after
+        .iter()
+        .any(|f| f.rule == "unwrap-in-lib" && f.message.contains("without a literal message")));
+
+    let fixed = fs::read_to_string(root.join("crates/kb/src/unwrap_in_lib.rs"))
+        .expect("fixed file is readable");
+    assert!(fixed.contains(".expect(\"cfs-lint fix: document this invariant\")"));
+    assert!(!fixed.contains(".unwrap();"));
+    let cleaned = fs::read_to_string(root.join("crates/core/src/unused_allow.rs"))
+        .expect("cleaned file is readable");
+    assert!(!cleaned.contains("cfs-lint: allow"));
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn second_fix_run_is_a_byte_level_no_op() {
+    let root = scratch_copy("idempotent");
+    let plan = plan_fixes(&root).expect("first plan succeeds");
+    assert!(!plan.is_empty());
+    apply_fixes(&root, &plan).expect("first apply succeeds");
+
+    let frozen = snapshot(&root);
+    let second = plan_fixes(&root).expect("second plan succeeds");
+    assert!(
+        second.is_empty(),
+        "after one application nothing is left to fix:\n{second:#?}"
+    );
+    apply_fixes(&root, &second).expect("empty apply succeeds");
+    assert_eq!(
+        snapshot(&root),
+        frozen,
+        "a second fix run must not change a single byte"
+    );
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn fix_check_exit_codes_track_pending_fixes() {
+    let bin = env!("CARGO_BIN_EXE_cfs-lint");
+    let root = scratch_copy("cli");
+    let check = |root: &Path| {
+        Command::new(bin)
+            .args(["fix", "--check", "--root"])
+            .arg(root)
+            .output()
+            .expect("cfs-lint binary runs")
+    };
+
+    let pending = check(&root);
+    assert_eq!(pending.status.code(), Some(1), "pending fixes must exit 1");
+    let listing = String::from_utf8_lossy(&pending.stdout).into_owned();
+    assert!(listing.contains("unwrap"), "{listing}");
+
+    let apply = Command::new(bin)
+        .args(["fix", "--root"])
+        .arg(&root)
+        .output()
+        .expect("cfs-lint binary runs");
+    assert_eq!(apply.status.code(), Some(0), "applying fixes exits 0");
+
+    let clean = check(&root);
+    assert_eq!(clean.status.code(), Some(0), "nothing pending must exit 0");
+
+    fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,19 @@
+// Fixture: `determinism-race` must fire five times inside the worker
+// closure — a mutation method on a captured Vec, two assignments to
+// captured variables, a `.lock()` acquisition, and an unordered
+// container. The `HashSet` line additionally trips the lexical
+// `unordered-iteration` rule (same token, two invariants).
+pub fn stage(chunks: &[&[u32]], shared: &Mutex<Vec<u32>>) {
+    crossbeam::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(move |_| {
+                for t in chunk {
+                    results.push(work(*t));
+                }
+                total += chunk.len();
+                let guard = shared.lock();
+                seen = HashSet::new();
+            });
+        }
+    });
+}

@@ -1,0 +1,20 @@
+// Fixture: the authoritative API surface of the dirty mini-workspace.
+// Accepts ops {status, query}, delta kind {kb-flip}; produces codes
+// {bad_request, unknown_op}. The drift lives in src/api_drift_use.rs
+// and DESIGN.md, which disagree with this file. `bad_request` is
+// produced here but missing from DESIGN.md's typed-codes list, so one
+// api-drift finding anchors on its producing line below.
+pub const SCHEMA: &str = "cfs-api/9";
+
+pub fn parse_request(op: &str, kind: &str) -> Result<u32, ApiError> {
+    match op {
+        "status" => Ok(1),
+        "query" => {
+            match kind {
+                "kb-flip" => Ok(2),
+                _ => Err(ApiError::new("bad_request", "unknown kind")),
+            }
+        }
+        _ => Err(ApiError::new("unknown_op", "unknown op")),
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: `panic-reachability` must fire twice — an indexing
+// expression in `handle` and a `panic!` in `decode`, both reachable
+// from the `serve` root. The panic in `offline_tool` is NOT reachable
+// from any root and must stay silent.
+pub fn serve(lines: &[String]) {
+    for line in lines {
+        handle(line);
+    }
+}
+
+fn handle(line: &str) {
+    let fields = split(line);
+    let first = fields[0];
+    decode(first);
+}
+
+fn decode(s: &str) {
+    panic!("bad request: {s}");
+}
+
+fn offline_tool() {
+    panic!("not reachable from the request loop");
+}

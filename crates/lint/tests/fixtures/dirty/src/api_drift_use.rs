@@ -1,0 +1,10 @@
+// Fixture: request builders that drifted from the authority — a stale
+// schema tag, an op the parser rejects, and an unknown delta kind.
+// Three api-drift findings, one per literal below.
+pub fn requests() -> Vec<String> {
+    vec![
+        "{\"schema\":\"cfs-api/8\",\"op\":\"status\"}".to_owned(),
+        "{\"op\":\"frobnicate\"}".to_owned(),
+        "{\"op\":\"query\",\"kind\":\"vp-status\"}".to_owned(),
+    ]
+}

@@ -1,0 +1,10 @@
+// Fixture: `vendor-surface` must fire twice — a vendored stub that
+// smuggles ambient entropy and wall time under the workspace rules.
+pub fn seed() -> u64 {
+    let mut r = thread_rng();
+    r.next_u64()
+}
+
+pub fn stamp_ms() -> u128 {
+    Instant::now().elapsed().as_millis()
+}

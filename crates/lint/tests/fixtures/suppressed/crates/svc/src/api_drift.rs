@@ -1,0 +1,18 @@
+// Fixture: the authoritative API surface of the suppressed
+// mini-workspace. DESIGN.md here agrees with it exactly; the one
+// drifted request literal lives in src/api_drift_use.rs under a
+// justified allow.
+pub const SCHEMA: &str = "cfs-api/9";
+
+pub fn parse_request(op: &str, kind: &str) -> Result<u32, ApiError> {
+    match op {
+        "status" => Ok(1),
+        "query" => {
+            match kind {
+                "kb-flip" => Ok(2),
+                _ => Err(ApiError::new("bad_request", "unknown kind")),
+            }
+        }
+        _ => Err(ApiError::new("unknown_op", "unknown op")),
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: justified suppressions silence `panic-reachability` on both
+// reachable sites. The unreachable panic needs (and carries) none.
+pub fn serve(lines: &[String]) {
+    for line in lines {
+        handle(line);
+    }
+}
+
+fn handle(line: &str) {
+    let fields = split(line);
+    let first = fields[0]; // cfs-lint: allow(panic-reachability) — fixture: split() yields at least one field by contract
+    decode(first);
+}
+
+fn decode(s: &str) {
+    panic!("bad request: {s}"); // cfs-lint: allow(panic-reachability) — fixture: demo of an acknowledged panic path
+}
+
+fn offline_tool() {
+    panic!("not reachable from the request loop");
+}

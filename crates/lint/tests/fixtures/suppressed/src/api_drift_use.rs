@@ -1,0 +1,8 @@
+// Fixture: one drifted request literal under a justified suppression;
+// the other literal agrees with the authority and needs none.
+pub fn requests() -> Vec<String> {
+    vec![
+        "{\"schema\":\"cfs-api/9\",\"op\":\"status\"}".to_owned(),
+        "{\"op\":\"frobnicate\"}".to_owned(), // cfs-lint: allow(api-drift) — fixture: migration shim kept one release for old daemons
+    ]
+}

@@ -1,0 +1,9 @@
+// Fixture: justified suppressions silence `vendor-surface`.
+pub fn seed() -> u64 {
+    let mut r = thread_rng(); // cfs-lint: allow(vendor-surface) — fixture: upstream API contract requires an entropy source
+    r.next_u64()
+}
+
+pub fn stamp_ms() -> u128 {
+    Instant::now().elapsed().as_millis() // cfs-lint: allow(vendor-surface) — fixture: upstream API reports wall time by definition
+}

@@ -40,14 +40,18 @@ fn dirty_tree_finding_inventory_is_exact() {
     let findings = check_workspace(&fixture_root("dirty")).expect("fixture tree is readable");
     let expected: &[(&str, usize)] = &[
         ("ambient-rng", 3),
+        ("api-drift", 9),
+        ("determinism-race", 5),
+        ("panic-reachability", 2),
         ("raw-sleep", 2),
         ("raw-socket", 2),
         ("raw-thread-spawn", 1),
         ("rc-in-send-crate", 2),
         ("unjustified-allow", 2),
-        ("unordered-iteration", 3),
+        ("unordered-iteration", 4),
         ("unused-allow", 1),
         ("unwrap-in-lib", 2),
+        ("vendor-surface", 2),
         ("wall-clock", 2),
     ];
     for (rule, n) in expected {
@@ -90,6 +94,32 @@ fn dirty_findings_point_at_real_lines() {
         "unjustified-allow"
     ));
     assert!(has("crates/core/src/unused_allow.rs", 5, "unused-allow"));
+    // Semantic rules anchor on real lines too: the worker closure's
+    // mutation, the reachable panic sites, the drifted request
+    // literals, and the vendored stub's entropy calls.
+    assert!(has(
+        "crates/core/src/determinism_race.rs",
+        11,
+        "determinism-race"
+    ));
+    assert!(has(
+        "crates/svc/src/panic_reachability.rs",
+        13,
+        "panic-reachability"
+    ));
+    assert!(has(
+        "crates/svc/src/panic_reachability.rs",
+        18,
+        "panic-reachability"
+    ));
+    assert!(has("src/api_drift_use.rs", 6, "api-drift"));
+    assert!(has("src/api_drift_use.rs", 7, "api-drift"));
+    assert!(has("vendor/evil/src/lib.rs", 4, "vendor-surface"));
+    assert!(has("vendor/evil/src/lib.rs", 9, "vendor-surface"));
+    // The unreachable panic in `offline_tool` must not be flagged.
+    assert!(!findings
+        .iter()
+        .any(|f| f.path.ends_with("panic_reachability.rs") && f.line > 19));
 }
 
 #[test]
@@ -107,8 +137,9 @@ fn json_output_is_byte_stable_across_runs() {
     let a = render_json(&check_workspace(&root).expect("first pass"));
     let b = render_json(&check_workspace(&root).expect("second pass"));
     assert_eq!(a, b);
-    assert!(a.starts_with("{\"findings\":["));
+    assert!(a.starts_with("{\"schema\":\"cfs-lint/1\",\"findings\":["));
     assert!(a.ends_with('}'));
+    assert!(cfs_lint::is_versioned_output(&a));
 }
 
 #[test]

@@ -155,7 +155,7 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are a subset of ASCII");
+            .map_err(|_| self.err("number bytes are not ASCII"))?;
         if raw.parse::<f64>().is_err() {
             return Err(format!("bad number {raw:?} at byte {start}"));
         }

@@ -821,7 +821,12 @@ fn dispatch(
 ) -> Outcome {
     match req {
         Request::Status => {
-            let report = session.report().expect("serve converges before accepting");
+            let Some(report) = session.report() else {
+                return Outcome::reply(
+                    ApiError::new("internal", "session has not converged a report yet")
+                        .to_response(),
+                );
+            };
             Outcome::reply(
                 Reply::ok()
                     .str("state", "serving")
@@ -943,7 +948,9 @@ fn answer_query(iface: &str, session: &CfsSession<'_>, lab: &Lab) -> String {
         .opt_u64("owner", a.owner.map(|x| u64::from(x.raw())))
         .opt_str(
             "facility",
-            a.facility.map(|f| lab.topo.facilities[f].name.as_str()),
+            a.facility
+                .and_then(|f| lab.topo.facilities.get(f))
+                .map(|fac| fac.name.as_str()),
         )
         .opt_str(
             "metro",
