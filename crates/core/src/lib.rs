@@ -51,4 +51,7 @@ pub use report::{
 };
 pub use session::{canonical_trace, CfsSession, Delta, DeltaOutcome, QueryAnswer};
 pub use state::{IfaceState, SearchOutcome, TrajectoryPoint};
-pub use telemetry::{render_profile_json, render_trace_json, PROFILE_SCHEMA, TRACE_SCHEMA};
+pub use telemetry::{
+    render_profile_json, render_trace_json, render_trace_json_with_shape, PROFILE_SCHEMA,
+    TRACE_SCHEMA,
+};

@@ -93,7 +93,32 @@ fn push_convergence(out: &mut String, conv: &ConvergenceTelemetry) {
 /// determinism test can compare files across thread counts — without
 /// parsing.
 pub fn render_trace_json(report: &CfsReport, snap: &TraceSnapshot) -> String {
-    let mut body = stable_body(snap);
+    render_with(report, snap, None)
+}
+
+/// [`render_trace_json`] with a run-shape fingerprint stamped into the
+/// body: `"shape"` is the FNV-1a 64 of a caller-chosen configuration
+/// string (scale, seed, fault plan, …), rendered as 16 hex digits
+/// immediately after the digest member — *inside* the digested body, so
+/// tampering with the shape invalidates the digest like any other
+/// member. `trace-diff --baseline-dir` keys golden selection on it.
+/// Consumers that predate the member (the validator, the diff engine's
+/// structural walk) skip unknown members, so shaped and shape-less
+/// documents interoperate.
+pub fn render_trace_json_with_shape(
+    report: &CfsReport,
+    snap: &TraceSnapshot,
+    shape: &str,
+) -> String {
+    render_with(report, snap, Some(shape))
+}
+
+fn render_with(report: &CfsReport, snap: &TraceSnapshot, shape: Option<&str>) -> String {
+    let mut body = String::new();
+    if let Some(shape) = shape {
+        body.push_str(&format!("\"shape\":\"{:016x}\",", fnv1a64(shape)));
+    }
+    body.push_str(&stable_body(snap));
     body.push_str(",\"convergence\":");
     push_convergence(&mut body, &report.convergence);
     body.push_str(",\"resolution_curve\":[");
@@ -174,6 +199,28 @@ mod tests {
         }
         assert!(!doc.contains("total_ns"), "durations leaked: {doc}");
         assert_eq!(doc, render_trace_json(&report(), &snapshot()));
+    }
+
+    #[test]
+    fn shape_member_is_digested_and_deterministic() {
+        let shaped = render_trace_json_with_shape(&report(), &snapshot(), "scale=tiny;seed=7");
+        let expected = format!(
+            "\"shape\":\"{:016x}\",\"counters\"",
+            fnv1a64("scale=tiny;seed=7")
+        );
+        assert!(shaped.contains(&expected), "{shaped}");
+        // The shape sits inside the digested body: same digest math as
+        // digest_matches_body, over a body that now leads with shape.
+        let digest_start = shaped.find("\"digest\":\"").unwrap() + "\"digest\":\"".len();
+        let digest_hex = &shaped[digest_start..digest_start + 16];
+        let body_start = shaped[digest_start..].find("\",").unwrap() + digest_start + 2;
+        let body = &shaped[body_start..shaped.len() - 1];
+        assert_eq!(format!("{:016x}", fnv1a64(body)), digest_hex);
+        // Different shape strings change the digest; shape-less rendering
+        // is untouched.
+        let other = render_trace_json_with_shape(&report(), &snapshot(), "scale=small;seed=7");
+        assert_ne!(shaped, other);
+        assert!(!render_trace_json(&report(), &snapshot()).contains("\"shape\""));
     }
 
     #[test]

@@ -167,7 +167,12 @@ fn wire_members<'a>(content: &'a str, key: &str) -> Vec<&'a str> {
         let vend = content[vstart..]
             .find('"')
             .map_or(content.len(), |q| vstart + q);
-        out.push(&content[vstart..vend]);
+        let value = &content[vstart..vend];
+        // A `{name}` interpolation is a runtime value, not a hard-coded
+        // wire literal — only fixed strings are held against the parser.
+        if !value.contains('{') {
+            out.push(value);
+        }
         from = vend;
     }
     out

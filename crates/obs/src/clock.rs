@@ -58,6 +58,17 @@ impl Clock for Monotonic {
     }
 }
 
+/// Parks the calling thread for `interval` of real time: the sanctioned
+/// pacing primitive for operator-facing polling loops (`cfs top`).
+///
+/// Pipeline and service code must never call this — pacing real time
+/// belongs to interactive frontends only, which is why it lives next to
+/// [`Monotonic`] in the one file the `raw-sleep`/`wall-clock` rules
+/// sanction.
+pub fn pace(interval: Duration) {
+    std::thread::sleep(interval);
+}
+
 /// A scripted clock: time advances only when the owner says so.
 ///
 /// Deterministic by construction — two runs that call

@@ -737,7 +737,7 @@ mod tests {
         }
         let mut doc = ProfileDoc {
             bounds: crate::profile::PROFILE_BOUNDS_NS.to_vec(),
-            spans: BTreeMap::new(),
+            ..ProfileDoc::default()
         };
         doc.spans.insert("stage.constrain".into(), stats);
         doc

@@ -64,6 +64,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub(crate) fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The number as `u64`, if this is an unsigned integer.
     pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {

@@ -38,20 +38,24 @@
 
 mod clock;
 pub mod diff;
+mod events;
 pub mod export;
 mod json;
 pub mod profile;
 mod recorder;
 mod trace;
+mod window;
 
-pub use clock::{Clock, Monotonic, Virtual};
+pub use clock::{pace, Clock, Monotonic, Virtual};
 pub use diff::{diff_docs, DiffError, DocDiff, ProfileDiff, TraceDiff};
+pub use events::{Event, EventKind, EventLog, Severity, LOG_SCHEMA};
 pub use profile::{
-    render_profile_json, render_profile_report, DurationStats, ProfileDoc, PROFILE_BOUNDS_NS,
-    PROFILE_SCHEMA,
+    render_profile_folded, render_profile_json, render_profile_report, DurationStats, ProfileDoc,
+    PROFILE_BOUNDS_NS, PROFILE_SCHEMA,
 };
 pub use recorder::{span, NoopRecorder, Recorder, SpanGuard, NOOP};
 pub use trace::{Histogram, SpanStats, TraceRecorder, TraceSnapshot, HISTOGRAM_BOUNDS};
+pub use window::{MetricsDoc, MetricsHistogram, MetricsWindow, WindowedRecorder, METRICS_SCHEMA};
 
 // The recorder crosses the engine's scoped-worker boundary; prove it at
 // compile time like `cfs-core` does for its substrate types.
@@ -60,6 +64,8 @@ fn _assert_send_sync() {
     fn sync<T: Sync + Send>() {}
     sync::<NoopRecorder>();
     sync::<TraceRecorder>();
+    sync::<WindowedRecorder>();
+    sync::<EventLog>();
     sync::<Monotonic>();
     sync::<Virtual>();
 }

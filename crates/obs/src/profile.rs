@@ -164,8 +164,15 @@ impl DurationStats {
 pub struct ProfileDoc {
     /// The `profile_le_ns` bounds the buckets are aligned to.
     pub bounds: Vec<u64>,
-    /// Duration statistics by span name.
+    /// Duration statistics by span name, merged across every shard.
     pub spans: BTreeMap<String, DurationStats>,
+    /// Pre-merge duration statistics keyed by shard id (stringified
+    /// shard index): where each span's time was actually spent,
+    /// thread by thread. Purely additional — `spans` already holds the
+    /// merged totals — and as thread-sensitive as every duration, so
+    /// the diff engine ignores it. Empty for documents predating the
+    /// member.
+    pub threads: BTreeMap<String, BTreeMap<String, DurationStats>>,
 }
 
 impl ProfileDoc {
@@ -177,6 +184,19 @@ impl ProfileDoc {
                 .durations
                 .iter()
                 .map(|(name, d)| ((*name).to_string(), d.clone()))
+                .collect(),
+            threads: snap
+                .duration_shards
+                .iter()
+                .map(|(shard, durations)| {
+                    (
+                        shard.to_string(),
+                        durations
+                            .iter()
+                            .map(|(name, d)| ((*name).to_string(), d.clone()))
+                            .collect(),
+                    )
+                })
                 .collect(),
         }
     }
@@ -200,35 +220,38 @@ impl ProfileDoc {
             .and_then(Json::as_obj)
             .ok_or("missing spans object")?
         {
-            let field = |key: &str| {
-                entry
-                    .get(key)
-                    .and_then(Json::as_u64)
-                    .ok_or(format!("span {name:?}: missing or non-integer {key}"))
-            };
-            let buckets = entry
-                .get("buckets")
-                .and_then(Json::to_u64_vec)
-                .ok_or(format!("span {name:?}: missing buckets"))?;
-            if buckets.len() != bounds.len() + 1 {
-                return Err(format!(
-                    "span {name:?}: {} buckets, want {}",
-                    buckets.len(),
-                    bounds.len() + 1
-                ));
-            }
             spans.insert(
                 name.clone(),
-                DurationStats {
-                    count: field("count")?,
-                    total_ns: field("total_ns")?,
-                    min_ns: field("min_ns")?,
-                    max_ns: field("max_ns")?,
-                    buckets,
-                },
+                parse_stats(entry, &format!("span {name:?}"), bounds.len())?,
             );
         }
-        Ok(Self { bounds, spans })
+        // Optional: documents predating the per-thread shard sidecar
+        // carry no threads member.
+        let mut threads = BTreeMap::new();
+        if let Some(shards) = doc.get("threads") {
+            for (shard, obj) in shards.as_obj().ok_or("threads member is not an object")? {
+                let mut per_span = BTreeMap::new();
+                for (name, entry) in obj
+                    .as_obj()
+                    .ok_or(format!("threads shard {shard:?} is not an object"))?
+                {
+                    per_span.insert(
+                        name.clone(),
+                        parse_stats(
+                            entry,
+                            &format!("threads shard {shard:?} span {name:?}"),
+                            bounds.len(),
+                        )?,
+                    );
+                }
+                threads.insert(shard.clone(), per_span);
+            }
+        }
+        Ok(Self {
+            bounds,
+            spans,
+            threads,
+        })
     }
 
     /// Renders the document. Byte-stable for a given value: maps
@@ -242,22 +265,69 @@ impl ProfileDoc {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "\"{name}\":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\
-                 \"p50_ns\":{},\"p99_ns\":{},\"buckets\":",
-                d.count,
-                d.total_ns,
-                d.min_ns,
-                d.max_ns,
-                d.quantile_ns(50),
-                d.quantile_ns(99),
-            ));
-            push_u64_list(&mut out, d.buckets.iter().copied());
+            push_stats_entry(&mut out, name, d);
+        }
+        out.push_str("},\"threads\":{");
+        for (i, (shard, per_span)) in self.threads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{shard}\":{{"));
+            for (j, (name, d)) in per_span.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_stats_entry(&mut out, name, d);
+            }
             out.push('}');
         }
         out.push_str("}}");
         out
     }
+}
+
+/// Parses one duration-statistics entry (a span's or a shard-span's).
+fn parse_stats(entry: &Json, at: &str, bounds_len: usize) -> Result<DurationStats, String> {
+    let field = |key: &str| {
+        entry
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("{at}: missing or non-integer {key}"))
+    };
+    let buckets = entry
+        .get("buckets")
+        .and_then(Json::to_u64_vec)
+        .ok_or(format!("{at}: missing buckets"))?;
+    if buckets.len() != bounds_len + 1 {
+        return Err(format!(
+            "{at}: {} buckets, want {}",
+            buckets.len(),
+            bounds_len + 1
+        ));
+    }
+    Ok(DurationStats {
+        count: field("count")?,
+        total_ns: field("total_ns")?,
+        min_ns: field("min_ns")?,
+        max_ns: field("max_ns")?,
+        buckets,
+    })
+}
+
+/// Renders one `"name":{count,…,buckets}` member (no trailing comma).
+fn push_stats_entry(out: &mut String, name: &str, d: &DurationStats) {
+    out.push_str(&format!(
+        "\"{name}\":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+         \"p50_ns\":{},\"p99_ns\":{},\"buckets\":",
+        d.count,
+        d.total_ns,
+        d.min_ns,
+        d.max_ns,
+        d.quantile_ns(50),
+        d.quantile_ns(99),
+    ));
+    push_u64_list(out, d.buckets.iter().copied());
+    out.push('}');
 }
 
 fn push_u64_list(out: &mut String, values: impl IntoIterator<Item = u64>) {
@@ -275,6 +345,50 @@ fn push_u64_list(out: &mut String, values: impl IntoIterator<Item = u64>) {
 /// `cfs run --profile-json` export).
 pub fn render_profile_json(snap: &TraceSnapshot) -> String {
     ProfileDoc::from_snapshot(snap).render()
+}
+
+/// Renders the profile as folded-stack lines, one per span:
+/// `root;child;leaf <self_ns>`, compatible with flamegraph collapse
+/// tooling (`flamegraph.pl`, inferno). The stack is the span's chain of
+/// ancestors in the static taxonomy; the value is *self* nanoseconds
+/// (total minus children present in the document, floored at zero) so
+/// stacking the lines reconstructs each parent's total. Lines are
+/// emitted in lexicographic stack order, so equal documents render
+/// equal bytes.
+pub fn render_profile_folded(doc: &ProfileDoc) -> String {
+    let parent_of = |name: &str| -> Option<&str> {
+        parent_candidates(name)
+            .iter()
+            .copied()
+            .find(|p| doc.spans.contains_key(*p))
+    };
+    let mut children_total: BTreeMap<&str, u64> = BTreeMap::new();
+    for (name, d) in &doc.spans {
+        if let Some(p) = parent_of(name) {
+            *children_total.entry(p).or_insert(0) += d.total_ns;
+        }
+    }
+    let mut lines: Vec<String> = Vec::new();
+    for (name, d) in &doc.spans {
+        // Walk ancestors leaf → root, then reverse into a stack string.
+        let mut chain = vec![name.as_str()];
+        let mut cursor = name.as_str();
+        while let Some(p) = parent_of(cursor) {
+            chain.push(p);
+            cursor = p;
+        }
+        chain.reverse();
+        let self_ns = d
+            .total_ns
+            .saturating_sub(children_total.get(name.as_str()).copied().unwrap_or(0));
+        lines.push(format!("{} {self_ns}", chain.join(";")));
+    }
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
 }
 
 /// The static span taxonomy: candidate parents for a span name, most
@@ -505,6 +619,52 @@ mod tests {
         // stage.remote nests under stage.constrain, two levels deep.
         assert!(report.contains("    stage.remote"), "{report}");
         assert!(report.contains("top 3 bottlenecks"), "{report}");
+    }
+
+    #[test]
+    fn folded_stacks_chain_the_taxonomy_and_carry_self_time() {
+        let doc = ProfileDoc::from_snapshot(&recorded_snapshot());
+        let folded = render_profile_folded(&doc);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(
+            lines.contains(&"cfs.run;cfs.iteration;stage.constrain;stage.remote 1600000"),
+            "{folded}"
+        );
+        // stage.constrain self = 4×900k − 4×400k (remote nests inside).
+        assert!(
+            lines.contains(&"cfs.run;cfs.iteration;stage.constrain 2000000"),
+            "{folded}"
+        );
+        // cfs.run self = 10ms − (4×2ms iteration + 0.1ms report).
+        assert!(lines.contains(&"cfs.run 1900000"), "{folded}");
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "folded lines are emitted sorted");
+        assert_eq!(render_profile_folded(&ProfileDoc::default()), "");
+    }
+
+    #[test]
+    fn threads_map_rides_the_sidecar_with_totals_unchanged() {
+        let snap = recorded_snapshot();
+        let doc = ProfileDoc::from_snapshot(&snap);
+        // Everything above was recorded from one thread → one shard,
+        // whose statistics must equal the merged spans.
+        assert_eq!(doc.threads.len(), 1, "{:?}", doc.threads.keys());
+        let only = doc.threads.values().next().expect("one shard");
+        let merged: BTreeMap<String, DurationStats> = doc.spans.clone();
+        assert_eq!(*only, merged, "single-shard stats equal the totals");
+        // And the member round-trips through the document bytes.
+        let rendered = doc.render();
+        assert!(rendered.contains("\"threads\":{\""), "{rendered}");
+        let reparsed = ProfileDoc::parse(&rendered).expect("parse with threads");
+        assert_eq!(doc, reparsed);
+        assert_eq!(rendered, reparsed.render());
+        // Documents predating the member still parse, threads empty.
+        let legacy = "{\"schema\":\"cfs-profile/1\",\"profile_le_ns\":[1],\"spans\":{}}";
+        assert!(ProfileDoc::parse(legacy)
+            .expect("legacy")
+            .threads
+            .is_empty());
     }
 
     #[test]

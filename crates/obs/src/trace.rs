@@ -109,6 +109,13 @@ pub struct TraceSnapshot {
     /// `cfs-profile/1` export and `--metrics` read these; the stable
     /// trace body never does (module docs).
     pub durations: BTreeMap<&'static str, DurationStats>,
+    /// The same duration statistics before merging, keyed by shard
+    /// index — the `cfs-profile/1` `threads` map. Which shard a thread
+    /// landed on is a process-wide round-robin artifact, so this map is
+    /// as thread-sensitive as the durations themselves: sidecar only,
+    /// never compared, never digested. Shards that timed nothing are
+    /// omitted.
+    pub duration_shards: BTreeMap<usize, BTreeMap<&'static str, DurationStats>>,
 }
 
 /// Process-wide round-robin of thread → shard assignments.
@@ -153,10 +160,13 @@ impl TraceRecorder {
     /// Merges every shard, in shard-index order, into one snapshot.
     pub fn snapshot(&self) -> TraceSnapshot {
         let mut out = TraceSnapshot::default();
-        for shard in &self.shards {
+        for (idx, shard) in self.shards.iter().enumerate() {
             let shard = shard
                 .lock()
                 .expect("obs shard mutex poisoned by a panicking recorder call");
+            if !shard.durations.is_empty() {
+                out.duration_shards.insert(idx, shard.durations.clone());
+            }
             for (name, v) in &shard.counters {
                 *out.counters.entry(name).or_insert(0) += v;
             }

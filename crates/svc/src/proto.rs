@@ -17,6 +17,8 @@
 //! | `delta`    | `kind: "campaign"`, `campaign`           | ingest deterministic campaign *k*    |
 //! | `delta`    | `kind: "vp-status"`, `vp`, `up`          | mark a vantage point down/up         |
 //! | `trace`    | —                                        | canonical `cfs-trace/1` document     |
+//! | `metrics`  | —                                        | `cfs-metrics/1` window snapshot      |
+//! | `events`   | `since` (optional, default 0)            | drain `cfs-log/1` events from cursor |
 //! | `shutdown` | —                                        | stop the daemon after responding     |
 //!
 //! ## Error codes
@@ -69,6 +71,15 @@ pub enum Request {
     },
     /// The canonical trace document for the current report.
     Trace,
+    /// The live `cfs-metrics/1` snapshot: rolling windows of counters,
+    /// histograms, and request latencies, plus merged totals.
+    Metrics,
+    /// Drain structured `cfs-log/1` events with sequence ≥ `since`.
+    Events {
+        /// The client's cursor: the first sequence number it has not
+        /// seen. `0` (the wire default) drains everything retained.
+        since: u64,
+    },
     /// Stop the daemon after acknowledging.
     Shutdown,
 }
@@ -141,6 +152,21 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
     match op {
         "status" => Ok(Request::Status),
         "trace" => Ok(Request::Trace),
+        "metrics" => Ok(Request::Metrics),
+        "events" => {
+            // `since` is optional (absent means "from the beginning")
+            // but when present it must be an unsigned integer.
+            let since = match doc.get("since") {
+                None => 0,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    ApiError::new(
+                        "bad_request",
+                        "member \"since\" must be an unsigned integer",
+                    )
+                })?,
+            };
+            Ok(Request::Events { since })
+        }
         "shutdown" => Ok(Request::Shutdown),
         "query" => {
             let iface = doc.get("iface").and_then(Json::as_str).ok_or_else(|| {
@@ -288,6 +314,18 @@ mod tests {
             Ok(Request::DeltaVpStatus { vp: 4, up: true })
         );
         assert_eq!(
+            parse_request(r#"{"schema":"cfs-api/1","op":"metrics"}"#),
+            Ok(Request::Metrics)
+        );
+        assert_eq!(
+            parse_request(r#"{"schema":"cfs-api/1","op":"events"}"#),
+            Ok(Request::Events { since: 0 })
+        );
+        assert_eq!(
+            parse_request(r#"{"schema":"cfs-api/1","op":"events","since":41}"#),
+            Ok(Request::Events { since: 41 })
+        );
+        assert_eq!(
             parse_request(r#"{"schema":"cfs-api/1","op":"shutdown"}"#),
             Ok(Request::Shutdown)
         );
@@ -339,6 +377,12 @@ mod tests {
                 .unwrap_err()
                 .code,
             "bad_delta"
+        );
+        assert_eq!(
+            parse_request(r#"{"schema":"cfs-api/1","op":"events","since":"yesterday"}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
         );
     }
 

@@ -13,22 +13,32 @@
 //! cfs census   [--scale S] [--seed N]             # remote-peering census
 //! cfs validate [--scale S] [--seed N]             # §6 validation scorecard
 //! cfs trace-validate <file>                       # check a --trace-json export
-//! cfs profile  <file> [--top N]                   # render a --profile-json export
+//! cfs profile  <file> [--top N] [--folded]        # render a --profile-json export
 //! cfs trace-diff <a> <b> [--json]                 # compare two exports
 //!              [--tolerance-pct N]                #   (trace or profile pairs)
+//!              [--baseline-dir DIR]               #   golden picked by run shape
+//! cfs metrics-validate <file>                     # check a cfs-metrics/1 snapshot
 //! cfs serve    --socket PATH | --tcp ADDR         # resident cfsd daemon
 //!              [--scale S] [--seed N]             #   speaking cfs-api/1
-//!              [--campaigns N]                    #   + pre-ingested campaigns
+//!              [--campaigns N] [--faults P]       #   + pre-ingested campaigns / chaos
+//!              [--log FILE] [--window-ms N]       #   + event sink / metrics windows
 //! cfs query    --socket PATH | --tcp ADDR         # one cfs-api/1 roundtrip
 //!              <ip>|status|trace|shutdown         #   against a daemon
 //!              [--raw JSON] [--out FILE]
+//! cfs metrics  --socket PATH | --tcp ADDR         # live cfs-metrics/1 snapshot
+//!              [--json] [--out FILE]
+//! cfs top      --socket PATH | --tcp ADDR         # polling terminal dashboard
+//!              [--interval-ms N] [--polls N]
 //! ```
 
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+use std::time::Duration;
 
-use cfs::obs::{Monotonic, TraceRecorder};
+use cfs::obs::{
+    pace, EventKind, EventLog, MetricsDoc, Monotonic, Recorder, TraceRecorder, WindowedRecorder,
+};
 use cfs::prelude::*;
 use cfs::svc::{ApiError, Outcome};
 use cfs::traceroute::{ProbeService, Trace};
@@ -61,21 +71,35 @@ fn main() {
         "census" => census(scale, seed),
         "validate" => validate(scale, seed),
         "trace-validate" => trace_validate(args.get(2).map(String::as_str)),
-        "profile" => profile_cmd(args.get(2).map(String::as_str), flag_value(&args, "--top")),
-        "trace-diff" => trace_diff(
+        "metrics-validate" => metrics_validate(args.get(2).map(String::as_str)),
+        "profile" => profile_cmd(
             args.get(2).map(String::as_str),
-            args.get(3).map(String::as_str),
-            args.iter().any(|a| a == "--json"),
-            flag_value(&args, "--tolerance-pct"),
+            flag_value(&args, "--top"),
+            args.iter().any(|a| a == "--folded"),
         ),
+        "trace-diff" => {
+            let pos = positionals(&args, &["--json"]);
+            trace_diff(
+                pos.first().copied(),
+                pos.get(1).copied(),
+                args.iter().any(|a| a == "--json"),
+                flag_value(&args, "--tolerance-pct"),
+                flag_value(&args, "--baseline-dir"),
+            )
+        }
         "serve" => serve_cmd(
             scale,
             seed,
             flag_value(&args, "--socket"),
             flag_value(&args, "--tcp"),
             flag_value(&args, "--campaigns"),
+            flag_value(&args, "--faults"),
+            flag_value(&args, "--log"),
+            flag_value(&args, "--window-ms"),
         ),
         "query" => query_cmd(&args),
+        "metrics" => metrics_cmd(&args),
+        "top" => top_cmd(&args),
         "help" | "--help" | "-h" => {
             print_help();
             0
@@ -110,18 +134,30 @@ fn print_help() {
          \x20 census     remote-peering census over the exchanges\n\
          \x20 validate   §6 validation scorecard\n\
          \x20 trace-validate FILE  check a --trace-json export (schema + digest)\n\
+         \x20 metrics-validate FILE  check a cfs-metrics/1 snapshot (schema +\n\
+         \x20            window/totals integrity)\n\
          \x20 profile FILE [--top N]  stage tree + bottlenecks of a profile export\n\
+         \x20            (--folded emits flamegraph-compatible folded stacks)\n\
          \x20 trace-diff A B  compare two trace or profile exports\n\
          \x20            (--json for machine output; --tolerance-pct N for\n\
          \x20            profile durations, default 25; exit 0 same, 1 drift,\n\
-         \x20            2 malformed)\n\
+         \x20            2 malformed); --baseline-dir DIR B picks the golden\n\
+         \x20            from DIR by the candidate's run shape\n\
          \x20 serve      resident cfsd daemon speaking line-delimited cfs-api/1\n\
          \x20            over --socket PATH or --tcp ADDR; --campaigns N\n\
-         \x20            pre-ingests the deterministic follow-on campaigns 1..N\n\
+         \x20            pre-ingests the deterministic follow-on campaigns 1..N;\n\
+         \x20            --faults P serves a chaos-degraded world; --log FILE\n\
+         \x20            streams cfs-log/1 events; --window-ms N sets the\n\
+         \x20            metrics window width (default 1000)\n\
          \x20 query      one cfs-api/1 roundtrip against a daemon: an IPv4\n\
          \x20            address, status, trace, or shutdown (or --raw JSON);\n\
          \x20            --out FILE saves the payload; exit 0 ok, 3 transport\n\
          \x20            error, 4 daemon error response\n\
+         \x20 metrics    fetch a live daemon's cfs-metrics/1 snapshot\n\
+         \x20            (--json for the raw document; --out FILE saves it)\n\
+         \x20 top        polling dashboard over a live daemon: request rates,\n\
+         \x20            per-op latency, delta churn, recent events\n\
+         \x20            (--interval-ms N, default 1000; --polls N to stop)\n\
          \x20 help       this message\n\n\
          paper tables/figures: cargo run -p cfs-experiments --bin all -- --scale paper"
     );
@@ -157,6 +193,24 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// The non-flag tokens after the command. Flags in `boolean` stand
+/// alone; every other `--flag` consumes the following token as its
+/// value.
+fn positionals<'a>(args: &'a [String], boolean: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 2;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            i += if boolean.contains(&a) { 1 } else { 2 };
+        } else {
+            out.push(a);
+            i += 1;
+        }
+    }
+    out
 }
 
 fn provision(scale: Scale, seed: Option<u64>) -> Lab {
@@ -328,7 +382,17 @@ fn run_cmd(
     if let Some(rec) = &recorder {
         let snap = rec.snapshot();
         if let Some(path) = &trace_json {
-            let doc = cfs::core::render_trace_json(&report, &snap);
+            // The shape fingerprint names the run configuration so
+            // `trace-diff --baseline-dir` can pair this export with the
+            // golden of the same shape. It is digested like any other
+            // member; two runs differ in shape iff their config differs.
+            let shape = format!(
+                "scale={};seed={};faults={}",
+                scale.label(),
+                lab.topo.config.seed,
+                faults.as_deref().unwrap_or("off")
+            );
+            let doc = cfs::core::render_trace_json_with_shape(&report, &snap, &shape);
             if let Err(e) = std::fs::write(path, &doc) {
                 eprintln!("failed to write {path}: {e}");
                 return 1;
@@ -351,10 +415,11 @@ fn run_cmd(
 }
 
 /// Renders a `cfs-profile/1` export as a stage tree with self/child
-/// time and a top-N bottleneck table.
-fn profile_cmd(path: Option<&str>, top: Option<String>) -> i32 {
+/// time and a top-N bottleneck table — or, with `--folded`, as
+/// folded-stack lines ready for flamegraph collapse tooling.
+fn profile_cmd(path: Option<&str>, top: Option<String>, folded: bool) -> i32 {
     let Some(path) = path else {
-        eprintln!("usage: cfs profile FILE [--top N]");
+        eprintln!("usage: cfs profile FILE [--top N] [--folded]");
         return 2;
     };
     let top_n = match top {
@@ -376,7 +441,11 @@ fn profile_cmd(path: Option<&str>, top: Option<String>) -> i32 {
     };
     match cfs::obs::ProfileDoc::parse(&raw) {
         Ok(doc) => {
-            print!("{}", cfs::obs::render_profile_report(&doc, top_n));
+            if folded {
+                print!("{}", cfs::obs::render_profile_folded(&doc));
+            } else {
+                print!("{}", cfs::obs::render_profile_report(&doc, top_n));
+            }
             0
         }
         Err(e) => {
@@ -386,13 +455,28 @@ fn profile_cmd(path: Option<&str>, top: Option<String>) -> i32 {
     }
 }
 
+/// The `shape` member of a trace document, when present: the run-shape
+/// fingerprint `cfs run` stamps next to the digest.
+fn trace_shape(raw: &str) -> Option<String> {
+    serde_json::from_str::<serde_json::Value>(raw)
+        .ok()?
+        .get("shape")?
+        .as_str()
+        .map(String::from)
+}
+
 /// Structurally compares two trace or profile exports. Exit 0 when
-/// identical within tolerance, 1 on drift, 2 on malformed input.
-fn trace_diff(a: Option<&str>, b: Option<&str>, json: bool, tolerance: Option<String>) -> i32 {
-    let (Some(a_path), Some(b_path)) = (a, b) else {
-        eprintln!("usage: cfs trace-diff A B [--json] [--tolerance-pct N]");
-        return 2;
-    };
+/// identical within tolerance, 1 on drift, 2 on malformed input. With
+/// `--baseline-dir`, the baseline is the one `*.json` in the directory
+/// whose `shape` fingerprint matches the candidate's — golden selection
+/// by run shape instead of exact path.
+fn trace_diff(
+    a: Option<&str>,
+    b: Option<&str>,
+    json: bool,
+    tolerance: Option<String>,
+    baseline_dir: Option<String>,
+) -> i32 {
     let tolerance_pct = match tolerance {
         None => 25,
         Some(raw) => match raw.parse() {
@@ -410,8 +494,72 @@ fn trace_diff(a: Option<&str>, b: Option<&str>, json: bool, tolerance: Option<St
             None
         }
     };
-    let (Some(a_raw), Some(b_raw)) = (read(a_path), read(b_path)) else {
-        return 2;
+    let (a_raw, b_raw) = if let Some(dir) = baseline_dir {
+        // One positional: the candidate. Its shape picks the golden.
+        let Some(b_path) = a else {
+            eprintln!("usage: cfs trace-diff --baseline-dir DIR B [--json] [--tolerance-pct N]");
+            return 2;
+        };
+        let Some(b_raw) = read(b_path) else {
+            return 2;
+        };
+        let Some(shape) = trace_shape(&b_raw) else {
+            eprintln!(
+                "{b_path} carries no \"shape\" member; --baseline-dir needs one \
+                 (re-export with a current `cfs run --trace-json`)"
+            );
+            return 2;
+        };
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(it) => it,
+            Err(e) => {
+                eprintln!("failed to read baseline dir {dir}: {e}");
+                return 2;
+            }
+        };
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        let mut matches: Vec<(String, String)> = Vec::new();
+        for path in paths {
+            let shown = path.display().to_string();
+            if let Ok(raw) = std::fs::read_to_string(&path) {
+                if trace_shape(&raw).as_deref() == Some(shape.as_str()) {
+                    matches.push((shown, raw));
+                }
+            }
+        }
+        match matches.len() {
+            0 => {
+                eprintln!("no baseline in {dir} has shape {shape} (candidate {b_path})");
+                return 2;
+            }
+            1 => {
+                let (golden_path, golden_raw) = matches.remove(0);
+                println!("baseline: {golden_path} (shape {shape})");
+                (golden_raw, b_raw)
+            }
+            _ => {
+                let names: Vec<&str> = matches.iter().map(|(p, _)| p.as_str()).collect();
+                eprintln!("shape {shape} is ambiguous in {dir}: {names:?}");
+                return 2;
+            }
+        }
+    } else {
+        let (Some(a_path), Some(b_path)) = (a, b) else {
+            eprintln!(
+                "usage: cfs trace-diff A B [--json] [--tolerance-pct N] \
+                 | cfs trace-diff --baseline-dir DIR B"
+            );
+            return 2;
+        };
+        let (Some(a_raw), Some(b_raw)) = (read(a_path), read(b_path)) else {
+            return 2;
+        };
+        (a_raw, b_raw)
     };
     match cfs::obs::diff_docs(&a_raw, &b_raw, tolerance_pct) {
         Ok(diff) => {
@@ -561,6 +709,33 @@ fn trace_validate(path: Option<&str>) -> i32 {
 
     if problems.is_empty() {
         println!("{path}: valid {} document", cfs::core::TRACE_SCHEMA);
+        0
+    } else {
+        for (section, p) in &problems {
+            eprintln!("invalid [{section}]: {p}");
+        }
+        1
+    }
+}
+
+/// `cfs metrics-validate`: check a saved `cfs-metrics/1` snapshot —
+/// schema header, window/bucket structure, and the totals-equals-merged-
+/// windows integrity invariant. Exit 0 valid, 1 invalid, 2 usage.
+fn metrics_validate(path: Option<&str>) -> i32 {
+    let Some(path) = path else {
+        eprintln!("usage: cfs metrics-validate FILE");
+        return 2;
+    };
+    let raw = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return 1;
+        }
+    };
+    let problems = MetricsDoc::validate(&raw);
+    if problems.is_empty() {
+        println!("{path}: valid {} document", cfs::obs::METRICS_SCHEMA);
         0
     } else {
         for (section, p) in &problems {
@@ -730,20 +905,64 @@ fn serve_campaign(lab: &Lab, engine: &dyn ProbeService, k: u64) -> Vec<Trace> {
     )
 }
 
+/// How many closed metrics windows the daemon retains (one minute at
+/// the default `--window-ms 1000`).
+const SERVE_WINDOWS_KEPT: usize = 60;
+
+/// How many events the daemon's in-memory ring retains.
+const SERVE_EVENT_CAP: usize = 256;
+
+/// The daemon's live telemetry, threaded through the dispatch loop:
+/// rolling metrics windows, the structured event log, and the last seen
+/// data-quality totals (so dq *increases* become events).
+struct ServeTelemetry {
+    windows: Arc<WindowedRecorder>,
+    events: EventLog,
+    breaker_trips: u64,
+    widened_interfaces: u64,
+}
+
+/// The span name timing one request's dispatch, by op.
+fn op_span_name(req: &Request) -> &'static str {
+    match req {
+        Request::Status => "api.status",
+        Request::Query { .. } => "api.query",
+        Request::DeltaKbFlip { .. }
+        | Request::DeltaCampaign { .. }
+        | Request::DeltaVpStatus { .. } => "api.delta",
+        Request::Trace => "api.trace",
+        Request::Metrics => "api.metrics",
+        Request::Events { .. } => "api.events",
+        Request::Shutdown => "api.shutdown",
+    }
+}
+
 /// `cfs serve`: provision a world, converge a resident session, and
 /// answer `cfs-api/1` requests until a `shutdown` arrives.
+#[allow(clippy::too_many_arguments)] // one flag per CLI switch, parsed in main
 fn serve_cmd(
     scale: Scale,
     seed: Option<u64>,
     socket: Option<String>,
     tcp: Option<String>,
     campaigns: Option<String>,
+    faults: Option<String>,
+    log_path: Option<String>,
+    window_ms: Option<String>,
 ) -> i32 {
     let campaigns: u64 = match campaigns.map(|c| c.parse::<u64>()) {
         None => 0,
         Some(Ok(n)) => n,
         Some(Err(_)) => {
             eprintln!("--campaigns wants a number");
+            return 2;
+        }
+    };
+    let window_ms: u64 = match window_ms.map(|w| w.parse::<u64>()) {
+        None => 1_000,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("--window-ms wants a positive number");
             return 2;
         }
     };
@@ -755,7 +974,8 @@ fn serve_cmd(
         _ => {
             eprintln!(
                 "usage: cfs serve --socket PATH | --tcp ADDR \
-                 [--scale S] [--seed N] [--campaigns N]"
+                 [--scale S] [--seed N] [--campaigns N] [--faults P] \
+                 [--log FILE] [--window-ms N]"
             );
             return 2;
         }
@@ -773,23 +993,76 @@ fn serve_cmd(
     }
 
     let lab = provision(scale, seed);
-    let engine = Engine::new(&lab.topo);
-    let mut session = Cfs::builder(&engine, &lab.kb)
+    let plan = match &faults {
+        Some(spec) => match FaultPlan::named(spec, lab.topo.config.seed) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!(
+                    "unknown fault profile {spec:?} (named: off, default, flaky, \
+                     blackout, stale-kb, mid-kb-refresh; compose with `+`)"
+                );
+                return 2;
+            }
+        },
+        None => None,
+    };
+    // The daemon's view of the public sources: kb-flip deltas mutate it
+    // in place so consecutive flips compose. Under --faults it starts
+    // from the chaos-degraded snapshot, exactly like a faulted batch run.
+    let mut sources = match &plan {
+        Some(p) => degrade_sources(&lab.sources, p),
+        None => lab.sources.clone(),
+    };
+    let engine_plain;
+    let engine_chaos;
+    let kb_degraded;
+    let (engine, kb): (&dyn ProbeService, &KnowledgeBase) = match plan {
+        Some(p) => {
+            engine_chaos = ChaosEngine::new(Engine::new(&lab.topo), p);
+            kb_degraded = KnowledgeBase::assemble(&sources, &lab.topo.world);
+            (&engine_chaos, &kb_degraded)
+        }
+        None => {
+            engine_plain = Engine::new(&lab.topo);
+            (&engine_plain, &lab.kb)
+        }
+    };
+
+    // Live telemetry: one real clock shared by the windowed recorder,
+    // its inner trace recorder, and the event log. None of this touches
+    // the canonical trace — `trace` replies are rebuilt from the report.
+    let clock = Arc::new(Monotonic::new());
+    let windows = Arc::new(WindowedRecorder::new(
+        Arc::new(TraceRecorder::new(clock.clone())),
+        clock.clone(),
+        window_ms * 1_000_000,
+        SERVE_WINDOWS_KEPT,
+    ));
+    let mut events = EventLog::new(clock.clone(), SERVE_EVENT_CAP);
+    if let Some(path) = &log_path {
+        match std::fs::File::create(path) {
+            Ok(f) => events = events.with_sink(f),
+            Err(e) => {
+                eprintln!("cfsd: failed to open --log {path}: {e}");
+                return 1;
+            }
+        }
+    }
+
+    let mut session = Cfs::builder(engine, kb)
         .vps(&lab.vps)
         .ipasn(&lab.ipasn)
         .config(service_config())
+        .recorder(windows.clone())
         .build_session()
         .expect("serve: CFS dependencies are always set");
-    session.ingest(lab.bootstrap_traces(&engine, None));
+    session.ingest(lab.bootstrap_traces(engine, None));
     for k in 1..=campaigns {
-        session.ingest(serve_campaign(&lab, &engine, k));
+        session.ingest(serve_campaign(&lab, engine, k));
     }
     lab.feed_bgp_sessions(&mut session, None);
     session.converge();
-    // The daemon's view of the public sources: kb-flip deltas mutate it
-    // in place so consecutive flips compose.
-    let mut sources = lab.sources.clone();
-    {
+    let (breaker_trips, widened_interfaces) = {
         let report = session.report().expect("converged above");
         println!(
             "cfsd: serving {} interfaces ({} resolved) at epoch {}",
@@ -797,9 +1070,42 @@ fn serve_cmd(
             report.resolved(),
             session.epoch(),
         );
-    }
+        events.emit(EventKind::SessionConverged {
+            epoch: session.epoch(),
+            resolved: report.resolved() as u64,
+            total: report.total() as u64,
+        });
+        let dq = &report.data_quality;
+        if dq.vp_breaker_trips > 0 {
+            events.emit(EventKind::BreakerTrip {
+                trips: dq.vp_breaker_trips,
+            });
+        }
+        if dq.widened_interfaces > 0 {
+            events.emit(EventKind::WidenedInterfaces {
+                count: dq.widened_interfaces,
+            });
+        }
+        (dq.vp_breaker_trips, dq.widened_interfaces)
+    };
+    let mut tele = ServeTelemetry {
+        windows,
+        events,
+        breaker_trips,
+        widened_interfaces,
+    };
 
-    match server.serve(|req| dispatch(req, &mut session, &lab, &engine, &mut sources)) {
+    let served = server.serve(|req| {
+        // Count and time every dispatched request into the windows; the
+        // span lands under its op's name (api.query, api.delta, …).
+        let op = op_span_name(&req);
+        tele.windows.counter("api.requests", 1);
+        let start = tele.windows.span_start();
+        let out = dispatch(req, &mut session, &lab, engine, &mut sources, &mut tele);
+        tele.windows.span_end(op, start);
+        out
+    });
+    match served {
         Ok(()) => {
             println!("cfsd: shutdown");
             0
@@ -818,6 +1124,7 @@ fn dispatch(
     lab: &Lab,
     engine: &dyn ProbeService,
     sources: &mut PublicSources,
+    tele: &mut ServeTelemetry,
 ) -> Outcome {
     match req {
         Request::Status => {
@@ -839,6 +1146,23 @@ fn dispatch(
         }
         Request::Query { iface } => Outcome::reply(answer_query(&iface, session, lab)),
         Request::Trace => Outcome::reply(Reply::ok().raw("trace", &session.trace_json()).finish()),
+        Request::Metrics => Outcome::reply(
+            Reply::ok()
+                .raw("metrics", &tele.windows.render_metrics_json())
+                .finish(),
+        ),
+        Request::Events { since } => {
+            let (drained, next) = tele.events.since(since);
+            let mut arr = String::from("[");
+            for (i, e) in drained.iter().enumerate() {
+                if i > 0 {
+                    arr.push(',');
+                }
+                arr.push_str(&e.render_json());
+            }
+            arr.push(']');
+            Outcome::reply(Reply::ok().u64("next", next).raw("events", &arr).finish())
+        }
         Request::Shutdown => Outcome::last(
             Reply::ok()
                 .str("state", "stopping")
@@ -856,7 +1180,8 @@ fn dispatch(
                 );
             }
             let traces = serve_campaign(lab, engine, campaign);
-            delta_reply(session.apply_delta(Delta::TracerouteBatch(traces)))
+            let result = session.apply_delta(Delta::TracerouteBatch(traces));
+            delta_reply("campaign", result, session, tele)
         }
         Request::DeltaKbFlip {
             asn,
@@ -895,7 +1220,15 @@ fn dispatch(
                 }
             }
             let kb2 = KnowledgeBase::assemble(sources, &lab.topo.world);
-            delta_reply(session.apply_delta(Delta::KbEpochFlip(Arc::new(kb2))))
+            let result = session.apply_delta(Delta::KbEpochFlip(Arc::new(kb2)));
+            if result.is_ok() {
+                tele.events.emit(EventKind::KbFlip {
+                    asn,
+                    facility: facility.raw(),
+                    present,
+                });
+            }
+            delta_reply("kb-flip", result, session, tele)
         }
         Request::DeltaVpStatus { vp, up } => {
             let vp = cfs::types::VantagePointId::new(vp);
@@ -905,22 +1238,56 @@ fn dispatch(
                         .to_response(),
                 );
             }
-            delta_reply(session.apply_delta(Delta::VpStatusChange { vp, up }))
+            let result = session.apply_delta(Delta::VpStatusChange { vp, up });
+            delta_reply("vp-status", result, session, tele)
         }
     }
 }
 
-/// Renders a `DeltaOutcome` (or the engine's refusal) as a response.
-fn delta_reply(result: cfs::types::Result<DeltaOutcome>) -> Outcome {
+/// Renders a `DeltaOutcome` (or the engine's refusal) as a response,
+/// and logs the applied delta — plus any data-quality regressions the
+/// re-convergence surfaced — into the daemon's event stream.
+fn delta_reply(
+    kind: &'static str,
+    result: cfs::types::Result<DeltaOutcome>,
+    session: &CfsSession<'_>,
+    tele: &mut ServeTelemetry,
+) -> Outcome {
     match result {
-        Ok(o) => Outcome::reply(
-            Reply::ok()
-                .u64("epoch", o.epoch)
-                .u64("dirty", o.dirty as u64)
-                .u64("reconverged", o.reconverged as u64)
-                .u64("total", o.total as u64)
-                .finish(),
-        ),
+        Ok(o) => {
+            tele.events.emit(EventKind::DeltaApplied {
+                kind,
+                epoch: o.epoch,
+                dirty: o.dirty as u64,
+                reconverged: o.reconverged as u64,
+            });
+            tele.windows.counter("serve.dirty_ifaces", o.dirty as u64);
+            tele.windows
+                .counter("serve.reconverged", o.reconverged as u64);
+            if let Some(report) = session.report() {
+                let dq = &report.data_quality;
+                if dq.vp_breaker_trips > tele.breaker_trips {
+                    tele.events.emit(EventKind::BreakerTrip {
+                        trips: dq.vp_breaker_trips - tele.breaker_trips,
+                    });
+                    tele.breaker_trips = dq.vp_breaker_trips;
+                }
+                if dq.widened_interfaces > tele.widened_interfaces {
+                    tele.events.emit(EventKind::WidenedInterfaces {
+                        count: dq.widened_interfaces - tele.widened_interfaces,
+                    });
+                    tele.widened_interfaces = dq.widened_interfaces;
+                }
+            }
+            Outcome::reply(
+                Reply::ok()
+                    .u64("epoch", o.epoch)
+                    .u64("dirty", o.dirty as u64)
+                    .u64("reconverged", o.reconverged as u64)
+                    .u64("total", o.total as u64)
+                    .finish(),
+            )
+        }
         Err(e) => Outcome::reply(ApiError::new("internal", e.to_string()).to_response()),
     }
 }
@@ -1067,5 +1434,283 @@ fn query_cmd(args: &[String]) -> i32 {
         0
     } else {
         4
+    }
+}
+
+/// Resolves the `--socket`/`--tcp` pair every daemon-client command
+/// shares; prints `usage` and returns `None` when neither (or both)
+/// is given.
+fn client_endpoint(args: &[String], usage: &str) -> Option<Endpoint> {
+    let socket = flag_value(args, "--socket");
+    let tcp = flag_value(args, "--tcp");
+    match (socket, tcp) {
+        (Some(p), None) => Some(Endpoint::Unix(std::path::PathBuf::from(p))),
+        (None, Some(a)) => Some(Endpoint::Tcp(a)),
+        _ => {
+            eprintln!("{usage}");
+            None
+        }
+    }
+}
+
+/// `cfs metrics`: fetch a live daemon's `cfs-metrics/1` snapshot and
+/// print a human summary (default), the raw document (`--json`), or
+/// save it (`--out FILE`). Exit 0 ok, 2 usage, 3 transport, 4 when the
+/// daemon answers with an error or an unparseable snapshot.
+fn metrics_cmd(args: &[String]) -> i32 {
+    let usage = "usage: cfs metrics --socket PATH | --tcp ADDR [--json] [--out FILE]";
+    let Some(endpoint) = client_endpoint(args, usage) else {
+        return 2;
+    };
+    let request = format!("{{\"schema\":\"{}\",\"op\":\"metrics\"}}", cfs::svc::SCHEMA);
+    let mut client = match Client::connect(&endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to connect: {e}");
+            return 3;
+        }
+    };
+    let response = match client.roundtrip(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("transport error: {e}");
+            return 3;
+        }
+    };
+    // Peel the cfs-api/1 envelope so what we print or save is a complete
+    // cfs-metrics/1 document that `metrics-validate` accepts byte-for-byte.
+    let prefix = format!(
+        "{{\"schema\":\"{}\",\"ok\":true,\"metrics\":",
+        cfs::svc::SCHEMA
+    );
+    let doc = match response
+        .strip_prefix(prefix.as_str())
+        .and_then(|r| r.strip_suffix('}'))
+    {
+        Some(d) => d,
+        None => {
+            eprintln!("{response}");
+            return 4;
+        }
+    };
+    if let Some(path) = flag_value(args, "--out") {
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            return 1;
+        }
+        println!("wrote metrics snapshot to {path}");
+        return 0;
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{doc}");
+        return 0;
+    }
+    match MetricsDoc::parse(doc) {
+        Ok(parsed) => {
+            print!("{}", render_metrics_summary(&parsed));
+            0
+        }
+        Err(e) => {
+            eprintln!("daemon returned an unparseable snapshot: {e}");
+            4
+        }
+    }
+}
+
+/// Renders the human `cfs metrics` summary: uptime, request volume and
+/// rate over the retained windows, per-op latency quantiles from the
+/// totals block, and the delta-churn counters.
+fn render_metrics_summary(doc: &MetricsDoc) -> String {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let total = |name: &str| doc.totals.counters.get(name).copied().unwrap_or(0);
+    let mut out = format!(
+        "uptime       {:.1}s · {} windows of {}ms retained\n",
+        doc.uptime_ns as f64 / 1e9,
+        doc.windows.len(),
+        doc.window_ns / 1_000_000,
+    );
+    let requests = total("api.requests");
+    let span_s = (doc.windows.len() as u64).saturating_mul(doc.window_ns) as f64 / 1e9;
+    let rate = if span_s > 0.0 {
+        requests as f64 / span_s
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "requests     {requests} ({rate:.1}/s over retained windows)\n"
+    ));
+    let ops: Vec<_> = doc
+        .totals
+        .durations
+        .iter()
+        .filter(|(name, _)| name.starts_with("api."))
+        .collect();
+    if !ops.is_empty() {
+        out.push_str("per-op latency (count · p50 / p99):\n");
+        for (name, d) in ops {
+            out.push_str(&format!(
+                "  {:<14} {:>6} · {:.3}ms / {:.3}ms\n",
+                &name["api.".len()..],
+                d.count,
+                ms(d.quantile_ns(50)),
+                ms(d.quantile_ns(99)),
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "delta churn  {} interfaces dirtied, {} reconverged\n",
+        total("serve.dirty_ifaces"),
+        total("serve.reconverged"),
+    ));
+    out
+}
+
+/// One human-readable line for a drained `cfs-log/1` event, rendered
+/// client-side from its JSON form: `[severity] kind key=value …`.
+fn event_line(e: &serde_json::Value) -> String {
+    let severity = e.get("severity").and_then(|v| v.as_str()).unwrap_or("?");
+    let kind = e.get("event").and_then(|v| v.as_str()).unwrap_or("?");
+    let mut line = format!("[{severity}] {kind}");
+    if let Some(obj) = e.as_object() {
+        for (k, v) in obj.iter() {
+            if matches!(k.as_str(), "schema" | "seq" | "t_ns" | "severity" | "event") {
+                continue;
+            }
+            // Event payload members are scalars: string, integer, bool.
+            let rendered = v
+                .as_str()
+                .map(str::to_string)
+                .or_else(|| v.as_u64().map(|n| n.to_string()))
+                .or_else(|| v.as_bool().map(|b| b.to_string()))
+                .unwrap_or_else(|| "?".into());
+            line.push_str(&format!(" {k}={rendered}"));
+        }
+    }
+    line
+}
+
+/// `cfs top`: a polling terminal dashboard over a live daemon — request
+/// rate since the previous poll, per-op latency, delta churn, and the
+/// most recent events (drained with a cursor so nothing is shown twice).
+/// Exit 0 after `--polls N` polls (0 = run until interrupted), 2 usage,
+/// 3 transport, 4 daemon error.
+fn top_cmd(args: &[String]) -> i32 {
+    let usage = "usage: cfs top --socket PATH | --tcp ADDR [--interval-ms N] [--polls N]";
+    let Some(endpoint) = client_endpoint(args, usage) else {
+        return 2;
+    };
+    let interval_ms: u64 = match flag_value(args, "--interval-ms").map(|v| v.parse::<u64>()) {
+        None => 1_000,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("--interval-ms wants a positive number");
+            return 2;
+        }
+    };
+    let polls: u64 = match flag_value(args, "--polls").map(|v| v.parse::<u64>()) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--polls wants a number");
+            return 2;
+        }
+    };
+    let mut client = match Client::connect(&endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to connect: {e}");
+            return 3;
+        }
+    };
+    let metrics_req = format!("{{\"schema\":\"{}\",\"op\":\"metrics\"}}", cfs::svc::SCHEMA);
+    let metrics_prefix = format!(
+        "{{\"schema\":\"{}\",\"ok\":true,\"metrics\":",
+        cfs::svc::SCHEMA
+    );
+    let mut cursor: u64 = 0;
+    let mut last_requests: Option<u64> = None;
+    let mut recent: Vec<String> = Vec::new();
+    let mut poll: u64 = 0;
+    loop {
+        if poll > 0 {
+            pace(Duration::from_millis(interval_ms));
+        }
+        poll += 1;
+        let response = match client.roundtrip(&metrics_req) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("transport error: {e}");
+                return 3;
+            }
+        };
+        let doc = match response
+            .strip_prefix(metrics_prefix.as_str())
+            .and_then(|r| r.strip_suffix('}'))
+            .map(MetricsDoc::parse)
+        {
+            Some(Ok(d)) => d,
+            _ => {
+                eprintln!("{response}");
+                return 4;
+            }
+        };
+        let events_req = format!(
+            "{{\"schema\":\"{}\",\"op\":\"events\",\"since\":{cursor}}}",
+            cfs::svc::SCHEMA
+        );
+        let ev_response = match client.roundtrip(&events_req) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("transport error: {e}");
+                return 3;
+            }
+        };
+        match serde_json::from_str::<serde_json::Value>(&ev_response) {
+            Ok(v) if v.get("ok").and_then(|o| o.as_bool()) == Some(true) => {
+                if let Some(next) = v.get("next").and_then(|n| n.as_u64()) {
+                    cursor = next;
+                }
+                for e in v
+                    .get("events")
+                    .and_then(|e| e.as_array())
+                    .into_iter()
+                    .flatten()
+                {
+                    recent.push(event_line(e));
+                }
+                let overflow = recent.len().saturating_sub(8);
+                recent.drain(..overflow);
+            }
+            _ => {
+                eprintln!("{ev_response}");
+                return 4;
+            }
+        }
+
+        // Repaint: clear between polls, never before the first frame, so
+        // a failed connect leaves the terminal untouched.
+        if poll > 1 {
+            print!("\x1b[2J\x1b[H");
+        }
+        let requests = doc
+            .totals
+            .counters
+            .get("api.requests")
+            .copied()
+            .unwrap_or(0);
+        let delta = requests.saturating_sub(last_requests.unwrap_or(requests));
+        last_requests = Some(requests);
+        let poll_rate = delta as f64 / (interval_ms as f64 / 1e3);
+        println!("cfs top · poll {poll} · {poll_rate:.1} req/s since last poll");
+        print!("{}", render_metrics_summary(&doc));
+        if !recent.is_empty() {
+            println!("recent events:");
+            for line in &recent {
+                println!("  {line}");
+            }
+        }
+        if polls > 0 && poll >= polls {
+            return 0;
+        }
     }
 }

@@ -166,6 +166,142 @@ fn golden_trace_fixture_matches_a_fresh_run() {
 }
 
 #[test]
+fn folded_profile_render_emits_flamegraph_stacks() {
+    let prof = tmp("folded.prof.json");
+    let run = cfs(&[
+        "run",
+        "--scale",
+        "tiny",
+        "--seed",
+        "7",
+        "--profile-json",
+        prof.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "{}", stderr(&run));
+    let folded = cfs(&["profile", prof.to_str().unwrap(), "--folded"]);
+    assert!(folded.status.success(), "{}", stderr(&folded));
+    let text = stdout(&folded);
+    // Every line is `stack;frames <self_ns>`, rooted at cfs.run, and the
+    // taxonomy chains iterations under the run.
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let (stack, ns) = line.rsplit_once(' ').expect("stack <ns>");
+        assert!(stack.starts_with("cfs.run"), "{line}");
+        ns.parse::<u64>().expect("self-time is integer ns");
+    }
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("cfs.run;cfs.iteration;stage.constrain ")),
+        "{text}"
+    );
+}
+
+#[test]
+fn baseline_dir_selects_the_golden_by_run_shape() {
+    let golden_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+
+    // A fresh tiny/seed-7 run carries the same shape as the committed
+    // golden: selection finds exactly it and the diff is clean.
+    let fresh = tmp("shaped.trace.json");
+    let run = cfs(&[
+        "run",
+        "--scale",
+        "tiny",
+        "--seed",
+        "7",
+        "--trace-json",
+        fresh.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "{}", stderr(&run));
+    let picked = cfs(&[
+        "trace-diff",
+        fresh.to_str().unwrap(),
+        "--baseline-dir",
+        golden_dir,
+    ]);
+    assert_eq!(
+        picked.status.code(),
+        Some(0),
+        "{}\n{}",
+        stdout(&picked),
+        stderr(&picked)
+    );
+    let text = stdout(&picked);
+    assert!(
+        text.contains("baseline:") && text.contains("trace-tiny-seed7.json"),
+        "{text}"
+    );
+
+    // A different run shape has no golden → exit 2, not a drift report.
+    let other = tmp("other-shape.trace.json");
+    let run8 = cfs(&[
+        "run",
+        "--scale",
+        "tiny",
+        "--seed",
+        "8",
+        "--trace-json",
+        other.to_str().unwrap(),
+    ]);
+    assert!(run8.status.success(), "{}", stderr(&run8));
+    let unmatched = cfs(&[
+        "trace-diff",
+        other.to_str().unwrap(),
+        "--baseline-dir",
+        golden_dir,
+    ]);
+    assert_eq!(unmatched.status.code(), Some(2), "{}", stdout(&unmatched));
+    assert!(
+        stderr(&unmatched).contains("no baseline"),
+        "{}",
+        stderr(&unmatched)
+    );
+
+    // A shape-less candidate (daemon traces, pre-shape exports) is
+    // rejected with a pointer at the missing member.
+    let shapeless = tmp("shapeless.trace.json");
+    std::fs::write(
+        &shapeless,
+        "{\"schema\":\"cfs-trace/1\",\"digest\":\"0\",\"counters\":{}}",
+    )
+    .expect("fixture written");
+    let refused = cfs(&[
+        "trace-diff",
+        shapeless.to_str().unwrap(),
+        "--baseline-dir",
+        golden_dir,
+    ]);
+    assert_eq!(refused.status.code(), Some(2));
+    assert!(
+        stderr(&refused).contains("no \"shape\" member"),
+        "{}",
+        stderr(&refused)
+    );
+}
+
+#[test]
+fn metrics_validate_names_the_failing_sections() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/corrupt-metrics.json"
+    );
+    let out = cfs(&["metrics-validate", fixture]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    for section in ["[windows]", "[histograms]", "[durations]", "[totals]"] {
+        assert!(err.contains(section), "missing {section} in:\n{err}");
+    }
+    // And the usage/read-failure exits.
+    assert_eq!(cfs(&["metrics-validate"]).status.code(), Some(2));
+    assert_eq!(
+        cfs(&["metrics-validate", "/nonexistent.json"])
+            .status
+            .code(),
+        Some(1)
+    );
+}
+
+#[test]
 fn trace_validate_names_the_failing_sections() {
     // The committed fixture is wrong in several distinct ways; the
     // validator must attribute each problem to its section.

@@ -248,6 +248,171 @@ fn delta_converged_daemon_matches_a_fresh_batch_daemon() {
 }
 
 #[test]
+fn faulted_daemon_serves_metrics_and_events_without_touching_the_trace() {
+    // A chaos-degraded daemon with live telemetry: the metrics op must
+    // report non-zero request-latency counts, the event log must drain
+    // with a cursor, and none of it may perturb the canonical trace.
+    let socket = tmp("cfsd-tele.sock");
+    let socket = socket.to_str().unwrap();
+    let log_path = tmp("cfsd-events.log");
+    let child = spawn_daemon(
+        socket,
+        &[
+            "--faults",
+            "default",
+            "--log",
+            log_path.to_str().unwrap(),
+            "--window-ms",
+            "500",
+        ],
+    );
+
+    // Drive traffic so the latency histograms fill, including a delta.
+    for _ in 0..3 {
+        let st = cfs(&["query", "--socket", socket, "status"]);
+        assert_eq!(st.status.code(), Some(0), "{}", stderr(&st));
+    }
+    let delta = cfs(&[
+        "query",
+        "--socket",
+        socket,
+        "--raw",
+        "{\"schema\":\"cfs-api/1\",\"op\":\"delta\",\"kind\":\"campaign\",\"campaign\":1}",
+    ]);
+    assert_eq!(delta.status.code(), Some(0), "{}", stderr(&delta));
+
+    let trace_before = tmp("tele-before.trace.json");
+    let fetch = cfs(&[
+        "query",
+        "--socket",
+        socket,
+        "trace",
+        "--out",
+        trace_before.to_str().unwrap(),
+    ]);
+    assert_eq!(fetch.status.code(), Some(0), "{}", stderr(&fetch));
+
+    // Raw snapshot: schema, request counts, per-op latency all live.
+    let json = cfs(&["metrics", "--socket", socket, "--json"]);
+    assert_eq!(json.status.code(), Some(0), "{}", stderr(&json));
+    let raw = stdout(&json);
+    let doc: serde_json::Value = serde_json::from_str(raw.trim()).expect("metrics parses");
+    assert_eq!(doc["schema"].as_str(), Some("cfs-metrics/1"));
+    let requests = doc["totals"]["counters"]["api.requests"]
+        .as_u64()
+        .expect("api.requests counted");
+    assert!(requests >= 4, "only {requests} requests counted");
+    let status_spans = doc["totals"]["durations"]["api.status"]["count"]
+        .as_u64()
+        .expect("api.status timed");
+    assert!(status_spans >= 3, "only {status_spans} status spans");
+    assert!(
+        doc["totals"]["counters"]["serve.dirty_ifaces"].as_u64() > Some(0),
+        "campaign delta dirtied nothing"
+    );
+
+    // The saved snapshot is a valid cfs-metrics/1 document end to end.
+    let saved = tmp("tele.metrics.json");
+    let save = cfs(&[
+        "metrics",
+        "--socket",
+        socket,
+        "--out",
+        saved.to_str().unwrap(),
+    ]);
+    assert_eq!(save.status.code(), Some(0), "{}", stderr(&save));
+    let validate = cfs(&["metrics-validate", saved.to_str().unwrap()]);
+    assert_eq!(validate.status.code(), Some(0), "{}", stderr(&validate));
+
+    // The human summary names the things operators scan for.
+    let human = cfs(&["metrics", "--socket", socket]);
+    assert_eq!(human.status.code(), Some(0), "{}", stderr(&human));
+    let text = stdout(&human);
+    for needle in ["uptime", "requests", "per-op latency", "delta churn"] {
+        assert!(text.contains(needle), "missing {needle} in {text}");
+    }
+
+    // Event drain: boot + delta events first, then the cursor advances
+    // past them and a re-drain from `next` is empty.
+    let ev = cfs(&[
+        "query",
+        "--socket",
+        socket,
+        "--raw",
+        "{\"schema\":\"cfs-api/1\",\"op\":\"events\"}",
+    ]);
+    assert_eq!(ev.status.code(), Some(0), "{}", stderr(&ev));
+    let ev_doc: serde_json::Value =
+        serde_json::from_str(stdout(&ev).trim()).expect("events reply parses");
+    let drained = ev_doc["events"].as_array().expect("events array");
+    let kinds: Vec<&str> = drained.iter().filter_map(|e| e["event"].as_str()).collect();
+    assert!(
+        kinds.contains(&"session-converged"),
+        "no session-converged in {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"delta-applied"),
+        "no delta-applied in {kinds:?}"
+    );
+    let next = ev_doc["next"].as_u64().expect("next cursor");
+    assert_eq!(next, drained.last().unwrap()["seq"].as_u64().unwrap() + 1);
+    let again = cfs(&[
+        "query",
+        "--socket",
+        socket,
+        "--raw",
+        &format!("{{\"schema\":\"cfs-api/1\",\"op\":\"events\",\"since\":{next}}}"),
+    ]);
+    assert_eq!(again.status.code(), Some(0));
+    assert!(
+        stdout(&again).contains("\"events\":[]"),
+        "re-drain not empty: {}",
+        stdout(&again)
+    );
+
+    // One dashboard poll renders and exits 0.
+    let top = cfs(&[
+        "top",
+        "--socket",
+        socket,
+        "--interval-ms",
+        "10",
+        "--polls",
+        "1",
+    ]);
+    assert_eq!(top.status.code(), Some(0), "{}", stderr(&top));
+    assert!(stdout(&top).contains("cfs top"), "{}", stdout(&top));
+
+    // All that telemetry traffic left the canonical trace untouched.
+    let trace_after = tmp("tele-after.trace.json");
+    let fetch2 = cfs(&[
+        "query",
+        "--socket",
+        socket,
+        "trace",
+        "--out",
+        trace_after.to_str().unwrap(),
+    ]);
+    assert_eq!(fetch2.status.code(), Some(0), "{}", stderr(&fetch2));
+    assert_eq!(
+        std::fs::read_to_string(&trace_before).unwrap(),
+        std::fs::read_to_string(&trace_after).unwrap(),
+        "metrics/events ops changed the canonical trace"
+    );
+
+    shutdown_daemon(socket, child);
+
+    // The --log sink streamed every event as a cfs-log/1 line.
+    let log = std::fs::read_to_string(&log_path).expect("event log written");
+    assert!(
+        log.lines().all(|l| l.contains("\"schema\":\"cfs-log/1\"")),
+        "{log}"
+    );
+    assert!(log.contains("session-converged"), "{log}");
+    assert!(log.contains("delta-applied"), "{log}");
+}
+
+#[test]
 fn query_cli_pins_usage_and_transport_exit_codes() {
     // No endpoint → usage (2).
     let usage = cfs(&["query", "status"]);
