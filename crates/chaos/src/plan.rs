@@ -150,6 +150,19 @@ impl FaultProfile {
         }
     }
 
+    /// Contaminated-source pressure: one record in five self-contradicts
+    /// (the ISSUE-9 "20% contested records" scenario), with the other
+    /// knowledge-plane dials quiet so the reconciliation layer — not the
+    /// staleness machinery — is what absorbs the damage. Compose with
+    /// `stale-kb` for the full dirty-KB smoke (`stale-kb+conflict`).
+    #[must_use]
+    pub const fn conflict() -> Self {
+        Self {
+            kb_conflict_pm: 200,
+            ..Self::off()
+        }
+    }
+
     /// A pure probe-loss profile at `pm` per-mille, for sweeping
     /// accuracy-vs-fault-rate curves.
     #[must_use]
@@ -160,8 +173,18 @@ impl FaultProfile {
         }
     }
 
+    /// A pure record-conflict profile at `pm` per-mille, for sweeping
+    /// coverage-retention-vs-conflict-rate curves.
+    #[must_use]
+    pub const fn conflict_rate(pm: u32) -> Self {
+        Self {
+            kb_conflict_pm: pm,
+            ..Self::off()
+        }
+    }
+
     /// Looks up a named profile: `off`, `default`, `flaky`, `blackout`,
-    /// `stale-kb`, `mid-kb-refresh`.
+    /// `stale-kb`, `mid-kb-refresh`, `conflict`.
     #[must_use]
     pub fn named(name: &str) -> Option<Self> {
         Some(match name {
@@ -171,6 +194,7 @@ impl FaultProfile {
             "blackout" => Self::blackout(),
             "stale-kb" => Self::stale_kb(),
             "mid-kb-refresh" => Self::mid_kb_refresh(),
+            "conflict" => Self::conflict(),
             _ => return None,
         })
     }
@@ -605,6 +629,22 @@ mod tests {
             FaultProfile::stale_kb().kb_member_lag_pm
         );
         assert!(!both.is_off());
+    }
+
+    #[test]
+    fn conflict_profile_contests_one_in_five_and_composes() {
+        let solo = FaultProfile::named("conflict").unwrap();
+        assert_eq!(solo.kb_conflict_pm, 200);
+        assert!(!solo.is_off());
+        let dirty = FaultProfile::parse("stale-kb+conflict").unwrap();
+        assert_eq!(
+            dirty.kb_conflict_pm,
+            FaultProfile::stale_kb().kb_conflict_pm + 200
+        );
+        assert_eq!(
+            dirty.kb_member_lag_pm,
+            FaultProfile::stale_kb().kb_member_lag_pm
+        );
     }
 
     #[test]

@@ -220,6 +220,7 @@ mod tests {
             traces_issued: 0,
             convergence: Default::default(),
             data_quality: Default::default(),
+            kb_quality: Default::default(),
         }
     }
 

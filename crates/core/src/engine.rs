@@ -84,6 +84,11 @@ pub struct CfsConfig {
     /// Widen empty facility intersections to metro-level candidates
     /// instead of dead-ending (DESIGN.md §9).
     pub metro_widening: bool,
+    /// Gate public-crossing constraints on the multi-rule IXP-hop
+    /// evidence and refuse facility pins with contested provenance
+    /// (DESIGN.md §11). Disabled only by the prefix-only baseline in
+    /// the detector-comparison experiment.
+    pub evidence_gating: bool,
 }
 
 impl Default for CfsConfig {
@@ -105,6 +110,7 @@ impl Default for CfsConfig {
             breaker_threshold: 6,
             breaker_cooldown_ms: 600_000,
             metro_widening: true,
+            evidence_gating: true,
         }
     }
 }
@@ -368,6 +374,13 @@ impl<'a> Cfs<'a> {
         let retry_budget = RetryBudget::new(cfg.retry_budget);
         let breaker = CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_ms);
         let chaos_seed = cfs_chaos::splitmix64(engine.topology().config.seed ^ 0xcf5c_4a05);
+        // KB-plane quality counters, once per engine: reconciliation is
+        // a pure function of the assembled KB, independent of thread
+        // count and iteration schedule.
+        let q = kb.quality();
+        recorder.counter("kb.records", q.records);
+        recorder.counter("kb.agreement", u64::from(q.agreement_mean_pm));
+        recorder.counter("kb.conflicts", q.contested);
         Self {
             engine,
             kb: KbHandle::Borrowed(kb),
@@ -455,6 +468,9 @@ impl<'a> Cfs<'a> {
                 class,
                 far_asn: Some(s.neighbor_asn),
                 far_ip: Some(s.neighbor_ip),
+                // A configured BGP session is direct operator evidence;
+                // the IXP-hop rules never applied.
+                evidence: crate::observe::IxpHopEvidence::FULL,
             };
             let key = (obs.near_ip, obs.class.ixp(), obs.far_ip);
             if self.obs_keys.insert(key) {
@@ -799,11 +815,17 @@ impl<'a> Cfs<'a> {
             match obs.class {
                 LinkClass::Public { ixp } => {
                     if in_scope(obs.near_ip) {
-                        self.constrain_public(obs.near_asn, obs.near_ip, ixp, iteration);
+                        self.constrain_public(
+                            obs.near_asn,
+                            obs.near_ip,
+                            ixp,
+                            iteration,
+                            obs.evidence,
+                        );
                     }
                     if let (Some(far_asn), Some(far_ip)) = (obs.far_asn, obs.far_ip) {
                         if in_scope(far_ip) {
-                            self.constrain_public(far_asn, far_ip, ixp, iteration);
+                            self.constrain_public(far_asn, far_ip, ixp, iteration, obs.evidence);
                         }
                     }
                 }
@@ -846,6 +868,11 @@ impl<'a> Cfs<'a> {
             let LinkClass::Public { ixp } = obs.class else {
                 continue;
             };
+            // Gated observations never intersect with the exchange's
+            // footprint, so they never trigger the remote test either.
+            if self.cfg.evidence_gating && obs.evidence.weak() {
+                continue;
+            }
             let mut ends: [Option<(Asn, Ipv4Addr)>; 2] = [Some((obs.near_asn, obs.near_ip)), None];
             if let (Some(far_asn), Some(far_ip)) = (obs.far_asn, obs.far_ip) {
                 ends[1] = Some((far_asn, far_ip));
@@ -924,12 +951,49 @@ impl<'a> Cfs<'a> {
     /// Step 2 for a public peering interface: intersect the owner's
     /// facilities with the exchange's; an empty overlap triggers the
     /// remote test (§4.2 case 3).
-    fn constrain_public(&mut self, owner: Asn, ip: Ipv4Addr, ixp: IxpId, iteration: usize) {
+    ///
+    /// When the observation's IXP-hop evidence is weak or contested and
+    /// evidence gating is on, the exchange-footprint intersection is
+    /// withheld: the interface keeps the owner's full footprint — a
+    /// wider-but-correct candidate set — and carries a
+    /// `contested_provenance` reason instead of risking a confidently
+    /// wrong narrowing from disputed data (DESIGN.md §11).
+    fn constrain_public(
+        &mut self,
+        owner: Asn,
+        ip: Ipv4Addr,
+        ixp: IxpId,
+        iteration: usize,
+        evidence: crate::observe::IxpHopEvidence,
+    ) {
         // Dependency edges for incremental invalidation: the state of
         // `ip` is a function of these footprints (the metro pool is a
         // conservative superset — it only matters on the widening path).
         for key in [DepKey::As(owner), DepKey::Ixp(ixp), DepKey::Metro(ixp)] {
             self.deps.entry(key).or_default().insert(ip);
+        }
+        if self.cfg.evidence_gating && evidence.weak() {
+            let f_owner = self.as_facilities(owner);
+            let state = self
+                .states
+                .entry(ip)
+                .or_insert_with(|| IfaceState::new(ip, Some(owner)));
+            state.owner.get_or_insert(owner);
+            state.public_ixps.insert(ixp);
+            if f_owner.is_empty() {
+                state.missing_data = true;
+                state.reason.get_or_insert(UnresolvedReason::NoFacilityData);
+                return;
+            }
+            state
+                .reason
+                .get_or_insert(UnresolvedReason::ContestedProvenance);
+            if !state.evidence_gated {
+                state.evidence_gated = true;
+                self.recorder.counter("constrain.evidence_gated", 1);
+            }
+            state.constrain(&f_owner, iteration);
+            return;
         }
         let f_owner = self.as_facilities(owner);
         let f_ixp = self.ixp_facilities(ixp);
@@ -1441,6 +1505,19 @@ impl<'a> Cfs<'a> {
                 _ => false,
             }
         };
+        // Contested-pin gate (DESIGN.md §11): a single-facility verdict
+        // only counts as a pin when the reconciled sources behind the
+        // owner's claim to that facility are not contested. A refused
+        // pin is *withheld*, never replaced — the interface reports
+        // unresolved with a typed reason rather than a confidently
+        // wrong facility.
+        let pin_ok = |state: &IfaceState, f: FacilityId| -> bool {
+            !self.cfg.evidence_gating || state.owner.is_none_or(|a| self.kb().pin_allowed(a, f))
+        };
+        let state_pin = |state: &IfaceState| -> Option<FacilityId> {
+            state.facility().filter(|f| pin_ok(state, *f))
+        };
+
         // Proximity verdicts live in this overlay, never in `states`:
         // an overlaid interface reads as resolved-to-`f` at every site
         // below (verdict, links, data-quality tally).
@@ -1457,8 +1534,8 @@ impl<'a> Cfs<'a> {
                 if !multi_port(obs) {
                     continue;
                 }
-                let near_f = self.states.get(&near_ip).and_then(|s| s.facility());
-                let far_f = self.states.get(&far_ip).and_then(|s| s.facility());
+                let near_f = self.states.get(&near_ip).and_then(&state_pin);
+                let far_f = self.states.get(&far_ip).and_then(&state_pin);
                 if let (Some(n), Some(f)) = (near_f, far_f) {
                     proximity.observe(n, f);
                 }
@@ -1473,7 +1550,7 @@ impl<'a> Cfs<'a> {
                 if !multi_port(obs) {
                     continue;
                 }
-                let Some(near_f) = self.states.get(&obs.near_ip).and_then(|s| s.facility()) else {
+                let Some(near_f) = self.states.get(&obs.near_ip).and_then(&state_pin) else {
                     continue;
                 };
                 let Some(far_state) = self.states.get(&far_ip) else {
@@ -1486,6 +1563,9 @@ impl<'a> Cfs<'a> {
                     continue;
                 };
                 if let Some(f) = proximity.infer(near_f, cands) {
+                    if !pin_ok(far_state, f) {
+                        continue; // contested pin — the overlay stays clean
+                    }
                     // Later observations overwrite earlier ones, exactly
                     // as sequential state mutation used to.
                     overlay.insert(far_ip, f);
@@ -1493,7 +1573,7 @@ impl<'a> Cfs<'a> {
             }
         }
         let facility_of = |ip: &Ipv4Addr, state: &IfaceState| {
-            overlay.get(ip).copied().or_else(|| state.facility())
+            overlay.get(ip).copied().or_else(|| state_pin(state))
         };
 
         // Interface verdicts.
@@ -1519,8 +1599,15 @@ impl<'a> Cfs<'a> {
                 }
             };
             let via_proximity = overlay.contains_key(ip);
+            // The search converged on one facility, but the pin gate
+            // refused it: report the interface unresolved with a typed
+            // reason instead of a confidently wrong facility.
+            let refused =
+                !via_proximity && state.facility().is_some() && state_pin(state).is_none();
             let outcome = if via_proximity {
                 SearchOutcome::Resolved
+            } else if refused {
+                SearchOutcome::UnresolvedLocal
             } else {
                 state.outcome()
             };
@@ -1541,6 +1628,8 @@ impl<'a> Cfs<'a> {
                     widened: state.widened,
                     unresolved_reason: if via_proximity {
                         None
+                    } else if refused {
+                        Some(UnresolvedReason::ContestedProvenance)
                     } else {
                         state.final_reason()
                     },
@@ -1606,10 +1695,18 @@ impl<'a> Cfs<'a> {
         // gaps.
         let mut unresolved_reasons: BTreeMap<String, u64> = BTreeMap::new();
         let mut widened_interfaces = 0u64;
+        let mut contested_pins_refused = 0u64;
         for (ip, state) in &self.states {
             widened_interfaces += u64::from(state.widened);
             if overlay.contains_key(ip) {
                 continue; // proximity resolved it — no unresolved reason
+            }
+            if state.facility().is_some() && state_pin(state).is_none() {
+                contested_pins_refused += 1;
+                *unresolved_reasons
+                    .entry(UnresolvedReason::ContestedProvenance.code().to_string())
+                    .or_default() += 1;
+                continue; // the refusal *is* the reason
             }
             if let Some(reason) = state.final_reason() {
                 *unresolved_reasons
@@ -1623,6 +1720,7 @@ impl<'a> Cfs<'a> {
             failed_probes: self.failed_probes,
             vp_breaker_trips: self.breaker.trips(),
             widened_interfaces,
+            contested_pins_refused,
             unresolved_reasons,
         };
 
@@ -1634,6 +1732,7 @@ impl<'a> Cfs<'a> {
             traces_issued: self.traces_issued,
             convergence,
             data_quality,
+            kb_quality: self.kb().quality().clone(),
         }
     }
 

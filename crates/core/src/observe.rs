@@ -54,6 +54,57 @@ impl<'a> Resolver<'a> {
     }
 }
 
+/// Rule weights of the multi-rule IXP-hop detector, per-mille of the
+/// combined evidence score. The prefix rule dominates (it is the §4.2
+/// classifier), the membership rules corroborate, and both-sides
+/// agreement adds a bonus — the traIXroute rule mix.
+const W_PREFIX: u32 = 400;
+const W_NEAR: u32 = 250;
+const W_FAR: u32 = 250;
+const W_BOTH: u32 = 100;
+
+/// Evidence below this per-mille is too weak to localize a public
+/// crossing at the exchange's facilities. Calibrated so a clean,
+/// uncontested prefix hit passes alone (400‰): prefix classification
+/// with no membership corroboration is the paper's baseline behavior,
+/// and must not regress under an empty member directory.
+pub const EVIDENCE_MIN_PM: u32 = 350;
+
+/// The trust-weighted evidence behind one public-crossing call: which
+/// of the traIXroute-style rules fired (prefix hit, near-side member,
+/// far-side member, both-sides agreement) and how much the reconciled
+/// records backing them agreed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IxpHopEvidence {
+    /// How many of the four rules fired (1..=4; the prefix rule always
+    /// fires for a public observation).
+    pub rule_votes: u32,
+    /// Combined rule score in per-mille, each vote weighted by the
+    /// reconciled record's agreement.
+    pub evidence_pm: u32,
+    /// Whether a consulted membership record reconciled as contested —
+    /// the identification itself rests on disputed data.
+    pub contested: bool,
+}
+
+impl IxpHopEvidence {
+    /// Full confidence: private crossings and BGP-session observations,
+    /// which never ride the IXP-hop rules.
+    pub const FULL: Self = Self {
+        rule_votes: 4,
+        evidence_pm: 1000,
+        contested: false,
+    };
+
+    /// Whether the evidence is too weak to pin the crossing at the
+    /// exchange: contested provenance, or a combined score below
+    /// [`EVIDENCE_MIN_PM`].
+    #[must_use]
+    pub fn weak(&self) -> bool {
+        self.contested || self.evidence_pm < EVIDENCE_MIN_PM
+    }
+}
+
 /// One observed interconnection crossing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Observation {
@@ -69,6 +120,49 @@ pub struct Observation {
     /// The far-side interface: the IXP fabric address (public) or the
     /// neighbour's point-to-point interface (private).
     pub far_ip: Option<Ipv4Addr>,
+    /// Rule-vote evidence behind the call (always
+    /// [`IxpHopEvidence::FULL`] for private crossings).
+    pub evidence: IxpHopEvidence,
+}
+
+/// Scores one public crossing against the reconciled knowledge base.
+fn score_public_hop(
+    kb: &KnowledgeBase,
+    ixp: IxpId,
+    fabric_ip: Ipv4Addr,
+    near: Asn,
+    far: Option<Asn>,
+) -> IxpHopEvidence {
+    let prefix_pm = kb.prefix_agreement_pm(ixp, fabric_ip);
+    let member_pm = |asn: Option<Asn>| -> (u32, bool) {
+        let Some(asn) = asn else { return (0, false) };
+        if kb.membership_contested(ixp, asn) {
+            // Contested membership is not evidence — and it taints the
+            // call: somebody disputes that this AS is even present.
+            (0, true)
+        } else {
+            (kb.membership_agreement_pm(ixp, asn), false)
+        }
+    };
+    let (near_pm, near_contested) = member_pm(Some(near));
+    let (far_pm, far_contested) = member_pm(far);
+    let both_pm = near_pm.min(far_pm);
+    let mut rule_votes = 1; // the prefix rule fired by construction
+    if near_pm > 0 {
+        rule_votes += 1;
+    }
+    if far_pm > 0 {
+        rule_votes += 1;
+    }
+    if both_pm > 0 {
+        rule_votes += 1;
+    }
+    IxpHopEvidence {
+        rule_votes,
+        evidence_pm: (W_PREFIX * prefix_pm + W_NEAR * near_pm + W_FAR * far_pm + W_BOTH * both_pm)
+            / 1000,
+        contested: near_contested || far_contested,
+    }
 }
 
 /// Extracts the peering observations from one trace.
@@ -115,6 +209,7 @@ pub fn extract_observations(trace: &Trace, resolver: &Resolver<'_>) -> Vec<Obser
                     class: LinkClass::Public { ixp: *ixp },
                     far_asn,
                     far_ip: Some(fabric_ip),
+                    evidence: score_public_hop(resolver.kb, *ixp, fabric_ip, a, far_asn),
                 });
             }
             // ---- private: A, B directly ----
@@ -126,6 +221,7 @@ pub fn extract_observations(trace: &Trace, resolver: &Resolver<'_>) -> Vec<Obser
                     class: LinkClass::Private,
                     far_asn: Some(*b),
                     far_ip: Some(far_ip),
+                    evidence: IxpHopEvidence::FULL,
                 });
             }
             _ => {}
@@ -148,7 +244,10 @@ pub fn extract_observations_recorded(
     let out = extract_observations(trace, resolver);
     for obs in &out {
         match obs.class {
-            LinkClass::Public { .. } => rec.counter("observe.public", 1),
+            LinkClass::Public { .. } => {
+                rec.counter("observe.public", 1);
+                rec.counter("ixp_hop.rule_votes", u64::from(obs.evidence.rule_votes));
+            }
             LinkClass::Private => rec.counter("observe.private", 1),
         }
     }
@@ -319,6 +418,96 @@ mod tests {
             star(),
         ]);
         assert!(extract_observations(&t, &resolver).is_empty());
+    }
+
+    #[test]
+    fn private_and_directory_crossings_carry_expected_evidence() {
+        let (topo, kb) = fixture();
+        // Private adjacency: never rides the IXP-hop rules → FULL.
+        let corrected: BTreeMap<Ipv4Addr, Asn> = [
+            ("10.0.0.1".parse().unwrap(), Asn(100)),
+            ("10.1.0.1".parse().unwrap(), Asn(200)),
+        ]
+        .into_iter()
+        .collect();
+        let resolver = Resolver::new(&kb, &corrected);
+        let t = trace_of(vec![hop("10.0.0.1"), hop("10.1.0.1")]);
+        let obs = extract_observations(&t, &resolver);
+        assert_eq!(obs[0].evidence, IxpHopEvidence::FULL);
+        assert!(!obs[0].evidence.weak());
+
+        // Public crossing identified via a clean directory entry: the
+        // prefix and far-member rules both fire with full agreement, so
+        // the score is at least W_PREFIX + W_FAR and never weak.
+        let mut found = None;
+        'outer: for (id, ixp) in topo.ixps.iter() {
+            for m in &ixp.members {
+                if kb.ixp_of_ip(m.fabric_ip) == Some(id)
+                    && kb.member_of_fabric_ip(id, m.fabric_ip).is_some()
+                    && !kb.membership_contested(id, m.asn)
+                {
+                    found = Some((id, m.fabric_ip));
+                    break 'outer;
+                }
+            }
+        }
+        let (ixp, fabric_ip) = found.expect("an ixp with a clean directory entry");
+        let near: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        let corrected: BTreeMap<Ipv4Addr, Asn> = [(near, Asn(100))].into_iter().collect();
+        let resolver = Resolver::new(&kb, &corrected);
+        let t = trace_of(vec![
+            Hop {
+                ip: Some(near),
+                rtt_ms: 1.0,
+            },
+            Hop {
+                ip: Some(fabric_ip),
+                rtt_ms: 2.0,
+            },
+            star(),
+        ]);
+        let obs = extract_observations(&t, &resolver);
+        assert_eq!(obs.len(), 1);
+        let ev = obs[0].evidence;
+        assert_eq!(obs[0].class, LinkClass::Public { ixp });
+        assert!(ev.rule_votes >= 2, "prefix + far-member must fire: {ev:?}");
+        assert!(
+            ev.evidence_pm >= EVIDENCE_MIN_PM && !ev.weak(),
+            "clean directory crossing must clear the gate: {ev:?}"
+        );
+        assert!(!ev.contested);
+    }
+
+    #[test]
+    fn contested_membership_taints_the_evidence() {
+        // A synthetic score check against the rule arithmetic: a
+        // contested membership contributes zero and forces the contested
+        // flag, whatever the prefix agreement says.
+        let (topo, kb) = fixture();
+        let Some((ixp, fabric_ip, member)) = topo.ixps.iter().find_map(|(id, ixp)| {
+            ixp.members.iter().find_map(|m| {
+                (kb.ixp_of_ip(m.fabric_ip) == Some(id)).then_some((id, m.fabric_ip, m.asn))
+            })
+        }) else {
+            panic!("tiny world always has a confirmed fabric address");
+        };
+        let clean = score_public_hop(&kb, ixp, fabric_ip, Asn(64_999), Some(member));
+        // The synthetic near AS 64999 is nobody's member: only the far
+        // side can corroborate the prefix rule.
+        assert!(clean.rule_votes <= 3);
+        if kb.membership_contested(ixp, member) {
+            assert!(clean.contested && clean.weak());
+        } else {
+            assert!(!clean.contested);
+        }
+        // No far identity at all: prefix-only call, exactly one vote,
+        // and the score collapses to the weighted prefix agreement.
+        let alone = score_public_hop(&kb, ixp, fabric_ip, Asn(64_999), None);
+        assert_eq!(alone.rule_votes, 1);
+        assert_eq!(
+            alone.evidence_pm,
+            W_PREFIX * kb.prefix_agreement_pm(ixp, fabric_ip) / 1000
+        );
     }
 
     #[test]

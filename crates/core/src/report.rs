@@ -162,6 +162,11 @@ pub struct DataQualityReport {
     /// Interfaces whose candidates were widened to metro-level fallback
     /// sets after an empty facility intersection.
     pub widened_interfaces: u64,
+    /// Single-facility verdicts withheld because the reconciled sources
+    /// behind the owner's claim to that facility were contested
+    /// (DESIGN.md §11). These interfaces report unresolved with a
+    /// `contested_provenance` reason instead of a confident pin.
+    pub contested_pins_refused: u64,
     /// Tally of unresolved-verdict reasons, keyed by
     /// [`UnresolvedReason::code`].
     pub unresolved_reasons: BTreeMap<String, u64>,
@@ -186,6 +191,10 @@ pub struct CfsReport {
     /// Data-quality ledger: faults absorbed, retries spent, degraded
     /// inferences (DESIGN.md §9).
     pub data_quality: DataQualityReport,
+    /// Knowledge-plane quality: how the public sources agreed under
+    /// reconciliation — conflict taxonomy counts, mean agreement, and
+    /// the per-source trust/claims table (DESIGN.md §11).
+    pub kb_quality: cfs_kb::KbQuality,
 }
 
 impl CfsReport {
@@ -377,6 +386,7 @@ mod tests {
             traces_issued: 5,
             convergence: ConvergenceTelemetry::default(),
             data_quality: DataQualityReport::default(),
+            kb_quality: Default::default(),
         };
         assert_eq!(report.resolved(), 2);
         assert_eq!(report.total(), 3);
@@ -415,6 +425,7 @@ mod tests {
             traces_issued: 0,
             convergence: ConvergenceTelemetry::default(),
             data_quality: DataQualityReport::default(),
+            kb_quality: Default::default(),
         };
         assert_eq!(report.resolution_curve(), vec![0.25, 0.5, 1.0]);
         let curve = report.resolution_curve();
@@ -430,6 +441,7 @@ mod tests {
             traces_issued: 0,
             convergence: ConvergenceTelemetry::default(),
             data_quality: DataQualityReport::default(),
+            kb_quality: Default::default(),
         };
         assert!(empty.resolution_curve().is_empty());
     }
@@ -477,6 +489,7 @@ mod tests {
             traces_issued: 0,
             convergence: ConvergenceTelemetry::default(),
             data_quality: DataQualityReport::default(),
+            kb_quality: Default::default(),
         };
         let by_kind = report.interfaces_by_kind(Asn(1));
         assert_eq!(by_kind[&PeeringKind::PublicLocal], 1);

@@ -447,6 +447,7 @@ impl<'a> CfsSession<'a> {
                 class,
                 far_asn: Some(s.neighbor_asn),
                 far_ip: Some(s.neighbor_ip),
+                evidence: crate::observe::IxpHopEvidence::FULL,
             };
             let key = (obs.near_ip, obs.class.ixp(), obs.far_ip);
             if self.cfs.obs_keys.insert(key) {

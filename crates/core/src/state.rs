@@ -51,6 +51,10 @@ pub struct IfaceState {
     /// Whether the candidate set was widened to metro-level fallback
     /// candidates after an empty facility intersection (DESIGN.md §9).
     pub widened: bool,
+    /// Whether a public-crossing constraint was withheld because the
+    /// IXP-hop evidence behind it was weak or contested (DESIGN.md §11)
+    /// — the interface kept the wider owner-footprint candidates.
+    pub evidence_gated: bool,
     /// First degradation symptom observed for this interface, if any.
     /// [`IfaceState::final_reason`] folds it into the verdict taxonomy.
     pub reason: Option<UnresolvedReason>,
@@ -82,6 +86,7 @@ impl IfaceState {
             remote: false,
             missing_data: false,
             widened: false,
+            evidence_gated: false,
             reason: None,
             conflicts: 0,
             public_ixps: BTreeSet::new(),

@@ -25,7 +25,11 @@
 //!                         "resolved", "buckets"}, … ],
 //!     "trajectories": { "<ip>": [[iteration, candidates], …], … }
 //!   },
-//!   "resolution_curve": [0.25, …]
+//!   "resolution_curve": [0.25, …],
+//!   "kb_quality": { "records", "agreement_mean_pm", "unanimous",
+//!                   "majority", "contested", "single_source",
+//!                   "per_source": { "<label>": {"trust_pm", "claims",
+//!                                   "dissents", "mean_agreement_pm"} } }
 //! }
 //! ```
 
@@ -86,6 +90,25 @@ fn push_convergence(out: &mut String, conv: &ConvergenceTelemetry) {
     out.push_str("}}");
 }
 
+fn push_kb_quality(out: &mut String, q: &cfs_kb::KbQuality) {
+    out.push_str(&format!(
+        "{{\"records\":{},\"agreement_mean_pm\":{},\"unanimous\":{},\"majority\":{},\
+         \"contested\":{},\"single_source\":{},\"per_source\":{{",
+        q.records, q.agreement_mean_pm, q.unanimous, q.majority, q.contested, q.single_source
+    ));
+    for (i, (label, s)) in q.per_source.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{label}\":{{\"trust_pm\":{},\"claims\":{},\"dissents\":{},\
+             \"mean_agreement_pm\":{}}}",
+            s.trust_pm, s.claims, s.dissents, s.mean_agreement_pm
+        ));
+    }
+    out.push_str("}}");
+}
+
 /// Renders the full trace document for `--trace-json`.
 ///
 /// The digest is FNV-1a 64 over the document body (everything after the
@@ -130,6 +153,8 @@ fn render_with(report: &CfsReport, snap: &TraceSnapshot, shape: Option<&str>) ->
         body.push_str(&format!("{v}"));
     }
     body.push(']');
+    body.push_str(",\"kb_quality\":");
+    push_kb_quality(&mut body, &report.kb_quality);
     let digest = fnv1a64(&body);
     format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"digest\":\"{digest:016x}\",{body}}}")
 }
@@ -172,6 +197,7 @@ mod tests {
                 trajectories,
             },
             data_quality: Default::default(),
+            kb_quality: Default::default(),
         }
     }
 
@@ -194,6 +220,7 @@ mod tests {
             "\"per_iteration\":[{\"iteration\":1,\"unconstrained\":1,\"resolved\":1,",
             "\"trajectories\":{\"10.0.0.1\":[[1,3],[2,1]]}",
             "\"resolution_curve\":[]",
+            "\"kb_quality\":{\"records\":0,\"agreement_mean_pm\":0,",
         ] {
             assert!(doc.contains(needle), "missing {needle} in {doc}");
         }

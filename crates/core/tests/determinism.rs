@@ -166,6 +166,43 @@ fn faulted_runs_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn conflicted_kb_runs_are_byte_identical_across_thread_counts() {
+    // The ISSUE-9 determinism criterion: the dirty-KB composite
+    // (staleness + manufactured source conflicts) exercises the whole
+    // reconciliation layer — agreement scoring, evidence gating, and the
+    // contested-pin refusals in report assembly — and none of it may
+    // depend on worker chunking. The kb_quality member rides inside the
+    // digested trace body, so the byte-compare covers it too.
+    let topo = Topology::generate(TopologyConfig::tiny()).unwrap();
+    let plan = Some(FaultPlan::new(
+        topo.config.seed,
+        FaultProfile::parse("stale-kb+conflict").unwrap(),
+    ));
+    let (serial_report, serial_trace) = faulted_report_and_trace(&topo, 1, plan);
+    assert!(
+        serial_trace.contains("\"kb_quality\":{\"records\":"),
+        "trace body must carry the kb_quality section"
+    );
+    // The conflict dial must actually contest something, or this run
+    // exercises nothing beyond plain stale-kb.
+    assert!(
+        !serial_trace.contains("\"contested\":0,"),
+        "conflict profile manufactured no contested claims"
+    );
+    for threads in [2, 8] {
+        let (report, trace) = faulted_report_and_trace(&topo, threads, plan);
+        assert_eq!(
+            serial_report, report,
+            "conflicted report changed at {threads} threads"
+        );
+        assert_eq!(
+            serial_trace, trace,
+            "conflicted trace changed at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn profile_sidecar_never_perturbs_the_trace() {
     // The ISSUE acceptance criterion: the deterministic trace digest is
     // byte-identical with and without duration capture. A wall-clock

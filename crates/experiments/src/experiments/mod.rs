@@ -55,27 +55,38 @@ pub const ALL_IDS: [&str; 13] = [
     "fault_curve",
 ];
 
+/// Width of the metrics windows experiment binaries record into.
+const EXPERIMENT_WINDOW_NS: u64 = 1_000_000_000;
+
+/// Closed windows kept in the experiment binaries' metrics ring.
+const EXPERIMENT_WINDOWS_KEPT: usize = 120;
+
 /// Standard binary entry point shared by all experiment binaries.
 ///
-/// Every run carries a `cfs_obs::TraceRecorder` on the monotonic clock:
-/// the deterministic counters it accumulates land next to the
-/// experiment's results as `results/<id>.metrics.json`, and the
-/// wall-clock duration sidecar as `results/<id>.profile.json` (the
+/// Every run carries a `cfs_obs::WindowedRecorder` (1 s windows) over a
+/// `TraceRecorder` on one shared monotonic clock: the windowed
+/// `cfs-metrics/1` document — totals *and* the per-window ring — lands
+/// next to the experiment's results as `results/<id>.metrics.json`, and
+/// the wall-clock duration sidecar as `results/<id>.profile.json` (the
 /// `cfs-profile/1` document `cfs profile` renders).
 pub fn main_for(id: &str) {
     let (scale, seed) = crate::parse_args();
     let mut lab = Lab::provision(scale, seed).expect("lab provisioning failed");
-    let recorder = std::sync::Arc::new(cfs_obs::TraceRecorder::new(std::sync::Arc::new(
-        cfs_obs::Monotonic::new(),
-    )));
-    lab.recorder = recorder.clone();
+    let clock = std::sync::Arc::new(cfs_obs::Monotonic::new());
+    let inner = std::sync::Arc::new(cfs_obs::TraceRecorder::new(clock.clone()));
+    let windows = std::sync::Arc::new(cfs_obs::WindowedRecorder::new(
+        inner.clone(),
+        clock,
+        EXPERIMENT_WINDOW_NS,
+        EXPERIMENT_WINDOWS_KEPT,
+    ));
+    lab.recorder = windows.clone();
     let mut out = Output::new(id, scale.label());
     let json = run_by_id(id, &lab, &mut out).expect("experiment failed");
     let path = out.finish(json).expect("writing results failed");
-    let snap = recorder.snapshot();
-    let metrics = cfs_obs::export::render_metrics(&snap);
+    let snap = inner.snapshot();
     let metrics_path = crate::results_dir().join(format!("{id}.metrics.json"));
-    std::fs::write(&metrics_path, metrics).expect("writing metrics failed");
+    std::fs::write(&metrics_path, windows.render_metrics_json()).expect("writing metrics failed");
     let profile_path = crate::results_dir().join(format!("{id}.profile.json"));
     std::fs::write(&profile_path, cfs_obs::render_profile_json(&snap))
         .expect("writing profile failed");

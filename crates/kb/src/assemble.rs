@@ -8,6 +8,7 @@ use cfs_geo::World;
 use cfs_net::{Ipv4Prefix, PrefixTrie};
 use cfs_types::{Asn, FacilityId, IxpId, MetroId, Region};
 
+use crate::reconcile::{reconcile, ConflictClass, KbQuality, Provenance, Reconciliation};
 use crate::sources::PublicSources;
 
 /// The assembled public picture of the peering ecosystem.
@@ -34,6 +35,11 @@ pub struct KnowledgeBase {
     facility_region: BTreeMap<FacilityId, Region>,
     /// Exchanges that passed the activity filter.
     active_ixps: BTreeSet<IxpId>,
+    /// Cross-source vote on every merged claim (trust priors, agreement
+    /// scores, conflict classes).
+    reconciliation: Reconciliation,
+    /// The roll-up of the reconciliation, precomputed at assembly.
+    quality: KbQuality,
 }
 
 impl KnowledgeBase {
@@ -146,17 +152,19 @@ impl KnowledgeBase {
         }
 
         // ---- Member directories (fabric address → ASN): IXP websites
-        // plus PeeringDB netixlan rows.
+        // plus PeeringDB netixlan rows. Highest trust wins on a
+        // disputed address: the volunteer rows go in first, the site
+        // directory (trust 900 vs 600) overwrites.
         let mut ixp_members: BTreeMap<IxpId, BTreeMap<Ipv4Addr, Asn>> = BTreeMap::new();
+        for rec in sources.pdb_networks.values() {
+            for (ixp, ip) in &rec.fabric_ips {
+                ixp_members.entry(*ixp).or_default().insert(*ip, rec.asn);
+            }
+        }
         for site in sources.ixp_sites.values() {
             let entry = ixp_members.entry(site.ixp).or_default();
             for m in &site.members {
                 entry.insert(m.fabric_ip, m.asn);
-            }
-        }
-        for rec in sources.pdb_networks.values() {
-            for (ixp, ip) in &rec.fabric_ips {
-                ixp_members.entry(*ixp).or_default().insert(*ip, rec.asn);
             }
         }
 
@@ -174,6 +182,11 @@ impl KnowledgeBase {
             }
         }
 
+        // ---- Cross-source reconciliation: every merged claim gets a
+        // provenance verdict (DESIGN.md §11).
+        let reconciliation = reconcile(sources);
+        let quality = reconciliation.quality();
+
         Self {
             as_facilities,
             ixp_facilities,
@@ -183,6 +196,8 @@ impl KnowledgeBase {
             facility_metro,
             facility_region,
             active_ixps,
+            reconciliation,
+            quality,
         }
     }
 
@@ -257,6 +272,61 @@ impl KnowledgeBase {
         &self.active_ixps
     }
 
+    /// The cross-source reconciliation behind this merge.
+    pub fn reconciliation(&self) -> &Reconciliation {
+        &self.reconciliation
+    }
+
+    /// The `kb_quality` roll-up (conflict tallies, per-source stats).
+    pub fn quality(&self) -> &KbQuality {
+        &self.quality
+    }
+
+    /// Provenance of the claim that `asn` is present at facility `f`.
+    pub fn provenance_of_as_facility(&self, asn: Asn, f: FacilityId) -> Option<&Provenance> {
+        self.reconciliation.as_facility.get(&(asn, f))
+    }
+
+    /// Whether the search may pin `asn` at `f`: true unless the claim
+    /// reconciled as *contested*. Claims the reconciler never saw (an
+    /// AS with no public record at all) are not contested — they simply
+    /// have no evidence, which the candidate sets already reflect.
+    pub fn pin_allowed(&self, asn: Asn, f: FacilityId) -> bool {
+        self.provenance_of_as_facility(asn, f)
+            .is_none_or(Provenance::pinnable)
+    }
+
+    /// Trust-weighted agreement on the claim that `asn` is a member of
+    /// `ixp`, in per-mille. Unreconciled pairs (nobody claimed the
+    /// membership) score zero — no evidence is not full confidence.
+    pub fn membership_agreement_pm(&self, ixp: IxpId, asn: Asn) -> u32 {
+        self.reconciliation
+            .membership
+            .get(&(ixp, asn))
+            .map_or(0, |p| p.agreement_pm)
+    }
+
+    /// Whether the membership claim for (`ixp`, `asn`) is contested.
+    pub fn membership_contested(&self, ixp: IxpId, asn: Asn) -> bool {
+        self.reconciliation
+            .membership
+            .get(&(ixp, asn))
+            .is_some_and(|p| p.conflict == ConflictClass::Contested)
+    }
+
+    /// Trust-weighted agreement on the peering-LAN prefix covering `ip`
+    /// at `ixp`, in per-mille — the confidence behind a prefix-rule hit
+    /// in the multi-rule IXP-hop detector.
+    pub fn prefix_agreement_pm(&self, ixp: IxpId, ip: Ipv4Addr) -> u32 {
+        self.reconciliation
+            .prefix
+            .iter()
+            .filter(|((x, p), _)| *x == ixp && p.contains(ip))
+            .map(|(_, prov)| prov.agreement_pm)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Whether two epochs agree on everything observation classification
     /// reads: the confirmed peering-LAN space ([`Self::ixp_of_ip`]), the
     /// fabric-address directory ([`Self::member_of_fabric_ip`] and the
@@ -269,6 +339,9 @@ impl KnowledgeBase {
             && self.ixp_members == other.ixp_members
             && self.as_ixps == other.as_ixps
             && self.ixp_prefixes.iter() == other.ixp_prefixes.iter()
+            // Membership provenance weights the multi-rule IXP-hop
+            // detector, so extraction reads it too.
+            && self.reconciliation.membership == other.reconciliation.membership
     }
 
     /// All ASes with any facility record.

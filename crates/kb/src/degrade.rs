@@ -89,8 +89,13 @@ pub fn degrade_sources(src: &PublicSources, plan: &FaultPlan) -> PublicSources {
 
     // ---- conflicting network records: rewrite alternating facility
     // entries with plausible-but-wrong picks from the (surviving)
-    // facility table, the way volunteer records contradict NOC pages. ----
+    // facility table, the way volunteer records contradict NOC pages.
+    // The same records also get alternating IXP memberships rewritten
+    // to other (surviving) exchanges, so the volunteer view contradicts
+    // the website member directories — the cross-source disagreement
+    // the reconciler classifies as contested. ----
     let pool: Vec<FacilityId> = out.pdb_facilities.iter().map(|r| r.facility).collect();
+    let ixp_pool: Vec<cfs_types::IxpId> = out.pdb_ixps.keys().copied().collect();
     for rec in out.pdb_networks.values_mut() {
         let asn_key = u64::from(rec.asn.raw());
         let epoch = plan.kb_fetch_epoch(KB_SOURCE_PDB_NET, asn_key);
@@ -104,6 +109,19 @@ pub fn degrade_sources(src: &PublicSources, plan: &FaultPlan) -> PublicSources {
         }
         let mut seen = BTreeSet::new();
         rec.facilities.retain(|f| seen.insert(*f));
+        if !ixp_pool.is_empty() {
+            // Slot keys offset past the facility slots so the two
+            // rewrite streams draw independent picks.
+            for (slot, x) in rec.ixps.iter_mut().enumerate().skip(1).step_by(2) {
+                if let Some(i) =
+                    plan.conflict_pick_at(asn_key, 0x1_0000 + slot as u64, ixp_pool.len(), epoch)
+                {
+                    *x = ixp_pool[i];
+                }
+            }
+            let mut seen = BTreeSet::new();
+            rec.ixps.retain(|x| seen.insert(*x));
+        }
     }
 
     out
@@ -185,8 +203,15 @@ mod tests {
 
     /// The (ixp, asn) memberships asserted by *both* the IXP website and
     /// PeeringDB in `src`, and whether each source still asserts them in
-    /// `out`: `(site_kept, pdb_kept)` per pair.
-    fn membership_views(src: &PublicSources, out: &PublicSources) -> Vec<(bool, bool)> {
+    /// `out`: `(site_kept, pdb_kept)` per pair. Networks hit by the
+    /// conflict-rewrite are skipped — that dial *manufactures*
+    /// cross-source disagreement by design; these tests are about the
+    /// staleness machinery.
+    fn membership_views(
+        src: &PublicSources,
+        out: &PublicSources,
+        plan: &FaultPlan,
+    ) -> Vec<(bool, bool)> {
         let mut views = Vec::new();
         for (ixp, site) in &src.ixp_sites {
             for m in &site.members {
@@ -194,6 +219,11 @@ mod tests {
                     continue;
                 };
                 if !rec.ixps.contains(ixp) {
+                    continue;
+                }
+                let asn_key = u64::from(m.asn.raw());
+                let epoch = plan.kb_fetch_epoch(KB_SOURCE_PDB_NET, asn_key);
+                if plan.conflict_kb_network_at(asn_key, epoch) {
                     continue;
                 }
                 let site_kept = out
@@ -214,8 +244,9 @@ mod tests {
     fn stale_kb_lags_both_sources_in_lockstep() {
         let src = sources();
         for seed in [3, 7, 11, 42] {
-            let out = degrade_sources(&src, &FaultPlan::new(seed, FaultProfile::stale_kb()));
-            for (site_kept, pdb_kept) in membership_views(&src, &out) {
+            let plan = FaultPlan::new(seed, FaultProfile::stale_kb());
+            let out = degrade_sources(&src, &plan);
+            for (site_kept, pdb_kept) in membership_views(&src, &out, &plan) {
                 assert_eq!(
                     site_kept, pdb_kept,
                     "coherent snapshot: sources must agree (seed {seed})"
@@ -228,8 +259,9 @@ mod tests {
     fn mid_kb_refresh_tears_sources_apart() {
         let src = sources();
         let torn = [3u64, 7, 11, 42].iter().any(|&seed| {
-            let out = degrade_sources(&src, &FaultPlan::new(seed, FaultProfile::mid_kb_refresh()));
-            membership_views(&src, &out)
+            let plan = FaultPlan::new(seed, FaultProfile::mid_kb_refresh());
+            let out = degrade_sources(&src, &plan);
+            membership_views(&src, &out, &plan)
                 .iter()
                 .any(|(site, pdb)| site != pdb)
         });
@@ -254,6 +286,20 @@ mod tests {
         for (x, y) in a.ixp_sites.values().zip(b.ixp_sites.values()) {
             assert_eq!(x.members.len(), y.members.len());
         }
+    }
+
+    #[test]
+    fn conflict_rewrites_manufacture_contested_claims() {
+        let src = sources();
+        let clean_contested = crate::reconcile(&src).quality().contested;
+        let plan = FaultPlan::new(9, FaultProfile::conflict());
+        let out = degrade_sources(&src, &plan);
+        let q = crate::reconcile(&out).quality();
+        assert!(
+            q.contested > clean_contested,
+            "conflict dial manufactured no contested claims ({} vs {clean_contested})",
+            q.contested
+        );
     }
 
     #[test]

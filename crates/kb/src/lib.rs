@@ -17,17 +17,28 @@
 //! The resulting [`KnowledgeBase`] is the only facility information the
 //! CFS algorithm ever sees; ground truth stays behind the measurement
 //! interfaces.
+//!
+//! Assembly is **conflict-aware**: before merging, every claim the
+//! sources make is reconciled as a cross-source vote with trust priors
+//! (see [`reconcile`]), and each merged record carries a [`Provenance`]
+//! verdict. Contested claims stay in the merge for coverage, but the
+//! search refuses to pin a facility on them.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod assemble;
 mod degrade;
+mod reconcile;
 mod snapshot;
 mod sources;
 
 pub use assemble::KnowledgeBase;
 pub use degrade::degrade_sources;
+pub use reconcile::{
+    pairwise_diff, reconcile, ConflictClass, DiffRow, KbQuality, Provenance, Reconciliation,
+    SourceId, SourceQuality, CONTESTED_BELOW_PM,
+};
 pub use sources::{
     IxpSiteRecord, KbConfig, NocPage, PdbFacilityRecord, PdbIxpRecord, PdbNetworkRecord,
     PublicSources, SiteMemberRecord,

@@ -18,7 +18,7 @@
 //! | `delta`    | `kind: "vp-status"`, `vp`, `up`          | mark a vantage point down/up         |
 //! | `trace`    | —                                        | canonical `cfs-trace/1` document     |
 //! | `metrics`  | —                                        | `cfs-metrics/1` window snapshot      |
-//! | `events`   | `since` (optional, default 0)            | drain `cfs-log/1` events from cursor |
+//! | `events`   | `since` (optional, default 0), `min_severity` (optional: `info`\|`warn`\|`error`) | drain `cfs-log/1` events from cursor |
 //! | `shutdown` | —                                        | stop the daemon after responding     |
 //!
 //! ## Error codes
@@ -79,6 +79,10 @@ pub enum Request {
         /// The client's cursor: the first sequence number it has not
         /// seen. `0` (the wire default) drains everything retained.
         since: u64,
+        /// Severity floor: only events at or above this level are
+        /// returned. `None` (absent on the wire) means everything.
+        /// Validated at parse — only `"info"`, `"warn"`, `"error"` pass.
+        min_severity: Option<String>,
     },
     /// Stop the daemon after acknowledging.
     Shutdown,
@@ -165,7 +169,25 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
                     )
                 })?,
             };
-            Ok(Request::Events { since })
+            // `min_severity` is also optional; the vocabulary is pinned
+            // here (parser authority) so the dispatch side never sees an
+            // unknown level.
+            let min_severity = match doc.get("min_severity") {
+                None => None,
+                Some(v) => match v.as_str() {
+                    Some(s @ ("info" | "warn" | "error")) => Some(s.to_string()),
+                    _ => {
+                        return Err(ApiError::new(
+                            "bad_request",
+                            "member \"min_severity\" must be \"info\", \"warn\", or \"error\"",
+                        ));
+                    }
+                },
+            };
+            Ok(Request::Events {
+                since,
+                min_severity,
+            })
         }
         "shutdown" => Ok(Request::Shutdown),
         "query" => {
@@ -319,11 +341,26 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"schema":"cfs-api/1","op":"events"}"#),
-            Ok(Request::Events { since: 0 })
+            Ok(Request::Events {
+                since: 0,
+                min_severity: None
+            })
         );
         assert_eq!(
             parse_request(r#"{"schema":"cfs-api/1","op":"events","since":41}"#),
-            Ok(Request::Events { since: 41 })
+            Ok(Request::Events {
+                since: 41,
+                min_severity: None
+            })
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"schema":"cfs-api/1","op":"events","since":7,"min_severity":"warn"}"#
+            ),
+            Ok(Request::Events {
+                since: 7,
+                min_severity: Some("warn".to_string())
+            })
         );
         assert_eq!(
             parse_request(r#"{"schema":"cfs-api/1","op":"shutdown"}"#),
@@ -359,6 +396,20 @@ mod tests {
                 .unwrap_err()
                 .code,
             "unknown_op"
+        );
+        // The severity vocabulary is pinned at parse time: anything
+        // outside info|warn|error is refused here, never dispatched.
+        assert_eq!(
+            parse_request(r#"{"schema":"cfs-api/1","op":"events","min_severity":"debug"}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
+        );
+        assert_eq!(
+            parse_request(r#"{"schema":"cfs-api/1","op":"events","min_severity":3}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
         );
         assert_eq!(
             parse_request(r#"{"schema":"cfs-api/1","op":"query"}"#)

@@ -39,6 +39,10 @@ pub enum UnresolvedReason {
     /// The interface peers remotely: its router sits outside the
     /// exchange's metro, so no local facility applies.
     RemotePeer,
+    /// The sources backing the winning facility disagreed too much to
+    /// trust: the pin was refused rather than risk a confident wrong
+    /// answer (contested provenance after cross-source reconciliation).
+    ContestedProvenance,
 }
 
 impl UnresolvedReason {
@@ -53,6 +57,7 @@ impl UnresolvedReason {
             Self::RemoteInconclusive => "remote_inconclusive",
             Self::AmbiguousCandidates => "ambiguous_candidates",
             Self::RemotePeer => "remote_peer",
+            Self::ContestedProvenance => "contested_provenance",
         }
     }
 }
@@ -77,6 +82,7 @@ mod tests {
             UnresolvedReason::RemoteInconclusive,
             UnresolvedReason::AmbiguousCandidates,
             UnresolvedReason::RemotePeer,
+            UnresolvedReason::ContestedProvenance,
         ] {
             let json = serde_json::to_string(&r).unwrap();
             assert_eq!(json, format!("\"{r:?}\""));

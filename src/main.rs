@@ -10,6 +10,8 @@
 //!              [--faults P]                       #   + chaos fault injection
 //! cfs audit    <asn> [--scale S] [--seed N]       # one network's peering map
 //!              [--faults P]                       #   + data-quality section
+//!                                                 #   + KB reconciliation table
+//! cfs kb-diff  <a> <b> [--scale S] [--seed N]     # pairwise source disagreement
 //! cfs census   [--scale S] [--seed N]             # remote-peering census
 //! cfs validate [--scale S] [--seed N]             # §6 validation scorecard
 //! cfs trace-validate <file>                       # check a --trace-json export
@@ -22,6 +24,8 @@
 //!              [--scale S] [--seed N]             #   speaking cfs-api/1
 //!              [--campaigns N] [--faults P]       #   + pre-ingested campaigns / chaos
 //!              [--log FILE] [--window-ms N]       #   + event sink / metrics windows
+//!              [--metrics-interval N]             #   + cadence cfs-metrics/1 snapshots
+//!              [--metrics-out FILE]               #     (default cfs-metrics.json)
 //! cfs query    --socket PATH | --tcp ADDR         # one cfs-api/1 roundtrip
 //!              <ip>|status|trace|shutdown         #   against a daemon
 //!              [--raw JSON] [--out FILE]
@@ -37,7 +41,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cfs::obs::{
-    pace, EventKind, EventLog, MetricsDoc, Monotonic, Recorder, TraceRecorder, WindowedRecorder,
+    pace, Clock, EventKind, EventLog, MetricsDoc, Monotonic, Recorder, TraceRecorder,
+    WindowedRecorder,
 };
 use cfs::prelude::*;
 use cfs::svc::{ApiError, Outcome};
@@ -96,6 +101,14 @@ fn main() {
             flag_value(&args, "--faults"),
             flag_value(&args, "--log"),
             flag_value(&args, "--window-ms"),
+            flag_value(&args, "--metrics-interval"),
+            flag_value(&args, "--metrics-out"),
+        ),
+        "kb-diff" => kb_diff(
+            scale,
+            seed,
+            positionals(&args, &[]).first().copied().map(String::from),
+            positionals(&args, &[]).get(1).copied().map(String::from),
         ),
         "query" => query_cmd(&args),
         "metrics" => metrics_cmd(&args),
@@ -127,10 +140,15 @@ fn print_help() {
          \x20            sidecar (cfs-profile/1; never part of the trace digest);\n\
          \x20            --metrics prints a human timing/counter summary;\n\
          \x20            --faults P injects a deterministic fault profile\n\
-         \x20            (off|default|flaky|blackout|stale-kb|mid-kb-refresh,\n\
-         \x20            composable as a+b)\n\
+         \x20            (off|default|flaky|blackout|stale-kb|mid-kb-refresh|\n\
+         \x20            conflict, composable as a+b)\n\
          \x20 audit ASN  one network's inferred peering map; --faults P audits\n\
-         \x20            a faulted run and prints its data-quality section\n\
+         \x20            a faulted run and prints its data-quality section;\n\
+         \x20            always ends with the KB reconciliation table (per-source\n\
+         \x20            trust priors vs observed agreement)\n\
+         \x20 kb-diff A B  pairwise disagreement between two public sources\n\
+         \x20            (noc, ixp-site, pch, pdb-fac, consortium, pdb-ixp,\n\
+         \x20            pdb-net): shared/only-A/only-B claims + Jaccard\n\
          \x20 census     remote-peering census over the exchanges\n\
          \x20 validate   §6 validation scorecard\n\
          \x20 trace-validate FILE  check a --trace-json export (schema + digest)\n\
@@ -148,7 +166,10 @@ fn print_help() {
          \x20            pre-ingests the deterministic follow-on campaigns 1..N;\n\
          \x20            --faults P serves a chaos-degraded world; --log FILE\n\
          \x20            streams cfs-log/1 events; --window-ms N sets the\n\
-         \x20            metrics window width (default 1000)\n\
+         \x20            metrics window width (default 1000);\n\
+         \x20            --metrics-interval N snapshots cfs-metrics/1 to\n\
+         \x20            --metrics-out FILE (default cfs-metrics.json) at most\n\
+         \x20            every N ms\n\
          \x20 query      one cfs-api/1 roundtrip against a daemon: an IPv4\n\
          \x20            address, status, trace, or shutdown (or --raw JSON);\n\
          \x20            --out FILE saves the payload; exit 0 ok, 3 transport\n\
@@ -285,7 +306,7 @@ fn run_cmd(
             None => {
                 eprintln!(
                     "unknown fault profile {spec:?} (named: off, default, flaky, \
-                     blackout, stale-kb, mid-kb-refresh; compose with `+`)"
+                     blackout, stale-kb, mid-kb-refresh, conflict; compose with `+`)"
                 );
                 return 2;
             }
@@ -316,12 +337,14 @@ fn run_cmd(
         let dq = &report.data_quality;
         println!(
             "fault profile {spec}: {} failed probes, {} retried ({} denied), \
-             {} VP breaker trips, {} interfaces metro-widened",
+             {} VP breaker trips, {} interfaces metro-widened, \
+             {} contested pins refused",
             dq.failed_probes,
             dq.probes_retried,
             dq.retries_denied,
             dq.vp_breaker_trips,
             dq.widened_interfaces,
+            dq.contested_pins_refused,
         );
     }
 
@@ -635,6 +658,7 @@ fn trace_validate(path: Option<&str>) -> i32 {
         "spans",
         "convergence",
         "resolution_curve",
+        "kb_quality",
     ] {
         if doc.get(key).is_none() {
             problems.push(("structure", format!("missing top-level member {key:?}")));
@@ -762,7 +786,7 @@ fn audit(scale: Scale, seed: Option<u64>, asn: Option<u32>, faults: Option<Strin
             None => {
                 eprintln!(
                     "unknown fault profile {spec:?} (named: off, default, flaky, \
-                     blackout, stale-kb, mid-kb-refresh; compose with `+`)"
+                     blackout, stale-kb, mid-kb-refresh, conflict; compose with `+`)"
                 );
                 return 2;
             }
@@ -825,6 +849,68 @@ fn audit(scale: Scale, seed: Option<u64>, asn: Option<u32>, faults: Option<Strin
             let own = asn_reasons.get(code.as_str()).copied().unwrap_or(0);
             println!("    {code:<22} {n:>5} / {own}");
         }
+    }
+
+    // The knowledge plane behind those verdicts: how much the public
+    // sources agreed once reconciled (DESIGN.md §11), and each source's
+    // trust prior next to how its claims actually fared.
+    let q = &report.kb_quality;
+    println!("kb reconciliation:");
+    println!(
+        "  {} claims, mean agreement {}‰, contested {}‰",
+        q.records,
+        q.agreement_mean_pm,
+        q.contested_pm()
+    );
+    println!(
+        "  unanimous {} / majority {} / contested {} / single-source {}",
+        q.unanimous, q.majority, q.contested, q.single_source
+    );
+    println!("  contested pins refused: {}", dq.contested_pins_refused);
+    println!("  source        trust‰  claims  dissents  agreement‰");
+    for (label, s) in &q.per_source {
+        println!(
+            "  {label:<12} {:>6}  {:>6}  {:>8}  {:>10}",
+            s.trust_pm, s.claims, s.dissents, s.mean_agreement_pm
+        );
+    }
+    0
+}
+
+/// `cfs kb-diff`: Klöti-style pairwise disagreement between two public
+/// sources — per claim family, how many claims both assert, how many
+/// only one side asserts, and the Jaccard agreement.
+fn kb_diff(scale: Scale, seed: Option<u64>, a: Option<String>, b: Option<String>) -> i32 {
+    let labels: Vec<&'static str> = cfs::kb::SourceId::ALL.iter().map(|s| s.label()).collect();
+    let (Some(a), Some(b)) = (a, b) else {
+        eprintln!(
+            "usage: cfs kb-diff <source-a> <source-b> [--scale S] [--seed N]\n\
+             sources: {}",
+            labels.join(", ")
+        );
+        return 2;
+    };
+    let (Some(sa), Some(sb)) = (cfs::kb::SourceId::parse(&a), cfs::kb::SourceId::parse(&b)) else {
+        eprintln!("unknown source (known: {})", labels.join(", "));
+        return 2;
+    };
+    let lab = provision(scale, seed);
+    let rows = cfs::kb::pairwise_diff(&lab.sources, sa, sb);
+    if rows.is_empty() {
+        println!("{a} and {b} share no claim family — nothing to diff");
+        return 0;
+    }
+    println!(
+        "pairwise disagreement {a} vs {b} (scale {}, seed {})",
+        scale.label(),
+        lab.topo.config.seed
+    );
+    println!("  family        both  only-{a:<10}  only-{b:<10}  jaccard‰");
+    for r in &rows {
+        println!(
+            "  {:<12} {:>5}  {:>16}  {:>16}  {:>8}",
+            r.family, r.both, r.only_a, r.only_b, r.jaccard_pm
+        );
     }
     0
 }
@@ -949,6 +1035,8 @@ fn serve_cmd(
     faults: Option<String>,
     log_path: Option<String>,
     window_ms: Option<String>,
+    metrics_interval: Option<String>,
+    metrics_out: Option<String>,
 ) -> i32 {
     let campaigns: u64 = match campaigns.map(|c| c.parse::<u64>()) {
         None => 0,
@@ -966,6 +1054,15 @@ fn serve_cmd(
             return 2;
         }
     };
+    let metrics_interval_ns: Option<u64> = match metrics_interval.map(|v| v.parse::<u64>()) {
+        None => None,
+        Some(Ok(n)) if n > 0 => Some(n * 1_000_000),
+        _ => {
+            eprintln!("--metrics-interval wants a positive number of milliseconds");
+            return 2;
+        }
+    };
+    let metrics_out = metrics_out.unwrap_or_else(|| "cfs-metrics.json".to_string());
     // Bind before the (slow) world provisioning: early clients connect
     // immediately and their requests queue until the loop starts.
     let bound = match (&socket, &tcp) {
@@ -975,7 +1072,8 @@ fn serve_cmd(
             eprintln!(
                 "usage: cfs serve --socket PATH | --tcp ADDR \
                  [--scale S] [--seed N] [--campaigns N] [--faults P] \
-                 [--log FILE] [--window-ms N]"
+                 [--log FILE] [--window-ms N] \
+                 [--metrics-interval MS] [--metrics-out FILE]"
             );
             return 2;
         }
@@ -999,7 +1097,7 @@ fn serve_cmd(
             None => {
                 eprintln!(
                     "unknown fault profile {spec:?} (named: off, default, flaky, \
-                     blackout, stale-kb, mid-kb-refresh; compose with `+`)"
+                     blackout, stale-kb, mid-kb-refresh, conflict; compose with `+`)"
                 );
                 return 2;
             }
@@ -1095,6 +1193,11 @@ fn serve_cmd(
         widened_interfaces,
     };
 
+    // Cadence snapshots of the live window ring: the clock that drives
+    // the windows also decides when a snapshot is due, so a request
+    // burst writes at most one file per interval and an idle daemon
+    // writes none (the loop only runs between requests).
+    let mut next_snapshot_ns = metrics_interval_ns.map(|iv| clock.now_ns() + iv);
     let served = server.serve(|req| {
         // Count and time every dispatched request into the windows; the
         // span lands under its op's name (api.query, api.delta, …).
@@ -1103,6 +1206,17 @@ fn serve_cmd(
         let start = tele.windows.span_start();
         let out = dispatch(req, &mut session, &lab, engine, &mut sources, &mut tele);
         tele.windows.span_end(op, start);
+        if let (Some(iv), Some(due)) = (metrics_interval_ns, next_snapshot_ns.as_mut()) {
+            let now = clock.now_ns();
+            if now >= *due {
+                if let Err(e) = std::fs::write(&metrics_out, tele.windows.render_metrics_json()) {
+                    eprintln!("cfsd: failed to write --metrics-out {metrics_out}: {e}");
+                }
+                // Re-anchor on now, not on `due`: a long gap between
+                // requests must not trigger a burst of catch-up writes.
+                *due = now + iv;
+            }
+        }
         out
     });
     match served {
@@ -1151,13 +1265,28 @@ fn dispatch(
                 .raw("metrics", &tele.windows.render_metrics_json())
                 .finish(),
         ),
-        Request::Events { since } => {
+        Request::Events {
+            since,
+            min_severity,
+        } => {
+            // The parser pinned the vocabulary, so an unknown label here
+            // is unreachable; default to the lowest floor regardless.
+            let floor = match min_severity.as_deref() {
+                Some("error") => cfs::obs::Severity::Error,
+                Some("warn") => cfs::obs::Severity::Warn,
+                _ => cfs::obs::Severity::Info,
+            };
             let (drained, next) = tele.events.since(since);
             let mut arr = String::from("[");
-            for (i, e) in drained.iter().enumerate() {
-                if i > 0 {
+            let mut first = true;
+            for e in &drained {
+                if e.kind.severity() < floor {
+                    continue; // filtered, but `next` still advances past it
+                }
+                if !first {
                     arr.push(',');
                 }
+                first = false;
                 arr.push_str(&e.render_json());
             }
             arr.push(']');
