@@ -479,6 +479,76 @@ impl<'a> Cfs<'a> {
         }
     }
 
+    /// Resets every derived artifact back to the post-builder state
+    /// while keeping the external inputs — raw traces, the
+    /// looking-glass log, the current KB epoch, vantage-point status —
+    /// so [`Cfs::run_to_convergence`] can be re-run from scratch over
+    /// them. This is the replay entry point behind follow-up-driven
+    /// sessions, where targeted probing reacts to global state and no
+    /// scoped pass can reproduce convergence. The caller is responsible
+    /// for first truncating `traces` to the external prefix (follow-up
+    /// probes from the previous run are re-issued by the replay itself).
+    pub(crate) fn reset_for_replay(&mut self) {
+        self.processed = 0;
+        self.hop_ips.clear();
+        for t in &self.traces {
+            for hop in &t.hops {
+                if let Some(ip) = hop.ip {
+                    self.hop_ips.insert(ip);
+                }
+            }
+        }
+        for (_, s) in &self.bgp_log {
+            self.hop_ips.insert(s.local_ip);
+            self.hop_ips.insert(s.neighbor_ip);
+        }
+        self.new_ips_since_alias = self.hop_ips.len();
+        self.aliases = AliasResolution::default();
+        self.corrected.clear();
+        self.observations.clear();
+        self.obs_keys.clear();
+        self.states.clear();
+        self.remote_cache.clear();
+        self.vp_crossed.clear();
+        self.chase_attempts.clear();
+        self.interner = FacilitySetInterner::new();
+        self.as_fac_cache.clear();
+        self.ixp_fac_cache.clear();
+        self.metro_cand_cache.clear();
+        self.deps.clear();
+        self.clock_ms = 0;
+        self.iterations.clear();
+        self.traces_issued = 0;
+        self.conv_hists.clear();
+        self.retry_budget = RetryBudget::new(self.cfg.retry_budget);
+        self.breaker =
+            CircuitBreaker::new(self.cfg.breaker_threshold, self.cfg.breaker_cooldown_ms);
+        self.failed_probes = 0;
+        // Rebuild the looking-glass observations under the current KB
+        // epoch, exactly as ingest_bgp_sessions would have built them.
+        self.session_observations.clear();
+        let log = std::mem::take(&mut self.bgp_log);
+        for (owner, s) in &log {
+            let class = match self.kb().ixp_of_ip(s.neighbor_ip) {
+                Some(ixp) => LinkClass::Public { ixp },
+                None => LinkClass::Private,
+            };
+            let obs = Observation {
+                near_asn: *owner,
+                near_ip: s.local_ip,
+                class,
+                far_asn: Some(s.neighbor_asn),
+                far_ip: Some(s.neighbor_ip),
+                evidence: crate::observe::IxpHopEvidence::FULL,
+            };
+            let key = (obs.near_ip, obs.class.ixp(), obs.far_ip);
+            if self.obs_keys.insert(key) {
+                self.session_observations.push(obs);
+            }
+        }
+        self.bgp_log = log;
+    }
+
     /// Runs the search to convergence (or the iteration cap) and returns
     /// the report.
     ///

@@ -14,15 +14,25 @@
 //! counts, with and without fault injection.
 //!
 //! Incremental correctness rests on the **iteration-1 fixed point**:
-//! sessions require follow-up-less configurations
-//! (`CfsConfig::followup_interfaces == 0`), under which the batch loop's
-//! serialized state stops changing after the first iteration —
-//! observation constraints are static sets, re-intersecting them is
-//! idempotent, and alias combination leaves every member at the combined
-//! set. One scoped constraint pass therefore reproduces convergence for
-//! the dirty interfaces, and [`Cfs::synthesize_iterations`] replays the
-//! loop's control flow against the (constant) per-iteration counts to
-//! rebuild the convergence telemetry the batch loop would have written.
+//! under follow-up-less configurations
+//! (`CfsConfig::followup_interfaces == 0`) the batch loop's serialized
+//! state stops changing after the first iteration — observation
+//! constraints are static sets, re-intersecting them is idempotent, and
+//! alias combination leaves every member at the combined set. One scoped
+//! constraint pass therefore reproduces convergence for the dirty
+//! interfaces, and [`Cfs::synthesize_iterations`] replays the loop's
+//! control flow against the (constant) per-iteration counts to rebuild
+//! the convergence telemetry the batch loop would have written.
+//!
+//! Follow-up-driven configurations (`followup_interfaces > 0`) have no
+//! such fixed point: targeted probing reacts to global state, so a
+//! scoped pass cannot reproduce convergence. Those sessions still
+//! absorb deltas — [`CfsSession::apply_delta`] falls back to a **full
+//! deterministic replay**: external inputs are merged (discarding the
+//! previous run's follow-up probes, which the replay re-issues itself),
+//! derived state is reset, and the batch loop re-runs from scratch.
+//! The same report-equivalence contract holds on both paths; only the
+//! cost differs (O(dirty) vs O(world)).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
@@ -32,7 +42,7 @@ use cfs_kb::KnowledgeBase;
 use cfs_obs::export::fnv1a64;
 use cfs_obs::{Recorder, TraceRecorder};
 use cfs_traceroute::Trace;
-use cfs_types::{Asn, Error, FacilityId, IxpId, LinkClass, MetroId, Result, VantagePointId};
+use cfs_types::{Asn, FacilityId, IxpId, LinkClass, MetroId, Result, VantagePointId};
 
 use crate::engine::{Cfs, DepKey, KbHandle};
 use crate::observe::Observation;
@@ -111,6 +121,11 @@ pub struct CfsSession<'a> {
     cfs: Cfs<'a>,
     report: Option<CfsReport>,
     epoch: u64,
+    /// Length of the external prefix of the engine's trace list: traces
+    /// fed through [`CfsSession::ingest`] or [`Delta::TracerouteBatch`],
+    /// as opposed to follow-up probes the convergence loop issued
+    /// itself. The replay delta path re-runs from exactly this prefix.
+    external_traces: usize,
 }
 
 impl<'a> CfsSession<'a> {
@@ -119,6 +134,7 @@ impl<'a> CfsSession<'a> {
             cfs,
             report: None,
             epoch: 0,
+            external_traces: 0,
         }
     }
 
@@ -152,6 +168,9 @@ impl<'a> CfsSession<'a> {
     /// same inputs returns, byte for byte.
     pub fn converge(&mut self) -> &CfsReport {
         if self.report.is_none() {
+            // Everything ingested so far is external input; follow-up
+            // probes appended by the run itself land after this mark.
+            self.external_traces = self.cfs.traces.len();
             let report = self.cfs.run();
             self.report = Some(report);
             self.epoch = 1;
@@ -233,20 +252,18 @@ impl<'a> CfsSession<'a> {
     /// Emits `serve.delta`, `serve.dirty_ifaces`, and `serve.reconverged`
     /// through the session recorder.
     ///
-    /// Errors when the configuration runs follow-ups
-    /// (`CfsConfig::followup_interfaces > 0`): targeted probing reacts to
-    /// global state, so incremental re-convergence is only sound for the
-    /// measurement-complete configurations service deployments use.
+    /// Follow-up-driven configurations
+    /// (`CfsConfig::followup_interfaces > 0`) take the replay path
+    /// instead: the batch loop re-runs from scratch over the merged
+    /// external inputs (module docs). The outcome then reports
+    /// `reconverged == total`, and `dirty` counts interfaces whose
+    /// verdict actually changed between the cached and replayed reports.
     pub fn apply_delta(&mut self, delta: Delta) -> Result<DeltaOutcome> {
-        if self.cfs.cfg.followup_interfaces > 0 {
-            return Err(Error::invalid(
-                "CfsSession::apply_delta requires a follow-up-less configuration \
-                 (set CfsConfig::followup_interfaces = 0): incremental re-convergence \
-                 relies on the iteration-1 fixed point",
-            ));
-        }
         if self.report.is_none() {
             self.converge();
+        }
+        if self.cfs.cfg.followup_interfaces > 0 {
+            return self.apply_delta_replay(delta);
         }
         cfs_obs::span!(self.cfs.recorder, "serve.delta");
         let (dirty, purge_remote) = match delta {
@@ -282,6 +299,69 @@ impl<'a> CfsSession<'a> {
             epoch: self.epoch,
             dirty: dirty.len(),
             reconverged: scope.len(),
+            total,
+        })
+    }
+
+    /// The follow-up-capable delta path: merges the delta into the
+    /// external inputs, discards the previous run's follow-up probes
+    /// (the engine's trace list past the external prefix), resets every
+    /// derived artifact, and re-runs the batch loop from scratch. Costs
+    /// a full run; produces exactly the fresh-batch report, so the
+    /// report-equivalence contract of the incremental path holds here
+    /// too — `crates/core/tests/session.rs` asserts it.
+    fn apply_delta_replay(&mut self, delta: Delta) -> Result<DeltaOutcome> {
+        cfs_obs::span!(self.cfs.recorder, "serve.delta");
+        self.cfs.traces.truncate(self.external_traces);
+        match delta {
+            Delta::TracerouteBatch(traces) => {
+                self.cfs.ingest(traces);
+                self.external_traces = self.cfs.traces.len();
+            }
+            Delta::KbEpochFlip(kb) => {
+                self.cfs.kb = KbHandle::Owned(kb);
+            }
+            Delta::VpStatusChange { vp, up } => {
+                if up {
+                    self.cfs.vp_down.remove(&vp);
+                } else {
+                    self.cfs.vp_down.insert(vp);
+                }
+            }
+        }
+        let before: BTreeMap<Ipv4Addr, (Option<FacilityId>, SearchOutcome)> = self
+            .report
+            .as_ref()
+            .map(|r| {
+                r.interfaces
+                    .iter()
+                    .map(|(ip, i)| (*ip, (i.facility, i.outcome)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.cfs.reset_for_replay();
+        self.cfs.run_to_convergence();
+        let report = self.cfs.build_report();
+        let total = self.cfs.states.len();
+        let dirty = report
+            .interfaces
+            .iter()
+            .filter(|(ip, i)| before.get(*ip) != Some(&(i.facility, i.outcome)))
+            .count()
+            + before
+                .keys()
+                .filter(|ip| !report.interfaces.contains_key(*ip))
+                .count();
+        self.cfs
+            .recorder
+            .counter("serve.dirty_ifaces", dirty as u64);
+        self.cfs.recorder.counter("serve.reconverged", total as u64);
+        self.report = Some(report);
+        self.epoch += 1;
+        Ok(DeltaOutcome {
+            epoch: self.epoch,
+            dirty,
+            reconverged: total,
             total,
         })
     }

@@ -316,27 +316,66 @@ fn vp_status_delta_matches_fresh_batch_with_pool_exclusion() {
 }
 
 #[test]
-fn apply_delta_rejects_followup_configurations() {
+fn followup_config_delta_replays_full_batch() {
+    // Follow-up-driven configurations have no iteration-1 fixed point,
+    // so apply_delta falls back to a full deterministic replay over the
+    // merged external inputs — discarding the previous run's follow-up
+    // probes, which the replay re-issues itself. The contract is the
+    // same as the incremental path: byte-identical to a fresh batch run.
     let world = World::new();
     let vps = deploy_vantage_points(&world.topo, &VpConfig::tiny()).unwrap();
     let kb = KnowledgeBase::assemble(&world.sources, &world.topo.world);
     let ipasn = world.topo.build_ipasn_db();
     let engine = Engine::new(&world.topo);
 
-    let mut session = Cfs::builder(&engine, &kb)
-        .vps(&vps)
-        .ipasn(&ipasn)
-        // default config: follow-ups enabled
-        .build_session()
-        .unwrap();
-    session.ingest(world.campaign(&engine, &vps, 0));
-    let err = session
-        .apply_delta(Delta::TracerouteBatch(Vec::new()))
-        .unwrap_err();
-    assert!(
-        err.to_string().contains("followup_interfaces"),
-        "unexpected error: {err}"
-    );
+    let batch_a = world.campaign(&engine, &vps, 0);
+    let batch_b = world.campaign(&engine, &vps, 7_200_000);
+    let followup_cfg = |threads| CfsConfig {
+        followup_interfaces: 24,
+        threads,
+        ..CfsConfig::default()
+    };
+
+    for threads in [1usize, 2, 8] {
+        let mut batch = Cfs::builder(&engine, &kb)
+            .vps(&vps)
+            .ipasn(&ipasn)
+            .config(followup_cfg(threads))
+            .build_session()
+            .unwrap();
+        batch.ingest(batch_a.clone());
+        batch.ingest(batch_b.clone());
+        let full = batch.into_report();
+
+        let mut session = Cfs::builder(&engine, &kb)
+            .vps(&vps)
+            .ipasn(&ipasn)
+            .config(followup_cfg(threads))
+            .build_session()
+            .unwrap();
+        session.ingest(batch_a.clone());
+        session.converge();
+        let outcome = session
+            .apply_delta(Delta::TracerouteBatch(batch_b.clone()))
+            .unwrap();
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(
+            outcome.reconverged, outcome.total,
+            "the replay path re-converges everything"
+        );
+        let replayed = session.into_report();
+
+        assert_eq!(
+            report_bytes(&full),
+            report_bytes(&replayed),
+            "threads={threads}: follow-up replay diverged from batch"
+        );
+        assert_eq!(
+            canonical_trace(&full),
+            canonical_trace(&replayed),
+            "threads={threads}: trace digests diverged"
+        );
+    }
 }
 
 #[test]

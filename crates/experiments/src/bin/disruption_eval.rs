@@ -1,0 +1,5 @@
+//! Extension study: streaming disruption detection scored against a withheld schedule.
+
+fn main() {
+    cfs_experiments::experiments::main_for("disruption_eval");
+}

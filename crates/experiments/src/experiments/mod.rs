@@ -2,6 +2,7 @@
 //! `run(&Lab, &mut Output) -> Result<serde_json::Value>`.
 
 pub mod ablation;
+pub mod disruption_eval;
 pub mod dns_geo;
 pub mod fault_curve;
 pub mod fig10;
@@ -34,12 +35,13 @@ pub fn run_by_id(id: &str, lab: &Lab, out: &mut Output) -> Result<serde_json::Va
         "ablation" => ablation::run(lab, out),
         "kind_confusion" => kind_confusion::run(lab, out),
         "fault_curve" => fault_curve::run(lab, out),
+        "disruption_eval" => disruption_eval::run(lab, out),
         other => Err(cfs_types::Error::not_found("experiment", other)),
     }
 }
 
 /// All experiment ids in paper order, plus the extension studies.
-pub const ALL_IDS: [&str; 13] = [
+pub const ALL_IDS: [&str; 14] = [
     "table1",
     "fig2",
     "fig3",
@@ -53,6 +55,7 @@ pub const ALL_IDS: [&str; 13] = [
     "ablation",
     "kind_confusion",
     "fault_curve",
+    "disruption_eval",
 ];
 
 /// Width of the metrics windows experiment binaries record into.

@@ -16,6 +16,9 @@
 //! | `proximity` | §4.4 switch-proximity evaluation | `--bin proximity` |
 //! | `dns_geo` | §5/§7 DNS, IP-database & CBG geolocation baselines | `--bin dns_geo` |
 //! | `ablation` | extension — disable one §4 mechanism at a time | `--bin ablation` |
+//! | `kind_confusion` | extension — peering-type confusion matrix | `--bin kind_confusion` |
+//! | `fault_curve` | extension — accuracy vs probe/KB fault rate | `--bin fault_curve` |
+//! | `disruption_eval` | extension — streaming disruption detection vs withheld schedule | `--bin disruption_eval` |
 //!
 //! Every binary accepts `--scale tiny|default|paper` (default: `default`)
 //! and `--seed N`, writes `results/<id>.md` and `results/<id>.json`, and

@@ -357,6 +357,36 @@ mod tests {
     }
 
     #[test]
+    fn cursor_held_across_ring_wrap_resumes_without_replay_or_panic() {
+        // A slow client drains to cursor 2, then the ring (cap 3) wraps
+        // far past it. Resuming from the stale cursor must yield only
+        // retained events at or after it — never a replay, never an
+        // out-of-range error — and the fresh cursor must equal the total
+        // emitted so the *next* drain is empty.
+        let (_clock, log) = log(3);
+        for i in 0..2 {
+            log.emit(EventKind::WidenedInterfaces { count: i });
+        }
+        let (_, cursor) = log.since(0);
+        assert_eq!(cursor, 2);
+        for i in 2..9 {
+            log.emit(EventKind::WidenedInterfaces { count: i });
+        }
+        let (events, next) = log.since(cursor);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8], "only the retained tail survives");
+        assert_eq!(next, 9);
+        let (rest, next2) = log.since(next);
+        assert!(rest.is_empty(), "a caught-up cursor drains nothing");
+        assert_eq!(next2, 9);
+        // A cursor from the future (say, a client that out-lived a
+        // daemon restart) degrades to an empty drain, not a panic.
+        let (ahead, next3) = log.since(1_000);
+        assert!(ahead.is_empty());
+        assert_eq!(next3, 9);
+    }
+
+    #[test]
     fn json_lines_are_schema_stamped_and_typed() {
         let (_clock, log) = log(4);
         log.emit(EventKind::KbFlip {

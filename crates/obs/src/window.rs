@@ -650,6 +650,33 @@ mod tests {
     }
 
     #[test]
+    fn idle_gap_longer_than_the_ring_keeps_only_the_pre_gap_window() {
+        // A daemon idle for longer than the whole retained span: the
+        // next sample must land in the window the clock actually points
+        // at (no back-fill of the silent windows), the single pre-gap
+        // window survives, and uptime covers the silence.
+        let clock = Arc::new(Virtual::new());
+        let rec = windowed(clock.clone()); // width 1_000, keep 4
+        rec.counter("reqs", 1);
+        clock.advance(10_000); // silent windows 1..=9 never materialize
+        rec.counter("reqs", 1);
+        let doc = MetricsDoc::parse(&rec.render_metrics_json()).expect("parses");
+        let indices: Vec<u64> = doc.windows.iter().map(|w| w.index).collect();
+        assert_eq!(indices, vec![0, 10], "no empty windows are fabricated");
+        assert!(doc.windows[1].open && !doc.windows[0].open);
+        assert_eq!(doc.totals.counters["reqs"], 2);
+        assert_eq!(doc.uptime_ns, 10_000);
+        // A second gap while a window is already open jumps again and
+        // closes the interrupted window where it stood.
+        clock.advance(3_500);
+        rec.counter("reqs", 1);
+        let doc = MetricsDoc::parse(&rec.render_metrics_json()).expect("parses");
+        let indices: Vec<u64> = doc.windows.iter().map(|w| w.index).collect();
+        assert_eq!(indices, vec![0, 10, 13]);
+        assert_eq!(doc.windows[1].counters["reqs"], 1);
+    }
+
+    #[test]
     fn ring_is_bounded_to_keep() {
         let clock = Arc::new(Virtual::new());
         let rec = windowed(clock.clone());

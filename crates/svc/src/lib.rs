@@ -35,4 +35,4 @@ pub mod server;
 
 pub use client::{Client, Endpoint};
 pub use proto::{parse_request, ApiError, Reply, Request, SCHEMA};
-pub use server::{Outcome, Server};
+pub use server::{Outcome, Server, MAX_REQUEST_LINE};

@@ -19,6 +19,7 @@
 //! | `trace`    | —                                        | canonical `cfs-trace/1` document     |
 //! | `metrics`  | —                                        | `cfs-metrics/1` window snapshot      |
 //! | `events`   | `since` (optional, default 0), `min_severity` (optional: `info`\|`warn`\|`error`) | drain `cfs-log/1` events from cursor |
+//! | `alerts`   | `since` (optional, default 0), `min_severity` (optional: `info`\|`warn`\|`error`) | drain `cfs-alerts/1` alerts from cursor |
 //! | `shutdown` | —                                        | stop the daemon after responding     |
 //!
 //! ## Error codes
@@ -84,6 +85,17 @@ pub enum Request {
         /// Validated at parse — only `"info"`, `"warn"`, `"error"` pass.
         min_severity: Option<String>,
     },
+    /// Drain `cfs-alerts/1` disruption alerts with sequence ≥ `since`.
+    /// A daemon running without `--detect` answers with an empty list
+    /// and an unmoved cursor rather than an error, so pollers need no
+    /// capability probe.
+    Alerts {
+        /// The client's cursor: the first sequence number it has not
+        /// seen. `0` (the wire default) drains everything retained.
+        since: u64,
+        /// Severity floor, same pinned vocabulary as `events`.
+        min_severity: Option<String>,
+    },
     /// Stop the daemon after acknowledging.
     Shutdown,
 }
@@ -129,6 +141,35 @@ fn require_bool(doc: &Json, key: &str, code: &'static str) -> Result<bool, ApiEr
         .ok_or_else(|| ApiError::new(code, format!("missing or non-boolean member {key:?}")))
 }
 
+/// The shared cursor-drain members of `events` and `alerts`: `since` is
+/// optional (absent means "from the beginning") but when present must
+/// be an unsigned integer; `min_severity`'s vocabulary is pinned here
+/// (parser authority) so the dispatch side never sees an unknown level.
+fn cursor_members(doc: &Json) -> Result<(u64, Option<String>), ApiError> {
+    let since = match doc.get("since") {
+        None => 0,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ApiError::new(
+                "bad_request",
+                "member \"since\" must be an unsigned integer",
+            )
+        })?,
+    };
+    let min_severity = match doc.get("min_severity") {
+        None => None,
+        Some(v) => match v.as_str() {
+            Some(s @ ("info" | "warn" | "error")) => Some(s.to_string()),
+            _ => {
+                return Err(ApiError::new(
+                    "bad_request",
+                    "member \"min_severity\" must be \"info\", \"warn\", or \"error\"",
+                ));
+            }
+        },
+    };
+    Ok((since, min_severity))
+}
+
 /// Parses one request line. Schema validation comes first: a missing or
 /// foreign `schema` member is `unknown_schema` no matter what else the
 /// document says.
@@ -158,33 +199,15 @@ pub fn parse_request(line: &str) -> Result<Request, ApiError> {
         "trace" => Ok(Request::Trace),
         "metrics" => Ok(Request::Metrics),
         "events" => {
-            // `since` is optional (absent means "from the beginning")
-            // but when present it must be an unsigned integer.
-            let since = match doc.get("since") {
-                None => 0,
-                Some(v) => v.as_u64().ok_or_else(|| {
-                    ApiError::new(
-                        "bad_request",
-                        "member \"since\" must be an unsigned integer",
-                    )
-                })?,
-            };
-            // `min_severity` is also optional; the vocabulary is pinned
-            // here (parser authority) so the dispatch side never sees an
-            // unknown level.
-            let min_severity = match doc.get("min_severity") {
-                None => None,
-                Some(v) => match v.as_str() {
-                    Some(s @ ("info" | "warn" | "error")) => Some(s.to_string()),
-                    _ => {
-                        return Err(ApiError::new(
-                            "bad_request",
-                            "member \"min_severity\" must be \"info\", \"warn\", or \"error\"",
-                        ));
-                    }
-                },
-            };
+            let (since, min_severity) = cursor_members(&doc)?;
             Ok(Request::Events {
+                since,
+                min_severity,
+            })
+        }
+        "alerts" => {
+            let (since, min_severity) = cursor_members(&doc)?;
+            Ok(Request::Alerts {
                 since,
                 min_severity,
             })
@@ -363,6 +386,22 @@ mod tests {
             })
         );
         assert_eq!(
+            parse_request(r#"{"schema":"cfs-api/1","op":"alerts"}"#),
+            Ok(Request::Alerts {
+                since: 0,
+                min_severity: None
+            })
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"schema":"cfs-api/1","op":"alerts","since":3,"min_severity":"error"}"#
+            ),
+            Ok(Request::Alerts {
+                since: 3,
+                min_severity: Some("error".to_string())
+            })
+        );
+        assert_eq!(
             parse_request(r#"{"schema":"cfs-api/1","op":"shutdown"}"#),
             Ok(Request::Shutdown)
         );
@@ -431,6 +470,19 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"schema":"cfs-api/1","op":"events","since":"yesterday"}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
+        );
+        // The alerts op shares the cursor-member validation.
+        assert_eq!(
+            parse_request(r#"{"schema":"cfs-api/1","op":"alerts","since":"now"}"#)
+                .unwrap_err()
+                .code,
+            "bad_request"
+        );
+        assert_eq!(
+            parse_request(r#"{"schema":"cfs-api/1","op":"alerts","min_severity":"loud"}"#)
                 .unwrap_err()
                 .code,
             "bad_request"

@@ -25,11 +25,15 @@ pub mod dns;
 mod generate;
 pub mod model;
 pub mod names;
+pub mod schedule;
 mod topology;
 
 pub use config::TopologyConfig;
 pub use model::{
     AsNode, DnsStyle, EndPoint, Facility, FacilityOperator, Iface, IfaceKind, IpIdBehavior, Ixp,
     IxpMembership, Link, Medium, Router, RouterLocation, Switch, SwitchRole,
+};
+pub use schedule::{
+    Disruption, DisruptionKind, EventSchedule, ScheduleConfig, ScheduleIntensity, EPOCH_MS,
 };
 pub use topology::{AsAdjacency, Topology};

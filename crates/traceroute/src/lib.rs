@@ -22,9 +22,11 @@
 mod campaign;
 mod engine;
 mod platform;
+mod scheduled;
 mod service;
 
 pub use campaign::{archived_sweep, run_campaign, run_campaign_parallel, CampaignLimits};
 pub use engine::{Engine, Hop, Trace};
 pub use platform::{deploy_vantage_points, Platform, VantagePoint, VpConfig, VpSet};
+pub use scheduled::ScheduledEngine;
 pub use service::{ChaosEngine, ProbeService};

@@ -1,0 +1,214 @@
+//! [`ScheduledEngine`]: the time-evolving probe plane.
+//!
+//! Wraps any [`ProbeService`] and replays a withheld
+//! [`EventSchedule`](cfs_topology::EventSchedule): during an event's
+//! active epochs the interfaces it silences (facility power loss,
+//! cross-connect cuts, IXP port flaps) stop appearing in traceroutes and
+//! stop answering pings. The wrapper is the only component that holds the
+//! schedule — the engine underneath and every consumer downstream see
+//! nothing but the perturbed measurements, which is what makes
+//! detection evaluation against the schedule honest.
+//!
+//! Like [`ChaosEngine`](crate::ChaosEngine), perturbation is a pure
+//! function of the probe identity (here: the probe's epoch and the
+//! precomputed per-event dark-IP sets), so every determinism guarantee
+//! of the wrapped engine survives: same schedule, same probe, same
+//! trace, from any thread.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use cfs_topology::{EventSchedule, Topology, EPOCH_MS};
+
+use crate::engine::{Hop, Trace};
+use crate::platform::VantagePoint;
+use crate::service::ProbeService;
+
+/// How many trailing `*` hops a truncated trace keeps: the probe keeps
+/// asking past the dark hop for a few TTLs before giving up, like a real
+/// traceroute against a powered-off device.
+const DARK_TAIL_HOPS: usize = 3;
+
+/// A disruption-replaying [`ProbeService`] wrapper. See the module docs.
+pub struct ScheduledEngine<E> {
+    inner: E,
+    schedule: EventSchedule,
+    /// Per-event dark sets, parallel to `schedule.events`, precomputed
+    /// from the ground truth at construction.
+    dark: Vec<BTreeSet<Ipv4Addr>>,
+}
+
+impl<E: ProbeService> ScheduledEngine<E> {
+    /// Wraps `inner`, replaying `schedule` over it.
+    pub fn new(inner: E, schedule: EventSchedule) -> Self {
+        let dark = schedule
+            .events
+            .iter()
+            .map(|e| e.dark_ips(inner.topology()))
+            .collect();
+        Self {
+            inner,
+            schedule,
+            dark,
+        }
+    }
+
+    /// The withheld schedule (evaluation harnesses only; the inference
+    /// side never gets a `ScheduledEngine` reference, just the
+    /// `ProbeService` trait object).
+    pub fn schedule(&self) -> &EventSchedule {
+        &self.schedule
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Whether `ip` is dark at virtual time `at_ms`.
+    fn is_dark(&self, ip: Ipv4Addr, at_ms: u64) -> bool {
+        let epoch = at_ms / EPOCH_MS;
+        self.schedule
+            .events
+            .iter()
+            .zip(&self.dark)
+            .any(|(e, dark)| e.active(epoch) && dark.contains(&ip))
+    }
+}
+
+impl<E: ProbeService> ProbeService for ScheduledEngine<E> {
+    fn topology(&self) -> &Topology {
+        self.inner.topology()
+    }
+
+    fn trace(&self, vp: &VantagePoint, target: Ipv4Addr, at_ms: u64) -> Trace {
+        let mut t = self.inner.trace(vp, target, at_ms);
+        let cut = t
+            .hops
+            .iter()
+            .position(|h| h.ip.is_some_and(|ip| self.is_dark(ip, at_ms)));
+        if let Some(k) = cut {
+            // The dark router neither forwards nor answers: the path dies
+            // at the hop before it, then a few TTL probes time out.
+            t.hops.truncate(k);
+            for _ in 0..DARK_TAIL_HOPS {
+                t.hops.push(Hop {
+                    ip: None,
+                    rtt_ms: 0.0,
+                });
+            }
+            t.reached = false;
+        } else if t.reached && self.is_dark(target, at_ms) {
+            t.reached = false;
+        }
+        t
+    }
+
+    fn ping(&self, vp: &VantagePoint, target: Ipv4Addr, at_ms: u64) -> Option<f64> {
+        if self.is_dark(target, at_ms) {
+            return None;
+        }
+        self.inner.ping(vp, target, at_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::platform::{deploy_vantage_points, VpConfig, VpSet};
+    use cfs_topology::{ScheduleConfig, ScheduleIntensity, TopologyConfig};
+
+    fn setup() -> (Topology, VpSet, EventSchedule) {
+        let topo = Topology::generate(TopologyConfig::tiny()).expect("tiny topology");
+        let vps = deploy_vantage_points(&topo, &VpConfig::tiny()).expect("vps");
+        let schedule = EventSchedule::generate(
+            &topo,
+            ScheduleConfig::at_intensity(11, ScheduleIntensity::Default),
+        );
+        (topo, vps, schedule)
+    }
+
+    #[test]
+    fn quiet_epochs_are_transparent() {
+        let (topo, vps, schedule) = setup();
+        let clean = Engine::new(&topo);
+        let eng = ScheduledEngine::new(Engine::new(&topo), schedule);
+        let targets: Vec<Ipv4Addr> = topo
+            .ases
+            .keys()
+            .take(6)
+            .map(|a| topo.target_ip(*a).expect("target"))
+            .collect();
+        // Epoch 0 is inside the warmup: nothing is active.
+        let vp = vps.vps.values().next().expect("vp");
+        for target in &targets {
+            let a = ProbeService::trace(&clean, vp, *target, 0);
+            let b = eng.trace(vp, *target, 0);
+            assert_eq!(a.hops, b.hops);
+            assert_eq!(a.reached, b.reached);
+            assert_eq!(clean.ping(vp, *target, 7), eng.ping(vp, *target, 7));
+        }
+    }
+
+    #[test]
+    fn dark_ips_disappear_during_their_window() {
+        let (topo, vps, schedule) = setup();
+        let event = schedule.events.first().expect("event").clone();
+        let dark = event.dark_ips(&topo);
+        let eng = ScheduledEngine::new(Engine::new(&topo), schedule);
+        let active_ms = event.start_epoch * EPOCH_MS + 1;
+        let after_ms = (event.end_epoch() + 1) * EPOCH_MS + 1;
+        let ip = *dark.iter().next().expect("dark ip");
+        for vp in vps.vps.values().take(4) {
+            assert_eq!(eng.ping(vp, ip, active_ms), None);
+        }
+        // Traces issued during the window never carry a dark hop.
+        let targets: Vec<Ipv4Addr> = topo
+            .ases
+            .keys()
+            .take(20)
+            .map(|a| topo.target_ip(*a).expect("target"))
+            .collect();
+        for vp in vps.vps.values().take(8) {
+            for target in &targets {
+                let t = eng.trace(vp, *target, active_ms);
+                for hop in &t.hops {
+                    if let Some(ip) = hop.ip {
+                        assert!(!dark.contains(&ip), "dark hop {ip} leaked");
+                    }
+                }
+                // After the window the engine is transparent again.
+                let clean = Engine::new(&topo);
+                // Only compare when no OTHER event covers `after_ms`.
+                if eng.schedule().active(after_ms / EPOCH_MS).next().is_none() {
+                    let a = ProbeService::trace(&clean, vp, *target, after_ms);
+                    let b = eng.trace(vp, *target, after_ms);
+                    assert_eq!(a.hops, b.hops);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_is_deterministic() {
+        let (topo, vps, schedule) = setup();
+        let a_eng = ScheduledEngine::new(Engine::new(&topo), schedule.clone());
+        let b_eng = ScheduledEngine::new(Engine::new(&topo), schedule);
+        let at = 5 * EPOCH_MS + 3;
+        let targets: Vec<Ipv4Addr> = topo
+            .ases
+            .keys()
+            .take(5)
+            .map(|a| topo.target_ip(*a).expect("target"))
+            .collect();
+        for vp in vps.vps.values().take(6) {
+            for target in &targets {
+                let a = a_eng.trace(vp, *target, at);
+                let b = b_eng.trace(vp, *target, at);
+                assert_eq!(a.hops, b.hops);
+                assert_eq!(a.reached, b.reached);
+            }
+        }
+    }
+}

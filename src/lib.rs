@@ -65,6 +65,7 @@ pub use cfs_baselines as baselines;
 pub use cfs_bgp as bgp;
 pub use cfs_chaos as chaos;
 pub use cfs_core as core;
+pub use cfs_detect as detect;
 pub use cfs_experiments as experiments;
 pub use cfs_geo as geo;
 pub use cfs_kb as kb;

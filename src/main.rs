@@ -26,11 +26,18 @@
 //!              [--log FILE] [--window-ms N]       #   + event sink / metrics windows
 //!              [--metrics-interval N]             #   + cadence cfs-metrics/1 snapshots
 //!              [--metrics-out FILE]               #     (default cfs-metrics.json)
+//!              [--detect] [--disrupt P]           #   + divergence detector / scheduled
+//!              [--disrupt-seed N]                 #     disruption epochs (withheld)
+//!              [--read-deadline-ms N]             #   + stalled-connection deadline
 //! cfs query    --socket PATH | --tcp ADDR         # one cfs-api/1 roundtrip
 //!              <ip>|status|trace|shutdown         #   against a daemon
 //!              [--raw JSON] [--out FILE]
 //! cfs metrics  --socket PATH | --tcp ADDR         # live cfs-metrics/1 snapshot
 //!              [--json] [--out FILE]
+//! cfs watch    --socket PATH | --tcp ADDR         # drain cfs-alerts/1 from a daemon
+//!              [--json] [--out FILE] [--follow]   #   (cursor drain: nothing twice)
+//!              [--min-severity S] [--polls N]
+//! cfs alerts-validate <file>                      # check a cfs-alerts/1 export
 //! cfs top      --socket PATH | --tcp ADDR         # polling terminal dashboard
 //!              [--interval-ms N] [--polls N]
 //! ```
@@ -40,13 +47,15 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 
+use cfs::detect::{Detector, DetectorConfig, EpochObservation, LocusNames};
 use cfs::obs::{
     pace, Clock, EventKind, EventLog, MetricsDoc, Monotonic, Recorder, TraceRecorder,
     WindowedRecorder,
 };
 use cfs::prelude::*;
 use cfs::svc::{ApiError, Outcome};
-use cfs::traceroute::{ProbeService, Trace};
+use cfs::topology::{EventSchedule, ScheduleConfig, ScheduleIntensity};
+use cfs::traceroute::{ProbeService, ScheduledEngine, Trace};
 use cfs_experiments::{Lab, Scale};
 
 fn main() {
@@ -92,18 +101,7 @@ fn main() {
                 flag_value(&args, "--baseline-dir"),
             )
         }
-        "serve" => serve_cmd(
-            scale,
-            seed,
-            flag_value(&args, "--socket"),
-            flag_value(&args, "--tcp"),
-            flag_value(&args, "--campaigns"),
-            flag_value(&args, "--faults"),
-            flag_value(&args, "--log"),
-            flag_value(&args, "--window-ms"),
-            flag_value(&args, "--metrics-interval"),
-            flag_value(&args, "--metrics-out"),
-        ),
+        "serve" => serve_cmd(scale, seed, &args),
         "kb-diff" => kb_diff(
             scale,
             seed,
@@ -112,6 +110,8 @@ fn main() {
         ),
         "query" => query_cmd(&args),
         "metrics" => metrics_cmd(&args),
+        "watch" => watch_cmd(&args),
+        "alerts-validate" => alerts_validate_cmd(args.get(2).map(String::as_str)),
         "top" => top_cmd(&args),
         "help" | "--help" | "-h" => {
             print_help();
@@ -169,13 +169,25 @@ fn print_help() {
          \x20            metrics window width (default 1000);\n\
          \x20            --metrics-interval N snapshots cfs-metrics/1 to\n\
          \x20            --metrics-out FILE (default cfs-metrics.json) at most\n\
-         \x20            every N ms\n\
+         \x20            every N ms; --detect runs the rolling-baseline\n\
+         \x20            divergence detector over campaign deltas (alerts op,\n\
+         \x20            cfs watch); --disrupt P replays a seeded disruption\n\
+         \x20            schedule (light|default|heavy) against the measurement\n\
+         \x20            plane, --disrupt-seed N re-keys it (default: world\n\
+         \x20            seed); --read-deadline-ms N drops connections that\n\
+         \x20            stall mid-request-line\n\
          \x20 query      one cfs-api/1 roundtrip against a daemon: an IPv4\n\
          \x20            address, status, trace, or shutdown (or --raw JSON);\n\
          \x20            --out FILE saves the payload; exit 0 ok, 3 transport\n\
          \x20            error, 4 daemon error response\n\
          \x20 metrics    fetch a live daemon's cfs-metrics/1 snapshot\n\
          \x20            (--json for the raw document; --out FILE saves it)\n\
+         \x20 watch      drain cfs-alerts/1 from a live daemon by cursor\n\
+         \x20            (--json for JSON lines; --out FILE appends them;\n\
+         \x20            --follow polls every --interval-ms N until --polls N;\n\
+         \x20            --min-severity warn|error filters at the daemon)\n\
+         \x20 alerts-validate FILE  check a cfs-alerts/1 export (schema,\n\
+         \x20            vocabulary, cursor monotonicity)\n\
          \x20 top        polling dashboard over a live daemon: request rates,\n\
          \x20            per-op latency, delta churn, recent events\n\
          \x20            (--interval-ms N, default 1000; --polls N to stop)\n\
@@ -1006,6 +1018,10 @@ struct ServeTelemetry {
     events: EventLog,
     breaker_trips: u64,
     widened_interfaces: u64,
+    /// The rolling-baseline divergence detector, present under
+    /// `--detect`. A detection-off daemon still answers the `alerts` op
+    /// (empty list, unmoved cursor) so clients need no capability probe.
+    detector: Option<Detector>,
 }
 
 /// The span name timing one request's dispatch, by op.
@@ -1019,26 +1035,21 @@ fn op_span_name(req: &Request) -> &'static str {
         Request::Trace => "api.trace",
         Request::Metrics => "api.metrics",
         Request::Events { .. } => "api.events",
+        Request::Alerts { .. } => "api.alerts",
         Request::Shutdown => "api.shutdown",
     }
 }
 
 /// `cfs serve`: provision a world, converge a resident session, and
 /// answer `cfs-api/1` requests until a `shutdown` arrives.
-#[allow(clippy::too_many_arguments)] // one flag per CLI switch, parsed in main
-fn serve_cmd(
-    scale: Scale,
-    seed: Option<u64>,
-    socket: Option<String>,
-    tcp: Option<String>,
-    campaigns: Option<String>,
-    faults: Option<String>,
-    log_path: Option<String>,
-    window_ms: Option<String>,
-    metrics_interval: Option<String>,
-    metrics_out: Option<String>,
-) -> i32 {
-    let campaigns: u64 = match campaigns.map(|c| c.parse::<u64>()) {
+fn serve_cmd(scale: Scale, seed: Option<u64>, args: &[String]) -> i32 {
+    let socket = flag_value(args, "--socket");
+    let tcp = flag_value(args, "--tcp");
+    let faults = flag_value(args, "--faults");
+    let log_path = flag_value(args, "--log");
+    let metrics_out = flag_value(args, "--metrics-out");
+    let detect = args.iter().any(|a| a == "--detect");
+    let campaigns: u64 = match flag_value(args, "--campaigns").map(|c| c.parse::<u64>()) {
         None => 0,
         Some(Ok(n)) => n,
         Some(Err(_)) => {
@@ -1046,7 +1057,7 @@ fn serve_cmd(
             return 2;
         }
     };
-    let window_ms: u64 = match window_ms.map(|w| w.parse::<u64>()) {
+    let window_ms: u64 = match flag_value(args, "--window-ms").map(|w| w.parse::<u64>()) {
         None => 1_000,
         Some(Ok(n)) if n > 0 => n,
         _ => {
@@ -1054,14 +1065,42 @@ fn serve_cmd(
             return 2;
         }
     };
-    let metrics_interval_ns: Option<u64> = match metrics_interval.map(|v| v.parse::<u64>()) {
+    let metrics_interval_ns: Option<u64> =
+        match flag_value(args, "--metrics-interval").map(|v| v.parse::<u64>()) {
+            None => None,
+            Some(Ok(n)) if n > 0 => Some(n * 1_000_000),
+            _ => {
+                eprintln!("--metrics-interval wants a positive number of milliseconds");
+                return 2;
+            }
+        };
+    let disrupt: Option<ScheduleIntensity> = match flag_value(args, "--disrupt") {
         None => None,
-        Some(Ok(n)) if n > 0 => Some(n * 1_000_000),
-        _ => {
-            eprintln!("--metrics-interval wants a positive number of milliseconds");
+        Some(p) => match ScheduleIntensity::parse(&p) {
+            Some(i) => Some(i),
+            None => {
+                eprintln!("unknown disruption profile {p:?} (light, default, heavy)");
+                return 2;
+            }
+        },
+    };
+    let disrupt_seed: Option<u64> = match flag_value(args, "--disrupt-seed").map(|v| v.parse()) {
+        None => None,
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => {
+            eprintln!("--disrupt-seed wants a number");
             return 2;
         }
     };
+    let read_deadline: Option<Duration> =
+        match flag_value(args, "--read-deadline-ms").map(|v| v.parse::<u64>()) {
+            None => None,
+            Some(Ok(n)) if n > 0 => Some(Duration::from_millis(n)),
+            _ => {
+                eprintln!("--read-deadline-ms wants a positive number");
+                return 2;
+            }
+        };
     let metrics_out = metrics_out.unwrap_or_else(|| "cfs-metrics.json".to_string());
     // Bind before the (slow) world provisioning: early clients connect
     // immediately and their requests queue until the loop starts.
@@ -1073,13 +1112,15 @@ fn serve_cmd(
                 "usage: cfs serve --socket PATH | --tcp ADDR \
                  [--scale S] [--seed N] [--campaigns N] [--faults P] \
                  [--log FILE] [--window-ms N] \
-                 [--metrics-interval MS] [--metrics-out FILE]"
+                 [--metrics-interval MS] [--metrics-out FILE] \
+                 [--detect] [--disrupt light|default|heavy] [--disrupt-seed N] \
+                 [--read-deadline-ms N]"
             );
             return 2;
         }
     };
     let server = match bound {
-        Ok(s) => s,
+        Ok(s) => s.with_read_deadline(read_deadline),
         Err(e) => {
             eprintln!("cfsd: failed to bind: {e}");
             return 1;
@@ -1111,18 +1152,50 @@ fn serve_cmd(
         Some(p) => degrade_sources(&lab.sources, p),
         None => lab.sources.clone(),
     };
+    // The disruption schedule perturbs the measurement plane only: the
+    // engine answers probes as if the scheduled elements were dark, and
+    // neither the session nor the detector ever sees the event list.
+    let schedule: Option<EventSchedule> = disrupt.map(|intensity| {
+        let sc =
+            ScheduleConfig::at_intensity(disrupt_seed.unwrap_or(lab.topo.config.seed), intensity);
+        EventSchedule::generate(&lab.topo, sc)
+    });
+    if let (Some(i), Some(s)) = (disrupt, &schedule) {
+        println!(
+            "cfsd: disruption schedule armed: {} events ({} profile, withheld)",
+            s.events.len(),
+            i.label(),
+        );
+    }
     let engine_plain;
     let engine_chaos;
+    let engine_scheduled;
+    let engine_scheduled_chaos;
     let kb_degraded;
-    let (engine, kb): (&dyn ProbeService, &KnowledgeBase) = match plan {
-        Some(p) => {
-            engine_chaos = ChaosEngine::new(Engine::new(&lab.topo), p);
+    let kb: &KnowledgeBase = match &plan {
+        Some(_) => {
             kb_degraded = KnowledgeBase::assemble(&sources, &lab.topo.world);
-            (&engine_chaos, &kb_degraded)
+            &kb_degraded
         }
-        None => {
+        None => &lab.kb,
+    };
+    let engine: &dyn ProbeService = match (plan, schedule) {
+        (Some(p), Some(s)) => {
+            engine_scheduled_chaos =
+                ScheduledEngine::new(ChaosEngine::new(Engine::new(&lab.topo), p), s);
+            &engine_scheduled_chaos
+        }
+        (Some(p), None) => {
+            engine_chaos = ChaosEngine::new(Engine::new(&lab.topo), p);
+            &engine_chaos
+        }
+        (None, Some(s)) => {
+            engine_scheduled = ScheduledEngine::new(Engine::new(&lab.topo), s);
+            &engine_scheduled
+        }
+        (None, None) => {
             engine_plain = Engine::new(&lab.topo);
-            (&engine_plain, &lab.kb)
+            &engine_plain
         }
     };
 
@@ -1147,6 +1220,32 @@ fn serve_cmd(
         }
     }
 
+    // The detector names its loci from public knowledge only (the same
+    // facility/exchange names the KB publishes); the schedule stays
+    // withheld. Its clock is the daemon's clock, so alert `t_ns` values
+    // share the timeline of the metrics windows and the event log.
+    let mut detector: Option<Detector> = detect.then(|| {
+        let names = LocusNames {
+            facilities: lab
+                .topo
+                .facilities
+                .iter()
+                .map(|(id, f)| (id.raw(), f.name.clone()))
+                .collect(),
+            ixps: lab
+                .topo
+                .ixps
+                .iter()
+                .map(|(id, x)| (id.raw(), x.name.clone()))
+                .collect(),
+        };
+        Detector::new(
+            DetectorConfig::default(),
+            names,
+            clock.clone() as Arc<dyn Clock>,
+        )
+    });
+
     let mut session = Cfs::builder(engine, kb)
         .vps(&lab.vps)
         .ipasn(&lab.ipasn)
@@ -1154,12 +1253,30 @@ fn serve_cmd(
         .recorder(windows.clone())
         .build_session()
         .expect("serve: CFS dependencies are always set");
+    // Summarize each pre-ingested *campaign* before the session consumes
+    // it; the detector replays them (in epoch order, against the
+    // converged report) so its baselines are as warm as the session's
+    // state. The bootstrap batch is deliberately not observed: its
+    // archived iPlane/Ark sweeps reach interfaces no periodic campaign
+    // revisits, and a baseline seeded from that wider coverage would
+    // read every sweep-only facility as a permanent outage.
+    let mut pending_obs: Vec<EpochObservation> = Vec::new();
     session.ingest(lab.bootstrap_traces(engine, None));
     for k in 1..=campaigns {
-        session.ingest(serve_campaign(&lab, engine, k));
+        let traces = serve_campaign(&lab, engine, k);
+        if detector.is_some() {
+            pending_obs.push(EpochObservation::from_traces(k, &traces));
+        }
+        session.ingest(traces);
     }
     lab.feed_bgp_sessions(&mut session, None);
     session.converge();
+    if let Some(det) = detector.as_mut() {
+        let report = session.report().expect("converged above");
+        for obs in &pending_obs {
+            det.observe(obs, report);
+        }
+    }
     let (breaker_trips, widened_interfaces) = {
         let report = session.report().expect("converged above");
         println!(
@@ -1191,6 +1308,7 @@ fn serve_cmd(
         events,
         breaker_trips,
         widened_interfaces,
+        detector,
     };
 
     // Cadence snapshots of the live window ring: the clock that drives
@@ -1292,6 +1410,37 @@ fn dispatch(
             arr.push(']');
             Outcome::reply(Reply::ok().u64("next", next).raw("events", &arr).finish())
         }
+        Request::Alerts {
+            since,
+            min_severity,
+        } => {
+            let floor = match min_severity.as_deref() {
+                Some("error") => cfs::obs::Severity::Error,
+                Some("warn") => cfs::obs::Severity::Warn,
+                _ => cfs::obs::Severity::Info,
+            };
+            // Detection off: an empty list with an unmoved cursor, so
+            // pollers need no capability probe and lose nothing if the
+            // daemon is later restarted with --detect.
+            let Some(det) = tele.detector.as_ref() else {
+                return Outcome::reply(Reply::ok().u64("next", since).raw("alerts", "[]").finish());
+            };
+            let (drained, next) = det.alerts().since(since);
+            let mut arr = String::from("[");
+            let mut first = true;
+            for a in &drained {
+                if a.severity < floor {
+                    continue; // filtered, but `next` still advances past it
+                }
+                if !first {
+                    arr.push(',');
+                }
+                first = false;
+                arr.push_str(&a.render_json());
+            }
+            arr.push(']');
+            Outcome::reply(Reply::ok().u64("next", next).raw("alerts", &arr).finish())
+        }
         Request::Shutdown => Outcome::last(
             Reply::ok()
                 .str("state", "stopping")
@@ -1309,7 +1458,22 @@ fn dispatch(
                 );
             }
             let traces = serve_campaign(lab, engine, campaign);
+            // Summarize the raw batch before apply_delta consumes it:
+            // per-epoch visibility comes from what this batch actually
+            // saw, not from the session's cumulative state.
+            let obs = tele
+                .detector
+                .as_ref()
+                .map(|_| EpochObservation::from_traces(campaign, &traces));
             let result = session.apply_delta(Delta::TracerouteBatch(traces));
+            if result.is_ok() {
+                if let (Some(det), Some(obs)) = (tele.detector.as_mut(), obs.as_ref()) {
+                    if let Some(report) = session.report() {
+                        let emitted = det.observe(obs, report);
+                        tele.windows.counter("detect.alerts", emitted.len() as u64);
+                    }
+                }
+            }
             delta_reply("campaign", result, session, tele)
         }
         Request::DeltaKbFlip {
@@ -1718,6 +1882,187 @@ fn event_line(e: &serde_json::Value) -> String {
     line
 }
 
+/// One human-readable line for a drained `cfs-alerts/1` record,
+/// rendered client-side from its JSON form (mirrors
+/// `Alert::render_text` on the daemon side).
+fn alert_line(a: &serde_json::Value) -> String {
+    let s = |k: &str| a.get(k).and_then(|v| v.as_str());
+    let n = |k: &str| a.get(k).and_then(|v| v.as_u64());
+    let mut locus = String::new();
+    if let Some(f) = s("facility") {
+        locus.push_str(&format!(" facility={f}"));
+    }
+    if let Some(x) = s("ixp") {
+        locus.push_str(&format!(" ixp={x}"));
+    }
+    format!(
+        "[{}] #{:<4} epoch={} {}{} observed={}pm baseline={}pm score={}pm support={}",
+        s("severity").unwrap_or("?"),
+        n("seq").unwrap_or(0),
+        n("epoch").unwrap_or(0),
+        s("kind").unwrap_or("?"),
+        locus,
+        n("observed_pm").unwrap_or(0),
+        n("baseline_pm").unwrap_or(0),
+        n("score_pm").unwrap_or(0),
+        n("support").unwrap_or(0),
+    )
+}
+
+/// `cfs watch`: drain `cfs-alerts/1` records from a live daemon by
+/// cursor — nothing is shown twice. One drain by default; `--follow`
+/// keeps polling every `--interval-ms` (until `--polls N`, 0 = forever).
+/// `--json` prints the records as JSON lines; `--out FILE` writes them
+/// as JSON lines regardless (the file is a `cfs-alerts/1` export that
+/// `cfs alerts-validate` accepts). Exit 0 ok, 2 usage, 3 transport,
+/// 4 daemon error.
+fn watch_cmd(args: &[String]) -> i32 {
+    use std::io::Write as _;
+    let usage = "usage: cfs watch --socket PATH | --tcp ADDR [--json] [--out FILE] \
+                 [--follow] [--interval-ms N] [--polls N] [--min-severity warn|error]";
+    let Some(endpoint) = client_endpoint(args, usage) else {
+        return 2;
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let follow = args.iter().any(|a| a == "--follow");
+    let interval_ms: u64 = match flag_value(args, "--interval-ms").map(|v| v.parse::<u64>()) {
+        None => 1_000,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("--interval-ms wants a positive number");
+            return 2;
+        }
+    };
+    let polls: u64 = match flag_value(args, "--polls").map(|v| v.parse::<u64>()) {
+        None => {
+            if follow {
+                0
+            } else {
+                1
+            }
+        }
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("--polls wants a number");
+            return 2;
+        }
+    };
+    let min_severity = flag_value(args, "--min-severity");
+    if let Some(s) = &min_severity {
+        if !matches!(s.as_str(), "info" | "warn" | "error") {
+            eprintln!("--min-severity wants info, warn, or error");
+            return 2;
+        }
+    }
+    let mut out_file = match flag_value(args, "--out") {
+        Some(p) => match std::fs::File::create(&p) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("failed to open --out {p}: {e}");
+                return 1;
+            }
+        },
+        None => None,
+    };
+    let mut client = match Client::connect(&endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to connect: {e}");
+            return 3;
+        }
+    };
+    let floor = min_severity
+        .as_ref()
+        .map(|s| format!(",\"min_severity\":\"{s}\""))
+        .unwrap_or_default();
+    let mut cursor: u64 = 0;
+    let mut drained: u64 = 0;
+    let mut poll: u64 = 0;
+    loop {
+        if poll > 0 {
+            pace(Duration::from_millis(interval_ms));
+        }
+        poll += 1;
+        let request = format!(
+            "{{\"schema\":\"{}\",\"op\":\"alerts\",\"since\":{cursor}{floor}}}",
+            cfs::svc::SCHEMA
+        );
+        let response = match client.roundtrip(&request) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("transport error: {e}");
+                return 3;
+            }
+        };
+        let v = match serde_json::from_str::<serde_json::Value>(&response) {
+            Ok(v) if v.get("ok").and_then(|o| o.as_bool()) == Some(true) => v,
+            _ => {
+                eprintln!("{response}");
+                return 4;
+            }
+        };
+        if let Some(next) = v.get("next").and_then(|n| n.as_u64()) {
+            cursor = next;
+        }
+        for a in v
+            .get("alerts")
+            .and_then(|x| x.as_array())
+            .into_iter()
+            .flatten()
+        {
+            drained += 1;
+            let record = serde_json::to_string(a).unwrap_or_default();
+            if let Some(f) = out_file.as_mut() {
+                if let Err(e) = writeln!(f, "{record}") {
+                    eprintln!("failed to write --out: {e}");
+                    return 1;
+                }
+            }
+            if json {
+                println!("{record}");
+            } else {
+                println!("{}", alert_line(a));
+            }
+        }
+        if polls > 0 && poll >= polls {
+            if !json {
+                eprintln!("drained {drained} alerts (cursor {cursor})");
+            }
+            return 0;
+        }
+    }
+}
+
+/// `cfs alerts-validate`: check a `cfs-alerts/1` export (one JSON
+/// record per line, as written by `cfs watch --out`). Exit 0 valid,
+/// 1 invalid, 2 usage.
+fn alerts_validate_cmd(path: Option<&str>) -> i32 {
+    let Some(path) = path else {
+        eprintln!("usage: cfs alerts-validate FILE");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return 1;
+        }
+    };
+    match cfs::detect::validate_alerts(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: valid cfs-alerts/1 ({} alerts, {} error-severity, {} localized)",
+                summary.alerts, summary.errors, summary.localized
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid cfs-alerts/1: {e}");
+            1
+        }
+    }
+}
+
 /// `cfs top`: a polling terminal dashboard over a live daemon — request
 /// rate since the previous poll, per-op latency, delta churn, and the
 /// most recent events (drained with a cursor so nothing is shown twice).
@@ -1757,8 +2102,10 @@ fn top_cmd(args: &[String]) -> i32 {
         cfs::svc::SCHEMA
     );
     let mut cursor: u64 = 0;
+    let mut alert_cursor: u64 = 0;
     let mut last_requests: Option<u64> = None;
     let mut recent: Vec<String> = Vec::new();
+    let mut recent_alerts: Vec<String> = Vec::new();
     let mut poll: u64 = 0;
     loop {
         if poll > 0 {
@@ -1815,6 +2162,40 @@ fn top_cmd(args: &[String]) -> i32 {
                 return 4;
             }
         }
+        // Alerts drain: a detection-off daemon answers an empty list
+        // with an unmoved cursor, so this is always safe to poll.
+        let alerts_req = format!(
+            "{{\"schema\":\"{}\",\"op\":\"alerts\",\"since\":{alert_cursor}}}",
+            cfs::svc::SCHEMA
+        );
+        let al_response = match client.roundtrip(&alerts_req) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("transport error: {e}");
+                return 3;
+            }
+        };
+        match serde_json::from_str::<serde_json::Value>(&al_response) {
+            Ok(v) if v.get("ok").and_then(|o| o.as_bool()) == Some(true) => {
+                if let Some(next) = v.get("next").and_then(|n| n.as_u64()) {
+                    alert_cursor = next;
+                }
+                for a in v
+                    .get("alerts")
+                    .and_then(|x| x.as_array())
+                    .into_iter()
+                    .flatten()
+                {
+                    recent_alerts.push(alert_line(a));
+                }
+                let overflow = recent_alerts.len().saturating_sub(8);
+                recent_alerts.drain(..overflow);
+            }
+            _ => {
+                eprintln!("{al_response}");
+                return 4;
+            }
+        }
 
         // Repaint: clear between polls, never before the first frame, so
         // a failed connect leaves the terminal untouched.
@@ -1835,6 +2216,12 @@ fn top_cmd(args: &[String]) -> i32 {
         if !recent.is_empty() {
             println!("recent events:");
             for line in &recent {
+                println!("  {line}");
+            }
+        }
+        if !recent_alerts.is_empty() {
+            println!("recent alerts:");
+            for line in &recent_alerts {
                 println!("  {line}");
             }
         }
